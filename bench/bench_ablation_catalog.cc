@@ -1,0 +1,73 @@
+// Ablation: genuine higher-order metadata queries vs the classic
+// first-order workaround of *reifying* the catalog into ordinary relations
+// and querying those. The workaround answers pure-metadata questions at
+// comparable cost — but it pays a full reification pass whenever the
+// universe changes, and mixed data/metadata questions still need the
+// higher-order engine (the catalog only names things; it does not hold the
+// prices).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "catalog/catalog.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+using idl_bench::MustQuery;
+using idl_bench::RunQuery;
+
+void BM_Metadata_HigherOrder(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), 5);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery("?.X.Y(.clsPrice)");
+  size_t rows = 0;
+  for (auto _ : state) rows = RunQuery(universe, q);
+  IDL_BENCH_CHECK(rows == 1 + static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_Metadata_HigherOrder)->Arg(8)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Metadata_ReifiedCatalog(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), 5);
+  idl::Value universe = BuildStockUniverse(w);
+  auto with = idl::WithCatalog(universe);
+  IDL_BENCH_CHECK(with.ok());
+  idl::Query q = MustQuery("?.cat.attributes(.attr=clsPrice, .db=X, .rel=Y)");
+  size_t rows = 0;
+  for (auto _ : state) rows = RunQuery(*with, q);
+  IDL_BENCH_CHECK(rows == 1 + static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_Metadata_ReifiedCatalog)->Arg(8)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+// What the workaround really costs: the reification pass that must rerun
+// after every schema-affecting update.
+void BM_CatalogReification(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), 5);
+  idl::Value universe = BuildStockUniverse(w);
+  for (auto _ : state) {
+    idl::Value catalog = idl::BuildCatalog(universe);
+    benchmark::DoNotOptimize(catalog.TupleSize());
+  }
+  state.counters["relations"] = static_cast<double>(state.range(0) + 2);
+}
+BENCHMARK(BM_CatalogReification)->Arg(8)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+// Mixed data/metadata: "which stocks (as schema elements) closed above 200"
+// — the catalog alone cannot answer this; joining catalog names back into
+// data still requires the higher-order step the catalog was meant to avoid.
+void BM_MixedQuery_HigherOrderOnly(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), 20);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery("?.ource.S(.clsPrice>200)");
+  for (auto _ : state) {
+    size_t rows = RunQuery(universe, q);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_MixedQuery_HigherOrderOnly)->Arg(8)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

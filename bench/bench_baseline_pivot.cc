@@ -1,0 +1,92 @@
+// B2 — the modern relational partial answer: PIVOT/UNPIVOT can move stock
+// names between value and attribute position, so a relational system can
+// unify euter+chwab into one shape with UNPIVOT + UNION. Compared against
+// IDL's rule-based unification of all three schemas. Note what PIVOT cannot
+// do at all: the ource schema (stocks as *relation* names) needs one
+// UNION branch per relation — discovered from the catalog, exactly the
+// expansion problem again — which is included in the baseline cost below.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "relational/algebra.h"
+#include "relational/pivot.h"
+#include "views/engine.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+
+void BM_Pivot_Unification(benchmark::State& state) {
+  size_t stocks = state.range(0);
+  size_t days = state.range(1);
+  idl::StockWorkload w = MakeWorkload(stocks, days);
+  idl::RelationalDatabase euter = BuildEuterDatabase(w);
+  idl::RelationalDatabase chwab = BuildChwabDatabase(w);
+  idl::RelationalDatabase ource = BuildOurceDatabase(w);
+
+  for (auto _ : state) {
+    // chwab -> euter shape via UNPIVOT.
+    auto chwab_flat =
+        Unpivot(*chwab.FindTable("r"), "date", "stkCode", "clsPrice");
+    IDL_BENCH_CHECK(chwab_flat.ok());
+    idl::ResultSet unified = ScanAll(*euter.FindTable("r"));
+    auto u1 = Union(unified, ScanAll(*chwab_flat));
+    IDL_BENCH_CHECK(u1.ok());
+    unified = std::move(u1).value();
+    // ource: one UNION branch per relation (no single relational operator
+    // quantifies over relation names).
+    for (const auto& name : ource.TableNames()) {
+      const idl::Table& t = *ource.FindTable(name);
+      idl::ResultSet branch = ScanAll(t);
+      // Add the stkCode column the relation name encodes.
+      idl::ResultSet widened;
+      widened.schema = idl::Schema({t.schema().column(0),
+                                    idl::Column{"stkCode",
+                                                idl::ColumnType::kString},
+                                    t.schema().column(1)});
+      for (const auto& row : branch.rows) {
+        widened.rows.push_back(idl::Row(
+            {row.cells[0], idl::Value::String(name), row.cells[1]}));
+      }
+      auto u2 = Union(unified, widened);
+      IDL_BENCH_CHECK(u2.ok());
+      unified = std::move(u2).value();
+    }
+    IDL_BENCH_CHECK(unified.rows.size() == stocks * days);
+  }
+  state.counters["union_branches"] = static_cast<double>(2 + stocks);
+}
+BENCHMARK(BM_Pivot_Unification)
+    ->Args({4, 10})
+    ->Args({8, 25})
+    ->Args({16, 50})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IDL_Unification(benchmark::State& state) {
+  size_t stocks = state.range(0);
+  size_t days = state.range(1);
+  idl::StockWorkload w = MakeWorkload(stocks, days);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::ViewEngine engine;
+  for (size_t i = 0; i < 3; ++i) {
+    auto rule = idl::ParseRule(idl::PaperViewRules()[i]);
+    IDL_BENCH_CHECK(rule.ok());
+    IDL_BENCH_CHECK(engine.AddRule(std::move(rule).value()).ok());
+  }
+  for (auto _ : state) {
+    auto m = engine.Materialize(universe);
+    IDL_BENCH_CHECK(m.ok());
+    IDL_BENCH_CHECK(
+        m->universe.FindField("dbI")->FindField("p")->SetSize() ==
+        stocks * days);
+  }
+  state.counters["rules"] = 3;
+}
+BENCHMARK(BM_IDL_Unification)
+    ->Args({4, 10})
+    ->Args({8, 25})
+    ->Args({16, 50})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

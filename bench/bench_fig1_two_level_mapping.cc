@@ -1,0 +1,47 @@
+// F1 — Figure 1 end to end: lift the three substrate relational databases
+// into the universe, define the unified view U and the customized views
+// D'_i, materialize, and verify the round-trip equivalences (dbE == euter,
+// dbC == chwab, dbO == ource). This is the paper's architecture diagram as
+// a single measured pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+
+void BM_Fig1_Pipeline(benchmark::State& state) {
+  size_t stocks = state.range(0);
+  size_t days = state.range(1);
+  idl::StockWorkload w = MakeWorkload(stocks, days);
+  idl::RelationalDatabase euter = BuildEuterDatabase(w);
+  idl::RelationalDatabase chwab = BuildChwabDatabase(w);
+  idl::RelationalDatabase ource = BuildOurceDatabase(w);
+
+  for (auto _ : state) {
+    idl::Session session;
+    IDL_BENCH_CHECK(session.RegisterDatabase(euter).ok());
+    IDL_BENCH_CHECK(session.RegisterDatabase(chwab).ok());
+    IDL_BENCH_CHECK(session.RegisterDatabase(ource).ok());
+    IDL_BENCH_CHECK(session.DefineRules(idl::PaperViewRules()).ok());
+    auto u = session.universe();
+    IDL_BENCH_CHECK(u.ok());
+    const idl::Value& universe = **u;
+    IDL_BENCH_CHECK(*universe.FindField("dbE")->FindField("r") ==
+                    *universe.FindField("euter")->FindField("r"));
+    IDL_BENCH_CHECK(*universe.FindField("dbC")->FindField("r") ==
+                    *universe.FindField("chwab")->FindField("r"));
+    IDL_BENCH_CHECK(*universe.FindField("dbO") ==
+                    *universe.FindField("ource"));
+  }
+  state.counters["base_facts"] = static_cast<double>(stocks * days);
+}
+BENCHMARK(BM_Fig1_Pipeline)
+    ->Args({3, 4})    // the paper's toy scale
+    ->Args({8, 20})
+    ->Args({16, 40})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,96 @@
+// B4: language front-end throughput — lexing and parsing the paper's query
+// corpus, rule set, and update programs; bytes/second.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "syntax/lexer.h"
+#include "syntax/printer.h"
+
+namespace {
+
+const char* kCorpus[] = {
+    "?.euter.r(.stkCode=hp, .clsPrice>60)",
+    "?.euter.r(.stkCode=hp,.clsPrice>150,.date=D),"
+    ".euter.r(.stkCode=ibm,.clsPrice>150,.date=D)",
+    "?.euter.r(.stkCode=hp,.clsPrice=P,.date=D),"
+    ".euter.r!(.stkCode=hp, .clsPrice>P)",
+    "?.chwab.r(.S>200)",
+    "?.ource.S(.clsPrice > 200)",
+    "?.chwab.r(.date=D,.S=P), .ource.S(.date=D,.clsPrice=P)",
+    "?.euter.Y, .chwab.Y, .ource.Y",
+    "?.euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=50)",
+    "?.chwab.r-(.date=3/3/85,.hp=C), .chwab.r+(.date=3/3/85,.hp=C+10)",
+};
+
+size_t CorpusBytes() {
+  size_t total = 0;
+  for (const char* text : kCorpus) total += std::string(text).size();
+  return total;
+}
+
+void BM_Lex(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const char* text : kCorpus) {
+      auto tokens = idl::Lex(text);
+      IDL_BENCH_CHECK(tokens.ok());
+      benchmark::DoNotOptimize(tokens->size());
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(CorpusBytes()));
+}
+BENCHMARK(BM_Lex);
+
+void BM_ParseQueries(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const char* text : kCorpus) {
+      auto q = idl::ParseQuery(text);
+      IDL_BENCH_CHECK(q.ok());
+      benchmark::DoNotOptimize(q->conjuncts.size());
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(CorpusBytes()));
+}
+BENCHMARK(BM_ParseQueries);
+
+void BM_ParseRulesAndPrograms(benchmark::State& state) {
+  std::vector<std::string> rules = idl::PaperViewRules(true);
+  std::vector<std::string> programs = idl::PaperUpdatePrograms();
+  size_t bytes = 0;
+  for (const auto& s : rules) bytes += s.size();
+  for (const auto& s : programs) bytes += s.size();
+  for (auto _ : state) {
+    for (const auto& text : rules) {
+      auto r = idl::ParseRule(text);
+      IDL_BENCH_CHECK(r.ok());
+    }
+    for (const auto& text : programs) {
+      auto c = idl::ParseProgramClause(text);
+      IDL_BENCH_CHECK(c.ok());
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ParseRulesAndPrograms);
+
+void BM_PrintParseRoundTrip(benchmark::State& state) {
+  std::vector<idl::Query> parsed;
+  for (const char* text : kCorpus) {
+    parsed.push_back(std::move(idl::ParseQuery(text)).value());
+  }
+  for (auto _ : state) {
+    for (const auto& q : parsed) {
+      std::string printed = idl::ToString(q);
+      auto again = idl::ParseQuery(printed);
+      IDL_BENCH_CHECK(again.ok());
+    }
+  }
+}
+BENCHMARK(BM_PrintParseRoundTrip);
+
+}  // namespace

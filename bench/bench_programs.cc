@@ -1,0 +1,101 @@
+// P1-P3: update-program execution — delStk/insStk cycles across all three
+// databases, rmStk/addStk metadata cycles — and the dispatch overhead of
+// going through a program versus issuing the three base update requests
+// directly.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "programs/executor.h"
+#include "update/applier.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+using idl_bench::MustQuery;
+
+class ProgramFixture {
+ public:
+  explicit ProgramFixture(size_t stocks, size_t days = 15)
+      : workload_(MakeWorkload(stocks, days)),
+        universe_(BuildStockUniverse(workload_)) {
+    for (const auto& text : idl::PaperUpdatePrograms()) {
+      auto c = idl::ParseProgramClause(text);
+      IDL_BENCH_CHECK(c.ok());
+      IDL_BENCH_CHECK(registry_.Register(std::move(c).value()).ok());
+    }
+  }
+
+  void Call(const std::string& path, std::map<std::string, idl::Value> args,
+            idl::UpdateOp op = idl::UpdateOp::kNone) {
+    idl::ProgramExecutor executor(&registry_, &universe_);
+    auto r = executor.Call(path, op, args);
+    IDL_BENCH_CHECK(r.ok());
+  }
+
+  idl::StockWorkload workload_;
+  idl::Value universe_;
+  idl::ProgramRegistry registry_;
+};
+
+void BM_P1P3_DelInsCycle(benchmark::State& state) {
+  ProgramFixture f(state.range(0));
+  idl::Value stk = idl::Value::String("stk0");
+  idl::Value date = idl::Value::Of(f.workload_.dates[3]);
+  idl::Value price = idl::Value::Real(55.0);
+  for (auto _ : state) {
+    f.Call("dbU.delStk", {{"stk", stk}, {"date", date}});
+    f.Call("dbU.insStk", {{"stk", stk}, {"date", date}, {"price", price}});
+  }
+  state.counters["stocks"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_P1P3_DelInsCycle)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+// The same three-database delete+insert issued as raw update requests —
+// the program machinery's dispatch overhead is the difference.
+void BM_RawEquivalentOfDelIns(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), 15);
+  idl::Value universe = BuildStockUniverse(w);
+  std::string d = w.dates[3].ToString();
+  std::vector<idl::Query> requests;
+  requests.push_back(
+      MustQuery("?.euter.r-(.stkCode=stk0,.date=" + d + ")"));
+  requests.push_back(MustQuery("?.chwab.r(.date=" + d + ", .stk0-=X)"));
+  requests.push_back(MustQuery("?.ource.stk0-(.date=" + d + ")"));
+  requests.push_back(
+      MustQuery("?.euter.r+(.date=" + d + ",.stkCode=stk0,.clsPrice=55.0)"));
+  requests.push_back(MustQuery("?.chwab.r(.date=" + d + ", +.stk0=55.0)"));
+  requests.push_back(
+      MustQuery("?.ource.stk0+(.date=" + d + ",.clsPrice=55.0)"));
+  for (auto _ : state) {
+    for (const auto& q : requests) {
+      auto r = ApplyUpdateRequest(&universe, q);
+      IDL_BENCH_CHECK(r.ok());
+    }
+  }
+  state.counters["stocks"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RawEquivalentOfDelIns)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+// P2: remove + re-add a stock (data in euter, attribute in chwab, relation
+// in ource) — the metadata-updating program.
+void BM_P2_RmAddStkCycle(benchmark::State& state) {
+  ProgramFixture f(state.range(0));
+  idl::Value stk = idl::Value::String("stk1");
+  idl::Value price = idl::Value::Real(60.0);
+  for (auto _ : state) {
+    f.Call("dbU.rmStk", {{"stk", stk}});
+    f.Call("dbU.addStk", {{"stk", stk}});
+    for (const auto& date : f.workload_.dates) {
+      f.Call("dbU.insStk",
+             {{"stk", stk}, {"date", idl::Value::Of(date)}, {"price", price}});
+    }
+  }
+  state.counters["stocks"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_P2_RmAddStkCycle)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Q1-Q3 (paper §4.2): first-order queries against the euter schema —
+// selection, self-join on date, and negation (all-time high) — as the
+// relation grows. Establishes the single-database query costs that the
+// higher-order benches are compared against.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+using idl_bench::MustQuery;
+using idl_bench::RunQuery;
+
+void BM_Q1_Selection(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(20, state.range(0));
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery("?.euter.r(.stkCode=stk0, .clsPrice>0, .date=D)");
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = RunQuery(universe, q);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["relation_rows"] =
+      static_cast<double>(20 * state.range(0));
+  state.counters["answer_rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Q1_Selection)->Arg(10)->Arg(50)->Arg(250)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Q2_SelfJoinOnDate(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(10, state.range(0));
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery(
+      "?.euter.r(.stkCode=stk0,.clsPrice=P1,.date=D),"
+      ".euter.r(.stkCode=stk1,.clsPrice=P2,.date=D)");
+  for (auto _ : state) {
+    size_t rows = RunQuery(universe, q);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["relation_rows"] =
+      static_cast<double>(10 * state.range(0));
+}
+BENCHMARK(BM_Q2_SelfJoinOnDate)->Arg(10)->Arg(30)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Q3_AllTimeHighNegation(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(5, state.range(0));
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery(
+      "?.euter.r(.stkCode=stk0,.clsPrice=P,.date=D),"
+      ".euter.r!(.stkCode=stk0, .clsPrice>P)");
+  for (auto _ : state) {
+    size_t rows = RunQuery(universe, q);
+    IDL_BENCH_CHECK(rows >= 1);
+  }
+  state.counters["relation_rows"] = static_cast<double>(5 * state.range(0));
+}
+BENCHMARK(BM_Q3_AllTimeHighNegation)->Arg(10)->Arg(25)->Arg(50)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BooleanPointQuery(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(20, 100);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery("?.euter.r(.stkCode=stk7, .clsPrice>0)");
+  for (auto _ : state) {
+    size_t rows = RunQuery(universe, q);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_BooleanPointQuery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Q4/Q6/Q8: higher-order queries — the same intention against all three
+// schematically discrepant schemas, and cross-schema joins. The headline
+// comparison: the *one* higher-order formulation costs about the same
+// against every schema, growing linearly with the data (see
+// bench_baseline_expansion for what a first-order system pays instead).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+using idl_bench::MustQuery;
+using idl_bench::RunQuery;
+
+constexpr size_t kDays = 20;
+
+void BM_Q4_Euter(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), kDays);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery("?.euter.r(.stkCode=S, .clsPrice>200)");
+  idl::EvalStats stats;
+  for (auto _ : state) RunQuery(universe, q, &stats);
+  state.counters["scanned_per_iter"] =
+      static_cast<double>(stats.set_elements_scanned) / state.iterations();
+}
+BENCHMARK(BM_Q4_Euter)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Q4_ChwabHigherOrderAttr(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), kDays);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery("?.chwab.r(.S>200)");
+  idl::EvalStats stats;
+  for (auto _ : state) RunQuery(universe, q, &stats);
+  state.counters["attrs_enumerated_per_iter"] =
+      static_cast<double>(stats.attrs_enumerated) / state.iterations();
+}
+BENCHMARK(BM_Q4_ChwabHigherOrderAttr)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Q4_OurceHigherOrderRel(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), kDays);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery("?.ource.S(.clsPrice>200)");
+  idl::EvalStats stats;
+  for (auto _ : state) RunQuery(universe, q, &stats);
+  state.counters["attrs_enumerated_per_iter"] =
+      static_cast<double>(stats.attrs_enumerated) / state.iterations();
+}
+BENCHMARK(BM_Q4_OurceHigherOrderRel)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+// Q6: join between two different schematic representations
+// (attribute-name stocks x relation-name stocks).
+void BM_Q6_CrossSchemaJoin(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), 10);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery(
+      "?.chwab.r(.date=D,.S=P), .ource.S(.date=D,.clsPrice=P)");
+  size_t rows = 0;
+  for (auto _ : state) rows = RunQuery(universe, q);
+  IDL_BENCH_CHECK(rows == static_cast<size_t>(state.range(0)) * 10);
+}
+BENCHMARK(BM_Q6_CrossSchemaJoin)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Q8: highest closing price per day, per schema (grouped negation).
+void BM_Q8_HighestPerDay_Euter(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(8, state.range(0));
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery(
+      "?.euter.r(.date=D, .stkCode=S, .clsPrice=P),"
+      ".euter.r!(.date=D, .clsPrice>P)");
+  size_t rows = 0;
+  for (auto _ : state) rows = RunQuery(universe, q);
+  IDL_BENCH_CHECK(rows >= static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_Q8_HighestPerDay_Euter)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Q8_HighestPerDay_Ource(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(8, state.range(0));
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery(
+      "?.ource.S(.date=D, .clsPrice=P), !.ource.S2(.date=D, .clsPrice>P)");
+  size_t rows = 0;
+  for (auto _ : state) rows = RunQuery(universe, q);
+  IDL_BENCH_CHECK(rows >= static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_Q8_HighestPerDay_Ource)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

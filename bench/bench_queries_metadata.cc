@@ -1,0 +1,77 @@
+// Q5/Q7: metadata queries — quantifying over database and relation names —
+// as the schema (not the data) grows. These are the queries that are simply
+// *inexpressible* in a first-order language; cost here scales with the
+// number of schema elements, not tuples.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+using idl_bench::MustQuery;
+using idl_bench::RunQuery;
+
+void BM_Q5_ListDatabases(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), 5);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery("?.X");
+  for (auto _ : state) {
+    size_t rows = RunQuery(universe, q);
+    IDL_BENCH_CHECK(rows == 3);
+  }
+}
+BENCHMARK(BM_Q5_ListDatabases)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Q5_ListRelations(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), 5);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery("?.X.Y");
+  size_t rows = 0;
+  for (auto _ : state) rows = RunQuery(universe, q);
+  // euter.r, chwab.r, and one relation per stock in ource.
+  IDL_BENCH_CHECK(rows == 2 + static_cast<size_t>(state.range(0)));
+  state.counters["schema_elements"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Q5_ListRelations)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Q5_DatabasesContainingRelation(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), 5);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery("?.X.stk0");
+  for (auto _ : state) {
+    size_t rows = RunQuery(universe, q);
+    IDL_BENCH_CHECK(rows == 1);  // only ource has a relation named stk0
+  }
+}
+BENCHMARK(BM_Q5_DatabasesContainingRelation)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Q5_RelationsWithAttribute(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), 5);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery("?.X.Y(.stkCode)");
+  for (auto _ : state) {
+    size_t rows = RunQuery(universe, q);
+    IDL_BENCH_CHECK(rows == 1);  // euter.r
+  }
+}
+BENCHMARK(BM_Q5_RelationsWithAttribute)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Q7_RelationsInAllDatabases(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), 5);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query q = MustQuery("?.euter.Y, .chwab.Y, .ource.Y");
+  for (auto _ : state) {
+    size_t rows = RunQuery(universe, q);
+    IDL_BENCH_CHECK(rows == 0);  // r is not an ource relation
+  }
+}
+BENCHMARK(BM_Q7_RelationsInAllDatabases)->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

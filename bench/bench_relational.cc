@@ -1,0 +1,120 @@
+// B3: relational substrate characterization — scans, selections, hash
+// joins, group-by, pivot/unpivot, and the adapter lift/lower crossings.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "relational/adapter.h"
+#include "relational/algebra.h"
+#include "relational/pivot.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+
+idl::RelationalDatabase Euter(size_t rows_per_stock) {
+  return BuildEuterDatabase(MakeWorkload(10, rows_per_stock));
+}
+
+void BM_Scan(benchmark::State& state) {
+  idl::RelationalDatabase db = Euter(state.range(0));
+  const idl::Table& t = *db.FindTable("r");
+  for (auto _ : state) {
+    idl::ResultSet rs = ScanAll(t);
+    benchmark::DoNotOptimize(rs.rows.data());
+  }
+  state.counters["rows"] = static_cast<double>(t.NumRows());
+}
+BENCHMARK(BM_Scan)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Select(benchmark::State& state) {
+  idl::RelationalDatabase db = Euter(state.range(0));
+  idl::ResultSet all = ScanAll(*db.FindTable("r"));
+  for (auto _ : state) {
+    auto rs = Select(all, "clsPrice", idl::RelOp::kGt, idl::Value::Real(200));
+    IDL_BENCH_CHECK(rs.ok());
+  }
+  state.counters["rows"] = static_cast<double>(all.rows.size());
+}
+BENCHMARK(BM_Select)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HashJoin(benchmark::State& state) {
+  idl::RelationalDatabase db = Euter(state.range(0));
+  idl::ResultSet all = ScanAll(*db.FindTable("r"));
+  for (auto _ : state) {
+    auto rs = HashJoin(all, all, "date", "date");
+    IDL_BENCH_CHECK(rs.ok());
+    benchmark::DoNotOptimize(rs->rows.size());
+  }
+  state.counters["rows"] = static_cast<double>(all.rows.size());
+}
+BENCHMARK(BM_HashJoin)->Arg(10)->Arg(50)->Arg(200)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GroupBy(benchmark::State& state) {
+  idl::RelationalDatabase db = Euter(state.range(0));
+  idl::ResultSet all = ScanAll(*db.FindTable("r"));
+  for (auto _ : state) {
+    auto rs = GroupBy(all, {"stkCode"},
+                      {idl::AggSpec{idl::AggFn::kMax, "clsPrice", "maxP"},
+                       idl::AggSpec{idl::AggFn::kAvg, "clsPrice", "avgP"}});
+    IDL_BENCH_CHECK(rs.ok() && rs->rows.size() == 10);
+  }
+  state.counters["rows"] = static_cast<double>(all.rows.size());
+}
+BENCHMARK(BM_GroupBy)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PivotOp(benchmark::State& state) {
+  idl::RelationalDatabase db = Euter(state.range(0));
+  const idl::Table& t = *db.FindTable("r");
+  for (auto _ : state) {
+    auto p = Pivot(t, "date", "stkCode", "clsPrice");
+    IDL_BENCH_CHECK(p.ok());
+  }
+  state.counters["rows"] = static_cast<double>(t.NumRows());
+}
+BENCHMARK(BM_PivotOp)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AdapterLift(benchmark::State& state) {
+  idl::RelationalDatabase db = Euter(state.range(0));
+  for (auto _ : state) {
+    idl::Value lifted = LiftDatabase(db);
+    benchmark::DoNotOptimize(lifted.TupleSize());
+  }
+  state.counters["rows"] = static_cast<double>(10 * state.range(0));
+}
+BENCHMARK(BM_AdapterLift)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AdapterLower(benchmark::State& state) {
+  idl::RelationalDatabase db = Euter(state.range(0));
+  idl::Value lifted = LiftDatabase(db);
+  for (auto _ : state) {
+    auto lowered = LowerDatabase("euter", lifted);
+    IDL_BENCH_CHECK(lowered.ok());
+  }
+  state.counters["rows"] = static_cast<double>(10 * state.range(0));
+}
+BENCHMARK(BM_AdapterLower)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IndexedProbeVsScan(benchmark::State& state) {
+  idl::RelationalDatabase db = Euter(state.range(0));
+  idl::Table* t = db.FindTable("r");
+  IDL_BENCH_CHECK(t->CreateIndex("stkCode").ok());
+  idl::Value key = idl::Value::String("stk7");
+  for (auto _ : state) {
+    auto hits = t->Probe("stkCode", key);
+    IDL_BENCH_CHECK(hits.ok());
+    benchmark::DoNotOptimize(hits->size());
+  }
+  state.counters["rows"] = static_cast<double>(t->NumRows());
+}
+BENCHMARK(BM_IndexedProbeVsScan)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,106 @@
+// U-series: throughput of the §5 update expressions — set insert/delete
+// pairs, query-dependent deletes, atomic nulling, attribute
+// creation/deletion — against each schema shape.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "update/applier.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+using idl_bench::MustQuery;
+
+void ApplyOrDie(idl::Value* universe, const idl::Query& q) {
+  auto r = ApplyUpdateRequest(universe, q);
+  IDL_BENCH_CHECK(r.ok());
+}
+
+// Insert+delete of the same euter tuple: net-zero pair throughput.
+void BM_U1_InsertDeletePair_Euter(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(10, state.range(0));
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query ins =
+      MustQuery("?.euter.r+(.date=9/9/99,.stkCode=zzz,.clsPrice=1)");
+  idl::Query del = MustQuery("?.euter.r-(.date=9/9/99,.stkCode=zzz)");
+  for (auto _ : state) {
+    ApplyOrDie(&universe, ins);
+    ApplyOrDie(&universe, del);
+  }
+  state.counters["relation_rows"] =
+      static_cast<double>(10 * state.range(0));
+}
+BENCHMARK(BM_U1_InsertDeletePair_Euter)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+// U2: query-dependent delete + reinsert (the delete must first bind C).
+void BM_U2_QueryDependentRoundTrip(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(10, state.range(0));
+  idl::Value universe = BuildStockUniverse(w);
+  std::string date = w.dates[0].ToString();
+  idl::Query cycle = MustQuery(
+      "?.euter.r-(.date=" + date + ",.stkCode=stk0,.clsPrice=C),"
+      ".euter.r+(.date=" + date + ",.stkCode=stk0,.clsPrice=C)");
+  for (auto _ : state) ApplyOrDie(&universe, cycle);
+}
+BENCHMARK(BM_U2_QueryDependentRoundTrip)->Arg(10)->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+// U3: atomic null / rewrite of a chwab cell (one row among many, one
+// attribute among many).
+void BM_U3_AtomicCellUpdate_Chwab(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), 50);
+  idl::Value universe = BuildStockUniverse(w);
+  std::string date = w.dates[7].ToString();
+  idl::Query null_it =
+      MustQuery("?.chwab.r(.date=" + date + ", .stk0-=X)");
+  idl::Query restore =
+      MustQuery("?.chwab.r(.date=" + date + ", .stk0+=55)");
+  for (auto _ : state) {
+    ApplyOrDie(&universe, null_it);
+    ApplyOrDie(&universe, restore);
+  }
+  state.counters["attrs"] = static_cast<double>(state.range(0) + 1);
+}
+BENCHMARK(BM_U3_AtomicCellUpdate_Chwab)->Arg(4)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+// U4: the delete-then-insert composition with arithmetic (price += 1,
+// then -= 1 to stay net-zero across iterations).
+void BM_U4_DeleteInsertComposition(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(8, state.range(0));
+  idl::Value universe = BuildStockUniverse(w);
+  std::string date = w.dates[0].ToString();
+  idl::Query up = MustQuery(
+      "?.chwab.r-(.date=" + date + ",.stk0=C), "
+      ".chwab.r+(.date=" + date + ",.stk0=C+1)");
+  idl::Query down = MustQuery(
+      "?.chwab.r-(.date=" + date + ",.stk0=C), "
+      ".chwab.r+(.date=" + date + ",.stk0=C-1)");
+  for (auto _ : state) {
+    ApplyOrDie(&universe, up);
+    ApplyOrDie(&universe, down);
+  }
+}
+BENCHMARK(BM_U4_DeleteInsertComposition)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+// Metadata update: create + drop a relation in ource.
+void BM_RelationCreateDrop_Ource(benchmark::State& state) {
+  idl::StockWorkload w = MakeWorkload(state.range(0), 10);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::Query create = MustQuery("?.ource+.zzz");
+  idl::Query fill = MustQuery("?.ource.zzz+(.date=9/9/99,.clsPrice=1)");
+  idl::Query drop = MustQuery("?.ource-.zzz");
+  for (auto _ : state) {
+    ApplyOrDie(&universe, create);
+    ApplyOrDie(&universe, fill);
+    ApplyOrDie(&universe, drop);
+  }
+  state.counters["relations"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RelationCreateDrop_Ource)->Arg(4)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Shared helpers for the benchmark binaries.
+
+#ifndef IDL_BENCH_BENCH_UTIL_H_
+#define IDL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "eval/query.h"
+#include "idl/session.h"
+#include "syntax/parser.h"
+#include "workload/paper_universe.h"
+#include "workload/stock_gen.h"
+
+namespace idl_bench {
+
+inline idl::Query MustQuery(const std::string& text) {
+  auto q = idl::ParseQuery(text);
+  if (!q.ok()) {
+    std::fprintf(stderr, "bad bench query %s: %s\n", text.c_str(),
+                 q.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(q).value();
+}
+
+// Evaluates and returns the row count; aborts on error (benches must not
+// silently measure failures).
+inline size_t RunQuery(const idl::Value& universe, const idl::Query& query,
+                       idl::EvalStats* stats = nullptr) {
+  auto a = idl::EvaluateQuery(universe, query, idl::EvalOptions(), stats);
+  if (!a.ok()) {
+    std::fprintf(stderr, "bench query failed: %s\n",
+                 a.status().ToString().c_str());
+    std::abort();
+  }
+  return a->rows.size();
+}
+
+inline idl::StockWorkload MakeWorkload(size_t stocks, size_t days,
+                                       double discrepancy_rate = 0.0,
+                                       bool name_discrepancies = false) {
+  return idl::GenerateStockWorkload({.num_stocks = stocks,
+                                     .num_days = days,
+                                     .seed = 42,
+                                     .discrepancy_rate = discrepancy_rate,
+                                     .name_discrepancies = name_discrepancies});
+}
+
+#define IDL_BENCH_CHECK(cond)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "bench check failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                         \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+}  // namespace idl_bench
+
+#endif  // IDL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,44 @@
+// V3: the higher-order view dbO — a single rule whose *head* relation name
+// is data dependent. A first-order view system needs one CREATE VIEW per
+// stock; IDL needs one rule regardless. Cost and derived-relation count as
+// the number of stocks grows (days fixed).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "views/engine.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+
+void BM_HigherOrderViewDbO(benchmark::State& state) {
+  size_t stocks = state.range(0);
+  idl::StockWorkload w = MakeWorkload(stocks, 10);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::ViewEngine engine;
+  // dbI.p from euter only, then dbO from dbI.p.
+  auto r1 = idl::ParseRule(
+      ".dbI.p(.date=D, .stk=S, .clsPrice=P) <- "
+      ".euter.r(.date=D, .stkCode=S, .clsPrice=P)");
+  auto r2 = idl::ParseRule(
+      ".dbO.S(.date=D, .clsPrice=P) <- .dbI.p(.date=D, .stk=S, .clsPrice=P)");
+  IDL_BENCH_CHECK(r1.ok() && r2.ok());
+  IDL_BENCH_CHECK(engine.AddRule(std::move(r1).value()).ok());
+  IDL_BENCH_CHECK(engine.AddRule(std::move(r2).value()).ok());
+  size_t relations = 0;
+  for (auto _ : state) {
+    auto m = engine.Materialize(universe);
+    IDL_BENCH_CHECK(m.ok());
+    relations = m->universe.FindField("dbO")->TupleSize();
+    IDL_BENCH_CHECK(relations == stocks);
+  }
+  // One rule defined `relations` relations: the count a first-order system
+  // would need as separate view definitions.
+  state.counters["derived_relations"] = static_cast<double>(relations);
+  state.counters["rules"] = 2;
+}
+BENCHMARK(BM_HigherOrderViewDbO)->Arg(4)->Arg(16)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,46 @@
+// V5: name-discrepancy reconciliation through explicit mapping relations
+// (mapCE/mapOE, §6). Measures the overhead of joining every chwab/ource
+// fact through the mapping relation versus the direct (name-identity)
+// unification.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "views/engine.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+
+void RunUnification(benchmark::State& state, bool mapped) {
+  size_t stocks = state.range(0);
+  idl::StockWorkload w = MakeWorkload(stocks, 15, 0.0, mapped);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::ViewEngine engine;
+  for (size_t i = 0; i < 3; ++i) {
+    auto rule = idl::ParseRule(idl::PaperViewRules(mapped)[i]);
+    IDL_BENCH_CHECK(rule.ok());
+    IDL_BENCH_CHECK(engine.AddRule(std::move(rule).value()).ok());
+  }
+  for (auto _ : state) {
+    auto m = engine.Materialize(universe);
+    IDL_BENCH_CHECK(m.ok());
+    IDL_BENCH_CHECK(
+        m->universe.FindField("dbI")->FindField("p")->SetSize() ==
+        stocks * 15);
+  }
+}
+
+void BM_Unify_NameIdentity(benchmark::State& state) {
+  RunUnification(state, /*mapped=*/false);
+}
+BENCHMARK(BM_Unify_NameIdentity)->Arg(4)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Unify_ThroughNameMappings(benchmark::State& state) {
+  RunUnification(state, /*mapped=*/true);
+}
+BENCHMARK(BM_Unify_ThroughNameMappings)->Arg(4)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

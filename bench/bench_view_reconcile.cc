@@ -1,0 +1,51 @@
+// V4: value-discrepancy reconciliation. With a discrepancy rate d, the
+// unified view p carries both prices for ~d of the (stock, day) cells (§6:
+// "both prices are in the user's view"); pnew reconciles to one via a
+// negation rule. Measures materialization cost and the surviving row counts
+// as d grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "views/engine.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+
+void BM_ReconcileDiscrepancies(benchmark::State& state) {
+  double rate = static_cast<double>(state.range(0)) / 100.0;
+  size_t stocks = 8, days = 15;
+  idl::StockWorkload w = MakeWorkload(stocks, days, rate);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::ViewEngine engine;
+  for (size_t i = 0; i < 3; ++i) {
+    auto rule = idl::ParseRule(idl::PaperViewRules()[i]);
+    IDL_BENCH_CHECK(rule.ok());
+    IDL_BENCH_CHECK(engine.AddRule(std::move(rule).value()).ok());
+  }
+  auto pnew = idl::ParseRule(
+      ".dbI.pnew(.date=D, .stk=S, .clsPrice=P) <- "
+      ".dbI.p(.date=D, .stk=S, .clsPrice=P), "
+      ".dbI.p!(.date=D, .stk=S, .clsPrice<P)");
+  IDL_BENCH_CHECK(pnew.ok());
+  IDL_BENCH_CHECK(engine.AddRule(std::move(pnew).value()).ok());
+
+  size_t p_rows = 0, pnew_rows = 0;
+  for (auto _ : state) {
+    auto m = engine.Materialize(universe);
+    IDL_BENCH_CHECK(m.ok());
+    p_rows = m->universe.FindField("dbI")->FindField("p")->SetSize();
+    pnew_rows = m->universe.FindField("dbI")->FindField("pnew")->SetSize();
+  }
+  // p holds both prices for discrepant cells; pnew exactly one per cell.
+  IDL_BENCH_CHECK(pnew_rows == stocks * days);
+  IDL_BENCH_CHECK(p_rows >= pnew_rows);
+  state.counters["p_rows"] = static_cast<double>(p_rows);
+  state.counters["pnew_rows"] = static_cast<double>(pnew_rows);
+  state.counters["extra_rows"] = static_cast<double>(p_rows - pnew_rows);
+}
+BENCHMARK(BM_ReconcileDiscrepancies)->Arg(0)->Arg(10)->Arg(30)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

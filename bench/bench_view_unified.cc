@@ -1,0 +1,44 @@
+// V1: materializing the unified view dbI.p over euter+chwab+ource — three
+// higher-order rules producing stocks x days facts. Cost as data grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "views/engine.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+
+void BM_MaterializeUnifiedView(benchmark::State& state) {
+  size_t stocks = state.range(0);
+  size_t days = state.range(1);
+  idl::StockWorkload w = MakeWorkload(stocks, days);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::ViewEngine engine;
+  // Only the three dbI rules.
+  for (size_t i = 0; i < 3; ++i) {
+    auto rule = idl::ParseRule(idl::PaperViewRules()[i]);
+    IDL_BENCH_CHECK(rule.ok());
+    IDL_BENCH_CHECK(engine.AddRule(std::move(rule).value()).ok());
+  }
+  uint64_t facts = 0;
+  for (auto _ : state) {
+    auto m = engine.Materialize(universe);
+    IDL_BENCH_CHECK(m.ok());
+    facts = m->facts_derived;
+    IDL_BENCH_CHECK(
+        m->universe.FindField("dbI")->FindField("p")->SetSize() ==
+        stocks * days);
+  }
+  state.counters["facts_per_iter"] = static_cast<double>(facts);
+  state.counters["view_rows"] = static_cast<double>(stocks * days);
+}
+BENCHMARK(BM_MaterializeUnifiedView)
+    ->Args({4, 10})
+    ->Args({8, 25})
+    ->Args({16, 50})
+    ->Args({32, 50})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

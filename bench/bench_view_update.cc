@@ -1,0 +1,75 @@
+// P4: view updatability end to end — an update request against the dbE
+// customized view, translated by the §7.2 programs into base updates, plus
+// the re-materialization a subsequent view query pays. The faithfulness
+// check (the updated view reflects the update) runs inside the measured
+// region, as it is part of the paper's contract.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+
+void BM_ViewUpdateThroughProgram(benchmark::State& state) {
+  size_t stocks = state.range(0);
+  idl::StockWorkload w = MakeWorkload(stocks, 15);
+  idl::Session session;
+  IDL_BENCH_CHECK(session.RegisterDatabase(BuildEuterDatabase(w)).ok());
+  IDL_BENCH_CHECK(session.RegisterDatabase(BuildChwabDatabase(w)).ok());
+  IDL_BENCH_CHECK(session.RegisterDatabase(BuildOurceDatabase(w)).ok());
+  IDL_BENCH_CHECK(session.DefineRules(idl::PaperViewRules()).ok());
+  IDL_BENCH_CHECK(session.DefinePrograms(idl::PaperUpdatePrograms()).ok());
+
+  std::string d = w.dates[4].ToString();
+  std::string ins =
+      "?.dbE.r+(.date=" + d + ", .stkCode=stk0, .clsPrice=777.0)";
+  std::string del = "?.dbE.r-(.date=" + d + ", .stkCode=stk0)";
+  std::string check = "?.dbE.r(.date=" + d + ", .stkCode=stk0, .clsPrice=777.0)";
+
+  for (auto _ : state) {
+    IDL_BENCH_CHECK(session.Update(ins).ok());
+    auto visible = session.Query(check);  // forces re-materialization
+    IDL_BENCH_CHECK(visible.ok() && visible->boolean());
+    IDL_BENCH_CHECK(session.Update(del).ok());
+  }
+  state.counters["stocks"] = static_cast<double>(stocks);
+}
+BENCHMARK(BM_ViewUpdateThroughProgram)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// The base-update path without the view layer, for comparison: same
+// translation called directly as a program.
+void BM_BaseUpdateWithoutViewLayer(benchmark::State& state) {
+  size_t stocks = state.range(0);
+  idl::StockWorkload w = MakeWorkload(stocks, 15);
+  idl::Session session;
+  IDL_BENCH_CHECK(session.RegisterDatabase(BuildEuterDatabase(w)).ok());
+  IDL_BENCH_CHECK(session.RegisterDatabase(BuildChwabDatabase(w)).ok());
+  IDL_BENCH_CHECK(session.RegisterDatabase(BuildOurceDatabase(w)).ok());
+  IDL_BENCH_CHECK(session.DefinePrograms(idl::PaperUpdatePrograms()).ok());
+
+  idl::Value stk = idl::Value::String("stk0");
+  idl::Value date = idl::Value::Of(w.dates[4]);
+  idl::Value price = idl::Value::Real(777.0);
+  std::string check = "?.euter.r(.date=" + w.dates[4].ToString() +
+                      ", .stkCode=stk0, .clsPrice=777.0)";
+  for (auto _ : state) {
+    IDL_BENCH_CHECK(
+        session
+            .CallProgram("dbU.insStk",
+                         {{"stk", stk}, {"date", date}, {"price", price}})
+            .ok());
+    auto visible = session.Query(check);
+    IDL_BENCH_CHECK(visible.ok() && visible->boolean());
+    IDL_BENCH_CHECK(
+        session.CallProgram("dbU.delStk", {{"stk", stk}, {"date", date}})
+            .ok());
+  }
+  state.counters["stocks"] = static_cast<double>(stocks);
+}
+BENCHMARK(BM_BaseUpdateWithoutViewLayer)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

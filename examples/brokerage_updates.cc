@@ -1,0 +1,116 @@
+// Brokerage updates: Section 7 in action. A brokerage administrator sets up
+// the delStk/rmStk/addStk/insStk update programs once; after that,
+//   * operators call the programs with full or partial bindings;
+//   * end users update through their *customized view* (dbE) and the §7.2
+//     view-update programs translate to the right base updates — deleting a
+//     stock means deleting tuples in euter, an attribute in chwab, and a
+//     whole relation in ource, but no caller needs to know that.
+//
+//   build/examples/brokerage_updates
+
+#include <cstdio>
+
+#include "idl/idl.h"
+
+namespace {
+
+int Die(const idl::Status& st) {
+  std::printf("error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+void Report(idl::Session* session, const char* when) {
+  auto stocks = session->Query("?.dbI.p(.stk=S)");
+  auto u = session->universe();
+  if (!stocks.ok()) {
+    Die(stocks.status());
+    return;
+  }
+  std::printf("%-34s unified view covers %zu stocks; dbO has %zu relations\n",
+              when, stocks->rows.size(),
+              u.ok() ? (*u)->FindField("dbO")->TupleSize() : 0);
+}
+
+}  // namespace
+
+int main() {
+  idl::StockWorkload w =
+      idl::GenerateStockWorkload({.num_stocks = 5, .num_days = 8, .seed = 3});
+
+  idl::Session session;
+  for (auto* build : {&idl::BuildEuterDatabase, &idl::BuildChwabDatabase,
+                            &idl::BuildOurceDatabase}) {
+    if (auto st = session.RegisterDatabase((*build)(w)); !st.ok()) {
+      return Die(st);
+    }
+  }
+  if (auto st = session.DefineRules(idl::PaperViewRules()); !st.ok()) {
+    return Die(st);
+  }
+  // The administrator registers the update programs (once).
+  if (auto st = session.DefinePrograms(idl::PaperUpdatePrograms()); !st.ok()) {
+    return Die(st);
+  }
+
+  Report(&session, "initially:");
+
+  // Full binding: drop one quote.
+  auto r1 = session.CallProgram(
+      "dbU.delStk", {{"stk", idl::Value::String("stk2")},
+                     {"date", idl::Value::Of(w.dates[3])}});
+  if (!r1.ok()) return Die(r1.status());
+  std::printf("delStk(stk2, %s): %zu/%zu clauses applied, %llu changes\n",
+              w.dates[3].ToString().c_str(), r1->clauses_succeeded,
+              r1->clauses_total,
+              static_cast<unsigned long long>(r1->counts.Total()));
+
+  // Partial binding: no date — every quote of stk3 disappears, but the
+  // schemas keep the stock's structure (§7.1).
+  auto r2 = session.CallProgram("dbU.delStk",
+                                {{"stk", idl::Value::String("stk3")}});
+  if (!r2.ok()) return Die(r2.status());
+  Report(&session, "after delStk(stk3, all dates):");
+
+  // rmStk removes the stock *structurally*: data, attribute, relation.
+  auto r3 =
+      session.CallProgram("dbU.rmStk", {{"stk", idl::Value::String("stk4")}});
+  if (!r3.ok()) return Die(r3.status());
+  Report(&session, "after rmStk(stk4):");
+
+  // Listing a brand-new stock takes addStk (schema) + insStk (data).
+  if (auto st = session.CallProgram("dbU.addStk",
+                                    {{"stk", idl::Value::String("newco")}});
+      !st.ok()) {
+    return Die(st.status());
+  }
+  for (const auto& date : w.dates) {
+    auto st = session.CallProgram(
+        "dbU.insStk", {{"stk", idl::Value::String("newco")},
+                       {"date", idl::Value::Of(date)},
+                       {"price", idl::Value::Real(99.5)}});
+    if (!st.ok()) return Die(st.status());
+  }
+  Report(&session, "after listing newco:");
+
+  // The binding signature at work: insStk without a price is rejected
+  // *before* touching any database.
+  auto bad = session.CallProgram(
+      "dbU.insStk", {{"stk", idl::Value::String("newco")},
+                     {"date", idl::Value::Of(w.dates[0])}});
+  std::printf("insStk without price -> %s\n",
+              bad.ok() ? "accepted (?!)" : bad.status().ToString().c_str());
+
+  // Finally, a user updates through the dbE view; the §7.2 programs
+  // translate it to all three bases.
+  std::string d = w.dates[0].ToString();
+  auto vu = session.Update("?.dbE.r+(.date=" + d +
+                           ", .stkCode=newco, .clsPrice=101.25)");
+  if (!vu.ok()) return Die(vu.status());
+  bool everywhere =
+      session.Query("?.euter.r(.stkCode=newco, .clsPrice=101.25)")->boolean() &&
+      session.Query("?.chwab.r(.newco=101.25)")->boolean() &&
+      session.Query("?.ource.newco(.clsPrice=101.25)")->boolean();
+  std::printf("view insert via dbE.r visible in all three bases: %s\n",
+              everywhere ? "yes" : "NO");
+  return 0;
+}

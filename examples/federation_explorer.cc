@@ -1,0 +1,81 @@
+// Federation explorer: the multidatabase administration scenario of §4.3 —
+// autonomous databases join and leave a federation, and the higher-order
+// metadata queries discover what is out there: which databases exist, what
+// relations they expose, where a given attribute lives, and which relation
+// names collide across members.
+//
+//   build/examples/federation_explorer
+
+#include <cstdio>
+
+#include "idl/idl.h"
+
+namespace {
+
+void Show(idl::Session* session, const char* title, const char* query) {
+  std::printf("-- %s\n   %s\n", title, query);
+  auto answer = session->Query(query);
+  if (!answer.ok()) {
+    std::printf("   error: %s\n", answer.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n", answer->ToTable().c_str());
+}
+
+}  // namespace
+
+int main() {
+  idl::Session session;
+
+  // Three autonomous members with wildly different schemas: the stock trio
+  // generated at a realistic-but-small scale...
+  idl::StockWorkload w = idl::GenerateStockWorkload(
+      {.num_stocks = 6, .num_days = 10, .seed = 7});
+  for (auto* build : {&idl::BuildEuterDatabase, &idl::BuildChwabDatabase,
+                            &idl::BuildOurceDatabase}) {
+    auto st = session.RegisterDatabase((*build)(w));
+    if (!st.ok()) {
+      std::printf("register: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // ...plus an unrelated HR database that happens to reuse the name `r`.
+  idl::Value hr = idl::MakeTuple(
+      {{"emp", idl::MakeSet({
+                   idl::MakeTuple({{"name", idl::Value::String("john")},
+                                   {"dept", idl::Value::String("db")}}),
+                   idl::MakeTuple({{"name", idl::Value::String("wanda")},
+                                   {"dept", idl::Value::String("os")}}),
+               })},
+       {"r", idl::MakeSet({idl::MakeTuple(
+                 {{"room", idl::Value::String("3u4")}})})}});
+  if (auto st = session.RegisterDatabase("hr", std::move(hr)); !st.ok()) {
+    std::printf("register: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  Show(&session, "Who is in the federation?", "?.X");
+  Show(&session, "Every (database, relation) pair", "?.X.Y");
+  Show(&session, "Relation names used by more than one member",
+       "?.X.Y, .X2.Y, X != X2");
+  Show(&session, "Where does an attribute called clsPrice live?",
+       "?.X.Y(.clsPrice)");
+  Show(&session, "Which members quote stk3 as a *relation*?", "?.X.stk3");
+  Show(&session,
+       "Which members quote stk3 as an *attribute* of some relation?",
+       "?.X.Y(.stk3)");
+  Show(&session, "Members holding data about john", "?.X.Y(.name=john)");
+
+  // A member leaves the federation; the same discovery queries just work.
+  if (auto st = session.RemoveDatabase("chwab"); !st.ok()) {
+    std::printf("remove: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("== chwab left the federation ==\n");
+  Show(&session, "Who is in the federation now?", "?.X");
+  Show(&session, "Who still quotes stk3, and how?",
+       "?.X.stk3");
+
+  return 0;
+}

@@ -1,0 +1,127 @@
+// idl_shell: a script runner for the IDL language.
+//
+//   build/examples/idl_shell script.idl     run a file
+//   build/examples/idl_shell -              read statements from stdin
+//   build/examples/idl_shell                run the built-in demo script
+//
+// Scripts are ';'-separated statements: rules (head <- body), update
+// programs (head -> body), queries and update requests (?...). The shell
+// preloads the paper's three stock databases so scripts have something to
+// talk to. Query answers print as tables.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "idl/idl.h"
+
+namespace {
+
+constexpr char kDemoScript[] = R"(
+% The two-level mapping of Figure 1:
+.dbI.p(.date=D, .stk=S, .clsPrice=P) <- .euter.r(.date=D, .stkCode=S, .clsPrice=P);
+.dbI.p(.date=D, .stk=S, .clsPrice=P) <- .chwab.r(.date=D, .S=P), S != date;
+.dbI.p(.date=D, .stk=S, .clsPrice=P) <- .ource.S(.date=D, .clsPrice=P);
+
+% Which stocks ever closed above 200, across all three databases?
+?.dbI.p(.stk=S, .clsPrice>200);
+
+% The daily leader:
+?.dbI.p(.date=D, .stk=S, .clsPrice=P), .dbI.p!(.date=D, .clsPrice>P);
+
+% Insert a quote into euter and look at the unified view again:
+?.euter.r+(.date=3/5/85, .stkCode=hp, .clsPrice=321);
+?.dbI.p(.stk=S, .clsPrice>200);
+)";
+
+int Run(idl::Session* session, const std::string& script) {
+  auto statements = idl::ParseStatements(script);
+  if (!statements.ok()) {
+    std::printf("parse error: %s\n",
+                statements.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& statement : *statements) {
+    switch (statement.kind) {
+      case idl::Statement::Kind::kQuery: {
+        std::string text = idl::ToString(statement.query);
+        std::printf("%s\n", text.c_str());
+        auto info = idl::AnalyzeQuery(statement.query);
+        if (!info.ok()) {
+          std::printf("  error: %s\n", info.status().ToString().c_str());
+          return 1;
+        }
+        if (info->is_update_request) {
+          auto r = session->Update(text);
+          if (!r.ok()) {
+            std::printf("  error: %s\n", r.status().ToString().c_str());
+            return 1;
+          }
+          std::printf("  ok: %llu change(s), %zu binding(s)\n\n",
+                      static_cast<unsigned long long>(r->counts.Total()),
+                      r->bindings);
+        } else {
+          auto a = session->Query(text);
+          if (!a.ok()) {
+            std::printf("  error: %s\n", a.status().ToString().c_str());
+            return 1;
+          }
+          std::printf("%s\n", a->ToTable().c_str());
+        }
+        break;
+      }
+      case idl::Statement::Kind::kRule: {
+        std::string text = idl::ToString(statement.rule);
+        auto st = session->DefineRule(text);
+        std::printf("rule    %s  [%s]\n", text.c_str(),
+                    st.ok() ? "ok" : st.ToString().c_str());
+        if (!st.ok()) return 1;
+        break;
+      }
+      case idl::Statement::Kind::kProgramClause: {
+        std::string text = idl::ToString(statement.clause);
+        auto st = session->DefineProgram(text);
+        std::printf("program %s  [%s]\n", text.c_str(),
+                    st.ok() ? "ok" : st.ToString().c_str());
+        if (!st.ok()) return 1;
+        break;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  idl::Session session;
+  idl::PaperUniverse paper = idl::MakePaperUniverse();
+  for (const auto& field : paper.universe.fields()) {
+    if (auto st = session.RegisterDatabase(field.name, field.value);
+        !st.ok()) {
+      std::printf("setup failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::string script;
+  if (argc < 2) {
+    script = kDemoScript;
+  } else if (std::string(argv[1]) == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    script = buffer.str();
+  } else {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::printf("cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    script = buffer.str();
+  }
+  return Run(&session, script);
+}

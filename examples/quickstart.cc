@@ -1,0 +1,69 @@
+// Quickstart: the paper's three stock databases, its flagship queries, and
+// one update — in about sixty lines of API use.
+//
+//   build/examples/quickstart
+
+#include <cstdio>
+
+#include "idl/idl.h"
+
+int main() {
+  using idl::Value;
+
+  // The paper's toy instance: euter / chwab / ource hold the same stock
+  // history under three schematically discrepant schemas.
+  idl::PaperUniverse paper = idl::MakePaperUniverse();
+
+  idl::Session session;
+  for (const auto& field : paper.universe.fields()) {
+    auto st = session.RegisterDatabase(field.name, field.value);
+    if (!st.ok()) {
+      std::printf("register failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto show = [&](const char* title, const char* query) {
+    std::printf("-- %s\n   %s\n", title, query);
+    auto answer = session.Query(query);
+    if (!answer.ok()) {
+      std::printf("   error: %s\n", answer.status().ToString().c_str());
+      return;
+    }
+    std::string table = answer->ToTable();
+    // Indent the rendered table.
+    std::printf("   %s\n", table.empty() ? "(empty)" : table.c_str());
+  };
+
+  // First-order queries against euter (§4.2).
+  show("Did hp ever close above 60?",
+       "?.euter.r(.stkCode=hp, .clsPrice>60)");
+  show("hp's all-time high (negation + inequality join)",
+       "?.euter.r(.stkCode=hp,.clsPrice=P,.date=D),"
+       ".euter.r!(.stkCode=hp, .clsPrice>P)");
+
+  // The same intention against all three schemas (§4.3): in chwab the
+  // variable S ranges over *attribute names*, in ource over *relation
+  // names* — the higher-order queries no relational language can express.
+  show("Any stock above 200 (euter)", "?.euter.r(.stkCode=S, .clsPrice>200)");
+  show("Any stock above 200 (chwab)", "?.chwab.r(.S>200)");
+  show("Any stock above 200 (ource)", "?.ource.S(.clsPrice>200)");
+
+  // Metadata queries (§4.3).
+  show("All databases in the universe", "?.X");
+  show("Databases containing a relation named hp", "?.X.hp");
+
+  // An update request (§5): insert a new closing price into euter.
+  auto update =
+      session.Update("?.euter.r+(.date=3/5/85,.stkCode=hp,.clsPrice=58)");
+  if (!update.ok()) {
+    std::printf("update failed: %s\n", update.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- inserted %llu tuple(s); querying it back:\n",
+              static_cast<unsigned long long>(update->counts.set_inserts));
+  show("hp on 3/5/85", "?.euter.r(.date=3/5/85, .stkCode=hp, .clsPrice=P)");
+
+  std::printf("evaluation stats: %s\n", session.stats().ToString().c_str());
+  return 0;
+}

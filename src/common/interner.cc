@@ -1,0 +1,26 @@
+#include "common/interner.h"
+
+#include "common/logging.h"
+
+namespace idl {
+
+StringInterner::Id StringInterner::Intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  Id id = static_cast<Id>(strings_.size());
+  strings_.emplace_back(s);
+  ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+StringInterner::Id StringInterner::Find(std::string_view s) const {
+  auto it = ids_.find(std::string(s));
+  return it == ids_.end() ? kNotInterned : it->second;
+}
+
+const std::string& StringInterner::Lookup(Id id) const {
+  IDL_CHECK(id < strings_.size());
+  return strings_[id];
+}
+
+}  // namespace idl

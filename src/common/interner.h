@@ -1,0 +1,45 @@
+// StringInterner: maps strings to small dense ids and back.
+//
+// Attribute and relation names recur constantly during evaluation; interning
+// turns name comparisons into integer comparisons and lets binding sets store
+// ids instead of strings.
+
+#ifndef IDL_COMMON_INTERNER_H_
+#define IDL_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace idl {
+
+class StringInterner {
+ public:
+  using Id = uint32_t;
+
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  // Returns the id for `s`, creating one if needed. Ids are dense from 0.
+  Id Intern(std::string_view s);
+
+  // Returns the id for `s` or kNotInterned if never interned.
+  static constexpr Id kNotInterned = UINT32_MAX;
+  Id Find(std::string_view s) const;
+
+  // The string for a valid id. Reference valid until the interner dies.
+  const std::string& Lookup(Id id) const;
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, Id> ids_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace idl
+
+#endif  // IDL_COMMON_INTERNER_H_

@@ -1,0 +1,27 @@
+// Invariant-checking macros. IDL_CHECK is always on; violations indicate a
+// bug in this library (never a user error — user errors flow through Status).
+
+#ifndef IDL_COMMON_LOGGING_H_
+#define IDL_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define IDL_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "IDL_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifndef NDEBUG
+#define IDL_DCHECK(cond) IDL_CHECK(cond)
+#else
+#define IDL_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // IDL_COMMON_LOGGING_H_

@@ -1,0 +1,69 @@
+// Result<T>: value-or-Status, the return type of fallible producing calls.
+
+#ifndef IDL_COMMON_RESULT_H_
+#define IDL_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace idl {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error status keeps call sites
+  // terse: `return value;` / `return NotFound(...)`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    IDL_CHECK(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  // Value access. Requires ok().
+  const T& value() const& {
+    IDL_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    IDL_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    IDL_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Unwraps a Result into `lhs`, or propagates its error.
+#define IDL_ASSIGN_OR_RETURN(lhs, expr)                    \
+  IDL_ASSIGN_OR_RETURN_IMPL_(                              \
+      IDL_RESULT_CONCAT_(idl_result_, __LINE__), lhs, expr)
+
+#define IDL_RESULT_CONCAT_INNER_(a, b) a##b
+#define IDL_RESULT_CONCAT_(a, b) IDL_RESULT_CONCAT_INNER_(a, b)
+
+#define IDL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)     \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace idl
+
+#endif  // IDL_COMMON_RESULT_H_

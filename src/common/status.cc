@@ -1,0 +1,102 @@
+#include "common/status.h"
+
+namespace idl {
+
+namespace {
+const std::string kEmpty;
+}  // namespace
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kTypeError:
+      return "type error";
+    case StatusCode::kUnsafe:
+      return "unsafe";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    rep_ = std::make_unique<Rep>(Rep{code, std::move(message)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.rep_ != nullptr) rep_ = std::make_unique<Rep>(*other.rep_);
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return rep_ ? rep_->message : kEmpty;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeName(rep_->code));
+  if (!rep_->message.empty()) {
+    out += ": ";
+    out += rep_->message;
+  }
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return Status();
+  std::string message(context);
+  message += ": ";
+  message += rep_->message;
+  return Status(rep_->code, std::move(message));
+}
+
+Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status AlreadyExists(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status ParseError(std::string message) {
+  return Status(StatusCode::kParseError, std::move(message));
+}
+Status TypeError(std::string message) {
+  return Status(StatusCode::kTypeError, std::move(message));
+}
+Status Unsafe(std::string message) {
+  return Status(StatusCode::kUnsafe, std::move(message));
+}
+Status Unsupported(std::string message) {
+  return Status(StatusCode::kUnsupported, std::move(message));
+}
+Status FailedPrecondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status Internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+}  // namespace idl

@@ -1,0 +1,93 @@
+// Status: the error model used throughout the IDL library.
+//
+// The library does not use C++ exceptions. Every fallible operation returns
+// an idl::Status (or idl::Result<T>, see result.h). A Status is either OK or
+// carries an error code plus a human-readable message that accumulates
+// context as it propagates up the stack.
+
+#ifndef IDL_COMMON_STATUS_H_
+#define IDL_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace idl {
+
+// Error taxonomy. Codes are coarse; the message carries specifics.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // named entity (db, relation, attribute, …) missing
+  kAlreadyExists,     // duplicate registration
+  kParseError,        // lexer/parser rejection (message has line:col)
+  kTypeError,         // expression applied to wrong object category
+  kUnsafe,            // query/rule violates a safety condition
+  kUnsupported,       // legal in the paper but out of scope / disabled
+  kFailedPrecondition,// state does not permit the operation
+  kInternal,          // invariant violation (a bug in this library)
+};
+
+// Returns the canonical lower-case name for `code` (e.g. "parse error").
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // OK status. Cheap: no allocation.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  // Message without the code prefix. Empty for OK.
+  const std::string& message() const;
+
+  // "parse error: unexpected ')' at 1:7", or "ok".
+  std::string ToString() const;
+
+  // Returns a copy of this status with `context` prepended to the message,
+  // separated by ": ". No-op on OK statuses.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<Rep> rep_;  // null == OK
+};
+
+// Constructor helpers, e.g. InvalidArgument("bad relop: ", tok).
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status ParseError(std::string message);
+Status TypeError(std::string message);
+Status Unsafe(std::string message);
+Status Unsupported(std::string message);
+Status FailedPrecondition(std::string message);
+Status Internal(std::string message);
+
+// Propagates a non-OK status to the caller.
+#define IDL_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::idl::Status idl_status_ = (expr);            \
+    if (!idl_status_.ok()) return idl_status_;     \
+  } while (0)
+
+}  // namespace idl
+
+#endif  // IDL_COMMON_STATUS_H_

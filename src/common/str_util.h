@@ -1,0 +1,41 @@
+// Small string formatting helpers shared across the library.
+
+#ifndef IDL_COMMON_STR_UTIL_H_
+#define IDL_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace idl {
+
+// Concatenates the stream representation of all arguments.
+// StrCat(1, " + ", 2.5) == "1 + 2.5".
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// True iff `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Splits `s` on `sep`; keeps empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Quotes `s` as an IDL string literal: wraps in double quotes and escapes
+// backslash, quote, newline and tab.
+std::string QuoteString(std::string_view s);
+
+// Renders a double the way IDL prints numeric atoms: shortest representation
+// that round-trips, always containing '.' or 'e' so it re-lexes as a double.
+std::string DoubleToString(double d);
+
+}  // namespace idl
+
+#endif  // IDL_COMMON_STR_UTIL_H_

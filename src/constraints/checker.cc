@@ -1,0 +1,159 @@
+#include "constraints/checker.h"
+
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "object/value_io.h"
+
+namespace idl {
+
+std::string Violation::ToString() const {
+  std::string_view what;
+  switch (kind) {
+    case Kind::kMissingRelation:
+      what = "missing relation";
+      break;
+    case Kind::kNotATuple:
+      what = "non-tuple element";
+      break;
+    case Kind::kMissingRequired:
+      what = "missing required attribute";
+      break;
+    case Kind::kWrongKind:
+      what = "wrong attribute kind";
+      break;
+    case Kind::kUndeclaredAttr:
+      what = "undeclared attribute";
+      break;
+    case Kind::kKeyViolation:
+      what = "key violation";
+      break;
+  }
+  return StrCat(what, ": ", detail);
+}
+
+void CheckRelation(const Value& relation,
+                   const RelationConstraint& constraint,
+                   std::vector<Violation>* out) {
+  std::string where = StrCat(constraint.db, ".", constraint.rel);
+  if (!relation.is_set()) {
+    out->push_back({Violation::Kind::kMissingRelation,
+                    StrCat(where, " is not a relation")});
+    return;
+  }
+
+  // Key index: canonical key-tuple string -> first witness.
+  std::unordered_map<std::string, std::string> seen_keys;
+
+  for (const auto& element : relation.elements()) {
+    if (!element.is_tuple()) {
+      out->push_back({Violation::Kind::kNotATuple,
+                      StrCat(where, " contains ", ToString(element))});
+      continue;
+    }
+    // Declared attributes: kind + required.
+    for (const auto& spec : constraint.attrs) {
+      const Value* v = element.FindField(spec.name);
+      if (v == nullptr || v->is_null()) {
+        if (spec.required) {
+          out->push_back(
+              {Violation::Kind::kMissingRequired,
+               StrCat(where, ".", spec.name, " absent in ",
+                      ToString(element))});
+        }
+        continue;
+      }
+      if (!ValueMatchesKind(*v, spec.kind)) {
+        out->push_back(
+            {Violation::Kind::kWrongKind,
+             StrCat(where, ".", spec.name, " = ", ToString(*v), " is not ",
+                    AttrKindName(spec.kind))});
+      }
+    }
+    // Closed relations: no undeclared attributes.
+    if (constraint.closed) {
+      for (const auto& field : element.fields()) {
+        if (constraint.FindAttr(field.name) == nullptr) {
+          out->push_back({Violation::Kind::kUndeclaredAttr,
+                          StrCat(where, ".", field.name, " in ",
+                                 ToString(element))});
+        }
+      }
+    }
+    // Key: collect the key projection; tuples missing part of the key are
+    // exempt (the kMissingRequired check covers that when declared
+    // required).
+    if (!constraint.key.empty()) {
+      std::string key_repr;
+      bool complete = true;
+      for (const auto& k : constraint.key) {
+        const Value* v = element.FindField(k);
+        if (v == nullptr || v->is_null()) {
+          complete = false;
+          break;
+        }
+        key_repr += ToString(*v);
+        key_repr += '\x1f';
+      }
+      if (complete) {
+        auto [it, inserted] =
+            seen_keys.emplace(key_repr, ToString(element));
+        if (!inserted) {
+          out->push_back(
+              {Violation::Kind::kKeyViolation,
+               StrCat(where, " key (", Join(constraint.key, ", "),
+                      ") duplicated by ", it->second, " and ",
+                      ToString(element))});
+        }
+      }
+    }
+  }
+}
+
+void ConstraintSet::Add(RelationConstraint constraint) {
+  for (auto& existing : constraints_) {
+    if (existing.db == constraint.db && existing.rel == constraint.rel) {
+      existing = std::move(constraint);
+      return;
+    }
+  }
+  constraints_.push_back(std::move(constraint));
+}
+
+Status ConstraintSet::AddText(std::string_view declaration) {
+  IDL_ASSIGN_OR_RETURN(RelationConstraint c, ParseConstraint(declaration));
+  Add(std::move(c));
+  return Status::Ok();
+}
+
+std::vector<Violation> ConstraintSet::Check(const Value& universe) const {
+  std::vector<Violation> out;
+  for (const auto& constraint : constraints_) {
+    const Value* db =
+        universe.is_tuple() ? universe.FindField(constraint.db) : nullptr;
+    const Value* rel = (db != nullptr && db->is_tuple())
+                           ? db->FindField(constraint.rel)
+                           : nullptr;
+    if (rel == nullptr) {
+      out.push_back({Violation::Kind::kMissingRelation,
+                     StrCat(constraint.db, ".", constraint.rel,
+                            " does not exist")});
+      continue;
+    }
+    CheckRelation(*rel, constraint, &out);
+  }
+  return out;
+}
+
+Status ConstraintSet::Validate(const Value& universe) const {
+  std::vector<Violation> violations = Check(universe);
+  if (violations.empty()) return Status::Ok();
+  std::vector<std::string> lines;
+  lines.reserve(violations.size());
+  for (const auto& v : violations) lines.push_back(v.ToString());
+  return FailedPrecondition(
+      StrCat(violations.size(), " constraint violation(s): ",
+             Join(lines, "; ")));
+}
+
+}  // namespace idl

@@ -1,0 +1,62 @@
+// Constraint checking over universe relations, and the registry a Session
+// consults to validate (and roll back) update requests.
+
+#ifndef IDL_CONSTRAINTS_CHECKER_H_
+#define IDL_CONSTRAINTS_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/constraint.h"
+#include "object/value.h"
+
+namespace idl {
+
+struct Violation {
+  enum class Kind : uint8_t {
+    kMissingRelation,   // the constrained relation does not exist / not a set
+    kNotATuple,         // an element of the relation is not a tuple
+    kMissingRequired,   // a required attribute is absent or null
+    kWrongKind,         // an attribute value has the wrong kind
+    kUndeclaredAttr,    // closed relation carries an undeclared attribute
+    kKeyViolation,      // two tuples agree on the key
+  };
+  Kind kind;
+  std::string detail;  // human-readable, includes db.rel and the culprit
+
+  std::string ToString() const;
+};
+
+// Checks one relation value against `constraint`; appends violations.
+void CheckRelation(const Value& relation,
+                   const RelationConstraint& constraint,
+                   std::vector<Violation>* out);
+
+class ConstraintSet {
+ public:
+  // Declares (or replaces) the constraint for (db, rel).
+  void Add(RelationConstraint constraint);
+  Status AddText(std::string_view declaration);
+
+  size_t size() const { return constraints_.size(); }
+  const std::vector<RelationConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  // Checks every declared constraint against `universe`. A missing database
+  // or relation is a kMissingRelation violation (declaring a constraint
+  // asserts the relation should exist).
+  std::vector<Violation> Check(const Value& universe) const;
+
+  // OK iff Check() returns nothing; otherwise kFailedPrecondition listing
+  // the violations.
+  Status Validate(const Value& universe) const;
+
+ private:
+  std::vector<RelationConstraint> constraints_;
+};
+
+}  // namespace idl
+
+#endif  // IDL_CONSTRAINTS_CHECKER_H_

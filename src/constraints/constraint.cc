@@ -1,0 +1,199 @@
+#include "constraints/constraint.h"
+
+#include "common/str_util.h"
+#include "syntax/lexer.h"
+
+namespace idl {
+
+std::string_view AttrKindName(AttrKind kind) {
+  switch (kind) {
+    case AttrKind::kAny:
+      return "any";
+    case AttrKind::kBool:
+      return "bool";
+    case AttrKind::kInt:
+      return "int";
+    case AttrKind::kDouble:
+      return "double";
+    case AttrKind::kNumber:
+      return "number";
+    case AttrKind::kString:
+      return "string";
+    case AttrKind::kDate:
+      return "date";
+  }
+  return "any";
+}
+
+bool ValueMatchesKind(const Value& v, AttrKind kind) {
+  switch (kind) {
+    case AttrKind::kAny:
+      return true;
+    case AttrKind::kBool:
+      return v.is_bool();
+    case AttrKind::kInt:
+      return v.is_int();
+    case AttrKind::kDouble:
+      return v.is_double();
+    case AttrKind::kNumber:
+      return v.is_number();
+    case AttrKind::kString:
+      return v.is_string();
+    case AttrKind::kDate:
+      return v.is_date();
+  }
+  return false;
+}
+
+const AttrSpec* RelationConstraint::FindAttr(std::string_view name) const {
+  for (const auto& spec : attrs) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::string RelationConstraint::ToString() const {
+  std::string out = StrCat("constrain .", db, ".", rel, " (");
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrCat(attrs[i].name, ": ", AttrKindName(attrs[i].kind),
+                  attrs[i].required ? "!" : "");
+  }
+  out += ")";
+  if (!key.empty()) {
+    out += StrCat(" key (", Join(key, ", "), ")");
+  }
+  if (closed) out += " closed";
+  return out;
+}
+
+namespace {
+
+Result<AttrKind> KindFromName(const std::string& name) {
+  if (name == "any") return AttrKind::kAny;
+  if (name == "bool") return AttrKind::kBool;
+  if (name == "int") return AttrKind::kInt;
+  if (name == "double") return AttrKind::kDouble;
+  if (name == "number") return AttrKind::kNumber;
+  if (name == "string") return AttrKind::kString;
+  if (name == "date") return AttrKind::kDate;
+  return ParseError(StrCat("unknown attribute kind '", name, "'"));
+}
+
+class ConstraintParser {
+ public:
+  explicit ConstraintParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<RelationConstraint> Run() {
+    RelationConstraint c;
+    IDL_RETURN_IF_ERROR(ExpectIdent("constrain"));
+    IDL_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+    IDL_ASSIGN_OR_RETURN(c.db, Ident());
+    IDL_RETURN_IF_ERROR(Expect(TokenKind::kDot));
+    IDL_ASSIGN_OR_RETURN(c.rel, Ident());
+
+    IDL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    if (!Check(TokenKind::kRParen)) {
+      while (true) {
+        AttrSpec spec;
+        IDL_ASSIGN_OR_RETURN(spec.name, Ident());
+        // The ':' of the surface syntax was stripped before lexing (see
+        // ParseConstraint), so the kind name follows directly.
+        IDL_ASSIGN_OR_RETURN(std::string kind_name, Ident());
+        IDL_ASSIGN_OR_RETURN(spec.kind, KindFromName(kind_name));
+        if (Consume(TokenKind::kNeg)) spec.required = true;
+        c.attrs.push_back(std::move(spec));
+        if (Consume(TokenKind::kComma)) continue;
+        break;
+      }
+    }
+    IDL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+
+    if (CheckIdent("key")) {
+      Next();
+      IDL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      while (true) {
+        IDL_ASSIGN_OR_RETURN(std::string k, Ident());
+        c.key.push_back(std::move(k));
+        if (Consume(TokenKind::kComma)) continue;
+        break;
+      }
+      IDL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    }
+    if (CheckIdent("closed")) {
+      Next();
+      c.closed = true;
+    }
+    if (!Check(TokenKind::kEnd)) return Unexpected("end of declaration");
+
+    for (const auto& k : c.key) {
+      if (c.FindAttr(k) == nullptr) {
+        return ParseError(
+            StrCat("key attribute '", k, "' is not declared"));
+      }
+    }
+    return c;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool CheckIdent(std::string_view word) const {
+    return Peek().kind == TokenKind::kIdent && Peek().text == word;
+  }
+  bool Consume(TokenKind kind) {
+    if (Check(kind)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status Unexpected(std::string_view expected) const {
+    return ParseError(
+        StrCat("expected ", expected, ", found ", Peek().Describe()));
+  }
+  Status Expect(TokenKind kind) {
+    if (Consume(kind)) return Status::Ok();
+    return Unexpected(TokenKindName(kind));
+  }
+  Status ExpectIdent(std::string_view word) {
+    if (CheckIdent(word)) {
+      Next();
+      return Status::Ok();
+    }
+    return Unexpected(StrCat("'", word, "'"));
+  }
+  Result<std::string> Ident() {
+    if (!Check(TokenKind::kIdent)) return Unexpected("an identifier");
+    return Next().text;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RelationConstraint> ParseConstraint(std::string_view text) {
+  // The IDL lexer has no ':' token; strip colons before lexing (they are
+  // pure syntax in declarations, never ambiguous).
+  std::string stripped;
+  stripped.reserve(text.size());
+  for (char ch : text) {
+    if (ch == ':') {
+      stripped += ' ';
+    } else {
+      stripped += ch;
+    }
+  }
+  IDL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(stripped));
+  return ConstraintParser(std::move(tokens)).Run();
+}
+
+}  // namespace idl

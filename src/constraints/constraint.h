@@ -1,0 +1,71 @@
+// Integrity constraints over universe relations: attribute kinds, required
+// attributes, and keys — the "other schematic information such as types,
+// keys, referential integrity" that §2 and §8 say the model extends to.
+//
+// A constraint declaration has a compact text form:
+//
+//   constrain .euter.r (date: date!, stkCode: string!, clsPrice: number)
+//       key (date, stkCode)
+//
+// `!` marks a required attribute (the object-model omission of null cells
+// makes "required" meaningful); `number` accepts int or double; `any`
+// accepts every atom. Attributes not listed are allowed unless the
+// declaration ends with `closed`. Keys are value-based: no two tuples of
+// the relation may agree on all key attributes.
+//
+// Constraints are checked against materialized relations (see checker.h);
+// Session uses them to make update requests atomic: apply, validate,
+// roll back on violation.
+
+#ifndef IDL_CONSTRAINTS_CONSTRAINT_H_
+#define IDL_CONSTRAINTS_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "object/value.h"
+
+namespace idl {
+
+// The kinds an attribute declaration may demand.
+enum class AttrKind : uint8_t {
+  kAny,
+  kBool,
+  kInt,
+  kDouble,
+  kNumber,  // int or double
+  kString,
+  kDate,
+};
+
+std::string_view AttrKindName(AttrKind kind);
+bool ValueMatchesKind(const Value& v, AttrKind kind);
+
+struct AttrSpec {
+  std::string name;
+  AttrKind kind = AttrKind::kAny;
+  bool required = false;
+};
+
+struct RelationConstraint {
+  std::string db;
+  std::string rel;
+  std::vector<AttrSpec> attrs;
+  std::vector<std::string> key;  // empty = no key constraint
+  // If true, tuples may not carry attributes outside `attrs`.
+  bool closed = false;
+
+  // nullptr if `name` is not declared.
+  const AttrSpec* FindAttr(std::string_view name) const;
+
+  // Canonical text form (round-trips through ParseConstraint).
+  std::string ToString() const;
+};
+
+// Parses the `constrain .db.rel (...) [key (...)] [closed]` form.
+Result<RelationConstraint> ParseConstraint(std::string_view text);
+
+}  // namespace idl
+
+#endif  // IDL_CONSTRAINTS_CONSTRAINT_H_

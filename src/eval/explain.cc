@@ -1,0 +1,14 @@
+#include "eval/explain.h"
+
+#include "common/str_util.h"
+
+namespace idl {
+
+std::string EvalStats::ToString() const {
+  return StrCat("scanned=", set_elements_scanned,
+                " attrs=", attrs_enumerated, " cmp=", comparisons,
+                " out=", substitutions_emitted, " negprobes=", negation_probes,
+                " idxprobes=", index_probes);
+}
+
+}  // namespace idl

@@ -1,0 +1,37 @@
+// Evaluation statistics: the instrumentation used by benches and
+// EXPERIMENTS.md to substantiate claims about work performed
+// (e.g. one higher-order query scans the chwab relation once, while the
+// first-order expansion scans it once per stock).
+
+#ifndef IDL_EVAL_EXPLAIN_H_
+#define IDL_EVAL_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace idl {
+
+struct EvalStats {
+  uint64_t set_elements_scanned = 0;   // elements visited by set expressions
+  uint64_t attrs_enumerated = 0;       // attribute names tried by HO variables
+  uint64_t comparisons = 0;            // atomic-expression evaluations
+  uint64_t substitutions_emitted = 0;  // satisfying grounding substitutions
+  uint64_t negation_probes = 0;        // existence checks under ¬
+  uint64_t index_probes = 0;           // set matches served by an index
+
+  EvalStats& operator+=(const EvalStats& o) {
+    set_elements_scanned += o.set_elements_scanned;
+    attrs_enumerated += o.attrs_enumerated;
+    comparisons += o.comparisons;
+    substitutions_emitted += o.substitutions_emitted;
+    negation_probes += o.negation_probes;
+    index_probes += o.index_probes;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace idl
+
+#endif  // IDL_EVAL_EXPLAIN_H_

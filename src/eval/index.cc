@@ -1,0 +1,38 @@
+#include "eval/index.h"
+
+namespace idl {
+
+bool SetIndexCache::Probe(const Value& set, const std::string& attr,
+                          const Value& value,
+                          std::vector<uint32_t>* candidates) {
+  candidates->clear();
+  if (!set.is_set() || set.SetSize() < min_set_size_) return false;
+
+  auto& per_set = cache_[static_cast<SetKey>(&set)];
+  auto it = per_set.find(attr);
+  if (it == per_set.end()) {
+    AttrIndex index;
+    const auto& elements = set.elements();
+    for (uint32_t i = 0; i < elements.size(); ++i) {
+      if (!elements[i].is_tuple()) continue;
+      const Value* field = elements[i].FindField(attr);
+      if (field == nullptr || field->is_null()) continue;
+      // Numbers hash by double value so that =50 probes find 50.0 cells
+      // (matching EvalRelOp's cross-kind numeric equality).
+      uint64_t h = field->is_number()
+                       ? Value::Real(field->as_double()).Hash()
+                       : field->Hash();
+      index.by_hash.emplace(h, i);
+    }
+    it = per_set.emplace(attr, std::move(index)).first;
+    ++indexes_built_;
+  }
+
+  uint64_t h = value.is_number() ? Value::Real(value.as_double()).Hash()
+                                 : value.Hash();
+  auto [lo, hi] = it->second.by_hash.equal_range(h);
+  for (auto i = lo; i != hi; ++i) candidates->push_back(i->second);
+  return true;
+}
+
+}  // namespace idl

@@ -1,0 +1,56 @@
+// SetIndexCache: lazily-built equality indexes over relation sets, used by
+// the matcher to accelerate `(… .attr=value …)` probes during one query
+// evaluation.
+//
+// The cache is keyed by set identity (address), so it is only valid while
+// the universe is immutable — it is created per EvaluateQuery /
+// EnumerateBindings call and discarded afterwards. An index over one
+// (set, attribute) pair is built on first probe, and only for sets at least
+// `min_set_size` elements large (scanning smaller sets is cheaper than
+// indexing them).
+
+#ifndef IDL_EVAL_INDEX_H_
+#define IDL_EVAL_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "object/value.h"
+
+namespace idl {
+
+class SetIndexCache {
+ public:
+  explicit SetIndexCache(size_t min_set_size = 32)
+      : min_set_size_(min_set_size) {}
+
+  SetIndexCache(const SetIndexCache&) = delete;
+  SetIndexCache& operator=(const SetIndexCache&) = delete;
+
+  // Candidate element positions of `set` whose `attr` equals `value`
+  // (verified by hash only — the caller re-checks each candidate). Returns
+  // false if the set is below the indexing threshold (caller should scan).
+  bool Probe(const Value& set, const std::string& attr, const Value& value,
+             std::vector<uint32_t>* candidates);
+
+  uint64_t indexes_built() const { return indexes_built_; }
+
+ private:
+  struct AttrIndex {
+    // attribute value hash -> element positions.
+    std::unordered_multimap<uint64_t, uint32_t> by_hash;
+  };
+  using SetKey = const void*;
+
+  size_t min_set_size_;
+  // (set address, attribute) -> index.
+  std::unordered_map<SetKey, std::unordered_map<std::string, AttrIndex>>
+      cache_;
+  uint64_t indexes_built_ = 0;
+};
+
+}  // namespace idl
+
+#endif  // IDL_EVAL_INDEX_H_

@@ -1,0 +1,169 @@
+#include "eval/query.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "eval/index.h"
+#include "eval/matcher.h"
+#include "eval/substitution.h"
+#include "object/value_io.h"
+#include "syntax/analysis.h"
+
+namespace idl {
+
+std::vector<Value> Answer::Column(const std::string& var) const {
+  std::vector<Value> out;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c] == var) {
+      out.reserve(rows.size());
+      for (const auto& row : rows) out.push_back(row[c]);
+      return out;
+    }
+  }
+  return out;
+}
+
+std::string Answer::ToTable() const {
+  if (columns.empty()) {
+    return boolean() ? "true" : "false";
+  }
+  std::vector<std::vector<std::string>> cells;
+  cells.push_back(columns);
+  for (const auto& row : rows) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (const auto& v : row) line.push_back(ToString(v));
+    cells.push_back(std::move(line));
+  }
+  std::vector<size_t> width(columns.size(), 0);
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      width[c] = std::max(width[c], line[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      if (c > 0) out += "  ";
+      out += cells[r][c];
+      out.append(width[c] - cells[r][c].size(), ' ');
+    }
+    out += '\n';
+    if (r == 0) {
+      for (size_t c = 0; c < width.size(); ++c) {
+        if (c > 0) out += "  ";
+        out.append(width[c], '-');
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Recursive conjunct-by-conjunct enumeration.
+struct ConjunctChain {
+  const Value* universe;
+  const std::vector<const Expr*>* conjuncts;
+  Matcher* matcher;
+  const std::function<bool(const Substitution&)>* cb;
+  Status error;
+
+  bool Step(size_t index, Substitution* sigma) {
+    if (index == conjuncts->size()) return (*cb)(*sigma);
+    Result<bool> r = matcher->Match(
+        *universe, *(*conjuncts)[index], sigma,
+        [&](const Substitution&) { return Step(index + 1, sigma); });
+    if (!r.ok()) {
+      error = r.status();
+      return false;
+    }
+    return *r;
+  }
+};
+
+}  // namespace
+
+Result<bool> EnumerateBindings(
+    const Value& universe, const std::vector<ExprPtr>& conjuncts,
+    const EvalOptions& options, EvalStats* stats,
+    const std::function<bool(const Substitution&)>& cb) {
+  EvalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  std::vector<const Expr*> ordered;
+  ordered.reserve(conjuncts.size());
+  if (options.defer_negation) {
+    // Conjuncts carrying negation anywhere (top level or nested inside a
+    // set expression) run after all purely positive conjuncts, so their
+    // variables are bound.
+    for (const auto& c : conjuncts) {
+      if (!ContainsNegation(*c)) ordered.push_back(c.get());
+    }
+    for (const auto& c : conjuncts) {
+      if (ContainsNegation(*c)) ordered.push_back(c.get());
+    }
+  } else {
+    for (const auto& c : conjuncts) ordered.push_back(c.get());
+  }
+
+  SetIndexCache index_cache(options.index_min_set_size);
+  Matcher matcher(stats,
+                  options.use_indexes ? &index_cache : nullptr);
+  Substitution sigma;
+  ConjunctChain chain{&universe, &ordered, &matcher, &cb, Status::Ok()};
+  bool keep_going = chain.Step(0, &sigma);
+  if (!chain.error.ok()) return chain.error;
+  return keep_going;
+}
+
+Result<Answer> EvaluateQuery(const Value& universe, const Query& query,
+                             const EvalOptions& options, EvalStats* stats) {
+  IDL_ASSIGN_OR_RETURN(QueryInfo info, AnalyzeQuery(query));
+  if (info.is_update_request) {
+    return InvalidArgument(
+        "update request passed to EvaluateQuery; use ApplyUpdateRequest");
+  }
+
+  Answer answer;
+  answer.columns = info.free_vars;
+
+  // Row dedup: hash buckets with deep comparison (hash alone would silently
+  // drop distinct rows on collision).
+  std::unordered_map<uint64_t, std::vector<size_t>> seen;
+  EvalStats local_stats;
+  EvalStats* st = stats ? stats : &local_stats;
+
+  Result<bool> r = EnumerateBindings(
+      universe, query.conjuncts, options, st,
+      [&](const Substitution& sigma) {
+        std::vector<Value> row;
+        row.reserve(answer.columns.size());
+        uint64_t h = 0x9e3779b97f4a7c15ULL;
+        for (const auto& var : answer.columns) {
+          const Value* v = sigma.Lookup(var);
+          // A free variable can be unbound when it only occurs in a conjunct
+          // that bound nothing (e.g. under a deferred branch); treat as null.
+          Value val = v ? *v : Value::Null();
+          h = h * 1099511628211ULL ^ val.Hash();
+          row.push_back(std::move(val));
+        }
+        auto& bucket = seen[h];
+        for (size_t idx : bucket) {
+          if (answer.rows[idx] == row) return true;  // duplicate
+        }
+        bucket.push_back(answer.rows.size());
+        ++st->substitutions_emitted;
+        answer.rows.push_back(std::move(row));
+        if (options.max_rows != 0 && answer.rows.size() >= options.max_rows) {
+          return false;
+        }
+        return true;
+      });
+  if (!r.ok()) return r.status();
+  return answer;
+}
+
+}  // namespace idl

@@ -1,0 +1,67 @@
+// Conjunctive query evaluation over the universe (paper §4).
+//
+// A query `? c1, ..., ck` is one tuple expression on the universe whose items
+// are the conjuncts; evaluation enumerates grounding substitutions
+// left-to-right with sideways information passing, and the answer is the set
+// of bindings of the query's positive free variables (§4.2: "the answer to a
+// query is the set of grounding substitutions satisfying the query"). A
+// variable-free query yields a boolean.
+
+#ifndef IDL_EVAL_QUERY_H_
+#define IDL_EVAL_QUERY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/explain.h"
+#include "eval/substitution.h"
+#include "object/value.h"
+#include "syntax/ast.h"
+
+namespace idl {
+
+// The answer to a query: a relation over the free variables.
+struct Answer {
+  std::vector<std::string> columns;        // free variables, in query order
+  std::vector<std::vector<Value>> rows;    // deduplicated bindings
+  bool boolean() const { return !rows.empty(); }
+
+  // The row values for `var` across all rows (convenience for tests).
+  std::vector<Value> Column(const std::string& var) const;
+
+  // Renders as an aligned text table (column headers + rows).
+  std::string ToTable() const;
+};
+
+struct EvalOptions {
+  // Move negated conjuncts after all positive ones (keeps left-to-right
+  // binding order safe without requiring the user to order them).
+  bool defer_negation = true;
+  // Cap on result rows (0 = unlimited).
+  size_t max_rows = 0;
+  // Build equality indexes over large sets for the duration of the
+  // evaluation (ablated by bench_ablation_index).
+  bool use_indexes = true;
+  // Sets smaller than this are scanned, not indexed.
+  size_t index_min_set_size = 32;
+};
+
+// Evaluates a pure query (no update markers) against `universe`.
+// `stats`, if non-null, accumulates work counters.
+Result<Answer> EvaluateQuery(const Value& universe, const Query& query,
+                             const EvalOptions& options = EvalOptions(),
+                             EvalStats* stats = nullptr);
+
+// Evaluates the conjunction and calls back with every satisfying
+// substitution (used by the view engine and the update applier, which need
+// the substitutions themselves rather than a projected answer).
+Result<bool> EnumerateBindings(
+    const Value& universe, const std::vector<ExprPtr>& conjuncts,
+    const EvalOptions& options, EvalStats* stats,
+    const std::function<bool(const Substitution&)>& cb);
+
+}  // namespace idl
+
+#endif  // IDL_EVAL_QUERY_H_

@@ -1,0 +1,72 @@
+#include "eval/substitution.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace idl {
+
+const Value* Substitution::Lookup(const std::string& var) const {
+  // Bindings are few (the variables of one query); linear scan wins over a
+  // map in practice and keeps the trail trivial.
+  for (const auto& b : bindings_) {
+    if (b.var == var) return &b.value;
+  }
+  return nullptr;
+}
+
+void Substitution::Bind(const std::string& var, Value value) {
+  IDL_DCHECK(Lookup(var) == nullptr);
+  bindings_.push_back(Binding{var, std::move(value)});
+}
+
+void Substitution::RollbackTo(size_t mark) {
+  IDL_CHECK(mark <= bindings_.size());
+  bindings_.resize(mark);
+}
+
+bool SameSubstitution(const Substitution& a, const Substitution& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& binding : a.bindings()) {
+    const Value* other = b.Lookup(binding.var);
+    if (other == nullptr || !(*other == binding.value)) return false;
+  }
+  return true;
+}
+
+void DedupSubstitutions(std::vector<Substitution>* subs) {
+  if (subs->size() < 2) return;
+  auto fingerprint = [](const Substitution& s) {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    // Order-insensitive combine (XOR of per-binding hashes).
+    for (const auto& b : s.bindings()) {
+      uint64_t bh = 1469598103934665603ULL;
+      for (char c : b.var) {
+        bh = (bh ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+      }
+      h ^= bh * 31 + b.value.Hash();
+    }
+    return h;
+  };
+  std::vector<Substitution> kept;
+  kept.reserve(subs->size());
+  std::unordered_map<uint64_t, std::vector<size_t>> seen;
+  for (auto& s : *subs) {
+    uint64_t h = fingerprint(s);
+    auto& bucket = seen[h];
+    bool dup = false;
+    for (size_t i : bucket) {
+      if (SameSubstitution(kept[i], s)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      bucket.push_back(kept.size());
+      kept.push_back(std::move(s));
+    }
+  }
+  *subs = std::move(kept);
+}
+
+}  // namespace idl

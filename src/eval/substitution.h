@@ -1,0 +1,53 @@
+// Substitution: a mapping from variables to objects (paper §4.2), with a
+// trail so the matcher can backtrack cheaply.
+
+#ifndef IDL_EVAL_SUBSTITUTION_H_
+#define IDL_EVAL_SUBSTITUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "object/value.h"
+
+namespace idl {
+
+class Substitution {
+ public:
+  Substitution() = default;
+
+  // The value bound to `var`, or nullptr if free.
+  const Value* Lookup(const std::string& var) const;
+  bool IsBound(const std::string& var) const { return Lookup(var) != nullptr; }
+
+  // Binds a currently-free variable. (Rebinding is a bug: callers must
+  // check Lookup first and compare.)
+  void Bind(const std::string& var, Value value);
+
+  // Backtracking: Mark() the trail, Bind() freely, RollbackTo(mark) to undo.
+  size_t Mark() const { return bindings_.size(); }
+  void RollbackTo(size_t mark);
+
+  size_t size() const { return bindings_.size(); }
+
+  struct Binding {
+    std::string var;
+    Value value;
+  };
+  const std::vector<Binding>& bindings() const { return bindings_; }
+
+ private:
+  std::vector<Binding> bindings_;
+};
+
+// True if both bind exactly the same variables to equal values (binding
+// order is irrelevant).
+bool SameSubstitution(const Substitution& a, const Substitution& b);
+
+// Removes duplicate substitutions, keeping first occurrences. The paper's
+// semantics is set-valued (an answer is a *set* of substitutions), so
+// intermediate binding sets may be deduplicated freely.
+void DedupSubstitutions(std::vector<Substitution>* subs);
+
+}  // namespace idl
+
+#endif  // IDL_EVAL_SUBSTITUTION_H_

@@ -1,0 +1,265 @@
+#include "idl/session.h"
+
+#include "common/str_util.h"
+#include "eval/matcher.h"
+#include "relational/adapter.h"
+#include "syntax/analysis.h"
+#include "syntax/parser.h"
+#include "syntax/printer.h"
+
+namespace idl {
+
+Status Session::RegisterDatabase(std::string name, Value db_object) {
+  if (!db_object.is_tuple()) {
+    return TypeError(StrCat("database '", name,
+                            "' must be a tuple of relations"));
+  }
+  if (base_.HasField(name)) {
+    return AlreadyExists(StrCat("database '", name, "'"));
+  }
+  base_.SetField(name, std::move(db_object));
+  Invalidate();
+  return Status::Ok();
+}
+
+Status Session::RegisterDatabase(const RelationalDatabase& db) {
+  return RegisterDatabase(db.name(), LiftDatabase(db));
+}
+
+Status Session::RemoveDatabase(std::string_view name) {
+  if (!base_.RemoveField(name)) {
+    return NotFound(StrCat("database '", name, "'"));
+  }
+  Invalidate();
+  return Status::Ok();
+}
+
+Result<const Value*> Session::universe() {
+  if (views_.rules().empty()) return &base_;  // nothing derived: no copy
+  IDL_RETURN_IF_ERROR(EnsureMaterialized());
+  return &materialized_.universe;
+}
+
+Result<RelationalDatabase> Session::ExportDatabase(const std::string& name) {
+  IDL_ASSIGN_OR_RETURN(const Value* u, universe());
+  const Value* db = u->FindField(name);
+  if (db == nullptr) return NotFound(StrCat("database '", name, "'"));
+  return LowerDatabase(name, *db);
+}
+
+Status Session::DefineRule(std::string_view rule_text) {
+  IDL_ASSIGN_OR_RETURN(Rule rule, ParseRule(rule_text));
+  IDL_RETURN_IF_ERROR(views_.AddRule(std::move(rule)));
+  Invalidate();
+  return Status::Ok();
+}
+
+Status Session::DefineRules(const std::vector<std::string>& rule_texts) {
+  for (const auto& text : rule_texts) {
+    IDL_RETURN_IF_ERROR(DefineRule(text).WithContext(text));
+  }
+  return Status::Ok();
+}
+
+Status Session::DefineProgram(std::string_view clause_text) {
+  IDL_ASSIGN_OR_RETURN(ProgramClause clause, ParseProgramClause(clause_text));
+  return registry_.Register(std::move(clause));
+}
+
+Status Session::DefinePrograms(const std::vector<std::string>& clause_texts) {
+  for (const auto& text : clause_texts) {
+    IDL_RETURN_IF_ERROR(DefineProgram(text).WithContext(text));
+  }
+  return Status::Ok();
+}
+
+Status Session::DeclareConstraint(std::string_view declaration) {
+  return constraints_.AddText(declaration);
+}
+
+Result<CallResult> Session::CallProgram(
+    const std::string& path, const std::map<std::string, Value>& args,
+    UpdateOp view_op) {
+  // With constraints declared, the call is atomic: snapshot, apply,
+  // validate, roll back on violation.
+  Value snapshot;
+  bool guarded = constraints_.size() > 0;
+  if (guarded) snapshot = base_;
+
+  ProgramExecutor executor(&registry_, &base_, &stats_);
+  Result<CallResult> result = executor.Call(path, view_op, args);
+  if (!result.ok()) {
+    if (guarded) base_ = std::move(snapshot);
+    return result.status();
+  }
+  if (guarded) {
+    Status valid = constraints_.Validate(base_);
+    if (!valid.ok()) {
+      base_ = std::move(snapshot);
+      Invalidate();
+      return valid.WithContext(
+          StrCat("program ", path, " rolled back"));
+    }
+  }
+  if (result->counts.Total() > 0) Invalidate();
+  return result;
+}
+
+Result<Answer> Session::Query(std::string_view query_text,
+                              const EvalOptions& options) {
+  IDL_ASSIGN_OR_RETURN(struct Query query, ParseQuery(query_text));
+  IDL_ASSIGN_OR_RETURN(QueryInfo info, AnalyzeQuery(query));
+  if (info.is_update_request) {
+    return InvalidArgument(
+        "this is an update request; use Session::Update for it");
+  }
+  IDL_ASSIGN_OR_RETURN(const Value* u, universe());
+  return EvaluateQuery(*u, query, options, &stats_);
+}
+
+Status Session::EnsureMaterialized() {
+  if (materialized_valid_) return Status::Ok();
+  IDL_ASSIGN_OR_RETURN(materialized_, views_.Materialize(base_, &stats_));
+  derived_paths_ = materialized_.derived_paths;
+  materialized_valid_ = true;
+  return Status::Ok();
+}
+
+bool Session::TargetsDerived(const std::string& path) const {
+  // `path` is the dotted constant prefix of an update conjunct
+  // (e.g. "dbO.stk1" or "dbO"). It targets a derived relation if it equals
+  // a derived path, is a database-level prefix of one, or extends one.
+  for (const auto& derived : derived_paths_) {
+    if (path == derived) return true;
+    if (StartsWith(derived, StrCat(path, "."))) return true;
+    if (StartsWith(path, StrCat(derived, "."))) return true;
+  }
+  return false;
+}
+
+Result<UpdateRequestResult> Session::Update(std::string_view request_text) {
+  IDL_ASSIGN_OR_RETURN(struct Query request, ParseQuery(request_text));
+
+  // With constraints declared, the whole request is atomic and validated.
+  Value snapshot;
+  bool guarded = constraints_.size() > 0;
+  if (guarded) snapshot = base_;
+  Result<UpdateRequestResult> result = UpdateImpl(request);
+  if (guarded) {
+    if (!result.ok()) {
+      base_ = std::move(snapshot);
+      Invalidate();
+      return result;
+    }
+    Status valid = constraints_.Validate(base_);
+    if (!valid.ok()) {
+      base_ = std::move(snapshot);
+      Invalidate();
+      return valid.WithContext("update request rolled back");
+    }
+  }
+  return result;
+}
+
+Result<UpdateRequestResult> Session::UpdateImpl(const struct Query& request) {
+
+  // Make derived_paths_ current so view-targeting conjuncts are detected
+  // even before the first query.
+  if (!views_.rules().empty()) {
+    IDL_RETURN_IF_ERROR(EnsureMaterialized());
+  }
+
+  UpdateRequestResult result;
+  ProgramExecutor executor(&registry_, &base_, &stats_);
+  UpdateApplier applier(&stats_, &result.counts);
+
+  std::vector<Substitution> bindings;
+  bindings.emplace_back();
+
+  for (const auto& conjunct : request.conjuncts) {
+    std::vector<Substitution> next;
+
+    ProgramKey key;
+    if (registry_.MatchCall(*conjunct, &key)) {
+      // Program (or view-update) dispatch.
+      CallResult call;
+      IDL_RETURN_IF_ERROR(executor.ExecuteConjunct(*conjunct, bindings, &next,
+                                                   &call));
+      result.counts += call.counts;
+      if (call.counts.Total() > 0) Invalidate();
+    } else if (conjunct->IsPureQuery()) {
+      IDL_ASSIGN_OR_RETURN(const Value* u, universe());
+      for (const auto& sigma : bindings) {
+        Matcher matcher(&stats_);
+        Substitution working = sigma;
+        Result<bool> r = matcher.Match(*u, *conjunct, &working,
+                                       [&](const Substitution& s) {
+                                         next.push_back(s);
+                                         return true;
+                                       });
+        if (!r.ok()) return r.status();
+      }
+    } else {
+      // Base update. Refuse updates that target derived relations: the
+      // administrator must provide the translation as a program (§7.2).
+      std::string path;
+      UpdateOp op;
+      const Expr* params;
+      if (DecomposeCallShape(*conjunct, &path, &op, &params) &&
+          TargetsDerived(path)) {
+        return Unsupported(StrCat(
+            "'", ToString(*conjunct), "' updates the derived view '", path,
+            "'; no ", (op == UpdateOp::kDelete ? "delete" : "insert"),
+            " update program is registered for it (§7.2)"));
+      }
+      for (const auto& sigma : bindings) {
+        IDL_RETURN_IF_ERROR(
+            applier.ApplyConjunct(&base_, *conjunct, sigma, &next));
+      }
+      if (result.counts.Total() > 0) Invalidate();
+    }
+
+    DedupSubstitutions(&next);
+    bindings = std::move(next);
+    if (bindings.empty()) break;
+  }
+  result.bindings = bindings.size();
+  if (result.counts.Total() > 0) Invalidate();
+  return result;
+}
+
+Result<std::vector<Answer>> Session::ExecuteScript(std::string_view script) {
+  IDL_ASSIGN_OR_RETURN(std::vector<Statement> statements,
+                       ParseStatements(script));
+  std::vector<Answer> answers;
+  for (auto& statement : statements) {
+    switch (statement.kind) {
+      case Statement::Kind::kQuery: {
+        IDL_ASSIGN_OR_RETURN(QueryInfo info, AnalyzeQuery(statement.query));
+        if (info.is_update_request) {
+          IDL_ASSIGN_OR_RETURN(UpdateRequestResult r,
+                               Update(ToString(statement.query)));
+          (void)r;
+        } else {
+          IDL_ASSIGN_OR_RETURN(const Value* u, universe());
+          IDL_ASSIGN_OR_RETURN(
+              Answer a, EvaluateQuery(*u, statement.query, EvalOptions(),
+                                      &stats_));
+          answers.push_back(std::move(a));
+        }
+        break;
+      }
+      case Statement::Kind::kRule:
+        IDL_RETURN_IF_ERROR(views_.AddRule(std::move(statement.rule)));
+        Invalidate();
+        break;
+      case Statement::Kind::kProgramClause:
+        IDL_RETURN_IF_ERROR(
+            registry_.Register(std::move(statement.clause)));
+        break;
+    }
+  }
+  return answers;
+}
+
+}  // namespace idl

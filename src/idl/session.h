@@ -1,0 +1,139 @@
+// Session: the public API of the IDL library.
+//
+// A session owns the base universe (registered databases), the view rules,
+// and the update-program registry. Queries run against the *merged* universe
+// (base plus materialized views, recomputed lazily after changes); update
+// requests run against the base universe, with conjuncts that target a
+// registered update program dispatched through it — including view-update
+// programs (§7.2), which is how an update through a customized view reaches
+// the base databases.
+//
+// Typical use (see examples/quickstart.cc):
+//   Session session;
+//   session.RegisterDatabase(BuildEuterDatabase(w));
+//   session.DefineRules(PaperViewRules());
+//   auto answer = session.Query("?.dbI.p(.stk=S, .clsPrice>200)");
+
+#ifndef IDL_IDL_SESSION_H_
+#define IDL_IDL_SESSION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/checker.h"
+#include "eval/explain.h"
+#include "eval/query.h"
+#include "object/value.h"
+#include "programs/executor.h"
+#include "programs/program.h"
+#include "relational/database.h"
+#include "update/applier.h"
+#include "views/engine.h"
+
+namespace idl {
+
+class Session {
+ public:
+  Session() = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // ---- Universe management -------------------------------------------------
+
+  // Registers a database object (a tuple of relation sets).
+  Status RegisterDatabase(std::string name, Value db_object);
+  // Lifts a relational database through the adapter and registers it.
+  Status RegisterDatabase(const RelationalDatabase& db);
+  Status RemoveDatabase(std::string_view name);
+
+  const Value& base_universe() const { return base_; }
+
+  // The merged universe: base plus materialized views. Recomputed lazily.
+  Result<const Value*> universe();
+
+  // Lowers a database of the *merged* universe back to relational form
+  // (write-back path for substrate databases, export path for views).
+  Result<RelationalDatabase> ExportDatabase(const std::string& name);
+
+  // ---- Views (§6) ------------------------------------------------------------
+
+  Status DefineRule(std::string_view rule_text);
+  Status DefineRules(const std::vector<std::string>& rule_texts);
+  // "db.rel" paths of relations created by rules in the last
+  // materialization.
+  const std::vector<std::string>& derived_paths() const {
+    return derived_paths_;
+  }
+  const Materialized* last_materialization() const {
+    return materialized_valid_ ? &materialized_ : nullptr;
+  }
+
+  // ---- Integrity constraints (§2/§8's types & keys) -------------------------
+
+  // Declares a constraint, e.g.
+  //   "constrain .euter.r (date: date!, stkCode: string!, "
+  //   "clsPrice: number) key (date, stkCode)"
+  // While any constraints are declared, Update and CallProgram become
+  // *atomic and validated*: the base universe is snapshotted, the request
+  // applied, the constraints checked, and on violation the snapshot is
+  // restored and kFailedPrecondition returned.
+  Status DeclareConstraint(std::string_view declaration);
+  const ConstraintSet& constraints() const { return constraints_; }
+  // Checks the current base universe (e.g. after registering databases).
+  Status ValidateConstraints() const { return constraints_.Validate(base_); }
+
+  // ---- Update programs (§7) ---------------------------------------------------
+
+  Status DefineProgram(std::string_view clause_text);
+  Status DefinePrograms(const std::vector<std::string>& clause_texts);
+  Result<CallResult> CallProgram(const std::string& path,
+                                 const std::map<std::string, Value>& args,
+                                 UpdateOp view_op = UpdateOp::kNone);
+  const ProgramRegistry& programs() const { return registry_; }
+
+  // ---- Queries and update requests -------------------------------------------
+
+  // Evaluates a pure query ("?...") against the merged universe.
+  Result<Answer> Query(std::string_view query_text,
+                       const EvalOptions& options = EvalOptions());
+
+  // Applies an update request ("?..." with +/- expressions). Pure query
+  // conjuncts read the merged universe; update conjuncts write the base
+  // universe; conjuncts naming a registered program (including view-update
+  // programs) are dispatched to it. Updating a derived relation without a
+  // program is an error (§7.2: the administrator must supply the
+  // translation).
+  Result<UpdateRequestResult> Update(std::string_view request_text);
+
+  // Parses and runs a ';'-separated script of rules, program definitions,
+  // queries and update requests; returns the answers of the query
+  // statements in order.
+  Result<std::vector<Answer>> ExecuteScript(std::string_view script);
+
+  // Cumulative evaluation statistics (reset with ResetStats).
+  const EvalStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EvalStats(); }
+
+ private:
+  Status EnsureMaterialized();
+  Result<UpdateRequestResult> UpdateImpl(const struct Query& request);
+  void Invalidate() { materialized_valid_ = false; }
+  // True if an update conjunct with this decomposed path targets a derived
+  // relation.
+  bool TargetsDerived(const std::string& path) const;
+
+  Value base_ = Value::EmptyTuple();
+  ViewEngine views_;
+  ProgramRegistry registry_;
+  ConstraintSet constraints_;
+  Materialized materialized_;
+  bool materialized_valid_ = false;
+  std::vector<std::string> derived_paths_;
+  EvalStats stats_;
+};
+
+}  // namespace idl
+
+#endif  // IDL_IDL_SESSION_H_

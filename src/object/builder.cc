@@ -1,0 +1,18 @@
+#include "object/builder.h"
+
+namespace idl {
+
+Value MakeTuple(
+    std::initializer_list<std::pair<std::string, Value>> fields) {
+  Value t = Value::EmptyTuple();
+  for (const auto& [name, v] : fields) t.SetField(name, v);
+  return t;
+}
+
+Value MakeSet(std::initializer_list<Value> elems) {
+  Value s = Value::EmptySet();
+  for (const auto& e : elems) s.Insert(e);
+  return s;
+}
+
+}  // namespace idl

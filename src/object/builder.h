@@ -1,0 +1,49 @@
+// Fluent construction helpers for tuples, sets, relations and databases.
+
+#ifndef IDL_OBJECT_BUILDER_H_
+#define IDL_OBJECT_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "object/value.h"
+
+namespace idl {
+
+// MakeTuple({{"name", Value::String("john")}, {"sal", Value::Int(10000)}}).
+Value MakeTuple(
+    std::initializer_list<std::pair<std::string, Value>> fields);
+
+// MakeSet({v1, v2, ...}); duplicates collapse.
+Value MakeSet(std::initializer_list<Value> elems);
+
+// Incremental builders (clearer than chains of SetField/Insert).
+class TupleBuilder {
+ public:
+  TupleBuilder& Set(std::string_view name, Value v) {
+    value_.SetField(name, std::move(v));
+    return *this;
+  }
+  Value Build() && { return std::move(value_); }
+
+ private:
+  Value value_ = Value::EmptyTuple();
+};
+
+class SetBuilder {
+ public:
+  SetBuilder& Add(Value v) {
+    value_.Insert(std::move(v));
+    return *this;
+  }
+  Value Build() && { return std::move(value_); }
+
+ private:
+  Value value_ = Value::EmptySet();
+};
+
+}  // namespace idl
+
+#endif  // IDL_OBJECT_BUILDER_H_

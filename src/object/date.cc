@@ -1,0 +1,96 @@
+#include "object/date.h"
+
+#include <charconv>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace idl {
+
+namespace {
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeap(year)) return 29;
+  return kDays[month - 1];
+}
+
+// Days before January 1 of `year` counted from 1/1/1.
+int64_t DaysBeforeYear(int year) {
+  int64_t y = year - 1;
+  return y * 365 + y / 4 - y / 100 + y / 400;
+}
+
+}  // namespace
+
+Date::Date(int year, int month, int day)
+    : year_(static_cast<int16_t>(year)),
+      month_(static_cast<int8_t>(month)),
+      day_(static_cast<int8_t>(day)) {
+  IDL_CHECK(IsValid(year, month, day));
+}
+
+bool Date::IsValid(int year, int month, int day) {
+  return year >= 1 && year <= 9999 && month >= 1 && month <= 12 && day >= 1 &&
+         day <= DaysInMonth(year, month);
+}
+
+Result<Date> Date::Parse(std::string_view text) {
+  int parts[3] = {0, 0, 0};
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 3; ++i) {
+    auto [next, ec] = std::from_chars(p, end, parts[i]);
+    if (ec != std::errc() || next == p) {
+      return InvalidArgument(StrCat("bad date literal: '", text, "'"));
+    }
+    p = next;
+    if (i < 2) {
+      if (p == end || *p != '/') {
+        return InvalidArgument(StrCat("bad date literal: '", text, "'"));
+      }
+      ++p;
+    }
+  }
+  if (p != end) {
+    return InvalidArgument(StrCat("bad date literal: '", text, "'"));
+  }
+  int year = parts[2];
+  if (year < 100) year += 1900;  // The paper's 3/3/85 means 1985.
+  if (!IsValid(year, parts[0], parts[1])) {
+    return InvalidArgument(StrCat("invalid date: '", text, "'"));
+  }
+  return Date(year, parts[0], parts[1]);
+}
+
+std::string Date::ToString() const {
+  return StrCat(static_cast<int>(month_), "/", static_cast<int>(day_), "/",
+                static_cast<int>(year_));
+}
+
+int64_t Date::DayNumber() const {
+  int64_t n = DaysBeforeYear(year_);
+  for (int m = 1; m < month_; ++m) n += DaysInMonth(year_, m);
+  return n + day_ - 1;
+}
+
+Date Date::FromDayNumber(int64_t n) {
+  IDL_CHECK(n >= 0);
+  // Find the year by estimate then adjust.
+  int year = static_cast<int>(n / 366) + 1;
+  while (DaysBeforeYear(year + 1) <= n) ++year;
+  int64_t rem = n - DaysBeforeYear(year);
+  int month = 1;
+  while (rem >= DaysInMonth(year, month)) {
+    rem -= DaysInMonth(year, month);
+    ++month;
+  }
+  return Date(year, month, static_cast<int>(rem) + 1);
+}
+
+}  // namespace idl

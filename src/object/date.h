@@ -1,0 +1,59 @@
+// Date: the calendar-date atom used by the paper's stock examples (3/3/85).
+//
+// Dates are a distinct atom kind (not strings) so that comparison operators
+// in query expressions (.date>D) order chronologically.
+
+#ifndef IDL_OBJECT_DATE_H_
+#define IDL_OBJECT_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace idl {
+
+class Date {
+ public:
+  // 1/1/1 by default (a valid sentinel-free date).
+  Date() = default;
+  Date(int year, int month, int day);
+
+  static bool IsValid(int year, int month, int day);
+
+  // Parses "M/D/YY" or "M/D/YYYY" (the paper's 3/3/85 style). Two-digit
+  // years are 19xx, matching the paper's 1991 setting.
+  static Result<Date> Parse(std::string_view text);
+
+  int year() const { return year_; }
+  int month() const { return month_; }
+  int day() const { return day_; }
+
+  // "3/3/1985".
+  std::string ToString() const;
+
+  // Days since 1/1/1 (proleptic Gregorian); supports date arithmetic in
+  // generated workloads.
+  int64_t DayNumber() const;
+  static Date FromDayNumber(int64_t n);
+
+  // Chronological ordering.
+  friend bool operator==(const Date& a, const Date& b) {
+    return a.year_ == b.year_ && a.month_ == b.month_ && a.day_ == b.day_;
+  }
+  friend auto operator<=>(const Date& a, const Date& b) {
+    if (a.year_ != b.year_) return a.year_ <=> b.year_;
+    if (a.month_ != b.month_) return a.month_ <=> b.month_;
+    return a.day_ <=> b.day_;
+  }
+
+ private:
+  int16_t year_ = 1;
+  int8_t month_ = 1;
+  int8_t day_ = 1;
+};
+
+}  // namespace idl
+
+#endif  // IDL_OBJECT_DATE_H_

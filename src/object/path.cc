@@ -1,0 +1,87 @@
+#include "object/path.h"
+
+#include "common/str_util.h"
+
+namespace idl {
+
+Result<Path> Path::Parse(std::string_view text) {
+  std::string_view rest = text;
+  if (!rest.empty() && rest[0] == '.') rest.remove_prefix(1);
+  if (rest.empty()) return InvalidArgument("empty path");
+  std::vector<std::string> parts = Split(rest, '.');
+  for (const auto& p : parts) {
+    if (p.empty()) {
+      return InvalidArgument(StrCat("empty path component in '", text, "'"));
+    }
+  }
+  return Path(std::move(parts));
+}
+
+Path Path::Child(std::string_view name) const {
+  Path out = *this;
+  out.parts_.emplace_back(name);
+  return out;
+}
+
+std::string Path::ToString() const {
+  std::string out;
+  for (const auto& p : parts_) {
+    out += '.';
+    out += p;
+  }
+  return out;
+}
+
+Result<const Value*> Path::Resolve(const Value& root) const {
+  const Value* cur = &root;
+  for (const auto& p : parts_) {
+    if (!cur->is_tuple()) {
+      return TypeError(
+          StrCat("path ", ToString(), ": '", p, "' applied to a ",
+                 ValueKindName(cur->kind()), " object"));
+    }
+    const Value* next = cur->FindField(p);
+    if (next == nullptr) {
+      return NotFound(StrCat("path ", ToString(), ": no attribute '", p, "'"));
+    }
+    cur = next;
+  }
+  return cur;
+}
+
+Result<Value*> Path::ResolveMutable(Value* root) const {
+  Value* cur = root;
+  for (const auto& p : parts_) {
+    if (!cur->is_tuple()) {
+      return TypeError(
+          StrCat("path ", ToString(), ": '", p, "' applied to a ",
+                 ValueKindName(cur->kind()), " object"));
+    }
+    Value* next = cur->MutableField(p);
+    if (next == nullptr) {
+      return NotFound(StrCat("path ", ToString(), ": no attribute '", p, "'"));
+    }
+    cur = next;
+  }
+  return cur;
+}
+
+Result<Value*> Path::ResolveOrCreate(Value* root) const {
+  Value* cur = root;
+  for (const auto& p : parts_) {
+    if (!cur->is_tuple()) {
+      return TypeError(
+          StrCat("path ", ToString(), ": '", p, "' applied to a ",
+                 ValueKindName(cur->kind()), " object"));
+    }
+    Value* next = cur->MutableField(p);
+    if (next == nullptr) {
+      cur->SetField(p, Value::EmptyTuple());
+      next = cur->MutableField(p);
+    }
+    cur = next;
+  }
+  return cur;
+}
+
+}  // namespace idl

@@ -1,0 +1,52 @@
+// Path: a sequence of attribute names navigating nested tuples, e.g.
+// ["euter", "r"] for the relation r in database euter of the universe.
+
+#ifndef IDL_OBJECT_PATH_H_
+#define IDL_OBJECT_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "object/value.h"
+
+namespace idl {
+
+class Path {
+ public:
+  Path() = default;
+  explicit Path(std::vector<std::string> parts) : parts_(std::move(parts)) {}
+
+  // Parses ".euter.r" or "euter.r".
+  static Result<Path> Parse(std::string_view text);
+
+  const std::vector<std::string>& parts() const { return parts_; }
+  bool empty() const { return parts_.empty(); }
+  size_t size() const { return parts_.size(); }
+  const std::string& operator[](size_t i) const { return parts_[i]; }
+
+  Path Child(std::string_view name) const;
+
+  // ".euter.r".
+  std::string ToString() const;
+
+  // Navigates `root` along this path; error if a step is missing or passes
+  // through a non-tuple.
+  Result<const Value*> Resolve(const Value& root) const;
+  Result<Value*> ResolveMutable(Value* root) const;
+
+  // Like ResolveMutable but creates missing intermediate tuples (used by
+  // MakeTrue when a rule derives into a database that does not exist yet).
+  Result<Value*> ResolveOrCreate(Value* root) const;
+
+  friend bool operator==(const Path& a, const Path& b) {
+    return a.parts_ == b.parts_;
+  }
+
+ private:
+  std::vector<std::string> parts_;
+};
+
+}  // namespace idl
+
+#endif  // IDL_OBJECT_PATH_H_

@@ -1,0 +1,151 @@
+#include "programs/executor.h"
+
+#include "common/str_util.h"
+#include "eval/matcher.h"
+#include "syntax/printer.h"
+
+namespace idl {
+
+namespace {
+// Programs are non-recursive, so depth is bounded by the program count;
+// this is a defensive backstop.
+constexpr int kMaxCallDepth = 64;
+}  // namespace
+
+Result<CallResult> ProgramExecutor::Call(
+    const std::string& path, UpdateOp view_op,
+    const std::map<std::string, Value>& args) {
+  const ProgramDef* def = registry_->Find(ProgramKey{path, view_op});
+  if (def == nullptr) {
+    return NotFound(StrCat("no update program ",
+                           ProgramKey{path, view_op}.ToString(),
+                           " is registered"));
+  }
+  return CallDef(*def, args);
+}
+
+Result<CallResult> ProgramExecutor::CallDef(
+    const ProgramDef& def, const std::map<std::string, Value>& args) {
+  if (++depth_ > kMaxCallDepth) {
+    --depth_;
+    return Internal("program call depth exceeded");
+  }
+  if (stats_ == nullptr) stats_ = &local_stats_;
+
+  CallResult result;
+  // Binding-signature validation (§7.1): required parameters must be bound.
+  for (const auto& p : def.required_params) {
+    if (!args.contains(p)) {
+      --depth_;
+      return Unsafe(StrCat("call to ", def.key.ToString(),
+                           " requires parameter '", p,
+                           "' (it feeds a '+' expression)"));
+    }
+  }
+
+  for (const auto& clause : def.clauses) {
+    ++result.clauses_total;
+    // Seed the substitution from the arguments.
+    Substitution seed;
+    for (const auto& param : clause.params) {
+      auto it = args.find(param.attr);
+      if (it != args.end()) seed.Bind(param.var, it->second);
+    }
+    std::vector<Substitution> bindings;
+    bindings.push_back(std::move(seed));
+
+    bool failed = false;
+    for (const auto& conjunct : clause.body) {
+      std::vector<Substitution> next;
+      Status st = ExecuteConjunct(*conjunct, bindings, &next, &result);
+      if (!st.ok()) {
+        --depth_;
+        return st.WithContext(StrCat("in ", def.key.ToString(), " clause '",
+                                     clause.source, "'"));
+      }
+      DedupSubstitutions(&next);
+      bindings = std::move(next);
+      if (bindings.empty()) {
+        failed = true;
+        break;
+      }
+    }
+    if (!failed) ++result.clauses_succeeded;
+  }
+  --depth_;
+  return result;
+}
+
+Status ProgramExecutor::ExecuteConjunct(const Expr& conjunct,
+                                        const std::vector<Substitution>& in,
+                                        std::vector<Substitution>* out,
+                                        CallResult* result) {
+  // Nested program call?
+  ProgramKey key;
+  if (registry_->MatchCall(conjunct, &key)) {
+    std::string path;
+    UpdateOp op;
+    const Expr* param_set;
+    DecomposeCallShape(conjunct, &path, &op, &param_set);
+    for (const auto& sigma : in) {
+      std::map<std::string, Value> args;
+      IDL_RETURN_IF_ERROR(EvalCallArgs(param_set, sigma, &args));
+      const ProgramDef* def = registry_->Find(key);
+      IDL_ASSIGN_OR_RETURN(CallResult nested, CallDef(*def, args));
+      result->counts += nested.counts;
+      // A nested call that ran keeps the caller's substitution alive.
+      out->push_back(sigma);
+    }
+    return Status::Ok();
+  }
+
+  if (conjunct.IsPureQuery()) {
+    Matcher matcher(stats_ ? stats_ : &local_stats_);
+    for (const auto& sigma : in) {
+      Substitution working = sigma;
+      Result<bool> r = matcher.Match(*universe_, conjunct, &working,
+                                     [&](const Substitution& s) {
+                                       out->push_back(s);
+                                       return true;
+                                     });
+      if (!r.ok()) return r.status();
+    }
+    return Status::Ok();
+  }
+
+  UpdateApplier applier(stats_ ? stats_ : &local_stats_, &result->counts);
+  for (const auto& sigma : in) {
+    IDL_RETURN_IF_ERROR(applier.ApplyConjunct(universe_, conjunct, sigma, out));
+  }
+  return Status::Ok();
+}
+
+Status ProgramExecutor::EvalCallArgs(const Expr* param_set,
+                                     const Substitution& sigma,
+                                     std::map<std::string, Value>* args) {
+  if (param_set == nullptr || param_set->set_inner == nullptr) {
+    return Status::Ok();
+  }
+  const Expr& inner = *param_set->set_inner;
+  if (inner.kind == Expr::Kind::kEpsilon) return Status::Ok();
+  if (inner.kind != Expr::Kind::kTuple) {
+    return InvalidArgument("program call arguments must be .name=value pairs");
+  }
+  for (const auto& item : inner.items) {
+    if (item.attr_is_var || item.expr == nullptr ||
+        item.expr->kind != Expr::Kind::kAtomic ||
+        item.expr->relop != RelOp::kEq) {
+      return InvalidArgument(
+          "program call arguments must be .name=value pairs");
+    }
+    const Term& term = item.expr->term;
+    if (term.kind == Term::Kind::kVar && sigma.Lookup(term.var) == nullptr) {
+      continue;  // unbound argument: omitted (partial binding is allowed)
+    }
+    IDL_ASSIGN_OR_RETURN(Value v, Matcher::EvalTerm(term, sigma));
+    (*args)[item.attr] = std::move(v);
+  }
+  return Status::Ok();
+}
+
+}  // namespace idl

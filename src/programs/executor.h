@@ -1,0 +1,69 @@
+// Top-down execution of update programs (paper §7.1) and view-update
+// dispatch (§7.2).
+//
+// A call binds the named arguments to the clause's parameter variables and
+// executes each clause body left to right: pure query conjuncts extend the
+// current substitutions, update conjuncts mutate the universe per
+// substitution, and conjuncts whose constant path names a registered program
+// are nested calls. Execution returns success or failure plus the update
+// counts; arguments may be partially bound (delStk with no date deletes all
+// dates) except for the program's required parameters.
+
+#ifndef IDL_PROGRAMS_EXECUTOR_H_
+#define IDL_PROGRAMS_EXECUTOR_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "eval/explain.h"
+#include "object/value.h"
+#include "programs/program.h"
+#include "update/applier.h"
+
+namespace idl {
+
+struct CallResult {
+  // Clauses whose body ran to completion with at least one substitution.
+  size_t clauses_succeeded = 0;
+  size_t clauses_total = 0;
+  UpdateCounts counts;
+};
+
+class ProgramExecutor {
+ public:
+  ProgramExecutor(const ProgramRegistry* registry, Value* universe,
+                  EvalStats* stats = nullptr)
+      : registry_(registry), universe_(universe), stats_(stats) {}
+
+  // Calls `path` (e.g. "dbU.delStk") with named arguments. `view_op` selects
+  // a view-update program (`p+`/`p-`); kNone selects an ordinary program.
+  Result<CallResult> Call(const std::string& path, UpdateOp view_op,
+                          const std::map<std::string, Value>& args);
+
+  // Executes one conjunct of a body under the given substitutions,
+  // producing the next substitutions; dispatches nested program calls.
+  Status ExecuteConjunct(const Expr& conjunct,
+                         const std::vector<Substitution>& in,
+                         std::vector<Substitution>* out, CallResult* result);
+
+ private:
+  Result<CallResult> CallDef(const ProgramDef& def,
+                             const std::map<std::string, Value>& args);
+
+  // Evaluates a call conjunct's parameter tuple under `sigma` into named
+  // arguments; parameters whose term is an unbound variable are omitted
+  // (partial binding).
+  Status EvalCallArgs(const Expr* param_set, const Substitution& sigma,
+                      std::map<std::string, Value>* args);
+
+  const ProgramRegistry* registry_;
+  Value* universe_;
+  EvalStats* stats_;
+  EvalStats local_stats_;
+  int depth_ = 0;
+};
+
+}  // namespace idl
+
+#endif  // IDL_PROGRAMS_EXECUTOR_H_

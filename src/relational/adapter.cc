@@ -1,0 +1,111 @@
+#include "relational/adapter.h"
+
+#include <map>
+
+#include "common/str_util.h"
+
+namespace idl {
+
+Value LiftTable(const Table& table) {
+  Value relation = Value::EmptySet();
+  const Schema& schema = table.schema();
+  for (const auto& row : table.rows()) {
+    Value tuple = Value::EmptyTuple();
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (row.cells[c].is_null()) continue;  // omit nulls (see header)
+      tuple.SetField(schema.column(c).name, row.cells[c]);
+    }
+    relation.Insert(std::move(tuple));
+  }
+  return relation;
+}
+
+Value LiftDatabase(const RelationalDatabase& db) {
+  Value out = Value::EmptyTuple();
+  for (const auto& name : db.TableNames()) {
+    out.SetField(name, LiftTable(*db.FindTable(name)));
+  }
+  return out;
+}
+
+Result<Table> LowerTable(std::string name, const Value& relation) {
+  if (!relation.is_set()) {
+    return TypeError(StrCat("relation '", name, "' is not a set object"));
+  }
+  // Infer the schema: union of attribute names; the type of the first
+  // non-null atom wins (later mismatches are a type error).
+  std::map<std::string, ColumnType> types;
+  std::vector<std::string> order;
+  for (const auto& element : relation.elements()) {
+    if (!element.is_tuple()) {
+      return TypeError(
+          StrCat("relation '", name, "' contains a non-tuple element"));
+    }
+    for (const auto& field : element.fields()) {
+      if (field.value.is_tuple() || field.value.is_set()) {
+        return TypeError(StrCat("attribute '", field.name, "' of relation '",
+                                name, "' holds a non-atomic object"));
+      }
+      auto it = types.find(field.name);
+      if (it == types.end()) {
+        order.push_back(field.name);
+        if (field.value.is_null()) {
+          types.emplace(field.name, ColumnType::kString);  // provisional
+        } else {
+          IDL_ASSIGN_OR_RETURN(ColumnType t, TypeOfValue(field.value));
+          types.emplace(field.name, t);
+        }
+      } else if (!field.value.is_null() &&
+                 !ValueFitsType(field.value, it->second)) {
+        // Re-derive: maybe the provisional type was from a null.
+        IDL_ASSIGN_OR_RETURN(ColumnType t, TypeOfValue(field.value));
+        if (it->second == ColumnType::kString && t != ColumnType::kString) {
+          it->second = t;  // upgrade a provisional string
+        } else if (it->second == ColumnType::kInt &&
+                   t == ColumnType::kDouble) {
+          it->second = ColumnType::kDouble;  // widen
+        } else if (!(it->second == ColumnType::kDouble &&
+                     t == ColumnType::kInt)) {
+          return TypeError(StrCat("attribute '", field.name, "' of relation '",
+                                  name, "' mixes ", ColumnTypeName(it->second),
+                                  " and ", ColumnTypeName(t)));
+        }
+      }
+    }
+  }
+
+  Schema schema;
+  for (const auto& col : order) {
+    IDL_RETURN_IF_ERROR(schema.AddColumn(Column{col, types[col]}));
+  }
+  Table out(std::move(name), schema);
+  for (const auto& element : relation.elements()) {
+    Row row;
+    row.cells.reserve(schema.size());
+    for (const auto& col : order) {
+      const Value* v = element.FindField(col);
+      row.cells.push_back(v == nullptr ? Value::Null() : *v);
+    }
+    IDL_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  }
+  return out;
+}
+
+Result<RelationalDatabase> LowerDatabase(std::string name,
+                                         const Value& db_object) {
+  if (!db_object.is_tuple()) {
+    return TypeError(StrCat("database '", name, "' is not a tuple object"));
+  }
+  RelationalDatabase db(std::move(name));
+  for (const auto& field : db_object.fields()) {
+    IDL_ASSIGN_OR_RETURN(Table table, LowerTable(field.name, field.value));
+    IDL_ASSIGN_OR_RETURN(Table * slot,
+                         db.CreateTable(field.name, table.schema()));
+    for (const auto& row : table.rows()) {
+      IDL_RETURN_IF_ERROR(slot->Insert(row));
+    }
+  }
+  return db;
+}
+
+}  // namespace idl

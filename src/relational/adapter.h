@@ -1,0 +1,38 @@
+// Adapter: two-way mapping between relational databases and the IDL object
+// model (paper §3's "Modeling Multiple Relational Databases").
+//
+// Lift:  a database becomes a tuple of relations; each relation a set of
+//        tuples; each row a tuple of named atoms. Null cells are *omitted*
+//        from the lifted tuple (the object model's null semantics make an
+//        absent attribute and a null attribute indistinguishable to queries,
+//        and omission is what lets heterogeneous chwab rows arise).
+// Lower: reconstructs a relational database from a universe database object,
+//        inferring each relation's schema as the union of attribute names
+//        with types taken from the first non-null occurrence. Used to write
+//        IDL updates back to the substrate.
+
+#ifndef IDL_RELATIONAL_ADAPTER_H_
+#define IDL_RELATIONAL_ADAPTER_H_
+
+#include "common/result.h"
+#include "object/value.h"
+#include "relational/database.h"
+
+namespace idl {
+
+// Database -> universe database object (a tuple of relation sets).
+Value LiftDatabase(const RelationalDatabase& db);
+
+// Table -> relation set object.
+Value LiftTable(const Table& table);
+
+// Universe database object -> relational database. `name` names the result.
+Result<RelationalDatabase> LowerDatabase(std::string name,
+                                         const Value& db_object);
+
+// Relation set object -> table (schema inferred).
+Result<Table> LowerTable(std::string name, const Value& relation);
+
+}  // namespace idl
+
+#endif  // IDL_RELATIONAL_ADAPTER_H_

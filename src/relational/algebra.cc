@@ -1,0 +1,258 @@
+#include "relational/algebra.h"
+
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "eval/matcher.h"
+
+namespace idl {
+
+std::vector<Value> ResultSet::Column(std::string_view name) const {
+  std::vector<Value> out;
+  int c = schema.FindColumn(name);
+  if (c < 0) return out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(row.cells[c]);
+  return out;
+}
+
+ResultSet ScanAll(const Table& table) {
+  ResultSet out;
+  out.schema = table.schema();
+  out.rows = table.rows();
+  return out;
+}
+
+Result<ResultSet> Select(const ResultSet& in, std::string_view column,
+                         RelOp op, const Value& operand) {
+  int c = in.schema.FindColumn(column);
+  if (c < 0) return NotFound(StrCat("column '", column, "'"));
+  ResultSet out;
+  out.schema = in.schema;
+  for (const auto& row : in.rows) {
+    if (Matcher::EvalRelOp(op, row.cells[c], operand)) out.rows.push_back(row);
+  }
+  return out;
+}
+
+ResultSet SelectWhere(const ResultSet& in,
+                      const std::function<bool(const Row&)>& pred) {
+  ResultSet out;
+  out.schema = in.schema;
+  for (const auto& row : in.rows) {
+    if (pred(row)) out.rows.push_back(row);
+  }
+  return out;
+}
+
+namespace {
+
+uint64_t RowHash(const Row& row) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const auto& v : row.cells) h = h * 1099511628211ULL ^ v.Hash();
+  return h;
+}
+
+// Appends `row` unless an equal row exists (hash buckets + deep compare).
+void DedupAppend(std::unordered_map<uint64_t, std::vector<size_t>>* seen,
+                 std::vector<Row>* rows, Row row) {
+  uint64_t h = RowHash(row);
+  auto& bucket = (*seen)[h];
+  for (size_t i : bucket) {
+    if ((*rows)[i] == row) return;
+  }
+  bucket.push_back(rows->size());
+  rows->push_back(std::move(row));
+}
+
+}  // namespace
+
+Result<ResultSet> Project(const ResultSet& in,
+                          const std::vector<std::string>& columns) {
+  ResultSet out;
+  std::vector<int> indices;
+  for (const auto& name : columns) {
+    int c = in.schema.FindColumn(name);
+    if (c < 0) return NotFound(StrCat("column '", name, "'"));
+    indices.push_back(c);
+    IDL_RETURN_IF_ERROR(out.schema.AddColumn(in.schema.column(c)));
+  }
+  std::unordered_map<uint64_t, std::vector<size_t>> seen;
+  for (const auto& row : in.rows) {
+    Row projected;
+    projected.cells.reserve(indices.size());
+    for (int c : indices) projected.cells.push_back(row.cells[c]);
+    DedupAppend(&seen, &out.rows, std::move(projected));
+  }
+  return out;
+}
+
+Result<ResultSet> HashJoin(const ResultSet& left, const ResultSet& right,
+                           std::string_view left_col,
+                           std::string_view right_col) {
+  int lc = left.schema.FindColumn(left_col);
+  int rc = right.schema.FindColumn(right_col);
+  if (lc < 0) return NotFound(StrCat("left column '", left_col, "'"));
+  if (rc < 0) return NotFound(StrCat("right column '", right_col, "'"));
+
+  ResultSet out;
+  out.schema = left.schema;
+  std::vector<int> right_keep;
+  for (size_t i = 0; i < right.schema.size(); ++i) {
+    if (static_cast<int>(i) == rc) continue;
+    right_keep.push_back(static_cast<int>(i));
+    Column col = right.schema.column(i);
+    if (out.schema.HasColumn(col.name)) col.name = StrCat("r_", col.name);
+    IDL_RETURN_IF_ERROR(out.schema.AddColumn(std::move(col)));
+  }
+
+  // Build on the smaller side conceptually; for clarity build on right.
+  std::unordered_multimap<uint64_t, size_t> build;
+  for (size_t i = 0; i < right.rows.size(); ++i) {
+    build.emplace(right.rows[i].cells[rc].Hash(), i);
+  }
+  for (const auto& lrow : left.rows) {
+    const Value& key = lrow.cells[lc];
+    if (key.is_null()) continue;  // nulls never join
+    auto [lo, hi] = build.equal_range(key.Hash());
+    for (auto it = lo; it != hi; ++it) {
+      const Row& rrow = right.rows[it->second];
+      if (!(rrow.cells[rc] == key)) continue;
+      Row joined = lrow;
+      for (int c : right_keep) joined.cells.push_back(rrow.cells[c]);
+      out.rows.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Result<ResultSet> Union(const ResultSet& a, const ResultSet& b) {
+  if (!(a.schema == b.schema)) {
+    return InvalidArgument(StrCat("union schema mismatch: ",
+                                  a.schema.ToString(), " vs ",
+                                  b.schema.ToString()));
+  }
+  ResultSet out;
+  out.schema = a.schema;
+  std::unordered_map<uint64_t, std::vector<size_t>> seen;
+  for (const auto& row : a.rows) DedupAppend(&seen, &out.rows, row);
+  for (const auto& row : b.rows) DedupAppend(&seen, &out.rows, row);
+  return out;
+}
+
+Result<ResultSet> GroupBy(const ResultSet& in,
+                          const std::vector<std::string>& key_columns,
+                          const std::vector<AggSpec>& aggs) {
+  std::vector<int> keys;
+  for (const auto& name : key_columns) {
+    int c = in.schema.FindColumn(name);
+    if (c < 0) return NotFound(StrCat("column '", name, "'"));
+    keys.push_back(c);
+  }
+  std::vector<int> agg_cols;
+  for (const auto& spec : aggs) {
+    if (spec.fn == AggFn::kCount) {
+      agg_cols.push_back(-1);
+      continue;
+    }
+    int c = in.schema.FindColumn(spec.column);
+    if (c < 0) return NotFound(StrCat("column '", spec.column, "'"));
+    agg_cols.push_back(c);
+  }
+
+  struct Acc {
+    std::vector<Value> key;
+    std::vector<double> sum;
+    std::vector<Value> min, max;
+    std::vector<int64_t> count;
+  };
+  std::unordered_map<uint64_t, std::vector<Acc>> groups;
+
+  for (const auto& row : in.rows) {
+    std::vector<Value> key;
+    key.reserve(keys.size());
+    uint64_t h = 0x9e37;
+    for (int c : keys) {
+      h = h * 1099511628211ULL ^ row.cells[c].Hash();
+      key.push_back(row.cells[c]);
+    }
+    auto& bucket = groups[h];
+    Acc* acc = nullptr;
+    for (auto& a : bucket) {
+      if (a.key == key) {
+        acc = &a;
+        break;
+      }
+    }
+    if (acc == nullptr) {
+      bucket.push_back(Acc{std::move(key),
+                           std::vector<double>(aggs.size(), 0),
+                           std::vector<Value>(aggs.size()),
+                           std::vector<Value>(aggs.size()),
+                           std::vector<int64_t>(aggs.size(), 0)});
+      acc = &bucket.back();
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggSpec& spec = aggs[a];
+      if (spec.fn == AggFn::kCount) {
+        ++acc->count[a];
+        continue;
+      }
+      const Value& v = row.cells[agg_cols[a]];
+      if (v.is_null()) continue;
+      ++acc->count[a];
+      if (v.is_number()) acc->sum[a] += v.as_double();
+      if (acc->min[a].is_null() ||
+          Matcher::EvalRelOp(RelOp::kLt, v, acc->min[a])) {
+        acc->min[a] = v;
+      }
+      if (acc->max[a].is_null() ||
+          Matcher::EvalRelOp(RelOp::kGt, v, acc->max[a])) {
+        acc->max[a] = v;
+      }
+    }
+  }
+
+  ResultSet out;
+  for (int c : keys) IDL_RETURN_IF_ERROR(out.schema.AddColumn(in.schema.column(c)));
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    ColumnType type = ColumnType::kDouble;
+    if (aggs[a].fn == AggFn::kCount) type = ColumnType::kInt;
+    if ((aggs[a].fn == AggFn::kMin || aggs[a].fn == AggFn::kMax) &&
+        agg_cols[a] >= 0) {
+      type = in.schema.column(agg_cols[a]).type;
+    }
+    IDL_RETURN_IF_ERROR(out.schema.AddColumn(Column{aggs[a].as, type}));
+  }
+  for (auto& [h, bucket] : groups) {
+    for (auto& acc : bucket) {
+      Row row;
+      row.cells = acc.key;
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        switch (aggs[a].fn) {
+          case AggFn::kCount:
+            row.cells.push_back(Value::Int(acc.count[a]));
+            break;
+          case AggFn::kSum:
+            row.cells.push_back(Value::Real(acc.sum[a]));
+            break;
+          case AggFn::kAvg:
+            row.cells.push_back(acc.count[a] == 0
+                                    ? Value::Null()
+                                    : Value::Real(acc.sum[a] / acc.count[a]));
+            break;
+          case AggFn::kMin:
+            row.cells.push_back(acc.min[a]);
+            break;
+          case AggFn::kMax:
+            row.cells.push_back(acc.max[a]);
+            break;
+        }
+      }
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace idl

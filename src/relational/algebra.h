@@ -1,0 +1,66 @@
+// Relational algebra operators over materialized result sets. This is the
+// first-order query machinery a 1991 relational system offers — the baseline
+// whose limitations (fixed relation and attribute names) motivate IDL.
+
+#ifndef IDL_RELATIONAL_ALGEBRA_H_
+#define IDL_RELATIONAL_ALGEBRA_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+#include "syntax/ast.h"
+
+namespace idl {
+
+struct ResultSet {
+  Schema schema;
+  std::vector<Row> rows;
+
+  // The column values for `name` (empty if absent).
+  std::vector<Value> Column(std::string_view name) const;
+};
+
+// Copies all rows of `table`.
+ResultSet ScanAll(const Table& table);
+
+// σ: keeps rows where `column` `op` `operand` holds (null never matches).
+Result<ResultSet> Select(const ResultSet& in, std::string_view column,
+                         RelOp op, const Value& operand);
+
+// σ with an arbitrary predicate.
+ResultSet SelectWhere(const ResultSet& in,
+                      const std::function<bool(const Row&)>& pred);
+
+// π: keeps `columns` in the given order, deduplicating rows.
+Result<ResultSet> Project(const ResultSet& in,
+                          const std::vector<std::string>& columns);
+
+// ⋈: hash equi-join on left.`left_col` = right.`right_col`. Output schema is
+// left's columns followed by right's (right join column dropped; other name
+// clashes are prefixed with "r_").
+Result<ResultSet> HashJoin(const ResultSet& left, const ResultSet& right,
+                           std::string_view left_col,
+                           std::string_view right_col);
+
+// ∪ (set union; schemas must match).
+Result<ResultSet> Union(const ResultSet& a, const ResultSet& b);
+
+enum class AggFn : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  std::string column;  // ignored for kCount
+  std::string as;      // output column name
+};
+
+// γ: groups by `key_columns` and computes the aggregates.
+Result<ResultSet> GroupBy(const ResultSet& in,
+                          const std::vector<std::string>& key_columns,
+                          const std::vector<AggSpec>& aggs);
+
+}  // namespace idl
+
+#endif  // IDL_RELATIONAL_ALGEBRA_H_

@@ -1,0 +1,44 @@
+#include "relational/database.h"
+
+#include "common/str_util.h"
+
+namespace idl {
+
+Result<Table*> RelationalDatabase::CreateTable(std::string table_name,
+                                               Schema schema) {
+  if (tables_.contains(table_name)) {
+    return AlreadyExists(StrCat("table '", table_name, "' in ", name_));
+  }
+  auto table = std::make_unique<Table>(table_name, std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(std::move(table_name), std::move(table));
+  return raw;
+}
+
+Status RelationalDatabase::DropTable(std::string_view table_name) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    return NotFound(StrCat("table '", table_name, "' in ", name_));
+  }
+  tables_.erase(it);
+  return Status::Ok();
+}
+
+Table* RelationalDatabase::FindTable(std::string_view table_name) {
+  auto it = tables_.find(table_name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* RelationalDatabase::FindTable(std::string_view table_name) const {
+  auto it = tables_.find(table_name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> RelationalDatabase::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace idl

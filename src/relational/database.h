@@ -1,0 +1,47 @@
+// RelationalDatabase: a named catalog of tables, with the DDL surface the
+// paper's update programs need (creating and dropping whole relations is how
+// rmStk operates on the ource schema).
+
+#ifndef IDL_RELATIONAL_DATABASE_H_
+#define IDL_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace idl {
+
+class RelationalDatabase {
+ public:
+  explicit RelationalDatabase(std::string name) : name_(std::move(name)) {}
+
+  RelationalDatabase(const RelationalDatabase&) = delete;
+  RelationalDatabase& operator=(const RelationalDatabase&) = delete;
+  RelationalDatabase(RelationalDatabase&&) = default;
+  RelationalDatabase& operator=(RelationalDatabase&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  Result<Table*> CreateTable(std::string table_name, Schema schema);
+  Status DropTable(std::string_view table_name);
+
+  // nullptr if absent.
+  Table* FindTable(std::string_view table_name);
+  const Table* FindTable(std::string_view table_name) const;
+
+  // Table names in sorted order.
+  std::vector<std::string> TableNames() const;
+  size_t NumTables() const { return tables_.size(); }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+};
+
+}  // namespace idl
+
+#endif  // IDL_RELATIONAL_DATABASE_H_

@@ -1,0 +1,168 @@
+#include "relational/fo_engine.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "eval/matcher.h"
+
+namespace idl {
+
+namespace {
+
+struct Frame {
+  const Table* table;
+  std::vector<int> arg_cols;  // column index per atom arg
+};
+
+class FoEvaluator {
+ public:
+  FoEvaluator(const RelationalDatabase& db, const FoQuery& query,
+              FoStats* stats)
+      : db_(db), query_(query), stats_(stats) {}
+
+  Result<ResultSet> Run() {
+    frames_.reserve(query_.atoms.size());
+    for (const auto& atom : query_.atoms) {
+      const Table* table = db_.FindTable(atom.relation);
+      if (table == nullptr) {
+        return NotFound(StrCat("relation '", atom.relation, "' in ",
+                               db_.name()));
+      }
+      Frame frame{table, {}};
+      for (const auto& arg : atom.args) {
+        int c = table->schema().FindColumn(arg.column);
+        if (c < 0) {
+          return NotFound(StrCat("column '", arg.column, "' of '",
+                                 atom.relation, "'"));
+        }
+        frame.arg_cols.push_back(c);
+      }
+      frames_.push_back(std::move(frame));
+    }
+
+    ResultSet out;
+    // Output schema: typed from first binding seen; provisional string.
+    for (const auto& var : query_.projection) {
+      Status st =
+          out.schema.AddColumn(Column{var, ColumnType::kString});
+      IDL_RETURN_IF_ERROR(st);
+    }
+
+    std::map<std::string, Value> bindings;
+    IDL_RETURN_IF_ERROR(Step(0, &bindings, &out));
+    if (stats_ != nullptr) ++stats_->queries_run;
+    // Correct the column types from the data.
+    for (size_t c = 0; c < out.schema.size(); ++c) {
+      for (const auto& row : out.rows) {
+        if (!row.cells[c].is_null()) {
+          Result<ColumnType> t = TypeOfValue(row.cells[c]);
+          if (t.ok()) out.schema.mutable_column(c)->type = *t;
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  Status Step(size_t depth, std::map<std::string, Value>* bindings,
+              ResultSet* out) {
+    if (depth == query_.atoms.size()) {
+      Row row;
+      row.cells.reserve(query_.projection.size());
+      for (const auto& var : query_.projection) {
+        auto it = bindings->find(var);
+        row.cells.push_back(it == bindings->end() ? Value::Null()
+                                                  : it->second);
+      }
+      // Dedup.
+      uint64_t h = 0x9e37;
+      for (const auto& v : row.cells) h = h * 1099511628211ULL ^ v.Hash();
+      auto& bucket = seen_[h];
+      for (size_t i : bucket) {
+        if (out->rows[i] == row) return Status::Ok();
+      }
+      bucket.push_back(out->rows.size());
+      out->rows.push_back(std::move(row));
+      return Status::Ok();
+    }
+
+    const FoAtom& atom = query_.atoms[depth];
+    const Frame& frame = frames_[depth];
+
+    if (atom.negated) {
+      // Safe negation: all variables must already be bound.
+      bool witness = false;
+      for (const auto& row : frame.table->rows()) {
+        if (stats_ != nullptr) ++stats_->rows_scanned;
+        if (RowMatches(atom, frame, row, *bindings, nullptr)) {
+          witness = true;
+          break;
+        }
+      }
+      if (witness) return Status::Ok();
+      return Step(depth + 1, bindings, out);
+    }
+
+    for (const auto& row : frame.table->rows()) {
+      if (stats_ != nullptr) ++stats_->rows_scanned;
+      std::vector<std::pair<std::string, Value>> new_bindings;
+      if (!RowMatches(atom, frame, row, *bindings, &new_bindings)) continue;
+      for (const auto& [var, v] : new_bindings) bindings->emplace(var, v);
+      IDL_RETURN_IF_ERROR(Step(depth + 1, bindings, out));
+      for (const auto& [var, v] : new_bindings) bindings->erase(var);
+    }
+    return Status::Ok();
+  }
+
+  // True if `row` satisfies `atom` under `bindings`; records fresh variable
+  // bindings in `out` when non-null (negated probes pass null and require
+  // full boundness of comparisons that matter).
+  bool RowMatches(const FoAtom& atom, const Frame& frame, const Row& row,
+                  const std::map<std::string, Value>& bindings,
+                  std::vector<std::pair<std::string, Value>>* out) {
+    std::vector<std::pair<std::string, Value>> fresh;
+    for (size_t a = 0; a < atom.args.size(); ++a) {
+      const FoAtom::Arg& arg = atom.args[a];
+      const Value& cell = row.cells[frame.arg_cols[a]];
+      if (arg.var.empty()) {
+        if (!Matcher::EvalRelOp(arg.op, cell, arg.constant)) return false;
+        continue;
+      }
+      auto it = bindings.find(arg.var);
+      const Value* bound = it == bindings.end() ? nullptr : &it->second;
+      if (bound == nullptr) {
+        for (const auto& [var, v] : fresh) {
+          if (var == arg.var) {
+            bound = &v;
+            break;
+          }
+        }
+      }
+      if (bound != nullptr) {
+        if (!Matcher::EvalRelOp(RelOp::kEq, cell, *bound)) return false;
+      } else {
+        if (cell.is_null()) return false;
+        fresh.emplace_back(arg.var, cell);
+      }
+    }
+    if (out != nullptr) *out = std::move(fresh);
+    return true;
+  }
+
+  const RelationalDatabase& db_;
+  const FoQuery& query_;
+  FoStats* stats_;
+  std::vector<Frame> frames_;
+  std::unordered_map<uint64_t, std::vector<size_t>> seen_;
+};
+
+}  // namespace
+
+Result<ResultSet> ExecuteFoQuery(const RelationalDatabase& db,
+                                 const FoQuery& query, FoStats* stats) {
+  return FoEvaluator(db, query, stats).Run();
+}
+
+}  // namespace idl

@@ -1,0 +1,55 @@
+// First-order conjunctive query engine over a relational database — the
+// Datalog/MSQL-class baseline the paper argues is insufficient for schematic
+// discrepancies. Relation and attribute names are *fixed constants* here; a
+// query that logically quantifies over stocks must be expanded into one
+// FoQuery per relation or attribute by the caller (see
+// bench/bench_baseline_expansion.cc), which is exactly the pre-IDL state of
+// the art this library measures against.
+
+#ifndef IDL_RELATIONAL_FO_ENGINE_H_
+#define IDL_RELATIONAL_FO_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/algebra.h"
+#include "relational/database.h"
+
+namespace idl {
+
+// One body atom: relation(col1=Var1 | const, ...), optionally negated.
+struct FoAtom {
+  std::string relation;
+  struct Arg {
+    std::string column;
+    // Exactly one of var/constant is used.
+    std::string var;   // empty means constant
+    Value constant;
+    RelOp op = RelOp::kEq;  // constants may use any relop; vars join on '='
+  };
+  std::vector<Arg> args;
+  bool negated = false;
+};
+
+struct FoQuery {
+  std::vector<FoAtom> atoms;
+  // Output variables (the head); empty means boolean.
+  std::vector<std::string> projection;
+};
+
+struct FoStats {
+  uint64_t rows_scanned = 0;
+  uint64_t queries_run = 0;
+};
+
+// Evaluates by left-to-right nested-loop join with sideways information
+// passing (same strategy as the IDL matcher, for a fair comparison).
+// The result schema has one string/typed column per projection variable.
+Result<ResultSet> ExecuteFoQuery(const RelationalDatabase& db,
+                                 const FoQuery& query,
+                                 FoStats* stats = nullptr);
+
+}  // namespace idl
+
+#endif  // IDL_RELATIONAL_FO_ENGINE_H_

@@ -1,0 +1,45 @@
+// MSQL-style multidatabase broadcasting (Litwin's MSQL, [Li89], which the
+// paper says IDL subsumes). MSQL's core device is the *multiple query*: one
+// first-order query template sent to a list of databases, answers unioned,
+// with the originating database name added as a column. That handles
+// multiple databases with the *same* schema — it does not touch schematic
+// discrepancies (the template still names fixed relations and attributes),
+// which is precisely the gap IDL fills. Implemented here as the baseline
+// that makes the subsumption claim testable:
+//   * broadcasting works and equals the IDL formulation on name-aligned
+//     schemas (tests);
+//   * against chwab/ource-style discrepancies it still needs one template
+//     per schema element, like the plain first-order expansion.
+
+#ifndef IDL_RELATIONAL_MSQL_H_
+#define IDL_RELATIONAL_MSQL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/algebra.h"
+#include "relational/database.h"
+#include "relational/fo_engine.h"
+
+namespace idl {
+
+struct MultiQueryResult {
+  // Schema: "db" column (string) followed by the template's projection.
+  ResultSet results;
+  // Databases whose evaluation failed (e.g. the template's relation is
+  // absent there); MSQL semantics skips them rather than failing the
+  // multiquery.
+  std::vector<std::string> skipped;
+  FoStats stats;
+};
+
+// Runs `query` against every database in `members`, unions the answers and
+// prefixes each row with the member's name.
+Result<MultiQueryResult> BroadcastQuery(
+    const std::vector<const RelationalDatabase*>& members,
+    const FoQuery& query);
+
+}  // namespace idl
+
+#endif  // IDL_RELATIONAL_MSQL_H_

@@ -1,0 +1,109 @@
+#include "relational/pivot.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/str_util.h"
+#include "object/value_io.h"
+
+namespace idl {
+
+Result<Table> Pivot(const Table& in, std::string_view key_column,
+                    std::string_view name_column,
+                    std::string_view value_column) {
+  int kc = in.schema().FindColumn(key_column);
+  int nc = in.schema().FindColumn(name_column);
+  int vc = in.schema().FindColumn(value_column);
+  if (kc < 0 || nc < 0 || vc < 0) {
+    return NotFound("pivot: key/name/value column missing");
+  }
+
+  // Pass 1: discover the output schema from the data (this is the step a
+  // first-order system cannot fold into the query itself).
+  std::vector<std::string> names;
+  for (const auto& row : in.rows()) {
+    const Value& name = row.cells[nc];
+    if (!name.is_string()) {
+      return TypeError(StrCat("pivot: name column holds non-string value ",
+                              ToString(name)));
+    }
+    if (std::find(names.begin(), names.end(), name.as_string()) ==
+        names.end()) {
+      names.push_back(name.as_string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+
+  Schema schema;
+  IDL_RETURN_IF_ERROR(schema.AddColumn(in.schema().column(kc)));
+  for (const auto& name : names) {
+    IDL_RETURN_IF_ERROR(
+        schema.AddColumn(Column{name, in.schema().column(vc).type}));
+  }
+
+  // Pass 2: fill.
+  std::map<std::string, size_t> name_slot;
+  for (size_t i = 0; i < names.size(); ++i) name_slot[names[i]] = i + 1;
+
+  Table out(StrCat(in.name(), "_pivot"), schema);
+  // Key order: first-seen.
+  std::vector<Row> rows;
+  std::map<std::string, size_t> key_slot;  // ToString(key) -> row index
+  for (const auto& row : in.rows()) {
+    std::string key_repr = ToString(row.cells[kc]);
+    auto [it, inserted] = key_slot.try_emplace(key_repr, rows.size());
+    if (inserted) {
+      Row fresh;
+      fresh.cells.assign(schema.size(), Value::Null());
+      fresh.cells[0] = row.cells[kc];
+      rows.push_back(std::move(fresh));
+    }
+    rows[it->second].cells[name_slot[row.cells[nc].as_string()]] =
+        row.cells[vc];
+  }
+  for (auto& row : rows) {
+    IDL_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  }
+  return out;
+}
+
+Result<Table> Unpivot(const Table& in, std::string_view key_column,
+                      std::string_view name_out, std::string_view value_out) {
+  int kc = in.schema().FindColumn(key_column);
+  if (kc < 0) return NotFound("unpivot: key column missing");
+
+  // The value type is the common type of the non-key columns.
+  ColumnType value_type = ColumnType::kDouble;
+  bool first = true;
+  for (size_t i = 0; i < in.schema().size(); ++i) {
+    if (static_cast<int>(i) == kc) continue;
+    if (first) {
+      value_type = in.schema().column(i).type;
+      first = false;
+    } else if (in.schema().column(i).type != value_type) {
+      return TypeError("unpivot: non-key columns have mixed types");
+    }
+  }
+
+  Schema schema;
+  IDL_RETURN_IF_ERROR(schema.AddColumn(in.schema().column(kc)));
+  IDL_RETURN_IF_ERROR(
+      schema.AddColumn(Column{std::string(name_out), ColumnType::kString}));
+  IDL_RETURN_IF_ERROR(
+      schema.AddColumn(Column{std::string(value_out), value_type}));
+
+  Table out(StrCat(in.name(), "_unpivot"), schema);
+  for (const auto& row : in.rows()) {
+    for (size_t i = 0; i < in.schema().size(); ++i) {
+      if (static_cast<int>(i) == kc) continue;
+      if (row.cells[i].is_null()) continue;
+      Row fresh;
+      fresh.cells = {row.cells[kc], Value::String(in.schema().column(i).name),
+                     row.cells[i]};
+      IDL_RETURN_IF_ERROR(out.Insert(std::move(fresh)));
+    }
+  }
+  return out;
+}
+
+}  // namespace idl

@@ -1,0 +1,34 @@
+// PIVOT / UNPIVOT: the modern relational partial answer to schematic
+// discrepancies, implemented as the B2 baseline. PIVOT turns the euter shape
+// (stock names as values) into the chwab shape (stock names as columns);
+// UNPIVOT inverts it. Unlike IDL's higher-order rules, the output *schema*
+// of PIVOT must be computed by a separate pass over the data, and a fresh
+// DDL statement is needed whenever a new stock appears — precisely the
+// rigidity the paper's higher-order views remove.
+
+#ifndef IDL_RELATIONAL_PIVOT_H_
+#define IDL_RELATIONAL_PIVOT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace idl {
+
+// PIVOT: one output row per distinct `key_column` value; one output column
+// per distinct `name_column` value, holding that row's `value_column` (null
+// where absent). For euter: Pivot(r, "date", "stkCode", "clsPrice").
+Result<Table> Pivot(const Table& in, std::string_view key_column,
+                    std::string_view name_column,
+                    std::string_view value_column);
+
+// UNPIVOT: inverse. Every column other than `key_column` becomes a
+// (name, value) row; null cells are skipped.
+// For chwab: Unpivot(r, "date", "stkCode", "clsPrice").
+Result<Table> Unpivot(const Table& in, std::string_view key_column,
+                      std::string_view name_out, std::string_view value_out);
+
+}  // namespace idl
+
+#endif  // IDL_RELATIONAL_PIVOT_H_

@@ -1,0 +1,26 @@
+// Row: one tuple of a relational table. Cells are atom Values positionally
+// aligned with the table's schema.
+
+#ifndef IDL_RELATIONAL_ROW_H_
+#define IDL_RELATIONAL_ROW_H_
+
+#include <vector>
+
+#include "object/value.h"
+
+namespace idl {
+
+struct Row {
+  std::vector<Value> cells;
+
+  Row() = default;
+  explicit Row(std::vector<Value> c) : cells(std::move(c)) {}
+
+  friend bool operator==(const Row& a, const Row& b) {
+    return a.cells == b.cells;
+  }
+};
+
+}  // namespace idl
+
+#endif  // IDL_RELATIONAL_ROW_H_

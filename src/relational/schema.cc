@@ -1,0 +1,102 @@
+#include "relational/schema.h"
+
+#include "common/str_util.h"
+
+namespace idl {
+
+std::string_view ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kBool:
+      return "bool";
+    case ColumnType::kInt:
+      return "int";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+    case ColumnType::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+Result<ColumnType> TypeOfValue(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kBool:
+      return ColumnType::kBool;
+    case ValueKind::kInt:
+      return ColumnType::kInt;
+    case ValueKind::kDouble:
+      return ColumnType::kDouble;
+    case ValueKind::kString:
+      return ColumnType::kString;
+    case ValueKind::kDate:
+      return ColumnType::kDate;
+    default:
+      return TypeError(StrCat("no column type for a ",
+                              ValueKindName(v.kind()), " value"));
+  }
+}
+
+bool ValueFitsType(const Value& v, ColumnType type) {
+  if (v.is_null()) return true;
+  switch (type) {
+    case ColumnType::kBool:
+      return v.is_bool();
+    case ColumnType::kInt:
+      return v.is_int();
+    case ColumnType::kDouble:
+      return v.is_number();
+    case ColumnType::kString:
+      return v.is_string();
+    case ColumnType::kDate:
+      return v.is_date();
+  }
+  return false;
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+int Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::AddColumn(Column column) {
+  if (HasColumn(column.name)) {
+    return AlreadyExists(StrCat("column '", column.name, "'"));
+  }
+  columns_.push_back(std::move(column));
+  return Status::Ok();
+}
+
+Status Schema::DropColumn(std::string_view name) {
+  int i = FindColumn(name);
+  if (i < 0) return NotFound(StrCat("column '", name, "'"));
+  columns_.erase(columns_.begin() + i);
+  return Status::Ok();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    parts.push_back(StrCat(c.name, ":", ColumnTypeName(c.type)));
+  }
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.columns_.size() != b.columns_.size()) return false;
+  for (size_t i = 0; i < a.columns_.size(); ++i) {
+    if (a.columns_[i].name != b.columns_[i].name ||
+        a.columns_[i].type != b.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace idl

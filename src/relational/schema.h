@@ -1,0 +1,61 @@
+// Relational schema: typed, named columns.
+//
+// The relational layer is the substrate under each multidatabase member: a
+// conventional 1991-style relational engine with typed columns, which the
+// adapter lifts into the IDL object model.
+
+#ifndef IDL_RELATIONAL_SCHEMA_H_
+#define IDL_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "object/value.h"
+
+namespace idl {
+
+enum class ColumnType : uint8_t { kBool, kInt, kDouble, kString, kDate };
+
+std::string_view ColumnTypeName(ColumnType type);
+
+// The column type a value conforms to; error for null/tuple/set.
+Result<ColumnType> TypeOfValue(const Value& v);
+
+// True if `v` may be stored in a column of type `type` (null is allowed in
+// any column; ints widen into double columns).
+bool ValueFitsType(const Value& v, ColumnType type);
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  // -1 if absent.
+  int FindColumn(std::string_view name) const;
+  bool HasColumn(std::string_view name) const { return FindColumn(name) >= 0; }
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column* mutable_column(size_t i) { return &columns_[i]; }
+
+  Status AddColumn(Column column);
+  Status DropColumn(std::string_view name);
+
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace idl
+
+#endif  // IDL_RELATIONAL_SCHEMA_H_

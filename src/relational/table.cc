@@ -1,0 +1,111 @@
+#include "relational/table.h"
+
+#include "common/str_util.h"
+
+namespace idl {
+
+Status Table::Insert(Row row) {
+  if (row.cells.size() != schema_.size()) {
+    return InvalidArgument(StrCat("row arity ", row.cells.size(),
+                                  " does not match schema arity ",
+                                  schema_.size(), " of table ", name_));
+  }
+  for (size_t i = 0; i < row.cells.size(); ++i) {
+    if (!ValueFitsType(row.cells[i], schema_.column(i).type)) {
+      return TypeError(StrCat("value for column '", schema_.column(i).name,
+                              "' of table ", name_, " is not a ",
+                              ColumnTypeName(schema_.column(i).type)));
+    }
+  }
+  size_t row_index = rows_.size();
+  for (auto& [col, index] : indexes_) {
+    int c = schema_.FindColumn(col);
+    index.emplace(row.cells[c].Hash(), row_index);
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+size_t Table::DeleteWhere(const std::function<bool(const Row&)>& pred) {
+  size_t before = rows_.size();
+  std::vector<Row> kept;
+  kept.reserve(rows_.size());
+  for (auto& row : rows_) {
+    if (!pred(row)) kept.push_back(std::move(row));
+  }
+  rows_ = std::move(kept);
+  if (rows_.size() != before) RebuildIndexes();
+  return before - rows_.size();
+}
+
+size_t Table::UpdateWhere(const std::function<bool(const Row&)>& pred,
+                          const std::function<void(Row*)>& fn) {
+  size_t count = 0;
+  for (auto& row : rows_) {
+    if (pred(row)) {
+      fn(&row);
+      ++count;
+    }
+  }
+  if (count > 0) RebuildIndexes();
+  return count;
+}
+
+Status Table::AddColumn(Column column) {
+  IDL_RETURN_IF_ERROR(schema_.AddColumn(std::move(column)));
+  for (auto& row : rows_) row.cells.push_back(Value::Null());
+  return Status::Ok();
+}
+
+Status Table::DropColumn(std::string_view name) {
+  int c = schema_.FindColumn(name);
+  if (c < 0) return NotFound(StrCat("column '", name, "' in table ", name_));
+  IDL_RETURN_IF_ERROR(schema_.DropColumn(name));
+  for (auto& row : rows_) row.cells.erase(row.cells.begin() + c);
+  indexes_.erase(std::string(name));
+  RebuildIndexes();
+  return Status::Ok();
+}
+
+Status Table::CreateIndex(std::string_view column) {
+  int c = schema_.FindColumn(column);
+  if (c < 0) return NotFound(StrCat("column '", column, "' in table ", name_));
+  auto [it, inserted] = indexes_.try_emplace(std::string(column));
+  if (!inserted) return Status::Ok();  // already indexed
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    it->second.emplace(rows_[i].cells[c].Hash(), i);
+  }
+  return Status::Ok();
+}
+
+bool Table::HasIndex(std::string_view column) const {
+  return indexes_.contains(std::string(column));
+}
+
+Result<std::vector<size_t>> Table::Probe(std::string_view column,
+                                         const Value& key) const {
+  auto it = indexes_.find(std::string(column));
+  if (it == indexes_.end()) {
+    return FailedPrecondition(
+        StrCat("column '", column, "' of table ", name_, " is not indexed"));
+  }
+  int c = schema_.FindColumn(column);
+  std::vector<size_t> out;
+  auto [lo, hi] = it->second.equal_range(key.Hash());
+  for (auto i = lo; i != hi; ++i) {
+    if (rows_[i->second].cells[c] == key) out.push_back(i->second);
+  }
+  return out;
+}
+
+void Table::RebuildIndexes() {
+  for (auto& [col, index] : indexes_) {
+    index.clear();
+    int c = schema_.FindColumn(col);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      index.emplace(rows_[i].cells[c].Hash(), i);
+    }
+  }
+}
+
+}  // namespace idl

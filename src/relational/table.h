@@ -1,0 +1,66 @@
+// Table: heap-organized relational storage with optional single-column hash
+// indexes and schema evolution (add/drop column — needed because removing a
+// stock from the chwab schema *is* a DDL operation, §7.1's rmStk).
+
+#ifndef IDL_RELATIONAL_TABLE_H_
+#define IDL_RELATIONAL_TABLE_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/row.h"
+#include "relational/schema.h"
+
+namespace idl {
+
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t NumRows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // Validates arity and column types.
+  Status Insert(Row row);
+
+  // Deletes rows matching `pred`; returns the count.
+  size_t DeleteWhere(const std::function<bool(const Row&)>& pred);
+
+  // In-place update: applies `fn` to matching rows; returns the count.
+  size_t UpdateWhere(const std::function<bool(const Row&)>& pred,
+                     const std::function<void(Row*)>& fn);
+
+  // Schema evolution. AddColumn fills existing rows with null.
+  Status AddColumn(Column column);
+  Status DropColumn(std::string_view name);
+
+  // Hash index on one column. Indexes are maintained by Insert/DeleteWhere/
+  // UpdateWhere/AddColumn/DropColumn.
+  Status CreateIndex(std::string_view column);
+  bool HasIndex(std::string_view column) const;
+  // Row indexes whose `column` equals `key` (uses the index; the column must
+  // be indexed).
+  Result<std::vector<size_t>> Probe(std::string_view column,
+                                    const Value& key) const;
+
+ private:
+  void RebuildIndexes();
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  // column name -> (value hash -> row indexes)
+  std::unordered_map<std::string,
+                     std::unordered_multimap<uint64_t, size_t>>
+      indexes_;
+};
+
+}  // namespace idl
+
+#endif  // IDL_RELATIONAL_TABLE_H_

@@ -1,0 +1,170 @@
+#include "syntax/analysis.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "syntax/printer.h"
+
+namespace idl {
+
+namespace {
+
+void AppendUnique(const std::vector<std::string>& vars,
+                  std::vector<std::string>* out) {
+  for (const auto& v : vars) {
+    if (std::find(out->begin(), out->end(), v) == out->end()) {
+      out->push_back(v);
+    }
+  }
+}
+
+// Collects variables that occur anywhere under an insert-marked expression.
+void CollectInsertVars(const Expr& expr, bool under_insert,
+                       std::vector<std::string>* out) {
+  bool here = under_insert || expr.update == UpdateOp::kInsert;
+  switch (expr.kind) {
+    case Expr::Kind::kEpsilon:
+      return;
+    case Expr::Kind::kAtomic:
+      if (here) expr.term.CollectVars(out);
+      return;
+    case Expr::Kind::kTuple:
+      for (const auto& item : expr.items) {
+        bool item_insert = here || item.update == UpdateOp::kInsert;
+        if (item_insert && item.attr_is_var) out->push_back(item.attr);
+        if (item.expr) CollectInsertVars(*item.expr, item_insert, out);
+      }
+      return;
+    case Expr::Kind::kSet:
+      if (expr.set_inner) CollectInsertVars(*expr.set_inner, here, out);
+      return;
+  }
+}
+
+// True if `expr` is a *simple* expression per §4.1/§6: only '=' atomic
+// expressions, no negation, no update markers.
+bool IsSimpleExpr(const Expr& expr) {
+  if (expr.negated || expr.update != UpdateOp::kNone) return false;
+  switch (expr.kind) {
+    case Expr::Kind::kEpsilon:
+      return true;
+    case Expr::Kind::kAtomic:
+      return expr.relop == RelOp::kEq;
+    case Expr::Kind::kTuple:
+      for (const auto& item : expr.items) {
+        if (item.update != UpdateOp::kNone) return false;
+        if (item.expr && !IsSimpleExpr(*item.expr)) return false;
+      }
+      return true;
+    case Expr::Kind::kSet:
+      return expr.set_inner == nullptr || IsSimpleExpr(*expr.set_inner);
+  }
+  return false;
+}
+
+}  // namespace
+
+void CollectPositiveVars(const Expr& expr, std::vector<std::string>* out) {
+  if (expr.negated) return;
+  switch (expr.kind) {
+    case Expr::Kind::kEpsilon:
+      return;
+    case Expr::Kind::kAtomic:
+      if (!expr.guard_var.empty()) out->push_back(expr.guard_var);
+      expr.term.CollectVars(out);
+      return;
+    case Expr::Kind::kTuple:
+      for (const auto& item : expr.items) {
+        if (item.attr_is_var) out->push_back(item.attr);
+        if (item.expr) CollectPositiveVars(*item.expr, out);
+      }
+      return;
+    case Expr::Kind::kSet:
+      if (expr.set_inner) CollectPositiveVars(*expr.set_inner, out);
+      return;
+  }
+}
+
+bool ContainsNegation(const Expr& expr) {
+  if (expr.negated) return true;
+  switch (expr.kind) {
+    case Expr::Kind::kEpsilon:
+    case Expr::Kind::kAtomic:
+      return false;
+    case Expr::Kind::kTuple:
+      for (const auto& item : expr.items) {
+        if (item.expr && ContainsNegation(*item.expr)) return true;
+      }
+      return false;
+    case Expr::Kind::kSet:
+      return expr.set_inner != nullptr && ContainsNegation(*expr.set_inner);
+  }
+  return false;
+}
+
+Result<QueryInfo> AnalyzeQuery(const Query& query) {
+  QueryInfo info;
+  for (const auto& conjunct : query.conjuncts) {
+    if (conjunct->HasUpdate()) info.is_update_request = true;
+    std::vector<std::string> vars;
+    CollectPositiveVars(*conjunct, &vars);
+    AppendUnique(vars, &info.free_vars);
+  }
+  return info;
+}
+
+Status ValidateRule(const Rule& rule) {
+  if (rule.head == nullptr) return InvalidArgument("rule has no head");
+  if (rule.head->kind != Expr::Kind::kTuple) {
+    return Unsafe(
+        StrCat("rule head must be a tuple expression on the universe: ",
+               ToString(*rule.head)));
+  }
+  if (!IsSimpleExpr(*rule.head)) {
+    return Unsafe(StrCat(
+        "rule head must be a simple expression (only '=', no negation, "
+        "no updates): ",
+        ToString(*rule.head)));
+  }
+  std::vector<std::string> head_vars;
+  rule.head->CollectVars(&head_vars);
+
+  std::vector<std::string> body_vars;
+  for (const auto& conjunct : rule.body) {
+    if (conjunct->HasUpdate()) {
+      return Unsafe(StrCat("rule body must not contain updates: ",
+                           ToString(*conjunct)));
+    }
+    CollectPositiveVars(*conjunct, &body_vars);
+  }
+  std::unordered_set<std::string> bound(body_vars.begin(), body_vars.end());
+  for (const auto& v : head_vars) {
+    if (!bound.contains(v)) {
+      return Unsafe(StrCat("head variable ", v,
+                           " does not occur positively in the rule body"));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<ClauseInfo> AnalyzeClause(const ProgramClause& clause) {
+  if (clause.name_path.empty()) {
+    return InvalidArgument("update program has an empty name path");
+  }
+  std::vector<std::string> insert_vars;
+  for (const auto& conjunct : clause.body) {
+    CollectInsertVars(*conjunct, /*under_insert=*/false, &insert_vars);
+  }
+  std::unordered_set<std::string> insert_set(insert_vars.begin(),
+                                             insert_vars.end());
+  ClauseInfo info;
+  for (const auto& param : clause.params) {
+    if (insert_set.contains(param.var)) {
+      info.required_params.push_back(param.attr);
+    }
+  }
+  return info;
+}
+
+}  // namespace idl

@@ -1,0 +1,49 @@
+// Static analysis of parsed statements: safety checks (range restriction,
+// simple-head validation) and binding signatures of update programs (§7.1).
+
+#ifndef IDL_SYNTAX_ANALYSIS_H_
+#define IDL_SYNTAX_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "syntax/ast.h"
+
+namespace idl {
+
+struct QueryInfo {
+  // True if any conjunct carries an update marker (an "update request", §5.1).
+  bool is_update_request = false;
+  // Variables whose bindings form the answer: variables occurring in a
+  // positive (non-negated) context, in first-occurrence order, deduplicated.
+  // Variables occurring only under negation are existential (§4.2).
+  std::vector<std::string> free_vars;
+};
+
+Result<QueryInfo> AnalyzeQuery(const Query& query);
+
+// Validates a view rule (§6): the head must be a *simple* tuple expression
+// (only '=' atomic expressions, no negation, no updates), and every head
+// variable must occur positively in the body. The body must be update-free.
+Status ValidateRule(const Rule& rule);
+
+struct ClauseInfo {
+  // Parameters that occur inside '+' (insert) expressions in the body; a
+  // call must bind all of them or the plus expressions are undefined (§7.1:
+  // "if any of the argument is not given then the plus expressions are not
+  // defined").
+  std::vector<std::string> required_params;
+};
+
+Result<ClauseInfo> AnalyzeClause(const ProgramClause& clause);
+
+// Collects variables occurring in positive (non-negated) context.
+void CollectPositiveVars(const Expr& expr, std::vector<std::string>* out);
+
+// True if the expression is negated or contains a negated sub-expression.
+bool ContainsNegation(const Expr& expr);
+
+}  // namespace idl
+
+#endif  // IDL_SYNTAX_ANALYSIS_H_

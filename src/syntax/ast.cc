@@ -1,0 +1,241 @@
+#include "syntax/ast.h"
+
+#include "common/logging.h"
+
+namespace idl {
+
+std::string_view RelOpText(RelOp op) {
+  switch (op) {
+    case RelOp::kLt:
+      return "<";
+    case RelOp::kLe:
+      return "<=";
+    case RelOp::kEq:
+      return "=";
+    case RelOp::kNe:
+      return "!=";
+    case RelOp::kGt:
+      return ">";
+    case RelOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+char ArithOpChar(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return '+';
+    case ArithOp::kSub:
+      return '-';
+    case ArithOp::kMul:
+      return '*';
+    case ArithOp::kDiv:
+      return '/';
+  }
+  return '?';
+}
+
+Term Term::Const(Value v) {
+  Term t;
+  t.kind = Kind::kConst;
+  t.constant = std::move(v);
+  return t;
+}
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.kind = Kind::kVar;
+  t.var = std::move(name);
+  return t;
+}
+
+Term Term::Arith(ArithOp op, Term lhs, Term rhs) {
+  Term t;
+  t.kind = Kind::kArith;
+  t.op = op;
+  t.lhs = std::make_unique<Term>(std::move(lhs));
+  t.rhs = std::make_unique<Term>(std::move(rhs));
+  return t;
+}
+
+Term Term::Clone() const {
+  Term t;
+  t.kind = kind;
+  t.constant = constant;
+  t.var = var;
+  t.op = op;
+  if (lhs) t.lhs = std::make_unique<Term>(lhs->Clone());
+  if (rhs) t.rhs = std::make_unique<Term>(rhs->Clone());
+  return t;
+}
+
+bool Term::IsGround() const {
+  switch (kind) {
+    case Kind::kConst:
+      return true;
+    case Kind::kVar:
+      return false;
+    case Kind::kArith:
+      return lhs->IsGround() && rhs->IsGround();
+  }
+  return false;
+}
+
+void Term::CollectVars(std::vector<std::string>* out) const {
+  switch (kind) {
+    case Kind::kConst:
+      return;
+    case Kind::kVar:
+      out->push_back(var);
+      return;
+    case Kind::kArith:
+      lhs->CollectVars(out);
+      rhs->CollectVars(out);
+      return;
+  }
+}
+
+ExprPtr Expr::Epsilon() {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kEpsilon;
+  return e;
+}
+
+ExprPtr Expr::Atomic(RelOp op, Term term, UpdateOp update) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAtomic;
+  e->relop = op;
+  e->term = std::move(term);
+  e->update = update;
+  return e;
+}
+
+ExprPtr Expr::Guard(std::string var, RelOp op, Term term) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAtomic;
+  e->guard_var = std::move(var);
+  e->relop = op;
+  e->term = std::move(term);
+  return e;
+}
+
+ExprPtr Expr::Tuple(std::vector<TupleItem> items) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kTuple;
+  e->items = std::move(items);
+  return e;
+}
+
+ExprPtr Expr::Set(ExprPtr inner, UpdateOp update) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kSet;
+  e->set_inner = std::move(inner);
+  e->update = update;
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->negated = negated;
+  e->update = update;
+  e->relop = relop;
+  e->term = term.Clone();
+  e->guard_var = guard_var;
+  e->items.reserve(items.size());
+  for (const auto& item : items) {
+    TupleItem copy;
+    copy.update = item.update;
+    copy.attr_is_var = item.attr_is_var;
+    copy.attr = item.attr;
+    if (item.expr) copy.expr = item.expr->Clone();
+    e->items.push_back(std::move(copy));
+  }
+  if (set_inner) e->set_inner = set_inner->Clone();
+  return e;
+}
+
+bool Expr::IsPureQuery() const {
+  if (update != UpdateOp::kNone) return false;
+  switch (kind) {
+    case Kind::kEpsilon:
+    case Kind::kAtomic:
+      return true;
+    case Kind::kTuple:
+      for (const auto& item : items) {
+        if (item.update != UpdateOp::kNone) return false;
+        if (item.expr && !item.expr->IsPureQuery()) return false;
+      }
+      return true;
+    case Kind::kSet:
+      return set_inner == nullptr || set_inner->IsPureQuery();
+  }
+  return true;
+}
+
+void Expr::CollectVars(std::vector<std::string>* out) const {
+  switch (kind) {
+    case Kind::kEpsilon:
+      return;
+    case Kind::kAtomic:
+      if (!guard_var.empty()) out->push_back(guard_var);
+      term.CollectVars(out);
+      return;
+    case Kind::kTuple:
+      for (const auto& item : items) {
+        if (item.attr_is_var) out->push_back(item.attr);
+        if (item.expr) item.expr->CollectVars(out);
+      }
+      return;
+    case Kind::kSet:
+      if (set_inner) set_inner->CollectVars(out);
+      return;
+  }
+}
+
+bool Expr::HasHigherOrderVar() const {
+  switch (kind) {
+    case Kind::kEpsilon:
+    case Kind::kAtomic:
+      return false;
+    case Kind::kTuple:
+      for (const auto& item : items) {
+        if (item.attr_is_var) return true;
+        if (item.expr && item.expr->HasHigherOrderVar()) return true;
+      }
+      return false;
+    case Kind::kSet:
+      return set_inner != nullptr && set_inner->HasHigherOrderVar();
+  }
+  return false;
+}
+
+Query Query::Clone() const {
+  Query q;
+  q.conjuncts.reserve(conjuncts.size());
+  for (const auto& c : conjuncts) q.conjuncts.push_back(c->Clone());
+  return q;
+}
+
+Rule Rule::Clone() const {
+  Rule r;
+  r.head = head->Clone();
+  r.body.reserve(body.size());
+  for (const auto& c : body) r.body.push_back(c->Clone());
+  r.source = source;
+  return r;
+}
+
+ProgramClause ProgramClause::Clone() const {
+  ProgramClause c;
+  c.name_path = name_path;
+  c.view_op = view_op;
+  c.params = params;
+  c.body.reserve(body.size());
+  for (const auto& e : body) c.body.push_back(e->Clone());
+  c.source = source;
+  return c;
+}
+
+}  // namespace idl

@@ -1,0 +1,165 @@
+// Abstract syntax of IDL (paper Sections 4.1, 4.3, 5.1, 6, 7.1).
+//
+//   Exp    → [¬] [+|-] PExp
+//   PExp   → Aexp | Texp | Sexp | ε
+//   Aexp   → Relop Term
+//   Term   → constant | Variable | Term (+|-|*|/) Term
+//   Texp   → Item {, Item}      Item → [+|-] .Aname Exp
+//   Aname  → constant | Variable          (Variable ⇒ higher-order)
+//   Sexp   → ( Exp )
+//
+// Statements:
+//   Query        ? Conjunct {, Conjunct}        (Conjunct: Exp on universe)
+//   Rule         Head <- Conjunct {, Conjunct}  (derived views, §6)
+//   ProgramDef   Head[+|-] -> Conjunct {, …}    (update programs, §7)
+//
+// The update markers of §5 are represented uniformly as Expr::update /
+// TupleItem::update (insert/delete prefixes on atomic, tuple-item and set
+// expressions).
+
+#ifndef IDL_SYNTAX_AST_H_
+#define IDL_SYNTAX_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "object/value.h"
+
+namespace idl {
+
+enum class RelOp : uint8_t { kLt, kLe, kEq, kNe, kGt, kGe };
+std::string_view RelOpText(RelOp op);
+
+enum class UpdateOp : uint8_t { kNone, kInsert, kDelete };
+
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv };
+char ArithOpChar(ArithOp op);
+
+// The operand of an atomic expression: a constant, a variable, or an
+// arithmetic combination (the paper's footnote 8: `.hp = C+10`).
+struct Term {
+  enum class Kind : uint8_t { kConst, kVar, kArith };
+
+  Kind kind = Kind::kConst;
+  Value constant;                    // kConst
+  std::string var;                   // kVar
+  ArithOp op = ArithOp::kAdd;        // kArith
+  std::unique_ptr<Term> lhs, rhs;    // kArith
+
+  Term() = default;
+  static Term Const(Value v);
+  static Term Var(std::string name);
+  static Term Arith(ArithOp op, Term lhs, Term rhs);
+
+  Term Clone() const;
+  bool IsGround() const;
+  // Appends the variables in this term to `out` (with duplicates).
+  void CollectVars(std::vector<std::string>* out) const;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+// One `.Aname Exp` item of a tuple expression. `attr_is_var` marks a
+// higher-order variable in the attribute position (§4.3). An item with an
+// empty `attr` (and attr_is_var false) is a *guard item*: its expression is
+// a guard evaluated against the bound variables, not an attribute lookup —
+// this is how `(.date=D, .S=P, S != date)` parses.
+struct TupleItem {
+  UpdateOp update = UpdateOp::kNone;
+  bool attr_is_var = false;
+  std::string attr;  // attribute name, or variable name if attr_is_var
+  ExprPtr expr;      // nullptr means ε (the tautological expression)
+
+  bool is_guard() const { return attr.empty() && !attr_is_var; }
+};
+
+struct Expr {
+  enum class Kind : uint8_t { kEpsilon, kAtomic, kTuple, kSet };
+
+  Kind kind = Kind::kEpsilon;
+  bool negated = false;
+
+  // kAtomic. `update` == kInsert/kDelete makes it `+=c` / `-=c` (§5.1).
+  UpdateOp update = UpdateOp::kNone;
+  RelOp relop = RelOp::kEq;
+  Term term;
+  // kAtomic only: when non-empty, this is a *guard* `Var relop Term`
+  // comparing bound variables instead of testing the context object — the
+  // construct the paper uses informally in footnote 7 (`?.X.Y, X = ource`).
+  std::string guard_var;
+
+  // kTuple.
+  std::vector<TupleItem> items;
+
+  // kSet. `update` applies here too: `+(exp)` / `-(exp)`.
+  ExprPtr set_inner;  // nullptr means (ε)
+
+  static ExprPtr Epsilon();
+  static ExprPtr Atomic(RelOp op, Term term, UpdateOp update = UpdateOp::kNone);
+  static ExprPtr Guard(std::string var, RelOp op, Term term);
+  static ExprPtr Tuple(std::vector<TupleItem> items);
+  static ExprPtr Set(ExprPtr inner, UpdateOp update = UpdateOp::kNone);
+
+  ExprPtr Clone() const;
+
+  // True if no update markers appear anywhere in this expression.
+  bool IsPureQuery() const;
+  // True if some update marker appears.
+  bool HasUpdate() const { return !IsPureQuery(); }
+  // Appends all variables (term and higher-order) to `out`.
+  void CollectVars(std::vector<std::string>* out) const;
+  // True if the expression contains a variable in an attribute position.
+  bool HasHigherOrderVar() const;
+};
+
+// A query / update request: `? conj1, ..., conjk` (§4.1, §5.1).
+struct Query {
+  std::vector<ExprPtr> conjuncts;
+
+  Query Clone() const;
+};
+
+// A view rule: `head <- body` (§6). The head must be a simple tuple
+// expression; all head variables must occur in the body.
+struct Rule {
+  ExprPtr head;
+  std::vector<ExprPtr> body;
+  std::string source;  // original text, for diagnostics
+
+  Rule Clone() const;
+};
+
+// One clause of an update program (§7.1): `.dbU.delStk(.stk=S) -> body`,
+// or a view-update program (§7.2): `.dbX.p+(...) -> body`.
+struct ProgramClause {
+  // Head decomposed: the constant path naming the program (e.g. dbU.delStk),
+  // the view-update op (kNone for ordinary programs), and the parameter
+  // tuple (attribute name -> variable).
+  std::vector<std::string> name_path;
+  UpdateOp view_op = UpdateOp::kNone;
+  struct Param {
+    std::string attr;
+    std::string var;
+  };
+  std::vector<Param> params;
+
+  std::vector<ExprPtr> body;
+  std::string source;
+
+  ProgramClause Clone() const;
+};
+
+// A parsed top-level statement.
+struct Statement {
+  enum class Kind : uint8_t { kQuery, kRule, kProgramClause };
+  Kind kind = Kind::kQuery;
+  Query query;            // kQuery
+  Rule rule;              // kRule
+  ProgramClause clause;   // kProgramClause
+};
+
+}  // namespace idl
+
+#endif  // IDL_SYNTAX_AST_H_

@@ -1,0 +1,399 @@
+#include "syntax/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/str_util.h"
+
+namespace idl {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kQuestion:
+      return "'?'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kNeg:
+      return "negation";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kLeftArrow:
+      return "'<-'";
+    case TokenKind::kRightArrow:
+      return "'->'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kDouble:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kDate:
+      return "date";
+  }
+  return "token";
+}
+
+std::string Token::Describe() const {
+  std::string what;
+  switch (kind) {
+    case TokenKind::kIdent:
+    case TokenKind::kVariable:
+      what = StrCat("'", text, "'");
+      break;
+    case TokenKind::kString:
+      what = QuoteString(text);
+      break;
+    case TokenKind::kInt:
+      what = StrCat(int_value);
+      break;
+    case TokenKind::kDouble:
+      what = DoubleToString(double_value);
+      break;
+    case TokenKind::kDate:
+      what = date_value.ToString();
+      break;
+    default:
+      what = std::string(TokenKindName(kind));
+  }
+  return StrCat(what, " at ", line, ":", column);
+}
+
+namespace {
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpaceAndComments();
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      if (pos_ >= text_.size()) {
+        tok.kind = TokenKind::kEnd;
+        out.push_back(std::move(tok));
+        return out;
+      }
+      IDL_RETURN_IF_ERROR(LexOne(&tok));
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status ErrorHere(std::string what) {
+    return ParseError(StrCat(what, " at ", line_, ":", column_));
+  }
+
+  // True if a UTF-8 multibyte sequence for `utf8` starts at pos_.
+  bool ConsumeUtf8(std::string_view utf8) {
+    if (text_.substr(pos_, utf8.size()) == utf8) {
+      for (size_t i = 0; i < utf8.size(); ++i) ++pos_;
+      column_ += 1;  // count the glyph as one column
+      return true;
+    }
+    return false;
+  }
+
+  Status LexOne(Token* tok) {
+    char c = Peek();
+
+    // Typographic operators (UTF-8) used in the paper.
+    if (ConsumeUtf8("¬")) {  // ¬
+      tok->kind = TokenKind::kNeg;
+      return Status::Ok();
+    }
+    if (ConsumeUtf8("≤")) {  // ≤
+      tok->kind = TokenKind::kLe;
+      return Status::Ok();
+    }
+    if (ConsumeUtf8("≥")) {  // ≥
+      tok->kind = TokenKind::kGe;
+      return Status::Ok();
+    }
+    if (ConsumeUtf8("≠")) {  // ≠
+      tok->kind = TokenKind::kNe;
+      return Status::Ok();
+    }
+    if (ConsumeUtf8("←")) {  // ←
+      tok->kind = TokenKind::kLeftArrow;
+      return Status::Ok();
+    }
+    if (ConsumeUtf8("→")) {  // →
+      tok->kind = TokenKind::kRightArrow;
+      return Status::Ok();
+    }
+
+    switch (c) {
+      case '.':
+        Advance();
+        tok->kind = TokenKind::kDot;
+        return Status::Ok();
+      case ',':
+        Advance();
+        tok->kind = TokenKind::kComma;
+        return Status::Ok();
+      case '(':
+        Advance();
+        tok->kind = TokenKind::kLParen;
+        return Status::Ok();
+      case ')':
+        Advance();
+        tok->kind = TokenKind::kRParen;
+        return Status::Ok();
+      case '?':
+        Advance();
+        tok->kind = TokenKind::kQuestion;
+        return Status::Ok();
+      case ';':
+        Advance();
+        tok->kind = TokenKind::kSemicolon;
+        return Status::Ok();
+      case '+':
+        Advance();
+        tok->kind = TokenKind::kPlus;
+        return Status::Ok();
+      case '*':
+        Advance();
+        tok->kind = TokenKind::kStar;
+        return Status::Ok();
+      case '/':
+        Advance();
+        tok->kind = TokenKind::kSlash;
+        return Status::Ok();
+      case '-':
+        Advance();
+        if (Peek() == '>') {
+          Advance();
+          tok->kind = TokenKind::kRightArrow;
+        } else {
+          tok->kind = TokenKind::kMinus;
+        }
+        return Status::Ok();
+      case '<':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          tok->kind = TokenKind::kLe;
+        } else if (Peek() == '-') {
+          Advance();
+          tok->kind = TokenKind::kLeftArrow;
+        } else {
+          tok->kind = TokenKind::kLt;
+        }
+        return Status::Ok();
+      case '>':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          tok->kind = TokenKind::kGe;
+        } else {
+          tok->kind = TokenKind::kGt;
+        }
+        return Status::Ok();
+      case '=':
+        Advance();
+        tok->kind = TokenKind::kEq;
+        return Status::Ok();
+      case '!':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          tok->kind = TokenKind::kNe;
+        } else {
+          tok->kind = TokenKind::kNeg;
+        }
+        return Status::Ok();
+      case '"':
+        return LexString(tok);
+      default:
+        break;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber(tok);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexWord(tok);
+    }
+    return ErrorHere(StrCat("unexpected character '", std::string(1, c), "'"));
+  }
+
+  Status LexString(Token* tok) {
+    Advance();  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      Advance();
+      if (c == '\\' && pos_ < text_.size()) {
+        char e = text_[pos_];
+        Advance();
+        switch (e) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          default:
+            out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) return ErrorHere("unterminated string literal");
+    Advance();  // closing quote
+    tok->kind = TokenKind::kString;
+    tok->text = std::move(out);
+    return Status::Ok();
+  }
+
+  // Lexes an integer, double, or date (d/d/d with no intervening spaces).
+  Status LexNumber(Token* tok) {
+    size_t start = pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+
+    // Date: digits '/' digits '/' digits.
+    if (Peek() == '/' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      size_t save = pos_;
+      int save_line = line_, save_col = column_;
+      Advance();  // '/'
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+      if (Peek() == '/' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        Advance();  // '/'
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+        std::string_view text = text_.substr(start, pos_ - start);
+        Result<Date> d = Date::Parse(text);
+        if (!d.ok()) return d.status();
+        tok->kind = TokenKind::kDate;
+        tok->date_value = *d;
+        return Status::Ok();
+      }
+      // Not a date after all (e.g. `6/2` division): rewind to the slash.
+      pos_ = save;
+      line_ = save_line;
+      column_ = save_col;
+    }
+
+    bool is_double = false;
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_double = true;
+      Advance();
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t ahead = 1;
+      if (Peek(1) == '+' || Peek(1) == '-') ahead = 2;
+      if (std::isdigit(static_cast<unsigned char>(Peek(ahead)))) {
+        is_double = true;
+        for (size_t i = 0; i < ahead; ++i) Advance();
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+      }
+    }
+
+    std::string_view text = text_.substr(start, pos_ - start);
+    if (is_double) {
+      double d = 0;
+      auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), d);
+      if (ec != std::errc() || p != text.data() + text.size()) {
+        return ErrorHere(StrCat("bad number '", text, "'"));
+      }
+      tok->kind = TokenKind::kDouble;
+      tok->double_value = d;
+    } else {
+      int64_t i = 0;
+      auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), i);
+      if (ec != std::errc() || p != text.data() + text.size()) {
+        return ErrorHere(StrCat("bad integer '", text, "'"));
+      }
+      tok->kind = TokenKind::kInt;
+      tok->int_value = i;
+    }
+    return Status::Ok();
+  }
+
+  Status LexWord(Token* tok) {
+    size_t start = pos_;
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      Advance();
+    }
+    std::string word(text_.substr(start, pos_ - start));
+    tok->kind = std::isupper(static_cast<unsigned char>(word[0]))
+                    ? TokenKind::kVariable
+                    : TokenKind::kIdent;
+    tok->text = std::move(word);
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  return LexerImpl(text).Run();
+}
+
+}  // namespace idl

@@ -1,0 +1,28 @@
+// Lexer for the IDL concrete syntax.
+//
+// Notes on lexing decisions:
+//  * Words starting with an uppercase letter are variables, lowercase words
+//    are constants/names (the Datalog convention the paper uses).
+//  * `d/d/d` digit groups lex as a single date token (the paper's 3/3/85);
+//    `/` is otherwise the division operator.
+//  * Both ASCII (`!`, `<=`, `>=`, `!=`) and typographic (`¬`, `≤`, `≥`, `≠`)
+//    operator spellings are accepted, since the paper uses the latter.
+//  * `%` starts a comment running to end of line.
+
+#ifndef IDL_SYNTAX_LEXER_H_
+#define IDL_SYNTAX_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "syntax/token.h"
+
+namespace idl {
+
+// Tokenizes `text` completely; the final token has kind kEnd.
+Result<std::vector<Token>> Lex(std::string_view text);
+
+}  // namespace idl
+
+#endif  // IDL_SYNTAX_LEXER_H_

@@ -1,0 +1,34 @@
+// Recursive-descent parser for IDL text.
+//
+// Entry points parse a whole string; errors carry line:column positions.
+// Multi-statement input separates statements with ';'.
+
+#ifndef IDL_SYNTAX_PARSER_H_
+#define IDL_SYNTAX_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "syntax/ast.h"
+
+namespace idl {
+
+// `? conj1, ..., conjk` — a query or update request (§4, §5).
+Result<Query> ParseQuery(std::string_view text);
+
+// `head <- body` — a view rule (§6).
+Result<Rule> ParseRule(std::string_view text);
+
+// `head -> body` — an update program clause (§7).
+Result<ProgramClause> ParseProgramClause(std::string_view text);
+
+// A ';'-separated sequence of queries, rules and program clauses.
+Result<std::vector<Statement>> ParseStatements(std::string_view text);
+
+// A single expression (exposed for tests and tools).
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace idl
+
+#endif  // IDL_SYNTAX_PARSER_H_

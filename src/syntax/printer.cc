@@ -1,0 +1,152 @@
+#include "syntax/printer.h"
+
+#include "common/str_util.h"
+#include "object/value_io.h"
+
+namespace idl {
+
+namespace {
+
+void PrintTerm(const Term& t, std::string* out, bool parenthesize_arith) {
+  switch (t.kind) {
+    case Term::Kind::kConst:
+      *out += ToString(t.constant);
+      return;
+    case Term::Kind::kVar:
+      *out += t.var;
+      return;
+    case Term::Kind::kArith: {
+      // Terms have no grouping syntax; print left-to-right with explicit
+      // precedence preserved by construction. Mixed precedence that cannot
+      // be expressed flat is rare; we print inner additions first when
+      // needed (the parser never produces such trees from flat input).
+      (void)parenthesize_arith;
+      PrintTerm(*t.lhs, out, true);
+      *out += ArithOpChar(t.op);
+      PrintTerm(*t.rhs, out, true);
+      return;
+    }
+  }
+}
+
+void PrintUpdateOp(UpdateOp op, std::string* out) {
+  if (op == UpdateOp::kInsert) *out += '+';
+  if (op == UpdateOp::kDelete) *out += '-';
+}
+
+void PrintExpr(const Expr& e, std::string* out) {
+  if (e.negated) *out += '!';
+  switch (e.kind) {
+    case Expr::Kind::kEpsilon:
+      return;
+    case Expr::Kind::kAtomic:
+      if (!e.guard_var.empty()) {
+        *out += e.guard_var;
+        *out += ' ';
+        *out += RelOpText(e.relop);
+        *out += ' ';
+        PrintTerm(e.term, out, false);
+        return;
+      }
+      PrintUpdateOp(e.update, out);
+      *out += RelOpText(e.relop);
+      PrintTerm(e.term, out, false);
+      return;
+    case Expr::Kind::kTuple: {
+      bool first = true;
+      for (const auto& item : e.items) {
+        if (!first) *out += ", ";
+        first = false;
+        if (item.is_guard()) {
+          PrintExpr(*item.expr, out);
+          continue;
+        }
+        PrintUpdateOp(item.update, out);
+        *out += '.';
+        *out += item.attr;
+        if (item.expr != nullptr && item.expr->kind != Expr::Kind::kEpsilon) {
+          PrintExpr(*item.expr, out);
+        }
+      }
+      return;
+    }
+    case Expr::Kind::kSet:
+      PrintUpdateOp(e.update, out);
+      *out += '(';
+      if (e.set_inner != nullptr) PrintExpr(*e.set_inner, out);
+      *out += ')';
+      return;
+  }
+}
+
+std::string PrintConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  std::string out;
+  bool first = true;
+  for (const auto& c : conjuncts) {
+    if (!first) out += ", ";
+    first = false;
+    PrintExpr(*c, &out);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToString(const Term& term) {
+  std::string out;
+  PrintTerm(term, &out, false);
+  return out;
+}
+
+std::string ToString(const Expr& expr) {
+  std::string out;
+  PrintExpr(expr, &out);
+  return out;
+}
+
+std::string ToString(const Query& query) {
+  return StrCat("?", PrintConjuncts(query.conjuncts));
+}
+
+std::string ToString(const Rule& rule) {
+  return StrCat(ToString(*rule.head), " <- ", PrintConjuncts(rule.body));
+}
+
+std::string ToString(const ProgramClause& clause) {
+  std::string out;
+  for (const auto& p : clause.name_path) {
+    out += '.';
+    out += p;
+  }
+  out += '(';
+  bool first = true;
+  for (const auto& param : clause.params) {
+    if (!first) out += ", ";
+    first = false;
+    out += StrCat(".", param.attr, "=", param.var);
+  }
+  out += ')';
+  // View-update op prints between name and parameter tuple: `.dbX.p+(...)`.
+  if (clause.view_op != UpdateOp::kNone) {
+    // Rebuild with the op before '('.
+    out = "";
+    for (const auto& p : clause.name_path) {
+      out += '.';
+      out += p;
+    }
+    PrintUpdateOp(clause.view_op, &out);
+    out += '(';
+    first = true;
+    for (const auto& param : clause.params) {
+      if (!first) out += ", ";
+      first = false;
+      out += StrCat(".", param.attr, "=", param.var);
+    }
+    out += ')';
+  }
+  out += " -> ";
+  out += PrintConjuncts(clause.body);
+  return out;
+}
+
+}  // namespace idl

@@ -1,0 +1,22 @@
+// Canonical pretty-printing of IDL syntax trees back to text.
+// Printing then re-parsing yields a structurally identical tree
+// (round-trip property, tested in tests/syntax_roundtrip_test.cc).
+
+#ifndef IDL_SYNTAX_PRINTER_H_
+#define IDL_SYNTAX_PRINTER_H_
+
+#include <string>
+
+#include "syntax/ast.h"
+
+namespace idl {
+
+std::string ToString(const Term& term);
+std::string ToString(const Expr& expr);
+std::string ToString(const Query& query);
+std::string ToString(const Rule& rule);
+std::string ToString(const ProgramClause& clause);
+
+}  // namespace idl
+
+#endif  // IDL_SYNTAX_PRINTER_H_

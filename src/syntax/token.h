@@ -1,0 +1,60 @@
+// Tokens of the IDL concrete syntax.
+
+#ifndef IDL_SYNTAX_TOKEN_H_
+#define IDL_SYNTAX_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "object/date.h"
+
+namespace idl {
+
+enum class TokenKind : uint8_t {
+  kEnd = 0,
+  kDot,        // .
+  kComma,      // ,
+  kLParen,     // (
+  kRParen,     // )
+  kQuestion,   // ?
+  kPlus,       // +
+  kMinus,      // -
+  kStar,       // *
+  kSlash,      // /
+  kNeg,        // ¬ or !
+  kSemicolon,  // ;
+  kLeftArrow,  // <-
+  kRightArrow, // ->
+  kLt,         // <
+  kLe,         // <= or ≤
+  kEq,         // =
+  kNe,         // != or ≠
+  kGt,         // >
+  kGe,         // >= or ≥
+  kIdent,      // lowercase-initial word: constant / attribute / relation name
+  kVariable,   // uppercase-initial word (Datalog convention)
+  kInt,
+  kDouble,
+  kString,     // "quoted"
+  kDate,       // 3/3/85
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // raw text (identifier/variable name, string value)
+  int64_t int_value = 0;
+  double double_value = 0;
+  Date date_value;
+  int line = 1;
+  int column = 1;
+
+  // "'hp' at 2:5".
+  std::string Describe() const;
+};
+
+}  // namespace idl
+
+#endif  // IDL_SYNTAX_TOKEN_H_

@@ -1,0 +1,402 @@
+#include "update/applier.h"
+
+#include "common/str_util.h"
+#include "eval/matcher.h"
+#include "syntax/printer.h"
+
+namespace idl {
+
+namespace {
+
+const Expr& EpsilonExpr() {
+  static const Expr& kEpsilon = *new Expr();
+  return kEpsilon;
+}
+
+// Materializes all satisfying extensions of `sigma` for `value` ⊨ `expr`.
+Status CollectMatches(EvalStats* stats, const Value& value, const Expr& expr,
+                      const Substitution& sigma,
+                      std::vector<Substitution>* out) {
+  Matcher matcher(stats);
+  Substitution working = sigma;
+  Result<bool> r =
+      matcher.Match(value, expr, &working, [&](const Substitution& s) {
+        out->push_back(s);
+        return true;
+      });
+  if (!r.ok()) return r.status();
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::string> UpdateApplier::GroundAttr(const TupleItem& item,
+                                              const Substitution& sigma) {
+  if (!item.attr_is_var) return item.attr;
+  const Value* bound = sigma.Lookup(item.attr);
+  if (bound == nullptr) {
+    return Unsafe(StrCat("attribute variable ", item.attr,
+                         " is unbound in an update expression"));
+  }
+  if (!bound->is_string()) {
+    return TypeError(StrCat("attribute variable ", item.attr,
+                            " is bound to a non-name object"));
+  }
+  return bound->as_string();
+}
+
+Status UpdateApplier::ApplyConjunct(Value* target, const Expr& expr,
+                                    const Substitution& sigma,
+                                    std::vector<Substitution>* out) {
+  if (expr.negated) {
+    return Unsafe(StrCat("negated update expression: ", ToString(expr)));
+  }
+  switch (expr.kind) {
+    case Expr::Kind::kEpsilon:
+      out->push_back(sigma);
+      return Status::Ok();
+    case Expr::Kind::kAtomic:
+      return ApplyAtomic(target, expr, sigma, out);
+    case Expr::Kind::kTuple:
+      if (!target->is_tuple()) {
+        return TypeError(StrCat("tuple update applied to a ",
+                                ValueKindName(target->kind()), " object"));
+      }
+      return ApplyTupleItems(target, OrderItems(expr.items), 0, sigma, out);
+    case Expr::Kind::kSet:
+      return ApplySet(target, expr, sigma, out);
+  }
+  return Internal("unreachable expression kind");
+}
+
+std::vector<const TupleItem*> UpdateApplier::OrderItems(
+    const std::vector<TupleItem>& items) {
+  std::vector<const TupleItem*> ordered;
+  ordered.reserve(items.size());
+  for (const auto& item : items) {
+    if (item.update == UpdateOp::kNone &&
+        (item.expr == nullptr || item.expr->IsPureQuery())) {
+      ordered.push_back(&item);
+    }
+  }
+  for (const auto& item : items) {
+    if (!(item.update == UpdateOp::kNone &&
+          (item.expr == nullptr || item.expr->IsPureQuery()))) {
+      ordered.push_back(&item);
+    }
+  }
+  return ordered;
+}
+
+Status UpdateApplier::ApplyTupleItems(
+    Value* tuple, const std::vector<const TupleItem*>& items, size_t index,
+    const Substitution& sigma, std::vector<Substitution>* out) {
+  if (index == items.size()) {
+    out->push_back(sigma);
+    return Status::Ok();
+  }
+  std::vector<Substitution> step;
+  IDL_RETURN_IF_ERROR(ApplyItem(tuple, *items[index], sigma, &step));
+  for (const auto& s : step) {
+    IDL_RETURN_IF_ERROR(ApplyTupleItems(tuple, items, index + 1, s, out));
+  }
+  return Status::Ok();
+}
+
+Status UpdateApplier::ApplyItem(Value* tuple, const TupleItem& item,
+                                const Substitution& sigma,
+                                std::vector<Substitution>* out) {
+  const Expr& sub = item.expr ? *item.expr : EpsilonExpr();
+
+  // Pure query item (no update inside): match to extend bindings. Uses the
+  // matcher, so higher-order attribute variables enumerate as usual.
+  if (item.update == UpdateOp::kNone && sub.IsPureQuery()) {
+    std::vector<TupleItem> single;
+    single.push_back(TupleItem{item.update, item.attr_is_var, item.attr,
+                               item.expr ? item.expr->Clone() : nullptr});
+    ExprPtr probe = Expr::Tuple(std::move(single));
+    return CollectMatches(stats_, *tuple, *probe, sigma, out);
+  }
+
+  IDL_ASSIGN_OR_RETURN(std::string attr, GroundAttr(item, sigma));
+
+  switch (item.update) {
+    case UpdateOp::kInsert: {
+      // §5.2 tuple plus: (re)create the attribute with an empty object and
+      // make the sub-expression true on it.
+      tuple->SetField(attr, Value::Null());
+      ++counts_->attr_creates;
+      Value* slot = tuple->MutableField(attr);
+      IDL_RETURN_IF_ERROR(MakeTrue(slot, sub, sigma));
+      out->push_back(sigma);
+      return Status::Ok();
+    }
+    case UpdateOp::kDelete: {
+      // §5.2 tuple minus: remove the attribute if its object satisfies the
+      // sub-expression; bindings from the match propagate.
+      const Value* object = tuple->FindField(attr);
+      if (object == nullptr) {
+        out->push_back(sigma);  // nothing to delete
+        return Status::Ok();
+      }
+      std::vector<Substitution> matches;
+      IDL_RETURN_IF_ERROR(
+          CollectMatches(stats_, *object, sub, sigma, &matches));
+      if (matches.empty()) {
+        out->push_back(sigma);  // condition not met: unchanged
+        return Status::Ok();
+      }
+      tuple->RemoveField(attr);
+      ++counts_->attr_deletes;
+      for (auto& m : matches) out->push_back(std::move(m));
+      return Status::Ok();
+    }
+    case UpdateOp::kNone: {
+      // Navigation: the sub-expression contains the updates.
+      Value* object = tuple->MutableField(attr);
+      if (object == nullptr) {
+        return NotFound(
+            StrCat("update path: no attribute '", attr, "' to descend into"));
+      }
+      return ApplyConjunct(object, sub, sigma, out);
+    }
+  }
+  return Internal("unreachable update op");
+}
+
+Status UpdateApplier::ApplySet(Value* set, const Expr& expr,
+                               const Substitution& sigma,
+                               std::vector<Substitution>* out) {
+  const Expr& inner = expr.set_inner ? *expr.set_inner : EpsilonExpr();
+  if (!set->is_set()) {
+    // §5.2: update expressions are valid on an empty object; a null slot
+    // becomes an empty set.
+    if (set->is_null() && expr.update == UpdateOp::kInsert) {
+      *set = Value::EmptySet();
+    } else {
+      return TypeError(StrCat("set update applied to a ",
+                              ValueKindName(set->kind()), " object"));
+    }
+  }
+
+  switch (expr.update) {
+    case UpdateOp::kInsert: {
+      // §5.2 set plus: create an empty object, make the inner expression
+      // true on it, add it to the set.
+      Value element;
+      IDL_RETURN_IF_ERROR(MakeTrue(&element, inner, sigma));
+      set->Insert(std::move(element));
+      ++counts_->set_inserts;
+      out->push_back(sigma);
+      return Status::Ok();
+    }
+    case UpdateOp::kDelete: {
+      // §5.2 set minus: delete all elements satisfying the inner (query)
+      // expression; one extended substitution per deleted element.
+      std::vector<Substitution> matches;
+      std::vector<size_t> doomed;
+      const auto& elems = set->elements();
+      for (size_t i = 0; i < elems.size(); ++i) {
+        size_t before = matches.size();
+        IDL_RETURN_IF_ERROR(
+            CollectMatches(stats_, elems[i], inner, sigma, &matches));
+        if (matches.size() > before) doomed.push_back(i);
+      }
+      if (doomed.empty()) {
+        out->push_back(sigma);  // nothing deleted: substitution unchanged
+        return Status::Ok();
+      }
+      // Rebuild the set without the doomed elements (by index).
+      {
+        std::vector<Value> kept;
+        const auto& all = set->elements();
+        size_t d = 0;
+        for (size_t i = 0; i < all.size(); ++i) {
+          if (d < doomed.size() && doomed[d] == i) {
+            ++d;
+            ++counts_->set_deletes;
+          } else {
+            kept.push_back(all[i]);
+          }
+        }
+        Value rebuilt = Value::EmptySet();
+        for (auto& v : kept) rebuilt.Insert(std::move(v));
+        *set = std::move(rebuilt);
+      }
+      for (auto& m : matches) out->push_back(std::move(m));
+      return Status::Ok();
+    }
+    case UpdateOp::kNone: {
+      // Element-wise mixed query/update: for each element, the pure parts
+      // select and bind, the update parts mutate that element in place.
+      if (inner.kind == Expr::Kind::kEpsilon) {
+        out->push_back(sigma);
+        return Status::Ok();
+      }
+      if (inner.kind != Expr::Kind::kTuple) {
+        return Unsupported(
+            "mixed query/update inside a set expression requires tuple "
+            "elements");
+      }
+      uint64_t before = counts_->Total();
+      std::vector<const TupleItem*> ordered = OrderItems(inner.items);
+      size_t n = set->SetSize();
+      for (size_t i = 0; i < n; ++i) {
+        Value* element = set->MutableElement(i);
+        if (!element->is_tuple()) continue;
+        IDL_RETURN_IF_ERROR(ApplyTupleItems(element, ordered, 0, sigma, out));
+      }
+      if (counts_->Total() != before) set->RehashSet();
+      return Status::Ok();
+    }
+  }
+  return Internal("unreachable update op");
+}
+
+Status UpdateApplier::ApplyAtomic(Value* atom, const Expr& expr,
+                                  const Substitution& sigma,
+                                  std::vector<Substitution>* out) {
+  if (atom->is_tuple() || atom->is_set()) {
+    return TypeError(StrCat("atomic update applied to a ",
+                            ValueKindName(atom->kind()), " object"));
+  }
+  switch (expr.update) {
+    case UpdateOp::kInsert: {
+      // §5.2 atomic plus: replace the object with the value.
+      if (expr.relop != RelOp::kEq) {
+        return Unsafe("atomic insert must use '=' (simple expression)");
+      }
+      IDL_ASSIGN_OR_RETURN(Value v, Matcher::EvalTerm(expr.term, sigma));
+      *atom = std::move(v);
+      ++counts_->atom_writes;
+      out->push_back(sigma);
+      return Status::Ok();
+    }
+    case UpdateOp::kDelete: {
+      // §5.2 atomic minus: null out the object if it satisfies =c. An
+      // unbound variable binds to the current value first (delStk's
+      // `.S-=X`), making the deleted value available downstream.
+      if (expr.relop != RelOp::kEq) {
+        return Unsafe("atomic delete must use '=' (simple expression)");
+      }
+      if (expr.term.kind == Term::Kind::kVar &&
+          sigma.Lookup(expr.term.var) == nullptr) {
+        if (atom->is_null()) {
+          out->push_back(sigma);  // nothing to delete
+          return Status::Ok();
+        }
+        Substitution extended = sigma;
+        extended.Bind(expr.term.var, *atom);
+        *atom = Value::Null();
+        ++counts_->atom_nulls;
+        out->push_back(std::move(extended));
+        return Status::Ok();
+      }
+      IDL_ASSIGN_OR_RETURN(Value v, Matcher::EvalTerm(expr.term, sigma));
+      if (Matcher::EvalRelOp(RelOp::kEq, *atom, v)) {
+        *atom = Value::Null();
+        ++counts_->atom_nulls;
+      }
+      out->push_back(sigma);
+      return Status::Ok();
+    }
+    case UpdateOp::kNone:
+      // Pure query atomic reached through an update conjunct: match.
+      return CollectMatches(stats_, *atom, expr, sigma, out);
+  }
+  return Internal("unreachable update op");
+}
+
+Status UpdateApplier::MakeTrue(Value* slot, const Expr& expr,
+                               const Substitution& sigma) {
+  if (expr.negated) {
+    return Unsafe("cannot make a negated expression true");
+  }
+  switch (expr.kind) {
+    case Expr::Kind::kEpsilon:
+      return Status::Ok();  // any object satisfies ε; leave the slot as-is
+    case Expr::Kind::kAtomic: {
+      if (expr.relop != RelOp::kEq || expr.update == UpdateOp::kDelete) {
+        return Unsafe(StrCat("insert requires a simple expression, got: ",
+                             ToString(expr)));
+      }
+      IDL_ASSIGN_OR_RETURN(Value v, Matcher::EvalTerm(expr.term, sigma));
+      *slot = std::move(v);
+      ++counts_->atom_writes;
+      return Status::Ok();
+    }
+    case Expr::Kind::kTuple: {
+      // The empty object behaves as an empty tuple in tuple context (§5.2).
+      if (slot->is_null()) *slot = Value::EmptyTuple();
+      if (!slot->is_tuple()) {
+        return TypeError(StrCat("cannot make a tuple expression true on a ",
+                                ValueKindName(slot->kind()), " object"));
+      }
+      for (const auto& item : expr.items) {
+        if (item.update == UpdateOp::kDelete) {
+          return Unsafe("delete item inside an insert expression");
+        }
+        IDL_ASSIGN_OR_RETURN(std::string attr, GroundAttr(item, sigma));
+        slot->SetField(attr, Value::Null());
+        ++counts_->attr_creates;
+        Value* field = slot->MutableField(attr);
+        IDL_RETURN_IF_ERROR(
+            MakeTrue(field, item.expr ? *item.expr : EpsilonExpr(), sigma));
+      }
+      return Status::Ok();
+    }
+    case Expr::Kind::kSet: {
+      // The empty object behaves as an empty set in set context (§5.2).
+      if (slot->is_null()) *slot = Value::EmptySet();
+      if (!slot->is_set()) {
+        return TypeError(StrCat("cannot make a set expression true on a ",
+                                ValueKindName(slot->kind()), " object"));
+      }
+      if (expr.update == UpdateOp::kDelete) {
+        return Unsafe("delete expression inside an insert expression");
+      }
+      Value element;
+      IDL_RETURN_IF_ERROR(
+          MakeTrue(&element, expr.set_inner ? *expr.set_inner : EpsilonExpr(),
+                   sigma));
+      slot->Insert(std::move(element));
+      ++counts_->set_inserts;
+      return Status::Ok();
+    }
+  }
+  return Internal("unreachable expression kind");
+}
+
+Result<UpdateRequestResult> ApplyUpdateRequest(Value* universe,
+                                               const Query& request,
+                                               EvalStats* stats) {
+  EvalStats local;
+  if (stats == nullptr) stats = &local;
+  UpdateRequestResult result;
+  UpdateApplier applier(stats, &result.counts);
+
+  std::vector<Substitution> bindings;
+  bindings.emplace_back();
+
+  for (const auto& conjunct : request.conjuncts) {
+    std::vector<Substitution> next;
+    if (conjunct->IsPureQuery()) {
+      for (const auto& sigma : bindings) {
+        IDL_RETURN_IF_ERROR(
+            CollectMatches(stats, *universe, *conjunct, sigma, &next));
+      }
+    } else {
+      for (const auto& sigma : bindings) {
+        IDL_RETURN_IF_ERROR(
+            applier.ApplyConjunct(universe, *conjunct, sigma, &next));
+      }
+    }
+    DedupSubstitutions(&next);
+    bindings = std::move(next);
+    if (bindings.empty()) break;
+  }
+  result.bindings = bindings.size();
+  return result;
+}
+
+}  // namespace idl

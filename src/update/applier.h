@@ -1,0 +1,119 @@
+// Update expression evaluation (paper §5.2).
+//
+// An update request `? e1, ..., ek` evaluates conjuncts strictly left to
+// right over a set of substitutions: pure query conjuncts extend the
+// substitutions (sideways information passing), update conjuncts mutate the
+// universe once per substitution. Deletes additionally *bind*: deleting
+// `-(.hp=C)` extends the substitution with C bound to each deleted value, so
+// the paper's delete-then-insert composition
+//   ?.chwab.r-(.date=3/3/85,.hp=C), .chwab.r+(.date=3/3/85,.hp=C+10)
+// works as written (a series of deletes, one per binding — the QBE/LDL
+// reading the paper adopts).
+//
+// Implemented semantics, per §5.2:
+//  * atomic plus  `+=c`   replace the atom with c
+//  * atomic minus `-=c`   replace with null if the atom satisfies =c
+//  * tuple plus   `+.a e` create attribute a (dropping any existing object),
+//                         seed an empty object, recursively make e true on it
+//  * tuple minus  `-.a e` remove attribute a if its object satisfies e
+//  * set plus     `+(e)`  build a new object from e and insert it
+//  * set minus    `-(e)`  delete all elements satisfying e
+// Update expressions must be simple and ground at application time
+// (violations yield kUnsafe, never undefined behaviour). Sets may end up
+// heterogeneous — attribute deletion in a single tuple is legal (§5.2).
+
+#ifndef IDL_UPDATE_APPLIER_H_
+#define IDL_UPDATE_APPLIER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "eval/explain.h"
+#include "eval/substitution.h"
+#include "object/value.h"
+#include "syntax/ast.h"
+
+namespace idl {
+
+struct UpdateCounts {
+  uint64_t set_inserts = 0;
+  uint64_t set_deletes = 0;
+  uint64_t attr_creates = 0;
+  uint64_t attr_deletes = 0;
+  uint64_t atom_writes = 0;
+  uint64_t atom_nulls = 0;
+
+  uint64_t Total() const {
+    return set_inserts + set_deletes + attr_creates + attr_deletes +
+           atom_writes + atom_nulls;
+  }
+  UpdateCounts& operator+=(const UpdateCounts& o) {
+    set_inserts += o.set_inserts;
+    set_deletes += o.set_deletes;
+    attr_creates += o.attr_creates;
+    attr_deletes += o.attr_deletes;
+    atom_writes += o.atom_writes;
+    atom_nulls += o.atom_nulls;
+    return *this;
+  }
+};
+
+class UpdateApplier {
+ public:
+  UpdateApplier(EvalStats* stats, UpdateCounts* counts)
+      : stats_(stats), counts_(counts) {}
+
+  // Applies one conjunct (which contains update markers) to `target` under
+  // `sigma`; appends the resulting (possibly extended) substitutions to
+  // `out`. A conjunct whose query parts match nothing appends nothing.
+  Status ApplyConjunct(Value* target, const Expr& expr,
+                       const Substitution& sigma,
+                       std::vector<Substitution>* out);
+
+  // Makes a simple expression true on `slot` (the recursive "+" semantics:
+  // the MakeTrue operation shared with the view engine, §6).
+  Status MakeTrue(Value* slot, const Expr& expr, const Substitution& sigma);
+
+ private:
+  // Items are applied with pure-query items first (they *select* the tuples
+  // an update applies to, whatever order they were written in: delStk's
+  // `.S-=X, .date=D` filters on the date), then update items in written
+  // order.
+  Status ApplyTupleItems(Value* tuple,
+                         const std::vector<const TupleItem*>& items,
+                         size_t index, const Substitution& sigma,
+                         std::vector<Substitution>* out);
+  static std::vector<const TupleItem*> OrderItems(
+      const std::vector<TupleItem>& items);
+  Status ApplyItem(Value* tuple, const TupleItem& item,
+                   const Substitution& sigma, std::vector<Substitution>* out);
+  Status ApplySet(Value* set, const Expr& expr, const Substitution& sigma,
+                  std::vector<Substitution>* out);
+  Status ApplyAtomic(Value* atom, const Expr& expr, const Substitution& sigma,
+                     std::vector<Substitution>* out);
+
+  // Resolves an item's attribute name: a constant, or a variable that must
+  // be bound to a string.
+  Result<std::string> GroundAttr(const TupleItem& item,
+                                 const Substitution& sigma);
+
+  EvalStats* stats_;
+  UpdateCounts* counts_;
+};
+
+struct UpdateRequestResult {
+  // Substitutions alive after the last conjunct (0 means some conjunct
+  // matched nothing — the request had no effect at that point).
+  size_t bindings = 0;
+  UpdateCounts counts;
+};
+
+// Applies an update request (a Query whose conjuncts include update
+// expressions) to the universe.
+Result<UpdateRequestResult> ApplyUpdateRequest(Value* universe,
+                                               const Query& request,
+                                               EvalStats* stats = nullptr);
+
+}  // namespace idl
+
+#endif  // IDL_UPDATE_APPLIER_H_

@@ -1,0 +1,251 @@
+#include "views/engine.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "eval/matcher.h"
+#include "eval/query.h"
+#include "eval/substitution.h"
+#include "syntax/analysis.h"
+#include "syntax/printer.h"
+
+namespace idl {
+
+namespace {
+
+const Expr& EpsilonExpr() {
+  static const Expr& kEpsilon = *new Expr();
+  return kEpsilon;
+}
+
+// Resolves an attribute name in a head item: constant, or a variable the
+// body bound to a string.
+Result<std::string> GroundName(const TupleItem& item,
+                               const Substitution& sigma) {
+  if (!item.attr_is_var) return item.attr;
+  const Value* bound = sigma.Lookup(item.attr);
+  if (bound == nullptr) {
+    return Internal(StrCat("head variable ", item.attr,
+                           " unbound (ValidateRule should have caught this)"));
+  }
+  if (!bound->is_string()) {
+    return TypeError(StrCat("head variable ", item.attr,
+                            " bound to a non-name object; it cannot be used "
+                            "as an attribute name"));
+  }
+  return bound->as_string();
+}
+
+// True if `v` can be mutated to satisfy `expr` without contradicting any of
+// its existing content (absent attributes may be added, null slots may be
+// filled).
+Result<bool> CanAbsorb(const Value& v, const Expr& expr,
+                       const Substitution& sigma) {
+  switch (expr.kind) {
+    case Expr::Kind::kEpsilon:
+      return true;
+    case Expr::Kind::kAtomic: {
+      if (v.is_null()) return true;
+      if (v.is_tuple() || v.is_set()) return false;
+      IDL_ASSIGN_OR_RETURN(Value operand,
+                           Matcher::EvalTerm(expr.term, sigma));
+      return Matcher::EvalRelOp(RelOp::kEq, v, operand);
+    }
+    case Expr::Kind::kTuple: {
+      if (v.is_null()) return true;
+      if (!v.is_tuple()) return false;
+      for (const auto& item : expr.items) {
+        IDL_ASSIGN_OR_RETURN(std::string attr, GroundName(item, sigma));
+        const Value* field = v.FindField(attr);
+        if (field == nullptr) continue;  // addable
+        IDL_ASSIGN_OR_RETURN(
+            bool ok, CanAbsorb(*field, item.expr ? *item.expr : EpsilonExpr(),
+                               sigma));
+        if (!ok) return false;
+      }
+      return true;
+    }
+    case Expr::Kind::kSet:
+      return v.is_null() || v.is_set();  // can always insert
+  }
+  return false;
+}
+
+class HeadWriter {
+ public:
+  HeadWriter(EvalStats* stats, Materialized* out) : stats_(stats), out_(out) {}
+
+  // §6's recursive MakeTrue, with absorb-before-insert at sets.
+  Status MakeTrue(Value* slot, const Expr& expr, const Substitution& sigma) {
+    switch (expr.kind) {
+      case Expr::Kind::kEpsilon:
+        return Status::Ok();
+      case Expr::Kind::kAtomic: {
+        IDL_ASSIGN_OR_RETURN(Value v, Matcher::EvalTerm(expr.term, sigma));
+        if (slot->is_null() || !Matcher::EvalRelOp(RelOp::kEq, *slot, v)) {
+          *slot = std::move(v);
+          ++out_->changes;
+        }
+        return Status::Ok();
+      }
+      case Expr::Kind::kTuple: {
+        if (slot->is_null()) {
+          *slot = Value::EmptyTuple();
+          ++out_->changes;
+        }
+        if (!slot->is_tuple()) {
+          return TypeError(
+              StrCat("cannot make a tuple expression true on a ",
+                     ValueKindName(slot->kind()), " object"));
+        }
+        for (const auto& item : expr.items) {
+          IDL_ASSIGN_OR_RETURN(std::string attr, GroundName(item, sigma));
+          if (slot->FindField(attr) == nullptr) {
+            slot->SetField(attr, Value::Null());
+            ++out_->changes;
+          }
+          Value* field = slot->MutableField(attr);
+          IDL_RETURN_IF_ERROR(MakeTrue(
+              field, item.expr ? *item.expr : EpsilonExpr(), sigma));
+        }
+        return Status::Ok();
+      }
+      case Expr::Kind::kSet: {
+        if (slot->is_null()) {
+          *slot = Value::EmptySet();
+          ++out_->changes;
+        }
+        if (!slot->is_set()) {
+          return TypeError(StrCat("cannot make a set expression true on a ",
+                                  ValueKindName(slot->kind()), " object"));
+        }
+        const Expr& inner = expr.set_inner ? *expr.set_inner : EpsilonExpr();
+        // Build the element this fact would create, with a scratch counter
+        // (candidate construction is not a universe change).
+        Value candidate;
+        {
+          Materialized scratch;
+          HeadWriter sub(stats_, &scratch);
+          IDL_RETURN_IF_ERROR(sub.MakeTrue(&candidate, inner, sigma));
+        }
+        // (1) Exactly present already: nothing to do (hash lookup — this is
+        // the common case on fixpoint re-derivation).
+        if (slot->Contains(candidate)) return Status::Ok();
+        // (2) Extend a consistent element (the absorb step that folds
+        // per-stock facts into chwab's one-tuple-per-date shape). An element
+        // that satisfies the expression outright is absorbable with zero
+        // changes, which also keeps the fixpoint monotone.
+        for (size_t i = 0; i < slot->SetSize(); ++i) {
+          IDL_ASSIGN_OR_RETURN(bool ok,
+                               CanAbsorb(slot->elements()[i], inner, sigma));
+          if (ok) {
+            uint64_t before = out_->changes;
+            Value* element = slot->MutableElement(i);
+            IDL_RETURN_IF_ERROR(MakeTrue(element, inner, sigma));
+            if (out_->changes != before) slot->RehashSet();
+            return Status::Ok();
+          }
+        }
+        // (3) Insert the fresh element.
+        slot->Insert(std::move(candidate));
+        ++out_->changes;
+        return Status::Ok();
+      }
+    }
+    return Internal("unreachable expression kind");
+  }
+
+ private:
+  EvalStats* stats_;
+  Materialized* out_;
+};
+
+}  // namespace
+
+Status ViewEngine::AddRule(Rule rule) {
+  IDL_RETURN_IF_ERROR(ValidateRule(rule));
+  rules_.push_back(std::move(rule));
+  // Check stratifiability of the whole program eagerly so the error points
+  // at the offending rule.
+  Result<Stratification> s = Stratify(rules_);
+  if (!s.ok()) {
+    Status err = s.status().WithContext(
+        StrCat("adding rule '", rules_.back().source, "'"));
+    rules_.pop_back();
+    return err;
+  }
+  return Status::Ok();
+}
+
+Result<Materialized> ViewEngine::Materialize(const Value& base,
+                                             EvalStats* stats) const {
+  EvalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  Materialized m;
+  m.universe = base;
+
+  IDL_ASSIGN_OR_RETURN(Stratification strat, Stratify(rules_));
+  std::vector<std::vector<size_t>> by_stratum(
+      static_cast<size_t>(std::max(strat.num_strata, 0)));
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    by_stratum[strat.stratum[i]].push_back(i);
+  }
+
+  std::vector<std::string> derived;
+  HeadWriter writer(stats, &m);
+
+  for (int s = 0; s < strat.num_strata; ++s) {
+    bool recursive = strat.stratum_recursive[s];
+    while (true) {
+      uint64_t changes_before = m.changes;
+      for (size_t rule_index : by_stratum[s]) {
+        const Rule& rule = rules_[rule_index];
+        // Materialize the body bindings *before* writing any head instance
+        // (the body reads the same universe the head writes).
+        std::vector<Substitution> sigmas;
+        Result<bool> r = EnumerateBindings(
+            m.universe, rule.body, EvalOptions(), stats,
+            [&](const Substitution& sigma) {
+              sigmas.push_back(sigma);
+              return true;
+            });
+        if (!r.ok()) {
+          return r.status().WithContext(
+              StrCat("evaluating body of '", rule.source, "'"));
+        }
+        for (const auto& sigma : sigmas) {
+          ++m.facts_derived;
+          // Record the derived db.rel path.
+          const TupleItem& db_item = rule.head->items[0];
+          IDL_ASSIGN_OR_RETURN(std::string db, GroundName(db_item, sigma));
+          std::string path = db;
+          if (db_item.expr != nullptr &&
+              db_item.expr->kind == Expr::Kind::kTuple &&
+              !db_item.expr->items.empty()) {
+            IDL_ASSIGN_OR_RETURN(
+                std::string rel, GroundName(db_item.expr->items[0], sigma));
+            path += ".";
+            path += rel;
+          }
+          derived.push_back(std::move(path));
+
+          Status st = writer.MakeTrue(&m.universe, *rule.head, sigma);
+          if (!st.ok()) {
+            return st.WithContext(
+                StrCat("deriving head of '", rule.source, "'"));
+          }
+        }
+      }
+      ++m.fixpoint_passes;
+      if (!recursive || m.changes == changes_before) break;
+    }
+  }
+
+  std::sort(derived.begin(), derived.end());
+  derived.erase(std::unique(derived.begin(), derived.end()), derived.end());
+  m.derived_paths = std::move(derived);
+  return m;
+}
+
+}  // namespace idl

@@ -1,0 +1,60 @@
+// View engine: materializes derived views into the universe (paper §6).
+//
+// For each grounding substitution σ satisfying a rule body, the head instance
+// (head)σ is "made true" in the universe via the recursive definition of §6:
+//   MakeTrue(.a exp, o)  — create attribute a if absent, recurse on o.a
+//   MakeTrue((exp), s)   — ensure some element of s satisfies exp
+//   MakeTrue(=c, o)      — the object becomes c
+// Making `(exp)` true prefers, in order: (1) an element already satisfying
+// exp (no-op), (2) *extending* an element that is consistent with exp
+// (absent attributes are added), (3) inserting a fresh element. Choice (2)
+// is what folds per-stock facts into chwab's one-tuple-per-date shape, while
+// a contradicting value (a price discrepancy) still yields a second tuple —
+// exactly the behaviour §6 describes ("both prices are in the user's view").
+
+#ifndef IDL_VIEWS_ENGINE_H_
+#define IDL_VIEWS_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/explain.h"
+#include "object/value.h"
+#include "syntax/ast.h"
+#include "views/stratify.h"
+
+namespace idl {
+
+struct Materialized {
+  // Base universe plus all derived facts.
+  Value universe;
+  // "db.rel" paths created by rules (sorted, unique) — the derived relations,
+  // used by the session to route updates on views to update programs.
+  std::vector<std::string> derived_paths;
+  uint64_t facts_derived = 0;  // satisfying body substitutions processed
+  uint64_t changes = 0;        // MakeTrue calls that changed the universe
+  int fixpoint_passes = 0;     // total rule-evaluation passes across strata
+};
+
+class ViewEngine {
+ public:
+  // Validates and adds a rule. Stratification is (re)checked lazily at
+  // Materialize time.
+  Status AddRule(Rule rule);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  void Clear() { rules_.clear(); }
+
+  // Evaluates all rules against `base`, stratum by stratum, iterating each
+  // recursive stratum to fixpoint.
+  Result<Materialized> Materialize(const Value& base,
+                                   EvalStats* stats = nullptr) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace idl
+
+#endif  // IDL_VIEWS_ENGINE_H_

@@ -1,0 +1,63 @@
+#include "views/rule.h"
+
+#include "common/str_util.h"
+#include "syntax/analysis.h"
+#include "syntax/printer.h"
+
+namespace idl {
+
+bool RelRef::Overlaps(const RelRef& other) const {
+  if (db.has_value() && other.db.has_value() && *db != *other.db) return false;
+  if (rel.has_value() && other.rel.has_value() && *rel != *other.rel) {
+    return false;
+  }
+  return true;
+}
+
+std::string RelRef::ToString() const {
+  return StrCat(db.has_value() ? *db : "*", ".",
+                rel.has_value() ? *rel : "*");
+}
+
+namespace {
+
+// Extracts the (db, rel) prefix of a universe tuple expression.
+Result<RelRef> ExtractRef(const Expr& expr) {
+  RelRef ref;
+  if (expr.kind != Expr::Kind::kTuple || expr.items.size() != 1) {
+    return InvalidArgument(
+        StrCat("expected a path expression on the universe: ",
+               ToString(expr)));
+  }
+  const TupleItem& db_item = expr.items[0];
+  if (!db_item.attr_is_var) ref.db = db_item.attr;
+  if (db_item.expr != nullptr && db_item.expr->kind == Expr::Kind::kTuple &&
+      db_item.expr->items.size() >= 1) {
+    const TupleItem& rel_item = db_item.expr->items[0];
+    if (!rel_item.attr_is_var) ref.rel = rel_item.attr;
+  }
+  return ref;
+}
+
+}  // namespace
+
+Result<RelRef> HeadTarget(const Rule& rule) {
+  IDL_RETURN_IF_ERROR(ValidateRule(rule));
+  return ExtractRef(*rule.head);
+}
+
+Result<std::vector<BodyRead>> BodyReads(const Rule& rule) {
+  std::vector<BodyRead> out;
+  for (const auto& conjunct : rule.body) {
+    // Atomic conjuncts (pure comparisons between bound variables) read
+    // nothing from the universe.
+    if (conjunct->kind == Expr::Kind::kAtomic) continue;
+    BodyRead read;
+    IDL_ASSIGN_OR_RETURN(read.ref, ExtractRef(*conjunct));
+    read.negative = ContainsNegation(*conjunct);
+    out.push_back(std::move(read));
+  }
+  return out;
+}
+
+}  // namespace idl

@@ -1,0 +1,47 @@
+// Rule analysis for higher-order views (paper §6).
+//
+// A rule `head <- body` derives facts into the universe. The head is a
+// simple tuple expression; a *higher-order view* has a variable in the head's
+// database or relation position, so the set of relations it defines is data
+// dependent (dbO defines one relation per stock).
+
+#ifndef IDL_VIEWS_RULE_H_
+#define IDL_VIEWS_RULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "syntax/ast.h"
+
+namespace idl {
+
+// A (database, relation) reference; nullopt means "data dependent"
+// (a higher-order variable occupies that position).
+struct RelRef {
+  std::optional<std::string> db;
+  std::optional<std::string> rel;
+
+  // Whether two references can denote the same relation (wildcards overlap
+  // with everything).
+  bool Overlaps(const RelRef& other) const;
+
+  std::string ToString() const;
+};
+
+// What a rule's head can define.
+Result<RelRef> HeadTarget(const Rule& rule);
+
+// What a rule's body reads: one entry per top-level conjunct, with
+// `negative` set when the conjunct is negated or contains inner negation
+// (conservative for stratification).
+struct BodyRead {
+  RelRef ref;
+  bool negative = false;
+};
+Result<std::vector<BodyRead>> BodyReads(const Rule& rule);
+
+}  // namespace idl
+
+#endif  // IDL_VIEWS_RULE_H_

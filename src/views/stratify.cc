@@ -1,0 +1,129 @@
+#include "views/stratify.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace idl {
+
+namespace {
+
+// Tarjan SCC over the rule dependency graph.
+class SccFinder {
+ public:
+  explicit SccFinder(const std::vector<std::vector<size_t>>& adjacency)
+      : adj_(adjacency),
+        index_(adjacency.size(), -1),
+        low_(adjacency.size(), 0),
+        on_stack_(adjacency.size(), false),
+        component_(adjacency.size(), -1) {}
+
+  // component ids are in *reverse* topological order (Tarjan property):
+  // if u -> v and comp(u) != comp(v) then comp(u) > comp(v).
+  std::vector<int> Run() {
+    for (size_t v = 0; v < adj_.size(); ++v) {
+      if (index_[v] < 0) Strongconnect(v);
+    }
+    return component_;
+  }
+
+  int num_components() const { return next_component_; }
+
+ private:
+  void Strongconnect(size_t v) {
+    index_[v] = low_[v] = next_index_++;
+    stack_.push_back(v);
+    on_stack_[v] = true;
+    for (size_t w : adj_[v]) {
+      if (index_[w] < 0) {
+        Strongconnect(w);
+        low_[v] = std::min(low_[v], low_[w]);
+      } else if (on_stack_[w]) {
+        low_[v] = std::min(low_[v], index_[w]);
+      }
+    }
+    if (low_[v] == index_[v]) {
+      while (true) {
+        size_t w = stack_.back();
+        stack_.pop_back();
+        on_stack_[w] = false;
+        component_[w] = next_component_;
+        if (w == v) break;
+      }
+      ++next_component_;
+    }
+  }
+
+  const std::vector<std::vector<size_t>>& adj_;
+  std::vector<int> index_, low_;
+  std::vector<bool> on_stack_;
+  std::vector<int> component_;
+  std::vector<size_t> stack_;
+  int next_index_ = 0;
+  int next_component_ = 0;
+};
+
+}  // namespace
+
+Result<Stratification> Stratify(const std::vector<Rule>& rules) {
+  const size_t n = rules.size();
+  std::vector<RelRef> heads(n);
+  std::vector<std::vector<BodyRead>> reads(n);
+  for (size_t i = 0; i < n; ++i) {
+    IDL_ASSIGN_OR_RETURN(heads[i], HeadTarget(rules[i]));
+    IDL_ASSIGN_OR_RETURN(reads[i], BodyReads(rules[i]));
+  }
+
+  // Edges: i -> j when rule i's body may read what rule j's head defines.
+  struct Edge {
+    size_t from, to;
+    bool negative;
+  };
+  std::vector<Edge> edges;
+  std::vector<std::vector<size_t>> adjacency(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& read : reads[i]) {
+      for (size_t j = 0; j < n; ++j) {
+        if (read.ref.Overlaps(heads[j])) {
+          edges.push_back(Edge{i, j, read.negative});
+          adjacency[i].push_back(j);
+        }
+      }
+    }
+  }
+
+  // Condense to SCCs; Tarjan component ids are reverse-topological, so
+  // dependencies get *smaller* ids — evaluating components in increasing id
+  // order evaluates dependencies first.
+  SccFinder finder(adjacency);
+  std::vector<int> component = finder.Run();
+  int groups = finder.num_components();
+
+  // A negative edge inside one SCC is recursion through negation (§6
+  // requires stratified definitions).
+  for (const auto& e : edges) {
+    if (e.negative && component[e.from] == component[e.to]) {
+      return Unsafe(StrCat(
+          "view rules are not stratified: recursion through negation "
+          "between '",
+          rules[e.from].source, "' and '", rules[e.to].source, "'"));
+    }
+  }
+
+  Stratification result;
+  result.stratum.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) result.stratum[i] = component[i];
+  result.num_strata = groups;
+
+  // A component needs fixpoint iteration iff it contains an internal edge
+  // (self-loop or a genuine cycle).
+  result.stratum_recursive.assign(static_cast<size_t>(groups), false);
+  for (const auto& e : edges) {
+    if (component[e.from] == component[e.to]) {
+      result.stratum_recursive[component[e.from]] = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace idl

@@ -1,0 +1,36 @@
+// Stratification of view rules (paper §6: "This requires the definition of
+// the view to be stratified", with formal semantics deferred to [KLK90]).
+//
+// Rule A depends on rule B if A's body may read a relation B's head may
+// define (higher-order positions overlap with everything). The dependency
+// graph is condensed into strongly connected components evaluated in
+// topological order; a component containing a negative edge is recursion
+// through negation and is rejected. Only genuinely cyclic components need
+// fixpoint iteration — straight-line view stacks evaluate in one pass each.
+
+#ifndef IDL_VIEWS_STRATIFY_H_
+#define IDL_VIEWS_STRATIFY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "syntax/ast.h"
+#include "views/rule.h"
+
+namespace idl {
+
+struct Stratification {
+  // stratum[i] is the evaluation group (SCC id) of rules[i]; groups are
+  // dense from 0 and topologically ordered (dependencies first).
+  std::vector<int> stratum;
+  int num_strata = 0;
+  // True if the group contains an internal dependency edge (the fixpoint
+  // must iterate to convergence; otherwise a single pass suffices).
+  std::vector<bool> stratum_recursive;
+};
+
+Result<Stratification> Stratify(const std::vector<Rule>& rules);
+
+}  // namespace idl
+
+#endif  // IDL_VIEWS_STRATIFY_H_

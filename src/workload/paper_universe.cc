@@ -1,0 +1,156 @@
+#include "workload/paper_universe.h"
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "object/builder.h"
+
+namespace idl {
+
+PaperUniverse MakePaperUniverse(bool with_name_mappings) {
+  PaperUniverse p;
+  p.stocks = {"hp", "ibm", "sun"};
+  p.dates = {Date(1985, 3, 1), Date(1985, 3, 2), Date(1985, 3, 3),
+             Date(1985, 3, 4)};
+  p.price = {
+      {55, 62, 50, 70},     // hp: all-time high 70 on 3/4; above 60 twice
+      {140, 155, 149, 160},  // ibm
+      {18, 19, 205, 21},     // sun: closed above 200 once
+  };
+
+  auto chwab_name = [&](size_t s) {
+    return with_name_mappings ? StrCat("c_", p.stocks[s]) : p.stocks[s];
+  };
+  auto ource_name = [&](size_t s) {
+    return with_name_mappings ? StrCat("o_", p.stocks[s]) : p.stocks[s];
+  };
+
+  // euter: r(date, stkCode, clsPrice).
+  Value euter_r = Value::EmptySet();
+  for (size_t s = 0; s < p.stocks.size(); ++s) {
+    for (size_t d = 0; d < p.dates.size(); ++d) {
+      euter_r.Insert(MakeTuple({{"date", Value::Of(p.dates[d])},
+                                {"stkCode", Value::String(p.stocks[s])},
+                                {"clsPrice", Value::Int(p.price[s][d])}}));
+    }
+  }
+
+  // chwab: r(date, <stock>...).
+  Value chwab_r = Value::EmptySet();
+  for (size_t d = 0; d < p.dates.size(); ++d) {
+    Value row = Value::EmptyTuple();
+    row.SetField("date", Value::Of(p.dates[d]));
+    for (size_t s = 0; s < p.stocks.size(); ++s) {
+      row.SetField(chwab_name(s), Value::Int(p.price[s][d]));
+    }
+    chwab_r.Insert(std::move(row));
+  }
+
+  // ource: <stock>(date, clsPrice).
+  Value ource = Value::EmptyTuple();
+  for (size_t s = 0; s < p.stocks.size(); ++s) {
+    Value rel = Value::EmptySet();
+    for (size_t d = 0; d < p.dates.size(); ++d) {
+      rel.Insert(MakeTuple({{"date", Value::Of(p.dates[d])},
+                            {"clsPrice", Value::Int(p.price[s][d])}}));
+    }
+    ource.SetField(ource_name(s), std::move(rel));
+  }
+
+  p.universe = Value::EmptyTuple();
+  p.universe.SetField("euter",
+                      MakeTuple({{"r", std::move(euter_r)}}));
+  p.universe.SetField("chwab",
+                      MakeTuple({{"r", std::move(chwab_r)}}));
+  p.universe.SetField("ource", std::move(ource));
+
+  if (with_name_mappings) {
+    Value map_ce = Value::EmptySet();
+    Value map_oe = Value::EmptySet();
+    for (size_t s = 0; s < p.stocks.size(); ++s) {
+      map_ce.Insert(MakeTuple({{"from", Value::String(chwab_name(s))},
+                               {"to", Value::String(p.stocks[s])}}));
+      map_oe.Insert(MakeTuple({{"from", Value::String(ource_name(s))},
+                               {"to", Value::String(p.stocks[s])}}));
+    }
+    p.universe.SetField("maps", MakeTuple({{"mapCE", std::move(map_ce)},
+                                           {"mapOE", std::move(map_oe)}}));
+  }
+  return p;
+}
+
+std::vector<std::string> PaperViewRules(bool with_name_mappings) {
+  std::vector<std::string> rules;
+  // §6: the unified view dbI.p over the three schemas. The `S != date`
+  // guard keeps the higher-order variable off chwab's date attribute
+  // (footnote 7 licenses guards).
+  rules.push_back(
+      ".dbI.p(.date=D, .stk=S, .clsPrice=P) <- "
+      ".euter.r(.date=D, .stkCode=S, .clsPrice=P)");
+  if (with_name_mappings) {
+    rules.push_back(
+        ".dbI.p(.date=D, .stk=S, .clsPrice=P) <- "
+        ".chwab.r(.date=D, .SC=P), SC != date, "
+        ".maps.mapCE(.from=SC, .to=S)");
+    rules.push_back(
+        ".dbI.p(.date=D, .stk=S, .clsPrice=P) <- "
+        ".ource.SO(.date=D, .clsPrice=P), .maps.mapOE(.from=SO, .to=S)");
+  } else {
+    rules.push_back(
+        ".dbI.p(.date=D, .stk=S, .clsPrice=P) <- "
+        ".chwab.r(.date=D, .S=P), S != date");
+    rules.push_back(
+        ".dbI.p(.date=D, .stk=S, .clsPrice=P) <- "
+        ".ource.S(.date=D, .clsPrice=P)");
+  }
+  // §6: customized views — dbE (euter shape), dbC (chwab shape, higher-order
+  // variable in an attribute position of the head), dbO (ource shape,
+  // higher-order variable in the relation position: a data-dependent number
+  // of relations).
+  rules.push_back(
+      ".dbE.r(.date=D, .stkCode=S, .clsPrice=P) <- "
+      ".dbI.p(.date=D, .stk=S, .clsPrice=P)");
+  rules.push_back(
+      ".dbC.r(.date=D, .S=P) <- .dbI.p(.date=D, .stk=S, .clsPrice=P)");
+  rules.push_back(
+      ".dbO.S(.date=D, .clsPrice=P) <- .dbI.p(.date=D, .stk=S, .clsPrice=P)");
+  return rules;
+}
+
+std::vector<std::string> PaperUpdatePrograms() {
+  return {
+      // §7.1 delStk: delete the closing price of a stock on a date. Partial
+      // bindings work: omitting the date deletes every date, omitting the
+      // stock deletes every stock.
+      ".dbU.delStk(.stk=S, .date=D) -> .euter.r-(.stkCode=S, .date=D)",
+      ".dbU.delStk(.stk=S, .date=D) -> "
+      ".chwab.r(.S), S != date, .chwab.r(.date=D, .S-=X)",
+      ".dbU.delStk(.stk=S, .date=D) -> .ource.S, .ource.S-(.date=D)",
+
+      // §7.1 rmStk: remove a stock entirely — data in euter, an *attribute*
+      // in chwab, a *relation* in ource (metadata updates).
+      ".dbU.rmStk(.stk=S) -> .euter.r-(.stkCode=S)",
+      ".dbU.rmStk(.stk=S) -> .chwab.r(.S), S != date, .chwab.r(-.S)",
+      ".dbU.rmStk(.stk=S) -> .ource.S, .ource-.S",
+
+      // addStk: create the schema elements a brand-new stock needs (chwab
+      // column, ource relation); euter needs none.
+      ".dbU.addStk(.stk=S) -> .chwab.r(+.S)",
+      ".dbU.addStk(.stk=S) -> .ource+.S",
+
+      // §7.1 insStk: insert a closing price. All three parameters feed '+'
+      // expressions, so the binding signature requires them all.
+      ".dbU.insStk(.stk=S, .date=D, .price=P) -> "
+      ".euter.r+(.date=D, .stkCode=S, .clsPrice=P)",
+      ".dbU.insStk(.stk=S, .date=D, .price=P) -> .chwab.r(.date=D, +.S=P)",
+      ".dbU.insStk(.stk=S, .date=D, .price=P) -> "
+      ".ource.S+(.date=D, .clsPrice=P)",
+
+      // §7.2: view updatability for the dbE customized view, built by
+      // *reusing* the base programs.
+      ".dbE.r+(.date=D, .stkCode=S, .clsPrice=P) -> "
+      ".dbU.insStk(.stk=S, .date=D, .price=P)",
+      ".dbE.r-(.date=D, .stkCode=S) -> .dbU.delStk(.stk=S, .date=D)",
+  };
+}
+
+}  // namespace idl

@@ -1,0 +1,44 @@
+// The exact toy instance behind the paper's worked examples, so tests can
+// assert the answers the prose claims.
+//
+// Stocks and prices (four March 1985 trading days):
+//            3/1/85  3/2/85  3/3/85  3/4/85
+//   hp        55      62      50      70     (all-time high 70 on 3/4)
+//   ibm      140     155     149     160
+//   sun       18      19     205      21     (closed above 200 once)
+// All three schemas carry the same data. With name mappings enabled, chwab
+// uses c_hp/c_ibm/c_sun and ource uses o_hp/o_ibm/o_sun, with mapCE and
+// mapOE relations in a fourth database `maps`.
+
+#ifndef IDL_WORKLOAD_PAPER_UNIVERSE_H_
+#define IDL_WORKLOAD_PAPER_UNIVERSE_H_
+
+#include <string>
+#include <vector>
+
+#include "object/date.h"
+#include "object/value.h"
+
+namespace idl {
+
+struct PaperUniverse {
+  Value universe;
+  std::vector<std::string> stocks;  // hp, ibm, sun
+  std::vector<Date> dates;          // 3/1/85 .. 3/4/85
+  std::vector<std::vector<int>> price;  // price[stock][day], whole dollars
+};
+
+PaperUniverse MakePaperUniverse(bool with_name_mappings = false);
+
+// The rules of §6 that unify the three schemas into dbI.p and re-expose it
+// as dbE (euter shape), dbC (chwab shape), dbO (ource shape). When
+// `with_name_mappings` is set, the dbI rules join through mapCE/mapOE.
+std::vector<std::string> PaperViewRules(bool with_name_mappings = false);
+
+// The update programs of §7.1 (delStk, rmStk, insStk) and the §7.2
+// view-update programs for dbE.r.
+std::vector<std::string> PaperUpdatePrograms();
+
+}  // namespace idl
+
+#endif  // IDL_WORKLOAD_PAPER_UNIVERSE_H_

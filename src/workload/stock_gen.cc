@@ -1,0 +1,171 @@
+#include "workload/stock_gen.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "relational/adapter.h"
+
+namespace idl {
+
+namespace {
+
+double RoundCents(double v) { return std::round(v * 100.0) / 100.0; }
+
+Schema EuterSchema() {
+  return Schema({Column{"date", ColumnType::kDate},
+                 Column{"stkCode", ColumnType::kString},
+                 Column{"clsPrice", ColumnType::kDouble}});
+}
+
+Schema OurceSchema() {
+  return Schema({Column{"date", ColumnType::kDate},
+                 Column{"clsPrice", ColumnType::kDouble}});
+}
+
+}  // namespace
+
+const std::string& StockWorkload::ChwabName(size_t s) const {
+  return chwab_names[s];
+}
+
+const std::string& StockWorkload::OurceName(size_t s) const {
+  return ource_names[s];
+}
+
+double StockWorkload::ChwabPrice(size_t s, size_t d) const {
+  double o = chwab_override[s][d];
+  return std::isnan(o) ? price[s][d] : o;
+}
+
+StockWorkload GenerateStockWorkload(const StockWorkloadConfig& config) {
+  StockWorkload w;
+  w.config = config;
+  Rng rng(config.seed);
+
+  w.stocks.reserve(config.num_stocks);
+  for (size_t s = 0; s < config.num_stocks; ++s) {
+    w.stocks.push_back(StrCat("stk", s));
+  }
+  w.chwab_names = w.stocks;
+  w.ource_names = w.stocks;
+  if (config.name_discrepancies) {
+    for (size_t s = 0; s < config.num_stocks; ++s) {
+      w.chwab_names[s] = StrCat("c_", w.stocks[s]);
+      w.ource_names[s] = StrCat("o_", w.stocks[s]);
+    }
+  }
+
+  Date start(1985, 3, 1);
+  w.dates.reserve(config.num_days);
+  for (size_t d = 0; d < config.num_days; ++d) {
+    w.dates.push_back(Date::FromDayNumber(start.DayNumber() +
+                                          static_cast<int64_t>(d)));
+  }
+
+  w.price.assign(config.num_stocks, std::vector<double>(config.num_days, 0));
+  w.chwab_override.assign(
+      config.num_stocks,
+      std::vector<double>(config.num_days,
+                          std::numeric_limits<double>::quiet_NaN()));
+  for (size_t s = 0; s < config.num_stocks; ++s) {
+    // Base prices span $10..$390 so threshold queries (e.g. >200) select a
+    // stable fraction of stocks.
+    double p = 10.0 + 380.0 * rng.NextDouble();
+    for (size_t d = 0; d < config.num_days; ++d) {
+      p *= 1.0 + (rng.NextDouble() - 0.5) * 0.04;  // ±2% daily move
+      if (p < 1.0) p = 1.0;
+      w.price[s][d] = RoundCents(p);
+      if (config.discrepancy_rate > 0 &&
+          rng.NextDouble() < config.discrepancy_rate) {
+        w.chwab_override[s][d] = RoundCents(p + 0.5);
+      }
+    }
+  }
+  return w;
+}
+
+RelationalDatabase BuildEuterDatabase(const StockWorkload& w) {
+  RelationalDatabase db("euter");
+  Table* r = *db.CreateTable("r", EuterSchema());
+  for (size_t s = 0; s < w.stocks.size(); ++s) {
+    for (size_t d = 0; d < w.dates.size(); ++d) {
+      IDL_CHECK(r->Insert(Row({Value::Of(w.dates[d]),
+                               Value::String(w.stocks[s]),
+                               Value::Real(w.price[s][d])}))
+                    .ok());
+    }
+  }
+  return db;
+}
+
+RelationalDatabase BuildChwabDatabase(const StockWorkload& w) {
+  RelationalDatabase db("chwab");
+  std::vector<Column> columns;
+  columns.push_back(Column{"date", ColumnType::kDate});
+  for (size_t s = 0; s < w.stocks.size(); ++s) {
+    columns.push_back(Column{w.ChwabName(s), ColumnType::kDouble});
+  }
+  Table* r = *db.CreateTable("r", Schema(std::move(columns)));
+  for (size_t d = 0; d < w.dates.size(); ++d) {
+    Row row;
+    row.cells.reserve(w.stocks.size() + 1);
+    row.cells.push_back(Value::Of(w.dates[d]));
+    for (size_t s = 0; s < w.stocks.size(); ++s) {
+      row.cells.push_back(Value::Real(w.ChwabPrice(s, d)));
+    }
+    IDL_CHECK(r->Insert(std::move(row)).ok());
+  }
+  return db;
+}
+
+RelationalDatabase BuildOurceDatabase(const StockWorkload& w) {
+  RelationalDatabase db("ource");
+  for (size_t s = 0; s < w.stocks.size(); ++s) {
+    Table* t = *db.CreateTable(w.OurceName(s), OurceSchema());
+    for (size_t d = 0; d < w.dates.size(); ++d) {
+      IDL_CHECK(t->Insert(Row({Value::Of(w.dates[d]),
+                               Value::Real(w.price[s][d])}))
+                    .ok());
+    }
+  }
+  return db;
+}
+
+RelationalDatabase BuildMapsDatabase(const StockWorkload& w) {
+  RelationalDatabase db("maps");
+  Schema map_schema({Column{"from", ColumnType::kString},
+                     Column{"to", ColumnType::kString}});
+  Table* ce = *db.CreateTable("mapCE", map_schema);
+  Table* oe = *db.CreateTable("mapOE", map_schema);
+  if (w.config.name_discrepancies) {
+    for (size_t s = 0; s < w.stocks.size(); ++s) {
+      IDL_CHECK(ce->Insert(Row({Value::String(w.ChwabName(s)),
+                                Value::String(w.stocks[s])}))
+                    .ok());
+      IDL_CHECK(oe->Insert(Row({Value::String(w.OurceName(s)),
+                                Value::String(w.stocks[s])}))
+                    .ok());
+    }
+  }
+  return db;
+}
+
+Value BuildStockUniverse(const StockWorkload& w) {
+  Value universe = Value::EmptyTuple();
+  RelationalDatabase euter = BuildEuterDatabase(w);
+  RelationalDatabase chwab = BuildChwabDatabase(w);
+  RelationalDatabase ource = BuildOurceDatabase(w);
+  universe.SetField("euter", LiftDatabase(euter));
+  universe.SetField("chwab", LiftDatabase(chwab));
+  universe.SetField("ource", LiftDatabase(ource));
+  if (w.config.name_discrepancies) {
+    RelationalDatabase maps = BuildMapsDatabase(w);
+    universe.SetField("maps", LiftDatabase(maps));
+  }
+  return universe;
+}
+
+}  // namespace idl

@@ -1,0 +1,69 @@
+// Synthetic stock-market workload generator (the paper's running example at
+// scale). One price history is emitted under all three schematically
+// discrepant schemas:
+//   euter:  r(date, stkCode, clsPrice)      — stocks as values
+//   chwab:  r(date, stk1, stk2, ...)        — stocks as attributes
+//   ource:  stk1(date, clsPrice), stk2(...) — stocks as relations
+// Prices follow a deterministic bounded random walk (seeded), so tests and
+// benches are reproducible. Optional knobs inject value discrepancies (for
+// the pnew reconciliation experiment, V4) and name discrepancies with
+// mapCE/mapOE mapping relations (§6's relaxation, V5).
+
+#ifndef IDL_WORKLOAD_STOCK_GEN_H_
+#define IDL_WORKLOAD_STOCK_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "object/date.h"
+#include "object/value.h"
+#include "relational/database.h"
+
+namespace idl {
+
+struct StockWorkloadConfig {
+  size_t num_stocks = 10;
+  size_t num_days = 30;
+  uint64_t seed = 42;
+  // Fraction of (stock, day) cells whose chwab price differs from euter's
+  // (injected value discrepancies).
+  double discrepancy_rate = 0.0;
+  // If true, chwab attribute names are "c_<stock>" and ource relation names
+  // are "o_<stock>", and mapping relations are generated.
+  bool name_discrepancies = false;
+};
+
+struct StockWorkload {
+  StockWorkloadConfig config;
+  std::vector<std::string> stocks;  // canonical (euter) stock codes
+  std::vector<Date> dates;
+  // price[s][d], rounded to cents.
+  std::vector<std::vector<double>> price;
+  // chwab's price where it differs from euter's (same shape; NaN = agrees).
+  std::vector<std::vector<double>> chwab_override;
+
+  const std::string& ChwabName(size_t s) const;
+  const std::string& OurceName(size_t s) const;
+  double ChwabPrice(size_t s, size_t d) const;
+
+  std::vector<std::string> chwab_names;  // == stocks unless name_discrepancies
+  std::vector<std::string> ource_names;
+};
+
+StockWorkload GenerateStockWorkload(const StockWorkloadConfig& config);
+
+// Substrate databases.
+RelationalDatabase BuildEuterDatabase(const StockWorkload& w);
+RelationalDatabase BuildChwabDatabase(const StockWorkload& w);
+RelationalDatabase BuildOurceDatabase(const StockWorkload& w);
+// The name-mapping database holding mapCE(from,to) and mapOE(from,to); empty
+// relations when the workload has no name discrepancies.
+RelationalDatabase BuildMapsDatabase(const StockWorkload& w);
+
+// The full universe tuple: euter, chwab, ource (+ maps when the workload has
+// name discrepancies), lifted through the relational adapter.
+Value BuildStockUniverse(const StockWorkload& w);
+
+}  // namespace idl
+
+#endif  // IDL_WORKLOAD_STOCK_GEN_H_

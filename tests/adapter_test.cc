@@ -1,0 +1,91 @@
+#include "relational/adapter.h"
+
+#include <gtest/gtest.h>
+
+#include "object/builder.h"
+#include "workload/stock_gen.h"
+
+namespace idl {
+namespace {
+
+TEST(AdapterTest, LiftOmitsNulls) {
+  Table t("r", Schema({Column{"a", ColumnType::kInt},
+                       Column{"b", ColumnType::kString}}));
+  ASSERT_TRUE(t.Insert(Row({Value::Int(1), Value::Null()})).ok());
+  Value lifted = LiftTable(t);
+  ASSERT_EQ(lifted.SetSize(), 1u);
+  const Value& tuple = lifted.elements()[0];
+  EXPECT_TRUE(tuple.HasField("a"));
+  EXPECT_FALSE(tuple.HasField("b"));  // null omitted
+}
+
+TEST(AdapterTest, LiftDatabaseShape) {
+  StockWorkload w = GenerateStockWorkload({.num_stocks = 3, .num_days = 5});
+  RelationalDatabase ource = BuildOurceDatabase(w);
+  Value lifted = LiftDatabase(ource);
+  ASSERT_TRUE(lifted.is_tuple());
+  EXPECT_EQ(lifted.TupleSize(), 3u);  // one relation per stock
+  EXPECT_EQ(lifted.FindField("stk0")->SetSize(), 5u);
+}
+
+TEST(AdapterTest, RoundTripEuter) {
+  StockWorkload w = GenerateStockWorkload({.num_stocks = 4, .num_days = 6});
+  RelationalDatabase euter = BuildEuterDatabase(w);
+  Value lifted = LiftDatabase(euter);
+  auto lowered = LowerDatabase("euter", lifted);
+  ASSERT_TRUE(lowered.ok()) << lowered.status().ToString();
+  const Table* r = lowered->FindTable("r");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->NumRows(), 24u);
+  // Lifting again produces the identical object (full round trip).
+  EXPECT_EQ(LiftDatabase(*lowered), lifted);
+}
+
+TEST(AdapterTest, LowerInfersSchemaFromUnionOfAttributes) {
+  // Heterogeneous tuples (post-update chwab): schema is the attribute union.
+  Value rel = MakeSet({
+      MakeTuple({{"date", Value::Of(Date(1985, 3, 1))},
+                 {"hp", Value::Int(50)}}),
+      MakeTuple({{"date", Value::Of(Date(1985, 3, 2))},
+                 {"ibm", Value::Int(140)}}),
+  });
+  auto table = LowerTable("r", rel);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->schema().size(), 3u);
+  EXPECT_EQ(table->NumRows(), 2u);
+  // Missing attributes become nulls.
+  int hp = table->schema().FindColumn("hp");
+  int found_null = 0;
+  for (const auto& row : table->rows()) {
+    if (row.cells[hp].is_null()) ++found_null;
+  }
+  EXPECT_EQ(found_null, 1);
+}
+
+TEST(AdapterTest, LowerWidensIntToDouble) {
+  Value rel = MakeSet({
+      MakeTuple({{"p", Value::Int(50)}, {"k", Value::Int(1)}}),
+      MakeTuple({{"p", Value::Real(50.5)}, {"k", Value::Int(2)}}),
+  });
+  auto table = LowerTable("r", rel);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  int p = table->schema().FindColumn("p");
+  EXPECT_EQ(table->schema().column(p).type, ColumnType::kDouble);
+}
+
+TEST(AdapterTest, LowerRejectsNonRelationalShapes) {
+  EXPECT_EQ(LowerTable("r", Value::Int(1)).status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(LowerTable("r", MakeSet({Value::Int(1)})).status().code(),
+            StatusCode::kTypeError);
+  Value nested = MakeSet({MakeTuple({{"a", MakeSet({Value::Int(1)})}})});
+  EXPECT_EQ(LowerTable("r", nested).status().code(), StatusCode::kTypeError);
+  Value mixed = MakeSet({
+      MakeTuple({{"a", Value::Int(1)}}),
+      MakeTuple({{"a", Value::String("x")}}),
+  });
+  EXPECT_EQ(LowerTable("r", mixed).status().code(), StatusCode::kTypeError);
+}
+
+}  // namespace
+}  // namespace idl

@@ -1,0 +1,153 @@
+// §5 corner cases beyond the paper's worked examples: empty-object
+// polymorphism, update-through-views interactions, binding fan-out through
+// multi-element deletes, and idempotence properties.
+
+#include <gtest/gtest.h>
+
+#include "eval/query.h"
+#include "object/builder.h"
+#include "syntax/parser.h"
+#include "update/applier.h"
+#include "workload/paper_universe.h"
+
+namespace idl {
+namespace {
+
+class ApplierEdgeTest : public ::testing::Test {
+ protected:
+  ApplierEdgeTest() : paper_(MakePaperUniverse()) {}
+
+  Result<UpdateRequestResult> TryApply(std::string_view text) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+    return ApplyUpdateRequest(&paper_.universe, *q);
+  }
+
+  UpdateRequestResult Apply(std::string_view text) {
+    auto r = TryApply(text);
+    EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  size_t Count(std::string_view text) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << text;
+    auto a = EvaluateQuery(paper_.universe, *q);
+    EXPECT_TRUE(a.ok()) << a.status().ToString();
+    return a->rows.empty() && a->columns.empty() && a->boolean() ? 1
+                                                                 : a->rows.size();
+  }
+
+  PaperUniverse paper_;
+};
+
+// Deleting from a set binds once per deleted element; a following insert
+// runs once per binding (fan-out).
+TEST_F(ApplierEdgeTest, MultiElementDeleteFansOut) {
+  // Delete *all* hp rows (4 dates), reinserting each with price+1.
+  auto r = Apply(
+      "?.euter.r-(.stkCode=hp, .date=D, .clsPrice=C),"
+      ".euter.r+(.stkCode=hp, .date=D, .clsPrice=C+1)");
+  EXPECT_EQ(r.counts.set_deletes, 4u);
+  EXPECT_EQ(r.counts.set_inserts, 4u);
+  EXPECT_EQ(r.bindings, 4u);
+  EXPECT_EQ(Count("?.euter.r(.stkCode=hp, .clsPrice=63, .date=D)"), 1u);
+}
+
+// Deleting nothing leaves the substitution alive (the request continues).
+TEST_F(ApplierEdgeTest, EmptyDeleteKeepsGoing) {
+  auto r = Apply(
+      "?.euter.r-(.stkCode=nosuch),"
+      ".euter.r+(.date=3/9/85, .stkCode=new, .clsPrice=1)");
+  EXPECT_EQ(r.counts.set_deletes, 0u);
+  EXPECT_EQ(r.counts.set_inserts, 1u);
+}
+
+// Tuple plus *replaces* an existing attribute object (§5.2: "implicitly
+// deleting any existing object").
+TEST_F(ApplierEdgeTest, TuplePlusReplacesExisting) {
+  Apply("?.chwab.r(.date=3/3/85, +.hp=99)");
+  EXPECT_EQ(Count("?.chwab.r(.date=3/3/85, .hp=99)"), 1u);
+  EXPECT_EQ(Count("?.chwab.r(.date=3/3/85, .hp=50)"), 0u);
+}
+
+// Inserting a whole relation object via tuple plus on the database.
+TEST_F(ApplierEdgeTest, TuplePlusWithSetExpression) {
+  Apply("?.ource+.dec(.date=3/3/85, .clsPrice=140)");
+  EXPECT_EQ(Count("?.ource.dec(.date=3/3/85, .clsPrice=140)"), 1u);
+}
+
+// Atomic minus leaves non-matching values untouched (§5.2 "otherwise
+// unchanged").
+TEST_F(ApplierEdgeTest, AtomicMinusConditionNotMet) {
+  auto r = Apply("?.chwab.r(.date=3/3/85, .hp-=51)");  // hp is 50, not 51
+  EXPECT_EQ(r.counts.atom_nulls, 0u);
+  EXPECT_EQ(Count("?.chwab.r(.date=3/3/85, .hp=50)"), 1u);
+}
+
+// Set deletion with an ε condition empties the relation but keeps it.
+TEST_F(ApplierEdgeTest, DeleteAllWithEpsilon) {
+  auto r = Apply("?.euter.r-()");
+  EXPECT_EQ(r.counts.set_deletes, 12u);
+  EXPECT_EQ(Count("?.euter.r(.stkCode=S)"), 0u);
+  EXPECT_EQ(Count("?.euter.r"), 1u);  // the relation object survives
+}
+
+// Inserting into several databases in one request.
+TEST_F(ApplierEdgeTest, MultiDatabaseRequest) {
+  Apply(
+      "?.euter.r+(.date=3/9/85, .stkCode=dec, .clsPrice=80),"
+      ".ource+.dec(.date=3/9/85, .clsPrice=80),"
+      ".chwab.r(.date=3/4/85, +.dec=80)");
+  EXPECT_EQ(Count("?.euter.r(.stkCode=dec)"), 1u);
+  EXPECT_EQ(Count("?.ource.dec(.clsPrice=80)"), 1u);
+  EXPECT_EQ(Count("?.chwab.r(.dec=80, .date=D)"), 1u);
+}
+
+// Deleting then re-inserting the same tuple is the identity.
+TEST_F(ApplierEdgeTest, DeleteInsertIdentity) {
+  Value before = paper_.universe;
+  Apply(
+      "?.euter.r-(.date=3/3/85,.stkCode=hp,.clsPrice=C),"
+      ".euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=C)");
+  EXPECT_EQ(paper_.universe, before);
+}
+
+// Inserting the same tuple twice is the identity (set semantics).
+TEST_F(ApplierEdgeTest, DoubleInsertIdentity) {
+  Apply("?.euter.r+(.date=3/9/85,.stkCode=zz,.clsPrice=5)");
+  Value once = paper_.universe;
+  Apply("?.euter.r+(.date=3/9/85,.stkCode=zz,.clsPrice=5)");
+  EXPECT_EQ(paper_.universe, once);
+}
+
+// Errors: applying a set update to an atom, an atomic update to a tuple.
+TEST_F(ApplierEdgeTest, KindErrors) {
+  // Navigate into an *atom* (a price) and try a set insert on it.
+  auto r1 = TryApply("?.chwab.r(.date=3/3/85, .hp+(.x=1))");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kTypeError);
+  // Atomic update applied to a whole database (a tuple).
+  auto r2 = TryApply("?.euter+=5");
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kTypeError);
+}
+
+// `(+.x=1)` inside a relation is *legal*: it adds the attribute to every
+// element (the per-element mixed query/update semantics).
+TEST_F(ApplierEdgeTest, InsertItemAppliesToEveryElement) {
+  auto r = Apply("?.euter.r(+.flag=1)");
+  EXPECT_EQ(r.counts.attr_creates, 12u);
+  EXPECT_EQ(Count("?.euter.r(.flag=1, .stkCode=S, .date=D)"), 12u);
+}
+
+// Heterogeneous aftermath: dropping an attribute from one tuple leaves the
+// relation queryable and lowerable.
+TEST_F(ApplierEdgeTest, HeterogeneousTupleSurvives) {
+  Apply("?.chwab.r(.date=3/3/85, -.hp=C)");
+  EXPECT_EQ(Count("?.chwab.r(.hp=P, .date=D)"), 3u);  // 3 of 4 dates remain
+  EXPECT_EQ(Count("?.chwab.r(.date=D)"), 4u);         // all rows alive
+}
+
+}  // namespace
+}  // namespace idl

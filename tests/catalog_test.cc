@@ -1,0 +1,115 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/query.h"
+#include "object/builder.h"
+#include "syntax/parser.h"
+#include "workload/paper_universe.h"
+
+namespace idl {
+namespace {
+
+Answer Eval(const Value& universe, std::string_view text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << text;
+  auto a = EvaluateQuery(universe, *q);
+  EXPECT_TRUE(a.ok()) << text << ": " << a.status().ToString();
+  return std::move(a).value();
+}
+
+TEST(CatalogTest, DescribesPaperUniverse) {
+  PaperUniverse paper = MakePaperUniverse();
+  Value catalog = BuildCatalog(paper.universe);
+  ASSERT_TRUE(catalog.is_tuple());
+  EXPECT_EQ(catalog.FindField("databases")->SetSize(), 3u);
+  // euter.r, chwab.r, ource.{hp,ibm,sun}.
+  EXPECT_EQ(catalog.FindField("relations")->SetSize(), 5u);
+  // euter.r: 3 attrs; chwab.r: 4 (date + 3 stocks); ource: 2 each.
+  EXPECT_EQ(catalog.FindField("attributes")->SetSize(), 3u + 4u + 6u);
+}
+
+TEST(CatalogTest, RecordsArityCardinalityAndKinds) {
+  PaperUniverse paper = MakePaperUniverse();
+  auto with = WithCatalog(paper.universe);
+  ASSERT_TRUE(with.ok());
+  Answer r = Eval(*with, "?.cat.relations(.db=euter, .rel=r, .arity=A, "
+                         ".cardinality=C)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.Column("A")[0], Value::Int(3));
+  EXPECT_EQ(r.Column("C")[0], Value::Int(12));
+
+  Answer kinds = Eval(
+      *with, "?.cat.attributes(.db=euter, .rel=r, .attr=clsPrice, .kind=K)");
+  ASSERT_EQ(kinds.rows.size(), 1u);
+  EXPECT_EQ(kinds.Column("K")[0], Value::String("int"));
+}
+
+TEST(CatalogTest, FirstOrderMetadataQueriesWork) {
+  PaperUniverse paper = MakePaperUniverse();
+  auto with = WithCatalog(paper.universe);
+  ASSERT_TRUE(with.ok());
+  // "Which databases contain a relation named hp?" — first-order against
+  // the catalog, equivalent to the higher-order ?.X.hp.
+  Answer fo = Eval(*with, "?.cat.relations(.db=X, .rel=hp)");
+  Answer ho = Eval(*with, "?.X.hp");
+  ASSERT_EQ(fo.rows.size(), 1u);
+  EXPECT_EQ(fo.Column("X")[0], Value::String("ource"));
+  // The higher-order query also sees the catalog db itself — the catalog
+  // is part of the universe once registered. Restrict it for comparison.
+  Answer ho_restricted = Eval(paper.universe, "?.X.hp");
+  EXPECT_EQ(ho_restricted.rows.size(), 1u);
+  EXPECT_GE(ho.rows.size(), 1u);
+}
+
+TEST(CatalogTest, StalenessIsTheCatalogsProblem) {
+  // The reified catalog is a snapshot: change the universe and the catalog
+  // is silently wrong until rebuilt — the higher-order query is not.
+  PaperUniverse paper = MakePaperUniverse();
+  auto with = WithCatalog(paper.universe);
+  ASSERT_TRUE(with.ok());
+  Value universe = std::move(with).value();
+  universe.MutableField("ource")->RemoveField("hp");
+
+  Answer stale = Eval(universe, "?.cat.relations(.db=X, .rel=hp)");
+  EXPECT_EQ(stale.rows.size(), 1u);  // wrong: hp is gone
+  Answer live = Eval(universe, "?.X.hp");
+  EXPECT_TRUE(live.rows.empty());  // right
+}
+
+TEST(CatalogTest, SkipsNonRelationalShapes) {
+  Value universe = MakeTuple({
+      {"weird", Value::Int(5)},  // not a tuple: skipped
+      {"mixed", MakeTuple({{"rel", MakeSet({Value::Int(1)})},
+                           {"scalar", Value::Int(2)}})},
+  });
+  Value catalog = BuildCatalog(universe);
+  EXPECT_EQ(catalog.FindField("databases")->SetSize(), 1u);
+  EXPECT_EQ(catalog.FindField("relations")->SetSize(), 1u);
+  // The atom element contributes no attributes.
+  EXPECT_EQ(catalog.FindField("attributes")->SetSize(), 0u);
+}
+
+TEST(CatalogTest, WithCatalogRejectsNameClash) {
+  PaperUniverse paper = MakePaperUniverse();
+  EXPECT_EQ(WithCatalog(paper.universe, "euter").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(WithCatalog(Value::Int(1)).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(CatalogTest, HeterogeneousRelationsUseAttributeUnion) {
+  Value universe = MakeTuple(
+      {{"db", MakeTuple({{"r", MakeSet({
+                                   MakeTuple({{"a", Value::Int(1)}}),
+                                   MakeTuple({{"b", Value::String("x")}}),
+                               })}})}});
+  Value catalog = BuildCatalog(universe);
+  Answer arity = Eval(MakeTuple({{"cat", catalog}}),
+                      "?.cat.relations(.rel=r, .arity=A)");
+  ASSERT_EQ(arity.rows.size(), 1u);
+  EXPECT_EQ(arity.Column("A")[0], Value::Int(2));
+}
+
+}  // namespace
+}  // namespace idl

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace idl {
+namespace {
+
+TEST(StatusTest, OkIsCheapAndEmpty) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.message(), "");
+  EXPECT_EQ(ok.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorsCarryCodeAndMessage) {
+  Status st = NotFound("relation 'r'");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "relation 'r'");
+  EXPECT_EQ(st.ToString(), "not found: relation 'r'");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = ParseError("unexpected ')'").WithContext("rule 3");
+  EXPECT_EQ(st.ToString(), "parse error: rule 3: unexpected ')'");
+  EXPECT_TRUE(Status().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, CopyAndEquality) {
+  Status a = Unsafe("x");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  b = Internal("y");
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ResultTest, ValueAndStatusSides) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> bad = InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  IDL_ASSIGN_OR_RETURN(int h, Half(x));
+  IDL_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // second Half fails
+  EXPECT_FALSE(Quarter(5).ok());  // first Half fails
+}
+
+TEST(StrUtilTest, Basics) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_TRUE(StartsWith("dbO.stk1", "dbO."));
+  EXPECT_FALSE(StartsWith("db", "dbO"));
+  EXPECT_EQ(Split("a.b..c", '.'),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(QuoteString("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+}
+
+TEST(StrUtilTest, DoubleToStringRoundTrips) {
+  for (double d : {0.0, 1.0, -2.5, 0.1, 1e-9, 1e20, 123.456}) {
+    std::string s = DoubleToString(d);
+    EXPECT_EQ(std::stod(s), d) << s;
+    // Always re-lexes as a double.
+    EXPECT_TRUE(s.find('.') != std::string::npos ||
+                s.find('e') != std::string::npos)
+        << s;
+  }
+}
+
+TEST(RngTest, DeterministicAndSpread) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(Rng(7).Next(), c.Next());
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    int64_t v = r.Range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(InternerTest, InternLookupFind) {
+  StringInterner interner;
+  auto a = interner.Intern("clsPrice");
+  auto b = interner.Intern("date");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("clsPrice"), a);
+  EXPECT_EQ(interner.Lookup(a), "clsPrice");
+  EXPECT_EQ(interner.Find("date"), b);
+  EXPECT_EQ(interner.Find("nosuch"), StringInterner::kNotInterned);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+}  // namespace
+}  // namespace idl

@@ -1,0 +1,216 @@
+// Integrity constraints (the §2/§8 types & keys extension): declaration
+// parsing, relation checking, and the Session's atomic validated updates.
+
+#include "constraints/checker.h"
+
+#include <gtest/gtest.h>
+
+#include "idl/session.h"
+#include "object/builder.h"
+#include "workload/paper_universe.h"
+
+namespace idl {
+namespace {
+
+constexpr char kEuterConstraint[] =
+    "constrain .euter.r (date: date!, stkCode: string!, clsPrice: number!) "
+    "key (date, stkCode) closed";
+
+TEST(ConstraintParseTest, FullForm) {
+  auto c = ParseConstraint(kEuterConstraint);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->db, "euter");
+  EXPECT_EQ(c->rel, "r");
+  ASSERT_EQ(c->attrs.size(), 3u);
+  EXPECT_EQ(c->attrs[0].name, "date");
+  EXPECT_EQ(c->attrs[0].kind, AttrKind::kDate);
+  EXPECT_TRUE(c->attrs[0].required);
+  EXPECT_EQ(c->attrs[2].kind, AttrKind::kNumber);
+  EXPECT_EQ(c->key, (std::vector<std::string>{"date", "stkCode"}));
+  EXPECT_TRUE(c->closed);
+}
+
+TEST(ConstraintParseTest, MinimalAndRoundTrip) {
+  auto c = ParseConstraint("constrain .d.r (a: any)");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_FALSE(c->closed);
+  EXPECT_TRUE(c->key.empty());
+
+  auto full = ParseConstraint(kEuterConstraint);
+  ASSERT_TRUE(full.ok());
+  auto again = ParseConstraint(full->ToString());
+  ASSERT_TRUE(again.ok()) << full->ToString();
+  EXPECT_EQ(again->ToString(), full->ToString());
+}
+
+TEST(ConstraintParseTest, Errors) {
+  EXPECT_FALSE(ParseConstraint("").ok());
+  EXPECT_FALSE(ParseConstraint("constrain euter.r (a: int)").ok());
+  EXPECT_FALSE(ParseConstraint("constrain .e.r (a: nosuchkind)").ok());
+  EXPECT_FALSE(ParseConstraint("constrain .e.r (a: int) key (b)").ok())
+      << "key attribute must be declared";
+  EXPECT_FALSE(ParseConstraint("constrain .e.r (a: int) trailing").ok());
+}
+
+class CheckerTest : public ::testing::Test {
+ protected:
+  CheckerTest() : paper_(MakePaperUniverse()) {
+    auto c = ParseConstraint(kEuterConstraint);
+    EXPECT_TRUE(c.ok());
+    constraint_ = std::move(c).value();
+  }
+
+  std::vector<Violation> CheckEuter() {
+    std::vector<Violation> out;
+    CheckRelation(*paper_.universe.FindField("euter")->FindField("r"),
+                  constraint_, &out);
+    return out;
+  }
+
+  Value* EuterR() {
+    return paper_.universe.MutableField("euter")->MutableField("r");
+  }
+
+  PaperUniverse paper_;
+  RelationConstraint constraint_;
+};
+
+TEST_F(CheckerTest, CleanRelationPasses) {
+  EXPECT_TRUE(CheckEuter().empty());
+}
+
+TEST_F(CheckerTest, DetectsMissingRequired) {
+  EuterR()->Insert(MakeTuple({{"date", Value::Of(Date(1985, 3, 9))},
+                              {"stkCode", Value::String("hp")}}));
+  auto violations = CheckEuter();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kMissingRequired);
+}
+
+TEST_F(CheckerTest, DetectsWrongKind) {
+  EuterR()->Insert(MakeTuple({{"date", Value::Of(Date(1985, 3, 9))},
+                              {"stkCode", Value::String("hp")},
+                              {"clsPrice", Value::String("fifty")}}));
+  auto violations = CheckEuter();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kWrongKind);
+}
+
+TEST_F(CheckerTest, DetectsKeyViolation) {
+  // Same (date, stkCode) as an existing tuple, different price.
+  EuterR()->Insert(MakeTuple({{"date", Value::Of(Date(1985, 3, 3))},
+                              {"stkCode", Value::String("hp")},
+                              {"clsPrice", Value::Int(51)}}));
+  auto violations = CheckEuter();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kKeyViolation);
+}
+
+TEST_F(CheckerTest, DetectsUndeclaredAttrWhenClosed) {
+  EuterR()->Insert(MakeTuple({{"date", Value::Of(Date(1985, 3, 9))},
+                              {"stkCode", Value::String("hp")},
+                              {"clsPrice", Value::Int(50)},
+                              {"volume", Value::Int(1000)}}));
+  auto violations = CheckEuter();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kUndeclaredAttr);
+}
+
+TEST_F(CheckerTest, DetectsNonTupleElement) {
+  EuterR()->Insert(Value::Int(7));
+  auto violations = CheckEuter();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kNotATuple);
+}
+
+TEST(ConstraintSetTest, MissingRelationReported) {
+  ConstraintSet set;
+  ASSERT_TRUE(set.AddText("constrain .nosuch.r (a: int)").ok());
+  PaperUniverse paper = MakePaperUniverse();
+  auto violations = set.Check(paper.universe);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, Violation::Kind::kMissingRelation);
+}
+
+TEST(ConstraintSetTest, AddReplacesSameRelation) {
+  ConstraintSet set;
+  ASSERT_TRUE(set.AddText("constrain .e.r (a: int)").ok());
+  ASSERT_TRUE(set.AddText("constrain .e.r (a: string)").ok());
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.constraints()[0].attrs[0].kind, AttrKind::kString);
+}
+
+class SessionConstraintTest : public ::testing::Test {
+ protected:
+  SessionConstraintTest() {
+    PaperUniverse paper = MakePaperUniverse();
+    for (const auto& field : paper.universe.fields()) {
+      EXPECT_TRUE(session_.RegisterDatabase(field.name, field.value).ok());
+    }
+    EXPECT_TRUE(session_.DeclareConstraint(kEuterConstraint).ok());
+    EXPECT_TRUE(session_.ValidateConstraints().ok());
+  }
+
+  Session session_;
+};
+
+TEST_F(SessionConstraintTest, ValidUpdatePasses) {
+  auto r = session_.Update(
+      "?.euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=60)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(session_.Query("?.euter.r(.date=3/9/85)")->boolean());
+}
+
+TEST_F(SessionConstraintTest, KeyViolatingUpdateRollsBack) {
+  // hp already has a 3/3/85 price; inserting a second one violates the key.
+  auto r = session_.Update(
+      "?.euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=51)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  // Rolled back: the old price is intact, the new one absent.
+  EXPECT_TRUE(
+      session_.Query("?.euter.r(.date=3/3/85,.stkCode=hp,.clsPrice=50)")
+          ->boolean());
+  EXPECT_FALSE(session_.Query("?.euter.r(.clsPrice=51)")->boolean());
+}
+
+TEST_F(SessionConstraintTest, WrongKindUpdateRollsBack) {
+  auto r = session_.Update(
+      "?.euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=expensive)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(session_.Query("?.euter.r(.date=3/9/85)")->boolean());
+}
+
+TEST_F(SessionConstraintTest, MultiConjunctRequestIsAtomic) {
+  // First conjunct is fine, second violates the key: *both* roll back.
+  auto r = session_.Update(
+      "?.euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=60),"
+      ".euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=51)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(session_.Query("?.euter.r(.date=3/9/85)")->boolean());
+}
+
+TEST_F(SessionConstraintTest, ProgramCallValidatedAndRolledBack) {
+  ASSERT_TRUE(session_.DefinePrograms(PaperUpdatePrograms()).ok());
+  // insStk of a duplicate (date, stock) into euter violates the key; the
+  // whole three-database program call rolls back.
+  auto r = session_.CallProgram(
+      "dbU.insStk", {{"stk", Value::String("hp")},
+                     {"date", Value::Of(Date(1985, 3, 3))},
+                     {"price", Value::Int(51)}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  // chwab untouched as well (atomicity across databases).
+  EXPECT_TRUE(session_.Query("?.chwab.r(.date=3/3/85,.hp=50)")->boolean());
+
+  // A fresh date passes.
+  auto ok = session_.CallProgram(
+      "dbU.insStk", {{"stk", Value::String("hp")},
+                     {"date", Value::Of(Date(1985, 3, 9))},
+                     {"price", Value::Int(51)}});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+}  // namespace
+}  // namespace idl

@@ -1,0 +1,70 @@
+#include "object/date.h"
+
+#include <gtest/gtest.h>
+
+namespace idl {
+namespace {
+
+TEST(DateTest, ParsePaperStyle) {
+  auto d = Date::Parse("3/3/85");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->year(), 1985);
+  EXPECT_EQ(d->month(), 3);
+  EXPECT_EQ(d->day(), 3);
+}
+
+TEST(DateTest, ParseFourDigitYear) {
+  auto d = Date::Parse("12/31/1999");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->year(), 1999);
+  EXPECT_EQ(d->month(), 12);
+  EXPECT_EQ(d->day(), 31);
+}
+
+TEST(DateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Date::Parse("").ok());
+  EXPECT_FALSE(Date::Parse("3/3").ok());
+  EXPECT_FALSE(Date::Parse("3/3/85x").ok());
+  EXPECT_FALSE(Date::Parse("13/1/85").ok());
+  EXPECT_FALSE(Date::Parse("2/30/85").ok());
+  EXPECT_FALSE(Date::Parse("a/b/c").ok());
+}
+
+TEST(DateTest, LeapYearValidity) {
+  EXPECT_TRUE(Date::IsValid(1984, 2, 29));
+  EXPECT_FALSE(Date::IsValid(1985, 2, 29));
+  EXPECT_TRUE(Date::IsValid(2000, 2, 29));   // divisible by 400
+  EXPECT_FALSE(Date::IsValid(1900, 2, 29));  // divisible by 100 only
+}
+
+TEST(DateTest, Ordering) {
+  EXPECT_LT(Date(1985, 3, 3), Date(1985, 3, 4));
+  EXPECT_LT(Date(1985, 2, 28), Date(1985, 3, 1));
+  EXPECT_LT(Date(1984, 12, 31), Date(1985, 1, 1));
+  EXPECT_EQ(Date(1985, 3, 3), Date(1985, 3, 3));
+}
+
+TEST(DateTest, DayNumberRoundTrip) {
+  for (int y : {1, 1900, 1984, 1985, 2000, 2026}) {
+    for (int m : {1, 2, 6, 12}) {
+      for (int d : {1, 15, 28}) {
+        Date date(y, m, d);
+        EXPECT_EQ(Date::FromDayNumber(date.DayNumber()), date)
+            << date.ToString();
+      }
+    }
+  }
+}
+
+TEST(DateTest, DayNumberArithmetic) {
+  Date d(1985, 2, 28);
+  EXPECT_EQ(Date::FromDayNumber(d.DayNumber() + 1), Date(1985, 3, 1));
+  EXPECT_EQ(Date::FromDayNumber(d.DayNumber() + 365), Date(1986, 2, 28));
+}
+
+TEST(DateTest, ToStringFormat) {
+  EXPECT_EQ(Date(1985, 3, 3).ToString(), "3/3/1985");
+}
+
+}  // namespace
+}  // namespace idl

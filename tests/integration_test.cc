@@ -1,0 +1,183 @@
+// Cross-feature integration: views + constraints + programs + catalog in
+// one session, plus view-engine edge cases.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "idl/session.h"
+#include "object/builder.h"
+#include "syntax/parser.h"
+#include "views/engine.h"
+#include "workload/paper_universe.h"
+#include "workload/stock_gen.h"
+
+namespace idl {
+namespace {
+
+TEST(IntegrationTest, GuardedFederationLifecycle) {
+  StockWorkload w = GenerateStockWorkload({.num_stocks = 4, .num_days = 6});
+  Session session;
+  ASSERT_TRUE(session.RegisterDatabase(BuildEuterDatabase(w)).ok());
+  ASSERT_TRUE(session.RegisterDatabase(BuildChwabDatabase(w)).ok());
+  ASSERT_TRUE(session.RegisterDatabase(BuildOurceDatabase(w)).ok());
+  ASSERT_TRUE(session.DefineRules(PaperViewRules()).ok());
+  ASSERT_TRUE(session.DefinePrograms(PaperUpdatePrograms()).ok());
+  ASSERT_TRUE(session
+                  .DeclareConstraint(
+                      "constrain .euter.r (date: date!, stkCode: string!, "
+                      "clsPrice: number!) key (date, stkCode)")
+                  .ok());
+  ASSERT_TRUE(session.ValidateConstraints().ok());
+
+  // A legal program call passes validation and refreshes the views.
+  Date fresh = Date::FromDayNumber(w.dates.back().DayNumber() + 1);
+  ASSERT_TRUE(session
+                  .CallProgram("dbU.insStk",
+                               {{"stk", Value::String("stk0")},
+                                {"date", Value::Of(fresh)},
+                                {"price", Value::Real(50.0)}})
+                  .ok());
+  EXPECT_TRUE(session.Query("?.dbI.p(.stk=stk0, .clsPrice=50.0)")->boolean());
+
+  // A key-violating call rolls back *all three* databases and the views
+  // stay consistent with the bases.
+  auto bad = session.CallProgram("dbU.insStk",
+                                 {{"stk", Value::String("stk0")},
+                                  {"date", Value::Of(fresh)},
+                                  {"price", Value::Real(60.0)}});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(session.Query("?.chwab.r(.stk0=60.0)")->boolean());
+  EXPECT_FALSE(session.Query("?.dbI.p(.clsPrice=60.0)")->boolean());
+}
+
+TEST(IntegrationTest, CatalogOfMergedUniverseSeesDerivedViews) {
+  PaperUniverse paper = MakePaperUniverse();
+  Session session;
+  for (const auto& field : paper.universe.fields()) {
+    ASSERT_TRUE(session.RegisterDatabase(field.name, field.value).ok());
+  }
+  ASSERT_TRUE(session.DefineRules(PaperViewRules()).ok());
+  auto u = session.universe();
+  ASSERT_TRUE(u.ok());
+  Value catalog = BuildCatalog(**u);
+  // Base (3 dbs) + derived dbI, dbE, dbC, dbO.
+  EXPECT_EQ(catalog.FindField("databases")->SetSize(), 7u);
+  // dbO's relations are the stocks.
+  auto q = ParseQuery("?.c.relations(.db=dbO, .rel=R)");
+  ASSERT_TRUE(q.ok());
+  auto a = EvaluateQuery(MakeTuple({{"c", catalog}}), *q);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->rows.size(), 3u);
+}
+
+TEST(ViewEngineEdgeTest, EmptyRuleSetIsIdentity) {
+  ViewEngine engine;
+  PaperUniverse paper = MakePaperUniverse();
+  auto m = engine.Materialize(paper.universe);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->universe, paper.universe);
+  EXPECT_TRUE(m->derived_paths.empty());
+  EXPECT_EQ(m->facts_derived, 0u);
+}
+
+TEST(ViewEngineEdgeTest, RuleCanDeriveIntoBaseRelation) {
+  // A rule may target an existing base relation; derived facts merge into
+  // the (copied) relation and the base itself is untouched.
+  ViewEngine engine;
+  auto rule = ParseRule(
+      ".euter.r(.date=D, .stkCode=S, .clsPrice=P) <- "
+      ".ource.S(.date=D, .clsPrice=P)");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(engine.AddRule(std::move(rule).value()).ok());
+
+  PaperUniverse paper = MakePaperUniverse();
+  // Remove one euter tuple so the rule has something to add back.
+  Value* r = paper.universe.MutableField("euter")->MutableField("r");
+  size_t before = r->SetSize();
+  r->EraseIf([](const Value& t) {
+    return t.FindField("stkCode")->as_string() == "sun";
+  });
+  ASSERT_LT(r->SetSize(), before);
+
+  auto m = engine.Materialize(paper.universe);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->universe.FindField("euter")->FindField("r")->SetSize(),
+            before);
+  // Base unchanged.
+  EXPECT_LT(paper.universe.FindField("euter")->FindField("r")->SetSize(),
+            before);
+  // And the session refuses direct updates to the now-partly-derived
+  // relation.
+  Session session;
+  for (const auto& field : paper.universe.fields()) {
+    ASSERT_TRUE(session.RegisterDatabase(field.name, field.value).ok());
+  }
+  ASSERT_TRUE(session
+                  .DefineRule(".euter.r(.date=D, .stkCode=S, .clsPrice=P) <- "
+                              ".ource.S(.date=D, .clsPrice=P)")
+                  .ok());
+  auto refused = session.Update("?.euter.r-(.stkCode=hp)");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ViewEngineEdgeTest, RuleBodyOverDerivedChainThreeDeep) {
+  ViewEngine engine;
+  for (const char* text :
+       {".a.p(.x=X) <- .base.r(.x=X)",
+        ".b.q(.x=X) <- .a.p(.x=X), .a.p!(.x<X)",  // min via negation
+        ".c.s(.x=X) <- .b.q(.x=X)"}) {
+    auto rule = ParseRule(text);
+    ASSERT_TRUE(rule.ok()) << text;
+    ASSERT_TRUE(engine.AddRule(std::move(rule).value()).ok()) << text;
+  }
+  Value universe = MakeTuple(
+      {{"base",
+        MakeTuple({{"r", MakeSet({MakeTuple({{"x", Value::Int(3)}}),
+                                  MakeTuple({{"x", Value::Int(1)}}),
+                                  MakeTuple({{"x", Value::Int(2)}})})}})}});
+  auto m = engine.Materialize(universe);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  const Value* s = m->universe.FindField("c")->FindField("s");
+  ASSERT_EQ(s->SetSize(), 1u);
+  EXPECT_EQ(*s->elements()[0].FindField("x"), Value::Int(1));
+}
+
+TEST(ViewEngineEdgeTest, HigherOrderHeadBoundToNonNameFails) {
+  ViewEngine engine;
+  auto rule = ParseRule(".db.S(.x=1) <- .base.r(.k=S)");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(engine.AddRule(std::move(rule).value()).ok());
+  // S binds to an *int*, which cannot name a relation.
+  Value universe = MakeTuple(
+      {{"base",
+        MakeTuple({{"r", MakeSet({MakeTuple({{"k", Value::Int(5)}})})}})}});
+  auto m = engine.Materialize(universe);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kTypeError);
+}
+
+TEST(IntegrationTest, ExportAfterSchemaChangingPrograms) {
+  // rmStk leaves chwab heterogeneous-free (attribute dropped from every
+  // tuple); the adapter must still lower every database cleanly.
+  StockWorkload w = GenerateStockWorkload({.num_stocks = 3, .num_days = 4});
+  Session session;
+  ASSERT_TRUE(session.RegisterDatabase(BuildEuterDatabase(w)).ok());
+  ASSERT_TRUE(session.RegisterDatabase(BuildChwabDatabase(w)).ok());
+  ASSERT_TRUE(session.RegisterDatabase(BuildOurceDatabase(w)).ok());
+  ASSERT_TRUE(session.DefinePrograms(PaperUpdatePrograms()).ok());
+  ASSERT_TRUE(
+      session.CallProgram("dbU.rmStk", {{"stk", Value::String("stk1")}})
+          .ok());
+  auto chwab = session.ExportDatabase("chwab");
+  ASSERT_TRUE(chwab.ok()) << chwab.status().ToString();
+  EXPECT_FALSE(chwab->FindTable("r")->schema().HasColumn("stk1"));
+  auto ource = session.ExportDatabase("ource");
+  ASSERT_TRUE(ource.ok());
+  EXPECT_EQ(ource->FindTable("stk1"), nullptr);
+  EXPECT_EQ(ource->NumTables(), 2u);
+}
+
+}  // namespace
+}  // namespace idl

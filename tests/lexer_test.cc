@@ -1,0 +1,115 @@
+#include "syntax/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace idl {
+namespace {
+
+std::vector<TokenKind> Kinds(std::string_view text) {
+  auto tokens = Lex(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const auto& t : *tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, Punctuation) {
+  EXPECT_EQ(Kinds("? . , ( ) + - ; !"),
+            (std::vector<TokenKind>{
+                TokenKind::kQuestion, TokenKind::kDot, TokenKind::kComma,
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kPlus,
+                TokenKind::kMinus, TokenKind::kSemicolon, TokenKind::kNeg,
+                TokenKind::kEnd}));
+}
+
+TEST(LexerTest, RelOpsAsciiAndTypographic) {
+  EXPECT_EQ(Kinds("< <= = != > >="),
+            (std::vector<TokenKind>{TokenKind::kLt, TokenKind::kLe,
+                                    TokenKind::kEq, TokenKind::kNe,
+                                    TokenKind::kGt, TokenKind::kGe,
+                                    TokenKind::kEnd}));
+  EXPECT_EQ(Kinds("≤ ≥ ≠ ¬"),
+            (std::vector<TokenKind>{TokenKind::kLe, TokenKind::kGe,
+                                    TokenKind::kNe, TokenKind::kNeg,
+                                    TokenKind::kEnd}));
+}
+
+TEST(LexerTest, Arrows) {
+  EXPECT_EQ(Kinds("<- -> ← →"),
+            (std::vector<TokenKind>{
+                TokenKind::kLeftArrow, TokenKind::kRightArrow,
+                TokenKind::kLeftArrow, TokenKind::kRightArrow,
+                TokenKind::kEnd}));
+}
+
+TEST(LexerTest, IdentifiersAndVariables) {
+  auto tokens = *Lex("euter StkCode hp X");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "euter");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[1].text, "StkCode");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kVariable);
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = *Lex("42 2.5 1e3 6");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 2.5);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kInt);
+}
+
+TEST(LexerTest, DateLiteral) {
+  auto tokens = *Lex("3/3/85");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDate);
+  EXPECT_EQ(tokens[0].date_value, Date(1985, 3, 3));
+}
+
+TEST(LexerTest, DivisionIsNotADate) {
+  auto tokens = *Lex("6/2");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kSlash);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kInt);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = *Lex("\"hello \\\"world\\\"\"");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello \"world\"");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = *Lex("a % comment to end of line\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, PositionsTracked) {
+  auto tokens = *Lex("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("\"unterminated").ok());
+  EXPECT_FALSE(Lex("@").ok());
+  EXPECT_FALSE(Lex("13/45/99").ok());  // invalid date
+}
+
+TEST(LexerTest, PaperQueryLexes) {
+  auto tokens = Lex("?.euter.r(.stkCode=hp, .clsPrice>60)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+}  // namespace
+}  // namespace idl

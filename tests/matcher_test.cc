@@ -1,0 +1,233 @@
+#include "eval/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "object/builder.h"
+#include "syntax/parser.h"
+
+namespace idl {
+namespace {
+
+// Enumerates all matches of `expr_text` (a single expression) against `v`,
+// returning the bindings of `var` as strings via ToString-ish compare.
+std::vector<Substitution> AllMatches(const Value& v,
+                                     std::string_view expr_text) {
+  auto expr = ParseExpression(expr_text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  EvalStats stats;
+  Matcher matcher(&stats);
+  Substitution sigma;
+  std::vector<Substitution> out;
+  auto r = matcher.Match(v, **expr, &sigma, [&](const Substitution& s) {
+    out.push_back(s);
+    return true;
+  });
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return out;
+}
+
+bool Satisfies(const Value& v, std::string_view expr_text) {
+  return !AllMatches(v, expr_text).empty();
+}
+
+TEST(MatcherTest, AtomicGroundComparisons) {
+  EXPECT_TRUE(Satisfies(Value::Int(50), "=50"));
+  EXPECT_FALSE(Satisfies(Value::Int(50), "=51"));
+  EXPECT_TRUE(Satisfies(Value::Int(50), ">40"));
+  EXPECT_TRUE(Satisfies(Value::Int(50), "<=50"));
+  EXPECT_TRUE(Satisfies(Value::Int(50), "!=49"));
+  EXPECT_TRUE(Satisfies(Value::Real(50.0), "=50"));  // numeric cross-kind
+  EXPECT_TRUE(Satisfies(Value::String("hp"), "=hp"));
+  EXPECT_TRUE(Satisfies(Value::String("ibm"), "<sun"));
+  EXPECT_TRUE(Satisfies(Value::Of(Date(1985, 3, 3)), ">3/1/85"));
+}
+
+TEST(MatcherTest, NullSatisfiesNoAtomicExpression) {
+  // §5.2: the null value evaluates to false for all atomic expressions.
+  EXPECT_FALSE(Satisfies(Value::Null(), "=null"));
+  EXPECT_FALSE(Satisfies(Value::Null(), "=5"));
+  EXPECT_FALSE(Satisfies(Value::Null(), "!=5"));
+  EXPECT_FALSE(Satisfies(Value::Null(), ">5"));
+}
+
+TEST(MatcherTest, IncompatibleKindsCompareUnequalNotError) {
+  EXPECT_FALSE(Satisfies(Value::String("hp"), "=5"));
+  EXPECT_TRUE(Satisfies(Value::String("hp"), "!=5"));
+  EXPECT_FALSE(Satisfies(Value::String("hp"), ">5"));  // unordered
+}
+
+TEST(MatcherTest, UnboundVariableBindsWithEquality) {
+  auto matches = AllMatches(Value::Int(50), "=X");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(*matches[0].Lookup("X"), Value::Int(50));
+}
+
+TEST(MatcherTest, UnboundVariableWithInequalityIsUnsafe) {
+  auto expr = ParseExpression(">X");
+  ASSERT_TRUE(expr.ok());
+  EvalStats stats;
+  Matcher matcher(&stats);
+  Substitution sigma;
+  auto r = matcher.Match(Value::Int(50), **expr, &sigma,
+                         [](const Substitution&) { return true; });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsafe);
+}
+
+TEST(MatcherTest, EpsilonSatisfiedByEverything) {
+  EXPECT_TRUE(Satisfies(Value::Int(1), ""));
+  EXPECT_TRUE(Satisfies(Value::EmptySet(), ""));
+  EXPECT_TRUE(Satisfies(Value::Null(), ""));
+}
+
+TEST(MatcherTest, TupleExpression) {
+  Value t = MakeTuple({{"stkCode", Value::String("hp")},
+                       {"clsPrice", Value::Int(62)}});
+  EXPECT_TRUE(Satisfies(t, ".stkCode=hp, .clsPrice>60"));
+  EXPECT_FALSE(Satisfies(t, ".stkCode=ibm"));
+  EXPECT_FALSE(Satisfies(t, ".missing=1"));
+  // Kind mismatch: a tuple expression on an atom fails quietly.
+  EXPECT_FALSE(Satisfies(Value::Int(1), ".a=1"));
+}
+
+TEST(MatcherTest, SetExpressionExistential) {
+  Value s = MakeSet({
+      MakeTuple({{"stkCode", Value::String("hp")}, {"clsPrice", Value::Int(62)}}),
+      MakeTuple({{"stkCode", Value::String("ibm")}, {"clsPrice", Value::Int(155)}}),
+  });
+  EXPECT_TRUE(Satisfies(s, "(.stkCode=hp)"));
+  EXPECT_FALSE(Satisfies(s, "(.stkCode=sun)"));
+  EXPECT_TRUE(Satisfies(s, "(.clsPrice>100)"));
+}
+
+TEST(MatcherTest, SetEnumeratesAllBindings) {
+  Value s = MakeSet({
+      MakeTuple({{"stkCode", Value::String("hp")}}),
+      MakeTuple({{"stkCode", Value::String("ibm")}}),
+  });
+  auto matches = AllMatches(s, "(.stkCode=S)");
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(MatcherTest, HigherOrderVariableEnumeratesAttributes) {
+  Value t = MakeTuple({{"date", Value::Of(Date(1985, 3, 3))},
+                       {"hp", Value::Int(50)},
+                       {"ibm", Value::Int(149)}});
+  auto matches = AllMatches(t, ".S=P");
+  EXPECT_EQ(matches.size(), 3u);  // date, hp, ibm all enumerate
+  // With a constraint only stocks above 100 match.
+  auto above = AllMatches(t, ".S>100");
+  ASSERT_EQ(above.size(), 1u);
+  EXPECT_EQ(*above[0].Lookup("S"), Value::String("ibm"));
+}
+
+TEST(MatcherTest, BoundHigherOrderVariableLooksUp) {
+  Value t = MakeTuple({{"hp", Value::Int(50)}});
+  auto expr = ParseExpression(".S=P");
+  ASSERT_TRUE(expr.ok());
+  EvalStats stats;
+  Matcher matcher(&stats);
+  Substitution sigma;
+  sigma.Bind("S", Value::String("hp"));
+  std::vector<Substitution> out;
+  auto r = matcher.Match(t, **expr, &sigma, [&](const Substitution& s) {
+    out.push_back(s);
+    return true;
+  });
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(*out[0].Lookup("P"), Value::Int(50));
+  EXPECT_EQ(stats.attrs_enumerated, 0u);  // no enumeration when bound
+}
+
+TEST(MatcherTest, NegationClosedWorld) {
+  Value s = MakeSet({MakeTuple({{"clsPrice", Value::Int(50)}})});
+  EXPECT_TRUE(Satisfies(s, "!(.clsPrice>60)"));
+  EXPECT_FALSE(Satisfies(s, "!(.clsPrice=50)"));
+}
+
+TEST(MatcherTest, NegationInnerBindingsDoNotEscape) {
+  Value s = MakeSet({MakeTuple({{"clsPrice", Value::Int(250)}})});
+  auto matches = AllMatches(s, "!(.clsPrice<100, .clsPrice=P)");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].Lookup("P"), nullptr);
+}
+
+TEST(MatcherTest, GuardEquality) {
+  // `X = ource` binds a free variable (footnote 7).
+  auto matches = AllMatches(Value::EmptyTuple(), "X = ource");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(*matches[0].Lookup("X"), Value::String("ource"));
+}
+
+TEST(MatcherTest, GuardComparesBoundVariables) {
+  auto expr = ParseExpression("S != date");
+  ASSERT_TRUE(expr.ok());
+  EvalStats stats;
+  Matcher matcher(&stats);
+  Substitution sigma;
+  sigma.Bind("S", Value::String("hp"));
+  size_t count = 0;
+  auto r = matcher.Match(Value::EmptyTuple(), **expr, &sigma,
+                         [&](const Substitution&) {
+                           ++count;
+                           return true;
+                         });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(count, 1u);
+
+  Substitution sigma2;
+  sigma2.Bind("S", Value::String("date"));
+  count = 0;
+  r = matcher.Match(Value::EmptyTuple(), **expr, &sigma2,
+                    [&](const Substitution&) {
+                      ++count;
+                      return true;
+                    });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(MatcherTest, EvalTermArithmetic) {
+  Substitution sigma;
+  sigma.Bind("C", Value::Int(40));
+  auto expr = ParseExpression("=C+10");
+  ASSERT_TRUE(expr.ok());
+  auto v = Matcher::EvalTerm((*expr)->term, sigma);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Int(50));
+}
+
+TEST(MatcherTest, EvalTermDateArithmetic) {
+  Substitution sigma;
+  sigma.Bind("D", Value::Of(Date(1985, 2, 28)));
+  auto expr = ParseExpression("=D+1");
+  ASSERT_TRUE(expr.ok());
+  auto v = Matcher::EvalTerm((*expr)->term, sigma);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_date(), Date(1985, 3, 1));
+}
+
+TEST(MatcherTest, EvalTermErrors) {
+  Substitution sigma;
+  auto unbound = ParseExpression("=X+1");
+  ASSERT_TRUE(unbound.ok());
+  EXPECT_EQ(Matcher::EvalTerm((*unbound)->term, sigma).status().code(),
+            StatusCode::kUnsafe);
+
+  sigma.Bind("X", Value::Int(1));
+  auto div = ParseExpression("=X/0");
+  ASSERT_TRUE(div.ok());
+  EXPECT_FALSE(Matcher::EvalTerm((*div)->term, sigma).ok());
+}
+
+TEST(MatcherTest, VariableBindsAggregateObject) {
+  // Variables may range over tuples and sets (§3's generalization).
+  Value t = MakeTuple({{"r", MakeSet({Value::Int(1)})}});
+  auto matches = AllMatches(t, ".r=X");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_TRUE(matches[0].Lookup("X")->is_set());
+}
+
+}  // namespace
+}  // namespace idl

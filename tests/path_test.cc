@@ -1,0 +1,54 @@
+#include "object/path.h"
+
+#include <gtest/gtest.h>
+
+#include "object/builder.h"
+
+namespace idl {
+namespace {
+
+TEST(PathTest, ParseAndToString) {
+  auto p = Path::Parse(".euter.r");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 2u);
+  EXPECT_EQ((*p)[0], "euter");
+  EXPECT_EQ((*p)[1], "r");
+  EXPECT_EQ(p->ToString(), ".euter.r");
+  // Leading dot optional.
+  EXPECT_TRUE(Path::Parse("euter.r").ok());
+  EXPECT_FALSE(Path::Parse("").ok());
+  EXPECT_FALSE(Path::Parse(".a..b").ok());
+}
+
+TEST(PathTest, Resolve) {
+  Value u = MakeTuple(
+      {{"euter", MakeTuple({{"r", MakeSet({Value::Int(1)})}})}});
+  auto p = Path::Parse(".euter.r");
+  ASSERT_TRUE(p.ok());
+  auto v = p->Resolve(u);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE((*v)->is_set());
+
+  EXPECT_EQ(Path::Parse(".euter.missing")->Resolve(u).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Path::Parse(".euter.r.x")->Resolve(u).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(PathTest, ResolveOrCreate) {
+  Value u = Value::EmptyTuple();
+  auto p = Path::Parse(".dbI.p");
+  ASSERT_TRUE(p.ok());
+  auto v = p->ResolveOrCreate(&u);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(u.HasField("dbI"));
+  EXPECT_TRUE(u.FindField("dbI")->HasField("p"));
+}
+
+TEST(PathTest, Child) {
+  Path p({"a"});
+  EXPECT_EQ(p.Child("b").ToString(), ".a.b");
+}
+
+}  // namespace
+}  // namespace idl

@@ -1,0 +1,101 @@
+#include "relational/pivot.h"
+
+#include <gtest/gtest.h>
+
+namespace idl {
+namespace {
+
+Table EuterShape() {
+  Table t("r", Schema({Column{"date", ColumnType::kDate},
+                       Column{"stkCode", ColumnType::kString},
+                       Column{"clsPrice", ColumnType::kDouble}}));
+  auto ins = [&](int day, const char* code, double price) {
+    ASSERT_TRUE(t.Insert(Row({Value::Of(Date(1985, 3, day)),
+                              Value::String(code), Value::Real(price)}))
+                    .ok());
+  };
+  ins(1, "hp", 55);
+  ins(1, "ibm", 140);
+  ins(2, "hp", 62);
+  ins(2, "ibm", 155);
+  return t;
+}
+
+TEST(PivotTest, EuterToChwabShape) {
+  Table euter = EuterShape();
+  auto pivoted = Pivot(euter, "date", "stkCode", "clsPrice");
+  ASSERT_TRUE(pivoted.ok()) << pivoted.status().ToString();
+  // Schema: date + one column per stock, discovered from the data.
+  EXPECT_EQ(pivoted->schema().size(), 3u);
+  EXPECT_TRUE(pivoted->schema().HasColumn("hp"));
+  EXPECT_TRUE(pivoted->schema().HasColumn("ibm"));
+  EXPECT_EQ(pivoted->NumRows(), 2u);  // one row per date
+  int hp = pivoted->schema().FindColumn("hp");
+  EXPECT_DOUBLE_EQ(pivoted->rows()[0].cells[hp].as_double(), 55.0);
+}
+
+TEST(PivotTest, PivotWithMissingCellsYieldsNulls) {
+  Table euter = EuterShape();
+  ASSERT_TRUE(euter
+                  .Insert(Row({Value::Of(Date(1985, 3, 3)),
+                               Value::String("sun"), Value::Real(205)}))
+                  .ok());
+  auto pivoted = Pivot(euter, "date", "stkCode", "clsPrice");
+  ASSERT_TRUE(pivoted.ok());
+  // 3/3 has only sun; hp and ibm cells are null.
+  int hp = pivoted->schema().FindColumn("hp");
+  int sun = pivoted->schema().FindColumn("sun");
+  const Row& last = pivoted->rows()[2];
+  EXPECT_TRUE(last.cells[hp].is_null());
+  EXPECT_DOUBLE_EQ(last.cells[sun].as_double(), 205.0);
+}
+
+TEST(PivotTest, UnpivotInvertsPivot) {
+  Table euter = EuterShape();
+  auto pivoted = Pivot(euter, "date", "stkCode", "clsPrice");
+  ASSERT_TRUE(pivoted.ok());
+  auto unpivoted = Unpivot(*pivoted, "date", "stkCode", "clsPrice");
+  ASSERT_TRUE(unpivoted.ok()) << unpivoted.status().ToString();
+  EXPECT_EQ(unpivoted->NumRows(), euter.NumRows());
+  // Same multiset of (date, stkCode, clsPrice); order may differ.
+  auto key = [](const Row& r) {
+    return r.cells[0].as_date().ToString() + "|" + r.cells[1].as_string() +
+           "|" + std::to_string(r.cells[2].as_double());
+  };
+  std::vector<std::string> a, b;
+  for (const auto& r : euter.rows()) a.push_back(key(r));
+  for (const auto& r : unpivoted->rows()) b.push_back(key(r));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(PivotTest, UnpivotSkipsNulls) {
+  Table chwab("r", Schema({Column{"date", ColumnType::kDate},
+                           Column{"hp", ColumnType::kDouble},
+                           Column{"ibm", ColumnType::kDouble}}));
+  ASSERT_TRUE(chwab
+                  .Insert(Row({Value::Of(Date(1985, 3, 1)), Value::Real(55),
+                               Value::Null()}))
+                  .ok());
+  auto unpivoted = Unpivot(chwab, "date", "stk", "price");
+  ASSERT_TRUE(unpivoted.ok());
+  EXPECT_EQ(unpivoted->NumRows(), 1u);  // ibm null row skipped
+}
+
+TEST(PivotTest, Errors) {
+  Table euter = EuterShape();
+  EXPECT_FALSE(Pivot(euter, "nosuch", "stkCode", "clsPrice").ok());
+  // Pivot on a non-string name column fails.
+  EXPECT_EQ(Pivot(euter, "stkCode", "clsPrice", "date").status().code(),
+            StatusCode::kTypeError);
+  // Unpivot with mixed non-key column types fails.
+  Table mixed("m", Schema({Column{"k", ColumnType::kInt},
+                           Column{"a", ColumnType::kInt},
+                           Column{"b", ColumnType::kString}}));
+  EXPECT_EQ(Unpivot(mixed, "k", "n", "v").status().code(),
+            StatusCode::kTypeError);
+}
+
+}  // namespace
+}  // namespace idl

@@ -1,0 +1,72 @@
+#include "syntax/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "syntax/parser.h"
+#include "workload/paper_universe.h"
+
+namespace idl {
+namespace {
+
+TEST(PrinterTest, QueryForms) {
+  auto check = [](const char* text, const char* expected) {
+    auto q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text;
+    EXPECT_EQ(ToString(*q), expected);
+  };
+  check("?.euter.r(.stkCode=hp,.clsPrice>60)",
+        "?.euter.r(.stkCode=hp, .clsPrice>60)");
+  check("? .chwab.r( .S > 200 )", "?.chwab.r(.S>200)");
+  check("?.euter.r ! (.stkCode=hp)", "?.euter.r!(.stkCode=hp)");
+  check("?.chwab.r(.date=3/3/85, .hp -= C)",
+        "?.chwab.r(.date=3/3/1985, .hp-=C)");
+  check("?.ource-.hp", "?.ource-.hp");
+  check("?.chwab.r(.S=P), S != date", "?.chwab.r(.S=P), S != date");
+}
+
+TEST(PrinterTest, RuleAndProgramForms) {
+  auto rule = ParseRule(
+      ".dbO.S(.date=D,.clsPrice=P) <- .dbI.p(.date=D,.stk=S,.clsPrice=P)");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(ToString(*rule),
+            ".dbO.S(.date=D, .clsPrice=P) <- "
+            ".dbI.p(.date=D, .stk=S, .clsPrice=P)");
+
+  auto clause = ParseProgramClause(
+      ".dbE.r+(.date=D,.stkCode=S) -> .dbU.insStk(.stk=S,.date=D)");
+  ASSERT_TRUE(clause.ok());
+  EXPECT_EQ(ToString(*clause),
+            ".dbE.r+(.date=D, .stkCode=S) -> .dbU.insStk(.stk=S, .date=D)");
+}
+
+TEST(PrinterTest, ArithmeticTerms) {
+  auto q = ParseQuery("?.chwab.r(.hp=C+10*2)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(ToString(*q), "?.chwab.r(.hp=C+10*2)");
+}
+
+// Stability: print(parse(print(x))) == print(x) for the whole paper corpus.
+TEST(PrinterTest, FixpointOnPaperCorpus) {
+  std::vector<std::string> corpus;
+  for (const auto& r : PaperViewRules()) corpus.push_back(r);
+  for (const auto& r : PaperViewRules(true)) corpus.push_back(r);
+  for (const auto& text : corpus) {
+    auto r1 = ParseRule(text);
+    ASSERT_TRUE(r1.ok()) << text;
+    std::string printed = ToString(*r1);
+    auto r2 = ParseRule(printed);
+    ASSERT_TRUE(r2.ok()) << printed;
+    EXPECT_EQ(ToString(*r2), printed);
+  }
+  for (const auto& text : PaperUpdatePrograms()) {
+    auto c1 = ParseProgramClause(text);
+    ASSERT_TRUE(c1.ok()) << text;
+    std::string printed = ToString(*c1);
+    auto c2 = ParseProgramClause(printed);
+    ASSERT_TRUE(c2.ok()) << printed;
+    EXPECT_EQ(ToString(*c2), printed);
+  }
+}
+
+}  // namespace
+}  // namespace idl

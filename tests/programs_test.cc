@@ -1,0 +1,181 @@
+// P1-P4: the update programs of Section 7 — delStk, rmStk, insStk, and
+// view updatability through update programs.
+
+#include "programs/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/query.h"
+#include "syntax/parser.h"
+#include "workload/paper_universe.h"
+
+namespace idl {
+namespace {
+
+class ProgramsTest : public ::testing::Test {
+ protected:
+  ProgramsTest() : paper_(MakePaperUniverse()) {
+    for (const auto& text : PaperUpdatePrograms()) {
+      auto c = ParseProgramClause(text);
+      EXPECT_TRUE(c.ok()) << text << ": " << c.status().ToString();
+      auto st = registry_.Register(std::move(c).value());
+      EXPECT_TRUE(st.ok()) << text << ": " << st.ToString();
+    }
+  }
+
+  Result<CallResult> Call(const std::string& path,
+                          std::map<std::string, Value> args,
+                          UpdateOp op = UpdateOp::kNone) {
+    ProgramExecutor executor(&registry_, &paper_.universe);
+    return executor.Call(path, op, args);
+  }
+
+  bool Holds(std::string_view text) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << text;
+    auto a = EvaluateQuery(paper_.universe, *q);
+    EXPECT_TRUE(a.ok()) << a.status().ToString();
+    return a->boolean();
+  }
+
+  PaperUniverse paper_;
+  ProgramRegistry registry_;
+};
+
+// P1: delStk removes one (stock, date) price from all three databases.
+TEST_F(ProgramsTest, P1_DelStkFullBinding) {
+  auto r = Call("dbU.delStk", {{"stk", Value::String("hp")},
+                               {"date", Value::Of(Date(1985, 3, 3))}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->clauses_succeeded, 3u);
+  EXPECT_FALSE(Holds("?.euter.r(.date=3/3/85,.stkCode=hp)"));
+  EXPECT_FALSE(Holds("?.chwab.r(.date=3/3/85,.hp=P)"));
+  EXPECT_FALSE(Holds("?.ource.hp(.date=3/3/85)"));
+  // Other dates and stocks untouched.
+  EXPECT_TRUE(Holds("?.euter.r(.date=3/4/85,.stkCode=hp)"));
+  EXPECT_TRUE(Holds("?.chwab.r(.date=3/3/85,.ibm=P)"));
+  EXPECT_TRUE(Holds("?.ource.hp(.date=3/4/85)"));
+}
+
+// P1b: partial binding — no date deletes the stock's prices on all days
+// (§7.1: "if the date is not given ... all the days for that stock").
+TEST_F(ProgramsTest, P1_DelStkNoDate) {
+  auto r = Call("dbU.delStk", {{"stk", Value::String("hp")}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(Holds("?.euter.r(.stkCode=hp)"));
+  EXPECT_FALSE(Holds("?.chwab.r(.hp=P)"));
+  EXPECT_FALSE(Holds("?.ource.hp(.clsPrice=P)"));
+  // Structure unchanged: chwab still has the hp attribute name, ource still
+  // has the hp relation (§7.1: "the structure of the database is not
+  // changed").
+  EXPECT_TRUE(Holds("?.chwab.r(.hp)"));
+  EXPECT_TRUE(Holds("?.ource.hp"));
+}
+
+// P1c: no stock — deletes every stock's price for the date.
+TEST_F(ProgramsTest, P1_DelStkNoStock) {
+  auto r = Call("dbU.delStk", {{"date", Value::Of(Date(1985, 3, 3))}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(Holds("?.euter.r(.date=3/3/85)"));
+  EXPECT_FALSE(Holds("?.chwab.r(.hp=P, .date=3/3/85)"));
+  EXPECT_FALSE(Holds("?.ource.sun(.date=3/3/85)"));
+  EXPECT_TRUE(Holds("?.euter.r(.date=3/4/85)"));
+}
+
+// P2: rmStk removes the stock as data (euter), as an attribute (chwab) and
+// as a relation (ource) — a metadata update.
+TEST_F(ProgramsTest, P2_RmStk) {
+  auto r = Call("dbU.rmStk", {{"stk", Value::String("hp")}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->clauses_succeeded, 3u);
+  EXPECT_FALSE(Holds("?.euter.r(.stkCode=hp)"));
+  EXPECT_FALSE(Holds("?.chwab.r(.hp)"));  // attribute gone
+  EXPECT_FALSE(Holds("?.ource.hp"));      // relation gone
+  EXPECT_TRUE(Holds("?.ource.ibm"));
+}
+
+// P3: insStk inserts into all three; its binding signature requires all
+// parameters.
+TEST_F(ProgramsTest, P3_InsStk) {
+  auto r = Call("dbU.insStk", {{"stk", Value::String("hp")},
+                               {"date", Value::Of(Date(1985, 3, 1))},
+                               {"price", Value::Int(77)}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(Holds("?.euter.r(.date=3/1/85,.stkCode=hp,.clsPrice=77)"));
+  EXPECT_TRUE(Holds("?.chwab.r(.date=3/1/85,.hp=77)"));
+  EXPECT_TRUE(Holds("?.ource.hp(.date=3/1/85,.clsPrice=77)"));
+}
+
+TEST_F(ProgramsTest, P3_InsStkRequiresAllParams) {
+  auto r = Call("dbU.insStk", {{"stk", Value::String("hp")}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsafe);
+  EXPECT_NE(r.status().message().find("requires parameter"),
+            std::string::npos);
+}
+
+// addStk + insStk handle a brand-new stock (new chwab column, new ource
+// relation).
+TEST_F(ProgramsTest, AddStkCreatesSchemaElements) {
+  auto r1 = Call("dbU.addStk", {{"stk", Value::String("dec")}});
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  auto r2 = Call("dbU.insStk", {{"stk", Value::String("dec")},
+                                {"date", Value::Of(Date(1985, 3, 2))},
+                                {"price", Value::Int(120)}});
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_TRUE(Holds("?.euter.r(.stkCode=dec,.clsPrice=120)"));
+  EXPECT_TRUE(Holds("?.chwab.r(.date=3/2/85,.dec=120)"));
+  EXPECT_TRUE(Holds("?.ource.dec(.clsPrice=120)"));
+}
+
+// P4: view updatability — the dbE view-update programs translate view
+// updates into base updates via program reuse (§7.2).
+TEST_F(ProgramsTest, P4_ViewUpdatePrograms) {
+  auto del = Call("dbE.r", {{"stkCode", Value::String("hp")},
+                            {"date", Value::Of(Date(1985, 3, 3))}},
+                  UpdateOp::kDelete);
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_FALSE(Holds("?.euter.r(.date=3/3/85,.stkCode=hp)"));
+  EXPECT_FALSE(Holds("?.chwab.r(.date=3/3/85,.hp=P)"));
+
+  auto ins = Call("dbE.r", {{"stkCode", Value::String("hp")},
+                            {"date", Value::Of(Date(1985, 3, 3))},
+                            {"clsPrice", Value::Int(52)}},
+                  UpdateOp::kInsert);
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  EXPECT_TRUE(Holds("?.euter.r(.date=3/3/85,.stkCode=hp,.clsPrice=52)"));
+  EXPECT_TRUE(Holds("?.chwab.r(.date=3/3/85,.hp=52)"));
+  EXPECT_TRUE(Holds("?.ource.hp(.date=3/3/85,.clsPrice=52)"));
+}
+
+// Recursion is rejected at registration (§7.1).
+TEST_F(ProgramsTest, RecursionRejected) {
+  ProgramRegistry registry;
+  auto c1 = ParseProgramClause(".a.f(.x=X) -> .a.g(.x=X)");
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(registry.Register(std::move(c1).value()).ok());
+  auto c2 = ParseProgramClause(".a.g(.x=X) -> .a.f(.x=X)");
+  ASSERT_TRUE(c2.ok());
+  auto st = registry.Register(std::move(c2).value());
+  EXPECT_EQ(st.code(), StatusCode::kUnsafe);
+}
+
+TEST_F(ProgramsTest, SelfRecursionRejected) {
+  ProgramRegistry registry;
+  // Register a non-recursive version first so the name exists.
+  auto c0 = ParseProgramClause(".a.f(.x=X) -> .euter.r-(.stkCode=X)");
+  ASSERT_TRUE(c0.ok());
+  ASSERT_TRUE(registry.Register(std::move(c0).value()).ok());
+  auto c1 = ParseProgramClause(".a.f(.x=X) -> .a.f(.x=X)");
+  ASSERT_TRUE(c1.ok());
+  EXPECT_EQ(registry.Register(std::move(c1).value()).code(),
+            StatusCode::kUnsafe);
+}
+
+TEST_F(ProgramsTest, UnknownProgramIsNotFound) {
+  auto r = Call("dbU.nosuch", {});
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace idl

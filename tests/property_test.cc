@@ -1,0 +1,198 @@
+// Property-based suites (parameterized over workload shapes and seeds):
+//  - schema-transparency: the same intention yields the same answer under
+//    all three schematic representations;
+//  - view faithfulness: customized views reproduce the original databases
+//    on arbitrary generated data;
+//  - update inverses: insert-then-delete restores the universe;
+//  - pivot/unpivot inversion on the relational substrate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "eval/query.h"
+#include "idl/session.h"
+#include "object/value_io.h"
+#include "relational/pivot.h"
+#include "syntax/parser.h"
+#include "workload/paper_universe.h"
+#include "workload/stock_gen.h"
+
+namespace idl {
+namespace {
+
+struct Shape {
+  size_t stocks;
+  size_t days;
+  uint64_t seed;
+};
+
+class WorkloadProperty : public ::testing::TestWithParam<Shape> {
+ protected:
+  StockWorkload Workload() const {
+    const Shape& s = GetParam();
+    return GenerateStockWorkload(
+        {.num_stocks = s.stocks, .num_days = s.days, .seed = s.seed});
+  }
+
+  static std::vector<std::string> SortedStrings(const Answer& a,
+                                                const std::string& var) {
+    std::vector<std::string> out;
+    for (const auto& v : a.Column(var)) out.push_back(v.as_string());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  static Answer Eval(const Value& universe, const std::string& text) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << text;
+    auto a = EvaluateQuery(universe, *q);
+    EXPECT_TRUE(a.ok()) << text << ": " << a.status().ToString();
+    return std::move(a).value();
+  }
+};
+
+// The same intention — "which stocks ever closed above T" — formulated per
+// schema returns identical stock sets.
+TEST_P(WorkloadProperty, SchemaTransparency) {
+  StockWorkload w = Workload();
+  Value universe = BuildStockUniverse(w);
+  for (double threshold : {0.0, 50.0, 150.0, 300.0, 1e9}) {
+    Answer euter = Eval(universe, StrCat("?.euter.r(.stkCode=S, .clsPrice>",
+                                         threshold, ")"));
+    Answer chwab =
+        Eval(universe, StrCat("?.chwab.r(.S>", threshold, ")"));
+    Answer ource =
+        Eval(universe, StrCat("?.ource.S(.clsPrice>", threshold, ")"));
+    EXPECT_EQ(SortedStrings(euter, "S"), SortedStrings(chwab, "S"))
+        << "threshold " << threshold;
+    EXPECT_EQ(SortedStrings(euter, "S"), SortedStrings(ource, "S"))
+        << "threshold " << threshold;
+  }
+}
+
+// Figure 1 on arbitrary data: the customized views equal the originals.
+TEST_P(WorkloadProperty, ViewFaithfulness) {
+  StockWorkload w = Workload();
+  Session session;
+  ASSERT_TRUE(session.RegisterDatabase(BuildEuterDatabase(w)).ok());
+  ASSERT_TRUE(session.RegisterDatabase(BuildChwabDatabase(w)).ok());
+  ASSERT_TRUE(session.RegisterDatabase(BuildOurceDatabase(w)).ok());
+  ASSERT_TRUE(session.DefineRules(PaperViewRules()).ok());
+  auto u = session.universe();
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  EXPECT_EQ(*(*u)->FindField("dbE")->FindField("r"),
+            *(*u)->FindField("euter")->FindField("r"));
+  EXPECT_EQ(*(*u)->FindField("dbC")->FindField("r"),
+            *(*u)->FindField("chwab")->FindField("r"));
+  EXPECT_EQ(*(*u)->FindField("dbO"), *(*u)->FindField("ource"));
+  // Unified view cardinality = stocks x days.
+  Answer p = Eval(*u.value(), "?.dbI.p(.date=D, .stk=S, .clsPrice=P)");
+  EXPECT_EQ(p.rows.size(), w.stocks.size() * w.dates.size());
+}
+
+// insStk of a fresh fact followed by delStk of the same fact restores the
+// universe exactly.
+TEST_P(WorkloadProperty, InsertDeleteInverse) {
+  StockWorkload w = Workload();
+  Session session;
+  ASSERT_TRUE(session.RegisterDatabase(BuildEuterDatabase(w)).ok());
+  ASSERT_TRUE(session.RegisterDatabase(BuildChwabDatabase(w)).ok());
+  ASSERT_TRUE(session.RegisterDatabase(BuildOurceDatabase(w)).ok());
+  ASSERT_TRUE(session.DefinePrograms(PaperUpdatePrograms()).ok());
+  Value before = session.base_universe();
+
+  Date fresh = Date::FromDayNumber(w.dates.back().DayNumber() + 10);
+  std::map<std::string, Value> args = {
+      {"stk", Value::String(w.stocks[0])},
+      {"date", Value::Of(fresh)},
+      {"price", Value::Real(123.45)}};
+  ASSERT_TRUE(session.CallProgram("dbU.insStk", args).ok());
+  EXPECT_FALSE(session.base_universe() == before);
+
+  auto r = session.CallProgram(
+      "dbU.delStk",
+      {{"stk", Value::String(w.stocks[0])}, {"date", Value::Of(fresh)}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // delStk nulls the chwab cell rather than removing the attribute — which
+  // is exactly the paper's point that structure is preserved. For euter and
+  // ource the deletion is exact.
+  auto q = ParseQuery(StrCat("?.euter.r(.date=", fresh.ToString(), ")"));
+  ASSERT_TRUE(q.ok());
+  auto gone = EvaluateQuery(session.base_universe(), *q);
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(gone->boolean());
+  EXPECT_EQ(*session.base_universe().FindField("euter"),
+            *before.FindField("euter"));
+  EXPECT_EQ(*session.base_universe().FindField("ource"),
+            *before.FindField("ource"));
+}
+
+// Pivot then unpivot over the generated euter table is the identity (as a
+// set of rows).
+TEST_P(WorkloadProperty, PivotUnpivotInverse) {
+  StockWorkload w = Workload();
+  RelationalDatabase euter = BuildEuterDatabase(w);
+  const Table& r = *euter.FindTable("r");
+  auto pivoted = Pivot(r, "date", "stkCode", "clsPrice");
+  ASSERT_TRUE(pivoted.ok());
+  auto back = Unpivot(*pivoted, "date", "stkCode", "clsPrice");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->NumRows(), r.NumRows());
+  auto fingerprint = [](const Table& t) {
+    std::vector<std::string> keys;
+    int date = t.schema().FindColumn("date");
+    int stk = t.schema().FindColumn("stkCode");
+    int price = t.schema().FindColumn("clsPrice");
+    for (const auto& row : t.rows()) {
+      keys.push_back(StrCat(row.cells[date].as_date().ToString(), "|",
+                            row.cells[stk].as_string(), "|",
+                            row.cells[price].as_double()));
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(fingerprint(r), fingerprint(*back));
+}
+
+// Query answers are insensitive to conjunct order (join commutativity).
+TEST_P(WorkloadProperty, ConjunctOrderInsensitive) {
+  StockWorkload w = Workload();
+  Value universe = BuildStockUniverse(w);
+  Answer a = Eval(universe,
+                  "?.chwab.r(.date=D,.S=P), .ource.S(.date=D,.clsPrice=P)");
+  Answer b = Eval(universe,
+                  "?.ource.S(.date=D,.clsPrice=P), .chwab.r(.date=D,.S=P)");
+  EXPECT_EQ(SortedStrings(a, "S"), SortedStrings(b, "S"));
+  EXPECT_EQ(a.rows.size(), b.rows.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WorkloadProperty,
+    ::testing::Values(Shape{1, 1, 1}, Shape{1, 10, 2}, Shape{5, 1, 3},
+                      Shape{3, 7, 4}, Shape{8, 5, 5}, Shape{10, 20, 6},
+                      Shape{2, 30, 7}, Shape{6, 6, 8}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return StrCat("s", info.param.stocks, "d", info.param.days, "seed",
+                    info.param.seed);
+    });
+
+// Round-trip property over generated universes: print -> parse -> equal.
+class UniverseRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UniverseRoundTrip, ValueIoRoundTrips) {
+  StockWorkload w = GenerateStockWorkload(
+      {.num_stocks = 3, .num_days = 3, .seed = GetParam()});
+  Value universe = BuildStockUniverse(w);
+  auto reparsed = ParseValue(ToString(universe));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(*reparsed, universe);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UniverseRoundTrip,
+                         ::testing::Values(1, 2, 3, 42, 99, 12345));
+
+}  // namespace
+}  // namespace idl

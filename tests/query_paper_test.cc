@@ -1,0 +1,178 @@
+// Q1-Q8: every query the paper poses (Sections 2, 4.2, 4.3), evaluated on
+// the paper's toy instance; answers asserted against what the prose claims.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/query.h"
+#include "object/value_io.h"
+#include "syntax/parser.h"
+#include "workload/paper_universe.h"
+
+namespace idl {
+namespace {
+
+class QueryPaperTest : public ::testing::Test {
+ protected:
+  QueryPaperTest() : paper_(MakePaperUniverse()) {}
+
+  Answer Eval(std::string_view text) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+    auto a = EvaluateQuery(paper_.universe, *q, EvalOptions(), &stats_);
+    EXPECT_TRUE(a.ok()) << text << ": " << a.status().ToString();
+    return std::move(a).value();
+  }
+
+  // Sorted string bindings of column `var`.
+  std::vector<std::string> Strings(const Answer& a, const std::string& var) {
+    std::vector<std::string> out;
+    for (const auto& v : a.Column(var)) out.push_back(v.as_string());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  PaperUniverse paper_;
+  EvalStats stats_;
+};
+
+// Q1 (§4.2): "Did hp ever close above 60?"
+TEST_F(QueryPaperTest, Q1_HpAbove60) {
+  Answer a = Eval("?.euter.r(.stkCode=hp, .clsPrice>60)");
+  EXPECT_TRUE(a.boolean());  // hp closed at 62 and 70
+  Answer no = Eval("?.euter.r(.stkCode=hp, .clsPrice>100)");
+  EXPECT_FALSE(no.boolean());
+}
+
+// Q2 (§4.2): dates when hp closed above 60 and ibm above 150 (self join).
+TEST_F(QueryPaperTest, Q2_SelfJoinOnDate) {
+  Answer a = Eval(
+      "?.euter.r(.stkCode=hp,.clsPrice>60,.date=D),"
+      ".euter.r(.stkCode=ibm,.clsPrice>150,.date=D)");
+  // hp>60 on 3/2 (62) and 3/4 (70); ibm>150 on 3/2 (155) and 3/4 (160).
+  auto dates = a.Column("D");
+  ASSERT_EQ(dates.size(), 2u);
+}
+
+// Q3 (§4.2): hp's all-time high via negation + inequality join.
+TEST_F(QueryPaperTest, Q3_AllTimeHigh) {
+  Answer a = Eval(
+      "?.euter.r(.stkCode=hp,.clsPrice=P,.date=D),"
+      ".euter.r!(.stkCode=hp, .clsPrice>P)");
+  ASSERT_EQ(a.rows.size(), 1u);
+  EXPECT_EQ(a.Column("P")[0], Value::Int(70));
+  EXPECT_EQ(a.Column("D")[0].as_date(), Date(1985, 3, 4));
+}
+
+// Q4 (§4.2 + §4.3): "Did any stock ever close above 200?" — the same
+// intention against all three schemas, higher-order in chwab and ource.
+TEST_F(QueryPaperTest, Q4_AnyStockAbove200_AllThreeSchemas) {
+  Answer euter = Eval("?.euter.r(.stkCode=S, .clsPrice>200)");
+  Answer chwab = Eval("?.chwab.r(.S>200)");
+  Answer ource = Eval("?.ource.S(.clsPrice>200)");
+  EXPECT_EQ(Strings(euter, "S"), (std::vector<std::string>{"sun"}));
+  EXPECT_EQ(Strings(chwab, "S"), (std::vector<std::string>{"sun"}));
+  EXPECT_EQ(Strings(ource, "S"), (std::vector<std::string>{"sun"}));
+}
+
+// Q5 (§4.3): metadata queries.
+TEST_F(QueryPaperTest, Q5_MetadataQueries) {
+  // "List the database names in the universe."
+  Answer dbs = Eval("?.X");
+  EXPECT_EQ(Strings(dbs, "X"),
+            (std::vector<std::string>{"chwab", "euter", "ource"}));
+
+  // "List the relation names in the ource database."
+  Answer ource_rels = Eval("?.ource.Y");
+  EXPECT_EQ(Strings(ource_rels, "Y"),
+            (std::vector<std::string>{"hp", "ibm", "sun"}));
+
+  // Footnote 7 alternative with a guard.
+  Answer guarded = Eval("?.X.Y, X = ource");
+  EXPECT_EQ(Strings(guarded, "Y"),
+            (std::vector<std::string>{"hp", "ibm", "sun"}));
+
+  // "List the database/relation names in all the databases."
+  Answer all = Eval("?.X.Y");
+  EXPECT_EQ(Strings(all, "X"),
+            (std::vector<std::string>{"chwab", "euter", "ource"}));
+
+  // "List the names of databases containing a relation named hp."
+  Answer has_hp = Eval("?.X.hp");
+  EXPECT_EQ(Strings(has_hp, "X"), (std::vector<std::string>{"ource"}));
+
+  // "List the names of database/relation containing an attribute stkCode."
+  Answer has_stkcode = Eval("?.X.Y(.stkCode)");
+  ASSERT_EQ(has_stkcode.rows.size(), 1u);
+  EXPECT_EQ(Strings(has_stkcode, "X"), (std::vector<std::string>{"euter"}));
+  EXPECT_EQ(Strings(has_stkcode, "Y"), (std::vector<std::string>{"r"}));
+}
+
+// Q6 (§4.3): stocks in ource and chwab with the same closing price (a join
+// across two different schematic representations).
+TEST_F(QueryPaperTest, Q6_CrossSchemaJoin) {
+  Answer a = Eval(
+      "?.chwab.r(.date=D,.S=P), .ource.S(.date=D,.clsPrice=P)");
+  // Every (stock, date) agrees across the databases; S names the stocks.
+  EXPECT_EQ(Strings(a, "S"), (std::vector<std::string>{"hp", "ibm", "sun"}));
+}
+
+// Q7 (§4.3): relations occurring in all the databases.
+TEST_F(QueryPaperTest, Q7_RelationsInAllDatabases) {
+  Answer a = Eval("?.euter.Y, .chwab.Y, .ource.Y");
+  // euter and chwab have only 'r'; ource has the stocks — no common name.
+  EXPECT_TRUE(a.rows.empty());
+  // And between euter and chwab alone, 'r' is common.
+  Answer ec = Eval("?.euter.Y, .chwab.Y");
+  EXPECT_EQ(Strings(ec, "Y"), (std::vector<std::string>{"r"}));
+}
+
+// Q8 (§2): "For each day, list the stock with the highest closing price" —
+// grouped negation, posed against each schema.
+TEST_F(QueryPaperTest, Q8_HighestPerDay) {
+  Answer euter = Eval(
+      "?.euter.r(.date=D, .stkCode=S, .clsPrice=P),"
+      ".euter.r!(.date=D, .clsPrice>P)");
+  // ibm is the max on 3/1, 3/2, 3/4; sun on 3/3 (205).
+  ASSERT_EQ(euter.rows.size(), 4u);
+  auto stocks = Strings(euter, "S");
+  EXPECT_EQ(stocks, (std::vector<std::string>{"ibm", "sun"}));
+
+  Answer chwab = Eval(
+      "?.chwab.r(.date=D, .S=P), S != date,"
+      ".chwab.r!(.date=D, .S2=P2, S2 != date, P2 > P)");
+  ASSERT_EQ(chwab.rows.size(), 4u);
+  EXPECT_EQ(Strings(chwab, "S"), (std::vector<std::string>{"ibm", "sun"}));
+
+  Answer ource = Eval(
+      "?.ource.S(.date=D, .clsPrice=P),"
+      "!.ource.S2(.date=D, .clsPrice>P)");
+  ASSERT_EQ(ource.rows.size(), 4u);
+  EXPECT_EQ(Strings(ource, "S"), (std::vector<std::string>{"ibm", "sun"}));
+}
+
+// §5's boolean example: "Is it true that hp closed at $50 on 3/3/85?"
+TEST_F(QueryPaperTest, BooleanPointQuery) {
+  EXPECT_TRUE(Eval("?.chwab.r(.date=3/3/85,.hp = 50)").boolean());
+  EXPECT_FALSE(Eval("?.chwab.r(.date=3/3/85,.hp = 51)").boolean());
+}
+
+// Name-mapped variant (§6 relaxation): joining through mapCE.
+TEST_F(QueryPaperTest, NameMappedJoin) {
+  PaperUniverse mapped = MakePaperUniverse(/*with_name_mappings=*/true);
+  auto q = ParseQuery(
+      "?.chwab.r(.date=3/3/85, .SC=P), SC != date,"
+      ".maps.mapCE(.from=SC, .to=S)");
+  ASSERT_TRUE(q.ok());
+  auto a = EvaluateQuery(mapped.universe, *q);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  std::vector<std::string> stocks;
+  for (const auto& v : a->Column("S")) stocks.push_back(v.as_string());
+  std::sort(stocks.begin(), stocks.end());
+  EXPECT_EQ(stocks, (std::vector<std::string>{"hp", "ibm", "sun"}));
+}
+
+}  // namespace
+}  // namespace idl

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "relational/algebra.h"
+#include "relational/database.h"
+
+namespace idl {
+namespace {
+
+Table MakeStockTable() {
+  Table t("r", Schema({Column{"date", ColumnType::kDate},
+                       Column{"stkCode", ColumnType::kString},
+                       Column{"clsPrice", ColumnType::kDouble}}));
+  auto insert = [&](int day, const char* code, double price) {
+    ASSERT_TRUE(t.Insert(Row({Value::Of(Date(1985, 3, day)),
+                              Value::String(code), Value::Real(price)}))
+                    .ok());
+  };
+  insert(1, "hp", 55);
+  insert(2, "hp", 62);
+  insert(1, "ibm", 140);
+  insert(2, "ibm", 155);
+  return t;
+}
+
+TEST(SchemaTest, FindAddDrop) {
+  Schema s({Column{"a", ColumnType::kInt}});
+  EXPECT_EQ(s.FindColumn("a"), 0);
+  EXPECT_EQ(s.FindColumn("b"), -1);
+  EXPECT_TRUE(s.AddColumn(Column{"b", ColumnType::kString}).ok());
+  EXPECT_EQ(s.AddColumn(Column{"b", ColumnType::kString}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(s.DropColumn("a").ok());
+  EXPECT_EQ(s.DropColumn("a").code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, InsertValidates) {
+  Table t("t", Schema({Column{"a", ColumnType::kInt}}));
+  EXPECT_TRUE(t.Insert(Row({Value::Int(1)})).ok());
+  EXPECT_TRUE(t.Insert(Row({Value::Null()})).ok());  // nulls allowed
+  EXPECT_EQ(t.Insert(Row({Value::String("x")})).code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(t.Insert(Row({Value::Int(1), Value::Int(2)})).code(),
+            StatusCode::kInvalidArgument);
+  // Int widens into double columns.
+  Table d("d", Schema({Column{"a", ColumnType::kDouble}}));
+  EXPECT_TRUE(d.Insert(Row({Value::Int(1)})).ok());
+}
+
+TEST(TableTest, DeleteAndUpdateWhere) {
+  Table t = MakeStockTable();
+  size_t deleted = t.DeleteWhere(
+      [](const Row& r) { return r.cells[1].as_string() == "hp"; });
+  EXPECT_EQ(deleted, 2u);
+  EXPECT_EQ(t.NumRows(), 2u);
+  size_t updated = t.UpdateWhere(
+      [](const Row&) { return true; },
+      [](Row* r) { r->cells[2] = Value::Real(0); });
+  EXPECT_EQ(updated, 2u);
+  for (const auto& row : t.rows()) {
+    EXPECT_DOUBLE_EQ(row.cells[2].as_double(), 0);
+  }
+}
+
+TEST(TableTest, SchemaEvolution) {
+  Table t = MakeStockTable();
+  ASSERT_TRUE(t.AddColumn(Column{"volume", ColumnType::kInt}).ok());
+  EXPECT_EQ(t.schema().size(), 4u);
+  for (const auto& row : t.rows()) EXPECT_TRUE(row.cells[3].is_null());
+  ASSERT_TRUE(t.DropColumn("stkCode").ok());
+  EXPECT_EQ(t.schema().size(), 3u);
+  EXPECT_EQ(t.rows()[0].cells.size(), 3u);
+}
+
+TEST(TableTest, HashIndex) {
+  Table t = MakeStockTable();
+  ASSERT_TRUE(t.CreateIndex("stkCode").ok());
+  EXPECT_TRUE(t.HasIndex("stkCode"));
+  auto hits = t.Probe("stkCode", Value::String("hp"));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+  // Index maintained across insert and delete.
+  ASSERT_TRUE(t.Insert(Row({Value::Of(Date(1985, 3, 3)),
+                            Value::String("hp"), Value::Real(50)}))
+                  .ok());
+  EXPECT_EQ(t.Probe("stkCode", Value::String("hp"))->size(), 3u);
+  t.DeleteWhere([](const Row& r) { return r.cells[2].as_double() > 60; });
+  EXPECT_EQ(t.Probe("stkCode", Value::String("hp"))->size(), 2u);
+  EXPECT_EQ(t.Probe("clsPrice", Value::Real(50)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DatabaseTest, Tables) {
+  RelationalDatabase db("euter");
+  ASSERT_TRUE(db.CreateTable("r", Schema({Column{"a", ColumnType::kInt}}))
+                  .ok());
+  EXPECT_EQ(
+      db.CreateTable("r", Schema({Column{"a", ColumnType::kInt}})).status().code(),
+      StatusCode::kAlreadyExists);
+  EXPECT_NE(db.FindTable("r"), nullptr);
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"r"}));
+  ASSERT_TRUE(db.DropTable("r").ok());
+  EXPECT_EQ(db.DropTable("r").code(), StatusCode::kNotFound);
+}
+
+TEST(AlgebraTest, SelectProjectJoinUnion) {
+  Table t = MakeStockTable();
+  ResultSet all = ScanAll(t);
+  EXPECT_EQ(all.rows.size(), 4u);
+
+  auto above = Select(all, "clsPrice", RelOp::kGt, Value::Real(100));
+  ASSERT_TRUE(above.ok());
+  EXPECT_EQ(above->rows.size(), 2u);
+
+  auto stocks = Project(all, {"stkCode"});
+  ASSERT_TRUE(stocks.ok());
+  EXPECT_EQ(stocks->rows.size(), 2u);  // deduplicated
+
+  auto joined = HashJoin(all, all, "date", "date");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->rows.size(), 8u);  // 2 stocks x 2 stocks per date x 2
+
+  auto unioned = Union(all, all);
+  ASSERT_TRUE(unioned.ok());
+  EXPECT_EQ(unioned->rows.size(), 4u);  // set union
+
+  EXPECT_FALSE(Select(all, "nosuch", RelOp::kEq, Value::Int(1)).ok());
+  EXPECT_FALSE(Project(all, {"nosuch"}).ok());
+}
+
+TEST(AlgebraTest, GroupBy) {
+  Table t = MakeStockTable();
+  ResultSet all = ScanAll(t);
+  auto grouped = GroupBy(all, {"stkCode"},
+                         {AggSpec{AggFn::kMax, "clsPrice", "maxP"},
+                          AggSpec{AggFn::kCount, "", "n"},
+                          AggSpec{AggFn::kAvg, "clsPrice", "avgP"}});
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  ASSERT_EQ(grouped->rows.size(), 2u);
+  int hp_row = grouped->rows[0].cells[0].as_string() == "hp" ? 0 : 1;
+  EXPECT_DOUBLE_EQ(grouped->rows[hp_row].cells[1].as_double(), 62.0);
+  EXPECT_EQ(grouped->rows[hp_row].cells[2].as_int(), 2);
+  EXPECT_DOUBLE_EQ(grouped->rows[hp_row].cells[3].as_double(), 58.5);
+}
+
+TEST(AlgebraTest, JoinSkipsNulls) {
+  Table a("a", Schema({Column{"k", ColumnType::kInt}}));
+  ASSERT_TRUE(a.Insert(Row({Value::Null()})).ok());
+  ASSERT_TRUE(a.Insert(Row({Value::Int(1)})).ok());
+  Table b("b", Schema({Column{"k", ColumnType::kInt}}));
+  ASSERT_TRUE(b.Insert(Row({Value::Null()})).ok());
+  ASSERT_TRUE(b.Insert(Row({Value::Int(1)})).ok());
+  auto j = HashJoin(ScanAll(a), ScanAll(b), "k", "k");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->rows.size(), 1u);  // nulls never join
+}
+
+}  // namespace
+}  // namespace idl

@@ -1,0 +1,86 @@
+#include "workload/stock_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/query.h"
+#include "syntax/parser.h"
+
+namespace idl {
+namespace {
+
+TEST(StockGenTest, Deterministic) {
+  StockWorkload a = GenerateStockWorkload({.num_stocks = 5, .num_days = 10});
+  StockWorkload b = GenerateStockWorkload({.num_stocks = 5, .num_days = 10});
+  EXPECT_EQ(a.price, b.price);
+  StockWorkload c = GenerateStockWorkload(
+      {.num_stocks = 5, .num_days = 10, .seed = 7});
+  EXPECT_NE(a.price, c.price);
+}
+
+TEST(StockGenTest, Shapes) {
+  StockWorkload w = GenerateStockWorkload({.num_stocks = 4, .num_days = 7});
+  RelationalDatabase euter = BuildEuterDatabase(w);
+  RelationalDatabase chwab = BuildChwabDatabase(w);
+  RelationalDatabase ource = BuildOurceDatabase(w);
+  EXPECT_EQ(euter.FindTable("r")->NumRows(), 28u);
+  EXPECT_EQ(chwab.FindTable("r")->NumRows(), 7u);
+  EXPECT_EQ(chwab.FindTable("r")->schema().size(), 5u);  // date + 4 stocks
+  EXPECT_EQ(ource.NumTables(), 4u);
+  EXPECT_EQ(ource.FindTable("stk2")->NumRows(), 7u);
+}
+
+TEST(StockGenTest, AllSchemasAgreeThroughIdl) {
+  StockWorkload w = GenerateStockWorkload({.num_stocks = 3, .num_days = 5});
+  Value universe = BuildStockUniverse(w);
+  // The cross-schema join (Q6) matches every (stock, day) pair.
+  auto q = ParseQuery(
+      "?.chwab.r(.date=D,.S=P), .ource.S(.date=D,.clsPrice=P),"
+      ".euter.r(.date=D, .stkCode=S, .clsPrice=P)");
+  ASSERT_TRUE(q.ok());
+  auto a = EvaluateQuery(universe, *q);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->rows.size(), 15u);
+}
+
+TEST(StockGenTest, DiscrepanciesInjected) {
+  StockWorkload w = GenerateStockWorkload(
+      {.num_stocks = 5, .num_days = 20, .discrepancy_rate = 0.2});
+  size_t overrides = 0;
+  for (size_t s = 0; s < 5; ++s) {
+    for (size_t d = 0; d < 20; ++d) {
+      if (!std::isnan(w.chwab_override[s][d])) {
+        ++overrides;
+        EXPECT_NE(w.ChwabPrice(s, d), w.price[s][d]);
+      }
+    }
+  }
+  EXPECT_GT(overrides, 5u);
+  EXPECT_LT(overrides, 50u);
+}
+
+TEST(StockGenTest, NameDiscrepanciesAndMaps) {
+  StockWorkload w = GenerateStockWorkload(
+      {.num_stocks = 3, .num_days = 2, .name_discrepancies = true});
+  EXPECT_EQ(w.ChwabName(0), "c_stk0");
+  EXPECT_EQ(w.OurceName(0), "o_stk0");
+  RelationalDatabase maps = BuildMapsDatabase(w);
+  EXPECT_EQ(maps.FindTable("mapCE")->NumRows(), 3u);
+  EXPECT_EQ(maps.FindTable("mapOE")->NumRows(), 3u);
+  Value universe = BuildStockUniverse(w);
+  EXPECT_TRUE(universe.HasField("maps"));
+}
+
+TEST(StockGenTest, PricesPositiveAndRounded) {
+  StockWorkload w = GenerateStockWorkload({.num_stocks = 3, .num_days = 50});
+  for (const auto& series : w.price) {
+    for (double p : series) {
+      EXPECT_GT(p, 0);
+      EXPECT_DOUBLE_EQ(p, std::round(p * 100) / 100);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idl

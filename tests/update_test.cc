@@ -1,0 +1,181 @@
+// U1-U4: the update expression examples of Section 5.2, applied to the
+// paper's toy instance.
+
+#include "update/applier.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/query.h"
+#include "syntax/parser.h"
+#include "workload/paper_universe.h"
+
+namespace idl {
+namespace {
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  UpdateTest() : paper_(MakePaperUniverse()) {}
+
+  UpdateRequestResult Apply(std::string_view text) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+    auto r = ApplyUpdateRequest(&paper_.universe, *q);
+    EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  bool Holds(std::string_view text) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << text;
+    auto a = EvaluateQuery(paper_.universe, *q);
+    EXPECT_TRUE(a.ok()) << a.status().ToString();
+    return a->boolean();
+  }
+
+  PaperUniverse paper_;
+};
+
+// U1: insert a tuple, then the corresponding query is true "hence forth".
+TEST_F(UpdateTest, U1_SetInsert) {
+  EXPECT_FALSE(Holds("?.euter.r(.date=3/5/85,.stkCode=hp,.clsPrice=50)"));
+  auto r = Apply("?.euter.r+(.date=3/5/85,.stkCode=hp,.clsPrice=50)");
+  EXPECT_EQ(r.counts.set_inserts, 1u);
+  EXPECT_TRUE(Holds("?.euter.r(.date=3/5/85,.stkCode=hp,.clsPrice=50)"));
+}
+
+// U1b: duplicate insert leaves the set unchanged (value semantics).
+TEST_F(UpdateTest, U1_DuplicateInsertIsNoop) {
+  size_t before = paper_.universe.FindField("euter")
+                      ->FindField("r")
+                      ->SetSize();
+  Apply("?.euter.r+(.date=3/3/85,.stkCode=hp,.clsPrice=50)");
+  EXPECT_EQ(paper_.universe.FindField("euter")->FindField("r")->SetSize(),
+            before);
+}
+
+// U1c: delete all hp tuples for 3/3/85.
+TEST_F(UpdateTest, U1_SetDelete) {
+  EXPECT_TRUE(Holds("?.euter.r(.date=3/3/85,.stkCode=hp)"));
+  auto r = Apply("?.euter.r-(.date=3/3/85,.stkCode=hp)");
+  EXPECT_EQ(r.counts.set_deletes, 1u);
+  EXPECT_FALSE(Holds("?.euter.r(.date=3/3/85,.stkCode=hp)"));
+  EXPECT_TRUE(Holds("?.euter.r(.date=3/4/85,.stkCode=hp)"));  // others remain
+}
+
+// U2: query-dependent delete — the paper's equivalent formulation with an
+// explicit binding conjunct.
+TEST_F(UpdateTest, U2_QueryDependentDelete) {
+  auto r = Apply(
+      "?.euter.r(.date=3/3/85,.stkCode=hp,.clsPrice=C),"
+      ".euter.r-(.date=3/3/85,.stkCode=hp,.clsPrice=C)");
+  EXPECT_EQ(r.counts.set_deletes, 1u);
+  EXPECT_FALSE(Holds("?.euter.r(.date=3/3/85,.stkCode=hp)"));
+}
+
+// U3a: delete the value only (atomic minus): the attribute remains but all
+// queries on it are false (null semantics).
+TEST_F(UpdateTest, U3_AtomicMinusNullsValue) {
+  auto r = Apply(
+      "?.chwab.r(.date=3/3/85, .hp=C), .chwab.r(.date=3/3/85, .hp-=C)");
+  EXPECT_EQ(r.counts.atom_nulls, 1u);
+  EXPECT_FALSE(Holds("?.chwab.r(.date=3/3/85, .hp=50)"));
+  EXPECT_FALSE(Holds("?.chwab.r(.date=3/3/85, .hp=C)"));
+  // The attribute itself is still there (other dates unaffected).
+  EXPECT_TRUE(Holds("?.chwab.r(.date=3/4/85, .hp=70)"));
+}
+
+// U3b: delete the attribute from one tuple (heterogeneous tuples, §5.2:
+// "the deletion ... has the effect only in the tuple for the date 3/3/85").
+TEST_F(UpdateTest, U3_AttributeDeleteSingleTuple) {
+  auto r = Apply(
+      "?.chwab.r(.date=3/3/85, .hp=C), .chwab.r(.date=3/3/85, -.hp=C)");
+  EXPECT_EQ(r.counts.attr_deletes, 1u);
+  EXPECT_FALSE(Holds("?.chwab.r(.date=3/3/85, .hp=C)"));
+  EXPECT_TRUE(Holds("?.chwab.r(.date=3/4/85, .hp=70)"));
+}
+
+// U3c: behaviourally identical per §5.2 ("In this sense, they behave
+// identically"): after either form, queries on .hp for that tuple fail.
+TEST_F(UpdateTest, U3_NullAndAttributeDeleteEquivalentForQueries) {
+  Value before = paper_.universe;
+  Apply("?.chwab.r(.date=3/3/85, .hp-=C)");
+  bool null_form = Holds("?.chwab.r(.date=3/3/85, .hp=C)");
+  paper_.universe = before;
+  Apply("?.chwab.r(.date=3/3/85, -.hp=C)");
+  bool delete_form = Holds("?.chwab.r(.date=3/3/85, .hp=C)");
+  EXPECT_EQ(null_form, delete_form);
+  EXPECT_FALSE(null_form);
+}
+
+// U4: delete-then-insert composition with arithmetic: price += 10. The
+// binding from the delete flows into the insert.
+TEST_F(UpdateTest, U4_DeleteThenInsertComposition) {
+  auto r = Apply(
+      "?.chwab.r-(.date=3/3/85,.hp=C), .chwab.r+(.date=3/3/85,.hp=C+10)");
+  EXPECT_EQ(r.counts.set_deletes, 1u);
+  EXPECT_EQ(r.counts.set_inserts, 1u);
+  EXPECT_TRUE(Holds("?.chwab.r(.date=3/3/85,.hp=60)"));
+}
+
+// §5.2: ordering of update conjuncts matters (insert-then-delete removes
+// the inserted tuple again).
+TEST_F(UpdateTest, OrderingMatters) {
+  Apply(
+      "?.euter.r+(.date=3/9/85,.stkCode=hp,.clsPrice=99),"
+      ".euter.r-(.date=3/9/85,.stkCode=hp)");
+  EXPECT_FALSE(Holds("?.euter.r(.date=3/9/85)"));
+}
+
+// Tuple plus creates a fresh attribute (+.S=P form used by insStk).
+TEST_F(UpdateTest, TuplePlusCreatesAttribute) {
+  auto r = Apply("?.chwab.r(.date=3/3/85, +.dec=140)");
+  EXPECT_GE(r.counts.attr_creates, 1u);
+  EXPECT_TRUE(Holds("?.chwab.r(.date=3/3/85, .dec=140)"));
+  EXPECT_FALSE(Holds("?.chwab.r(.date=3/4/85, .dec=140)"));
+}
+
+// Deleting a whole relation (attribute of a database tuple): `.ource-.hp`.
+TEST_F(UpdateTest, RelationDelete) {
+  EXPECT_TRUE(Holds("?.ource.hp"));
+  auto r = Apply("?.ource-.hp");
+  EXPECT_EQ(r.counts.attr_deletes, 1u);
+  EXPECT_FALSE(Holds("?.ource.hp"));
+  EXPECT_TRUE(Holds("?.ource.ibm"));
+}
+
+// Creating a whole new relation slot then inserting into it.
+TEST_F(UpdateTest, RelationCreateThenInsert) {
+  Apply("?.ource+.dec");
+  auto r = Apply("?.ource.dec+(.date=3/3/85, .clsPrice=140)");
+  EXPECT_EQ(r.counts.set_inserts, 1u);
+  EXPECT_TRUE(Holds("?.ource.dec(.clsPrice=140)"));
+}
+
+// A failing selection aborts the rest of the request (bindings = 0).
+TEST_F(UpdateTest, FailedSelectionShortCircuits) {
+  auto r = Apply(
+      "?.euter.r(.stkCode=nosuch,.clsPrice=C),"
+      ".euter.r-(.stkCode=hp)");
+  EXPECT_EQ(r.bindings, 0u);
+  EXPECT_TRUE(Holds("?.euter.r(.stkCode=hp)"));  // delete never ran
+}
+
+// Unsafe updates are rejected, not UB.
+TEST_F(UpdateTest, UnsafeUpdatesRejected) {
+  auto q = ParseQuery("?.euter.r+(.stkCode=X)");  // X unbound in insert
+  ASSERT_TRUE(q.ok());
+  auto r = ApplyUpdateRequest(&paper_.universe, *q);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsafe);
+}
+
+TEST_F(UpdateTest, UpdateThroughMissingPathIsNotFound) {
+  auto q = ParseQuery("?.nosuchdb.r+(.a=1)");
+  ASSERT_TRUE(q.ok());
+  auto r = ApplyUpdateRequest(&paper_.universe, *q);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace idl

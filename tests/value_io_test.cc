@@ -1,0 +1,83 @@
+#include "object/value_io.h"
+
+#include <gtest/gtest.h>
+
+#include "object/builder.h"
+
+namespace idl {
+namespace {
+
+void ExpectRoundTrip(const Value& v) {
+  std::string text = ToString(v);
+  auto parsed = ParseValue(text);
+  ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+  EXPECT_EQ(*parsed, v) << text;
+}
+
+TEST(ValueIoTest, PrintsAtoms) {
+  EXPECT_EQ(ToString(Value::Null()), "null");
+  EXPECT_EQ(ToString(Value::Bool(true)), "true");
+  EXPECT_EQ(ToString(Value::Int(42)), "42");
+  EXPECT_EQ(ToString(Value::Real(2.5)), "2.5");
+  EXPECT_EQ(ToString(Value::String("hp")), "hp");  // bare identifier
+  EXPECT_EQ(ToString(Value::String("Hello world")), "\"Hello world\"");
+  EXPECT_EQ(ToString(Value::Of(Date(1985, 3, 3))), "3/3/1985");
+}
+
+TEST(ValueIoTest, PrintsTupleAndSet) {
+  Value t = MakeTuple({{"name", Value::String("john")},
+                       {"sal", Value::Int(10000)}});
+  EXPECT_EQ(ToString(t), "(name: john, sal: 10000)");
+  Value s = MakeSet({Value::Int(1)});
+  EXPECT_EQ(ToString(s), "{1}");
+}
+
+TEST(ValueIoTest, RoundTripsAtoms) {
+  ExpectRoundTrip(Value::Null());
+  ExpectRoundTrip(Value::Bool(false));
+  ExpectRoundTrip(Value::Int(-7));
+  ExpectRoundTrip(Value::Real(0.125));
+  ExpectRoundTrip(Value::Real(1e20));
+  ExpectRoundTrip(Value::String("hp"));
+  ExpectRoundTrip(Value::String("with \"quotes\" and \\ slashes\n"));
+  ExpectRoundTrip(Value::String("null"));  // reserved word quotes itself
+  ExpectRoundTrip(Value::Of(Date(1985, 3, 3)));
+}
+
+TEST(ValueIoTest, RoundTripsNested) {
+  Value universe = MakeTuple({
+      {"euter",
+       MakeTuple({{"r", MakeSet({
+                            MakeTuple({{"date", Value::Of(Date(1985, 3, 3))},
+                                       {"stkCode", Value::String("hp")},
+                                       {"clsPrice", Value::Int(50)}}),
+                        })}})},
+  });
+  ExpectRoundTrip(universe);
+}
+
+TEST(ValueIoTest, ParsesHandWrittenLiteral) {
+  auto v = ParseValue("{(date: 3/3/85, hp: 50), (date: 3/4/85)}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->SetSize(), 2u);
+}
+
+TEST(ValueIoTest, ParseErrors) {
+  EXPECT_FALSE(ParseValue("").ok());
+  EXPECT_FALSE(ParseValue("(a 1)").ok());
+  EXPECT_FALSE(ParseValue("{1, 2").ok());
+  EXPECT_FALSE(ParseValue("\"unterminated").ok());
+  EXPECT_FALSE(ParseValue("1 2").ok());
+}
+
+TEST(ValueIoTest, PrettyPrintWraps) {
+  Value s = MakeSet({Value::Int(1), Value::Int(2), Value::Int(3),
+                     Value::Int(4), Value::Int(5)});
+  std::string pretty = ToPrettyString(s, 4);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  // Small values stay on one line.
+  EXPECT_EQ(ToPrettyString(Value::Int(1), 4), "1");
+}
+
+}  // namespace
+}  // namespace idl

@@ -1,0 +1,171 @@
+#include "object/value.h"
+
+#include <gtest/gtest.h>
+
+#include "object/builder.h"
+
+namespace idl {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_TRUE(v.is_atom());
+  EXPECT_EQ(v.kind(), ValueKind::kNull);
+}
+
+TEST(ValueTest, AtomKindsAndAccessors) {
+  EXPECT_EQ(Value::Bool(true).as_bool(), true);
+  EXPECT_EQ(Value::Int(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::String("hp").as_string(), "hp");
+  EXPECT_EQ(Value::Of(Date(1985, 3, 3)).as_date(), Date(1985, 3, 3));
+  // Int widens through as_double.
+  EXPECT_DOUBLE_EQ(Value::Int(7).as_double(), 7.0);
+}
+
+TEST(ValueTest, AtomEqualityIsKindStrict) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_FALSE(Value::Int(1) == Value::Real(1.0));
+  EXPECT_FALSE(Value::String("1") == Value::Int(1));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, TupleFieldsSortedAndUnique) {
+  Value t = Value::EmptyTuple();
+  t.SetField("z", Value::Int(1));
+  t.SetField("a", Value::Int(2));
+  t.SetField("m", Value::Int(3));
+  ASSERT_EQ(t.TupleSize(), 3u);
+  EXPECT_EQ(t.fields()[0].name, "a");
+  EXPECT_EQ(t.fields()[1].name, "m");
+  EXPECT_EQ(t.fields()[2].name, "z");
+  // Overwrite keeps uniqueness.
+  t.SetField("m", Value::Int(9));
+  ASSERT_EQ(t.TupleSize(), 3u);
+  EXPECT_EQ(t.FindField("m")->as_int(), 9);
+}
+
+TEST(ValueTest, TupleFindAndRemove) {
+  Value t = MakeTuple({{"name", Value::String("john")},
+                       {"sal", Value::Int(10000)}});
+  EXPECT_TRUE(t.HasField("name"));
+  EXPECT_EQ(t.FindField("missing"), nullptr);
+  EXPECT_TRUE(t.RemoveField("name"));
+  EXPECT_FALSE(t.RemoveField("name"));
+  EXPECT_EQ(t.TupleSize(), 1u);
+}
+
+TEST(ValueTest, TupleEqualityIgnoresInsertionOrder) {
+  Value a = Value::EmptyTuple();
+  a.SetField("x", Value::Int(1));
+  a.SetField("y", Value::Int(2));
+  Value b = Value::EmptyTuple();
+  b.SetField("y", Value::Int(2));
+  b.SetField("x", Value::Int(1));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueTest, SetDeduplicates) {
+  Value s = Value::EmptySet();
+  EXPECT_TRUE(s.Insert(Value::Int(1)));
+  EXPECT_TRUE(s.Insert(Value::Int(2)));
+  EXPECT_FALSE(s.Insert(Value::Int(1)));
+  EXPECT_EQ(s.SetSize(), 2u);
+  EXPECT_TRUE(s.Contains(Value::Int(2)));
+  EXPECT_FALSE(s.Contains(Value::Int(3)));
+}
+
+TEST(ValueTest, SetEqualityIsOrderInsensitive) {
+  Value a = MakeSet({Value::Int(1), Value::Int(2), Value::Int(3)});
+  Value b = MakeSet({Value::Int(3), Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueTest, HeterogeneousSetElements) {
+  // The paper allows tuples of varying arity in one relation (§3).
+  Value s = Value::EmptySet();
+  s.Insert(MakeTuple({{"date", Value::Int(1)}, {"hp", Value::Int(50)}}));
+  s.Insert(MakeTuple({{"date", Value::Int(2)}}));
+  s.Insert(Value::Int(7));  // even atoms
+  EXPECT_EQ(s.SetSize(), 3u);
+}
+
+TEST(ValueTest, EraseIf) {
+  Value s = MakeSet({Value::Int(1), Value::Int(2), Value::Int(3),
+                     Value::Int(4)});
+  size_t removed =
+      s.EraseIf([](const Value& v) { return v.as_int() % 2 == 0; });
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(s.SetSize(), 2u);
+  EXPECT_TRUE(s.Contains(Value::Int(1)));
+  EXPECT_FALSE(s.Contains(Value::Int(2)));
+  // Index still consistent after erase.
+  EXPECT_TRUE(s.Insert(Value::Int(2)));
+  EXPECT_FALSE(s.Insert(Value::Int(3)));
+}
+
+TEST(ValueTest, MutableElementAndRehash) {
+  Value s = MakeSet({MakeTuple({{"a", Value::Int(1)}}),
+                     MakeTuple({{"a", Value::Int(2)}})});
+  // Mutate element so it duplicates the other; RehashSet collapses them.
+  for (size_t i = 0; i < s.SetSize(); ++i) {
+    Value* e = s.MutableElement(i);
+    e->SetField("a", Value::Int(1));
+  }
+  s.RehashSet();
+  EXPECT_EQ(s.SetSize(), 1u);
+  EXPECT_TRUE(s.Contains(MakeTuple({{"a", Value::Int(1)}})));
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  // Kind ranking: null < bool < int < double < string < date < tuple < set.
+  std::vector<Value> ordered = {
+      Value::Null(),
+      Value::Bool(false),
+      Value::Int(5),
+      Value::Real(1.5),
+      Value::String("abc"),
+      Value::Of(Date(1985, 3, 3)),
+      MakeTuple({{"a", Value::Int(1)}}),
+      MakeSet({Value::Int(1)}),
+  };
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    for (size_t j = 0; j < ordered.size(); ++j) {
+      int c = Value::Compare(ordered[i], ordered[j]);
+      if (i < j) EXPECT_LT(c, 0) << i << " vs " << j;
+      if (i == j) EXPECT_EQ(c, 0);
+      if (i > j) EXPECT_GT(c, 0);
+    }
+  }
+}
+
+TEST(ValueTest, CompareNestedSets) {
+  Value a = MakeSet({MakeSet({Value::Int(1)}), MakeSet({Value::Int(2)})});
+  Value b = MakeSet({MakeSet({Value::Int(2)}), MakeSet({Value::Int(1)})});
+  EXPECT_EQ(Value::Compare(a, b), 0);
+}
+
+TEST(ValueTest, DeepCopyIsIndependent) {
+  Value a = MakeTuple({{"r", MakeSet({Value::Int(1)})}});
+  Value b = a;
+  b.MutableField("r")->Insert(Value::Int(2));
+  EXPECT_EQ(a.FindField("r")->SetSize(), 1u);
+  EXPECT_EQ(b.FindField("r")->SetSize(), 2u);
+}
+
+TEST(ValueTest, HashCacheInvalidatedOnMutation) {
+  Value t = MakeTuple({{"a", Value::Int(1)}});
+  uint64_t h1 = t.Hash();
+  t.SetField("a", Value::Int(2));
+  uint64_t h2 = t.Hash();
+  EXPECT_NE(h1, h2);
+  Value* f = t.MutableField("a");
+  *f = Value::Int(1);
+  EXPECT_EQ(t.Hash(), h1);
+}
+
+}  // namespace
+}  // namespace idl

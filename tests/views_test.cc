@@ -1,0 +1,255 @@
+// V1-V5: the derived-view machinery of Section 6 — the unified view dbI.p,
+// the customized views dbE/dbC/dbO (including the data-dependent dbO),
+// reconciliation, and name mappings. Plus stratification behaviour.
+
+#include "views/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/query.h"
+#include "syntax/parser.h"
+#include "views/stratify.h"
+#include "workload/paper_universe.h"
+
+namespace idl {
+namespace {
+
+Rule MustRule(std::string_view text) {
+  auto r = ParseRule(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return std::move(r).value();
+}
+
+class ViewsTest : public ::testing::Test {
+ protected:
+  ViewsTest() : paper_(MakePaperUniverse()) {}
+
+  void AddRules(const std::vector<std::string>& rules) {
+    for (const auto& text : rules) {
+      auto st = engine_.AddRule(MustRule(text));
+      ASSERT_TRUE(st.ok()) << text << ": " << st.ToString();
+    }
+  }
+
+  Materialized Materialize() {
+    auto m = engine_.Materialize(paper_.universe);
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return std::move(m).value();
+  }
+
+  Answer Eval(const Value& universe, std::string_view text) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << text;
+    auto a = EvaluateQuery(universe, *q);
+    EXPECT_TRUE(a.ok()) << text << ": " << a.status().ToString();
+    return std::move(a).value();
+  }
+
+  std::vector<std::string> Strings(const Answer& a, const std::string& var) {
+    std::vector<std::string> out;
+    for (const auto& v : a.Column(var)) out.push_back(v.as_string());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  PaperUniverse paper_;
+  ViewEngine engine_;
+};
+
+// V1: the unified view dbI.p has one fact per (stock, date) — 3 stocks x 4
+// dates = 12 (all three sources agree, so no duplicates).
+TEST_F(ViewsTest, V1_UnifiedView) {
+  AddRules(PaperViewRules());
+  Materialized m = Materialize();
+  Answer a = Eval(m.universe, "?.dbI.p(.date=D, .stk=S, .clsPrice=P)");
+  EXPECT_EQ(a.rows.size(), 12u);
+  EXPECT_EQ(Strings(a, "S"), (std::vector<std::string>{"hp", "ibm", "sun"}));
+
+  // The same intention, one query, all three databases (via the view).
+  Answer above = Eval(m.universe, "?.dbI.p(.stk=S, .clsPrice>200)");
+  EXPECT_EQ(Strings(above, "S"), (std::vector<std::string>{"sun"}));
+}
+
+// V2: dbE reproduces the euter relation exactly.
+TEST_F(ViewsTest, V2_CustomizedEuterView) {
+  AddRules(PaperViewRules());
+  Materialized m = Materialize();
+  const Value* dbE_r = m.universe.FindField("dbE")->FindField("r");
+  const Value* euter_r = m.universe.FindField("euter")->FindField("r");
+  ASSERT_NE(dbE_r, nullptr);
+  EXPECT_EQ(*dbE_r, *euter_r);
+}
+
+// V2b: dbC reproduces the chwab shape — one tuple per date with one
+// attribute per stock (the absorb-into-consistent-element semantics).
+TEST_F(ViewsTest, V2_CustomizedChwabView) {
+  AddRules(PaperViewRules());
+  Materialized m = Materialize();
+  const Value* dbC_r = m.universe.FindField("dbC")->FindField("r");
+  ASSERT_NE(dbC_r, nullptr);
+  EXPECT_EQ(dbC_r->SetSize(), 4u);  // one tuple per date
+  const Value* chwab_r = m.universe.FindField("chwab")->FindField("r");
+  EXPECT_EQ(*dbC_r, *chwab_r);
+}
+
+// V3: dbO is a *higher-order view* — as many relations as stocks.
+TEST_F(ViewsTest, V3_HigherOrderView) {
+  AddRules(PaperViewRules());
+  Materialized m = Materialize();
+  const Value* dbO = m.universe.FindField("dbO");
+  ASSERT_NE(dbO, nullptr);
+  EXPECT_EQ(dbO->TupleSize(), 3u);  // hp, ibm, sun
+  const Value* ource = m.universe.FindField("ource");
+  EXPECT_EQ(*dbO, *ource);
+  // Derived paths were recorded.
+  EXPECT_TRUE(std::find(m.derived_paths.begin(), m.derived_paths.end(),
+                        "dbO.hp") != m.derived_paths.end());
+}
+
+// V3b: the number of relations in dbO is data dependent: adding a stock to
+// euter alone adds a relation to dbO.
+TEST_F(ViewsTest, V3_DataDependentRelationCount) {
+  AddRules(PaperViewRules());
+  Value* euter_r =
+      paper_.universe.MutableField("euter")->MutableField("r");
+  Value extra = Value::EmptyTuple();
+  extra.SetField("date", Value::Of(Date(1985, 3, 1)));
+  extra.SetField("stkCode", Value::String("dec"));
+  extra.SetField("clsPrice", Value::Int(99));
+  euter_r->Insert(std::move(extra));
+
+  Materialized m = Materialize();
+  EXPECT_EQ(m.universe.FindField("dbO")->TupleSize(), 4u);
+  EXPECT_TRUE(m.universe.FindField("dbO")->HasField("dec"));
+}
+
+// V4: value discrepancies — both prices appear in the unified view (§6),
+// and a reconciliation view pnew picks one.
+TEST_F(ViewsTest, V4_DiscrepancyAndReconciliation) {
+  // Introduce a discrepancy: chwab says hp closed at 51 on 3/3/85.
+  Value* row = nullptr;
+  Value* chwab_r =
+      paper_.universe.MutableField("chwab")->MutableField("r");
+  for (size_t i = 0; i < chwab_r->SetSize(); ++i) {
+    Value* e = chwab_r->MutableElement(i);
+    if (e->FindField("date")->as_date() == Date(1985, 3, 3)) {
+      row = e;
+      break;
+    }
+  }
+  ASSERT_NE(row, nullptr);
+  row->SetField("hp", Value::Int(51));
+  chwab_r->RehashSet();
+
+  AddRules(PaperViewRules());
+  // pnew: the minimum price wins (the administrator's choice).
+  auto st = engine_.AddRule(MustRule(
+      ".dbI.pnew(.date=D, .stk=S, .clsPrice=P) <- "
+      ".dbI.p(.date=D, .stk=S, .clsPrice=P), "
+      ".dbI.p!(.date=D, .stk=S, .clsPrice<P)"));
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  Materialized m = Materialize();
+  Answer both = Eval(m.universe,
+                     "?.dbI.p(.date=3/3/85, .stk=hp, .clsPrice=P)");
+  EXPECT_EQ(both.rows.size(), 2u);  // 50 and 51: both in the view
+  Answer one = Eval(m.universe,
+                    "?.dbI.pnew(.date=3/3/85, .stk=hp, .clsPrice=P)");
+  ASSERT_EQ(one.rows.size(), 1u);
+  EXPECT_EQ(one.Column("P")[0], Value::Int(50));
+}
+
+// V5: name mappings (mapCE/mapOE) reconcile name discrepancies.
+TEST_F(ViewsTest, V5_NameMappings) {
+  paper_ = MakePaperUniverse(/*with_name_mappings=*/true);
+  AddRules(PaperViewRules(/*with_name_mappings=*/true));
+  Materialized m = Materialize();
+  Answer a = Eval(m.universe, "?.dbI.p(.stk=S, .clsPrice=P)");
+  // Canonical euter codes despite c_/o_ local names.
+  EXPECT_EQ(Strings(a, "S"), (std::vector<std::string>{"hp", "ibm", "sun"}));
+  EXPECT_EQ(Eval(m.universe, "?.dbI.p(.date=D, .stk=S, .clsPrice=P)")
+                .rows.size(),
+            12u);
+}
+
+// Stratification: pnew (negative on p) lands in a higher stratum; rules
+// recursing through negation are rejected.
+TEST_F(ViewsTest, StratificationOrdersNegation) {
+  std::vector<Rule> rules;
+  rules.push_back(MustRule(
+      ".dbI.p(.stk=S) <- .euter.r(.stkCode=S)"));
+  rules.push_back(MustRule(
+      ".dbI.pnew(.stk=S) <- .dbI.p(.stk=S), .dbI.p!(.stk=S, .x=1)"));
+  auto s = Stratify(rules);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_LT(s->stratum[0], s->stratum[1]);
+}
+
+TEST_F(ViewsTest, RecursionThroughNegationRejected) {
+  ViewEngine engine;
+  ASSERT_TRUE(engine
+                  .AddRule(MustRule(
+                      ".a.p(.x=X) <- .b.q(.x=X), .a.p!(.x=X, .y=2)"))
+                  .ok() == false);
+}
+
+// Positive recursion is allowed and reaches a fixpoint (transitive closure).
+TEST_F(ViewsTest, PositiveRecursionFixpoint) {
+  ViewEngine engine;
+  ASSERT_TRUE(engine
+                  .AddRule(MustRule(
+                      ".d.tc(.from=X, .to=Y) <- .d.edge(.from=X, .to=Y)"))
+                  .ok());
+  ASSERT_TRUE(engine
+                  .AddRule(MustRule(".d.tc(.from=X, .to=Z) <- "
+                                    ".d.tc(.from=X, .to=Y), "
+                                    ".d.edge(.from=Y, .to=Z)"))
+                  .ok());
+  // Chain 1 -> 2 -> 3 -> 4.
+  Value universe = Value::EmptyTuple();
+  Value edges = Value::EmptySet();
+  for (int i = 1; i <= 3; ++i) {
+    Value e = Value::EmptyTuple();
+    e.SetField("from", Value::Int(i));
+    e.SetField("to", Value::Int(i + 1));
+    edges.Insert(std::move(e));
+  }
+  Value d = Value::EmptyTuple();
+  d.SetField("edge", std::move(edges));
+  universe.SetField("d", std::move(d));
+
+  auto m = engine.Materialize(universe);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  auto q = ParseQuery("?.d.tc(.from=X, .to=Y)");
+  ASSERT_TRUE(q.ok());
+  auto a = EvaluateQuery(m->universe, *q);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->rows.size(), 6u);  // 3 + 2 + 1 pairs
+  EXPECT_GT(m->fixpoint_passes, 1);
+}
+
+// The view engine derives into databases that do not exist in the base
+// universe (dbI, dbE, ... are created by MakeTrue).
+TEST_F(ViewsTest, DerivedDatabasesCreated) {
+  AddRules(PaperViewRules());
+  Materialized m = Materialize();
+  for (const char* db : {"dbI", "dbE", "dbC", "dbO"}) {
+    EXPECT_TRUE(m.universe.HasField(db)) << db;
+    EXPECT_FALSE(paper_.universe.HasField(db)) << db << " leaked into base";
+  }
+}
+
+// Materialization is deterministic.
+TEST_F(ViewsTest, MaterializationDeterministic) {
+  AddRules(PaperViewRules());
+  Materialized m1 = Materialize();
+  Materialized m2 = Materialize();
+  EXPECT_EQ(m1.universe, m2.universe);
+  EXPECT_EQ(m1.derived_paths, m2.derived_paths);
+}
+
+}  // namespace
+}  // namespace idl
