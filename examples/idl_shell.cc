@@ -48,12 +48,7 @@ int Run(idl::Session* session, const std::string& script) {
       case idl::Statement::Kind::kQuery: {
         std::string text = idl::ToString(statement.query);
         std::printf("%s\n", text.c_str());
-        auto info = idl::AnalyzeQuery(statement.query);
-        if (!info.ok()) {
-          std::printf("  error: %s\n", info.status().ToString().c_str());
-          return 1;
-        }
-        if (info->is_update_request) {
+        if (session->IsUpdateRequest(statement.query)) {
           auto r = session->Update(text);
           if (!r.ok()) {
             std::printf("  error: %s\n", r.status().ToString().c_str());

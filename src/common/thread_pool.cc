@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+namespace idl {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+size_t ThreadPool::DefaultWorkers() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc > 1 ? hc - 1 : 0;
+}
+
+void ThreadPool::WorkerLoop(size_t slot) {
+  uint64_t seen_batch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (fn_ != nullptr && batch_seq_ != seen_batch);
+    });
+    if (stop_) return;
+    seen_batch = batch_seq_;
+    ++busy_;
+    while (next_task_ < num_tasks_) {
+      size_t task = next_task_++;
+      const auto* fn = fn_;
+      lock.unlock();
+      (*fn)(task, slot);
+      lock.lock();
+    }
+    --busy_;
+    if (busy_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t num_tasks, const std::function<void(size_t, size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    for (size_t task = 0; task < num_tasks; ++task) fn(task, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    num_tasks_ = num_tasks;
+    next_task_ = 0;
+    ++batch_seq_;
+  }
+  work_cv_.notify_all();
+  // The calling thread drains tasks alongside the workers (slot 0).
+  std::unique_lock<std::mutex> lock(mu_);
+  while (next_task_ < num_tasks_) {
+    size_t task = next_task_++;
+    lock.unlock();
+    fn(task, 0);
+    lock.lock();
+  }
+  // All tasks claimed; wait for workers still executing theirs. A worker
+  // waking late finds no task to claim and never touches fn_ again.
+  done_cv_.wait(lock, [&] { return busy_ == 0; });
+  fn_ = nullptr;
+}
+
+}  // namespace idl

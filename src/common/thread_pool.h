@@ -1,0 +1,70 @@
+// A small fixed-size worker pool for data-parallel batches.
+//
+// The view engine uses it to evaluate independent rule bodies of one
+// evaluation level concurrently: the universe is immutable during the
+// enumeration phase, so tasks share it read-only and only their result
+// slots are written (one slot per task, no locking).
+//
+// Each task is handed a dense *worker slot* id: 0 for the calling thread
+// (which participates in the batch), 1..num_workers() for pool threads.
+// Callers use the slot to address per-worker scratch (e.g. a SetIndexCache)
+// without synchronization.
+
+#ifndef IDL_COMMON_THREAD_POOL_H_
+#define IDL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace idl {
+
+class ThreadPool {
+ public:
+  // Spawns `num_workers` threads (0 is valid: every batch then runs inline
+  // on the calling thread, which keeps single-core machines overhead-free).
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+  // Worker slots available to ParallelFor callbacks: pool threads plus the
+  // calling thread.
+  size_t num_slots() const { return workers_.size() + 1; }
+
+  // Runs fn(task, slot) for every task in [0, num_tasks), claiming tasks
+  // dynamically. Blocks until all tasks finished. Not reentrant: fn must not
+  // call ParallelFor on the same pool. fn must not throw (errors flow out
+  // through the caller's result slots).
+  void ParallelFor(size_t num_tasks,
+                   const std::function<void(size_t task, size_t slot)>& fn);
+
+  // Worker count that saturates this machine when the calling thread
+  // participates too: hardware_concurrency - 1 (0 on single-core boxes and
+  // when concurrency is unknown).
+  static size_t DefaultWorkers();
+
+ private:
+  void WorkerLoop(size_t slot);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals a new batch (or shutdown)
+  std::condition_variable done_cv_;   // signals batch completion
+  const std::function<void(size_t, size_t)>* fn_ = nullptr;
+  size_t next_task_ = 0;
+  size_t num_tasks_ = 0;
+  size_t busy_ = 0;        // workers currently executing batch tasks
+  uint64_t batch_seq_ = 0;  // bumped per batch so sleepy workers can't rejoin
+  bool stop_ = false;
+};
+
+}  // namespace idl
+
+#endif  // IDL_COMMON_THREAD_POOL_H_

@@ -1,5 +1,7 @@
 #include "eval/explain.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 
 namespace idl {
@@ -8,7 +10,68 @@ std::string EvalStats::ToString() const {
   return StrCat("scanned=", set_elements_scanned,
                 " attrs=", attrs_enumerated, " cmp=", comparisons,
                 " out=", substitutions_emitted, " negprobes=", negation_probes,
-                " idxprobes=", index_probes);
+                " idxprobes=", index_probes, " idxbuilt=", indexes_built,
+                " idxreused=", indexes_reused);
+}
+
+namespace {
+
+std::string FormatMs(double ms) {
+  // Two decimals, no locale surprises.
+  int64_t hundredths = static_cast<int64_t>(ms * 100.0 + 0.5);
+  return StrCat(hundredths / 100, ".", (hundredths % 100) < 10 ? "0" : "",
+                hundredths % 100);
+}
+
+}  // namespace
+
+std::string FormatStratumStats(const std::vector<StratumStats>& strata) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"stratum", "rules", "passes", "rec", "subs", "skipped",
+                  "delta", "par", "wall_ms"});
+  StratumStats total;
+  for (const auto& s : strata) {
+    rows.push_back({StrCat(s.stratum), StrCat(s.rules), StrCat(s.passes),
+                    s.recursive ? "yes" : "no", StrCat(s.substitutions),
+                    StrCat(s.substitutions_skipped), StrCat(s.delta_facts),
+                    StrCat(s.parallel_tasks), FormatMs(s.wall_ms)});
+    total.rules += s.rules;
+    total.passes += s.passes;
+    total.substitutions += s.substitutions;
+    total.substitutions_skipped += s.substitutions_skipped;
+    total.delta_facts += s.delta_facts;
+    total.parallel_tasks += s.parallel_tasks;
+    total.wall_ms += s.wall_ms;
+  }
+  rows.push_back({"total", StrCat(total.rules), StrCat(total.passes), "",
+                  StrCat(total.substitutions),
+                  StrCat(total.substitutions_skipped),
+                  StrCat(total.delta_facts), StrCat(total.parallel_tasks),
+                  FormatMs(total.wall_ms)});
+
+  std::vector<size_t> width(rows[0].size(), 0);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out += "  ";
+      out.append(width[c] - rows[r][c].size(), ' ');  // right-align
+      out += rows[r][c];
+    }
+    out += '\n';
+    if (r == 0) {
+      for (size_t c = 0; c < width.size(); ++c) {
+        if (c > 0) out += "  ";
+        out.append(width[c], '-');
+      }
+      out += '\n';
+    }
+  }
+  return out;
 }
 
 }  // namespace idl

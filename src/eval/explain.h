@@ -1,13 +1,15 @@
 // Evaluation statistics: the instrumentation used by benches and
 // EXPERIMENTS.md to substantiate claims about work performed
 // (e.g. one higher-order query scans the chwab relation once, while the
-// first-order expansion scans it once per stock).
+// first-order expansion scans it once per stock; semi-naive materialization
+// replays only delta-touching substitutions instead of the whole universe).
 
 #ifndef IDL_EVAL_EXPLAIN_H_
 #define IDL_EVAL_EXPLAIN_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace idl {
 
@@ -18,6 +20,8 @@ struct EvalStats {
   uint64_t substitutions_emitted = 0;  // satisfying grounding substitutions
   uint64_t negation_probes = 0;        // existence checks under ¬
   uint64_t index_probes = 0;           // set matches served by an index
+  uint64_t indexes_built = 0;          // probes that had to build their index
+  uint64_t indexes_reused = 0;         // probes served by an existing index
 
   EvalStats& operator+=(const EvalStats& o) {
     set_elements_scanned += o.set_elements_scanned;
@@ -26,11 +30,33 @@ struct EvalStats {
     substitutions_emitted += o.substitutions_emitted;
     negation_probes += o.negation_probes;
     index_probes += o.index_probes;
+    indexes_built += o.indexes_built;
+    indexes_reused += o.indexes_reused;
     return *this;
   }
 
   std::string ToString() const;
 };
+
+// Per-evaluation-level accounting of one materialization (see
+// views/engine.h). A "stratum" here is one evaluation wave of the view
+// engine: under the semi-naive strategy all mutually independent rules at
+// the same topological depth form one wave; under the naive oracle each SCC
+// is its own wave.
+struct StratumStats {
+  int stratum = 0;        // wave id, in evaluation order
+  int rules = 0;          // rules evaluated in this wave
+  int passes = 0;         // fixpoint passes (1 unless recursive)
+  bool recursive = false;
+  uint64_t substitutions = 0;          // body substitutions processed
+  uint64_t substitutions_skipped = 0;  // replays avoided vs. naive (estimate)
+  uint64_t delta_facts = 0;            // facts recorded into pass deltas
+  uint64_t parallel_tasks = 0;         // rule evaluations run on pool threads
+  double wall_ms = 0.0;
+};
+
+// Renders one row per stratum plus a totals row, aligned for terminals.
+std::string FormatStratumStats(const std::vector<StratumStats>& strata);
 
 }  // namespace idl
 

@@ -10,7 +10,9 @@ bool SetIndexCache::Probe(const Value& set, const std::string& attr,
 
   auto& per_set = cache_[static_cast<SetKey>(&set)];
   auto it = per_set.find(attr);
-  if (it == per_set.end()) {
+  if (it != per_set.end()) {
+    ++indexes_reused_;
+  } else {
     AttrIndex index;
     const auto& elements = set.elements();
     for (uint32_t i = 0; i < elements.size(); ++i) {

@@ -1,13 +1,23 @@
 // SetIndexCache: lazily-built equality indexes over relation sets, used by
-// the matcher to accelerate `(… .attr=value …)` probes during one query
-// evaluation.
+// the matcher to accelerate `(… .attr=value …)` probes.
 //
 // The cache is keyed by set identity (address), so it is only valid while
-// the universe is immutable — it is created per EvaluateQuery /
-// EnumerateBindings call and discarded afterwards. An index over one
-// (set, attribute) pair is built on first probe, and only for sets at least
-// `min_set_size` elements large (scanning smaller sets is cheaper than
-// indexing them).
+// the universe is immutable. Two lifetimes exist:
+//
+//  * per-evaluation (the original design): created by EvaluateQuery /
+//    EnumerateBindings, discarded afterwards;
+//  * persistent (the view engine): one cache per worker thread survives
+//    across rules and fixpoint passes of a materialization, keyed by a
+//    *universe generation* counter that the engine bumps whenever MakeTrue
+//    changes the universe. EnsureGeneration drops every entry on a
+//    generation change — addresses may dangle after mutation, so
+//    invalidation is whole-cache, never per-entry. While the universe is
+//    unchanged (e.g. a pass that derived nothing, or many rules reading the
+//    same relations within one pass), indexes are reused instead of rebuilt.
+//
+// An index over one (set, attribute) pair is built on first probe, and only
+// for sets at least `min_set_size` elements large (scanning smaller sets is
+// cheaper than indexing them).
 
 #ifndef IDL_EVAL_INDEX_H_
 #define IDL_EVAL_INDEX_H_
@@ -29,6 +39,17 @@ class SetIndexCache {
   SetIndexCache(const SetIndexCache&) = delete;
   SetIndexCache& operator=(const SetIndexCache&) = delete;
 
+  // Declares the universe generation the next probes will run against. If it
+  // differs from the generation the cache was filled under, every entry is
+  // dropped (set addresses are not stable across mutations).
+  void EnsureGeneration(uint64_t generation) {
+    if (generation != generation_) {
+      cache_.clear();
+      generation_ = generation;
+    }
+  }
+  uint64_t generation() const { return generation_; }
+
   // Candidate element positions of `set` whose `attr` equals `value`
   // (verified by hash only — the caller re-checks each candidate). Returns
   // false if the set is below the indexing threshold (caller should scan).
@@ -36,6 +57,9 @@ class SetIndexCache {
              std::vector<uint32_t>* candidates);
 
   uint64_t indexes_built() const { return indexes_built_; }
+  // Probes answered by an index built on an earlier probe (possibly by an
+  // earlier rule or fixpoint pass of the same generation).
+  uint64_t indexes_reused() const { return indexes_reused_; }
 
  private:
   struct AttrIndex {
@@ -48,7 +72,9 @@ class SetIndexCache {
   // (set address, attribute) -> index.
   std::unordered_map<SetKey, std::unordered_map<std::string, AttrIndex>>
       cache_;
+  uint64_t generation_ = 0;
   uint64_t indexes_built_ = 0;
+  uint64_t indexes_reused_ = 0;
 };
 
 }  // namespace idl

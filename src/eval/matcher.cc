@@ -389,8 +389,14 @@ Result<bool> Matcher::MatchSet(const Value& value, const Expr& expr,
     Value probe_value;
     if (FindProbe(inner, *sigma, &attr, &probe_value)) {
       std::vector<uint32_t> candidates;
+      uint64_t built_before = index_cache_->indexes_built();
       if (index_cache_->Probe(value, attr, probe_value, &candidates)) {
         ++stats_->index_probes;
+        if (index_cache_->indexes_built() != built_before) {
+          ++stats_->indexes_built;
+        } else {
+          ++stats_->indexes_reused;
+        }
         const auto& elements = value.elements();
         for (uint32_t i : candidates) {
           ++stats_->set_elements_scanned;

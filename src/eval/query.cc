@@ -63,18 +63,19 @@ std::string Answer::ToTable() const {
 
 namespace {
 
-// Recursive conjunct-by-conjunct enumeration.
+// Recursive conjunct-by-conjunct enumeration. Each conjunct carries its own
+// universe so semi-naive delta variants can point one conjunct at the delta.
 struct ConjunctChain {
-  const Value* universe;
-  const std::vector<const Expr*>* conjuncts;
+  const std::vector<ConjunctSource>* conjuncts;
   Matcher* matcher;
   const std::function<bool(const Substitution&)>* cb;
   Status error;
 
   bool Step(size_t index, Substitution* sigma) {
     if (index == conjuncts->size()) return (*cb)(*sigma);
+    const ConjunctSource& source = (*conjuncts)[index];
     Result<bool> r = matcher->Match(
-        *universe, *(*conjuncts)[index], sigma,
+        *source.universe, *source.expr, sigma,
         [&](const Substitution&) { return Step(index + 1, sigma); });
     if (!r.ok()) {
       error = r.status();
@@ -86,37 +87,50 @@ struct ConjunctChain {
 
 }  // namespace
 
-Result<bool> EnumerateBindings(
-    const Value& universe, const std::vector<ExprPtr>& conjuncts,
-    const EvalOptions& options, EvalStats* stats,
+Result<bool> EnumerateBindingsOver(
+    const std::vector<ConjunctSource>& conjuncts, const EvalOptions& options,
+    EvalStats* stats, SetIndexCache* index_cache,
     const std::function<bool(const Substitution&)>& cb) {
   EvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
 
-  std::vector<const Expr*> ordered;
+  std::vector<ConjunctSource> ordered;
   ordered.reserve(conjuncts.size());
   if (options.defer_negation) {
     // Conjuncts carrying negation anywhere (top level or nested inside a
     // set expression) run after all purely positive conjuncts, so their
     // variables are bound.
     for (const auto& c : conjuncts) {
-      if (!ContainsNegation(*c)) ordered.push_back(c.get());
+      if (!ContainsNegation(*c.expr)) ordered.push_back(c);
     }
     for (const auto& c : conjuncts) {
-      if (ContainsNegation(*c)) ordered.push_back(c.get());
+      if (ContainsNegation(*c.expr)) ordered.push_back(c);
     }
   } else {
-    for (const auto& c : conjuncts) ordered.push_back(c.get());
+    ordered = conjuncts;
   }
 
-  SetIndexCache index_cache(options.index_min_set_size);
-  Matcher matcher(stats,
-                  options.use_indexes ? &index_cache : nullptr);
+  SetIndexCache local_cache(options.index_min_set_size);
+  SetIndexCache* cache = index_cache;
+  if (cache == nullptr && options.use_indexes) cache = &local_cache;
+  Matcher matcher(stats, options.use_indexes ? cache : nullptr);
   Substitution sigma;
-  ConjunctChain chain{&universe, &ordered, &matcher, &cb, Status::Ok()};
+  ConjunctChain chain{&ordered, &matcher, &cb, Status::Ok()};
   bool keep_going = chain.Step(0, &sigma);
   if (!chain.error.ok()) return chain.error;
   return keep_going;
+}
+
+Result<bool> EnumerateBindings(
+    const Value& universe, const std::vector<ExprPtr>& conjuncts,
+    const EvalOptions& options, EvalStats* stats,
+    const std::function<bool(const Substitution&)>& cb) {
+  std::vector<ConjunctSource> sources;
+  sources.reserve(conjuncts.size());
+  for (const auto& c : conjuncts) {
+    sources.push_back(ConjunctSource{c.get(), &universe});
+  }
+  return EnumerateBindingsOver(sources, options, stats, nullptr, cb);
 }
 
 Result<Answer> EvaluateQuery(const Value& universe, const Query& query,

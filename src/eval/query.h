@@ -35,6 +35,17 @@ struct Answer {
   std::string ToTable() const;
 };
 
+// How ViewEngine::Materialize evaluates rules (see views/engine.h).
+enum class EvalStrategy {
+  // Re-enumerate every rule body over the full universe each fixpoint pass.
+  // O(passes x rules x universe); kept as the differential-test oracle.
+  kNaive,
+  // Semi-naive delta evaluation: passes after the first only re-derive
+  // substitutions whose body touches a fact derived in the previous pass,
+  // with independent rules of one evaluation level run in parallel.
+  kSemiNaive,
+};
+
 struct EvalOptions {
   // Move negated conjuncts after all positive ones (keeps left-to-right
   // binding order safe without requiring the user to order them).
@@ -46,6 +57,12 @@ struct EvalOptions {
   bool use_indexes = true;
   // Sets smaller than this are scanned, not indexed.
   size_t index_min_set_size = 32;
+  // Materialization only: fixpoint evaluation strategy.
+  EvalStrategy strategy = EvalStrategy::kSemiNaive;
+  // Materialization only: worker threads for rule-body evaluation under
+  // kSemiNaive. 0 = auto (hardware concurrency), 1 = serial, N = N-way.
+  // Results are identical for every value (writes stay sequential).
+  size_t materialize_parallelism = 0;
 };
 
 // Evaluates a pure query (no update markers) against `universe`.
@@ -60,6 +77,26 @@ Result<Answer> EvaluateQuery(const Value& universe, const Query& query,
 Result<bool> EnumerateBindings(
     const Value& universe, const std::vector<ExprPtr>& conjuncts,
     const EvalOptions& options, EvalStats* stats,
+    const std::function<bool(const Substitution&)>& cb);
+
+// A body conjunct paired with the universe it reads. Semi-naive evaluation
+// points one conjunct at the (much smaller) delta universe of the previous
+// fixpoint pass while the rest read the full one.
+struct ConjunctSource {
+  const Expr* expr = nullptr;
+  const Value* universe = nullptr;
+};
+
+class SetIndexCache;
+
+// Lower-level enumeration: per-conjunct universes and an optional external
+// index cache (persistent across calls; the caller is responsible for
+// generation-invalidating it — see eval/index.h). When `index_cache` is
+// null and options.use_indexes is set, a throwaway per-call cache is used,
+// which is exactly EnumerateBindings' behaviour.
+Result<bool> EnumerateBindingsOver(
+    const std::vector<ConjunctSource>& conjuncts, const EvalOptions& options,
+    EvalStats* stats, SetIndexCache* index_cache,
     const std::function<bool(const Substitution&)>& cb);
 
 }  // namespace idl

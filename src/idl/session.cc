@@ -119,7 +119,8 @@ Result<Answer> Session::Query(std::string_view query_text,
 
 Status Session::EnsureMaterialized() {
   if (materialized_valid_) return Status::Ok();
-  IDL_ASSIGN_OR_RETURN(materialized_, views_.Materialize(base_, &stats_));
+  IDL_ASSIGN_OR_RETURN(
+      materialized_, views_.Materialize(base_, materialize_options_, &stats_));
   derived_paths_ = materialized_.derived_paths;
   materialized_valid_ = true;
   return Status::Ok();
@@ -228,6 +229,15 @@ Result<UpdateRequestResult> Session::UpdateImpl(const struct Query& request) {
   return result;
 }
 
+bool Session::IsUpdateRequest(const struct Query& query) const {
+  ProgramKey key;
+  for (const auto& conjunct : query.conjuncts) {
+    if (conjunct->HasUpdate()) return true;
+    if (registry_.MatchCall(*conjunct, &key)) return true;
+  }
+  return false;
+}
+
 Result<std::vector<Answer>> Session::ExecuteScript(std::string_view script) {
   IDL_ASSIGN_OR_RETURN(std::vector<Statement> statements,
                        ParseStatements(script));
@@ -235,8 +245,7 @@ Result<std::vector<Answer>> Session::ExecuteScript(std::string_view script) {
   for (auto& statement : statements) {
     switch (statement.kind) {
       case Statement::Kind::kQuery: {
-        IDL_ASSIGN_OR_RETURN(QueryInfo info, AnalyzeQuery(statement.query));
-        if (info.is_update_request) {
+        if (IsUpdateRequest(statement.query)) {
           IDL_ASSIGN_OR_RETURN(UpdateRequestResult r,
                                Update(ToString(statement.query)));
           (void)r;

@@ -107,6 +107,12 @@ class Session {
   // translation).
   Result<UpdateRequestResult> Update(std::string_view request_text);
 
+  // True if this parsed query must go through Update rather than Query: it
+  // contains an update marker, or a conjunct calls a registered update
+  // program (§7.1 requests like "?.dbU.delStk(.stk=hp)" carry no marker of
+  // their own — the marker lives in the program's body).
+  bool IsUpdateRequest(const struct Query& query) const;
+
   // Parses and runs a ';'-separated script of rules, program definitions,
   // queries and update requests; returns the answers of the query
   // statements in order.
@@ -115,6 +121,16 @@ class Session {
   // Cumulative evaluation statistics (reset with ResetStats).
   const EvalStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EvalStats(); }
+
+  // Options used when (re)materializing views — strategy and parallelism
+  // (see EvalOptions). Changing them invalidates the cached materialization.
+  void set_materialize_options(const EvalOptions& options) {
+    materialize_options_ = options;
+    Invalidate();
+  }
+  const EvalOptions& materialize_options() const {
+    return materialize_options_;
+  }
 
  private:
   Status EnsureMaterialized();
@@ -132,6 +148,7 @@ class Session {
   bool materialized_valid_ = false;
   std::vector<std::string> derived_paths_;
   EvalStats stats_;
+  EvalOptions materialize_options_;
 };
 
 }  // namespace idl

@@ -11,6 +11,29 @@
 // is what folds per-stock facts into chwab's one-tuple-per-date shape, while
 // a contradicting value (a price discrepancy) still yields a second tuple —
 // exactly the behaviour §6 describes ("both prices are in the user's view").
+//
+// Two fixpoint strategies (EvalOptions::strategy):
+//
+//  * kNaive — strata (SCCs) in topological order; every pass of a recursive
+//    stratum re-enumerates every rule body over the whole universe. Simple,
+//    and kept as the oracle for tests/differential_engine_test.cc.
+//
+//  * kSemiNaive (default) — rules are grouped into topological *levels*
+//    (independent SCCs of equal depth merged into one wave). Each pass
+//    first enumerates all rule bodies read-only — concurrently on a thread
+//    pool when materialize_parallelism allows — then writes all heads
+//    sequentially in rule order, recording every change into a *delta
+//    universe*. Passes after the first replace, one at a time, each body
+//    conjunct that may read this level's heads with the delta universe, so
+//    only substitutions touching a newly derived fact are re-derived.
+//    Per-worker SetIndexCaches persist across rules and passes, invalidated
+//    by a universe generation counter bumped on change (eval/index.h).
+//
+// Both strategies write heads in rule order with identical per-rule
+// substitution enumeration order, so for non-recursive programs the results
+// are bit-identical; for recursive programs they converge to the same
+// fixpoint (set equality) whenever derivations are confluent, which the
+// differential harness checks on the whole paper corpus.
 
 #ifndef IDL_VIEWS_ENGINE_H_
 #define IDL_VIEWS_ENGINE_H_
@@ -20,6 +43,7 @@
 
 #include "common/result.h"
 #include "eval/explain.h"
+#include "eval/query.h"
 #include "object/value.h"
 #include "syntax/ast.h"
 #include "views/stratify.h"
@@ -35,6 +59,17 @@ struct Materialized {
   uint64_t facts_derived = 0;  // satisfying body substitutions processed
   uint64_t changes = 0;        // MakeTrue calls that changed the universe
   int fixpoint_passes = 0;     // total rule-evaluation passes across strata
+
+  // Semi-naive observability (all zero under kNaive except stratum_stats).
+  uint64_t delta_size = 0;             // facts recorded into pass deltas
+  uint64_t substitutions_skipped = 0;  // replays avoided vs naive (estimate)
+  uint64_t indexes_reused = 0;         // index probes served without a build
+  uint64_t parallel_tasks = 0;         // rule evaluations run on pool threads
+  std::vector<StratumStats> stratum_stats;  // one row per evaluation wave
+
+  // Human-readable per-stratum table (FormatStratumStats) plus a summary
+  // line — the `explain` view of a materialization.
+  std::string Explain() const;
 };
 
 class ViewEngine {
@@ -47,8 +82,12 @@ class ViewEngine {
   void Clear() { rules_.clear(); }
 
   // Evaluates all rules against `base`, stratum by stratum, iterating each
-  // recursive stratum to fixpoint.
+  // recursive stratum to fixpoint. Strategy and parallelism come from
+  // `options` (EvalOptions() means semi-naive, auto parallelism).
   Result<Materialized> Materialize(const Value& base,
+                                   EvalStats* stats = nullptr) const;
+  Result<Materialized> Materialize(const Value& base,
+                                   const EvalOptions& options,
                                    EvalStats* stats = nullptr) const;
 
  private:

@@ -46,16 +46,30 @@ Result<RelRef> HeadTarget(const Rule& rule) {
   return ExtractRef(*rule.head);
 }
 
-Result<std::vector<BodyRead>> BodyReads(const Rule& rule) {
-  std::vector<BodyRead> out;
+Result<std::vector<ConjunctClass>> ClassifyBody(const Rule& rule) {
+  std::vector<ConjunctClass> out;
+  out.reserve(rule.body.size());
   for (const auto& conjunct : rule.body) {
+    ConjunctClass c;
     // Atomic conjuncts (pure comparisons between bound variables) read
     // nothing from the universe.
-    if (conjunct->kind == Expr::Kind::kAtomic) continue;
-    BodyRead read;
-    IDL_ASSIGN_OR_RETURN(read.ref, ExtractRef(*conjunct));
-    read.negative = ContainsNegation(*conjunct);
-    out.push_back(std::move(read));
+    if (conjunct->kind != Expr::Kind::kAtomic) {
+      c.reads_universe = true;
+      IDL_ASSIGN_OR_RETURN(c.ref, ExtractRef(*conjunct));
+      c.negative = ContainsNegation(*conjunct);
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+Result<std::vector<BodyRead>> BodyReads(const Rule& rule) {
+  IDL_ASSIGN_OR_RETURN(std::vector<ConjunctClass> classes,
+                       ClassifyBody(rule));
+  std::vector<BodyRead> out;
+  for (auto& c : classes) {
+    if (!c.reads_universe) continue;
+    out.push_back(BodyRead{std::move(c.ref), c.negative});
   }
   return out;
 }

@@ -42,6 +42,19 @@ struct BodyRead {
 };
 Result<std::vector<BodyRead>> BodyReads(const Rule& rule);
 
+// Per-conjunct classification, index-aligned with rule.body (unlike
+// BodyReads, which drops guard conjuncts). The semi-naive engine uses it to
+// decide which conjuncts a delta restriction may be applied to: positive
+// universe readers only — guards read nothing, and negated conjuncts must
+// see the full universe (stratification already guarantees they never read
+// the stratum being computed).
+struct ConjunctClass {
+  bool reads_universe = false;  // false: pure guard (atomic comparison)
+  bool negative = false;        // negated or containing inner negation
+  RelRef ref;                   // meaningful only when reads_universe
+};
+Result<std::vector<ConjunctClass>> ClassifyBody(const Rule& rule);
+
 }  // namespace idl
 
 #endif  // IDL_VIEWS_RULE_H_

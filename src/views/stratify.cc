@@ -123,6 +123,33 @@ Result<Stratification> Stratify(const std::vector<Rule>& rules) {
       result.stratum_recursive[component[e.from]] = true;
     }
   }
+
+  // Condensation levels: depth of each SCC in the dependency DAG. Cross
+  // edges always point from a larger component id to a smaller one (reverse
+  // topological ids), so one ascending sweep sees every dependency's final
+  // level before it is used.
+  std::vector<std::vector<int>> comp_deps(static_cast<size_t>(groups));
+  for (const auto& e : edges) {
+    if (component[e.from] != component[e.to]) {
+      comp_deps[component[e.from]].push_back(component[e.to]);
+    }
+  }
+  std::vector<int> comp_level(static_cast<size_t>(groups), 0);
+  for (int c = 0; c < groups; ++c) {
+    for (int dep : comp_deps[c]) {
+      comp_level[c] = std::max(comp_level[c], comp_level[dep] + 1);
+    }
+    result.num_levels = std::max(result.num_levels, comp_level[c] + 1);
+  }
+  result.level.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) result.level[i] = comp_level[component[i]];
+  result.level_recursive.assign(static_cast<size_t>(result.num_levels),
+                                false);
+  for (int c = 0; c < groups; ++c) {
+    if (result.stratum_recursive[c]) {
+      result.level_recursive[comp_level[c]] = true;
+    }
+  }
   return result;
 }
 

@@ -27,6 +27,17 @@ struct Stratification {
   // True if the group contains an internal dependency edge (the fixpoint
   // must iterate to convergence; otherwise a single pass suffices).
   std::vector<bool> stratum_recursive;
+
+  // Parallel-friendly grouping: level[i] is the topological depth of
+  // rules[i]'s SCC in the condensation DAG (dependencies strictly lower).
+  // Rules at the same level never read each other's heads unless they share
+  // an SCC, so the semi-naive engine evaluates one level as a single wave:
+  // all bodies enumerated (possibly concurrently) against the universe as of
+  // the end of the previous wave, then all heads written in rule order.
+  std::vector<int> level;
+  int num_levels = 0;
+  // True if the level contains a recursive SCC (the wave must iterate).
+  std::vector<bool> level_recursive;
 };
 
 Result<Stratification> Stratify(const std::vector<Rule>& rules);

@@ -1,0 +1,148 @@
+// Golden-corpus harness: runs every script in examples/scripts/ through a
+// fresh Session (the same preloaded paper universe and output format as
+// examples/idl_shell.cc) and compares the transcript against the checked-in
+// golden in tests/golden/. Each script also runs under the naive oracle
+// strategy and must produce the identical transcript — the corpus doubles as
+// an end-to-end differential test through the full parse/session/update
+// stack.
+//
+// Regenerate goldens after an intended behaviour change with:
+//   IDL_UPDATE_GOLDENS=1 build/tests/golden_corpus_test
+// then review the diff like any other code change.
+//
+// Script directives (comment lines, read by this harness only):
+//   % universe: name-mappings   — preload MakePaperUniverse(true)
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "idl/idl.h"
+
+namespace idl {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+// Mirrors examples/idl_shell.cc's Run(), writing the transcript to a string.
+// Errors are recorded in the transcript (so a golden can pin down an
+// intended error message) and stop the script, exactly like the shell.
+std::string RunScript(const std::string& script, bool name_mappings,
+                      const EvalOptions& materialize_options) {
+  Session session;
+  session.set_materialize_options(materialize_options);
+  PaperUniverse paper = MakePaperUniverse(name_mappings);
+  for (const auto& field : paper.universe.fields()) {
+    auto st = session.RegisterDatabase(field.name, field.value);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  std::string out;
+  auto statements = ParseStatements(script);
+  if (!statements.ok()) {
+    return StrCat("parse error: ", statements.status().ToString(), "\n");
+  }
+  for (const auto& statement : *statements) {
+    switch (statement.kind) {
+      case Statement::Kind::kQuery: {
+        std::string text = ToString(statement.query);
+        out += text;
+        out += "\n";
+        if (session.IsUpdateRequest(statement.query)) {
+          auto r = session.Update(text);
+          if (!r.ok()) {
+            return StrCat(out, "  error: ", r.status().ToString(), "\n");
+          }
+          out += StrCat("  ok: ", r->counts.Total(), " change(s), ",
+                        r->bindings, " binding(s)\n\n");
+        } else {
+          auto a = session.Query(text);
+          if (!a.ok()) {
+            return StrCat(out, "  error: ", a.status().ToString(), "\n");
+          }
+          out += a->ToTable();
+          out += "\n";
+        }
+        break;
+      }
+      case Statement::Kind::kRule: {
+        std::string text = ToString(statement.rule);
+        auto st = session.DefineRule(text);
+        out += StrCat("rule    ", text, "  [",
+                      st.ok() ? "ok" : st.ToString(), "]\n");
+        if (!st.ok()) return out;
+        break;
+      }
+      case Statement::Kind::kProgramClause: {
+        std::string text = ToString(statement.clause);
+        auto st = session.DefineProgram(text);
+        out += StrCat("program ", text, "  [",
+                      st.ok() ? "ok" : st.ToString(), "]\n");
+        if (!st.ok()) return out;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(GoldenCorpus, ScriptsMatchGoldens) {
+  const fs::path scripts_dir = fs::path(IDL_REPO_DIR) / "examples/scripts";
+  const fs::path golden_dir = fs::path(IDL_REPO_DIR) / "tests/golden";
+  const bool update = std::getenv("IDL_UPDATE_GOLDENS") != nullptr;
+
+  std::vector<fs::path> scripts;
+  for (const auto& entry : fs::directory_iterator(scripts_dir)) {
+    if (entry.path().extension() == ".idl") scripts.push_back(entry.path());
+  }
+  std::sort(scripts.begin(), scripts.end());
+  ASSERT_GE(scripts.size(), 9u) << "corpus lost scripts?";
+
+  for (const auto& script_path : scripts) {
+    SCOPED_TRACE(script_path.filename().string());
+    std::string script = ReadFile(script_path);
+    bool name_mappings =
+        script.find("% universe: name-mappings") != std::string::npos;
+
+    EvalOptions semi;  // defaults: kSemiNaive, auto parallelism
+    std::string transcript = RunScript(script, name_mappings, semi);
+
+    EvalOptions naive;
+    naive.strategy = EvalStrategy::kNaive;
+    std::string oracle = RunScript(script, name_mappings, naive);
+    EXPECT_EQ(transcript, oracle)
+        << "semi-naive and naive transcripts diverge";
+
+    fs::path golden_path =
+        golden_dir / script_path.stem().replace_extension(".golden");
+    if (update) {
+      std::ofstream out(golden_path);
+      out << transcript;
+      continue;
+    }
+    ASSERT_TRUE(fs::exists(golden_path))
+        << golden_path << " missing; run with IDL_UPDATE_GOLDENS=1 and "
+        << "review the generated file";
+    EXPECT_EQ(transcript, ReadFile(golden_path))
+        << "transcript drifted from " << golden_path
+        << "; if intended, regenerate with IDL_UPDATE_GOLDENS=1";
+  }
+}
+
+}  // namespace
+}  // namespace idl

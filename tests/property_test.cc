@@ -169,6 +169,115 @@ TEST_P(WorkloadProperty, ConjunctOrderInsensitive) {
   EXPECT_EQ(a.rows.size(), b.rows.size());
 }
 
+// ---- Fixpoint properties (both evaluation strategies) ----------------------
+
+ViewEngine PaperEngine() {
+  ViewEngine engine;
+  for (const auto& text : PaperViewRules()) {
+    auto r = ParseRule(text);
+    EXPECT_TRUE(r.ok()) << text;
+    EXPECT_TRUE(engine.AddRule(std::move(r).value()).ok()) << text;
+  }
+  return engine;
+}
+
+Materialized MustMaterialize(const ViewEngine& engine, const Value& universe,
+                             EvalStrategy strategy) {
+  EvalOptions options;
+  options.strategy = strategy;
+  auto m = engine.Materialize(universe, options);
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  return std::move(m).value();
+}
+
+// Element subsumption: every field of `elem` is present with the same value
+// in some element of `set`. Absorb-extended elements (dbC folding new stocks
+// into an existing date tuple) satisfy this even when exact set membership
+// no longer holds.
+bool Subsumed(const Value& elem, const Value& set) {
+  if (set.Contains(elem)) return true;
+  if (!elem.is_tuple()) return false;
+  for (const auto& candidate : set.elements()) {
+    if (!candidate.is_tuple()) continue;
+    bool all_fields_present = true;
+    for (const auto& field : elem.fields()) {
+      const Value* other = candidate.FindField(field.name);
+      if (other == nullptr || !(*other == field.value)) {
+        all_fields_present = false;
+        break;
+      }
+    }
+    if (all_fields_present) return true;
+  }
+  return false;
+}
+
+const Value* FindRelation(const Value& universe, const std::string& path) {
+  size_t dot = path.find('.');
+  if (dot == std::string::npos) return universe.FindField(path);
+  const Value* db = universe.FindField(path.substr(0, dot));
+  return db == nullptr ? nullptr : db->FindField(path.substr(dot + 1));
+}
+
+// Materialization is idempotent: re-running the rules over an already
+// materialized universe changes nothing, under either strategy.
+TEST_P(WorkloadProperty, MaterializationIdempotent) {
+  StockWorkload w = Workload();
+  Value universe = BuildStockUniverse(w);
+  ViewEngine engine = PaperEngine();
+  for (EvalStrategy strategy :
+       {EvalStrategy::kNaive, EvalStrategy::kSemiNaive}) {
+    Materialized once = MustMaterialize(engine, universe, strategy);
+    Materialized twice = MustMaterialize(engine, once.universe, strategy);
+    EXPECT_EQ(twice.changes, 0u);
+    EXPECT_EQ(once.universe, twice.universe);
+  }
+}
+
+// Adding a base fact never removes a derived fact (monotonicity of the
+// positive rules): every derived element before the insertion is still
+// subsumed afterwards. Exercised with a brand-new date (fresh derived
+// facts) and a conflicting price on an existing date (a discrepancy, which
+// must coexist with the old fact rather than replace it).
+TEST_P(WorkloadProperty, AddingBaseFactIsMonotone) {
+  StockWorkload w = Workload();
+  Value universe = BuildStockUniverse(w);
+  ViewEngine engine = PaperEngine();
+  Materialized before =
+      MustMaterialize(engine, universe, EvalStrategy::kSemiNaive);
+
+  auto insert_quote = [&](Value base, const Date& date, double price) {
+    Value row = Value::EmptyTuple();
+    row.SetField("date", Value::Of(date));
+    row.SetField("stkCode", Value::String(w.stocks[0]));
+    row.SetField("clsPrice", Value::Real(price));
+    base.MutableField("euter")->MutableField("r")->Insert(std::move(row));
+    return base;
+  };
+  Date fresh = Date::FromDayNumber(w.dates.back().DayNumber() + 3);
+  std::vector<Value> grown;
+  grown.push_back(insert_quote(universe, fresh, 77.0));
+  grown.push_back(insert_quote(universe, w.dates[0], -1.0));  // discrepancy
+
+  for (const Value& base : grown) {
+    for (EvalStrategy strategy :
+         {EvalStrategy::kNaive, EvalStrategy::kSemiNaive}) {
+      Materialized after = MustMaterialize(engine, base, strategy);
+      for (const auto& path : before.derived_paths) {
+        const Value* old_rel = FindRelation(before.universe, path);
+        const Value* new_rel = FindRelation(after.universe, path);
+        ASSERT_NE(old_rel, nullptr) << path;
+        ASSERT_NE(new_rel, nullptr) << path;
+        if (!old_rel->is_set() || !new_rel->is_set()) continue;
+        for (const auto& elem : old_rel->elements()) {
+          EXPECT_TRUE(Subsumed(elem, *new_rel))
+              << path << " lost " << ToString(elem);
+        }
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Shapes, WorkloadProperty,
     ::testing::Values(Shape{1, 1, 1}, Shape{1, 10, 2}, Shape{5, 1, 3},

@@ -1,0 +1,66 @@
+// Unit tests for the batch-parallel worker pool used by the semi-naive
+// materializer (common/thread_pool.h).
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace idl {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  EXPECT_EQ(pool.num_slots(), 4u);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(hits.size(), [&](size_t task, size_t slot) {
+    ASSERT_LT(slot, pool.num_slots());
+    ++hits[task];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SlotsNeverCollide) {
+  // Two tasks running concurrently never share a slot, so slot-indexed
+  // scratch state (the per-worker index caches) needs no locking.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> in_use(pool.num_slots());
+  std::atomic<bool> collided{false};
+  pool.ParallelFor(200, [&](size_t, size_t slot) {
+    if (in_use[slot].fetch_add(1) != 0) collided = true;
+    in_use[slot].fetch_sub(1);
+  });
+  EXPECT_FALSE(collided.load());
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_slots(), 1u);
+  int sum = 0;
+  pool.ParallelFor(10, [&](size_t task, size_t slot) {
+    EXPECT_EQ(slot, 0u);
+    sum += static_cast<int>(task);
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.ParallelFor(7, [&](size_t, size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 350);
+}
+
+TEST(ThreadPool, EmptyBatchIsNoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t, size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace idl
