@@ -1,0 +1,148 @@
+// Federation layer benchmarks (src/federation): gateway fetch paths on
+// universes hosted across autonomous sites.
+//
+// Families:
+//  - FetchAllWarm/*: pull-everything fetch with hot per-site caches — the
+//    steady-state cost of a metadata query (`?.X.Y`) against an unchanged
+//    federation.
+//  - FetchAllCold/*: the same fetch after a write-back invalidated one
+//    site, so its export is re-pulled and re-lowered.
+//  - ShipRestricted/*: a first-order subgoal shipped as a pushed-down
+//    selection versus pulling the site's full export — the payoff of the
+//    ship planner on selective queries.
+//  - FanOutLatency/*: fetch across sites with simulated per-request
+//    latency, fetch_workers=1 (serial) vs 4 (parallel fan-out).
+//
+// Accepts `--json <path>` (see bench_util.h) for machine-readable output.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "federation/gateway.h"
+#include "federation/ship.h"
+#include "federation/site.h"
+
+namespace {
+
+using idl::BuildStockUniverse;
+using idl::Gateway;
+using idl::LocalSite;
+using idl::PlanQuery;
+using idl::Query;
+using idl::ShipPlan;
+using idl::SimulatedRemoteSite;
+using idl::Value;
+
+// Builds a gateway hosting each universe field on its own LocalSite,
+// optionally wrapped in a SimulatedRemoteSite with fixed latency.
+std::shared_ptr<Gateway> MakeGateway(const Value& universe,
+                                     Gateway::Options options,
+                                     int latency_ms = 0) {
+  auto gateway = std::make_shared<Gateway>(options);
+  for (const auto& field : universe.fields()) {
+    std::unique_ptr<idl::Site> site =
+        std::make_unique<LocalSite>(field.name, field.value);
+    if (latency_ms > 0) {
+      auto remote = std::make_unique<SimulatedRemoteSite>(std::move(site));
+      remote->set_latency_ms(latency_ms);
+      site = std::move(remote);
+    }
+    IDL_BENCH_CHECK(gateway->AddSite(std::move(site)).ok());
+  }
+  return gateway;
+}
+
+Value StockUniverse(size_t stocks, size_t days) {
+  return BuildStockUniverse(idl_bench::MakeWorkload(stocks, days));
+}
+
+// ---- Warm and cold full fetches --------------------------------------------
+
+void BM_FetchAllWarm(benchmark::State& state) {
+  Value universe = StockUniverse(static_cast<size_t>(state.range(0)), 30);
+  auto gateway = MakeGateway(universe, Gateway::Options());
+  IDL_BENCH_CHECK(gateway->FetchAll().ok());  // prime the caches
+  for (auto _ : state) {
+    auto fetch = gateway->FetchAll();
+    IDL_BENCH_CHECK(fetch.ok());
+    benchmark::DoNotOptimize(fetch->site_databases);
+  }
+}
+BENCHMARK(BM_FetchAllWarm)->Arg(10)->Arg(100)->Arg(400);
+
+void BM_FetchAllCold(benchmark::State& state) {
+  Value universe = StockUniverse(static_cast<size_t>(state.range(0)), 30);
+  auto gateway = MakeGateway(universe, Gateway::Options());
+  const Value& euter = *universe.FindField("euter");
+  for (auto _ : state) {
+    // Write-back invalidates euter's cache; the fetch re-pulls its export.
+    IDL_BENCH_CHECK(gateway->WriteSite("euter", euter).ok());
+    auto fetch = gateway->FetchAll();
+    IDL_BENCH_CHECK(fetch.ok());
+    benchmark::DoNotOptimize(fetch->site_databases);
+  }
+}
+BENCHMARK(BM_FetchAllCold)->Arg(10)->Arg(100)->Arg(400);
+
+// ---- Shipped selection vs full pull ----------------------------------------
+
+void ShipBench(benchmark::State& state, const std::string& query_text) {
+  Value universe = StockUniverse(static_cast<size_t>(state.range(0)), 30);
+  auto gateway = MakeGateway(universe, Gateway::Options());
+  Query query = idl_bench::MustQuery(query_text);
+  ShipPlan plan = PlanQuery(query, gateway->SiteNames());
+  uint64_t shipped = 0;
+  for (auto _ : state) {
+    auto fetch = gateway->Fetch(plan);
+    IDL_BENCH_CHECK(fetch.ok());
+    benchmark::DoNotOptimize(fetch->site_databases);
+  }
+  for (const auto& stats : gateway->Stats()) {
+    shipped += stats.shipped_subgoals;
+  }
+  state.counters["shipped"] = static_cast<double>(shipped);
+}
+
+void BM_ShipRestricted(benchmark::State& state) {
+  // Selective point lookup: only matching rows cross the site boundary.
+  ShipBench(state, "?.euter.r(.stkCode=stk0, .clsPrice=P)");
+}
+void BM_ShipUnrestrictedPull(benchmark::State& state) {
+  // Relation-variable query: the planner must pull the whole export.
+  ShipBench(state, "?.euter.Y(.clsPrice=P)");
+}
+BENCHMARK(BM_ShipRestricted)->Arg(10)->Arg(100)->Arg(400);
+BENCHMARK(BM_ShipUnrestrictedPull)->Arg(10)->Arg(100)->Arg(400);
+
+// ---- Parallel fan-out under latency ----------------------------------------
+
+void FanOut(benchmark::State& state, size_t fetch_workers) {
+  Value universe = StockUniverse(20, 10);
+  Gateway::Options options;
+  options.fetch_workers = fetch_workers;
+  auto gateway = MakeGateway(universe, options, /*latency_ms=*/1);
+  Value fresh = *universe.FindField("euter");
+  for (auto _ : state) {
+    // Invalidate every site so each fetch really crosses the boundary.
+    state.PauseTiming();
+    for (const auto& field : universe.fields()) {
+      IDL_BENCH_CHECK(gateway->WriteSite(field.name, field.value).ok());
+    }
+    state.ResumeTiming();
+    auto fetch = gateway->FetchAll();
+    IDL_BENCH_CHECK(fetch.ok());
+    benchmark::DoNotOptimize(fetch->site_databases);
+  }
+}
+
+void BM_FanOutSerial(benchmark::State& state) { FanOut(state, 1); }
+void BM_FanOutParallel(benchmark::State& state) { FanOut(state, 4); }
+BENCHMARK(BM_FanOutSerial)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FanOutParallel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+IDL_BENCH_MAIN()

@@ -140,3 +140,5 @@ BENCHMARK(BM_DateChainTC_SemiNaiveParallel)
     ->TC_ARGS->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

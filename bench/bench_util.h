@@ -3,9 +3,13 @@
 #ifndef IDL_BENCH_BENCH_UTIL_H_
 #define IDL_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "eval/query.h"
 #include "idl/session.h"
@@ -56,6 +60,53 @@ inline idl::StockWorkload MakeWorkload(size_t stocks, size_t days,
       std::abort();                                                    \
     }                                                                  \
   } while (0)
+
+// Entry point for bench binaries that accept `--json <path>` (or
+// `--json=<path>`): the flag is rewritten into google/benchmark's
+// --benchmark_out=<path> --benchmark_out_format=json pair before
+// Initialize(), so `bench_federation --json results.json` drops a
+// BENCH_federation.json-style report next to the console output. All other
+// arguments pass through untouched.
+inline int RunBenchmarks(int argc, char** argv) {
+  std::vector<std::string> rewritten;
+  rewritten.reserve(static_cast<size_t>(argc) + 1);
+  rewritten.emplace_back(argv[0]);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--json="));
+    } else {
+      rewritten.push_back(std::move(arg));
+    }
+  }
+  if (!json_path.empty()) {
+    rewritten.push_back("--benchmark_out=" + json_path);
+    rewritten.push_back("--benchmark_out_format=json");
+  }
+
+  std::vector<char*> args;
+  args.reserve(rewritten.size());
+  for (auto& arg : rewritten) args.push_back(arg.data());
+  int rewritten_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&rewritten_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(rewritten_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+// main() for binaries built with idl_bench_with_main (links
+// benchmark::benchmark without benchmark_main, so the --json rewrite above
+// sees the arguments first).
+#define IDL_BENCH_MAIN()                                   \
+  int main(int argc, char** argv) {                        \
+    return ::idl_bench::RunBenchmarks(argc, argv);         \
+  }
 
 }  // namespace idl_bench
 

@@ -4,9 +4,17 @@
 // relations they expose, where a given attribute lives, and which relation
 // names collide across members.
 //
+// This build hosts each member on its own simulated remote site behind a
+// Gateway (src/federation), so the demo also exercises the operational
+// side: per-site caching, transient faults healed by retry, and a
+// permanently dead member degrading the federation to documented partial
+// answers.
+//
 //   build/examples/federation_explorer
 
 #include <cstdio>
+#include <memory>
+#include <utility>
 
 #include "idl/idl.h"
 
@@ -19,7 +27,15 @@ void Show(idl::Session* session, const char* title, const char* query) {
     std::printf("   error: %s\n", answer.status().ToString().c_str());
     return;
   }
-  std::printf("%s\n", answer->ToTable().c_str());
+  std::printf("%s", answer->ToTable().c_str());
+  if (!session->degraded_sites().empty()) {
+    std::printf("   (partial: degraded site(s):");
+    for (const auto& name : session->degraded_sites()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf(")\n");
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -27,20 +43,34 @@ void Show(idl::Session* session, const char* title, const char* query) {
 int main() {
   idl::Session session;
 
-  // Three autonomous members with wildly different schemas: the stock trio
-  // generated at a realistic-but-small scale...
+  // Three autonomous members with wildly different schemas, each hosted on
+  // its own site with a little simulated latency; a dead member should
+  // degrade the answer rather than kill the query.
+  idl::Gateway::Options options;
+  options.degrade = idl::DegradePolicy::kPartial;
+  options.backoff_ms = 1;
+  auto gateway = std::make_shared<idl::Gateway>(options);
+
   idl::StockWorkload w = idl::GenerateStockWorkload(
       {.num_stocks = 6, .num_days = 10, .seed = 7});
+  idl::SimulatedRemoteSite* chwab_handle = nullptr;
   for (auto* build : {&idl::BuildEuterDatabase, &idl::BuildChwabDatabase,
                             &idl::BuildOurceDatabase}) {
-    auto st = session.RegisterDatabase((*build)(w));
-    if (!st.ok()) {
-      std::printf("register: %s\n", st.ToString().c_str());
+    auto remote = std::make_unique<idl::SimulatedRemoteSite>(
+        std::make_unique<idl::LocalSite>((*build)(w)), /*latency_ms=*/1);
+    if (remote->name() == "chwab") chwab_handle = remote.get();
+    if (auto st = gateway->AddSite(std::move(remote)); !st.ok()) {
+      std::printf("add site: %s\n", st.ToString().c_str());
       return 1;
     }
   }
+  if (auto st = session.ConnectGateway(gateway); !st.ok()) {
+    std::printf("connect: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
-  // ...plus an unrelated HR database that happens to reuse the name `r`.
+  // ...plus an unrelated HR database that happens to reuse the name `r`,
+  // registered directly — local databases and remote sites mix freely.
   idl::Value hr = idl::MakeTuple(
       {{"emp", idl::MakeSet({
                    idl::MakeTuple({{"name", idl::Value::String("john")},
@@ -67,15 +97,33 @@ int main() {
        "?.X.Y(.stk3)");
   Show(&session, "Members holding data about john", "?.X.Y(.name=john)");
 
-  // A member leaves the federation; the same discovery queries just work.
+  // Fault injection: chwab drops its next two requests; the gateway's
+  // retries heal the glitch and the answer is unchanged.
+  std::printf("== chwab flakes (2 transient failures) ==\n");
+  chwab_handle->FailNext(2);
+  Show(&session, "Same sweep, healed by retry", "?.X.Y(.stk3)");
+
+  // Now chwab dies for real: under the partial-degrade policy the rest of
+  // the federation still answers, and the gap is documented.
+  std::printf("== chwab dies ==\n");
+  chwab_handle->KillPermanently();
+  Show(&session, "Who is reachable now?", "?.X");
+  Show(&session, "Who still quotes stk3, and how?", "?.X.stk3");
+
+  std::printf("== chwab revives ==\n");
+  chwab_handle->Revive();
+  Show(&session, "Back to full answers", "?.X.stk3");
+
+  // A member leaves the federation for good; the same discovery queries
+  // just work.
   if (auto st = session.RemoveDatabase("chwab"); !st.ok()) {
     std::printf("remove: %s\n", st.ToString().c_str());
     return 1;
   }
   std::printf("== chwab left the federation ==\n");
   Show(&session, "Who is in the federation now?", "?.X");
-  Show(&session, "Who still quotes stk3, and how?",
-       "?.X.stk3");
 
+  std::printf("== per-site request statistics ==\n%s",
+              session.ExplainFederation().c_str());
   return 0;
 }

@@ -4,16 +4,26 @@
 //   build/examples/idl_shell -              read statements from stdin
 //   build/examples/idl_shell                run the built-in demo script
 //
+// Flags (before the script argument):
+//   --strategy={naive,seminaive,parallel}   view materialization strategy
+//   --site-latency-ms=N                     host the paper databases on
+//                                           simulated remote sites with N ms
+//                                           of request latency (federated
+//                                           mode; 0 = direct, the default)
+//
 // Scripts are ';'-separated statements: rules (head <- body), update
 // programs (head -> body), queries and update requests (?...). The shell
 // preloads the paper's three stock databases so scripts have something to
 // talk to. Query answers print as tables.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "idl/idl.h"
 
@@ -91,32 +101,91 @@ int Run(idl::Session* session, const std::string& script) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  idl::EvalOptions eval_options;
+  int site_latency_ms = 0;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--strategy=", 0) == 0) {
+      std::string strategy = arg.substr(std::string("--strategy=").size());
+      if (strategy == "naive") {
+        eval_options.strategy = idl::EvalStrategy::kNaive;
+        eval_options.materialize_parallelism = 1;
+      } else if (strategy == "seminaive") {
+        eval_options.strategy = idl::EvalStrategy::kSemiNaive;
+        eval_options.materialize_parallelism = 1;
+      } else if (strategy == "parallel") {
+        eval_options.strategy = idl::EvalStrategy::kSemiNaive;
+        eval_options.materialize_parallelism = 0;  // auto-size the pool
+      } else {
+        std::printf(
+            "unknown --strategy '%s' (want naive, seminaive or parallel)\n",
+            strategy.c_str());
+        return 1;
+      }
+    } else if (arg.rfind("--site-latency-ms=", 0) == 0) {
+      site_latency_ms =
+          std::atoi(arg.substr(std::string("--site-latency-ms=").size())
+                        .c_str());
+      if (site_latency_ms < 0) {
+        std::printf("--site-latency-ms must be >= 0\n");
+        return 1;
+      }
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+
   idl::Session session;
+  session.set_materialize_options(eval_options);
   idl::PaperUniverse paper = idl::MakePaperUniverse();
-  for (const auto& field : paper.universe.fields()) {
-    if (auto st = session.RegisterDatabase(field.name, field.value);
-        !st.ok()) {
+  if (site_latency_ms > 0) {
+    // Federated mode: each paper database becomes an autonomous site behind
+    // a shared gateway, with simulated request latency.
+    auto gateway = std::make_shared<idl::Gateway>();
+    for (const auto& field : paper.universe.fields()) {
+      auto remote = std::make_unique<idl::SimulatedRemoteSite>(
+          std::make_unique<idl::LocalSite>(field.name, field.value));
+      remote->set_latency_ms(site_latency_ms);
+      if (auto st = gateway->AddSite(std::move(remote)); !st.ok()) {
+        std::printf("setup failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    if (auto st = session.ConnectGateway(gateway); !st.ok()) {
       std::printf("setup failed: %s\n", st.ToString().c_str());
       return 1;
+    }
+  } else {
+    for (const auto& field : paper.universe.fields()) {
+      if (auto st = session.RegisterDatabase(field.name, field.value);
+          !st.ok()) {
+        std::printf("setup failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
     }
   }
 
   std::string script;
-  if (argc < 2) {
+  if (positional.empty()) {
     script = kDemoScript;
-  } else if (std::string(argv[1]) == "-") {
+  } else if (positional[0] == "-") {
     std::ostringstream buffer;
     buffer << std::cin.rdbuf();
     script = buffer.str();
   } else {
-    std::ifstream file(argv[1]);
+    std::ifstream file(positional[0]);
     if (!file) {
-      std::printf("cannot open %s\n", argv[1]);
+      std::printf("cannot open %s\n", positional[0].c_str());
       return 1;
     }
     std::ostringstream buffer;
     buffer << file.rdbuf();
     script = buffer.str();
   }
-  return Run(&session, script);
+  int rc = Run(&session, script);
+  if (site_latency_ms > 0) {
+    std::printf("%s", session.ExplainFederation().c_str());
+  }
+  return rc;
 }

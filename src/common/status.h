@@ -27,6 +27,8 @@ enum class StatusCode {
   kUnsupported,       // legal in the paper but out of scope / disabled
   kFailedPrecondition,// state does not permit the operation
   kInternal,          // invariant violation (a bug in this library)
+  kUnavailable,       // transient failure of a remote site (retriable)
+  kDeadlineExceeded,  // request exceeded its deadline (retriable)
 };
 
 // Returns the canonical lower-case name for `code` (e.g. "parse error").
@@ -80,6 +82,8 @@ Status Unsafe(std::string message);
 Status Unsupported(std::string message);
 Status FailedPrecondition(std::string message);
 Status Internal(std::string message);
+Status Unavailable(std::string message);
+Status DeadlineExceeded(std::string message);
 
 // Propagates a non-OK status to the caller.
 #define IDL_RETURN_IF_ERROR(expr)                  \

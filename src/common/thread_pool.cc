@@ -23,6 +23,16 @@ size_t ThreadPool::DefaultWorkers() {
   return hc > 1 ? hc - 1 : 0;
 }
 
+void ThreadPool::RunTask(const std::function<void(size_t, size_t)>& fn,
+                         size_t task, size_t slot) {
+  try {
+    fn(task, slot);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(exception_mu_);
+    if (!first_exception_) first_exception_ = std::current_exception();
+  }
+}
+
 void ThreadPool::WorkerLoop(size_t slot) {
   uint64_t seen_batch = 0;
   std::unique_lock<std::mutex> lock(mu_);
@@ -37,7 +47,7 @@ void ThreadPool::WorkerLoop(size_t slot) {
       size_t task = next_task_++;
       const auto* fn = fn_;
       lock.unlock();
-      (*fn)(task, slot);
+      RunTask(*fn, task, slot);
       lock.lock();
     }
     --busy_;
@@ -49,7 +59,8 @@ void ThreadPool::ParallelFor(
     size_t num_tasks, const std::function<void(size_t, size_t)>& fn) {
   if (num_tasks == 0) return;
   if (workers_.empty() || num_tasks == 1) {
-    for (size_t task = 0; task < num_tasks; ++task) fn(task, 0);
+    for (size_t task = 0; task < num_tasks; ++task) RunTask(fn, task, 0);
+    RethrowPendingException();
     return;
   }
   {
@@ -65,13 +76,25 @@ void ThreadPool::ParallelFor(
   while (next_task_ < num_tasks_) {
     size_t task = next_task_++;
     lock.unlock();
-    fn(task, 0);
+    RunTask(fn, task, 0);
     lock.lock();
   }
   // All tasks claimed; wait for workers still executing theirs. A worker
   // waking late finds no task to claim and never touches fn_ again.
   done_cv_.wait(lock, [&] { return busy_ == 0; });
   fn_ = nullptr;
+  lock.unlock();
+  RethrowPendingException();
+}
+
+void ThreadPool::RethrowPendingException() {
+  std::exception_ptr e;
+  {
+    std::lock_guard<std::mutex> lock(exception_mu_);
+    e = first_exception_;
+    first_exception_ = nullptr;
+  }
+  if (e) std::rethrow_exception(e);
 }
 
 }  // namespace idl

@@ -15,6 +15,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -39,8 +40,10 @@ class ThreadPool {
 
   // Runs fn(task, slot) for every task in [0, num_tasks), claiming tasks
   // dynamically. Blocks until all tasks finished. Not reentrant: fn must not
-  // call ParallelFor on the same pool. fn must not throw (errors flow out
-  // through the caller's result slots).
+  // call ParallelFor on the same pool. Errors normally flow out through the
+  // caller's result slots; if a task does throw, the batch still runs to
+  // completion (no task is skipped, no worker dies) and the *first* exception
+  // is rethrown on the calling thread afterwards — the pool remains usable.
   void ParallelFor(size_t num_tasks,
                    const std::function<void(size_t task, size_t slot)>& fn);
 
@@ -51,8 +54,15 @@ class ThreadPool {
 
  private:
   void WorkerLoop(size_t slot);
+  // Runs one task, capturing the first exception for RethrowPendingException.
+  void RunTask(const std::function<void(size_t, size_t)>& fn, size_t task,
+               size_t slot);
+  void RethrowPendingException();
 
   std::vector<std::thread> workers_;
+
+  std::mutex exception_mu_;
+  std::exception_ptr first_exception_;  // first throw of the current batch
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals a new batch (or shutdown)

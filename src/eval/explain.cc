@@ -25,30 +25,10 @@ std::string FormatMs(double ms) {
 
 }  // namespace
 
-std::string FormatStratumStats(const std::vector<StratumStats>& strata) {
-  std::vector<std::vector<std::string>> rows;
-  rows.push_back({"stratum", "rules", "passes", "rec", "subs", "skipped",
-                  "delta", "par", "wall_ms"});
-  StratumStats total;
-  for (const auto& s : strata) {
-    rows.push_back({StrCat(s.stratum), StrCat(s.rules), StrCat(s.passes),
-                    s.recursive ? "yes" : "no", StrCat(s.substitutions),
-                    StrCat(s.substitutions_skipped), StrCat(s.delta_facts),
-                    StrCat(s.parallel_tasks), FormatMs(s.wall_ms)});
-    total.rules += s.rules;
-    total.passes += s.passes;
-    total.substitutions += s.substitutions;
-    total.substitutions_skipped += s.substitutions_skipped;
-    total.delta_facts += s.delta_facts;
-    total.parallel_tasks += s.parallel_tasks;
-    total.wall_ms += s.wall_ms;
-  }
-  rows.push_back({"total", StrCat(total.rules), StrCat(total.passes), "",
-                  StrCat(total.substitutions),
-                  StrCat(total.substitutions_skipped),
-                  StrCat(total.delta_facts), StrCat(total.parallel_tasks),
-                  FormatMs(total.wall_ms)});
+namespace {
 
+// Right-aligns `rows` (first row is the header) into a terminal table.
+std::string AlignRows(const std::vector<std::vector<std::string>>& rows) {
   std::vector<size_t> width(rows[0].size(), 0);
   for (const auto& row : rows) {
     for (size_t c = 0; c < row.size(); ++c) {
@@ -72,6 +52,62 @@ std::string FormatStratumStats(const std::vector<StratumStats>& strata) {
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::string FormatSiteStats(const std::vector<SiteStats>& sites) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"site", "reqs", "hits", "misses", "retries", "timeouts",
+                  "failures", "shipped", "pulled", "state"});
+  SiteStats total;
+  for (const auto& s : sites) {
+    rows.push_back({s.site, StrCat(s.requests), StrCat(s.cache_hits),
+                    StrCat(s.cache_misses), StrCat(s.retries),
+                    StrCat(s.timeouts), StrCat(s.failures),
+                    StrCat(s.shipped_subgoals), StrCat(s.pulled_exports),
+                    s.degraded ? "degraded" : "ok"});
+    total.requests += s.requests;
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.retries += s.retries;
+    total.timeouts += s.timeouts;
+    total.failures += s.failures;
+    total.shipped_subgoals += s.shipped_subgoals;
+    total.pulled_exports += s.pulled_exports;
+  }
+  rows.push_back({"total", StrCat(total.requests), StrCat(total.cache_hits),
+                  StrCat(total.cache_misses), StrCat(total.retries),
+                  StrCat(total.timeouts), StrCat(total.failures),
+                  StrCat(total.shipped_subgoals), StrCat(total.pulled_exports),
+                  ""});
+  return AlignRows(rows);
+}
+
+std::string FormatStratumStats(const std::vector<StratumStats>& strata) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"stratum", "rules", "passes", "rec", "subs", "skipped",
+                  "delta", "par", "wall_ms"});
+  StratumStats total;
+  for (const auto& s : strata) {
+    rows.push_back({StrCat(s.stratum), StrCat(s.rules), StrCat(s.passes),
+                    s.recursive ? "yes" : "no", StrCat(s.substitutions),
+                    StrCat(s.substitutions_skipped), StrCat(s.delta_facts),
+                    StrCat(s.parallel_tasks), FormatMs(s.wall_ms)});
+    total.rules += s.rules;
+    total.passes += s.passes;
+    total.substitutions += s.substitutions;
+    total.substitutions_skipped += s.substitutions_skipped;
+    total.delta_facts += s.delta_facts;
+    total.parallel_tasks += s.parallel_tasks;
+    total.wall_ms += s.wall_ms;
+  }
+  rows.push_back({"total", StrCat(total.rules), StrCat(total.passes), "",
+                  StrCat(total.substitutions),
+                  StrCat(total.substitutions_skipped),
+                  StrCat(total.delta_facts), StrCat(total.parallel_tasks),
+                  FormatMs(total.wall_ms)});
+  return AlignRows(rows);
 }
 
 }  // namespace idl

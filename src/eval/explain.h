@@ -58,6 +58,34 @@ struct StratumStats {
 // Renders one row per stratum plus a totals row, aligned for terminals.
 std::string FormatStratumStats(const std::vector<StratumStats>& strata);
 
+// Per-site accounting of the federation gateway (src/federation/gateway.h):
+// how many requests crossed the site boundary, how the generation-keyed
+// answer cache behaved, and how the robustness machinery (retries, deadlines,
+// degradation) fired. Cache hit/miss counters restart from zero whenever an
+// update is written through to the site (the cache restarts cold), so
+// hits/(hits+misses) is the hit rate *since the last write*.
+struct SiteStats {
+  std::string site;
+  uint64_t requests = 0;        // site calls attempted (incl. retries, pings)
+  uint64_t cache_hits = 0;      // answers served without a site call
+  uint64_t cache_misses = 0;    // answers that had to call the site
+  uint64_t retries = 0;         // failed attempts that were retried
+  uint64_t timeouts = 0;        // attempts lost to the per-request deadline
+  uint64_t failures = 0;        // attempts that failed for any reason
+  uint64_t shipped_subgoals = 0;  // first-order subgoals pushed to the site
+  uint64_t pulled_exports = 0;    // full fact exports pulled from the site
+  bool degraded = false;        // answered without this site last operation
+
+  double CacheHitRate() const {
+    uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+};
+
+// Renders one row per site plus a totals row, aligned for terminals —
+// the federation counterpart of FormatStratumStats.
+std::string FormatSiteStats(const std::vector<SiteStats>& sites);
+
 }  // namespace idl
 
 #endif  // IDL_EVAL_EXPLAIN_H_

@@ -1,0 +1,163 @@
+// Gateway: the session's one door to the federation's component sites.
+//
+// The gateway owns the set of registered sites and mediates every request
+// the IDL engine makes of them:
+//
+//  * Fetch      — executes a ShipPlan (src/federation/ship.h): shipped
+//                 subgoals become Site::Select calls with pushed-down
+//                 restrictions, higher-order use pulls full exports. Sites
+//                 are contacted in parallel (common/thread_pool).
+//  * WriteSite  — pushes an updated database object back to its site
+//                 (the §5/§7 write-back path).
+//  * Broadcast  — MSQL multiple-query over the federation (relational/msql
+//                 merge semantics, one Site::Execute per site).
+//
+// Robustness is the gateway's job, not the engine's:
+//
+//  * Caching. Per site, answers (full export and each distinct shipped
+//    select) are cached keyed by the site's update-generation counter: a
+//    fetch first pings Generation and drops the site's cache if the counter
+//    moved. A write through the gateway bumps the counter at the site and
+//    drops the cache eagerly. Cache hit/miss counters restart at every
+//    write-through, so the reported rate is the hit rate *since the site's
+//    data last changed* — it is 1.0 on an idle repeated query and exactly
+//    0.0 on the first query after an update.
+//  * Retries. kUnavailable and kDeadlineExceeded responses are retried with
+//    exponential backoff up to Options::max_retries; any other error is
+//    permanent for the request.
+//  * Deadlines. Options::deadline_ms rides every request as the
+//    RequestContext deadline.
+//  * Degradation. When a site stays unreachable after retries,
+//    DegradePolicy::kFail fails the fetch; DegradePolicy::kPartial answers
+//    from the remaining sites, reports the dead site in
+//    FederatedFetch::degraded, and flags it in the Explain() stats table —
+//    a partial answer is never silent.
+
+#ifndef IDL_FEDERATION_GATEWAY_H_
+#define IDL_FEDERATION_GATEWAY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "eval/explain.h"
+#include "federation/ship.h"
+#include "federation/site.h"
+#include "object/value.h"
+#include "relational/msql.h"
+
+namespace idl {
+
+// What to do when a site stays unreachable after retries.
+enum class DegradePolicy : uint8_t {
+  kFail,     // the whole fetch fails
+  kPartial,  // answer from the remaining sites, flag the dead one
+};
+
+class Gateway {
+ public:
+  struct Options {
+    // Extra attempts after the first for retriable failures.
+    int max_retries = 3;
+    // Initial retry backoff; doubles per retry. 0 retries immediately.
+    int backoff_ms = 1;
+    // Per-request deadline (0 = unbounded).
+    int deadline_ms = 0;
+    DegradePolicy degrade = DegradePolicy::kFail;
+    // Worker threads for the parallel site fan-out.
+    size_t fetch_workers = 4;
+  };
+
+  Gateway();
+  explicit Gateway(Options options);
+
+  // ---- Site registry ------------------------------------------------------
+
+  Status AddSite(std::shared_ptr<Site> site);
+  Status RemoveSite(const std::string& name);
+  bool HasSite(const std::string& name) const;
+  std::set<std::string> SiteNames() const;
+  // The registered site, or nullptr (for tests poking fault schedules).
+  Site* FindSite(const std::string& name);
+
+  // ---- Federated operations ----------------------------------------------
+
+  struct FederatedFetch {
+    // Per site: the database object to splice into the evaluation universe
+    // (a full export, or the union of shipped selections).
+    std::map<std::string, Value> site_databases;
+    // Per site: the generation the data reflects.
+    std::map<std::string, uint64_t> generations;
+    // Sites skipped under DegradePolicy::kPartial (never non-empty under
+    // kFail).
+    std::vector<std::string> degraded;
+  };
+
+  // Executes `plan`, contacting the involved sites in parallel.
+  Result<FederatedFetch> Fetch(const ShipPlan& plan);
+
+  // Convenience: pull every site's full export (a pull_all plan).
+  Result<FederatedFetch> FetchAll();
+
+  // Pushes `facts` to the named site and invalidates its cache. Hit/miss
+  // counters restart (the reported rate becomes "since last write").
+  Status WriteSite(const std::string& name, const Value& facts);
+
+  // MSQL multiple query over every site (relational/msql merge semantics:
+  // rows prefixed with the site name, unioned; unreachable sites and sites
+  // lacking the template's relation are skipped, not errors).
+  Result<MultiQueryResult> Broadcast(const FoQuery& query);
+
+  // ---- Introspection ------------------------------------------------------
+
+  // Per-site counters, sorted by site name.
+  std::vector<SiteStats> Stats() const;
+  // The FormatSiteStats table of Stats().
+  std::string Explain() const;
+  void ResetStats();
+
+  const Options& options() const { return options_; }
+  void set_options(const Options& options) { options_ = options; }
+
+ private:
+  struct CachedSelect {
+    bool absent = false;  // relation missing at the site (kNotFound)
+    Value relation;       // lifted row set, when present
+  };
+
+  // All mutable per-site state is guarded by `mu`: a parallel fetch gives
+  // each site to exactly one task, but Stats()/WriteSite may race with it.
+  struct SiteState {
+    explicit SiteState(std::shared_ptr<Site> s) : site(std::move(s)) {}
+    std::shared_ptr<Site> site;
+    std::mutex mu;
+    SiteStats stats;
+    uint64_t cached_generation = 0;  // 0 = nothing cached
+    std::optional<Value> export_cache;
+    std::unordered_map<std::string, CachedSelect> select_cache;
+  };
+
+  // Fetches one site's contribution under `plan`. Locks the site's mutex.
+  Result<Value> FetchSite(SiteState& st, const ShipPlan& plan);
+  // Pull path body; call with st.mu held and the generation validated.
+  Result<Value> PullExportLocked(SiteState& st, const RequestContext& ctx);
+  // Pings the generation and drops stale caches; call with st.mu held.
+  Status ValidateGenerationLocked(SiteState& st, const RequestContext& ctx);
+
+  Options options_;
+  ThreadPool pool_;
+
+  mutable std::mutex sites_mu_;  // guards the map shape, not the states
+  std::map<std::string, std::shared_ptr<SiteState>> sites_;
+};
+
+}  // namespace idl
+
+#endif  // IDL_FEDERATION_GATEWAY_H_

@@ -1,0 +1,187 @@
+#include "federation/ship.h"
+
+#include <algorithm>
+
+namespace idl {
+
+namespace {
+
+// Extracts the constant comparisons of a row expression (the inner
+// expression of `.r(...)`) as pushdown restrictions. Only simple items of
+// the form `.col relop constant` restrict; everything else (variables bound
+// sideways, arithmetic, nested structure, higher-order column variables,
+// negated items, guards) contributes no restriction — the relation simply
+// ships more rows and the matcher finishes the job locally.
+std::vector<FoAtom::Arg> ExtractRestrictions(const Expr& row_expr) {
+  std::vector<FoAtom::Arg> restrictions;
+  if (row_expr.kind != Expr::Kind::kTuple || row_expr.negated) {
+    return restrictions;
+  }
+  for (const auto& item : row_expr.items) {
+    if (item.is_guard() || item.attr_is_var || item.update != UpdateOp::kNone) {
+      continue;
+    }
+    const Expr* e = item.expr.get();
+    if (e == nullptr || e->kind != Expr::Kind::kAtomic || e->negated ||
+        e->update != UpdateOp::kNone || !e->guard_var.empty()) {
+      continue;
+    }
+    if (e->term.kind != Term::Kind::kConst) continue;
+    FoAtom::Arg arg;
+    arg.column = item.attr;
+    arg.constant = e->term.constant;
+    arg.op = e->relop;
+    restrictions.push_back(std::move(arg));
+  }
+  return restrictions;
+}
+
+class Planner {
+ public:
+  Planner(const std::set<std::string>& site_names, ShipPlan* plan)
+      : site_names_(site_names), plan_(plan) {}
+
+  void AddConjunct(const Expr& conjunct) {
+    if (plan_->pull_all) return;
+    // A guard (`X = ource`) touches bound variables only.
+    if (conjunct.kind == Expr::Kind::kAtomic && !conjunct.guard_var.empty()) {
+      return;
+    }
+    if (conjunct.kind == Expr::Kind::kEpsilon) return;
+    if (conjunct.kind != Expr::Kind::kTuple) {
+      // An atomic or set expression against the universe tuple: nothing the
+      // planner understands — fetch everything and evaluate locally.
+      plan_->pull_all = true;
+      return;
+    }
+    for (const auto& item : conjunct.items) {
+      AddDatabaseItem(item);
+      if (plan_->pull_all) return;
+    }
+  }
+
+ private:
+  // One `.dbname expr` item at universe level.
+  void AddDatabaseItem(const TupleItem& item) {
+    if (item.is_guard()) return;
+    if (item.attr_is_var) {
+      // `?.X ...` ranges over every database name, sites included.
+      plan_->pull_all = true;
+      return;
+    }
+    if (!site_names_.contains(item.attr)) return;  // a local database
+    const std::string& site = item.attr;
+    const Expr* e = item.expr.get();
+    if (e == nullptr || e->kind == Expr::Kind::kEpsilon) {
+      // `?.euter` — presence only.
+      plan_->touch_sites.insert(site);
+      return;
+    }
+    if (e->kind != Expr::Kind::kTuple) {
+      // `.euter = X` (binds the whole database object) or a set expression:
+      // the full export is the only faithful answer.
+      Pull(site);
+      return;
+    }
+    for (const auto& rel_item : e->items) {
+      AddRelationItem(site, rel_item);
+    }
+  }
+
+  // One `.relname expr` item inside a site's database expression.
+  void AddRelationItem(const std::string& site, const TupleItem& item) {
+    if (item.is_guard()) return;
+    if (item.attr_is_var) {
+      // `?.euter.X ...` ranges over this site's relation names.
+      Pull(site);
+      return;
+    }
+    const Expr* e = item.expr.get();
+    if (e == nullptr || e->kind == Expr::Kind::kEpsilon) {
+      // `?.euter.r` — relation existence: an unrestricted select answers it
+      // (kNotFound vs. an empty row set distinguishes absent from empty).
+      Ship(site, item.attr, {});
+      return;
+    }
+    if (e->kind == Expr::Kind::kSet) {
+      // `.r(rows...)` — the shippable shape. Restrictions come from the
+      // element expression; nothing extractable just ships the relation
+      // whole.
+      std::vector<FoAtom::Arg> restrictions;
+      if (e->set_inner != nullptr) {
+        restrictions = ExtractRestrictions(*e->set_inner);
+      }
+      Ship(site, item.attr, std::move(restrictions));
+      return;
+    }
+    // `.euter.r = X` binds the relation object itself, or a nested tuple
+    // shape: pull the export rather than reason about lift/lower identity.
+    Pull(site);
+  }
+
+  void Ship(const std::string& site, const std::string& relation,
+            std::vector<FoAtom::Arg> restrictions) {
+    if (plan_->pull_sites.contains(site)) return;  // already pulling whole
+    for (auto& s : plan_->shipments) {
+      if (s.site == site && s.relation == relation) {
+        s.selects.push_back(std::move(restrictions));
+        return;
+      }
+    }
+    ShipPlan::Shipment s;
+    s.site = site;
+    s.relation = relation;
+    s.selects.push_back(std::move(restrictions));
+    plan_->shipments.push_back(std::move(s));
+  }
+
+  void Pull(const std::string& site) {
+    plan_->pull_sites.insert(site);
+    // Shipping anything to a pulled site is redundant.
+    plan_->shipments.erase(
+        std::remove_if(plan_->shipments.begin(), plan_->shipments.end(),
+                       [&](const ShipPlan::Shipment& s) {
+                         return s.site == site;
+                       }),
+        plan_->shipments.end());
+  }
+
+  const std::set<std::string>& site_names_;
+  ShipPlan* plan_;
+};
+
+}  // namespace
+
+bool ShipPlan::NeedsSite(const std::string& site) const {
+  if (pull_all) return true;
+  if (pull_sites.contains(site) || touch_sites.contains(site)) return true;
+  for (const auto& s : shipments) {
+    if (s.site == site) return true;
+  }
+  return false;
+}
+
+ShipPlan PlanQuery(const Query& query,
+                   const std::set<std::string>& site_names) {
+  ShipPlan plan;
+  Planner planner(site_names, &plan);
+  for (const auto& conjunct : query.conjuncts) {
+    if (conjunct == nullptr) continue;
+    if (conjunct->HasUpdate()) {
+      // Update requests never take the ship path; be conservative if one
+      // reaches the planner anyway.
+      plan.pull_all = true;
+      break;
+    }
+    planner.AddConjunct(*conjunct);
+    if (plan.pull_all) break;
+  }
+  if (plan.pull_all) {
+    plan.shipments.clear();
+    plan.pull_sites.clear();
+    plan.touch_sites.clear();
+  }
+  return plan;
+}
+
+}  // namespace idl

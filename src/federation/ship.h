@@ -1,0 +1,78 @@
+// Query shipping plan (src/federation): decide, per conjunct of an IDL
+// query, how much of each component site's data the gateway must fetch for
+// local evaluation to agree with evaluation over the full federation.
+//
+// The ideal case is a *shipped subgoal*: a first-order conjunct naming one
+// site and one relation by constants, e.g. `?.euter.r(.date=3/1/85, .P=X)`.
+// The gateway pushes the constant comparisons down as a single-relation
+// selection (Site::Select, relational/fo_engine.h) and pulls back only
+// matching rows. Anything the plan cannot prove shippable degrades
+// soundly: a conjunct quantifying over relation names (`?.euter.X ...`)
+// pulls that site's whole export; a conjunct quantifying over *database*
+// names (`?.X.Y ...`) pulls every site.
+//
+// Correctness rests on two superset arguments:
+//  * Shipping is a superset guarantee. The matcher re-applies every
+//    comparison to the assembled universe, so extra rows (from another
+//    conjunct's shipment of the same relation) never change an answer —
+//    what matters is that every row satisfying a conjunct's restrictions is
+//    present, and σ_restrictions(r) guarantees exactly that.
+//  * Negation survives shipping. A row matching a negated subgoal's inner
+//    expression necessarily satisfies the extracted restrictions (they are
+//    conjuncts of that expression), so it is in the shipped set; hence
+//    "some row matches" agrees between the full and shipped relation, and
+//    so does its complement.
+//
+// Empty vs. absent stays faithful: a relation that exists but is empty
+// ships as an empty set (the attribute is present in the assembled
+// universe), while Select on a missing relation returns kNotFound and the
+// gateway omits the attribute — the two cases the matcher distinguishes.
+
+#ifndef IDL_FEDERATION_SHIP_H_
+#define IDL_FEDERATION_SHIP_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/fo_engine.h"
+#include "syntax/ast.h"
+
+namespace idl {
+
+// How much of one federation the gateway must fetch for one query.
+struct ShipPlan {
+  // One shippable (site, relation) pair. `selects` holds one restriction
+  // list per referencing conjunct; the fetched rows are the union of the
+  // selections (an empty restriction list ships the full relation).
+  struct Shipment {
+    std::string site;
+    std::string relation;
+    std::vector<std::vector<FoAtom::Arg>> selects;
+  };
+  std::vector<Shipment> shipments;
+
+  // Sites whose full export must be pulled (higher-order use, relation-level
+  // bindings, or shapes the planner cannot restrict).
+  std::set<std::string> pull_sites;
+
+  // Sites referenced only for presence (`?.euter`): the site participates in
+  // the assembled universe but no data is fetched beyond what other
+  // conjuncts ship.
+  std::set<std::string> touch_sites;
+
+  // The query quantifies over database names (or has a shape the planner
+  // does not analyse): every site's export must be pulled.
+  bool pull_all = false;
+
+  bool NeedsSite(const std::string& site) const;
+};
+
+// Plans `query` against the sites named in `site_names`. Conjuncts touching
+// only non-site databases contribute nothing to the plan (they evaluate
+// against the gateway owner's local universe).
+ShipPlan PlanQuery(const Query& query, const std::set<std::string>& site_names);
+
+}  // namespace idl
+
+#endif  // IDL_FEDERATION_SHIP_H_

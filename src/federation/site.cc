@@ -1,0 +1,150 @@
+#include "federation/site.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/str_util.h"
+#include "object/value_io.h"
+#include "relational/adapter.h"
+
+namespace idl {
+
+std::string SelectRequest::CacheKey() const {
+  std::string key = relation;
+  for (const auto& arg : restrictions) {
+    key += StrCat("|", arg.column, RelOpText(arg.op), ToString(arg.constant));
+  }
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// LocalSite
+
+LocalSite::LocalSite(std::string name, Value facts)
+    : name_(std::move(name)), facts_(std::move(facts)) {}
+
+LocalSite::LocalSite(const RelationalDatabase& db)
+    : name_(db.name()), facts_(LiftDatabase(db)) {}
+
+Result<uint64_t> LocalSite::Generation(const RequestContext&) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+Result<Value> LocalSite::Export(const RequestContext&) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return facts_;
+}
+
+Status LocalSite::EnsureLowered() {
+  if (lowered_.has_value() && lowered_generation_ == generation_) {
+    return Status::Ok();
+  }
+  IDL_ASSIGN_OR_RETURN(RelationalDatabase db, LowerDatabase(name_, facts_));
+  lowered_ = std::move(db);
+  lowered_generation_ = generation_;
+  return Status::Ok();
+}
+
+Result<ResultSet> LocalSite::Select(const SelectRequest& request,
+                                    const RequestContext&) {
+  std::lock_guard<std::mutex> lock(mu_);
+  IDL_RETURN_IF_ERROR(EnsureLowered());
+  return ExecuteFoSelect(*lowered_, request.relation, request.restrictions);
+}
+
+Result<ResultSet> LocalSite::Execute(const FoQuery& query,
+                                     const RequestContext&) {
+  std::lock_guard<std::mutex> lock(mu_);
+  IDL_RETURN_IF_ERROR(EnsureLowered());
+  return ExecuteFoQuery(*lowered_, query);
+}
+
+Status LocalSite::Write(const Value& facts, const RequestContext&) {
+  std::lock_guard<std::mutex> lock(mu_);
+  facts_ = facts;
+  ++generation_;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// SimulatedRemoteSite
+
+SimulatedRemoteSite::SimulatedRemoteSite(std::unique_ptr<Site> inner,
+                                         int latency_ms)
+    : inner_(std::move(inner)), latency_ms_(latency_ms) {}
+
+void SimulatedRemoteSite::FailNext(int n) {
+  transient_failures_.fetch_add(n);
+}
+
+void SimulatedRemoteSite::KillPermanently() { permanently_dead_.store(true); }
+
+void SimulatedRemoteSite::Revive() {
+  permanently_dead_.store(false);
+  transient_failures_.store(0);
+}
+
+Status SimulatedRemoteSite::Admit(const RequestContext& ctx) {
+  requests_seen_.fetch_add(1);
+  const int latency = latency_ms_.load();
+  if (latency > 0) {
+    // The caller observes min(latency, deadline) of wall time: a site slower
+    // than the deadline is indistinguishable from a dead one within this
+    // request.
+    const bool too_slow = ctx.deadline_ms > 0 && latency > ctx.deadline_ms;
+    const int wait = too_slow ? ctx.deadline_ms : latency;
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    if (too_slow) {
+      requests_failed_.fetch_add(1);
+      return DeadlineExceeded(StrCat("site '", name(), "' latency ", latency,
+                                     "ms exceeds deadline ", ctx.deadline_ms,
+                                     "ms"));
+    }
+  }
+  if (permanently_dead_.load()) {
+    requests_failed_.fetch_add(1);
+    return Unavailable(StrCat("site '", name(), "' is down"));
+  }
+  int budget = transient_failures_.load();
+  while (budget > 0 &&
+         !transient_failures_.compare_exchange_weak(budget, budget - 1)) {
+  }
+  if (budget > 0) {
+    requests_failed_.fetch_add(1);
+    return Unavailable(
+        StrCat("site '", name(), "' transient failure (injected)"));
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> SimulatedRemoteSite::Generation(const RequestContext& ctx) {
+  IDL_RETURN_IF_ERROR(Admit(ctx));
+  return inner_->Generation(ctx);
+}
+
+Result<Value> SimulatedRemoteSite::Export(const RequestContext& ctx) {
+  IDL_RETURN_IF_ERROR(Admit(ctx));
+  return inner_->Export(ctx);
+}
+
+Result<ResultSet> SimulatedRemoteSite::Select(const SelectRequest& request,
+                                              const RequestContext& ctx) {
+  IDL_RETURN_IF_ERROR(Admit(ctx));
+  return inner_->Select(request, ctx);
+}
+
+Result<ResultSet> SimulatedRemoteSite::Execute(const FoQuery& query,
+                                               const RequestContext& ctx) {
+  IDL_RETURN_IF_ERROR(Admit(ctx));
+  return inner_->Execute(query, ctx);
+}
+
+Status SimulatedRemoteSite::Write(const Value& facts,
+                                  const RequestContext& ctx) {
+  IDL_RETURN_IF_ERROR(Admit(ctx));
+  return inner_->Write(facts, ctx);
+}
+
+}  // namespace idl

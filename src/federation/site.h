@@ -1,0 +1,167 @@
+// Site: one autonomous component database behind a request/response
+// boundary (the multidatabase shape of the paper's Figure 1 — euter, chwab
+// and ource are independent systems the unified view queries *across*).
+//
+// A site answers four kinds of requests, each of which may fail or time out
+// independently (the boundary is where the federation's robustness surface
+// lives — see gateway.h for retries, deadlines and degradation):
+//
+//   Generation — cheap metadata ping: a counter bumped by every applied
+//                update. The gateway keys its per-site answer caches on it.
+//   Export     — the site's full exported facts as an object-model database
+//                (a tuple of relation sets), the pull fallback for
+//                higher-order subgoals that quantify over the site's schema.
+//   Select     — a shipped first-order subgoal: one relation, constant
+//                restrictions pushed down, all columns back
+//                (relational/fo_engine's ExecuteFoSelect).
+//   Execute    — an MSQL-style first-order template (relational/msql);
+//                the gateway broadcasts these across the federation.
+//   Write      — replace the site's facts (the write-back path of §5/§7
+//                update requests routed through the gateway).
+//
+// `LocalSite` hosts the facts in-process; `SimulatedRemoteSite` wraps any
+// site with injectable latency, per-request deadlines, and transient or
+// permanent fault schedules, which is how the tests and benches exercise a
+// distributed deployment on one machine.
+
+#ifndef IDL_FEDERATION_SITE_H_
+#define IDL_FEDERATION_SITE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "object/value.h"
+#include "relational/database.h"
+#include "relational/fo_engine.h"
+
+namespace idl {
+
+// Per-request options crossing the site boundary. A deadline of 0 means
+// unbounded.
+struct RequestContext {
+  int deadline_ms = 0;
+};
+
+// A shipped first-order subgoal: σ_{restrictions}(relation), all columns.
+// Restrictions are constant-only FoAtom args (relational/fo_engine.h).
+struct SelectRequest {
+  std::string relation;
+  std::vector<FoAtom::Arg> restrictions;
+
+  // Stable cache key (relation plus canonicalized restrictions).
+  std::string CacheKey() const;
+};
+
+class Site {
+ public:
+  virtual ~Site() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Update-generation counter (starts at 1, bumped by every Write). A real
+  // RPC: a dead site cannot validate a cache entry.
+  virtual Result<uint64_t> Generation(const RequestContext& ctx) = 0;
+
+  // Full exported facts: a tuple of relation sets.
+  virtual Result<Value> Export(const RequestContext& ctx) = 0;
+
+  // Shipped subgoal. kNotFound when the relation does not exist here.
+  // kTypeError when the site's facts cannot be lowered to relational form
+  // (the caller falls back to Export).
+  virtual Result<ResultSet> Select(const SelectRequest& request,
+                                   const RequestContext& ctx) = 0;
+
+  // MSQL template execution against the site's relational form.
+  virtual Result<ResultSet> Execute(const FoQuery& query,
+                                    const RequestContext& ctx) = 0;
+
+  // Replaces the site's facts, bumping the generation.
+  virtual Status Write(const Value& facts, const RequestContext& ctx) = 0;
+};
+
+// In-process site: owns its facts as an object-model database and lowers
+// them lazily to a RelationalDatabase for shipped subgoals. Thread-safe
+// (the gateway fetches from several sites concurrently).
+class LocalSite : public Site {
+ public:
+  // `facts` must be a tuple of relations (same shape RegisterDatabase
+  // accepts).
+  LocalSite(std::string name, Value facts);
+  // Lifts a relational database through the adapter.
+  explicit LocalSite(const RelationalDatabase& db);
+
+  const std::string& name() const override { return name_; }
+  Result<uint64_t> Generation(const RequestContext& ctx) override;
+  Result<Value> Export(const RequestContext& ctx) override;
+  Result<ResultSet> Select(const SelectRequest& request,
+                           const RequestContext& ctx) override;
+  Result<ResultSet> Execute(const FoQuery& query,
+                            const RequestContext& ctx) override;
+  Status Write(const Value& facts, const RequestContext& ctx) override;
+
+ private:
+  // Lowers facts_ to relational form if the cached lowering is stale.
+  // Called with mu_ held.
+  Status EnsureLowered();
+
+  const std::string name_;
+  std::mutex mu_;
+  Value facts_;
+  uint64_t generation_ = 1;
+  std::optional<RelationalDatabase> lowered_;
+  uint64_t lowered_generation_ = 0;
+};
+
+// Wraps a site with injected latency and faults. Every request first waits
+// the configured latency (truncated by the request deadline — a latency
+// above the deadline is a timeout, kDeadlineExceeded), then consults the
+// fault schedule: a permanent fault fails every request until Revive();
+// a transient budget fails the next N requests. Fault injection applies to
+// *all* request kinds, including Generation pings — a dead site cannot even
+// confirm its cache validity, which is what forces the gateway's
+// degradation policy to engage.
+class SimulatedRemoteSite : public Site {
+ public:
+  SimulatedRemoteSite(std::unique_ptr<Site> inner, int latency_ms = 0);
+
+  const std::string& name() const override { return inner_->name(); }
+  Result<uint64_t> Generation(const RequestContext& ctx) override;
+  Result<Value> Export(const RequestContext& ctx) override;
+  Result<ResultSet> Select(const SelectRequest& request,
+                           const RequestContext& ctx) override;
+  Result<ResultSet> Execute(const FoQuery& query,
+                            const RequestContext& ctx) override;
+  Status Write(const Value& facts, const RequestContext& ctx) override;
+
+  // ---- Fault schedule (safe to call from tests while requests fly) -------
+  void set_latency_ms(int ms) { latency_ms_.store(ms); }
+  int latency_ms() const { return latency_ms_.load(); }
+  // Fails the next `n` requests with kUnavailable (transient outage).
+  void FailNext(int n);
+  // Fails every request from now on (permanent outage) / heals it.
+  void KillPermanently();
+  void Revive();
+
+  uint64_t requests_seen() const { return requests_seen_.load(); }
+  uint64_t requests_failed() const { return requests_failed_.load(); }
+
+ private:
+  // Applies latency + fault schedule; OK means the request may proceed.
+  Status Admit(const RequestContext& ctx);
+
+  std::unique_ptr<Site> inner_;
+  std::atomic<int> latency_ms_;
+  std::atomic<int> transient_failures_{0};
+  std::atomic<bool> permanently_dead_{false};
+  std::atomic<uint64_t> requests_seen_{0};
+  std::atomic<uint64_t> requests_failed_{0};
+};
+
+}  // namespace idl
+
+#endif  // IDL_FEDERATION_SITE_H_

@@ -14,6 +14,9 @@
 #include "common/status.h"
 #include "constraints/checker.h"
 #include "eval/query.h"
+#include "federation/gateway.h"
+#include "federation/ship.h"
+#include "federation/site.h"
 #include "idl/session.h"
 #include "object/builder.h"
 #include "object/value.h"

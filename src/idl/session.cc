@@ -2,6 +2,7 @@
 
 #include "common/str_util.h"
 #include "eval/matcher.h"
+#include "federation/ship.h"
 #include "relational/adapter.h"
 #include "syntax/analysis.h"
 #include "syntax/parser.h"
@@ -14,7 +15,8 @@ Status Session::RegisterDatabase(std::string name, Value db_object) {
     return TypeError(StrCat("database '", name,
                             "' must be a tuple of relations"));
   }
-  if (base_.HasField(name)) {
+  if (base_.HasField(name) ||
+      (federation_ != nullptr && federation_->HasSite(name))) {
     return AlreadyExists(StrCat("database '", name, "'"));
   }
   base_.SetField(name, std::move(db_object));
@@ -27,6 +29,14 @@ Status Session::RegisterDatabase(const RelationalDatabase& db) {
 }
 
 Status Session::RemoveDatabase(std::string_view name) {
+  std::string site_name(name);
+  if (federation_ != nullptr && federation_->HasSite(site_name)) {
+    IDL_RETURN_IF_ERROR(federation_->RemoveSite(site_name));
+    base_.RemoveField(name);
+    synced_generations_.erase(site_name);
+    Invalidate();
+    return Status::Ok();
+  }
   if (!base_.RemoveField(name)) {
     return NotFound(StrCat("database '", name, "'"));
   }
@@ -35,9 +45,100 @@ Status Session::RemoveDatabase(std::string_view name) {
 }
 
 Result<const Value*> Session::universe() {
+  IDL_RETURN_IF_ERROR(SyncFederation());
   if (views_.rules().empty()) return &base_;  // nothing derived: no copy
   IDL_RETURN_IF_ERROR(EnsureMaterialized());
   return &materialized_.universe;
+}
+
+// ---------------------------------------------------------------------------
+// Federation
+
+Status Session::ConnectGateway(std::shared_ptr<Gateway> gateway) {
+  if (gateway == nullptr) {
+    return InvalidArgument("gateway must be non-null");
+  }
+  if (federation_ != nullptr) {
+    return FailedPrecondition("a gateway is already connected");
+  }
+  for (const auto& name : gateway->SiteNames()) {
+    if (base_.HasField(name)) {
+      return AlreadyExists(StrCat("database '", name,
+                                  "' is registered locally; a site of the "
+                                  "same name cannot be attached"));
+    }
+  }
+  federation_ = std::move(gateway);
+  Invalidate();
+  return Status::Ok();
+}
+
+Status Session::RegisterSite(std::shared_ptr<Site> site) {
+  if (federation_ == nullptr) {
+    return FailedPrecondition("connect a gateway before registering sites");
+  }
+  if (site != nullptr && base_.HasField(site->name())) {
+    return AlreadyExists(StrCat("database '", site->name(),
+                                "' is registered locally"));
+  }
+  return federation_->AddSite(std::move(site));
+}
+
+std::string Session::ExplainFederation() const {
+  return federation_ == nullptr ? std::string() : federation_->Explain();
+}
+
+Status Session::SyncFederation() {
+  if (federation_ == nullptr) return Status::Ok();
+  IDL_ASSIGN_OR_RETURN(Gateway::FederatedFetch fetch, federation_->FetchAll());
+  degraded_sites_ = fetch.degraded;
+  bool changed = false;
+  for (auto& [name, db] : fetch.site_databases) {
+    auto it = synced_generations_.find(name);
+    if (it != synced_generations_.end() &&
+        it->second == fetch.generations[name] && base_.HasField(name)) {
+      continue;  // replica already reflects this generation
+    }
+    base_.SetField(name, std::move(db));
+    synced_generations_[name] = fetch.generations[name];
+    changed = true;
+  }
+  // A degraded site contributes nothing: the answer comes from the
+  // remaining sites (and says so — see degraded_sites()).
+  for (const auto& name : fetch.degraded) {
+    if (base_.RemoveField(name)) changed = true;
+    synced_generations_.erase(name);
+  }
+  if (changed) Invalidate();
+  return Status::Ok();
+}
+
+Status Session::WriteBack(const std::set<std::string>& roots) {
+  if (federation_ == nullptr || roots.empty()) return Status::Ok();
+  std::set<std::string> sites;
+  if (roots.contains("*")) {
+    // An ungroundable database name may have touched anything.
+    sites = federation_->SiteNames();
+  } else {
+    for (const auto& root : roots) {
+      if (federation_->HasSite(root)) sites.insert(root);
+    }
+  }
+  for (const auto& name : sites) {
+    const Value* db = base_.FindField(name);
+    if (db == nullptr) continue;  // degraded site: no replica to push
+    Status pushed = federation_->WriteSite(name, *db);
+    if (!pushed.ok()) {
+      // The caller restores its local snapshot; force the next sync to
+      // re-pull every site so the session converges to remote truth (some
+      // earlier write-back of this batch may have landed).
+      synced_generations_.clear();
+      return pushed;
+    }
+    // The site's generation moved; re-pin the replica on the next sync.
+    synced_generations_.erase(name);
+  }
+  return Status::Ok();
 }
 
 Result<RelationalDatabase> Session::ExportDatabase(const std::string& name) {
@@ -80,19 +181,24 @@ Status Session::DeclareConstraint(std::string_view declaration) {
 Result<CallResult> Session::CallProgram(
     const std::string& path, const std::map<std::string, Value>& args,
     UpdateOp view_op) {
-  // With constraints declared, the call is atomic: snapshot, apply,
-  // validate, roll back on violation.
+  IDL_RETURN_IF_ERROR(SyncFederation());
+
+  // With constraints declared (or a federation connected, whose write-back
+  // can fail), the call is atomic: snapshot, apply, validate, roll back on
+  // violation.
   Value snapshot;
-  bool guarded = constraints_.size() > 0;
+  bool guarded = constraints_.size() > 0 || federation_ != nullptr;
   if (guarded) snapshot = base_;
 
-  ProgramExecutor executor(&registry_, &base_, &stats_);
+  std::set<std::string> touched;
+  ProgramExecutor executor(&registry_, &base_, &stats_,
+                           federation_ == nullptr ? nullptr : &touched);
   Result<CallResult> result = executor.Call(path, view_op, args);
   if (!result.ok()) {
     if (guarded) base_ = std::move(snapshot);
     return result.status();
   }
-  if (guarded) {
+  if (constraints_.size() > 0) {
     Status valid = constraints_.Validate(base_);
     if (!valid.ok()) {
       base_ = std::move(snapshot);
@@ -102,6 +208,12 @@ Result<CallResult> Session::CallProgram(
     }
   }
   if (result->counts.Total() > 0) Invalidate();
+  Status pushed = WriteBack(touched);
+  if (!pushed.ok()) {
+    base_ = std::move(snapshot);
+    Invalidate();
+    return pushed.WithContext(StrCat("program ", path, " rolled back"));
+  }
   return result;
 }
 
@@ -113,6 +225,28 @@ Result<Answer> Session::Query(std::string_view query_text,
     return InvalidArgument(
         "this is an update request; use Session::Update for it");
   }
+  return QueryParsed(query, options);
+}
+
+Result<Answer> Session::QueryParsed(const struct Query& query,
+                                    const EvalOptions& options) {
+  // Ship path: with a federation and no view rules, fetch only what the
+  // query needs — shipped selections for first-order subgoals, exports for
+  // higher-order ones — and evaluate over the assembled universe.
+  if (federation_ != nullptr && views_.rules().empty()) {
+    ShipPlan plan = PlanQuery(query, federation_->SiteNames());
+    IDL_ASSIGN_OR_RETURN(Gateway::FederatedFetch fetch,
+                         federation_->Fetch(plan));
+    degraded_sites_ = fetch.degraded;
+    Value assembled = base_;
+    for (const auto& name : federation_->SiteNames()) {
+      assembled.RemoveField(name);  // drop any stale replica
+    }
+    for (auto& [name, db] : fetch.site_databases) {
+      assembled.SetField(name, std::move(db));
+    }
+    return EvaluateQuery(assembled, query, options, &stats_);
+  }
   IDL_ASSIGN_OR_RETURN(const Value* u, universe());
   return EvaluateQuery(*u, query, options, &stats_);
 }
@@ -121,6 +255,7 @@ Status Session::EnsureMaterialized() {
   if (materialized_valid_) return Status::Ok();
   IDL_ASSIGN_OR_RETURN(
       materialized_, views_.Materialize(base_, materialize_options_, &stats_));
+  materialized_.federation = ExplainFederation();
   derived_paths_ = materialized_.derived_paths;
   materialized_valid_ = true;
   return Status::Ok();
@@ -141,17 +276,24 @@ bool Session::TargetsDerived(const std::string& path) const {
 Result<UpdateRequestResult> Session::Update(std::string_view request_text) {
   IDL_ASSIGN_OR_RETURN(struct Query request, ParseQuery(request_text));
 
-  // With constraints declared, the whole request is atomic and validated.
+  // Sync before the snapshot so a rollback restores current replicas.
+  IDL_RETURN_IF_ERROR(SyncFederation());
+
+  // With constraints declared (or a federation connected, whose write-back
+  // can fail), the whole request is atomic and validated.
   Value snapshot;
-  bool guarded = constraints_.size() > 0;
+  bool guarded = constraints_.size() > 0 || federation_ != nullptr;
   if (guarded) snapshot = base_;
-  Result<UpdateRequestResult> result = UpdateImpl(request);
-  if (guarded) {
-    if (!result.ok()) {
+  std::set<std::string> touched;
+  Result<UpdateRequestResult> result = UpdateImpl(request, &touched);
+  if (!result.ok()) {
+    if (guarded) {
       base_ = std::move(snapshot);
       Invalidate();
-      return result;
     }
+    return result;
+  }
+  if (constraints_.size() > 0) {
     Status valid = constraints_.Validate(base_);
     if (!valid.ok()) {
       base_ = std::move(snapshot);
@@ -159,10 +301,17 @@ Result<UpdateRequestResult> Session::Update(std::string_view request_text) {
       return valid.WithContext("update request rolled back");
     }
   }
+  Status pushed = WriteBack(touched);
+  if (!pushed.ok()) {
+    base_ = std::move(snapshot);
+    Invalidate();
+    return pushed.WithContext("update request rolled back");
+  }
   return result;
 }
 
-Result<UpdateRequestResult> Session::UpdateImpl(const struct Query& request) {
+Result<UpdateRequestResult> Session::UpdateImpl(
+    const struct Query& request, std::set<std::string>* touched_roots) {
 
   // Make derived_paths_ current so view-targeting conjuncts are detected
   // even before the first query.
@@ -171,7 +320,8 @@ Result<UpdateRequestResult> Session::UpdateImpl(const struct Query& request) {
   }
 
   UpdateRequestResult result;
-  ProgramExecutor executor(&registry_, &base_, &stats_);
+  ProgramExecutor executor(&registry_, &base_, &stats_,
+                           federation_ == nullptr ? nullptr : touched_roots);
   UpdateApplier applier(&stats_, &result.counts);
 
   std::vector<Substitution> bindings;
@@ -214,6 +364,9 @@ Result<UpdateRequestResult> Session::UpdateImpl(const struct Query& request) {
             " update program is registered for it (§7.2)"));
       }
       for (const auto& sigma : bindings) {
+        if (federation_ != nullptr) {
+          CollectUpdateRoots(*conjunct, sigma, touched_roots);
+        }
         IDL_RETURN_IF_ERROR(
             applier.ApplyConjunct(&base_, *conjunct, sigma, &next));
       }
@@ -250,10 +403,8 @@ Result<std::vector<Answer>> Session::ExecuteScript(std::string_view script) {
                                Update(ToString(statement.query)));
           (void)r;
         } else {
-          IDL_ASSIGN_OR_RETURN(const Value* u, universe());
-          IDL_ASSIGN_OR_RETURN(
-              Answer a, EvaluateQuery(*u, statement.query, EvalOptions(),
-                                      &stats_));
+          IDL_ASSIGN_OR_RETURN(Answer a,
+                               QueryParsed(statement.query, EvalOptions()));
           answers.push_back(std::move(a));
         }
         break;

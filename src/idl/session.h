@@ -18,6 +18,8 @@
 #define IDL_IDL_SESSION_H_
 
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "constraints/checker.h"
 #include "eval/explain.h"
 #include "eval/query.h"
+#include "federation/gateway.h"
 #include "object/value.h"
 #include "programs/executor.h"
 #include "programs/program.h"
@@ -56,6 +59,35 @@ class Session {
   // Lowers a database of the *merged* universe back to relational form
   // (write-back path for substrate databases, export path for views).
   Result<RelationalDatabase> ExportDatabase(const std::string& name);
+
+  // ---- Federation (src/federation) -------------------------------------------
+
+  // Connects this session to a federation gateway. The gateway's sites
+  // appear in the universe as databases named after each site, kept in sync
+  // lazily: every query and update first refreshes the replicas whose site
+  // generation moved (cheap pings plus per-site answer caches — see
+  // federation/gateway.h). Pure queries over a rule-free session take the
+  // *ship* path instead: first-order subgoals naming one site are pushed
+  // down as selections and only matching rows cross the boundary
+  // (federation/ship.h). Update requests that touch a site-backed database
+  // are written back through the gateway; a write-back failure restores the
+  // local universe and forces a resync, so the session converges to what
+  // the sites actually hold. Fails if a site name collides with a
+  // registered database.
+  Status ConnectGateway(std::shared_ptr<Gateway> gateway);
+  const std::shared_ptr<Gateway>& gateway() const { return federation_; }
+
+  // Convenience: registers `site` with the connected gateway.
+  Status RegisterSite(std::shared_ptr<Site> site);
+
+  // Per-site counter table (Gateway::Explain); empty without a gateway.
+  std::string ExplainFederation() const;
+
+  // Sites skipped under DegradePolicy::kPartial during the last fetch: any
+  // answer produced while this is non-empty is a documented partial answer.
+  const std::vector<std::string>& degraded_sites() const {
+    return degraded_sites_;
+  }
 
   // ---- Views (§6) ------------------------------------------------------------
 
@@ -134,13 +166,27 @@ class Session {
 
  private:
   Status EnsureMaterialized();
-  Result<UpdateRequestResult> UpdateImpl(const struct Query& request);
+  Result<UpdateRequestResult> UpdateImpl(const struct Query& request,
+                                         std::set<std::string>* touched_roots);
+  // Evaluates an already-parsed pure query (the ship path lives here).
+  Result<Answer> QueryParsed(const struct Query& query,
+                             const EvalOptions& options);
+  // Refreshes the site replica fields of base_ from the federation; no-op
+  // without a gateway or when no site generation moved.
+  Status SyncFederation();
+  // Pushes the named replica databases back to their sites ("*" means every
+  // site). On failure the caller restores its snapshot; this clears the
+  // synced generations so the next sync re-pulls remote truth.
+  Status WriteBack(const std::set<std::string>& roots);
   void Invalidate() { materialized_valid_ = false; }
   // True if an update conjunct with this decomposed path targets a derived
   // relation.
   bool TargetsDerived(const std::string& path) const;
 
   Value base_ = Value::EmptyTuple();
+  std::shared_ptr<Gateway> federation_;
+  std::map<std::string, uint64_t> synced_generations_;
+  std::vector<std::string> degraded_sites_;
   ViewEngine views_;
   ProgramRegistry registry_;
   ConstraintSet constraints_;

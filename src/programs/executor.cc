@@ -115,6 +115,9 @@ Status ProgramExecutor::ExecuteConjunct(const Expr& conjunct,
 
   UpdateApplier applier(stats_ ? stats_ : &local_stats_, &result->counts);
   for (const auto& sigma : in) {
+    if (touched_roots_ != nullptr) {
+      CollectUpdateRoots(conjunct, sigma, touched_roots_);
+    }
     IDL_RETURN_IF_ERROR(applier.ApplyConjunct(universe_, conjunct, sigma, out));
   }
   return Status::Ok();

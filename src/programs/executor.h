@@ -13,6 +13,7 @@
 #define IDL_PROGRAMS_EXECUTOR_H_
 
 #include <map>
+#include <set>
 #include <string>
 
 #include "common/result.h"
@@ -32,9 +33,16 @@ struct CallResult {
 
 class ProgramExecutor {
  public:
+  // `touched_roots`, if non-null, accumulates the top-level database names
+  // the executed updates may have mutated (CollectUpdateRoots semantics) —
+  // the federation write-back path uses it to decide which sites to push.
   ProgramExecutor(const ProgramRegistry* registry, Value* universe,
-                  EvalStats* stats = nullptr)
-      : registry_(registry), universe_(universe), stats_(stats) {}
+                  EvalStats* stats = nullptr,
+                  std::set<std::string>* touched_roots = nullptr)
+      : registry_(registry),
+        universe_(universe),
+        stats_(stats),
+        touched_roots_(touched_roots) {}
 
   // Calls `path` (e.g. "dbU.delStk") with named arguments. `view_op` selects
   // a view-update program (`p+`/`p-`); kNone selects an ordinary program.
@@ -60,6 +68,7 @@ class ProgramExecutor {
   const ProgramRegistry* registry_;
   Value* universe_;
   EvalStats* stats_;
+  std::set<std::string>* touched_roots_;
   EvalStats local_stats_;
   int depth_ = 0;
 };

@@ -6,10 +6,9 @@
 
 namespace idl {
 
-Value LiftTable(const Table& table) {
+Value LiftRows(const Schema& schema, const std::vector<Row>& rows) {
   Value relation = Value::EmptySet();
-  const Schema& schema = table.schema();
-  for (const auto& row : table.rows()) {
+  for (const auto& row : rows) {
     Value tuple = Value::EmptyTuple();
     for (size_t c = 0; c < schema.size(); ++c) {
       if (row.cells[c].is_null()) continue;  // omit nulls (see header)
@@ -18,6 +17,10 @@ Value LiftTable(const Table& table) {
     relation.Insert(std::move(tuple));
   }
   return relation;
+}
+
+Value LiftTable(const Table& table) {
+  return LiftRows(table.schema(), table.rows());
 }
 
 Value LiftDatabase(const RelationalDatabase& db) {

@@ -26,6 +26,12 @@ Value LiftDatabase(const RelationalDatabase& db);
 // Table -> relation set object.
 Value LiftTable(const Table& table);
 
+// Rows (with their schema) -> relation set object, same null-omission
+// semantics as LiftTable. Used to lift shipped subgoal answers (a ResultSet
+// carrying a site relation's full schema, see relational/fo_engine.h and
+// src/federation) back into the object model.
+Value LiftRows(const Schema& schema, const std::vector<Row>& rows);
+
 // Universe database object -> relational database. `name` names the result.
 Result<RelationalDatabase> LowerDatabase(std::string name,
                                          const Value& db_object);

@@ -165,4 +165,47 @@ Result<ResultSet> ExecuteFoQuery(const RelationalDatabase& db,
   return FoEvaluator(db, query, stats).Run();
 }
 
+Result<ResultSet> ExecuteFoSelect(const RelationalDatabase& db,
+                                  const std::string& relation,
+                                  const std::vector<FoAtom::Arg>& restrictions,
+                                  FoStats* stats) {
+  const Table* table = db.FindTable(relation);
+  if (table == nullptr) {
+    return NotFound(StrCat("relation '", relation, "' in ", db.name()));
+  }
+  ResultSet out;
+  out.schema = table->schema();
+  if (stats != nullptr) ++stats->queries_run;
+
+  std::vector<int> cols;
+  cols.reserve(restrictions.size());
+  for (const auto& arg : restrictions) {
+    if (!arg.var.empty()) {
+      return InvalidArgument(
+          StrCat("shipped restriction on '", arg.column,
+                 "' must be constant, got variable ", arg.var));
+    }
+    int c = table->schema().FindColumn(arg.column);
+    // No such column: no row of this relation has the attribute, so the
+    // selection is empty (see header).
+    if (c < 0) return out;
+    cols.push_back(c);
+  }
+  for (const auto& row : table->rows()) {
+    if (stats != nullptr) ++stats->rows_scanned;
+    bool match = true;
+    for (size_t a = 0; a < restrictions.size(); ++a) {
+      const Value& cell = row.cells[cols[a]];
+      if (cell.is_null() ||
+          !Matcher::EvalRelOp(restrictions[a].op, cell,
+                              restrictions[a].constant)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.rows.push_back(row);
+  }
+  return out;
+}
+
 }  // namespace idl

@@ -50,6 +50,24 @@ Result<ResultSet> ExecuteFoQuery(const RelationalDatabase& db,
                                  const FoQuery& query,
                                  FoStats* stats = nullptr);
 
+// Single-relation selection with the relation's *full* schema:
+// σ_{restrictions}(relation). This is the unit of work a federation site
+// executes for a shipped first-order subgoal (src/federation): the gateway
+// pushes the subgoal's constant comparisons down and pulls back only the
+// matching rows, every column intact, so the rows lift losslessly back into
+// the object model. `restrictions` are constant-only FoAtom args (var must
+// be empty). A restriction naming a column the relation lacks yields an
+// *empty* result, not an error — under the adapter's null semantics no row
+// of that relation can have the attribute, which is exactly what the IDL
+// matcher concludes. A missing relation is kNotFound (the caller decides
+// whether that means "skip" — MSQL semantics — or a hard failure). Null
+// cells never satisfy a restriction, matching both algebra::Select and the
+// matcher's treatment of absent attributes.
+Result<ResultSet> ExecuteFoSelect(const RelationalDatabase& db,
+                                  const std::string& relation,
+                                  const std::vector<FoAtom::Arg>& restrictions,
+                                  FoStats* stats = nullptr);
+
 }  // namespace idl
 
 #endif  // IDL_RELATIONAL_FO_ENGINE_H_

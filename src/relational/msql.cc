@@ -1,10 +1,43 @@
 #include "relational/msql.h"
 
-#include <unordered_map>
-
 #include "common/str_util.h"
 
 namespace idl {
+
+Status AppendBroadcastRows(std::string_view member, const ResultSet& rows,
+                           MultiQueryResult* out) {
+  if (out->results.schema.size() == 0) {
+    IDL_RETURN_IF_ERROR(
+        out->results.schema.AddColumn(Column{"db", ColumnType::kString}));
+  }
+  // The first answering member fixes the template's output schema.
+  if (out->results.schema.size() == 1) {
+    for (const auto& col : rows.schema.columns()) {
+      IDL_RETURN_IF_ERROR(out->results.schema.AddColumn(col));
+    }
+  }
+  for (const auto& row : rows.rows) {
+    Row prefixed;
+    prefixed.cells.reserve(row.cells.size() + 1);
+    prefixed.cells.push_back(Value::String(std::string(member)));
+    for (const auto& cell : row.cells) prefixed.cells.push_back(cell);
+
+    uint64_t h = 0x9e37;
+    for (const auto& v : prefixed.cells) h = h * 1099511628211ULL ^ v.Hash();
+    auto& bucket = out->dedup_index[h];
+    bool duplicate = false;
+    for (size_t i : bucket) {
+      if (out->results.rows[i] == prefixed) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    bucket.push_back(out->results.rows.size());
+    out->results.rows.push_back(std::move(prefixed));
+  }
+  return Status::Ok();
+}
 
 Result<MultiQueryResult> BroadcastQuery(
     const std::vector<const RelationalDatabase*>& members,
@@ -12,19 +45,6 @@ Result<MultiQueryResult> BroadcastQuery(
   MultiQueryResult out;
   IDL_RETURN_IF_ERROR(
       out.results.schema.AddColumn(Column{"db", ColumnType::kString}));
-  bool schema_done = false;
-
-  std::unordered_map<uint64_t, std::vector<size_t>> seen;
-  auto dedup_append = [&](Row row) {
-    uint64_t h = 0x9e37;
-    for (const auto& v : row.cells) h = h * 1099511628211ULL ^ v.Hash();
-    auto& bucket = seen[h];
-    for (size_t i : bucket) {
-      if (out.results.rows[i] == row) return;
-    }
-    bucket.push_back(out.results.rows.size());
-    out.results.rows.push_back(std::move(row));
-  };
 
   for (const RelationalDatabase* member : members) {
     Result<ResultSet> rs = ExecuteFoQuery(*member, query, &out.stats);
@@ -33,19 +53,7 @@ Result<MultiQueryResult> BroadcastQuery(
       out.skipped.push_back(member->name());
       continue;
     }
-    if (!schema_done) {
-      for (const auto& col : rs->schema.columns()) {
-        IDL_RETURN_IF_ERROR(out.results.schema.AddColumn(col));
-      }
-      schema_done = true;
-    }
-    for (const auto& row : rs->rows) {
-      Row prefixed;
-      prefixed.cells.reserve(row.cells.size() + 1);
-      prefixed.cells.push_back(Value::String(member->name()));
-      for (const auto& cell : row.cells) prefixed.cells.push_back(cell);
-      dedup_append(std::move(prefixed));
-    }
+    IDL_RETURN_IF_ERROR(AppendBroadcastRows(member->name(), *rs, &out));
   }
   return out;
 }

@@ -15,6 +15,7 @@
 #define IDL_RELATIONAL_MSQL_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -32,6 +33,8 @@ struct MultiQueryResult {
   // multiquery.
   std::vector<std::string> skipped;
   FoStats stats;
+  // Internal: row-hash index used to union member answers incrementally.
+  std::unordered_map<uint64_t, std::vector<size_t>> dedup_index;
 };
 
 // Runs `query` against every database in `members`, unions the answers and
@@ -39,6 +42,15 @@ struct MultiQueryResult {
 Result<MultiQueryResult> BroadcastQuery(
     const std::vector<const RelationalDatabase*>& members,
     const FoQuery& query);
+
+// One member's contribution to a multiquery: prefixes every row with the
+// member's name, fixes the output schema from the first answering member,
+// and unions (set semantics). Exposed so callers that obtain member answers
+// through another transport — the federation gateway executes the template
+// on each autonomous site (src/federation) — can reuse MSQL's merge
+// semantics instead of reimplementing them.
+Status AppendBroadcastRows(std::string_view member, const ResultSet& rows,
+                           MultiQueryResult* out);
 
 }  // namespace idl
 

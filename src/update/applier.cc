@@ -399,4 +399,30 @@ Result<UpdateRequestResult> ApplyUpdateRequest(Value* universe,
   return result;
 }
 
+void CollectUpdateRoots(const Expr& conjunct, const Substitution& sigma,
+                        std::set<std::string>* roots) {
+  if (conjunct.IsPureQuery()) return;
+  if (conjunct.kind != Expr::Kind::kTuple) {
+    // A set/atomic update applied to the universe object itself: no named
+    // root to attribute it to.
+    roots->insert("*");
+    return;
+  }
+  for (const auto& item : conjunct.items) {
+    bool updates = item.update != UpdateOp::kNone ||
+                   (item.expr != nullptr && item.expr->HasUpdate());
+    if (!updates) continue;
+    if (!item.attr_is_var) {
+      roots->insert(item.attr.empty() ? "*" : item.attr);
+      continue;
+    }
+    const Value* bound = sigma.Lookup(item.attr);
+    if (bound != nullptr && bound->is_string()) {
+      roots->insert(bound->as_string());
+    } else {
+      roots->insert("*");
+    }
+  }
+}
+
 }  // namespace idl

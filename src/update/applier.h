@@ -25,6 +25,8 @@
 #ifndef IDL_UPDATE_APPLIER_H_
 #define IDL_UPDATE_APPLIER_H_
 
+#include <set>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -113,6 +115,16 @@ struct UpdateRequestResult {
 Result<UpdateRequestResult> ApplyUpdateRequest(Value* universe,
                                                const Query& request,
                                                EvalStats* stats = nullptr);
+
+// Records into `roots` the top-level attribute names — database names, when
+// `conjunct` is applied to the universe root — that the conjunct's update
+// markers may mutate under `sigma`. This is an over-approximation (a
+// recorded root may end up unchanged if the update's query part matches
+// nothing), which is what the federation write-back path needs: it must
+// write back every site that *may* have changed. A database name held in a
+// variable that `sigma` does not ground as a string records "*" (any root).
+void CollectUpdateRoots(const Expr& conjunct, const Substitution& sigma,
+                        std::set<std::string>* roots);
 
 }  // namespace idl
 

@@ -552,10 +552,13 @@ Result<Materialized> MaterializeSemiNaive(const std::vector<Rule>& rules,
 }  // namespace
 
 std::string Materialized::Explain() const {
-  return StrCat(FormatStratumStats(stratum_stats), "facts=", facts_derived,
-                " changes=", changes, " passes=", fixpoint_passes,
-                " delta=", delta_size, " skipped=", substitutions_skipped,
-                " idxreused=", indexes_reused, " par=", parallel_tasks, "\n");
+  std::string out =
+      StrCat(FormatStratumStats(stratum_stats), "facts=", facts_derived,
+             " changes=", changes, " passes=", fixpoint_passes,
+             " delta=", delta_size, " skipped=", substitutions_skipped,
+             " idxreused=", indexes_reused, " par=", parallel_tasks, "\n");
+  if (!federation.empty()) out += federation;
+  return out;
 }
 
 Status ViewEngine::AddRule(Rule rule) {

@@ -67,8 +67,14 @@ struct Materialized {
   uint64_t parallel_tasks = 0;         // rule evaluations run on pool threads
   std::vector<StratumStats> stratum_stats;  // one row per evaluation wave
 
+  // Per-site federation counter table (Gateway::Explain), set by the session
+  // when the materialized universe was assembled through a gateway. Empty
+  // for purely local sessions.
+  std::string federation;
+
   // Human-readable per-stratum table (FormatStratumStats) plus a summary
-  // line — the `explain` view of a materialization.
+  // line — the `explain` view of a materialization. Ends with the federation
+  // table when the universe came through a gateway.
   std::string Explain() const;
 };
 

@@ -1,0 +1,623 @@
+// Federation layer tests (src/federation): sites, the gateway's caching /
+// retry / degradation machinery, the ship planner, and the Session wiring.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "federation/gateway.h"
+#include "federation/ship.h"
+#include "federation/site.h"
+#include "idl/session.h"
+#include "object/value_io.h"
+#include "relational/adapter.h"
+#include "syntax/parser.h"
+#include "workload/paper_universe.h"
+
+namespace idl {
+namespace {
+
+Value Atom(const char* s) { return Value::String(s); }
+
+// Builds a gateway hosting the paper universe's databases, each behind a
+// SimulatedRemoteSite handle the test can fault-inject through.
+struct Federation {
+  std::shared_ptr<Gateway> gateway;
+  std::map<std::string, SimulatedRemoteSite*> handles;
+};
+
+Federation MakePaperFederation(const Gateway::Options& options,
+                               bool with_name_mappings = false) {
+  PaperUniverse w = MakePaperUniverse(with_name_mappings);
+  Federation fed;
+  fed.gateway = std::make_shared<Gateway>(options);
+  for (const auto& field : w.universe.fields()) {
+    auto remote = std::make_unique<SimulatedRemoteSite>(
+        std::make_unique<LocalSite>(field.name, field.value));
+    fed.handles[field.name] = remote.get();
+    EXPECT_TRUE(fed.gateway->AddSite(std::move(remote)).ok());
+  }
+  return fed;
+}
+
+SiteStats StatsFor(const Gateway& gateway, const std::string& site) {
+  for (const auto& s : gateway.Stats()) {
+    if (s.site == site) return s;
+  }
+  ADD_FAILURE() << "no stats for site " << site;
+  return SiteStats();
+}
+
+// ---------------------------------------------------------------------------
+// Sites
+
+TEST(LocalSite, ExportSelectWriteAndGeneration) {
+  PaperUniverse w = MakePaperUniverse();
+  LocalSite site("euter", *w.universe.FindField("euter"));
+  RequestContext ctx;
+
+  auto gen = site.Generation(ctx);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(*gen, 1u);
+
+  auto facts = site.Export(ctx);
+  ASSERT_TRUE(facts.ok());
+  EXPECT_TRUE(facts->HasField("r"));
+
+  // Shipped subgoal: one stock on one date, full schema back.
+  SelectRequest req;
+  req.relation = "r";
+  req.restrictions.push_back({"stkCode", "", Atom("hp"), RelOp::kEq});
+  auto rows = site.Select(req, ctx);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 4u);  // four trading days
+  EXPECT_GE(rows->schema.size(), 3u);
+
+  // A restriction on a column the relation lacks is an empty answer.
+  req.restrictions = {{"nonesuch", "", Atom("x"), RelOp::kEq}};
+  auto empty = site.Select(req, ctx);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->rows.empty());
+
+  // A missing relation is kNotFound.
+  SelectRequest missing;
+  missing.relation = "nope";
+  EXPECT_EQ(site.Select(missing, ctx).status().code(), StatusCode::kNotFound);
+
+  // Write replaces the facts and bumps the generation.
+  ASSERT_TRUE(site.Write(Value::EmptyTuple(), ctx).ok());
+  gen = site.Generation(ctx);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(*gen, 2u);
+  facts = site.Export(ctx);
+  ASSERT_TRUE(facts.ok());
+  EXPECT_FALSE(facts->HasField("r"));
+}
+
+TEST(SimulatedRemoteSite, TransientFaultsConsumeBudget) {
+  PaperUniverse w = MakePaperUniverse();
+  SimulatedRemoteSite site(
+      std::make_unique<LocalSite>("euter", *w.universe.FindField("euter")));
+  RequestContext ctx;
+
+  site.FailNext(2);
+  EXPECT_EQ(site.Generation(ctx).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(site.Generation(ctx).status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(site.Generation(ctx).ok());
+  EXPECT_EQ(site.requests_failed(), 2u);
+  EXPECT_EQ(site.requests_seen(), 3u);
+}
+
+TEST(SimulatedRemoteSite, PermanentDeathUntilRevived) {
+  PaperUniverse w = MakePaperUniverse();
+  SimulatedRemoteSite site(
+      std::make_unique<LocalSite>("euter", *w.universe.FindField("euter")));
+  RequestContext ctx;
+
+  site.KillPermanently();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(site.Export(ctx).status().code(), StatusCode::kUnavailable);
+  }
+  site.Revive();
+  EXPECT_TRUE(site.Export(ctx).ok());
+}
+
+TEST(SimulatedRemoteSite, LatencyAboveDeadlineTimesOut) {
+  PaperUniverse w = MakePaperUniverse();
+  SimulatedRemoteSite site(
+      std::make_unique<LocalSite>("euter", *w.universe.FindField("euter")),
+      /*latency_ms=*/25);
+
+  RequestContext tight{/*deadline_ms=*/5};
+  EXPECT_EQ(site.Generation(tight).status().code(),
+            StatusCode::kDeadlineExceeded);
+
+  RequestContext loose{/*deadline_ms=*/0};  // unbounded
+  EXPECT_TRUE(site.Generation(loose).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Ship planner
+
+std::set<std::string> PaperSites() { return {"euter", "chwab", "ource"}; }
+
+ShipPlan Plan(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return PlanQuery(*q, PaperSites());
+}
+
+TEST(ShipPlanner, FirstOrderSubgoalShipsWithRestrictions) {
+  ShipPlan plan = Plan("?.euter.r(.stkCode=hp, .clsPrice=P)");
+  EXPECT_FALSE(plan.pull_all);
+  EXPECT_TRUE(plan.pull_sites.empty());
+  ASSERT_EQ(plan.shipments.size(), 1u);
+  EXPECT_EQ(plan.shipments[0].site, "euter");
+  EXPECT_EQ(plan.shipments[0].relation, "r");
+  ASSERT_EQ(plan.shipments[0].selects.size(), 1u);
+  // Only the constant comparison is pushed; the variable binds locally.
+  ASSERT_EQ(plan.shipments[0].selects[0].size(), 1u);
+  EXPECT_EQ(plan.shipments[0].selects[0][0].column, "stkCode");
+}
+
+TEST(ShipPlanner, RelationVariablePullsTheSite) {
+  ShipPlan plan = Plan("?.ource.Y(.clsPrice>200)");
+  EXPECT_FALSE(plan.pull_all);
+  EXPECT_TRUE(plan.pull_sites.contains("ource"));
+  EXPECT_TRUE(plan.shipments.empty());
+}
+
+TEST(ShipPlanner, DatabaseVariablePullsEverything) {
+  EXPECT_TRUE(Plan("?.X.Y").pull_all);
+  EXPECT_TRUE(Plan("?.X.hp").pull_all);
+}
+
+TEST(ShipPlanner, GuardsAndLocalDatabasesAreFree) {
+  ShipPlan plan = Plan("?.mydb.r(.a=1)");
+  EXPECT_FALSE(plan.pull_all);
+  EXPECT_TRUE(plan.shipments.empty());
+  EXPECT_TRUE(plan.pull_sites.empty());
+}
+
+TEST(ShipPlanner, PresenceTestsTouchAndShip) {
+  ShipPlan euler_only = Plan("?.euter");
+  EXPECT_TRUE(euler_only.touch_sites.contains("euter"));
+  EXPECT_TRUE(euler_only.shipments.empty());
+
+  ShipPlan rel = Plan("?.euter.r");
+  ASSERT_EQ(rel.shipments.size(), 1u);
+  EXPECT_EQ(rel.shipments[0].relation, "r");
+  ASSERT_EQ(rel.shipments[0].selects.size(), 1u);
+  EXPECT_TRUE(rel.shipments[0].selects[0].empty());
+}
+
+TEST(ShipPlanner, MultipleConjunctsUnionSelections) {
+  ShipPlan plan =
+      Plan("?.euter.r(.stkCode=hp, .clsPrice=P), .euter.r(.stkCode=sun)");
+  ASSERT_EQ(plan.shipments.size(), 1u);
+  EXPECT_EQ(plan.shipments[0].selects.size(), 2u);
+}
+
+TEST(ShipPlanner, HigherOrderColumnStillShipsWholeRelation) {
+  // `.chwab.r(.S=P)` quantifies over columns *within* rows: every row ships,
+  // no restriction, but no export pull either.
+  ShipPlan plan = Plan("?.chwab.r(.S=P), S != date");
+  EXPECT_FALSE(plan.pull_all);
+  EXPECT_TRUE(plan.pull_sites.empty());
+  ASSERT_EQ(plan.shipments.size(), 1u);
+  EXPECT_TRUE(plan.shipments[0].selects[0].empty());
+}
+
+// ---------------------------------------------------------------------------
+// Gateway: caching and invalidation
+
+TEST(Gateway, RepeatedFetchHitsTheCache) {
+  Federation fed = MakePaperFederation(Gateway::Options{});
+  ASSERT_TRUE(fed.gateway->FetchAll().ok());
+  SiteStats first = StatsFor(*fed.gateway, "euter");
+  EXPECT_EQ(first.cache_misses, 1u);
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(first.pulled_exports, 1u);
+
+  ASSERT_TRUE(fed.gateway->FetchAll().ok());
+  ASSERT_TRUE(fed.gateway->FetchAll().ok());
+  SiteStats later = StatsFor(*fed.gateway, "euter");
+  EXPECT_EQ(later.cache_hits, 2u);
+  EXPECT_EQ(later.cache_misses, 1u);
+  EXPECT_EQ(later.pulled_exports, 1u);  // the export crossed the wire once
+  EXPECT_GT(later.CacheHitRate(), 0.0);
+}
+
+TEST(Gateway, WriteThroughDropsCacheAndRestartsHitRate) {
+  Federation fed = MakePaperFederation(Gateway::Options{});
+  ASSERT_TRUE(fed.gateway->FetchAll().ok());
+  ASSERT_TRUE(fed.gateway->FetchAll().ok());
+  EXPECT_GT(StatsFor(*fed.gateway, "euter").CacheHitRate(), 0.0);
+
+  // An update routed to the site: cache must miss immediately after.
+  PaperUniverse w = MakePaperUniverse();
+  ASSERT_TRUE(
+      fed.gateway->WriteSite("euter", *w.universe.FindField("euter")).ok());
+  EXPECT_EQ(StatsFor(*fed.gateway, "euter").CacheHitRate(), 0.0);
+
+  ASSERT_TRUE(fed.gateway->FetchAll().ok());
+  SiteStats after = StatsFor(*fed.gateway, "euter");
+  EXPECT_EQ(after.cache_hits, 0u);   // first post-write fetch: a miss
+  EXPECT_EQ(after.cache_misses, 1u);
+  EXPECT_EQ(after.CacheHitRate(), 0.0);
+}
+
+TEST(Gateway, ExternalWriteDetectedByGenerationPing) {
+  Federation fed = MakePaperFederation(Gateway::Options{});
+  auto first = fed.gateway->FetchAll();
+  ASSERT_TRUE(first.ok());
+
+  // Write behind the gateway's back, straight at the site.
+  Site* site = fed.gateway->FindSite("euter");
+  ASSERT_NE(site, nullptr);
+  ASSERT_TRUE(site->Write(Value::EmptyTuple(), RequestContext{}).ok());
+
+  auto second = fed.gateway->FetchAll();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->site_databases.at("euter").TupleSize(), 0u);
+  EXPECT_EQ(StatsFor(*fed.gateway, "euter").pulled_exports, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Gateway: faults, retries, degradation
+
+TEST(Gateway, TransientFailureHealedByRetryWithSameAnswer) {
+  Gateway::Options options;
+  options.max_retries = 3;
+  options.backoff_ms = 0;
+  Federation fed = MakePaperFederation(options);
+
+  auto clean = fed.gateway->FetchAll();
+  ASSERT_TRUE(clean.ok());
+
+  // Invalidate the cache so the next fetch really re-contacts the site,
+  // then schedule two transient failures (< retry budget).
+  PaperUniverse w = MakePaperUniverse();
+  ASSERT_TRUE(
+      fed.gateway->WriteSite("euter", *w.universe.FindField("euter")).ok());
+  fed.handles["euter"]->FailNext(2);
+
+  auto healed = fed.gateway->FetchAll();
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_TRUE(healed->degraded.empty());
+  EXPECT_EQ(ToString(healed->site_databases.at("euter")),
+            ToString(clean->site_databases.at("euter")));
+  EXPECT_GE(StatsFor(*fed.gateway, "euter").retries, 2u);
+}
+
+TEST(Gateway, ExhaustedRetriesFailUnderFailPolicy) {
+  Gateway::Options options;
+  options.max_retries = 1;
+  options.backoff_ms = 0;
+  options.degrade = DegradePolicy::kFail;
+  Federation fed = MakePaperFederation(options);
+
+  fed.handles["chwab"]->KillPermanently();
+  auto fetch = fed.gateway->FetchAll();
+  EXPECT_FALSE(fetch.ok());
+  EXPECT_EQ(fetch.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(StatsFor(*fed.gateway, "chwab").failures, 1u);
+}
+
+TEST(Gateway, DeadSiteDegradesToPartialAnswerAndIsFlagged) {
+  Gateway::Options options;
+  options.max_retries = 0;
+  options.backoff_ms = 0;
+  options.degrade = DegradePolicy::kPartial;
+  Federation fed = MakePaperFederation(options);
+
+  fed.handles["chwab"]->KillPermanently();
+  auto fetch = fed.gateway->FetchAll();
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch->degraded, std::vector<std::string>{"chwab"});
+  EXPECT_FALSE(fetch->site_databases.contains("chwab"));
+  EXPECT_TRUE(fetch->site_databases.contains("euter"));
+  EXPECT_TRUE(fetch->site_databases.contains("ource"));
+
+  // The partial answer is documented in the stats table.
+  std::string table = fed.gateway->Explain();
+  EXPECT_NE(table.find("degraded"), std::string::npos) << table;
+
+  // Revival heals the federation on the next fetch.
+  fed.handles["chwab"]->Revive();
+  auto healed = fed.gateway->FetchAll();
+  ASSERT_TRUE(healed.ok());
+  EXPECT_TRUE(healed->degraded.empty());
+  EXPECT_TRUE(healed->site_databases.contains("chwab"));
+}
+
+TEST(Gateway, TimeoutsAreCountedAndRetried) {
+  Gateway::Options options;
+  options.max_retries = 0;
+  options.backoff_ms = 0;
+  options.deadline_ms = 5;
+  Federation fed = MakePaperFederation(options);
+
+  fed.handles["ource"]->set_latency_ms(30);
+  auto fetch = fed.gateway->FetchAll();
+  EXPECT_FALSE(fetch.ok());
+  EXPECT_EQ(fetch.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(StatsFor(*fed.gateway, "ource").timeouts, 1u);
+
+  // A generous deadline clears it.
+  fed.handles["ource"]->set_latency_ms(0);
+  EXPECT_TRUE(fed.gateway->FetchAll().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Gateway: MSQL broadcast over the federation
+
+TEST(Gateway, BroadcastMatchesDirectMsql) {
+  PaperUniverse w = MakePaperUniverse();
+  // ource's per-stock relations share the euter column names, so a broadcast
+  // of "hp(date=D, clsPrice=P)" is answerable by ource only — exactly the
+  // MSQL-style multiquery of relational/msql_test.
+  FoQuery tmpl;
+  FoAtom atom;
+  atom.relation = "hp";
+  atom.args.push_back({"date", "D", Value(), RelOp::kEq});
+  atom.args.push_back({"clsPrice", "P", Value(), RelOp::kEq});
+  tmpl.atoms.push_back(atom);
+  tmpl.projection = {"D", "P"};
+
+  // Direct: lower each database and broadcast in-process.
+  std::vector<RelationalDatabase> lowered;
+  for (const auto& field : w.universe.fields()) {
+    auto db = LowerDatabase(field.name, field.value);
+    ASSERT_TRUE(db.ok());
+    lowered.push_back(std::move(*db));
+  }
+  std::vector<const RelationalDatabase*> members;
+  for (const auto& db : lowered) members.push_back(&db);
+  auto direct = BroadcastQuery(members, tmpl);
+  ASSERT_TRUE(direct.ok());
+
+  // Federated: same template through the gateway.
+  Federation fed = MakePaperFederation(Gateway::Options{});
+  auto shipped = fed.gateway->Broadcast(tmpl);
+  ASSERT_TRUE(shipped.ok());
+
+  EXPECT_EQ(shipped->results.rows.size(), direct->results.rows.size());
+  EXPECT_EQ(shipped->skipped.size(), direct->skipped.size());
+  EXPECT_EQ(shipped->results.rows.size(), 4u);  // hp on four dates
+}
+
+// ---------------------------------------------------------------------------
+// Session integration
+
+struct TwoSessions {
+  Session direct;
+  Session federated;
+  Federation fed;
+};
+
+void SetUpTwoSessions(TwoSessions* s, const Gateway::Options& options,
+                      bool with_rules) {
+  PaperUniverse w = MakePaperUniverse();
+  for (const auto& field : w.universe.fields()) {
+    ASSERT_TRUE(s->direct.RegisterDatabase(field.name, field.value).ok());
+  }
+  s->fed = MakePaperFederation(options);
+  ASSERT_TRUE(s->federated.ConnectGateway(s->fed.gateway).ok());
+  if (with_rules) {
+    ASSERT_TRUE(s->direct.DefineRules(PaperViewRules()).ok());
+    ASSERT_TRUE(s->federated.DefineRules(PaperViewRules()).ok());
+  }
+}
+
+void ExpectSameAnswer(TwoSessions* s, const std::string& query) {
+  auto a = s->direct.Query(query);
+  auto b = s->federated.Query(query);
+  ASSERT_TRUE(a.ok()) << query << ": " << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << query << ": " << b.status().ToString();
+  EXPECT_EQ(a->ToTable(), b->ToTable()) << query;
+}
+
+TEST(SessionFederation, ShipPathMatchesDirectEvaluation) {
+  TwoSessions s;
+  SetUpTwoSessions(&s, Gateway::Options{}, /*with_rules=*/false);
+
+  ExpectSameAnswer(&s, "?.euter.r(.stkCode=hp, .clsPrice>60)");
+  ExpectSameAnswer(&s, "?.euter.r(.stkCode=S, .clsPrice>200)");
+  ExpectSameAnswer(&s, "?.chwab.r(.S>200)");
+  ExpectSameAnswer(&s, "?.ource.S(.clsPrice>200)");
+  ExpectSameAnswer(&s, "?.chwab.r(.date=D,.S=P), .ource.S(.date=D,.clsPrice=P)");
+  ExpectSameAnswer(&s, "?.X");
+  ExpectSameAnswer(&s, "?.X.Y");
+  ExpectSameAnswer(&s, "?.euter.Y, .chwab.Y, .ource.Y");
+  ExpectSameAnswer(&s, "?.X.Y(.stkCode)");
+
+  // The first-order queries went down the ship path, not the export path.
+  SiteStats euter = StatsFor(*s.fed.gateway, "euter");
+  EXPECT_GT(euter.shipped_subgoals, 0u);
+}
+
+TEST(SessionFederation, NegationSurvivesShipping) {
+  TwoSessions s;
+  SetUpTwoSessions(&s, Gateway::Options{}, /*with_rules=*/false);
+  // Dates on which hp did NOT close above 60: the negated subgoal's
+  // restrictions ship, and "no row matches" must agree between the shipped
+  // subset and the full relation.
+  ExpectSameAnswer(&s,
+                   "?.euter.r(.date=D, .stkCode=hp),"
+                   " !.euter.r(.date=D, .stkCode=hp, .clsPrice>60)");
+  ExpectSameAnswer(&s, "?.euter.r(.stkCode=hp, .clsPrice=140)");
+  // hp never closed at 140 — and the boolean query must say so federated.
+  auto none = s.federated.Query("?.euter.r(.stkCode=hp, .clsPrice=140)");
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->boolean());
+}
+
+TEST(SessionFederation, ViewRulesMaterializeOverTheFederation) {
+  TwoSessions s;
+  SetUpTwoSessions(&s, Gateway::Options{}, /*with_rules=*/true);
+  ExpectSameAnswer(&s, "?.dbI.p(.stk=S, .clsPrice>200)");
+  ExpectSameAnswer(&s, "?.dbE.r(.stkCode=S, .date=D, .clsPrice=P)");
+
+  // The federation's counters surface in the materialization explain.
+  auto u = s.federated.universe();
+  ASSERT_TRUE(u.ok());
+  ASSERT_NE(s.federated.last_materialization(), nullptr);
+  std::string explain = s.federated.last_materialization()->Explain();
+  EXPECT_NE(explain.find("site"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("euter"), std::string::npos) << explain;
+}
+
+TEST(SessionFederation, RepeatedQueriesHitCacheUntilUpdate) {
+  TwoSessions s;
+  SetUpTwoSessions(&s, Gateway::Options{}, /*with_rules=*/false);
+
+  const std::string q = "?.euter.r(.stkCode=hp, .clsPrice=P)";
+  ASSERT_TRUE(s.federated.Query(q).ok());
+  ASSERT_TRUE(s.federated.Query(q).ok());
+  ASSERT_TRUE(s.federated.Query(q).ok());
+  EXPECT_GT(StatsFor(*s.fed.gateway, "euter").CacheHitRate(), 0.0);
+
+  // Route an update through the session: the write-back invalidates the
+  // site's cache and restarts its hit counters.
+  auto update = s.federated.Update(
+      "?.euter.r+(.date=3/5/85, .stkCode=hp, .clsPrice=80)");
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  EXPECT_EQ(StatsFor(*s.fed.gateway, "euter").CacheHitRate(), 0.0);
+
+  // The new fact is visible and rate climbs again on repetition.
+  auto after = s.federated.Query("?.euter.r(.date=3/5/85, .clsPrice=P)");
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->boolean());
+  ASSERT_TRUE(s.federated.Query(q).ok());
+  ASSERT_TRUE(s.federated.Query(q).ok());
+  EXPECT_GT(StatsFor(*s.fed.gateway, "euter").CacheHitRate(), 0.0);
+}
+
+TEST(SessionFederation, UpdateWritesBackToTheAutonomousSite) {
+  TwoSessions s;
+  SetUpTwoSessions(&s, Gateway::Options{}, /*with_rules=*/false);
+
+  auto update = s.federated.Update(
+      "?.euter.r-(.date=3/3/85, .stkCode=sun, .clsPrice=C),"
+      " .euter.r+(.date=3/3/85, .stkCode=sun, .clsPrice=206)");
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+
+  // The *site itself* now holds the new fact: ask it directly.
+  Site* site = s.fed.gateway->FindSite("euter");
+  ASSERT_NE(site, nullptr);
+  auto facts = site->Export(RequestContext{});
+  ASSERT_TRUE(facts.ok());
+  std::string printed = ToString(*facts);
+  EXPECT_NE(printed.find("206"), std::string::npos) << printed;
+
+  // And a fresh session over the same gateway sees it too.
+  Session fresh;
+  ASSERT_TRUE(fresh.ConnectGateway(s.fed.gateway).ok());
+  auto seen = fresh.Query("?.euter.r(.date=3/3/85, .stkCode=sun, .clsPrice=C)");
+  ASSERT_TRUE(seen.ok());
+  ASSERT_EQ(seen->rows.size(), 1u);
+  EXPECT_EQ(seen->rows[0][0], Value::Int(206));
+}
+
+TEST(SessionFederation, DegradedSiteYieldsDocumentedPartialAnswer) {
+  Gateway::Options options;
+  options.max_retries = 0;
+  options.backoff_ms = 0;
+  options.degrade = DegradePolicy::kPartial;
+  TwoSessions s;
+  SetUpTwoSessions(&s, options, /*with_rules=*/false);
+
+  s.fed.handles["chwab"]->KillPermanently();
+  // A query sweeping every member (database variable → pull-all) still
+  // answers from the surviving sites, and documents the gap.
+  auto partial = s.federated.Query("?.X.r(.clsPrice>200)");
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_TRUE(partial->boolean());
+  EXPECT_EQ(s.federated.degraded_sites(), std::vector<std::string>{"chwab"});
+
+  // The dead site's data is simply not there.
+  auto gone = s.federated.Query("?.chwab.r(.S>200)");
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(gone->boolean());
+
+  // And the per-site table says so.
+  EXPECT_NE(s.federated.ExplainFederation().find("degraded"),
+            std::string::npos);
+}
+
+TEST(SessionFederation, FailPolicySurfacesTheError) {
+  Gateway::Options options;
+  options.max_retries = 0;
+  options.backoff_ms = 0;
+  options.degrade = DegradePolicy::kFail;
+  TwoSessions s;
+  SetUpTwoSessions(&s, options, /*with_rules=*/false);
+
+  s.fed.handles["euter"]->KillPermanently();
+  auto q = s.federated.Query("?.euter.r(.stkCode=hp)");
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SessionFederation, NameCollisionsAreRejected) {
+  Session session;
+  PaperUniverse w = MakePaperUniverse();
+  ASSERT_TRUE(
+      session.RegisterDatabase("euter", *w.universe.FindField("euter")).ok());
+
+  auto gateway = std::make_shared<Gateway>();
+  ASSERT_TRUE(gateway
+                  ->AddSite(std::make_unique<LocalSite>(
+                      "euter", *w.universe.FindField("euter")))
+                  .ok());
+  EXPECT_EQ(session.ConnectGateway(gateway).code(),
+            StatusCode::kAlreadyExists);
+
+  Session other;
+  ASSERT_TRUE(other.ConnectGateway(gateway).ok());
+  EXPECT_EQ(other.RegisterDatabase("euter", Value::EmptyTuple()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SessionFederation, RemoveDatabaseDetachesSite) {
+  TwoSessions s;
+  SetUpTwoSessions(&s, Gateway::Options{}, /*with_rules=*/false);
+
+  ASSERT_TRUE(s.federated.Query("?.chwab.r").ok());
+  ASSERT_TRUE(s.federated.RemoveDatabase("chwab").ok());
+  EXPECT_FALSE(s.fed.gateway->HasSite("chwab"));
+  auto gone = s.federated.Query("?.chwab.r");
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(gone->boolean());
+}
+
+TEST(SessionFederation, ProgramCallsWriteBackTouchedSites) {
+  TwoSessions s;
+  SetUpTwoSessions(&s, Gateway::Options{}, /*with_rules=*/false);
+  ASSERT_TRUE(s.federated.DefinePrograms(PaperUpdatePrograms()).ok());
+  ASSERT_TRUE(s.direct.DefinePrograms(PaperUpdatePrograms()).ok());
+
+  // delStk removes a stock everywhere (euter rows, chwab columns, ource
+  // relations) — all three sites must be written back.
+  auto fed_call = s.federated.Update("?.dbU.delStk(.stk=ibm)");
+  ASSERT_TRUE(fed_call.ok()) << fed_call.status().ToString();
+  auto direct_call = s.direct.Update("?.dbU.delStk(.stk=ibm)");
+  ASSERT_TRUE(direct_call.ok());
+
+  for (const auto& name : {"euter", "chwab", "ource"}) {
+    Site* site = s.fed.gateway->FindSite(name);
+    ASSERT_NE(site, nullptr);
+    auto facts = site->Export(RequestContext{});
+    ASSERT_TRUE(facts.ok());
+    EXPECT_EQ(ToString(*facts),
+              ToString(*s.direct.base_universe().FindField(name)))
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace idl

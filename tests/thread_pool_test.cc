@@ -6,7 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace idl {
@@ -60,6 +65,108 @@ TEST(ThreadPool, ReusableAcrossBatches) {
 TEST(ThreadPool, EmptyBatchIsNoOp) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [&](size_t, size_t) { FAIL(); });
+}
+
+// ---------------------------------------------------------------------------
+// Exception propagation
+
+TEST(ThreadPool, FirstExceptionRethrownOnCaller) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  try {
+    pool.ParallelFor(64, [&](size_t task, size_t) {
+      ++ran;
+      if (task == 17) throw std::runtime_error("task 17 exploded");
+    });
+    FAIL() << "expected the task's exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 17 exploded");
+  }
+  // The batch runs to completion even with a throwing task: no task is
+  // skipped and no worker dies.
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, OnlyFirstOfManyExceptionsSurfaces) {
+  ThreadPool pool(4);
+  std::atomic<int> thrown{0};
+  try {
+    pool.ParallelFor(100, [&](size_t, size_t) {
+      int id = ++thrown;
+      throw std::runtime_error(std::string("boom ") + std::to_string(id));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    // Exactly one of the hundred escapes; which one depends on scheduling.
+    EXPECT_EQ(std::string(e.what()).rfind("boom ", 0), 0u);
+  }
+  EXPECT_EQ(thrown.load(), 100);
+}
+
+TEST(ThreadPool, PoolRemainsUsableAfterThrow) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(
+                   8, [&](size_t, size_t) { throw std::logic_error("bad"); }),
+               std::logic_error);
+  // The pending exception must not leak into the next (clean) batch.
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    pool.ParallelFor(5, [&](size_t, size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ThreadPool, InlinePoolPropagatesExceptionsToo) {
+  ThreadPool pool(0);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(4,
+                                [&](size_t task, size_t) {
+                                  ++ran;
+                                  if (task == 1) {
+                                    throw std::runtime_error("inline");
+                                  }
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown under load
+
+TEST(ThreadPool, DestructionWaitsForRunningBatch) {
+  // Destroying the pool immediately after a batch returns must join cleanly
+  // even when tasks were slow — ParallelFor blocks until every task is done,
+  // so nothing can still be touching freed state. TSan guards this.
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(4);
+    pool.ParallelFor(32, [&](size_t, size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++completed;
+    });
+  }  // ~ThreadPool joins the workers here.
+  EXPECT_EQ(completed.load(), 32);
+}
+
+TEST(ThreadPool, RapidCreateDestroyCycles) {
+  // Shutdown races (a worker still parked in WorkerLoop while the destructor
+  // flips stop_) show up under repeated churn; keep the batches tiny so the
+  // destructor often runs while workers are between states.
+  std::atomic<int> total{0};
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    ThreadPool pool(3);
+    pool.ParallelFor(4, [&](size_t, size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, DestructionAfterThrowingBatch) {
+  // A batch whose tasks threw must leave the pool in a joinable state.
+  auto pool = std::make_unique<ThreadPool>(3);
+  EXPECT_THROW(pool->ParallelFor(
+                   16, [&](size_t, size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  pool.reset();  // must not hang or crash
 }
 
 }  // namespace
