@@ -10,6 +10,17 @@
 //                                           simulated remote sites with N ms
 //                                           of request latency (federated
 //                                           mode; 0 = direct, the default)
+//   --deadline-ms=N                         wall-clock budget per statement
+//   --max-passes=N                          fixpoint pass budget (stops
+//                                           divergent recursive programs)
+//   --max-derivations=N                     derivation-step budget
+//
+// The three budget flags arm the resource governor (docs/GOVERNOR.md): a
+// statement that exceeds one aborts with `deadline exceeded` or `resource
+// exhausted` and leaves the universe untouched. A script can pin its own
+// pass budget with a `% max-passes: N` directive (used when the flag is not
+// given) — see examples/scripts/governor_divergent.idl, which diverges by
+// design and relies on its directive to terminate.
 //
 // Scripts are ';'-separated statements: rules (head <- body), update
 // programs (head -> body), queries and update requests (?...). The shell
@@ -46,31 +57,52 @@ constexpr char kDemoScript[] = R"(
 ?.dbI.p(.stk=S, .clsPrice>200);
 )";
 
-int Run(idl::Session* session, const std::string& script) {
+// Applies a script's `% max-passes: N` directive to options the flags left
+// unset, so divergent demo scripts terminate even when run bare.
+void ApplyScriptDirectives(const std::string& script,
+                           idl::EvalOptions* options) {
+  const std::string directive = "% max-passes:";
+  size_t at = script.find(directive);
+  if (at != std::string::npos && options->max_passes == 0) {
+    options->max_passes = std::atoi(script.c_str() + at + directive.size());
+  }
+}
+
+int Run(idl::Session* session, const std::string& script,
+        const idl::EvalOptions& request_options) {
   auto statements = idl::ParseStatements(script);
   if (!statements.ok()) {
     std::printf("parse error: %s\n",
                 statements.status().ToString().c_str());
     return 1;
   }
+  bool governed = request_options.deadline_ms > 0 ||
+                  request_options.max_passes > 0 ||
+                  request_options.max_derivations > 0;
   for (const auto& statement : *statements) {
     switch (statement.kind) {
       case idl::Statement::Kind::kQuery: {
         std::string text = idl::ToString(statement.query);
         std::printf("%s\n", text.c_str());
         if (session->IsUpdateRequest(statement.query)) {
-          auto r = session->Update(text);
+          auto r = session->Update(text, request_options);
           if (!r.ok()) {
             std::printf("  error: %s\n", r.status().ToString().c_str());
+            if (governed) {
+              std::printf("  %s", session->last_governor().c_str());
+            }
             return 1;
           }
           std::printf("  ok: %llu change(s), %zu binding(s)\n\n",
                       static_cast<unsigned long long>(r->counts.Total()),
                       r->bindings);
         } else {
-          auto a = session->Query(text);
+          auto a = session->Query(text, request_options);
           if (!a.ok()) {
             std::printf("  error: %s\n", a.status().ToString().c_str());
+            if (governed) {
+              std::printf("  %s", session->last_governor().c_str());
+            }
             return 1;
           }
           std::printf("%s\n", a->ToTable().c_str());
@@ -98,14 +130,51 @@ int Run(idl::Session* session, const std::string& script) {
   return 0;
 }
 
+constexpr char kUsage[] =
+    R"(usage: idl_shell [flags] [script.idl | -]
+
+Runs an IDL script (';'-separated rules, programs, queries and update
+requests) against the paper's three stock databases. With no script
+argument a built-in demo runs; '-' reads from stdin.
+
+  --strategy={naive,seminaive,parallel}  view materialization strategy
+  --site-latency-ms=N   host the databases on simulated remote sites with
+                        N ms request latency (0 = direct, the default)
+  --deadline-ms=N       wall-clock budget per statement
+  --max-passes=N        fixpoint pass budget (stops divergent programs;
+                        a script's '% max-passes: N' directive applies
+                        when this flag is not given)
+  --max-derivations=N   derivation-step budget
+  --help                show this message
+
+The budget flags arm the resource governor (docs/GOVERNOR.md): a statement
+that exceeds one aborts cleanly and leaves the universe untouched.
+)";
+
 }  // namespace
 
 int main(int argc, char** argv) {
   idl::EvalOptions eval_options;
+  idl::EvalOptions request_options;
   int site_latency_ms = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", kUsage);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0 && arg != "--") {
+      bool known =
+          arg.rfind("--strategy=", 0) == 0 ||
+          arg.rfind("--site-latency-ms=", 0) == 0 ||
+          arg.rfind("--deadline-ms=", 0) == 0 ||
+          arg.rfind("--max-passes=", 0) == 0 ||
+          arg.rfind("--max-derivations=", 0) == 0;
+      if (!known) {
+        std::printf("unknown flag %s\n\n%s", arg.c_str(), kUsage);
+        return 1;
+      }
+    }
     if (arg.rfind("--strategy=", 0) == 0) {
       std::string strategy = arg.substr(std::string("--strategy=").size());
       if (strategy == "naive") {
@@ -131,6 +200,28 @@ int main(int argc, char** argv) {
         std::printf("--site-latency-ms must be >= 0\n");
         return 1;
       }
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      request_options.deadline_ms =
+          std::atoi(arg.substr(std::string("--deadline-ms=").size()).c_str());
+      if (request_options.deadline_ms < 0) {
+        std::printf("--deadline-ms must be >= 0\n");
+        return 1;
+      }
+    } else if (arg.rfind("--max-passes=", 0) == 0) {
+      request_options.max_passes =
+          std::atoi(arg.substr(std::string("--max-passes=").size()).c_str());
+      if (request_options.max_passes < 0) {
+        std::printf("--max-passes must be >= 0\n");
+        return 1;
+      }
+    } else if (arg.rfind("--max-derivations=", 0) == 0) {
+      long long n = std::atoll(
+          arg.substr(std::string("--max-derivations=").size()).c_str());
+      if (n < 0) {
+        std::printf("--max-derivations must be >= 0\n");
+        return 1;
+      }
+      request_options.max_derivations = static_cast<uint64_t>(n);
     } else {
       positional.push_back(std::move(arg));
     }
@@ -183,7 +274,8 @@ int main(int argc, char** argv) {
     buffer << file.rdbuf();
     script = buffer.str();
   }
-  int rc = Run(&session, script);
+  ApplyScriptDirectives(script, &request_options);
+  int rc = Run(&session, script, request_options);
   if (site_latency_ms > 0) {
     std::printf("%s", session.ExplainFederation().c_str());
   }

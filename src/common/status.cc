@@ -32,6 +32,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "unavailable";
     case StatusCode::kDeadlineExceeded:
       return "deadline exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
   }
   return "unknown";
 }
@@ -107,6 +111,12 @@ Status Unavailable(std::string message) {
 }
 Status DeadlineExceeded(std::string message) {
   return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status Cancelled(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+Status ResourceExhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 
 }  // namespace idl

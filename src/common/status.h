@@ -29,6 +29,8 @@ enum class StatusCode {
   kInternal,          // invariant violation (a bug in this library)
   kUnavailable,       // transient failure of a remote site (retriable)
   kDeadlineExceeded,  // request exceeded its deadline (retriable)
+  kCancelled,         // request cancelled cooperatively (not retriable)
+  kResourceExhausted, // a resource-governor budget was hit (not retriable)
 };
 
 // Returns the canonical lower-case name for `code` (e.g. "parse error").
@@ -84,6 +86,12 @@ Status FailedPrecondition(std::string message);
 Status Internal(std::string message);
 Status Unavailable(std::string message);
 Status DeadlineExceeded(std::string message);
+// Neither kCancelled nor kResourceExhausted is retriable at the federation
+// gateway: a cancelled request stays cancelled, and a budget does not grow
+// back by retrying (the gateway's retriable set remains exactly
+// kUnavailable and kDeadlineExceeded).
+Status Cancelled(std::string message);
+Status ResourceExhausted(std::string message);
 
 // Propagates a non-OK status to the caller.
 #define IDL_RETURN_IF_ERROR(expr)                  \

@@ -69,9 +69,20 @@ struct ConjunctChain {
   const std::vector<ConjunctSource>* conjuncts;
   Matcher* matcher;
   const std::function<bool(const Substitution&)>* cb;
+  const ResourceGovernor* governor;
   Status error;
 
   bool Step(size_t index, Substitution* sigma) {
+    // Checkpoint per enumeration step, not just per emitted substitution: a
+    // highly selective conjunct over a huge relation emits rarely but steps
+    // constantly, and cancellation must stay responsive there too.
+    if (governor != nullptr) {
+      Status st = governor->Checkpoint();
+      if (!st.ok()) {
+        error = std::move(st);
+        return false;
+      }
+    }
     if (index == conjuncts->size()) return (*cb)(*sigma);
     const ConjunctSource& source = (*conjuncts)[index];
     Result<bool> r = matcher->Match(
@@ -87,10 +98,21 @@ struct ConjunctChain {
 
 }  // namespace
 
+GovernorLimits GovernorLimitsFrom(const EvalOptions& options) {
+  GovernorLimits limits;
+  limits.deadline_ms = options.deadline_ms;
+  limits.max_passes = options.max_passes;
+  limits.max_derivations = options.max_derivations;
+  limits.max_universe_cells = options.max_universe_cells;
+  limits.cancel_at_checkpoint = options.cancel_at_checkpoint;
+  return limits;
+}
+
 Result<bool> EnumerateBindingsOver(
     const std::vector<ConjunctSource>& conjuncts, const EvalOptions& options,
     EvalStats* stats, SetIndexCache* index_cache,
-    const std::function<bool(const Substitution&)>& cb) {
+    const std::function<bool(const Substitution&)>& cb,
+    const ResourceGovernor* governor) {
   EvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
 
@@ -115,7 +137,7 @@ Result<bool> EnumerateBindingsOver(
   if (cache == nullptr && options.use_indexes) cache = &local_cache;
   Matcher matcher(stats, options.use_indexes ? cache : nullptr);
   Substitution sigma;
-  ConjunctChain chain{&ordered, &matcher, &cb, Status::Ok()};
+  ConjunctChain chain{&ordered, &matcher, &cb, governor, Status::Ok()};
   bool keep_going = chain.Step(0, &sigma);
   if (!chain.error.ok()) return chain.error;
   return keep_going;
@@ -124,17 +146,19 @@ Result<bool> EnumerateBindingsOver(
 Result<bool> EnumerateBindings(
     const Value& universe, const std::vector<ExprPtr>& conjuncts,
     const EvalOptions& options, EvalStats* stats,
-    const std::function<bool(const Substitution&)>& cb) {
+    const std::function<bool(const Substitution&)>& cb,
+    const ResourceGovernor* governor) {
   std::vector<ConjunctSource> sources;
   sources.reserve(conjuncts.size());
   for (const auto& c : conjuncts) {
     sources.push_back(ConjunctSource{c.get(), &universe});
   }
-  return EnumerateBindingsOver(sources, options, stats, nullptr, cb);
+  return EnumerateBindingsOver(sources, options, stats, nullptr, cb, governor);
 }
 
 Result<Answer> EvaluateQuery(const Value& universe, const Query& query,
-                             const EvalOptions& options, EvalStats* stats) {
+                             const EvalOptions& options, EvalStats* stats,
+                             const ResourceGovernor* governor) {
   IDL_ASSIGN_OR_RETURN(QueryInfo info, AnalyzeQuery(query));
   if (info.is_update_request) {
     return InvalidArgument(
@@ -175,7 +199,8 @@ Result<Answer> EvaluateQuery(const Value& universe, const Query& query,
           return false;
         }
         return true;
-      });
+      },
+      governor);
   if (!r.ok()) return r.status();
   return answer;
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/result.h"
 #include "eval/explain.h"
 #include "eval/substitution.h"
@@ -63,13 +64,35 @@ struct EvalOptions {
   // kSemiNaive. 0 = auto (hardware concurrency), 1 = serial, N = N-way.
   // Results are identical for every value (writes stay sequential).
   size_t materialize_parallelism = 0;
+
+  // ---- Resource-governor budgets (common/governor.h; 0 = unbounded) -------
+  // The session builds one ResourceGovernor per request from these; a
+  // request that exceeds a budget aborts with kDeadlineExceeded /
+  // kResourceExhausted and leaves the universe exactly as it was.
+  // Wall-clock deadline for the whole request.
+  int deadline_ms = 0;
+  // Fixpoint passes a materialization may run (guards divergent programs).
+  int max_passes = 0;
+  // Body substitutions a materialization may process.
+  uint64_t max_derivations = 0;
+  // Universe size budget in object-model cells (see CountCells).
+  uint64_t max_universe_cells = 0;
+  // Interrupt-injection seam for tests: cancel at the Nth governor
+  // checkpoint (see GovernorLimits::cancel_at_checkpoint).
+  uint64_t cancel_at_checkpoint = 0;
 };
 
+// The governor budgets carried by `options`, ready for ResourceGovernor.
+GovernorLimits GovernorLimitsFrom(const EvalOptions& options);
+
 // Evaluates a pure query (no update markers) against `universe`.
-// `stats`, if non-null, accumulates work counters.
+// `stats`, if non-null, accumulates work counters. `governor`, if non-null,
+// is polled at every enumeration step: a cancelled or out-of-budget
+// evaluation unwinds with the governor's abort status.
 Result<Answer> EvaluateQuery(const Value& universe, const Query& query,
                              const EvalOptions& options = EvalOptions(),
-                             EvalStats* stats = nullptr);
+                             EvalStats* stats = nullptr,
+                             const ResourceGovernor* governor = nullptr);
 
 // Evaluates the conjunction and calls back with every satisfying
 // substitution (used by the view engine and the update applier, which need
@@ -77,7 +100,8 @@ Result<Answer> EvaluateQuery(const Value& universe, const Query& query,
 Result<bool> EnumerateBindings(
     const Value& universe, const std::vector<ExprPtr>& conjuncts,
     const EvalOptions& options, EvalStats* stats,
-    const std::function<bool(const Substitution&)>& cb);
+    const std::function<bool(const Substitution&)>& cb,
+    const ResourceGovernor* governor = nullptr);
 
 // A body conjunct paired with the universe it reads. Semi-naive evaluation
 // points one conjunct at the (much smaller) delta universe of the previous
@@ -97,7 +121,8 @@ class SetIndexCache;
 Result<bool> EnumerateBindingsOver(
     const std::vector<ConjunctSource>& conjuncts, const EvalOptions& options,
     EvalStats* stats, SetIndexCache* index_cache,
-    const std::function<bool(const Substitution&)>& cb);
+    const std::function<bool(const Substitution&)>& cb,
+    const ResourceGovernor* governor = nullptr);
 
 }  // namespace idl
 

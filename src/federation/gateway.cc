@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/rng.h"
 #include "common/str_util.h"
 #include "relational/adapter.h"
 
@@ -13,17 +14,29 @@ namespace idl {
 
 namespace {
 
-// Issues one logical request with bounded retries and exponential backoff.
-// kUnavailable and kDeadlineExceeded are retriable; every other error is
-// permanent for the request. Counters: one `requests` per logical request,
-// one `retries` per re-attempt, one `timeouts` per kDeadlineExceeded
-// response, one `failures` when the request ultimately fails.
+// Issues one logical request with bounded retries and jittered exponential
+// backoff (BackoffSchedule). kUnavailable and kDeadlineExceeded are
+// retriable; every other error — including the governor's kCancelled and
+// kResourceExhausted — is permanent for the request. `governor`, if
+// non-null, is checked before every attempt and before every backoff sleep,
+// so a cancelled request stops retrying immediately instead of sleeping out
+// its schedule. Counters: one `requests` per logical request, one `retries`
+// per re-attempt, one `timeouts` per kDeadlineExceeded response, one
+// `failures` when the request ultimately fails.
 template <typename T>
 Result<T> WithRetry(const Gateway::Options& options, SiteStats* stats,
+                    const ResourceGovernor* governor,
                     const std::function<Result<T>()>& attempt) {
   ++stats->requests;
-  int backoff_ms = options.backoff_ms;
+  const std::vector<int> schedule = BackoffSchedule(options);
   for (int tries = 0;; ++tries) {
+    if (governor != nullptr) {
+      Status st = governor->Checkpoint();
+      if (!st.ok()) {
+        ++stats->failures;
+        return st;
+      }
+    }
     Result<T> r = attempt();
     if (r.ok()) return r;
     const StatusCode code = r.status().code();
@@ -35,14 +48,47 @@ Result<T> WithRetry(const Gateway::Options& options, SiteStats* stats,
       return r;
     }
     ++stats->retries;
-    if (backoff_ms > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms *= 2;
+    const int sleep_ms =
+        tries < static_cast<int>(schedule.size()) ? schedule[tries] : 0;
+    if (sleep_ms > 0) {
+      if (governor != nullptr) {
+        Status st = governor->Checkpoint();
+        if (!st.ok()) {
+          ++stats->failures;
+          return st;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
   }
 }
 
 }  // namespace
+
+std::vector<int> BackoffSchedule(const Gateway::Options& options) {
+  std::vector<int> schedule;
+  if (options.max_retries <= 0 || options.backoff_ms <= 0) {
+    schedule.assign(std::max(options.max_retries, 0), 0);
+    return schedule;
+  }
+  Rng rng(options.backoff_seed);
+  schedule.reserve(options.max_retries);
+  int64_t base = options.backoff_ms;
+  for (int i = 0; i < options.max_retries; ++i) {
+    int64_t bounded = base;
+    if (options.backoff_cap_ms > 0) {
+      bounded = std::min<int64_t>(bounded, options.backoff_cap_ms);
+    }
+    // Equal jitter: uniform in [bounded/2, bounded] — decorrelates retry
+    // storms while keeping every sleep within the configured bound.
+    int64_t jittered =
+        bounded / 2 + static_cast<int64_t>(rng.Below(
+                          static_cast<uint64_t>(bounded - bounded / 2 + 1)));
+    schedule.push_back(static_cast<int>(jittered));
+    if (base <= (1 << 30)) base *= 2;
+  }
+  return schedule;
+}
 
 Gateway::Gateway() : Gateway(Options()) {}
 
@@ -94,11 +140,28 @@ Site* Gateway::FindSite(const std::string& name) {
 // ---------------------------------------------------------------------------
 // Fetch
 
+RequestContext Gateway::MakeContext(const ResourceGovernor* governor) const {
+  RequestContext ctx{options_.deadline_ms};
+  if (governor != nullptr) {
+    int64_t remaining = governor->RemainingMs();
+    if (remaining >= 0) {
+      // Governor time left bounds the site request; at least 1ms so an
+      // expired deadline fails at the governor checkpoint (with the right
+      // status), not as a site artifact.
+      int bounded = static_cast<int>(std::max<int64_t>(remaining, 1));
+      ctx.deadline_ms =
+          ctx.deadline_ms == 0 ? bounded : std::min(ctx.deadline_ms, bounded);
+    }
+  }
+  return ctx;
+}
+
 Status Gateway::ValidateGenerationLocked(SiteState& st,
-                                         const RequestContext& ctx) {
+                                         const RequestContext& ctx,
+                                         const ResourceGovernor* governor) {
   IDL_ASSIGN_OR_RETURN(
       uint64_t generation,
-      WithRetry<uint64_t>(options_, &st.stats,
+      WithRetry<uint64_t>(options_, &st.stats, governor,
                           [&] { return st.site->Generation(ctx); }));
   if (generation != st.cached_generation) {
     st.export_cache.reset();
@@ -109,7 +172,8 @@ Status Gateway::ValidateGenerationLocked(SiteState& st,
 }
 
 Result<Value> Gateway::PullExportLocked(SiteState& st,
-                                        const RequestContext& ctx) {
+                                        const RequestContext& ctx,
+                                        const ResourceGovernor* governor) {
   if (st.export_cache.has_value()) {
     ++st.stats.cache_hits;
     return *st.export_cache;
@@ -117,19 +181,20 @@ Result<Value> Gateway::PullExportLocked(SiteState& st,
   ++st.stats.cache_misses;
   ++st.stats.pulled_exports;
   IDL_ASSIGN_OR_RETURN(Value facts,
-                       WithRetry<Value>(options_, &st.stats,
+                       WithRetry<Value>(options_, &st.stats, governor,
                                         [&] { return st.site->Export(ctx); }));
   st.export_cache = facts;
   return facts;
 }
 
-Result<Value> Gateway::FetchSite(SiteState& st, const ShipPlan& plan) {
+Result<Value> Gateway::FetchSite(SiteState& st, const ShipPlan& plan,
+                                 const ResourceGovernor* governor) {
   std::lock_guard<std::mutex> lock(st.mu);
-  RequestContext ctx{options_.deadline_ms};
-  IDL_RETURN_IF_ERROR(ValidateGenerationLocked(st, ctx));
+  RequestContext ctx = MakeContext(governor);
+  IDL_RETURN_IF_ERROR(ValidateGenerationLocked(st, ctx, governor));
   const std::string& name = st.site->name();
   if (plan.pull_all || plan.pull_sites.contains(name)) {
-    return PullExportLocked(st, ctx);
+    return PullExportLocked(st, ctx, governor);
   }
 
   // Ship path: the site's contribution is a database tuple holding just the
@@ -171,14 +236,15 @@ Result<Value> Gateway::FetchSite(SiteState& st, const ShipPlan& plan) {
         ++st.stats.cache_misses;
         ++st.stats.shipped_subgoals;
         Result<ResultSet> rows = WithRetry<ResultSet>(
-            options_, &st.stats, [&] { return st.site->Select(request, ctx); });
+            options_, &st.stats, governor,
+            [&] { return st.site->Select(request, ctx); });
         if (!rows.ok()) {
           if (rows.status().code() == StatusCode::kNotFound) {
             entry.absent = true;
           } else if (rows.status().code() == StatusCode::kTypeError) {
             // The site's facts are not relational (nested objects, say):
             // shipping cannot represent them, the full export can.
-            return PullExportLocked(st, ctx);
+            return PullExportLocked(st, ctx, governor);
           } else {
             return rows.status().WithContext(
                 StrCat("shipping ", shipment.relation, " from site '", name,
@@ -205,7 +271,8 @@ Result<Value> Gateway::FetchSite(SiteState& st, const ShipPlan& plan) {
   return db;
 }
 
-Result<Gateway::FederatedFetch> Gateway::Fetch(const ShipPlan& plan) {
+Result<Gateway::FederatedFetch> Gateway::Fetch(
+    const ShipPlan& plan, const ResourceGovernor* governor) {
   std::vector<std::shared_ptr<SiteState>> involved;
   {
     std::lock_guard<std::mutex> lock(sites_mu_);
@@ -217,7 +284,7 @@ Result<Gateway::FederatedFetch> Gateway::Fetch(const ShipPlan& plan) {
   std::vector<Result<Value>> fetched(involved.size(),
                                      Result<Value>(Internal("not fetched")));
   pool_.ParallelFor(involved.size(), [&](size_t task, size_t) {
-    fetched[task] = FetchSite(*involved[task], plan);
+    fetched[task] = FetchSite(*involved[task], plan, governor);
   });
 
   FederatedFetch out;
@@ -241,16 +308,18 @@ Result<Gateway::FederatedFetch> Gateway::Fetch(const ShipPlan& plan) {
   return out;
 }
 
-Result<Gateway::FederatedFetch> Gateway::FetchAll() {
+Result<Gateway::FederatedFetch> Gateway::FetchAll(
+    const ResourceGovernor* governor) {
   ShipPlan plan;
   plan.pull_all = true;
-  return Fetch(plan);
+  return Fetch(plan, governor);
 }
 
 // ---------------------------------------------------------------------------
 // Write-back
 
-Status Gateway::WriteSite(const std::string& name, const Value& facts) {
+Status Gateway::WriteSite(const std::string& name, const Value& facts,
+                          const ResourceGovernor* governor) {
   std::shared_ptr<SiteState> st;
   {
     std::lock_guard<std::mutex> lock(sites_mu_);
@@ -261,9 +330,9 @@ Status Gateway::WriteSite(const std::string& name, const Value& facts) {
     st = it->second;
   }
   std::lock_guard<std::mutex> lock(st->mu);
-  RequestContext ctx{options_.deadline_ms};
+  RequestContext ctx = MakeContext(governor);
   Result<bool> r =
-      WithRetry<bool>(options_, &st->stats, [&]() -> Result<bool> {
+      WithRetry<bool>(options_, &st->stats, governor, [&]() -> Result<bool> {
         Status s = st->site->Write(facts, ctx);
         if (!s.ok()) return s;
         return true;
@@ -286,7 +355,8 @@ Status Gateway::WriteSite(const std::string& name, const Value& facts) {
 // ---------------------------------------------------------------------------
 // MSQL broadcast
 
-Result<MultiQueryResult> Gateway::Broadcast(const FoQuery& query) {
+Result<MultiQueryResult> Gateway::Broadcast(const FoQuery& query,
+                                            const ResourceGovernor* governor) {
   std::vector<std::shared_ptr<SiteState>> involved;
   {
     std::lock_guard<std::mutex> lock(sites_mu_);
@@ -298,10 +368,11 @@ Result<MultiQueryResult> Gateway::Broadcast(const FoQuery& query) {
   pool_.ParallelFor(involved.size(), [&](size_t task, size_t) {
     SiteState& st = *involved[task];
     std::lock_guard<std::mutex> lock(st.mu);
-    RequestContext ctx{options_.deadline_ms};
+    RequestContext ctx = MakeContext(governor);
     ++st.stats.shipped_subgoals;
     answers[task] = WithRetry<ResultSet>(
-        options_, &st.stats, [&] { return st.site->Execute(query, ctx); });
+        options_, &st.stats, governor,
+        [&] { return st.site->Execute(query, ctx); });
   });
 
   // Merge in registration (name) order so answers are deterministic.

@@ -23,10 +23,17 @@
 //    data last changed* — it is 1.0 on an idle repeated query and exactly
 //    0.0 on the first query after an update.
 //  * Retries. kUnavailable and kDeadlineExceeded responses are retried with
-//    exponential backoff up to Options::max_retries; any other error is
-//    permanent for the request.
+//    jittered exponential backoff up to Options::max_retries; any other
+//    error is permanent for the request. In particular kCancelled and
+//    kResourceExhausted (common/governor.h aborts surfaced by a site) are
+//    NOT retried: the caller's budget is spent, so another attempt can only
+//    waste it. The retriable set is exactly {kUnavailable,
+//    kDeadlineExceeded}. Backoff jitter is drawn from a seeded deterministic
+//    RNG (common/rng.h) so a fixed Options::backoff_seed reproduces the
+//    exact sleep schedule (see BackoffSchedule).
 //  * Deadlines. Options::deadline_ms rides every request as the
-//    RequestContext deadline.
+//    RequestContext deadline; a ResourceGovernor passed to a federated
+//    operation tightens it to the governor's remaining wall-clock time.
 //  * Degradation. When a site stays unreachable after retries,
 //    DegradePolicy::kFail fails the fetch; DegradePolicy::kPartial answers
 //    from the remaining sites, reports the dead site in
@@ -45,6 +52,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "eval/explain.h"
@@ -68,6 +76,14 @@ class Gateway {
     int max_retries = 3;
     // Initial retry backoff; doubles per retry. 0 retries immediately.
     int backoff_ms = 1;
+    // Upper bound on any single backoff sleep (0 = uncapped). Keeps the
+    // doubling from producing multi-second stalls on high retry counts.
+    int backoff_cap_ms = 100;
+    // Seed for the jitter RNG. The whole sleep schedule is a pure function
+    // of (max_retries, backoff_ms, backoff_cap_ms, backoff_seed), so a
+    // fixed seed gives a reproducible schedule (tests) while different
+    // seeds decorrelate retry storms across gateways.
+    uint64_t backoff_seed = 0x1d1ULL;
     // Per-request deadline (0 = unbounded).
     int deadline_ms = 0;
     DegradePolicy degrade = DegradePolicy::kFail;
@@ -100,20 +116,27 @@ class Gateway {
     std::vector<std::string> degraded;
   };
 
-  // Executes `plan`, contacting the involved sites in parallel.
-  Result<FederatedFetch> Fetch(const ShipPlan& plan);
+  // Executes `plan`, contacting the involved sites in parallel. `governor`,
+  // if non-null, is checked before every site attempt and every backoff
+  // sleep, and its remaining wall-clock time tightens each site request's
+  // deadline.
+  Result<FederatedFetch> Fetch(const ShipPlan& plan,
+                               const ResourceGovernor* governor = nullptr);
 
   // Convenience: pull every site's full export (a pull_all plan).
-  Result<FederatedFetch> FetchAll();
+  Result<FederatedFetch> FetchAll(const ResourceGovernor* governor = nullptr);
 
   // Pushes `facts` to the named site and invalidates its cache. Hit/miss
   // counters restart (the reported rate becomes "since last write").
-  Status WriteSite(const std::string& name, const Value& facts);
+  Status WriteSite(const std::string& name, const Value& facts,
+                   const ResourceGovernor* governor = nullptr);
 
   // MSQL multiple query over every site (relational/msql merge semantics:
   // rows prefixed with the site name, unioned; unreachable sites and sites
   // lacking the template's relation are skipped, not errors).
-  Result<MultiQueryResult> Broadcast(const FoQuery& query);
+  Result<MultiQueryResult> Broadcast(const FoQuery& query,
+                                     const ResourceGovernor* governor =
+                                         nullptr);
 
   // ---- Introspection ------------------------------------------------------
 
@@ -145,11 +168,17 @@ class Gateway {
   };
 
   // Fetches one site's contribution under `plan`. Locks the site's mutex.
-  Result<Value> FetchSite(SiteState& st, const ShipPlan& plan);
+  Result<Value> FetchSite(SiteState& st, const ShipPlan& plan,
+                          const ResourceGovernor* governor);
+  // The RequestContext for one site request: the configured deadline,
+  // tightened to the governor's remaining time when one is present.
+  RequestContext MakeContext(const ResourceGovernor* governor) const;
   // Pull path body; call with st.mu held and the generation validated.
-  Result<Value> PullExportLocked(SiteState& st, const RequestContext& ctx);
+  Result<Value> PullExportLocked(SiteState& st, const RequestContext& ctx,
+                                 const ResourceGovernor* governor);
   // Pings the generation and drops stale caches; call with st.mu held.
-  Status ValidateGenerationLocked(SiteState& st, const RequestContext& ctx);
+  Status ValidateGenerationLocked(SiteState& st, const RequestContext& ctx,
+                                  const ResourceGovernor* governor);
 
   Options options_;
   ThreadPool pool_;
@@ -157,6 +186,13 @@ class Gateway {
   mutable std::mutex sites_mu_;  // guards the map shape, not the states
   std::map<std::string, std::shared_ptr<SiteState>> sites_;
 };
+
+// The backoff sleep (ms) before each retry 1..max_retries: exponential
+// doubling from backoff_ms with equal jitter (each sleep is drawn uniformly
+// from [base/2, base]), every entry bounded by backoff_cap_ms when set. A
+// pure function of the options — a fixed backoff_seed reproduces the exact
+// schedule, which tests/federation_test.cc pins.
+std::vector<int> BackoffSchedule(const Gateway::Options& options);
 
 }  // namespace idl
 

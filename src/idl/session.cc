@@ -44,11 +44,31 @@ Status Session::RemoveDatabase(std::string_view name) {
   return Status::Ok();
 }
 
-Result<const Value*> Session::universe() {
-  IDL_RETURN_IF_ERROR(SyncFederation());
+Result<const Value*> Session::universe() { return universe(nullptr); }
+
+Result<const Value*> Session::universe(const ResourceGovernor* request) {
+  IDL_RETURN_IF_ERROR(SyncFederation(request));
   if (views_.rules().empty()) return &base_;  // nothing derived: no copy
-  IDL_RETURN_IF_ERROR(EnsureMaterialized());
+  IDL_RETURN_IF_ERROR(EnsureMaterialized(request));
   return &materialized_.universe;
+}
+
+std::unique_ptr<ResourceGovernor> Session::MakeRequestGovernor(
+    const EvalOptions& options) {
+  GovernorLimits limits = GovernorLimitsFrom(options);
+  if (limits.Unlimited() && !cancel_exposed_) return nullptr;
+  return std::make_unique<ResourceGovernor>(limits, cancel_);
+}
+
+void Session::RecordGovernor(const ResourceGovernor* governor,
+                             const Status& status) {
+  if (governor == nullptr) return;
+  GovernorUsage usage = governor->Usage();
+  bool governor_abort = status.code() == StatusCode::kCancelled ||
+                        status.code() == StatusCode::kDeadlineExceeded ||
+                        status.code() == StatusCode::kResourceExhausted;
+  if (governor_abort && usage.abort_reason.empty()) return;
+  last_governor_ = FormatGovernorUsage(usage, governor->limits());
 }
 
 // ---------------------------------------------------------------------------
@@ -88,9 +108,10 @@ std::string Session::ExplainFederation() const {
   return federation_ == nullptr ? std::string() : federation_->Explain();
 }
 
-Status Session::SyncFederation() {
+Status Session::SyncFederation(const ResourceGovernor* governor) {
   if (federation_ == nullptr) return Status::Ok();
-  IDL_ASSIGN_OR_RETURN(Gateway::FederatedFetch fetch, federation_->FetchAll());
+  IDL_ASSIGN_OR_RETURN(Gateway::FederatedFetch fetch,
+                       federation_->FetchAll(governor));
   degraded_sites_ = fetch.degraded;
   bool changed = false;
   for (auto& [name, db] : fetch.site_databases) {
@@ -180,22 +201,29 @@ Status Session::DeclareConstraint(std::string_view declaration) {
 
 Result<CallResult> Session::CallProgram(
     const std::string& path, const std::map<std::string, Value>& args,
-    UpdateOp view_op) {
-  IDL_RETURN_IF_ERROR(SyncFederation());
+    UpdateOp view_op, const EvalOptions& options) {
+  std::unique_ptr<ResourceGovernor> governor = MakeRequestGovernor(options);
+  IDL_RETURN_IF_ERROR(SyncFederation(governor.get()));
 
-  // With constraints declared (or a federation connected, whose write-back
-  // can fail), the call is atomic: snapshot, apply, validate, roll back on
-  // violation.
+  // With constraints declared, a federation connected (whose write-back can
+  // fail), or a governor active (which can abort mid-call), the call is
+  // atomic: snapshot, apply, validate, roll back on violation or abort.
   Value snapshot;
-  bool guarded = constraints_.size() > 0 || federation_ != nullptr;
+  bool guarded = constraints_.size() > 0 || federation_ != nullptr ||
+                 governor != nullptr;
   if (guarded) snapshot = base_;
 
   std::set<std::string> touched;
   ProgramExecutor executor(&registry_, &base_, &stats_,
-                           federation_ == nullptr ? nullptr : &touched);
+                           federation_ == nullptr ? nullptr : &touched,
+                           governor.get());
   Result<CallResult> result = executor.Call(path, view_op, args);
+  RecordGovernor(governor.get(), result.status());
   if (!result.ok()) {
-    if (guarded) base_ = std::move(snapshot);
+    if (guarded) {
+      base_ = std::move(snapshot);
+      Invalidate();
+    }
     return result.status();
   }
   if (constraints_.size() > 0) {
@@ -230,13 +258,22 @@ Result<Answer> Session::Query(std::string_view query_text,
 
 Result<Answer> Session::QueryParsed(const struct Query& query,
                                     const EvalOptions& options) {
+  std::unique_ptr<ResourceGovernor> governor = MakeRequestGovernor(options);
+  Result<Answer> answer = QueryGoverned(query, options, governor.get());
+  RecordGovernor(governor.get(), answer.status());
+  return answer;
+}
+
+Result<Answer> Session::QueryGoverned(const struct Query& query,
+                                      const EvalOptions& options,
+                                      const ResourceGovernor* governor) {
   // Ship path: with a federation and no view rules, fetch only what the
   // query needs — shipped selections for first-order subgoals, exports for
   // higher-order ones — and evaluate over the assembled universe.
   if (federation_ != nullptr && views_.rules().empty()) {
     ShipPlan plan = PlanQuery(query, federation_->SiteNames());
     IDL_ASSIGN_OR_RETURN(Gateway::FederatedFetch fetch,
-                         federation_->Fetch(plan));
+                         federation_->Fetch(plan, governor));
     degraded_sites_ = fetch.degraded;
     Value assembled = base_;
     for (const auto& name : federation_->SiteNames()) {
@@ -245,16 +282,51 @@ Result<Answer> Session::QueryParsed(const struct Query& query,
     for (auto& [name, db] : fetch.site_databases) {
       assembled.SetField(name, std::move(db));
     }
-    return EvaluateQuery(assembled, query, options, &stats_);
+    return EvaluateQuery(assembled, query, options, &stats_, governor);
   }
-  IDL_ASSIGN_OR_RETURN(const Value* u, universe());
-  return EvaluateQuery(*u, query, options, &stats_);
+  IDL_ASSIGN_OR_RETURN(const Value* u, universe(governor));
+  return EvaluateQuery(*u, query, options, &stats_, governor);
 }
 
-Status Session::EnsureMaterialized() {
+Status Session::EnsureMaterialized(const ResourceGovernor* request) {
   if (materialized_valid_) return Status::Ok();
-  IDL_ASSIGN_OR_RETURN(
-      materialized_, views_.Materialize(base_, materialize_options_, &stats_));
+  GovernorLimits limits = GovernorLimitsFrom(materialize_options_);
+  if (request != nullptr) {
+    // The materialization's budgets come from materialize_options_, but a
+    // budget the session leaves unset is inherited from the request, so
+    // Query("...", {.max_passes = 8}) bounds the fixpoint it triggers. The
+    // request's deadline and cancel token ride along via the parent chain
+    // (inheriting deadline_ms as a number would restart the clock).
+    const GovernorLimits& outer = request->limits();
+    if (limits.max_passes == 0) limits.max_passes = outer.max_passes;
+    if (limits.max_derivations == 0) {
+      limits.max_derivations = outer.max_derivations;
+    }
+    if (limits.max_universe_cells == 0) {
+      limits.max_universe_cells = outer.max_universe_cells;
+    }
+  }
+  if (request != nullptr || !limits.Unlimited() || cancel_exposed_) {
+    // Materialize derives into a scratch copy of base_, so an abort leaves
+    // both base_ and the cached materialization untouched.
+    ResourceGovernor governor(limits, cancel_, request);
+    Result<Materialized> m =
+        views_.Materialize(base_, materialize_options_, &stats_, &governor);
+    if (!m.ok()) {
+      // Publish the aborted fixpoint's own usage line — its counters (not
+      // the enclosing request's) say why the request died.
+      if (!governor.Usage().abort_reason.empty()) {
+        last_governor_ =
+            FormatGovernorUsage(governor.Usage(), governor.limits());
+      }
+      return m.status();
+    }
+    materialized_ = std::move(m).value();
+  } else {
+    IDL_ASSIGN_OR_RETURN(
+        materialized_,
+        views_.Materialize(base_, materialize_options_, &stats_));
+  }
   materialized_.federation = ExplainFederation();
   derived_paths_ = materialized_.derived_paths;
   materialized_valid_ = true;
@@ -273,19 +345,26 @@ bool Session::TargetsDerived(const std::string& path) const {
   return false;
 }
 
-Result<UpdateRequestResult> Session::Update(std::string_view request_text) {
+Result<UpdateRequestResult> Session::Update(std::string_view request_text,
+                                            const EvalOptions& options) {
   IDL_ASSIGN_OR_RETURN(struct Query request, ParseQuery(request_text));
 
-  // Sync before the snapshot so a rollback restores current replicas.
-  IDL_RETURN_IF_ERROR(SyncFederation());
+  std::unique_ptr<ResourceGovernor> governor = MakeRequestGovernor(options);
 
-  // With constraints declared (or a federation connected, whose write-back
-  // can fail), the whole request is atomic and validated.
+  // Sync before the snapshot so a rollback restores current replicas.
+  IDL_RETURN_IF_ERROR(SyncFederation(governor.get()));
+
+  // With constraints declared, a federation connected (whose write-back can
+  // fail), or a governor active (which can abort mid-request), the whole
+  // request is atomic and validated.
   Value snapshot;
-  bool guarded = constraints_.size() > 0 || federation_ != nullptr;
+  bool guarded = constraints_.size() > 0 || federation_ != nullptr ||
+                 governor != nullptr;
   if (guarded) snapshot = base_;
   std::set<std::string> touched;
-  Result<UpdateRequestResult> result = UpdateImpl(request, &touched);
+  Result<UpdateRequestResult> result =
+      UpdateImpl(request, &touched, governor.get());
+  RecordGovernor(governor.get(), result.status());
   if (!result.ok()) {
     if (guarded) {
       base_ = std::move(snapshot);
@@ -311,23 +390,26 @@ Result<UpdateRequestResult> Session::Update(std::string_view request_text) {
 }
 
 Result<UpdateRequestResult> Session::UpdateImpl(
-    const struct Query& request, std::set<std::string>* touched_roots) {
+    const struct Query& request, std::set<std::string>* touched_roots,
+    const ResourceGovernor* governor) {
 
   // Make derived_paths_ current so view-targeting conjuncts are detected
   // even before the first query.
   if (!views_.rules().empty()) {
-    IDL_RETURN_IF_ERROR(EnsureMaterialized());
+    IDL_RETURN_IF_ERROR(EnsureMaterialized(governor));
   }
 
   UpdateRequestResult result;
   ProgramExecutor executor(&registry_, &base_, &stats_,
-                           federation_ == nullptr ? nullptr : touched_roots);
-  UpdateApplier applier(&stats_, &result.counts);
+                           federation_ == nullptr ? nullptr : touched_roots,
+                           governor);
+  UpdateApplier applier(&stats_, &result.counts, governor);
 
   std::vector<Substitution> bindings;
   bindings.emplace_back();
 
   for (const auto& conjunct : request.conjuncts) {
+    if (governor != nullptr) IDL_RETURN_IF_ERROR(governor->Checkpoint());
     std::vector<Substitution> next;
 
     ProgramKey key;
@@ -339,8 +421,9 @@ Result<UpdateRequestResult> Session::UpdateImpl(
       result.counts += call.counts;
       if (call.counts.Total() > 0) Invalidate();
     } else if (conjunct->IsPureQuery()) {
-      IDL_ASSIGN_OR_RETURN(const Value* u, universe());
+      IDL_ASSIGN_OR_RETURN(const Value* u, universe(governor));
       for (const auto& sigma : bindings) {
+        if (governor != nullptr) IDL_RETURN_IF_ERROR(governor->Checkpoint());
         Matcher matcher(&stats_);
         Substitution working = sigma;
         Result<bool> r = matcher.Match(*u, *conjunct, &working,
@@ -391,7 +474,8 @@ bool Session::IsUpdateRequest(const struct Query& query) const {
   return false;
 }
 
-Result<std::vector<Answer>> Session::ExecuteScript(std::string_view script) {
+Result<std::vector<Answer>> Session::ExecuteScript(std::string_view script,
+                                                   const EvalOptions& options) {
   IDL_ASSIGN_OR_RETURN(std::vector<Statement> statements,
                        ParseStatements(script));
   std::vector<Answer> answers;
@@ -400,11 +484,11 @@ Result<std::vector<Answer>> Session::ExecuteScript(std::string_view script) {
       case Statement::Kind::kQuery: {
         if (IsUpdateRequest(statement.query)) {
           IDL_ASSIGN_OR_RETURN(UpdateRequestResult r,
-                               Update(ToString(statement.query)));
+                               Update(ToString(statement.query), options));
           (void)r;
         } else {
           IDL_ASSIGN_OR_RETURN(Answer a,
-                               QueryParsed(statement.query, EvalOptions()));
+                               QueryParsed(statement.query, options));
           answers.push_back(std::move(a));
         }
         break;

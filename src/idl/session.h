@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/result.h"
 #include "constraints/checker.h"
 #include "eval/explain.h"
@@ -122,7 +123,8 @@ class Session {
   Status DefinePrograms(const std::vector<std::string>& clause_texts);
   Result<CallResult> CallProgram(const std::string& path,
                                  const std::map<std::string, Value>& args,
-                                 UpdateOp view_op = UpdateOp::kNone);
+                                 UpdateOp view_op = UpdateOp::kNone,
+                                 const EvalOptions& options = EvalOptions());
   const ProgramRegistry& programs() const { return registry_; }
 
   // ---- Queries and update requests -------------------------------------------
@@ -136,8 +138,13 @@ class Session {
   // universe; conjuncts naming a registered program (including view-update
   // programs) are dispatched to it. Updating a derived relation without a
   // program is an error (§7.2: the administrator must supply the
-  // translation).
-  Result<UpdateRequestResult> Update(std::string_view request_text);
+  // translation). `options` carries the request's governor budgets
+  // (EvalOptions::{deadline_ms, max_passes, max_derivations,
+  // max_universe_cells}); a governed request is atomic — aborting leaves the
+  // base universe bit-identical.
+  Result<UpdateRequestResult> Update(
+      std::string_view request_text,
+      const EvalOptions& options = EvalOptions());
 
   // True if this parsed query must go through Update rather than Query: it
   // contains an update marker, or a conjunct calls a registered update
@@ -147,8 +154,27 @@ class Session {
 
   // Parses and runs a ';'-separated script of rules, program definitions,
   // queries and update requests; returns the answers of the query
-  // statements in order.
-  Result<std::vector<Answer>> ExecuteScript(std::string_view script);
+  // statements in order. `options` applies to every statement individually
+  // (each query or update gets its own governor with these budgets).
+  Result<std::vector<Answer>> ExecuteScript(
+      std::string_view script, const EvalOptions& options = EvalOptions());
+
+  // ---- Resource governor (common/governor.h) --------------------------------
+
+  // A token another thread may use to cancel this session's in-flight (and
+  // future, until Reset) requests; they unwind with kCancelled at the next
+  // governor checkpoint. Grabbing the handle makes every subsequent request
+  // governed: updates snapshot the base universe first, so a cancelled
+  // request rolls back cleanly (strong exception safety).
+  CancelHandle cancel_handle() {
+    cancel_exposed_ = true;
+    return cancel_;
+  }
+
+  // The FormatGovernorUsage line of the most recent governed request
+  // (passes, derivations, peak cells, time remaining, abort reason); empty
+  // if no governed request has run yet.
+  const std::string& last_governor() const { return last_governor_; }
 
   // Cumulative evaluation statistics (reset with ResetStats).
   const EvalStats& stats() const { return stats_; }
@@ -165,15 +191,37 @@ class Session {
   }
 
  private:
-  Status EnsureMaterialized();
+  // Rematerializes views if stale. The materialization runs under its own
+  // governor built from materialize_options_, chained to `request` (so a
+  // query's deadline/cancel bounds the materialization it triggers); no
+  // governor at all when nothing is bounded and no cancel handle is out.
+  Status EnsureMaterialized(const ResourceGovernor* request = nullptr);
   Result<UpdateRequestResult> UpdateImpl(const struct Query& request,
-                                         std::set<std::string>* touched_roots);
+                                         std::set<std::string>* touched_roots,
+                                         const ResourceGovernor* governor);
   // Evaluates an already-parsed pure query (the ship path lives here).
   Result<Answer> QueryParsed(const struct Query& query,
                              const EvalOptions& options);
+  Result<Answer> QueryGoverned(const struct Query& query,
+                               const EvalOptions& options,
+                               const ResourceGovernor* governor);
+  // The per-request governor: non-null when any budget in `options` is set
+  // or a cancel handle has been handed out, null (ungoverned, zero
+  // overhead) otherwise.
+  std::unique_ptr<ResourceGovernor> MakeRequestGovernor(
+      const EvalOptions& options);
+  // Records the finished request's governor line into last_governor_.
+  // `status` is the request's outcome: when a *chained* governor (the
+  // materialization's) aborted the request, this governor's own counters
+  // never fired, and the chained one has already published its more
+  // informative line — which this call then must not clobber.
+  void RecordGovernor(const ResourceGovernor* governor,
+                      const Status& status = Status::Ok());
+  // The merged universe, with materialization bounded by `request`.
+  Result<const Value*> universe(const ResourceGovernor* request);
   // Refreshes the site replica fields of base_ from the federation; no-op
   // without a gateway or when no site generation moved.
-  Status SyncFederation();
+  Status SyncFederation(const ResourceGovernor* governor = nullptr);
   // Pushes the named replica databases back to their sites ("*" means every
   // site). On failure the caller restores its snapshot; this clears the
   // synced generations so the next sync re-pulls remote truth.
@@ -184,6 +232,9 @@ class Session {
   bool TargetsDerived(const std::string& path) const;
 
   Value base_ = Value::EmptyTuple();
+  CancelHandle cancel_;
+  bool cancel_exposed_ = false;
+  std::string last_governor_;
   std::shared_ptr<Gateway> federation_;
   std::map<std::string, uint64_t> synced_generations_;
   std::vector<std::string> degraded_sites_;

@@ -379,4 +379,14 @@ int Value::Compare(const Value& a, const Value& b) {
   return 0;
 }
 
+uint64_t CountCells(const Value& v) {
+  uint64_t cells = 1;
+  if (v.is_tuple()) {
+    for (const auto& field : v.fields()) cells += CountCells(field.value);
+  } else if (v.is_set()) {
+    for (const auto& element : v.elements()) cells += CountCells(element);
+  }
+  return cells;
+}
+
 }  // namespace idl

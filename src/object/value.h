@@ -190,6 +190,12 @@ struct Value::Field {
   Value value;
 };
 
+// Number of object-model cells in `v`: every node (atom, tuple, or set)
+// counts as one cell, recursively through tuple fields and set elements.
+// The resource governor's max_universe_cells budget is accounted in these
+// units (common/governor.h).
+uint64_t CountCells(const Value& v);
+
 }  // namespace idl
 
 #endif  // IDL_OBJECT_VALUE_H_

@@ -80,6 +80,7 @@ Status ProgramExecutor::ExecuteConjunct(const Expr& conjunct,
                                         const std::vector<Substitution>& in,
                                         std::vector<Substitution>* out,
                                         CallResult* result) {
+  if (governor_ != nullptr) IDL_RETURN_IF_ERROR(governor_->Checkpoint());
   // Nested program call?
   ProgramKey key;
   if (registry_->MatchCall(conjunct, &key)) {
@@ -102,6 +103,7 @@ Status ProgramExecutor::ExecuteConjunct(const Expr& conjunct,
   if (conjunct.IsPureQuery()) {
     Matcher matcher(stats_ ? stats_ : &local_stats_);
     for (const auto& sigma : in) {
+      if (governor_ != nullptr) IDL_RETURN_IF_ERROR(governor_->Checkpoint());
       Substitution working = sigma;
       Result<bool> r = matcher.Match(*universe_, conjunct, &working,
                                      [&](const Substitution& s) {
@@ -113,7 +115,8 @@ Status ProgramExecutor::ExecuteConjunct(const Expr& conjunct,
     return Status::Ok();
   }
 
-  UpdateApplier applier(stats_ ? stats_ : &local_stats_, &result->counts);
+  UpdateApplier applier(stats_ ? stats_ : &local_stats_, &result->counts,
+                        governor_);
   for (const auto& sigma : in) {
     if (touched_roots_ != nullptr) {
       CollectUpdateRoots(conjunct, sigma, touched_roots_);

@@ -16,6 +16,7 @@
 #include <set>
 #include <string>
 
+#include "common/governor.h"
 #include "common/result.h"
 #include "eval/explain.h"
 #include "object/value.h"
@@ -36,13 +37,18 @@ class ProgramExecutor {
   // `touched_roots`, if non-null, accumulates the top-level database names
   // the executed updates may have mutated (CollectUpdateRoots semantics) —
   // the federation write-back path uses it to decide which sites to push.
+  // `governor`, if non-null, is polled per executed conjunct (and flows into
+  // the per-substitution update applier); the session snapshots the universe
+  // before a governed call, so an abort mid-program rolls back cleanly.
   ProgramExecutor(const ProgramRegistry* registry, Value* universe,
                   EvalStats* stats = nullptr,
-                  std::set<std::string>* touched_roots = nullptr)
+                  std::set<std::string>* touched_roots = nullptr,
+                  const ResourceGovernor* governor = nullptr)
       : registry_(registry),
         universe_(universe),
         stats_(stats),
-        touched_roots_(touched_roots) {}
+        touched_roots_(touched_roots),
+        governor_(governor) {}
 
   // Calls `path` (e.g. "dbU.delStk") with named arguments. `view_op` selects
   // a view-update program (`p+`/`p-`); kNone selects an ordinary program.
@@ -69,6 +75,7 @@ class ProgramExecutor {
   Value* universe_;
   EvalStats* stats_;
   std::set<std::string>* touched_roots_;
+  const ResourceGovernor* governor_;
   EvalStats local_stats_;
   int depth_ = 0;
 };

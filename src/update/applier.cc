@@ -48,6 +48,7 @@ Result<std::string> UpdateApplier::GroundAttr(const TupleItem& item,
 Status UpdateApplier::ApplyConjunct(Value* target, const Expr& expr,
                                     const Substitution& sigma,
                                     std::vector<Substitution>* out) {
+  if (governor_ != nullptr) IDL_RETURN_IF_ERROR(governor_->Checkpoint());
   if (expr.negated) {
     return Unsafe(StrCat("negated update expression: ", ToString(expr)));
   }
@@ -309,6 +310,7 @@ Status UpdateApplier::ApplyAtomic(Value* atom, const Expr& expr,
 
 Status UpdateApplier::MakeTrue(Value* slot, const Expr& expr,
                                const Substitution& sigma) {
+  if (governor_ != nullptr) IDL_RETURN_IF_ERROR(governor_->Checkpoint());
   if (expr.negated) {
     return Unsafe("cannot make a negated expression true");
   }
@@ -369,11 +371,12 @@ Status UpdateApplier::MakeTrue(Value* slot, const Expr& expr,
 
 Result<UpdateRequestResult> ApplyUpdateRequest(Value* universe,
                                                const Query& request,
-                                               EvalStats* stats) {
+                                               EvalStats* stats,
+                                               const ResourceGovernor* governor) {
   EvalStats local;
   if (stats == nullptr) stats = &local;
   UpdateRequestResult result;
-  UpdateApplier applier(stats, &result.counts);
+  UpdateApplier applier(stats, &result.counts, governor);
 
   std::vector<Substitution> bindings;
   bindings.emplace_back();
@@ -382,6 +385,7 @@ Result<UpdateRequestResult> ApplyUpdateRequest(Value* universe,
     std::vector<Substitution> next;
     if (conjunct->IsPureQuery()) {
       for (const auto& sigma : bindings) {
+        if (governor != nullptr) IDL_RETURN_IF_ERROR(governor->Checkpoint());
         IDL_RETURN_IF_ERROR(
             CollectMatches(stats, *universe, *conjunct, sigma, &next));
       }

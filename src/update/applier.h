@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/governor.h"
 #include "common/result.h"
 #include "eval/explain.h"
 #include "eval/substitution.h"
@@ -62,8 +63,13 @@ struct UpdateCounts {
 
 class UpdateApplier {
  public:
-  UpdateApplier(EvalStats* stats, UpdateCounts* counts)
-      : stats_(stats), counts_(counts) {}
+  // `governor`, if non-null, is polled once per conjunct application and per
+  // MakeTrue — update requests touch few objects per step, so that is
+  // responsive enough, and the applier never needs to roll back (the session
+  // snapshots before governed updates).
+  UpdateApplier(EvalStats* stats, UpdateCounts* counts,
+                const ResourceGovernor* governor = nullptr)
+      : stats_(stats), counts_(counts), governor_(governor) {}
 
   // Applies one conjunct (which contains update markers) to `target` under
   // `sigma`; appends the resulting (possibly extended) substitutions to
@@ -101,6 +107,7 @@ class UpdateApplier {
 
   EvalStats* stats_;
   UpdateCounts* counts_;
+  const ResourceGovernor* governor_;
 };
 
 struct UpdateRequestResult {
@@ -111,10 +118,12 @@ struct UpdateRequestResult {
 };
 
 // Applies an update request (a Query whose conjuncts include update
-// expressions) to the universe.
-Result<UpdateRequestResult> ApplyUpdateRequest(Value* universe,
-                                               const Query& request,
-                                               EvalStats* stats = nullptr);
+// expressions) to the universe. `governor`, if non-null, is polled per
+// substitution per conjunct; callers wanting strong exception safety must
+// snapshot the universe first (the session does).
+Result<UpdateRequestResult> ApplyUpdateRequest(
+    Value* universe, const Query& request, EvalStats* stats = nullptr,
+    const ResourceGovernor* governor = nullptr);
 
 // Records into `roots` the top-level attribute names — database names, when
 // `conjunct` is applied to the universe root — that the conjunct's update

@@ -256,10 +256,16 @@ class HeadWriter {
 };
 
 // Records a processed body substitution: derived-path bookkeeping plus the
-// head write (shared by both strategies).
+// head write (shared by both strategies). Charges the governor one
+// derivation step plus one cell per universe change the head write makes.
 Status ProcessSubstitution(const Rule& rule, const Substitution& sigma,
                            HeadWriter* writer, Materialized* m,
-                           std::vector<std::string>* derived, Value* delta) {
+                           std::vector<std::string>* derived, Value* delta,
+                           const ResourceGovernor* governor) {
+  if (governor != nullptr) {
+    IDL_RETURN_IF_ERROR(governor->ChargeDerivations(1));
+  }
+  const uint64_t changes_before = m->changes;
   ++m->facts_derived;
   const TupleItem& db_item = rule.head->items[0];
   IDL_ASSIGN_OR_RETURN(std::string_view db, GroundName(db_item, sigma));
@@ -277,7 +283,20 @@ Status ProcessSubstitution(const Rule& rule, const Substitution& sigma,
   if (!st.ok()) {
     return st.WithContext(StrCat("deriving head of '", rule.source, "'"));
   }
+  if (governor != nullptr && m->changes != changes_before) {
+    IDL_RETURN_IF_ERROR(governor->ChargeCells(m->changes - changes_before));
+  }
   return Status::Ok();
+}
+
+// Seeds the cell account with the base universe's size; the budget then
+// bounds base plus everything derivation adds. The O(universe) walk is paid
+// only when a cell budget is actually set.
+Status ChargeBaseCells(const Value& base, const ResourceGovernor* governor) {
+  if (governor == nullptr || governor->limits().max_universe_cells == 0) {
+    return Status::Ok();
+  }
+  return governor->ChargeCells(CountCells(base));
 }
 
 void FinishDerivedPaths(std::vector<std::string> derived, Materialized* m) {
@@ -291,9 +310,11 @@ void FinishDerivedPaths(std::vector<std::string> derived, Materialized* m) {
 Result<Materialized> MaterializeNaive(const std::vector<Rule>& rules,
                                       const Value& base,
                                       const EvalOptions& options,
-                                      EvalStats* stats) {
+                                      EvalStats* stats,
+                                      const ResourceGovernor* governor) {
   Materialized m;
   m.universe = base;
+  IDL_RETURN_IF_ERROR(ChargeBaseCells(base, governor));
 
   IDL_ASSIGN_OR_RETURN(Stratification strat, Stratify(rules));
   std::vector<std::vector<size_t>> by_stratum(
@@ -313,9 +334,11 @@ Result<Materialized> MaterializeNaive(const std::vector<Rule>& rules,
     row.rules = static_cast<int>(by_stratum[s].size());
     row.recursive = recursive;
     while (true) {
+      if (governor != nullptr) IDL_RETURN_IF_ERROR(governor->ChargePass());
       uint64_t changes_before = m.changes;
       for (size_t rule_index : by_stratum[s]) {
         const Rule& rule = rules[rule_index];
+        if (governor != nullptr) IDL_RETURN_IF_ERROR(governor->Checkpoint());
         // Materialize the body bindings *before* writing any head instance
         // (the body reads the same universe the head writes).
         std::vector<Substitution> sigmas;
@@ -324,7 +347,8 @@ Result<Materialized> MaterializeNaive(const std::vector<Rule>& rules,
             [&](const Substitution& sigma) {
               sigmas.push_back(sigma);
               return true;
-            });
+            },
+            governor);
         if (!r.ok()) {
           return r.status().WithContext(
               StrCat("evaluating body of '", rule.source, "'"));
@@ -332,7 +356,8 @@ Result<Materialized> MaterializeNaive(const std::vector<Rule>& rules,
         row.substitutions += sigmas.size();
         for (const auto& sigma : sigmas) {
           IDL_RETURN_IF_ERROR(ProcessSubstitution(rule, sigma, &writer, &m,
-                                                  &derived, nullptr));
+                                                  &derived, nullptr,
+                                                  governor));
         }
       }
       ++m.fixpoint_passes;
@@ -352,9 +377,11 @@ Result<Materialized> MaterializeNaive(const std::vector<Rule>& rules,
 Result<Materialized> MaterializeSemiNaive(const std::vector<Rule>& rules,
                                           const Value& base,
                                           const EvalOptions& options,
-                                          EvalStats* stats) {
+                                          EvalStats* stats,
+                                          const ResourceGovernor* governor) {
   Materialized m;
   m.universe = base;
+  IDL_RETURN_IF_ERROR(ChargeBaseCells(base, governor));
 
   IDL_ASSIGN_OR_RETURN(Stratification strat, Stratify(rules));
   const size_t n = rules.size();
@@ -424,6 +451,7 @@ Result<Materialized> MaterializeSemiNaive(const std::vector<Rule>& rules,
     std::vector<uint64_t> cumulative(level_rules.size(), 0);
     int pass = 0;
     while (true) {
+      if (governor != nullptr) IDL_RETURN_IF_ERROR(governor->ChargePass());
       const bool use_delta = pass > 0;
 
       // Rules whose body cannot touch the delta are settled after pass 0:
@@ -472,7 +500,7 @@ Result<Materialized> MaterializeSemiNaive(const std::vector<Rule>& rules,
         if (!use_delta) {
           Result<bool> r =
               EnumerateBindingsOver(sources, options, &out.stats, cache,
-                                    collect);
+                                    collect, governor);
           if (!r.ok()) out.status = r.status();
         } else {
           // One variant per delta-eligible conjunct: that conjunct reads
@@ -482,7 +510,7 @@ Result<Materialized> MaterializeSemiNaive(const std::vector<Rule>& rules,
             sources[pos].universe = &delta;
             Result<bool> r =
                 EnumerateBindingsOver(sources, options, &out.stats, cache,
-                                      collect);
+                                      collect, governor);
             sources[pos].universe = &m.universe;
             if (!r.ok()) {
               out.status = r.status();
@@ -512,6 +540,7 @@ Result<Materialized> MaterializeSemiNaive(const std::vector<Rule>& rules,
       Value next_delta;
       uint64_t changes_before = m.changes;
       for (size_t t = 0; t < active.size(); ++t) {
+        if (governor != nullptr) IDL_RETURN_IF_ERROR(governor->Checkpoint());
         const size_t k = active[t];
         const Rule& rule = rules[level_rules[k]];
         row.substitutions += results[t].sigmas.size();
@@ -524,7 +553,8 @@ Result<Materialized> MaterializeSemiNaive(const std::vector<Rule>& rules,
         cumulative[k] += results[t].sigmas.size();
         for (const auto& sigma : results[t].sigmas) {
           IDL_RETURN_IF_ERROR(ProcessSubstitution(rule, sigma, &writer, &m,
-                                                  &derived, &next_delta));
+                                                  &derived, &next_delta,
+                                                  governor));
         }
       }
       ++m.fixpoint_passes;
@@ -557,6 +587,7 @@ std::string Materialized::Explain() const {
              " changes=", changes, " passes=", fixpoint_passes,
              " delta=", delta_size, " skipped=", substitutions_skipped,
              " idxreused=", indexes_reused, " par=", parallel_tasks, "\n");
+  if (!governor.empty()) out += governor;
   if (!federation.empty()) out += federation;
   return out;
 }
@@ -583,13 +614,19 @@ Result<Materialized> ViewEngine::Materialize(const Value& base,
 
 Result<Materialized> ViewEngine::Materialize(const Value& base,
                                              const EvalOptions& options,
-                                             EvalStats* stats) const {
+                                             EvalStats* stats,
+                                             const ResourceGovernor* governor)
+    const {
   EvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
-  if (options.strategy == EvalStrategy::kNaive) {
-    return MaterializeNaive(rules_, base, options, stats);
+  Result<Materialized> r =
+      options.strategy == EvalStrategy::kNaive
+          ? MaterializeNaive(rules_, base, options, stats, governor)
+          : MaterializeSemiNaive(rules_, base, options, stats, governor);
+  if (r.ok() && governor != nullptr) {
+    r->governor = FormatGovernorUsage(governor->Usage(), governor->limits());
   }
-  return MaterializeSemiNaive(rules_, base, options, stats);
+  return r;
 }
 
 }  // namespace idl

@@ -72,9 +72,14 @@ struct Materialized {
   // for purely local sessions.
   std::string federation;
 
+  // Governor section (FormatGovernorUsage: passes, derivations, peak cells,
+  // time remaining at completion, abort reason), set when the
+  // materialization ran under a ResourceGovernor. Empty otherwise.
+  std::string governor;
+
   // Human-readable per-stratum table (FormatStratumStats) plus a summary
-  // line — the `explain` view of a materialization. Ends with the federation
-  // table when the universe came through a gateway.
+  // line — the `explain` view of a materialization. Ends with the governor
+  // section and the federation table when present.
   std::string Explain() const;
 };
 
@@ -90,11 +95,19 @@ class ViewEngine {
   // Evaluates all rules against `base`, stratum by stratum, iterating each
   // recursive stratum to fixpoint. Strategy and parallelism come from
   // `options` (EvalOptions() means semi-naive, auto parallelism).
+  //
+  // `governor`, when non-null, is polled per fixpoint pass, per rule batch,
+  // and per derivation (including inside thread-pool workers): a cancelled
+  // or out-of-budget materialization returns the governor's abort status
+  // and publishes nothing — derivation happens in a scratch copy of `base`,
+  // so the caller's universe is untouched (strong exception safety).
   Result<Materialized> Materialize(const Value& base,
                                    EvalStats* stats = nullptr) const;
   Result<Materialized> Materialize(const Value& base,
                                    const EvalOptions& options,
-                                   EvalStats* stats = nullptr) const;
+                                   EvalStats* stats = nullptr,
+                                   const ResourceGovernor* governor =
+                                       nullptr) const;
 
  private:
   std::vector<Rule> rules_;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "common/interner.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -37,6 +39,35 @@ TEST(StatusTest, CopyAndEquality) {
   EXPECT_EQ(a, b);
   b = Internal("y");
   EXPECT_FALSE(a == b);
+}
+
+TEST(StatusTest, GovernorAbortCodes) {
+  // The governor's two abort codes (common/governor.h). Neither is in the
+  // gateway's retriable set {kUnavailable, kDeadlineExceeded}: a cancelled
+  // request must stop, and an exhausted budget cannot be refilled by
+  // retrying.
+  Status cancelled = Cancelled("user hit ^C");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(StatusCodeName(StatusCode::kCancelled), "cancelled");
+  EXPECT_EQ(cancelled.ToString(), "cancelled: user hit ^C");
+
+  Status exhausted = ResourceExhausted("max_passes=3");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "resource exhausted");
+  EXPECT_EQ(exhausted.ToString(), "resource exhausted: max_passes=3");
+}
+
+TEST(StatusTest, EveryCodeHasADistinctName) {
+  // A new code pasted into the enum without a StatusCodeName case would
+  // render as the switch fallback; catch that here.
+  std::set<std::string_view> names;
+  for (int c = static_cast<int>(StatusCode::kOk);
+       c <= static_cast<int>(StatusCode::kResourceExhausted); ++c) {
+    std::string_view name = StatusCodeName(static_cast<StatusCode>(c));
+    EXPECT_NE(name, "unknown") << "code " << c;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+  }
 }
 
 TEST(ResultTest, ValueAndStatusSides) {

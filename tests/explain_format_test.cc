@@ -1,0 +1,96 @@
+// Golden-text locks on the rendered Explain() surfaces: the governor usage
+// line (common/governor.h) and the federation per-site table
+// (eval/explain.h). These strings are part of the observable interface —
+// idl_shell prints them and docs/GOVERNOR.md quotes them — so a format
+// change must be a deliberate edit here, not an accident.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/governor.h"
+#include "eval/explain.h"
+
+namespace idl {
+namespace {
+
+TEST(ExplainFormatTest, GovernorLineUnbounded) {
+  // Fresh governor, nothing consumed, no limits: every bound renders "-".
+  GovernorUsage usage;
+  GovernorLimits limits;
+  EXPECT_EQ(FormatGovernorUsage(usage, limits),
+            "governor: passes=0/- derivations=0/- cells=0/- checkpoints=0 "
+            "remaining_ms=- status=completed\n");
+}
+
+TEST(ExplainFormatTest, GovernorLineBoundedAndAborted) {
+  GovernorUsage usage;
+  usage.checkpoints = 42;
+  usage.passes = 3;
+  usage.derivations = 120;
+  usage.peak_cells = 900;
+  usage.remaining_ms = 7;
+  usage.abort_reason =
+      "resource exhausted: fixpoint did not converge within max_passes=3";
+  GovernorLimits limits;
+  limits.deadline_ms = 50;  // reported via remaining_ms, not as a bound
+  limits.max_passes = 3;
+  limits.max_derivations = 1000;
+  limits.max_universe_cells = 2048;
+  EXPECT_EQ(
+      FormatGovernorUsage(usage, limits),
+      "governor: passes=3/3 derivations=120/1000 cells=900/2048 "
+      "checkpoints=42 remaining_ms=7 status=resource exhausted: fixpoint "
+      "did not converge within max_passes=3\n");
+}
+
+TEST(ExplainFormatTest, GovernorLineMatchesLiveGovernor) {
+  // The same renderer fed from a real governor: counters land in the
+  // expected fields.
+  GovernorLimits limits;
+  limits.max_derivations = 10;
+  ResourceGovernor g(limits);
+  ASSERT_TRUE(g.ChargePass().ok());
+  ASSERT_TRUE(g.ChargeDerivations(4).ok());
+  EXPECT_EQ(FormatGovernorUsage(g.Usage(), g.limits()),
+            "governor: passes=1/- derivations=4/10 cells=0/- checkpoints=2 "
+            "remaining_ms=- status=completed\n");
+}
+
+TEST(ExplainFormatTest, SiteStatsTable) {
+  SiteStats alpha;
+  alpha.site = "alpha";
+  alpha.requests = 12;
+  alpha.cache_hits = 2;
+  alpha.cache_misses = 1;
+  alpha.retries = 4;
+  alpha.timeouts = 1;
+  alpha.failures = 5;
+  alpha.shipped_subgoals = 6;
+  alpha.pulled_exports = 7;
+
+  SiteStats b;
+  b.site = "b";
+  b.requests = 3;
+  b.pulled_exports = 1;
+  b.degraded = true;
+
+  // Right-aligned columns, two-space gutters, a dash rule under the header,
+  // and a totals row with an empty state cell.
+  EXPECT_EQ(
+      FormatSiteStats({alpha, b}),
+      " site  reqs  hits  misses  retries  timeouts  failures  shipped  "
+      "pulled     state\n"
+      "-----  ----  ----  ------  -------  --------  --------  -------  "
+      "------  --------\n"
+      "alpha    12     2       1        4         1         5        6  "
+      "     7        ok\n"
+      "    b     3     0       0        0         0         0        0  "
+      "     1  degraded\n"
+      "total    15     2       1        4         1         5        6  "
+      "     8          \n");
+}
+
+}  // namespace
+}  // namespace idl

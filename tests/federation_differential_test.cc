@@ -40,8 +40,9 @@ std::string ReadFile(const fs::path& path) {
 // registered directly (federate=false) or hosted on one LocalSite per
 // database behind a gateway (federate=true).
 std::string RunScript(const std::string& script, bool name_mappings,
-                      bool federate) {
+                      const EvalOptions& materialize_options, bool federate) {
   Session session;
+  session.set_materialize_options(materialize_options);
   PaperUniverse paper = MakePaperUniverse(name_mappings);
   if (federate) {
     auto gateway = std::make_shared<Gateway>();
@@ -122,10 +123,19 @@ TEST(FederationDifferential, CorpusTranscriptsMatchDirectSession) {
     std::string script = ReadFile(script_path);
     bool name_mappings =
         script.find("% universe: name-mappings") != std::string::npos;
+    // Honor the governor directive exactly like golden_corpus_test: the
+    // corpus deliberately contains a divergent script
+    // (governor_divergent.idl) that only terminates under a pass budget.
+    EvalOptions options;
+    if (size_t at = script.find("% max-passes:"); at != std::string::npos) {
+      options.max_passes =
+          std::atoi(script.c_str() + at + sizeof("% max-passes:") - 1);
+    }
 
-    std::string direct = RunScript(script, name_mappings, /*federate=*/false);
-    std::string federated = RunScript(script, name_mappings,
-                                      /*federate=*/true);
+    std::string direct =
+        RunScript(script, name_mappings, options, /*federate=*/false);
+    std::string federated =
+        RunScript(script, name_mappings, options, /*federate=*/true);
     EXPECT_EQ(federated, direct)
         << "federated and direct transcripts diverge";
   }

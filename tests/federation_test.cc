@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
 #include <string>
@@ -350,6 +351,60 @@ TEST(Gateway, TimeoutsAreCountedAndRetried) {
   // A generous deadline clears it.
   fed.handles["ource"]->set_latency_ms(0);
   EXPECT_TRUE(fed.gateway->FetchAll().ok());
+}
+
+TEST(Gateway, BackoffScheduleIsSeededDeterministicAndCapped) {
+  Gateway::Options options;
+  options.max_retries = 8;
+  options.backoff_ms = 10;
+  options.backoff_cap_ms = 40;
+  options.backoff_seed = 123;
+
+  // Same seed, same schedule: the jitter comes from common/rng.h, not from
+  // wall-clock entropy, so retry timing is reproducible in tests and logs.
+  std::vector<int> a = BackoffSchedule(options);
+  EXPECT_EQ(a, BackoffSchedule(options));
+  ASSERT_EQ(a.size(), 8u);
+
+  // Equal jitter over a doubling base, clamped at the cap: entry i draws
+  // uniformly from [b/2, b] where b = min(backoff_ms * 2^i, backoff_cap_ms).
+  for (size_t i = 0; i < a.size(); ++i) {
+    int bounded = std::min<int>(10 << std::min<size_t>(i, 20), 40);
+    EXPECT_GE(a[i], bounded / 2) << "entry " << i;
+    EXPECT_LE(a[i], bounded) << "entry " << i;
+  }
+
+  // A different seed draws a different schedule (fixed seeds, so this is a
+  // deterministic assertion, not a probabilistic one).
+  options.backoff_seed = 124;
+  EXPECT_NE(a, BackoffSchedule(options));
+
+  // Degenerate configurations: no retries, or no backoff at all.
+  options.max_retries = 0;
+  EXPECT_TRUE(BackoffSchedule(options).empty());
+  options.max_retries = 3;
+  options.backoff_ms = 0;
+  EXPECT_EQ(BackoffSchedule(options), (std::vector<int>{0, 0, 0}));
+}
+
+TEST(Gateway, CancelledGovernorStopsFetchWithoutRetries) {
+  Gateway::Options options;
+  options.max_retries = 5;
+  options.backoff_ms = 0;
+  Federation fed = MakePaperFederation(options);
+
+  CancelHandle handle;
+  handle.Cancel();
+  ResourceGovernor governor((GovernorLimits()), handle);
+  auto fetch = fed.gateway->FetchAll(&governor);
+  ASSERT_FALSE(fetch.ok());
+  // kCancelled is not in the retriable set {kUnavailable,
+  // kDeadlineExceeded}: the fetch stops at the first checkpoint instead of
+  // burning the retry budget against healthy sites.
+  EXPECT_EQ(fetch.status().code(), StatusCode::kCancelled);
+  for (const auto& name : fed.gateway->SiteNames()) {
+    EXPECT_EQ(StatsFor(*fed.gateway, name).retries, 0u) << name;
+  }
 }
 
 // ---------------------------------------------------------------------------

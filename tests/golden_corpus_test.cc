@@ -10,8 +10,15 @@
 //   IDL_UPDATE_GOLDENS=1 build/tests/golden_corpus_test
 // then review the diff like any other code change.
 //
-// Script directives (comment lines, read by this harness only):
+// Script directives (comment lines, read by this harness and by
+// examples/idl_shell.cc's ApplyScriptDirectives):
 //   % universe: name-mappings   — preload MakePaperUniverse(true)
+//   % max-passes: N             — fixpoint pass budget for the resource
+//                                 governor, letting the corpus pin the abort
+//                                 transcript of an intentionally divergent
+//                                 script (governor abort messages carry only
+//                                 configured limits, never live counters, so
+//                                 both strategies produce identical text)
 
 #include <gtest/gtest.h>
 
@@ -118,12 +125,19 @@ TEST(GoldenCorpus, ScriptsMatchGoldens) {
     std::string script = ReadFile(script_path);
     bool name_mappings =
         script.find("% universe: name-mappings") != std::string::npos;
+    int max_passes = 0;
+    if (size_t at = script.find("% max-passes:"); at != std::string::npos) {
+      max_passes =
+          std::atoi(script.c_str() + at + sizeof("% max-passes:") - 1);
+    }
 
     EvalOptions semi;  // defaults: kSemiNaive, auto parallelism
+    semi.max_passes = max_passes;
     std::string transcript = RunScript(script, name_mappings, semi);
 
     EvalOptions naive;
     naive.strategy = EvalStrategy::kNaive;
+    naive.max_passes = max_passes;
     std::string oracle = RunScript(script, name_mappings, naive);
     EXPECT_EQ(transcript, oracle)
         << "semi-naive and naive transcripts diverge";
