@@ -6,6 +6,11 @@
 //
 // Flags (before the script argument):
 //   --strategy={naive,seminaive,parallel}   view materialization strategy
+//   --maintenance={incremental,rematerialize}
+//                                           keep materialized views current
+//                                           by delta propagation (default)
+//                                           or rebuild them from scratch
+//                                           after every update
 //   --site-latency-ms=N                     host the paper databases on
 //                                           simulated remote sites with N ms
 //                                           of request latency (federated
@@ -57,14 +62,28 @@ constexpr char kDemoScript[] = R"(
 ?.dbI.p(.stk=S, .clsPrice>200);
 )";
 
-// Applies a script's `% max-passes: N` directive to options the flags left
-// unset, so divergent demo scripts terminate even when run bare.
+// Applies a script's directives to options the flags left unset, so demo
+// scripts behave the same when run bare: `% max-passes: N` (divergent
+// scripts terminate) and `% maintenance: {incremental,rematerialize}` (a
+// script can pin how its view cache is kept current).
 void ApplyScriptDirectives(const std::string& script,
-                           idl::EvalOptions* options) {
+                           idl::EvalOptions* request_options,
+                           idl::EvalOptions* materialize_options,
+                           bool maintenance_flag_given) {
   const std::string directive = "% max-passes:";
   size_t at = script.find(directive);
-  if (at != std::string::npos && options->max_passes == 0) {
-    options->max_passes = std::atoi(script.c_str() + at + directive.size());
+  if (at != std::string::npos && request_options->max_passes == 0) {
+    request_options->max_passes =
+        std::atoi(script.c_str() + at + directive.size());
+  }
+  if (!maintenance_flag_given) {
+    if (script.find("% maintenance: rematerialize") != std::string::npos) {
+      materialize_options->maintenance =
+          idl::MaintenanceMode::kRematerialize;
+    } else if (script.find("% maintenance: incremental") !=
+               std::string::npos) {
+      materialize_options->maintenance = idl::MaintenanceMode::kIncremental;
+    }
   }
 }
 
@@ -138,6 +157,12 @@ requests) against the paper's three stock databases. With no script
 argument a built-in demo runs; '-' reads from stdin.
 
   --strategy={naive,seminaive,parallel}  view materialization strategy
+  --maintenance={incremental,rematerialize}
+                        keep materialized views current by delta
+                        propagation (the default) or rebuild from scratch
+                        after every update; a script's
+                        '% maintenance: MODE' directive applies when this
+                        flag is not given (docs/INCREMENTAL.md)
   --site-latency-ms=N   host the databases on simulated remote sites with
                         N ms request latency (0 = direct, the default)
   --deadline-ms=N       wall-clock budget per statement
@@ -156,6 +181,7 @@ that exceeds one aborts cleanly and leaves the universe untouched.
 int main(int argc, char** argv) {
   idl::EvalOptions eval_options;
   idl::EvalOptions request_options;
+  bool maintenance_flag_given = false;
   int site_latency_ms = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -166,6 +192,7 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--", 0) == 0 && arg != "--") {
       bool known =
           arg.rfind("--strategy=", 0) == 0 ||
+          arg.rfind("--maintenance=", 0) == 0 ||
           arg.rfind("--site-latency-ms=", 0) == 0 ||
           arg.rfind("--deadline-ms=", 0) == 0 ||
           arg.rfind("--max-passes=", 0) == 0 ||
@@ -192,6 +219,20 @@ int main(int argc, char** argv) {
             strategy.c_str());
         return 1;
       }
+    } else if (arg.rfind("--maintenance=", 0) == 0) {
+      std::string mode = arg.substr(std::string("--maintenance=").size());
+      if (mode == "incremental") {
+        eval_options.maintenance = idl::MaintenanceMode::kIncremental;
+      } else if (mode == "rematerialize") {
+        eval_options.maintenance = idl::MaintenanceMode::kRematerialize;
+      } else {
+        std::printf(
+            "unknown --maintenance '%s' (want incremental or "
+            "rematerialize)\n",
+            mode.c_str());
+        return 1;
+      }
+      maintenance_flag_given = true;
     } else if (arg.rfind("--site-latency-ms=", 0) == 0) {
       site_latency_ms =
           std::atoi(arg.substr(std::string("--site-latency-ms=").size())
@@ -274,7 +315,9 @@ int main(int argc, char** argv) {
     buffer << file.rdbuf();
     script = buffer.str();
   }
-  ApplyScriptDirectives(script, &request_options);
+  ApplyScriptDirectives(script, &request_options, &eval_options,
+                        maintenance_flag_given);
+  session.set_materialize_options(eval_options);
   int rc = Run(&session, script, request_options);
   if (site_latency_ms > 0) {
     std::printf("%s", session.ExplainFederation().c_str());

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Run every bench binary and merge the reports into one BENCH_<git-sha>.json.
+#
+# Usage: scripts/bench_all.sh [build-dir] [extra benchmark flags...]
+#
+#   scripts/bench_all.sh                         # full run, repo defaults
+#   scripts/bench_all.sh build --benchmark_min_time=0.01
+#                                                # CI smoke scale: every
+#                                                # benchmark, ~1 iteration
+#
+# Each build/bench/bench_* is run with --benchmark_out (the stock
+# google-benchmark JSON reporter; the idl_bench_with_main binaries' --json
+# flag is sugar for the same thing), any extra flags are passed through to
+# every binary, and the per-binary reports are merged into a single
+# BENCH_<git-sha>.json in the repo root: one shared context block plus every
+# benchmark row tagged with the binary it came from. EXPERIMENTS.md numbers
+# come from a defaults run of this script; CI uploads the smoke-scale merge
+# as an artifact so every release build leaves a queryable trace.
+
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+shift || true
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$repo_root/$build_dir" ;;
+esac
+
+if ! ls "$build_dir"/bench/bench_* >/dev/null 2>&1; then
+  echo "bench_all.sh: no bench binaries under $build_dir/bench" \
+       "(build first: cmake --build $build_dir)" >&2
+  exit 1
+fi
+
+sha=$(git -C "$repo_root" rev-parse --short HEAD)
+out="$repo_root/BENCH_${sha}.json"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+for bench in "$build_dir"/bench/bench_*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "== $name"
+  "$bench" --benchmark_out="$tmpdir/$name.json" \
+           --benchmark_out_format=json "$@"
+done
+
+python3 - "$sha" "$out" "$tmpdir"/*.json <<'PY'
+import json
+import sys
+
+sha, out = sys.argv[1], sys.argv[2]
+merged = {"git_sha": sha, "context": None, "benchmarks": []}
+for path in sys.argv[3:]:
+    binary = path.rsplit("/", 1)[-1][: -len(".json")]
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except ValueError:
+        # A filter that matches nothing leaves an empty report behind.
+        print(f"bench_all.sh: skipping {binary} (empty/invalid report)",
+              file=sys.stderr)
+        continue
+    if merged["context"] is None:
+        merged["context"] = report.get("context", {})
+    for row in report.get("benchmarks", []):
+        row["binary"] = binary
+        merged["benchmarks"].append(row)
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out} ({len(merged['benchmarks'])} benchmarks)")
+PY

@@ -25,6 +25,14 @@ std::string FormatMs(double ms) {
 
 }  // namespace
 
+std::string FormatMaintenanceStats(const MaintenanceStats& s) {
+  return StrCat("maintenance: deltas=", s.deltas_applied,
+                " rederived=", s.rederived,
+                " strata_skipped=", s.strata_skipped,
+                " strata_rederived=", s.strata_rederived,
+                " fallbacks=", s.fallbacks, "\n");
+}
+
 namespace {
 
 // Right-aligns `rows` (first row is the header) into a terminal table.

@@ -58,6 +58,23 @@ struct StratumStats {
 // Renders one row per stratum plus a totals row, aligned for terminals.
 std::string FormatStratumStats(const std::vector<StratumStats>& strata);
 
+// Accounting of incremental view maintenance (views/engine.h ApplyDelta) on
+// one retained materialization. `fallbacks` counts deltas the session could
+// not maintain incrementally (whole-universe dirt, governor abort mid-delta,
+// missing retained state) and served by a full rematerialization instead.
+struct MaintenanceStats {
+  uint64_t deltas_applied = 0;    // ApplyDelta calls that succeeded
+  uint64_t rederived = 0;         // body substitutions replayed by maintenance
+  uint64_t strata_skipped = 0;    // level visits that skipped evaluation
+  uint64_t strata_rederived = 0;  // level visits that re-ran their wave
+  uint64_t fallbacks = 0;         // deltas served by full rematerialization
+};
+
+// The one-line maintenance section of Materialized::Explain(), e.g.
+// "maintenance: deltas=2 rederived=17 strata_skipped=3 strata_rederived=1
+// fallbacks=0\n" (locked by tests/explain_format_test.cc).
+std::string FormatMaintenanceStats(const MaintenanceStats& s);
+
 // Per-site accounting of the federation gateway (src/federation/gateway.h):
 // how many requests crossed the site boundary, how the generation-keyed
 // answer cache behaved, and how the robustness machinery (retries, deadlines,

@@ -2,14 +2,15 @@
 
 namespace idl {
 
-bool SetIndexCache::Probe(const Value& set, const std::string& attr,
+bool SetIndexCache::Probe(const Value& set, std::string_view attr,
                           const Value& value,
                           std::vector<uint32_t>* candidates) {
   candidates->clear();
   if (!set.is_set() || set.SetSize() < min_set_size_) return false;
 
+  const StringInterner::Id attr_id = attr_ids_.Intern(attr);
   auto& per_set = cache_[static_cast<SetKey>(&set)];
-  auto it = per_set.find(attr);
+  auto it = per_set.find(attr_id);
   if (it != per_set.end()) {
     ++indexes_reused_;
   } else {
@@ -26,7 +27,7 @@ bool SetIndexCache::Probe(const Value& set, const std::string& attr,
                        : field->Hash();
       index.by_hash.emplace(h, i);
     }
-    it = per_set.emplace(attr, std::move(index)).first;
+    it = per_set.emplace(attr_id, std::move(index)).first;
     ++indexes_built_;
   }
 

@@ -23,10 +23,11 @@
 #define IDL_EVAL_INDEX_H_
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
 #include "object/value.h"
 
 namespace idl {
@@ -53,7 +54,7 @@ class SetIndexCache {
   // Candidate element positions of `set` whose `attr` equals `value`
   // (verified by hash only — the caller re-checks each candidate). Returns
   // false if the set is below the indexing threshold (caller should scan).
-  bool Probe(const Value& set, const std::string& attr, const Value& value,
+  bool Probe(const Value& set, std::string_view attr, const Value& value,
              std::vector<uint32_t>* candidates);
 
   uint64_t indexes_built() const { return indexes_built_; }
@@ -69,8 +70,13 @@ class SetIndexCache {
   using SetKey = const void*;
 
   size_t min_set_size_;
-  // (set address, attribute) -> index.
-  std::unordered_map<SetKey, std::unordered_map<std::string, AttrIndex>>
+  // Attribute names interned once per cache lifetime: probes on the hot
+  // path then key by a 32-bit id instead of hashing the attribute string
+  // per probe. Survives EnsureGeneration clears — the same few relation
+  // attribute names recur across every generation.
+  StringInterner attr_ids_;
+  // (set address, attribute id) -> index.
+  std::unordered_map<SetKey, std::unordered_map<StringInterner::Id, AttrIndex>>
       cache_;
   uint64_t generation_ = 0;
   uint64_t indexes_built_ = 0;

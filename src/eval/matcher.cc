@@ -343,7 +343,7 @@ Result<bool> Matcher::MatchTupleItems(const Value& value,
 }
 
 bool Matcher::FindProbe(const Expr& inner, const Substitution& sigma,
-                        std::string* attr, Value* value) {
+                        std::string_view* attr, Value* value) {
   if (inner.negated || inner.kind != Expr::Kind::kTuple) return false;
   for (const auto& item : inner.items) {
     if (item.attr_is_var || item.is_guard() ||
@@ -385,7 +385,7 @@ Result<bool> Matcher::MatchSet(const Value& value, const Expr& expr,
   // value. Candidates are verified by the full match, so hash collisions
   // and cross-kind equality are handled exactly as in the scan path.
   if (index_cache_ != nullptr) {
-    std::string attr;
+    std::string_view attr;
     Value probe_value;
     if (FindProbe(inner, *sigma, &attr, &probe_value)) {
       std::vector<uint32_t> candidates;

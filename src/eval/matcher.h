@@ -24,6 +24,7 @@
 #define IDL_EVAL_MATCHER_H_
 
 #include <functional>
+#include <string_view>
 
 #include "common/result.h"
 #include "eval/explain.h"
@@ -81,9 +82,10 @@ class Matcher {
   // If `inner` (the body of a set expression) contains a tuple item usable
   // as an equality probe under `sigma` — a constant attribute with a pure
   // `=term` expression whose term is ground — fills attr/value and returns
-  // true.
+  // true. `*attr` aliases the item's name (owned by the expression, which
+  // outlives the probe): the hot path copies no string.
   static bool FindProbe(const Expr& inner, const Substitution& sigma,
-                        std::string* attr, Value* value);
+                        std::string_view* attr, Value* value);
 
   EvalStats* stats_;
   SetIndexCache* index_cache_;

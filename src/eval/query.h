@@ -47,6 +47,19 @@ enum class EvalStrategy {
   kSemiNaive,
 };
 
+// How the session keeps a cached materialization current across base
+// changes (see views/engine.h ApplyDelta and docs/INCREMENTAL.md).
+enum class MaintenanceMode {
+  // Propagate structured base deltas into the retained materialization:
+  // insertions semi-naively, everything else by delete-and-rederive
+  // restricted to the affected strata. Falls back to a full
+  // rematerialization whenever the delta cannot be maintained safely.
+  kIncremental,
+  // Discard and rebuild from scratch on every base change; kept as the
+  // differential oracle for the incremental path.
+  kRematerialize,
+};
+
 struct EvalOptions {
   // Move negated conjuncts after all positive ones (keeps left-to-right
   // binding order safe without requiring the user to order them).
@@ -64,6 +77,11 @@ struct EvalOptions {
   // kSemiNaive. 0 = auto (hardware concurrency), 1 = serial, N = N-way.
   // Results are identical for every value (writes stay sequential).
   size_t materialize_parallelism = 0;
+  // Materialization only: how the session maintains the cached
+  // materialization across base changes. Incremental maintenance needs the
+  // per-level state only kSemiNaive records, so kNaive always
+  // rematerializes regardless of this setting.
+  MaintenanceMode maintenance = MaintenanceMode::kIncremental;
 
   // ---- Resource-governor budgets (common/governor.h; 0 = unbounded) -------
   // The session builds one ResourceGovernor per request from these; a

@@ -1,5 +1,7 @@
 #include "idl/session.h"
 
+#include <utility>
+
 #include "common/str_util.h"
 #include "eval/matcher.h"
 #include "federation/ship.h"
@@ -60,6 +62,14 @@ std::unique_ptr<ResourceGovernor> Session::MakeRequestGovernor(
   return std::make_unique<ResourceGovernor>(limits, cancel_);
 }
 
+void Session::MarkStale(UniverseDelta delta) {
+  materialized_valid_ = false;
+  // A counted mutation that recorded nothing would otherwise slip past
+  // maintenance entirely; treat an empty delta as whole-universe.
+  if (delta.empty()) delta.MarkWhole();
+  pending_delta_.MergeFrom(std::move(delta));
+}
+
 void Session::RecordGovernor(const ResourceGovernor* governor,
                              const Status& status) {
   if (governor == nullptr) return;
@@ -114,6 +124,7 @@ Status Session::SyncFederation(const ResourceGovernor* governor) {
                        federation_->FetchAll(governor));
   degraded_sites_ = fetch.degraded;
   bool changed = false;
+  UniverseDelta delta;  // one dirty db per replica that moved
   for (auto& [name, db] : fetch.site_databases) {
     auto it = synced_generations_.find(name);
     if (it != synced_generations_.end() &&
@@ -122,15 +133,19 @@ Status Session::SyncFederation(const ResourceGovernor* governor) {
     }
     base_.SetField(name, std::move(db));
     synced_generations_[name] = fetch.generations[name];
+    delta.AddDirty({name});
     changed = true;
   }
   // A degraded site contributes nothing: the answer comes from the
   // remaining sites (and says so — see degraded_sites()).
   for (const auto& name : fetch.degraded) {
-    if (base_.RemoveField(name)) changed = true;
+    if (base_.RemoveField(name)) {
+      delta.AddDirty({name});
+      changed = true;
+    }
     synced_generations_.erase(name);
   }
-  if (changed) Invalidate();
+  if (changed) MarkStale(std::move(delta));
   return Status::Ok();
 }
 
@@ -214,9 +229,10 @@ Result<CallResult> Session::CallProgram(
   if (guarded) snapshot = base_;
 
   std::set<std::string> touched;
+  UniverseDelta call_delta;
   ProgramExecutor executor(&registry_, &base_, &stats_,
                            federation_ == nullptr ? nullptr : &touched,
-                           governor.get());
+                           governor.get(), &call_delta);
   Result<CallResult> result = executor.Call(path, view_op, args);
   RecordGovernor(governor.get(), result.status());
   if (!result.ok()) {
@@ -235,7 +251,7 @@ Result<CallResult> Session::CallProgram(
           StrCat("program ", path, " rolled back"));
     }
   }
-  if (result->counts.Total() > 0) Invalidate();
+  if (result->counts.Total() > 0) MarkStale(std::move(call_delta));
   Status pushed = WriteBack(touched);
   if (!pushed.ok()) {
     base_ = std::move(snapshot);
@@ -306,7 +322,55 @@ Status Session::EnsureMaterialized(const ResourceGovernor* request) {
       limits.max_universe_cells = outer.max_universe_cells;
     }
   }
-  if (request != nullptr || !limits.Unlimited() || cancel_exposed_) {
+  const bool governed =
+      request != nullptr || !limits.Unlimited() || cancel_exposed_;
+
+  // Maintenance counters survive a rebuild (so `explain` shows the
+  // session-lifetime tally, fallbacks included).
+  MaintenanceStats carried;
+  if (maintenance_available_) carried = materialized_.maintenance;
+
+  const bool maintaining =
+      maintenance_available_ &&
+      materialize_options_.maintenance == MaintenanceMode::kIncremental &&
+      materialize_options_.strategy == EvalStrategy::kSemiNaive;
+  if (maintaining && !pending_delta_.whole) {
+    UniverseDelta delta = std::exchange(pending_delta_, UniverseDelta());
+    Status applied;
+    if (governed) {
+      ResourceGovernor governor(limits, cancel_, request);
+      applied = views_.ApplyDelta(&materialized_, base_, delta,
+                                  materialize_options_, &stats_, &governor);
+      if (applied.ok()) {
+        materialized_.governor =
+            FormatGovernorUsage(governor.Usage(), governor.limits());
+      } else if (!governor.Usage().abort_reason.empty()) {
+        // Aborted mid-delta: the retained state is unspecified. Publish the
+        // fixpoint's own usage line and drop the state — the next request
+        // rebuilds from base_, which the abort never touched.
+        last_governor_ =
+            FormatGovernorUsage(governor.Usage(), governor.limits());
+        maintenance_available_ = false;
+        return applied;
+      }
+    } else {
+      applied = views_.ApplyDelta(&materialized_, base_, delta,
+                                  materialize_options_, &stats_);
+    }
+    if (applied.ok()) {
+      materialized_.federation = ExplainFederation();
+      derived_paths_ = materialized_.derived_paths;
+      materialized_valid_ = true;
+      return Status::Ok();
+    }
+    // Not maintainable (whole-universe delta, missing retained state, an
+    // evaluation error): fall through to the full rematerialization.
+  }
+  const bool fell_back = maintaining;
+  maintenance_available_ = false;
+  pending_delta_.Clear();
+
+  if (governed) {
     // Materialize derives into a scratch copy of base_, so an abort leaves
     // both base_ and the cached materialization untouched.
     ResourceGovernor governor(limits, cancel_, request);
@@ -327,9 +391,13 @@ Status Session::EnsureMaterialized(const ResourceGovernor* request) {
         materialized_,
         views_.Materialize(base_, materialize_options_, &stats_));
   }
+  materialized_.maintenance = carried;
+  if (fell_back) ++materialized_.maintenance.fallbacks;
   materialized_.federation = ExplainFederation();
   derived_paths_ = materialized_.derived_paths;
   materialized_valid_ = true;
+  maintenance_available_ =
+      materialize_options_.strategy == EvalStrategy::kSemiNaive;
   return Status::Ok();
 }
 
@@ -400,10 +468,15 @@ Result<UpdateRequestResult> Session::UpdateImpl(
   }
 
   UpdateRequestResult result;
+  // Mutations are recorded per conjunct and handed to MarkStale before the
+  // next conjunct runs: pure-query conjuncts read the merged universe, so
+  // mid-request materializations must already see the delta.
+  UniverseDelta request_delta;
   ProgramExecutor executor(&registry_, &base_, &stats_,
                            federation_ == nullptr ? nullptr : touched_roots,
-                           governor);
+                           governor, &request_delta);
   UpdateApplier applier(&stats_, &result.counts, governor);
+  applier.set_delta(&request_delta);
 
   std::vector<Substitution> bindings;
   bindings.emplace_back();
@@ -419,7 +492,10 @@ Result<UpdateRequestResult> Session::UpdateImpl(
       IDL_RETURN_IF_ERROR(executor.ExecuteConjunct(*conjunct, bindings, &next,
                                                    &call));
       result.counts += call.counts;
-      if (call.counts.Total() > 0) Invalidate();
+      if (call.counts.Total() > 0) {
+        MarkStale(std::move(request_delta));
+        request_delta.Clear();
+      }
     } else if (conjunct->IsPureQuery()) {
       IDL_ASSIGN_OR_RETURN(const Value* u, universe(governor));
       for (const auto& sigma : bindings) {
@@ -446,6 +522,7 @@ Result<UpdateRequestResult> Session::UpdateImpl(
             "'; no ", (op == UpdateOp::kDelete ? "delete" : "insert"),
             " update program is registered for it (§7.2)"));
       }
+      const uint64_t counts_before = result.counts.Total();
       for (const auto& sigma : bindings) {
         if (federation_ != nullptr) {
           CollectUpdateRoots(*conjunct, sigma, touched_roots);
@@ -453,7 +530,10 @@ Result<UpdateRequestResult> Session::UpdateImpl(
         IDL_RETURN_IF_ERROR(
             applier.ApplyConjunct(&base_, *conjunct, sigma, &next));
       }
-      if (result.counts.Total() > 0) Invalidate();
+      if (result.counts.Total() > counts_before) {
+        MarkStale(std::move(request_delta));
+        request_delta.Clear();
+      }
     }
 
     DedupSubstitutions(&next);
@@ -461,7 +541,7 @@ Result<UpdateRequestResult> Session::UpdateImpl(
     if (bindings.empty()) break;
   }
   result.bindings = bindings.size();
-  if (result.counts.Total() > 0) Invalidate();
+  if (!request_delta.empty()) MarkStale(std::move(request_delta));
   return result;
 }
 

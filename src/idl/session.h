@@ -226,7 +226,18 @@ class Session {
   // site). On failure the caller restores its snapshot; this clears the
   // synced generations so the next sync re-pulls remote truth.
   Status WriteBack(const std::set<std::string>& roots);
-  void Invalidate() { materialized_valid_ = false; }
+  // Hard invalidation: the retained materialization is unusable (rule set
+  // changed, databases came or went, a rollback rewound the base). The next
+  // request rematerializes from scratch.
+  void Invalidate() {
+    materialized_valid_ = false;
+    maintenance_available_ = false;
+    pending_delta_.Clear();
+  }
+  // Soft invalidation: the base changed exactly as `delta` describes. The
+  // merged accumulated delta drives incremental maintenance at the next
+  // EnsureMaterialized (views/engine.h ApplyDelta).
+  void MarkStale(UniverseDelta delta);
   // True if an update conjunct with this decomposed path targets a derived
   // relation.
   bool TargetsDerived(const std::string& path) const;
@@ -243,6 +254,14 @@ class Session {
   ConstraintSet constraints_;
   Materialized materialized_;
   bool materialized_valid_ = false;
+  // True while materialized_ carries usable per-level maintenance state
+  // (set by a full kSemiNaive materialization, cleared by Invalidate and by
+  // maintenance errors). Orthogonal to materialized_valid_: a stale-but-
+  // maintainable cache has maintenance_available_ && !materialized_valid_.
+  bool maintenance_available_ = false;
+  // Base changes accumulated since the retained materialization was built
+  // (merged across MarkStale calls, consumed by EnsureMaterialized).
+  UniverseDelta pending_delta_;
   std::vector<std::string> derived_paths_;
   EvalStats stats_;
   EvalOptions materialize_options_;

@@ -117,6 +117,7 @@ Status ProgramExecutor::ExecuteConjunct(const Expr& conjunct,
 
   UpdateApplier applier(stats_ ? stats_ : &local_stats_, &result->counts,
                         governor_);
+  applier.set_delta(delta_);
   for (const auto& sigma : in) {
     if (touched_roots_ != nullptr) {
       CollectUpdateRoots(conjunct, sigma, touched_roots_);

@@ -40,15 +40,19 @@ class ProgramExecutor {
   // `governor`, if non-null, is polled per executed conjunct (and flows into
   // the per-substitution update applier); the session snapshots the universe
   // before a governed call, so an abort mid-program rolls back cleanly.
+  // `delta`, if non-null, records every universe mutation the program makes
+  // (UpdateApplier::set_delta semantics) for incremental view maintenance.
   ProgramExecutor(const ProgramRegistry* registry, Value* universe,
                   EvalStats* stats = nullptr,
                   std::set<std::string>* touched_roots = nullptr,
-                  const ResourceGovernor* governor = nullptr)
+                  const ResourceGovernor* governor = nullptr,
+                  UniverseDelta* delta = nullptr)
       : registry_(registry),
         universe_(universe),
         stats_(stats),
         touched_roots_(touched_roots),
-        governor_(governor) {}
+        governor_(governor),
+        delta_(delta) {}
 
   // Calls `path` (e.g. "dbU.delStk") with named arguments. `view_op` selects
   // a view-update program (`p+`/`p-`); kNone selects an ordinary program.
@@ -76,6 +80,7 @@ class ProgramExecutor {
   EvalStats* stats_;
   std::set<std::string>* touched_roots_;
   const ResourceGovernor* governor_;
+  UniverseDelta* delta_ = nullptr;
   EvalStats local_stats_;
   int depth_ = 0;
 };

@@ -30,6 +30,21 @@ Status CollectMatches(EvalStats* stats, const Value& value, const Expr& expr,
 
 }  // namespace
 
+void UpdateApplier::RecordDirty(const std::string* attr) {
+  if (delta_ == nullptr) return;
+  if (element_depth_ > 0) {
+    delta_->AddDirty(element_set_path_);
+    return;
+  }
+  if (attr == nullptr) {
+    delta_->AddDirty(path_);
+    return;
+  }
+  path_.push_back(*attr);
+  delta_->AddDirty(path_);
+  path_.pop_back();
+}
+
 Result<std::string> UpdateApplier::GroundAttr(const TupleItem& item,
                                               const Substitution& sigma) {
   if (!item.attr_is_var) return item.attr;
@@ -125,10 +140,22 @@ Status UpdateApplier::ApplyItem(Value* tuple, const TupleItem& item,
     case UpdateOp::kInsert: {
       // §5.2 tuple plus: (re)create the attribute with an empty object and
       // make the sub-expression true on it.
+      const bool existed = tuple->FindField(attr) != nullptr;
       tuple->SetField(attr, Value::Null());
       ++counts_->attr_creates;
       Value* slot = tuple->MutableField(attr);
       IDL_RETURN_IF_ERROR(MakeTrue(slot, sub, sigma));
+      if (delta_ != nullptr) {
+        if (existed || element_depth_ > 0) {
+          // Replaced an existing object (or churned inside a set element):
+          // not a pure insert.
+          RecordDirty(&attr);
+        } else {
+          path_.push_back(attr);
+          delta_->AddCreatedObject(path_, *slot);
+          path_.pop_back();
+        }
+      }
       out->push_back(sigma);
       return Status::Ok();
     }
@@ -149,6 +176,7 @@ Status UpdateApplier::ApplyItem(Value* tuple, const TupleItem& item,
       }
       tuple->RemoveField(attr);
       ++counts_->attr_deletes;
+      RecordDirty(&attr);
       for (auto& m : matches) out->push_back(std::move(m));
       return Status::Ok();
     }
@@ -159,7 +187,10 @@ Status UpdateApplier::ApplyItem(Value* tuple, const TupleItem& item,
         return NotFound(
             StrCat("update path: no attribute '", attr, "' to descend into"));
       }
-      return ApplyConjunct(object, sub, sigma, out);
+      if (element_depth_ == 0) path_.push_back(attr);
+      Status st = ApplyConjunct(object, sub, sigma, out);
+      if (element_depth_ == 0) path_.pop_back();
+      return st;
     }
   }
   return Internal("unreachable update op");
@@ -186,6 +217,14 @@ Status UpdateApplier::ApplySet(Value* set, const Expr& expr,
       // true on it, add it to the set.
       Value element;
       IDL_RETURN_IF_ERROR(MakeTrue(&element, inner, sigma));
+      if (delta_ != nullptr) {
+        if (element_depth_ == 0 && path_.size() == 2) {
+          // A fact added to a base relation: the delta-universe fast path.
+          delta_->AddInsert(path_[0], path_[1], element);
+        } else {
+          RecordDirty(nullptr);
+        }
+      }
       set->Insert(std::move(element));
       ++counts_->set_inserts;
       out->push_back(sigma);
@@ -224,6 +263,7 @@ Status UpdateApplier::ApplySet(Value* set, const Expr& expr,
         for (auto& v : kept) rebuilt.Insert(std::move(v));
         *set = std::move(rebuilt);
       }
+      RecordDirty(nullptr);
       for (auto& m : matches) out->push_back(std::move(m));
       return Status::Ok();
     }
@@ -241,13 +281,23 @@ Status UpdateApplier::ApplySet(Value* set, const Expr& expr,
       }
       uint64_t before = counts_->Total();
       std::vector<const TupleItem*> ordered = OrderItems(inner.items);
+      if (element_depth_ == 0) element_set_path_ = path_;
+      ++element_depth_;
       size_t n = set->SetSize();
       for (size_t i = 0; i < n; ++i) {
         Value* element = set->MutableElement(i);
         if (!element->is_tuple()) continue;
-        IDL_RETURN_IF_ERROR(ApplyTupleItems(element, ordered, 0, sigma, out));
+        Status st = ApplyTupleItems(element, ordered, 0, sigma, out);
+        if (!st.ok()) {
+          --element_depth_;
+          return st;
+        }
       }
-      if (counts_->Total() != before) set->RehashSet();
+      --element_depth_;
+      if (counts_->Total() != before) {
+        set->RehashSet();
+        RecordDirty(nullptr);
+      }
       return Status::Ok();
     }
   }
@@ -270,6 +320,7 @@ Status UpdateApplier::ApplyAtomic(Value* atom, const Expr& expr,
       IDL_ASSIGN_OR_RETURN(Value v, Matcher::EvalTerm(expr.term, sigma));
       *atom = std::move(v);
       ++counts_->atom_writes;
+      RecordDirty(nullptr);
       out->push_back(sigma);
       return Status::Ok();
     }
@@ -290,6 +341,7 @@ Status UpdateApplier::ApplyAtomic(Value* atom, const Expr& expr,
         extended.Bind(expr.term.var, *atom);
         *atom = Value::Null();
         ++counts_->atom_nulls;
+        RecordDirty(nullptr);
         out->push_back(std::move(extended));
         return Status::Ok();
       }
@@ -297,6 +349,7 @@ Status UpdateApplier::ApplyAtomic(Value* atom, const Expr& expr,
       if (Matcher::EvalRelOp(RelOp::kEq, *atom, v)) {
         *atom = Value::Null();
         ++counts_->atom_nulls;
+        RecordDirty(nullptr);
       }
       out->push_back(sigma);
       return Status::Ok();
@@ -372,11 +425,13 @@ Status UpdateApplier::MakeTrue(Value* slot, const Expr& expr,
 Result<UpdateRequestResult> ApplyUpdateRequest(Value* universe,
                                                const Query& request,
                                                EvalStats* stats,
-                                               const ResourceGovernor* governor) {
+                                               const ResourceGovernor* governor,
+                                               UniverseDelta* delta) {
   EvalStats local;
   if (stats == nullptr) stats = &local;
   UpdateRequestResult result;
   UpdateApplier applier(stats, &result.counts, governor);
+  applier.set_delta(delta);
 
   std::vector<Substitution> bindings;
   bindings.emplace_back();

@@ -35,6 +35,7 @@
 #include "eval/substitution.h"
 #include "object/value.h"
 #include "syntax/ast.h"
+#include "views/delta.h"
 
 namespace idl {
 
@@ -71,6 +72,14 @@ class UpdateApplier {
                 const ResourceGovernor* governor = nullptr)
       : stats_(stats), counts_(counts), governor_(governor) {}
 
+  // When set, every mutation is recorded into `delta` at the finest sound
+  // granularity (views/delta.h): fresh facts added to a relation as
+  // inserts, anything else as a dirty "db[.rel]" path, mutations that
+  // cannot be attributed to a database path as whole-universe. Only
+  // meaningful when ApplyConjunct targets the universe root (paths are
+  // tracked from the target down).
+  void set_delta(UniverseDelta* delta) { delta_ = delta; }
+
   // Applies one conjunct (which contains update markers) to `target` under
   // `sigma`; appends the resulting (possibly extended) substitutions to
   // `out`. A conjunct whose query parts match nothing appends nothing.
@@ -105,9 +114,23 @@ class UpdateApplier {
   Result<std::string> GroundAttr(const TupleItem& item,
                                  const Substitution& sigma);
 
+  // Records the innermost enclosing relation as dirty in delta_ (no-op
+  // without one). `attr` extends the current navigation path — an
+  // attribute-level mutation; inside set elements the set itself is the
+  // changed relation, whatever deeper path the mutation took.
+  void RecordDirty(const std::string* attr);
+
   EvalStats* stats_;
   UpdateCounts* counts_;
   const ResourceGovernor* governor_;
+  UniverseDelta* delta_ = nullptr;
+  // Attribute path from the update target (the universe root) to the object
+  // currently being mutated; elements of sets contribute no component.
+  std::vector<std::string> path_;
+  // Depth of nested element-wise set updates; while > 0 all recording
+  // collapses onto element_set_path_, the outermost such set.
+  size_t element_depth_ = 0;
+  std::vector<std::string> element_set_path_;
 };
 
 struct UpdateRequestResult {
@@ -120,10 +143,12 @@ struct UpdateRequestResult {
 // Applies an update request (a Query whose conjuncts include update
 // expressions) to the universe. `governor`, if non-null, is polled per
 // substitution per conjunct; callers wanting strong exception safety must
-// snapshot the universe first (the session does).
+// snapshot the universe first (the session does). `delta`, if non-null,
+// records every mutation (see UpdateApplier::set_delta).
 Result<UpdateRequestResult> ApplyUpdateRequest(
     Value* universe, const Query& request, EvalStats* stats = nullptr,
-    const ResourceGovernor* governor = nullptr);
+    const ResourceGovernor* governor = nullptr,
+    UniverseDelta* delta = nullptr);
 
 // Records into `roots` the top-level attribute names — database names, when
 // `conjunct` is applied to the universe root — that the conjunct's update

@@ -1,0 +1,150 @@
+#include "views/delta.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace idl {
+
+namespace {
+
+// Inserts `path` into the sorted unique vector `dirty`.
+void InsertSorted(std::vector<std::string>* dirty, std::string path) {
+  auto it = std::lower_bound(dirty->begin(), dirty->end(), path);
+  if (it == dirty->end() || *it != path) dirty->insert(it, std::move(path));
+}
+
+}  // namespace
+
+void UniverseDelta::AddInsert(std::string_view db, std::string_view rel,
+                              Value fact) {
+  if (whole) return;
+  if (!inserted.is_tuple()) inserted = Value::EmptyTuple();
+  Value* db_slot = inserted.MutableField(db);
+  if (db_slot == nullptr) {
+    inserted.SetField(db, Value::EmptyTuple());
+    db_slot = inserted.MutableField(db);
+  }
+  Value* rel_slot = db_slot->MutableField(rel);
+  if (rel_slot == nullptr) {
+    db_slot->SetField(rel, Value::EmptySet());
+    rel_slot = db_slot->MutableField(rel);
+  }
+  rel_slot->Insert(std::move(fact));
+}
+
+void UniverseDelta::AddDirty(const std::vector<std::string>& path) {
+  if (whole) return;
+  if (path.empty()) {
+    MarkWhole();
+    return;
+  }
+  std::string truncated = path[0];
+  if (path.size() > 1) {
+    truncated += ".";
+    truncated += path[1];
+  }
+  InsertSorted(&dirty, std::move(truncated));
+}
+
+void UniverseDelta::AddCreatedObject(const std::vector<std::string>& path,
+                                     const Value& object) {
+  if (whole) return;
+  if (path.size() == 2 && object.is_set()) {
+    for (const auto& fact : object.elements()) {
+      AddInsert(path[0], path[1], fact);
+    }
+    return;
+  }
+  if (path.size() == 1 && object.is_tuple()) {
+    bool all_sets = true;
+    for (const auto& field : object.fields()) {
+      if (!field.value.is_set()) {
+        all_sets = false;
+        break;
+      }
+    }
+    if (all_sets) {
+      for (const auto& field : object.fields()) {
+        for (const auto& fact : field.value.elements()) {
+          AddInsert(path[0], field.name, fact);
+        }
+      }
+      return;
+    }
+  }
+  AddDirty(path);
+}
+
+void UniverseDelta::MergeFrom(UniverseDelta other) {
+  if (whole) return;
+  if (other.whole) {
+    MarkWhole();
+    return;
+  }
+  if (!other.inserted.is_null()) {
+    if (inserted.is_null()) {
+      inserted = std::move(other.inserted);
+    } else {
+      MergeUniverse(&inserted, other.inserted);
+    }
+  }
+  for (auto& path : other.dirty) InsertSorted(&dirty, std::move(path));
+}
+
+std::vector<RelRef> UniverseDelta::InsertedRefs() const {
+  std::vector<RelRef> refs;
+  if (!inserted.is_tuple()) return refs;
+  for (const auto& db : inserted.fields()) {
+    if (!db.value.is_tuple()) continue;
+    for (const auto& rel : db.value.fields()) {
+      refs.push_back(RelRef{db.name, rel.name});
+    }
+  }
+  return refs;
+}
+
+std::vector<RelRef> UniverseDelta::DirtyRefs() const {
+  std::vector<RelRef> refs;
+  refs.reserve(dirty.size());
+  for (const auto& path : dirty) refs.push_back(PathToRef(path));
+  return refs;
+}
+
+RelRef PathToRef(const std::string& path) {
+  size_t dot = path.find('.');
+  if (dot == std::string::npos) return RelRef{path, std::nullopt};
+  return RelRef{path.substr(0, dot), path.substr(dot + 1)};
+}
+
+void MergeUniverse(Value* into, const Value& from) {
+  if (from.is_null()) return;
+  if (from.is_tuple()) {
+    if (into->is_null()) *into = Value::EmptyTuple();
+    if (!into->is_tuple()) {
+      *into = from;
+      return;
+    }
+    for (const auto& field : from.fields()) {
+      Value* slot = into->MutableField(field.name);
+      if (slot == nullptr) {
+        into->SetField(field.name, field.value);
+      } else {
+        MergeUniverse(slot, field.value);
+      }
+    }
+    return;
+  }
+  if (from.is_set()) {
+    if (into->is_null()) *into = Value::EmptySet();
+    if (!into->is_set()) {
+      *into = from;
+      return;
+    }
+    for (const auto& element : from.elements()) into->Insert(element);
+    return;
+  }
+  *into = from;  // atom: the new value wins
+}
+
+}  // namespace idl

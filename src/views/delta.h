@@ -1,0 +1,96 @@
+// UniverseDelta: a structured description of how the base universe changed,
+// precise enough for incremental view maintenance (views/engine.h
+// ApplyDelta) and cheap enough to record inline in the update applier.
+//
+// Two granularities, chosen per mutation by the recorder:
+//
+//  * inserted — facts added to an existing base relation with nothing
+//    removed or rewritten. Kept as a *delta universe* (tuple db → tuple rel
+//    → set of the new facts), the same shape the semi-naive engine's pass
+//    deltas use, so insertions can seed delta-restricted propagation
+//    directly.
+//  * dirty — "db" / "db.rel" paths whose content changed in any other way
+//    (deletes, in-place rewrites, attribute churn, replica swaps). A dirty
+//    relation forces delete-and-rederive of the strata that depend on it.
+//  * whole — the change could not be attributed to any path (an update
+//    applied to the universe root itself); only a full rematerialization is
+//    safe.
+//
+// Deltas merge: the session accumulates one UniverseDelta across all base
+// mutations between two materializations and hands it to ApplyDelta in one
+// piece.
+
+#ifndef IDL_VIEWS_DELTA_H_
+#define IDL_VIEWS_DELTA_H_
+
+#include <string>
+#include <vector>
+
+#include "object/value.h"
+#include "views/rule.h"
+
+namespace idl {
+
+struct UniverseDelta {
+  // Pure insertions, in delta-universe shape: tuple of databases, each a
+  // tuple of relations, each a set of the newly inserted facts. Null when
+  // there are none.
+  Value inserted = Value::Null();
+  // Sorted, unique "db" or "db.rel" paths changed in a non-insert way.
+  std::vector<std::string> dirty;
+  // The change could not be attributed to any database path.
+  bool whole = false;
+
+  bool empty() const {
+    return !whole && dirty.empty() && inserted.is_null();
+  }
+  void Clear() {
+    inserted = Value::Null();
+    dirty.clear();
+    whole = false;
+  }
+  void MarkWhole() {
+    Clear();
+    whole = true;
+  }
+
+  // Records `fact` as inserted into relation `rel` of database `db`.
+  void AddInsert(std::string_view db, std::string_view rel, Value fact);
+
+  // Records that the object at `path` (components from the universe root)
+  // changed in a way that is not a pure relation insert. The path is
+  // truncated to "db.rel" granularity; an empty path marks the whole
+  // universe.
+  void AddDirty(const std::vector<std::string>& path);
+
+  // Records a freshly created object at `path` (an attribute that did not
+  // exist before). Set-valued relations become per-fact inserts; a
+  // database-level tuple decomposes into its relations; anything else is
+  // recorded dirty (conservative).
+  void AddCreatedObject(const std::vector<std::string>& path,
+                        const Value& object);
+
+  // Folds `other` into this delta (set union of inserts and dirty paths;
+  // whole is sticky).
+  void MergeFrom(UniverseDelta other);
+
+  // The (db, rel) references of `inserted` — always concrete.
+  std::vector<RelRef> InsertedRefs() const;
+  // The references of `dirty`; a db-level path yields a relation wildcard.
+  std::vector<RelRef> DirtyRefs() const;
+};
+
+// The RelRef of a recorded "db" or "db.rel" path (db-level paths get a
+// relation wildcard, which Overlaps() treats conservatively).
+RelRef PathToRef(const std::string& path);
+
+// Deep-merges a delta-universe tree into a universe: tuples merge field by
+// field (creating missing fields), set elements are inserted (deduplicated),
+// non-null atoms overwrite. Mirrors what the update applier's pure inserts
+// did to the base universe, so ApplyDelta can replay them on the
+// materialized one.
+void MergeUniverse(Value* into, const Value& from);
+
+}  // namespace idl
+
+#endif  // IDL_VIEWS_DELTA_H_

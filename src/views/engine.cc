@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
+#include <iterator>
 #include <memory>
 #include <string_view>
 
@@ -373,6 +375,277 @@ Result<Materialized> MaterializeNaive(const std::vector<Rule>& rules,
 }
 
 // ---- kSemiNaive: delta-driven fixpoint with parallel rule evaluation -------
+//
+// The per-level wave is shared between full materialization and incremental
+// maintenance (ViewEngine::ApplyDelta): SemiNaiveContext carries everything
+// a wave needs, RunLevelWave runs one level to fixpoint.
+
+struct SemiNaiveContext {
+  const std::vector<Rule>* rules = nullptr;
+  Stratification strat;
+  std::vector<std::vector<size_t>> by_level;        // rule indexes per level
+  std::vector<RelRef> heads;                        // per rule
+  std::vector<std::vector<ConjunctClass>> classes;  // per rule
+  EvalOptions options;
+  const ResourceGovernor* governor = nullptr;
+  // Worker pool: the calling thread always participates (slot 0), so
+  // parallelism P means P-1 pool threads. One persistent index cache per
+  // worker slot, invalidated by the generation counter, which every
+  // universe mutation outside a wave's own write phase must bump too.
+  std::unique_ptr<ThreadPool> pool;
+  std::vector<std::unique_ptr<SetIndexCache>> caches;
+  uint64_t generation = 1;
+  EvalStats mat_stats;               // this run only (merged by the caller)
+  std::vector<std::string> derived;  // path per processed substitution
+  Materialized* m = nullptr;
+};
+
+Status InitSemiNaive(const std::vector<Rule>& rules,
+                     const EvalOptions& options,
+                     const ResourceGovernor* governor, Materialized* m,
+                     SemiNaiveContext* ctx) {
+  ctx->rules = &rules;
+  IDL_ASSIGN_OR_RETURN(ctx->strat, Stratify(rules));
+  const size_t n = rules.size();
+  ctx->by_level.assign(
+      static_cast<size_t>(std::max(ctx->strat.num_levels, 0)), {});
+  for (size_t i = 0; i < n; ++i) {
+    ctx->by_level[ctx->strat.level[i]].push_back(i);
+  }
+  ctx->heads.resize(n);
+  ctx->classes.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    IDL_ASSIGN_OR_RETURN(ctx->heads[i], HeadTarget(rules[i]));
+    IDL_ASSIGN_OR_RETURN(ctx->classes[i], ClassifyBody(rules[i]));
+  }
+  ctx->options = options;
+  ctx->governor = governor;
+  ctx->m = m;
+  size_t parallelism = options.materialize_parallelism == 0
+                           ? ThreadPool::DefaultWorkers() + 1
+                           : options.materialize_parallelism;
+  if (parallelism > 1) {
+    ctx->pool = std::make_unique<ThreadPool>(parallelism - 1);
+  }
+  const size_t num_slots = ctx->pool != nullptr ? ctx->pool->num_slots() : 1;
+  ctx->caches.reserve(num_slots);
+  for (size_t s = 0; s < num_slots; ++s) {
+    ctx->caches.push_back(
+        std::make_unique<SetIndexCache>(options.index_min_set_size));
+  }
+  return Status::Ok();
+}
+
+// The new-slice of ctx->derived since `from`, sorted and deduplicated.
+std::vector<std::string> SortedUniqueSlice(const std::vector<std::string>& v,
+                                           size_t from) {
+  std::vector<std::string> out(v.begin() + static_cast<ptrdiff_t>(from),
+                               v.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// Merges sorted-unique `add` into sorted-unique `*into`.
+void MergeSortedUnique(std::vector<std::string>* into,
+                       const std::vector<std::string>& add) {
+  std::vector<std::string> merged;
+  merged.reserve(into->size() + add.size());
+  std::set_union(into->begin(), into->end(), add.begin(), add.end(),
+                 std::back_inserter(merged));
+  *into = std::move(merged);
+}
+
+// Runs one evaluation level to fixpoint over ctx->m->universe.
+//
+// Full mode (`seed` null): pass 0 enumerates every rule body over the whole
+// universe; later passes restrict delta-eligible conjuncts to the previous
+// pass's delta — the original semi-naive wave.
+//
+// Seeded mode (`seed` non-null, incremental maintenance): every pass is
+// delta-restricted. Pass 0's delta is `*seed` — the facts newly present in
+// the universe, in delta-universe shape — and rules none of whose conjuncts
+// can touch the seed or a same-level head are skipped outright (their
+// output is already in the universe).
+//
+// When `accumulate` is non-null every fact the wave derives is also merged
+// into it, so a maintenance caller can seed the next level with this one's
+// output.
+Result<StratumStats> RunLevelWave(SemiNaiveContext* ctx, int level,
+                                  const Value* seed,
+                                  const std::vector<RelRef>* seed_refs,
+                                  Value* accumulate) {
+  const std::vector<Rule>& rules = *ctx->rules;
+  const std::vector<size_t>& level_rules = ctx->by_level[level];
+  const bool recursive = ctx->strat.level_recursive[level];
+  const EvalOptions& options = ctx->options;
+  const ResourceGovernor* governor = ctx->governor;
+  Materialized& m = *ctx->m;
+  HeadWriter writer(&m);
+  auto start = std::chrono::steady_clock::now();
+  StratumStats row;
+  row.stratum = level;
+  row.rules = static_cast<int>(level_rules.size());
+  row.recursive = recursive;
+  uint64_t delta_before_level = m.delta_size;
+
+  // Body positions eligible for delta restriction: positive universe
+  // readers that may overlap a head defined in this level — or, in seeded
+  // mode, a seed relation. (Same-level heads a rule can actually read are
+  // its own SCC's — anything else would be a cross-SCC dependency and sit
+  // at a lower level — so this conservative test only ever adds redundant
+  // variants, never misses.)
+  std::vector<std::vector<size_t>> delta_positions(level_rules.size());
+  for (size_t k = 0; k < level_rules.size(); ++k) {
+    const auto& body = ctx->classes[level_rules[k]];
+    for (size_t pos = 0; pos < body.size(); ++pos) {
+      if (!body[pos].reads_universe || body[pos].negative) continue;
+      bool eligible = false;
+      for (size_t other : level_rules) {
+        if (body[pos].ref.Overlaps(ctx->heads[other])) {
+          eligible = true;
+          break;
+        }
+      }
+      if (!eligible && seed_refs != nullptr) {
+        for (const RelRef& ref : *seed_refs) {
+          if (body[pos].ref.Overlaps(ref)) {
+            eligible = true;
+            break;
+          }
+        }
+      }
+      if (eligible) delta_positions[k].push_back(pos);
+    }
+  }
+
+  Value delta;  // facts derived by the previous pass (or the seed)
+  if (seed != nullptr) delta = *seed;
+  std::vector<uint64_t> cumulative(level_rules.size(), 0);
+  int pass = 0;
+  while (true) {
+    if (governor != nullptr) IDL_RETURN_IF_ERROR(governor->ChargePass());
+    const bool use_delta = seed != nullptr || pass > 0;
+
+    // Rules whose body cannot touch the delta are settled after pass 0:
+    // their inputs live in lower (final) levels. A naive pass would have
+    // replayed their whole output again.
+    std::vector<size_t> active;
+    for (size_t k = 0; k < level_rules.size(); ++k) {
+      if (!use_delta || !delta_positions[k].empty()) {
+        active.push_back(k);
+      } else {
+        row.substitutions_skipped += cumulative[k];
+      }
+    }
+
+    // ---- enumeration phase: the universe is immutable, so rule bodies
+    // evaluate concurrently; each task gets its own result slot, stats,
+    // and per-worker index cache.
+    struct TaskResult {
+      std::vector<Substitution> sigmas;
+      Status status = Status::Ok();
+      EvalStats stats;
+    };
+    std::vector<TaskResult> results(active.size());
+    const bool run_parallel = ctx->pool != nullptr && active.size() > 1;
+    if (run_parallel) {
+      // Pre-compute every lazily-cached structural hash while still
+      // single-threaded: concurrent readers must not race on the caches.
+      m.universe.Hash();
+      if (!delta.is_null()) delta.Hash();
+    }
+    auto run_task = [&](size_t t, size_t slot) {
+      TaskResult& out = results[t];
+      const size_t k = active[t];
+      const Rule& rule = rules[level_rules[k]];
+      SetIndexCache* cache = ctx->caches[slot].get();
+      cache->EnsureGeneration(ctx->generation);
+      auto collect = [&](const Substitution& sigma) {
+        out.sigmas.push_back(sigma);
+        return true;
+      };
+      std::vector<ConjunctSource> sources;
+      sources.reserve(rule.body.size());
+      for (const auto& conjunct : rule.body) {
+        sources.push_back(ConjunctSource{conjunct.get(), &m.universe});
+      }
+      if (!use_delta) {
+        Result<bool> r =
+            EnumerateBindingsOver(sources, options, &out.stats, cache,
+                                  collect, governor);
+        if (!r.ok()) out.status = r.status();
+      } else {
+        // One variant per delta-eligible conjunct: that conjunct reads
+        // the delta, the rest the full universe. The union over variants
+        // covers every substitution whose body touches a new fact.
+        for (size_t pos : delta_positions[k]) {
+          sources[pos].universe = &delta;
+          Result<bool> r =
+              EnumerateBindingsOver(sources, options, &out.stats, cache,
+                                    collect, governor);
+          sources[pos].universe = &m.universe;
+          if (!r.ok()) {
+            out.status = r.status();
+            break;
+          }
+        }
+        DedupSubstitutions(&out.sigmas);
+      }
+      if (!out.status.ok()) {
+        out.status = out.status.WithContext(
+            StrCat("evaluating body of '", rule.source, "'"));
+      }
+    };
+    if (run_parallel) {
+      ctx->pool->ParallelFor(active.size(), run_task);
+      row.parallel_tasks += active.size();
+    } else {
+      for (size_t t = 0; t < active.size(); ++t) run_task(t, 0);
+    }
+    for (size_t t = 0; t < active.size(); ++t) {
+      IDL_RETURN_IF_ERROR(results[t].status);
+      ctx->mat_stats += results[t].stats;
+    }
+
+    // ---- write phase: sequential, in rule order, so results do not
+    // depend on thread count. Changes are recorded into the next delta.
+    Value next_delta;
+    uint64_t changes_before = m.changes;
+    for (size_t t = 0; t < active.size(); ++t) {
+      if (governor != nullptr) IDL_RETURN_IF_ERROR(governor->Checkpoint());
+      const size_t k = active[t];
+      const Rule& rule = rules[level_rules[k]];
+      row.substitutions += results[t].sigmas.size();
+      if (use_delta && cumulative[k] > results[t].sigmas.size()) {
+        // A naive pass would have re-enumerated (at least) everything this
+        // rule derived so far; the delta variants only replayed these.
+        row.substitutions_skipped +=
+            cumulative[k] - results[t].sigmas.size();
+      }
+      cumulative[k] += results[t].sigmas.size();
+      for (const auto& sigma : results[t].sigmas) {
+        IDL_RETURN_IF_ERROR(ProcessSubstitution(rule, sigma, &writer, &m,
+                                                &ctx->derived, &next_delta,
+                                                governor));
+      }
+    }
+    ++m.fixpoint_passes;
+    ++row.passes;
+    const bool changed = m.changes != changes_before;
+    if (changed) ++ctx->generation;
+    if (accumulate != nullptr && !next_delta.is_null()) {
+      MergeUniverse(accumulate, next_delta);
+    }
+    if (!recursive || !changed) break;
+    delta = std::move(next_delta);
+    ++pass;
+  }
+
+  row.delta_facts = m.delta_size - delta_before_level;
+  row.wall_ms = MsSince(start);
+  return row;
+}
 
 Result<Materialized> MaterializeSemiNaive(const std::vector<Rule>& rules,
                                           const Value& base,
@@ -383,200 +656,312 @@ Result<Materialized> MaterializeSemiNaive(const std::vector<Rule>& rules,
   m.universe = base;
   IDL_RETURN_IF_ERROR(ChargeBaseCells(base, governor));
 
-  IDL_ASSIGN_OR_RETURN(Stratification strat, Stratify(rules));
-  const size_t n = rules.size();
-  std::vector<std::vector<size_t>> by_level(
-      static_cast<size_t>(std::max(strat.num_levels, 0)));
-  for (size_t i = 0; i < n; ++i) by_level[strat.level[i]].push_back(i);
+  SemiNaiveContext ctx;
+  IDL_RETURN_IF_ERROR(InitSemiNaive(rules, options, governor, &m, &ctx));
+  m.level_written.assign(ctx.by_level.size(), {});
 
-  std::vector<RelRef> heads(n);
-  std::vector<std::vector<ConjunctClass>> classes(n);
-  for (size_t i = 0; i < n; ++i) {
-    IDL_ASSIGN_OR_RETURN(heads[i], HeadTarget(rules[i]));
-    IDL_ASSIGN_OR_RETURN(classes[i], ClassifyBody(rules[i]));
-  }
-
-  // Worker pool: the calling thread always participates (slot 0), so
-  // parallelism P means P-1 pool threads.
-  size_t parallelism = options.materialize_parallelism == 0
-                           ? ThreadPool::DefaultWorkers() + 1
-                           : options.materialize_parallelism;
-  std::unique_ptr<ThreadPool> pool;
-  if (parallelism > 1) pool = std::make_unique<ThreadPool>(parallelism - 1);
-  const size_t num_slots = pool != nullptr ? pool->num_slots() : 1;
-
-  // One persistent index cache per worker slot, generation-invalidated.
-  std::vector<std::unique_ptr<SetIndexCache>> caches;
-  caches.reserve(num_slots);
-  for (size_t s = 0; s < num_slots; ++s) {
-    caches.push_back(
-        std::make_unique<SetIndexCache>(options.index_min_set_size));
-  }
-  uint64_t generation = 1;
-
-  EvalStats mat_stats;  // this materialization only (merged into *stats)
-  std::vector<std::string> derived;
-  HeadWriter writer(&m);
-
-  for (int level = 0; level < strat.num_levels; ++level) {
-    const std::vector<size_t>& level_rules = by_level[level];
-    const bool recursive = strat.level_recursive[level];
-    auto start = std::chrono::steady_clock::now();
-    StratumStats row;
-    row.stratum = level;
-    row.rules = static_cast<int>(level_rules.size());
-    row.recursive = recursive;
-    uint64_t delta_before_level = m.delta_size;
-
-    // Body positions eligible for delta restriction: positive universe
-    // readers that may overlap a head defined in this level. (Same-level
-    // heads a rule can actually read are its own SCC's — anything else
-    // would be a cross-SCC dependency and sit at a lower level — so this
-    // conservative test only ever adds redundant variants, never misses.)
-    std::vector<std::vector<size_t>> delta_positions(level_rules.size());
-    for (size_t k = 0; k < level_rules.size(); ++k) {
-      const auto& body = classes[level_rules[k]];
-      for (size_t pos = 0; pos < body.size(); ++pos) {
-        if (!body[pos].reads_universe || body[pos].negative) continue;
-        for (size_t other : level_rules) {
-          if (body[pos].ref.Overlaps(heads[other])) {
-            delta_positions[k].push_back(pos);
-            break;
-          }
-        }
-      }
-    }
-
-    Value delta;  // facts derived by the previous pass (null before pass 1)
-    std::vector<uint64_t> cumulative(level_rules.size(), 0);
-    int pass = 0;
-    while (true) {
-      if (governor != nullptr) IDL_RETURN_IF_ERROR(governor->ChargePass());
-      const bool use_delta = pass > 0;
-
-      // Rules whose body cannot touch the delta are settled after pass 0:
-      // their inputs live in lower (final) levels. A naive pass would have
-      // replayed their whole output again.
-      std::vector<size_t> active;
-      for (size_t k = 0; k < level_rules.size(); ++k) {
-        if (!use_delta || !delta_positions[k].empty()) {
-          active.push_back(k);
-        } else {
-          row.substitutions_skipped += cumulative[k];
-        }
-      }
-
-      // ---- enumeration phase: the universe is immutable, so rule bodies
-      // evaluate concurrently; each task gets its own result slot, stats,
-      // and per-worker index cache.
-      struct TaskResult {
-        std::vector<Substitution> sigmas;
-        Status status = Status::Ok();
-        EvalStats stats;
-      };
-      std::vector<TaskResult> results(active.size());
-      const bool run_parallel = pool != nullptr && active.size() > 1;
-      if (run_parallel) {
-        // Pre-compute every lazily-cached structural hash while still
-        // single-threaded: concurrent readers must not race on the caches.
-        m.universe.Hash();
-        if (!delta.is_null()) delta.Hash();
-      }
-      auto run_task = [&](size_t t, size_t slot) {
-        TaskResult& out = results[t];
-        const size_t k = active[t];
-        const Rule& rule = rules[level_rules[k]];
-        SetIndexCache* cache = caches[slot].get();
-        cache->EnsureGeneration(generation);
-        auto collect = [&](const Substitution& sigma) {
-          out.sigmas.push_back(sigma);
-          return true;
-        };
-        std::vector<ConjunctSource> sources;
-        sources.reserve(rule.body.size());
-        for (const auto& conjunct : rule.body) {
-          sources.push_back(ConjunctSource{conjunct.get(), &m.universe});
-        }
-        if (!use_delta) {
-          Result<bool> r =
-              EnumerateBindingsOver(sources, options, &out.stats, cache,
-                                    collect, governor);
-          if (!r.ok()) out.status = r.status();
-        } else {
-          // One variant per delta-eligible conjunct: that conjunct reads
-          // the delta, the rest the full universe. The union over variants
-          // covers every substitution whose body touches a new fact.
-          for (size_t pos : delta_positions[k]) {
-            sources[pos].universe = &delta;
-            Result<bool> r =
-                EnumerateBindingsOver(sources, options, &out.stats, cache,
-                                      collect, governor);
-            sources[pos].universe = &m.universe;
-            if (!r.ok()) {
-              out.status = r.status();
-              break;
-            }
-          }
-          DedupSubstitutions(&out.sigmas);
-        }
-        if (!out.status.ok()) {
-          out.status = out.status.WithContext(
-              StrCat("evaluating body of '", rule.source, "'"));
-        }
-      };
-      if (run_parallel) {
-        pool->ParallelFor(active.size(), run_task);
-        row.parallel_tasks += active.size();
-      } else {
-        for (size_t t = 0; t < active.size(); ++t) run_task(t, 0);
-      }
-      for (size_t t = 0; t < active.size(); ++t) {
-        IDL_RETURN_IF_ERROR(results[t].status);
-        mat_stats += results[t].stats;
-      }
-
-      // ---- write phase: sequential, in rule order, so results do not
-      // depend on thread count. Changes are recorded into the next delta.
-      Value next_delta;
-      uint64_t changes_before = m.changes;
-      for (size_t t = 0; t < active.size(); ++t) {
-        if (governor != nullptr) IDL_RETURN_IF_ERROR(governor->Checkpoint());
-        const size_t k = active[t];
-        const Rule& rule = rules[level_rules[k]];
-        row.substitutions += results[t].sigmas.size();
-        if (use_delta && cumulative[k] > results[t].sigmas.size()) {
-          // A naive pass would have re-enumerated (at least) everything this
-          // rule derived so far; the delta variants only replayed these.
-          row.substitutions_skipped +=
-              cumulative[k] - results[t].sigmas.size();
-        }
-        cumulative[k] += results[t].sigmas.size();
-        for (const auto& sigma : results[t].sigmas) {
-          IDL_RETURN_IF_ERROR(ProcessSubstitution(rule, sigma, &writer, &m,
-                                                  &derived, &next_delta,
-                                                  governor));
-        }
-      }
-      ++m.fixpoint_passes;
-      ++row.passes;
-      const bool changed = m.changes != changes_before;
-      if (changed) ++generation;
-      if (!recursive || !changed) break;
-      delta = std::move(next_delta);
-      ++pass;
-    }
-
-    row.delta_facts = m.delta_size - delta_before_level;
-    row.wall_ms = MsSince(start);
+  for (int level = 0; level < static_cast<int>(ctx.by_level.size());
+       ++level) {
+    size_t derived_before = ctx.derived.size();
+    IDL_ASSIGN_OR_RETURN(
+        StratumStats row, RunLevelWave(&ctx, level, nullptr, nullptr,
+                                       nullptr));
+    m.level_written[level] = SortedUniqueSlice(ctx.derived, derived_before);
     m.substitutions_skipped += row.substitutions_skipped;
     m.parallel_tasks += row.parallel_tasks;
     m.stratum_stats.push_back(row);
   }
 
-  m.indexes_reused = mat_stats.indexes_reused;
-  if (stats != nullptr) *stats += mat_stats;
-  FinishDerivedPaths(std::move(derived), &m);
+  m.indexes_reused = ctx.mat_stats.indexes_reused;
+  if (stats != nullptr) *stats += ctx.mat_stats;
+  FinishDerivedPaths(std::move(ctx.derived), &m);
   return m;
+}
+
+// ---- Incremental maintenance helpers (ViewEngine::ApplyDelta) --------------
+
+bool OverlapsAny(const RelRef& ref, const std::vector<RelRef>& refs) {
+  for (const auto& r : refs) {
+    if (ref.Overlaps(r)) return true;
+  }
+  return false;
+}
+
+// Whether the level must re-run under the dirty set: a body conjunct
+// (positive or negative) reads a dirty relation, a concrete head may write
+// one, or the level's recorded outputs overlap one (the rebuild dropped
+// them). Higher-order heads are deliberately absent from the static check:
+// their targets are data-dependent, so only the recorded outputs and body
+// reads decide — a HO stratum stays skipped unless a relation it read or
+// wrote changed.
+bool LevelAffected(const SemiNaiveContext& ctx, size_t level,
+                   const std::vector<RelRef>& dirty,
+                   const std::vector<std::string>& old_written) {
+  for (size_t rule_index : ctx.by_level[level]) {
+    for (const auto& c : ctx.classes[rule_index]) {
+      if (c.reads_universe && OverlapsAny(c.ref, dirty)) return true;
+    }
+    const RelRef& head = ctx.heads[rule_index];
+    if (head.db.has_value() && head.rel.has_value() &&
+        OverlapsAny(head, dirty)) {
+      return true;
+    }
+  }
+  for (const auto& path : old_written) {
+    if (OverlapsAny(PathToRef(path), dirty)) return true;
+  }
+  return false;
+}
+
+// True when every head's fold into its relation is order-independent, so a
+// seeded wave (which derives new facts against retained state) reaches the
+// same content a from-scratch rematerialization (which interleaves them
+// with re-derivations of the old facts) would. The absorb step (HeadWriter
+// case 2) folds a candidate into the first consistent element it scans —
+// order-dependent as soon as candidates can be *partial* relative to each
+// other, because then which element each candidate lands in depends on
+// arrival order. Absorb degenerates to exact-duplicate detection — and the
+// fold commutes — when every candidate of a relation carries the same fully
+// constrained attribute set. Conservatively that requires of every head:
+//  * a flat tuple inner with constant attribute names (a higher-order
+//    *attribute* yields one-attribute partial tuples — the chwab shape —
+//    though a higher-order *relation name* is fine: attributes stay fixed
+//    within each relation the head lands in);
+//  * every item an un-negated `=`-constrained atomic (an ε or relational
+//    item absorbs into nearly anything);
+//  * heads that can share a relation agreeing on the attribute set;
+//  * no head writing into a relation the base holds (base rows carry
+//    attribute sets the rules cannot see, and fold differently depending
+//    on which derived facts reached them first).
+bool AbsorbOrderIndependent(const SemiNaiveContext& ctx,
+                            const Value& base_after) {
+  const std::vector<Rule>& rules = *ctx.rules;
+  std::vector<std::vector<std::string>> attrs(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const RelRef& head = ctx.heads[i];
+    if (!head.db.has_value()) return false;
+    const Value* base_db = base_after.FindField(*head.db);
+    if (base_db != nullptr &&
+        (!head.rel.has_value() || !base_db->is_tuple() ||
+         base_db->FindField(*head.rel) != nullptr)) {
+      return false;
+    }
+    const Expr& root = *rules[i].head;
+    if (root.kind != Expr::Kind::kTuple || root.items.size() != 1 ||
+        root.items[0].expr == nullptr ||
+        root.items[0].expr->kind != Expr::Kind::kTuple ||
+        root.items[0].expr->items.size() != 1) {
+      return false;
+    }
+    const Expr* rel_expr = root.items[0].expr->items[0].expr.get();
+    if (rel_expr == nullptr || rel_expr->kind != Expr::Kind::kSet ||
+        rel_expr->set_inner == nullptr ||
+        rel_expr->set_inner->kind != Expr::Kind::kTuple) {
+      return false;
+    }
+    for (const TupleItem& item : rel_expr->set_inner->items) {
+      if (item.attr_is_var || item.is_guard() || item.expr == nullptr ||
+          item.expr->kind != Expr::Kind::kAtomic ||
+          item.expr->relop != RelOp::kEq || item.expr->negated) {
+        return false;
+      }
+      attrs[i].push_back(item.attr);
+    }
+    std::sort(attrs[i].begin(), attrs[i].end());
+  }
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (size_t j = i + 1; j < rules.size(); ++j) {
+      if (ctx.heads[i].Overlaps(ctx.heads[j]) && attrs[i] != attrs[j]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// True when pure-insert propagation is sound: no rule ever wrote into an
+// inserted relation (a rematerialization could absorb-fold old facts into
+// the new tuples differently), and no negated body conjunct can read the
+// insertion closure (insertions would then retract derived facts). The
+// closure grows level by level with the heads of levels whose bodies it
+// reaches; a higher-order head widens it to everything (conservative).
+bool InsertionMonotone(
+    const SemiNaiveContext& ctx,
+    const std::vector<std::vector<std::string>>& level_written,
+    const std::vector<RelRef>& inserted) {
+  for (const auto& written : level_written) {
+    for (const auto& path : written) {
+      if (OverlapsAny(PathToRef(path), inserted)) return false;
+    }
+  }
+  std::vector<RelRef> growing = inserted;
+  bool wildcard = false;
+  for (size_t level = 0; level < ctx.by_level.size(); ++level) {
+    bool reached = false;
+    for (size_t rule_index : ctx.by_level[level]) {
+      for (const auto& c : ctx.classes[rule_index]) {
+        if (!c.reads_universe) continue;
+        if (!wildcard && !OverlapsAny(c.ref, growing)) continue;
+        if (c.negative) return false;
+        reached = true;
+      }
+    }
+    if (!reached) continue;
+    for (size_t rule_index : ctx.by_level[level]) {
+      const RelRef& head = ctx.heads[rule_index];
+      if (head.db.has_value() && head.rel.has_value()) {
+        growing.push_back(head);
+      } else {
+        wildcard = true;
+      }
+    }
+  }
+  return true;
+}
+
+// Copies the "db[.rel]" subtree of `from` into `to`, creating the database
+// tuple when the path was rule-created and absent from the base.
+void CopyPath(const Value& from, const std::string& path, Value* to) {
+  size_t dot = path.find('.');
+  std::string_view db = dot == std::string::npos
+                            ? std::string_view(path)
+                            : std::string_view(path).substr(0, dot);
+  const Value* src_db = from.FindField(db);
+  if (src_db == nullptr) return;
+  if (dot == std::string::npos) {
+    to->SetField(db, *src_db);
+    return;
+  }
+  std::string_view rel = std::string_view(path).substr(dot + 1);
+  const Value* src_rel = src_db->FindField(rel);
+  if (src_rel == nullptr) return;
+  Value* dst_db = to->MutableField(db);
+  if (dst_db == nullptr) {
+    to->SetField(db, Value::EmptyTuple());
+    dst_db = to->MutableField(db);
+  }
+  if (!dst_db->is_tuple()) return;  // shape conflict: keep the base value
+  dst_db->SetField(rel, *src_rel);
+}
+
+// The insertion path: mirror the inserted facts into the retained universe,
+// then run a seeded wave over each level whose rules can read the growing
+// insertion closure. Facts each wave derives extend the seed for the levels
+// above it.
+Status ApplyInsertions(SemiNaiveContext* ctx, const Value& inserted_tree,
+                       std::vector<RelRef> seed_refs) {
+  Materialized& m = *ctx->m;
+  if (ctx->governor != nullptr &&
+      ctx->governor->limits().max_universe_cells > 0) {
+    IDL_RETURN_IF_ERROR(
+        ctx->governor->ChargeCells(CountCells(inserted_tree)));
+  }
+  MergeUniverse(&m.universe, inserted_tree);
+  ++ctx->generation;
+  Value seed = inserted_tree;  // grows with each level's derivations
+  for (size_t level = 0; level < ctx->by_level.size(); ++level) {
+    bool affected = false;
+    for (size_t rule_index : ctx->by_level[level]) {
+      for (const auto& c : ctx->classes[rule_index]) {
+        if (c.reads_universe && !c.negative &&
+            OverlapsAny(c.ref, seed_refs)) {
+          affected = true;
+          break;
+        }
+      }
+      if (affected) break;
+    }
+    if (!affected) {
+      ++m.maintenance.strata_skipped;
+      continue;
+    }
+    size_t derived_before = ctx->derived.size();
+    IDL_ASSIGN_OR_RETURN(
+        StratumStats row,
+        RunLevelWave(ctx, static_cast<int>(level), &seed, &seed_refs,
+                     &seed));
+    m.maintenance.rederived += row.substitutions;
+    ++m.maintenance.strata_rederived;
+    std::vector<std::string> new_paths =
+        SortedUniqueSlice(ctx->derived, derived_before);
+    for (const auto& path : new_paths) seed_refs.push_back(PathToRef(path));
+    MergeSortedUnique(&m.level_written[level], new_paths);
+    MergeSortedUnique(&m.derived_paths, new_paths);
+  }
+  return Status::Ok();
+}
+
+// The delete-and-rederive path: rebuild from the new base, re-run only the
+// levels the dirty closure reaches, and copy every other level's output
+// relations verbatim from the old materialization (exact, because any
+// co-writer of a dirty relation is itself in the closure).
+Status DeleteAndRederive(SemiNaiveContext* ctx, const Value& base_after,
+                         std::vector<RelRef> dirty) {
+  Materialized& m = *ctx->m;
+  const size_t num_levels = ctx->by_level.size();
+
+  // Plan: close the affected set over recorded outputs. A level whose old
+  // outputs overlap the dirty closure must re-run (the rebuild drops its
+  // contributions), and its outputs dirty their readers — which includes
+  // lower-level co-writers of the same relation, hence the fixpoint.
+  std::vector<bool> affected(num_levels, false);
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (size_t level = 0; level < num_levels; ++level) {
+      if (affected[level]) continue;
+      if (!LevelAffected(*ctx, level, dirty, m.level_written[level])) {
+        continue;
+      }
+      affected[level] = true;
+      for (const auto& path : m.level_written[level]) {
+        dirty.push_back(PathToRef(path));
+      }
+      grew = true;
+    }
+  }
+
+  Value old_universe = std::move(m.universe);
+  m.universe = base_after;
+  IDL_RETURN_IF_ERROR(ChargeBaseCells(m.universe, ctx->governor));
+  ++ctx->generation;
+  for (size_t level = 0; level < num_levels; ++level) {
+    // Re-check against the live dirty set: an affected wave below may have
+    // written paths the plan did not know about (higher-order heads).
+    if (!affected[level] &&
+        LevelAffected(*ctx, level, dirty, m.level_written[level])) {
+      affected[level] = true;
+      for (const auto& path : m.level_written[level]) {
+        dirty.push_back(PathToRef(path));
+      }
+    }
+    if (!affected[level]) {
+      for (const auto& path : m.level_written[level]) {
+        CopyPath(old_universe, path, &m.universe);
+      }
+      if (!m.level_written[level].empty()) ++ctx->generation;
+      ++m.maintenance.strata_skipped;
+      continue;
+    }
+    size_t derived_before = ctx->derived.size();
+    IDL_ASSIGN_OR_RETURN(
+        StratumStats row,
+        RunLevelWave(ctx, static_cast<int>(level), nullptr, nullptr,
+                     nullptr));
+    m.maintenance.rederived += row.substitutions;
+    ++m.maintenance.strata_rederived;
+    m.level_written[level] = SortedUniqueSlice(ctx->derived, derived_before);
+    for (const auto& path : m.level_written[level]) {
+      dirty.push_back(PathToRef(path));
+    }
+  }
+
+  std::vector<std::string> all;
+  for (const auto& written : m.level_written) {
+    all.insert(all.end(), written.begin(), written.end());
+  }
+  FinishDerivedPaths(std::move(all), &m);
+  return Status::Ok();
 }
 
 }  // namespace
@@ -587,6 +972,9 @@ std::string Materialized::Explain() const {
              " changes=", changes, " passes=", fixpoint_passes,
              " delta=", delta_size, " skipped=", substitutions_skipped,
              " idxreused=", indexes_reused, " par=", parallel_tasks, "\n");
+  if (maintenance.deltas_applied > 0 || maintenance.fallbacks > 0) {
+    out += FormatMaintenanceStats(maintenance);
+  }
   if (!governor.empty()) out += governor;
   if (!federation.empty()) out += federation;
   return out;
@@ -627,6 +1015,49 @@ Result<Materialized> ViewEngine::Materialize(const Value& base,
     r->governor = FormatGovernorUsage(governor->Usage(), governor->limits());
   }
   return r;
+}
+
+Status ViewEngine::ApplyDelta(Materialized* m, const Value& base_after,
+                              const UniverseDelta& delta,
+                              const EvalOptions& options, EvalStats* stats,
+                              const ResourceGovernor* governor) const {
+  if (delta.whole) {
+    return FailedPrecondition(
+        "delta covers the whole universe; rematerialize");
+  }
+  if (delta.empty()) {
+    ++m->maintenance.deltas_applied;
+    return Status::Ok();
+  }
+  SemiNaiveContext ctx;
+  IDL_RETURN_IF_ERROR(InitSemiNaive(rules_, options, governor, m, &ctx));
+  if (m->level_written.size() != ctx.by_level.size()) {
+    return FailedPrecondition(
+        "materialization carries no maintenance state for this rule set; "
+        "rematerialize");
+  }
+
+  std::vector<RelRef> inserted_refs = delta.InsertedRefs();
+  std::vector<RelRef> dirty = delta.DirtyRefs();
+  bool insert_only = dirty.empty() && !inserted_refs.empty();
+  if (insert_only &&
+      (!InsertionMonotone(ctx, m->level_written, inserted_refs) ||
+       !AbsorbOrderIndependent(ctx, base_after))) {
+    insert_only = false;  // reroute the insertions through delete-and-rederive
+  }
+
+  Status st;
+  if (insert_only) {
+    st = ApplyInsertions(&ctx, delta.inserted, std::move(inserted_refs));
+  } else {
+    for (const RelRef& ref : inserted_refs) dirty.push_back(ref);
+    st = DeleteAndRederive(&ctx, base_after, std::move(dirty));
+  }
+  if (!st.ok()) return st;
+  ++m->maintenance.deltas_applied;
+  m->indexes_reused = ctx.mat_stats.indexes_reused;
+  if (stats != nullptr) *stats += ctx.mat_stats;
+  return Status::Ok();
 }
 
 }  // namespace idl

@@ -34,6 +34,12 @@
 // are bit-identical; for recursive programs they converge to the same
 // fixpoint (set equality) whenever derivations are confluent, which the
 // differential harness checks on the whole paper corpus.
+//
+// A kSemiNaive materialization additionally retains per-level maintenance
+// state (Materialized::level_written) so ApplyDelta can bring it up to date
+// after a base change without re-running the whole fixpoint — insertions by
+// seeded semi-naive propagation, everything else by delete-and-rederive
+// restricted to the affected levels (docs/INCREMENTAL.md).
 
 #ifndef IDL_VIEWS_ENGINE_H_
 #define IDL_VIEWS_ENGINE_H_
@@ -46,6 +52,7 @@
 #include "eval/query.h"
 #include "object/value.h"
 #include "syntax/ast.h"
+#include "views/delta.h"
 #include "views/stratify.h"
 
 namespace idl {
@@ -66,6 +73,19 @@ struct Materialized {
   uint64_t indexes_reused = 0;         // index probes served without a build
   uint64_t parallel_tasks = 0;         // rule evaluations run on pool threads
   std::vector<StratumStats> stratum_stats;  // one row per evaluation wave
+
+  // ---- Incremental-maintenance state (views/delta.h, ApplyDelta) -----------
+  // Per evaluation level (kSemiNaive only): the concrete "db"/"db.rel" paths
+  // the level's rules actually wrote, recorded from derivations. For
+  // higher-order heads the static target is data-dependent, which is exactly
+  // why ApplyDelta's affectedness test consults these recorded paths instead
+  // of head references: a HO stratum only invalidates when a relation it
+  // *read* or *wrote* changed. Empty under kNaive, which therefore never
+  // maintains incrementally.
+  std::vector<std::vector<std::string>> level_written;
+  // Maintenance counters accumulated across ApplyDelta calls (and fallback
+  // rematerializations, which the session carries over).
+  MaintenanceStats maintenance;
 
   // Per-site federation counter table (Gateway::Explain), set by the session
   // when the materialized universe was assembled through a gateway. Empty
@@ -108,6 +128,35 @@ class ViewEngine {
                                    EvalStats* stats = nullptr,
                                    const ResourceGovernor* governor =
                                        nullptr) const;
+
+  // Incrementally updates `m` — a kSemiNaive Materialize result over the
+  // base universe *before* the change — to equal Materialize(base_after),
+  // where `base_after` differs from that base exactly as `delta` describes.
+  //
+  //  * Pure insertions (delta.dirty empty) are mirrored into the retained
+  //    universe and propagated semi-naively: each level runs only if a body
+  //    conjunct can read the insertion closure, with pass 0 already
+  //    delta-restricted to the seed.
+  //  * Anything else takes the delete-and-rederive path: the universe is
+  //    rebuilt from `base_after`, levels whose body reads, concrete head,
+  //    or recorded outputs overlap the dirty closure re-run their full
+  //    wave, and every other level's output relations are copied over
+  //    verbatim from the old materialization.
+  //
+  // The insertion path additionally reroutes to delete-and-rederive when a
+  // rule writes into an inserted relation (absorb folding could diverge) or
+  // when the insertion closure reaches a negated body conjunct (insertions
+  // are then non-monotone).
+  //
+  // Returns kFailedPrecondition when `m` carries no usable maintenance
+  // state (kNaive result, rule set changed, whole-universe delta) — the
+  // caller should fall back to a full rematerialization. Any other error
+  // (governor aborts included) leaves `m` in an unspecified state: discard
+  // it and rematerialize from the pristine base (the session does).
+  Status ApplyDelta(Materialized* m, const Value& base_after,
+                    const UniverseDelta& delta, const EvalOptions& options,
+                    EvalStats* stats = nullptr,
+                    const ResourceGovernor* governor = nullptr) const;
 
  private:
   std::vector<Rule> rules_;

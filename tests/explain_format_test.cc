@@ -1,7 +1,8 @@
 // Golden-text locks on the rendered Explain() surfaces: the governor usage
-// line (common/governor.h) and the federation per-site table
-// (eval/explain.h). These strings are part of the observable interface —
-// idl_shell prints them and docs/GOVERNOR.md quotes them — so a format
+// line (common/governor.h), the incremental-maintenance line
+// (eval/explain.h) and the federation per-site table (eval/explain.h).
+// These strings are part of the observable interface — idl_shell prints
+// them and docs/GOVERNOR.md / docs/INCREMENTAL.md quote them — so a format
 // change must be a deliberate edit here, not an accident.
 
 #include <gtest/gtest.h>
@@ -56,6 +57,21 @@ TEST(ExplainFormatTest, GovernorLineMatchesLiveGovernor) {
   EXPECT_EQ(FormatGovernorUsage(g.Usage(), g.limits()),
             "governor: passes=1/- derivations=4/10 cells=0/- checkpoints=2 "
             "remaining_ms=- status=completed\n");
+}
+
+TEST(ExplainFormatTest, MaintenanceLine) {
+  MaintenanceStats stats;
+  EXPECT_EQ(FormatMaintenanceStats(stats),
+            "maintenance: deltas=0 rederived=0 strata_skipped=0 "
+            "strata_rederived=0 fallbacks=0\n");
+  stats.deltas_applied = 12;
+  stats.rederived = 345;
+  stats.strata_skipped = 6;
+  stats.strata_rederived = 7;
+  stats.fallbacks = 1;
+  EXPECT_EQ(FormatMaintenanceStats(stats),
+            "maintenance: deltas=12 rederived=345 strata_skipped=6 "
+            "strata_rederived=7 fallbacks=1\n");
 }
 
 TEST(ExplainFormatTest, SiteStatsTable) {

@@ -19,6 +19,11 @@
 //                                 script (governor abort messages carry only
 //                                 configured limits, never live counters, so
 //                                 both strategies produce identical text)
+//   % maintenance: rematerialize — run the script with incremental view
+//                                 maintenance disabled (the default is
+//                                 incremental; every script additionally
+//                                 runs under the opposite mode and the two
+//                                 transcripts must match)
 
 #include <gtest/gtest.h>
 
@@ -131,8 +136,11 @@ TEST(GoldenCorpus, ScriptsMatchGoldens) {
           std::atoi(script.c_str() + at + sizeof("% max-passes:") - 1);
     }
 
-    EvalOptions semi;  // defaults: kSemiNaive, auto parallelism
+    EvalOptions semi;  // defaults: kSemiNaive, auto parallelism, incremental
     semi.max_passes = max_passes;
+    if (script.find("% maintenance: rematerialize") != std::string::npos) {
+      semi.maintenance = MaintenanceMode::kRematerialize;
+    }
     std::string transcript = RunScript(script, name_mappings, semi);
 
     EvalOptions naive;
@@ -141,6 +149,17 @@ TEST(GoldenCorpus, ScriptsMatchGoldens) {
     std::string oracle = RunScript(script, name_mappings, naive);
     EXPECT_EQ(transcript, oracle)
         << "semi-naive and naive transcripts diverge";
+
+    // Every script also runs under the opposite maintenance mode: the
+    // corpus's update-then-query scripts thereby differentially test
+    // incremental maintenance through the full parse/session/update stack.
+    EvalOptions flipped = semi;
+    flipped.maintenance = semi.maintenance == MaintenanceMode::kIncremental
+                              ? MaintenanceMode::kRematerialize
+                              : MaintenanceMode::kIncremental;
+    std::string other = RunScript(script, name_mappings, flipped);
+    EXPECT_EQ(transcript, other)
+        << "incremental and rematerialize transcripts diverge";
 
     fs::path golden_path =
         golden_dir / script_path.stem().replace_extension(".golden");
