@@ -71,3 +71,5 @@ BENCHMARK(BM_MixedQuery_HigherOrderOnly)->Arg(8)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

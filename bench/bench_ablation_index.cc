@@ -58,3 +58,5 @@ BENCHMARK(BM_Select_Scan)->Arg(20)->Arg(60)->Arg(180)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

@@ -111,3 +111,5 @@ BENCHMARK(BM_FO_Expansion_Ource)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

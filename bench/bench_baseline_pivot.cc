@@ -90,3 +90,5 @@ BENCHMARK(BM_IDL_Unification)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

@@ -45,3 +45,5 @@ BENCHMARK(BM_Fig1_Pipeline)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

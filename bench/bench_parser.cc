@@ -94,3 +94,5 @@ void BM_PrintParseRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_PrintParseRoundTrip);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

@@ -99,3 +99,5 @@ BENCHMARK(BM_P2_RmAddStkCycle)->Arg(4)->Arg(16)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

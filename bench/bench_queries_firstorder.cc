@@ -72,3 +72,5 @@ void BM_BooleanPointQuery(benchmark::State& state) {
 BENCHMARK(BM_BooleanPointQuery)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

@@ -93,3 +93,5 @@ BENCHMARK(BM_Q8_HighestPerDay_Ource)->Arg(5)->Arg(10)->Arg(20)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

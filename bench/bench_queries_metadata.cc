@@ -75,3 +75,5 @@ BENCHMARK(BM_Q7_RelationsInAllDatabases)->Arg(8)->Arg(64)->Arg(512)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

@@ -118,3 +118,5 @@ BENCHMARK(BM_IndexedProbeVsScan)->Arg(100)->Arg(1000)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

@@ -104,3 +104,5 @@ BENCHMARK(BM_RelationCreateDrop_Ource)->Arg(4)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

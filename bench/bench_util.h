@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "eval/query.h"
 #include "idl/session.h"
 #include "syntax/parser.h"
@@ -67,11 +68,19 @@ inline idl::StockWorkload MakeWorkload(size_t stocks, size_t days,
 // Initialize(), so `bench_federation --json results.json` drops a
 // BENCH_federation.json-style report next to the console output. All other
 // arguments pass through untouched.
+//
+// When a report path is known (via --json or a passed-through
+// --benchmark_out=), the run's process-metrics snapshot
+// (idl::MetricsRegistry, common/metrics.h) is additionally written to
+// `<path>.metrics.json`, so merged reports (scripts/bench_all.sh) carry the
+// counters — fixpoint passes, index builds, site retries — that explain the
+// timings next to them.
 inline int RunBenchmarks(int argc, char** argv) {
   std::vector<std::string> rewritten;
   rewritten.reserve(static_cast<size_t>(argc) + 1);
   rewritten.emplace_back(argv[0]);
-  std::string json_path;
+  std::string json_path;  // set by --json; rewritten into --benchmark_out
+  std::string out_path;   // any known report path (either flag spelling)
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
@@ -79,13 +88,19 @@ inline int RunBenchmarks(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(std::strlen("--json="));
     } else {
+      if (arg.rfind("--benchmark_out=", 0) == 0) {
+        out_path = arg.substr(std::strlen("--benchmark_out="));
+      }
       rewritten.push_back(std::move(arg));
     }
   }
   if (!json_path.empty()) {
+    out_path = json_path;
     rewritten.push_back("--benchmark_out=" + json_path);
     rewritten.push_back("--benchmark_out_format=json");
   }
+  std::string metrics_path =
+      out_path.empty() ? std::string() : out_path + ".metrics.json";
 
   std::vector<char*> args;
   args.reserve(rewritten.size());
@@ -96,6 +111,18 @@ inline int RunBenchmarks(int argc, char** argv) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
+  if (!metrics_path.empty()) {
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f != nullptr) {
+      std::string snapshot = idl::MetricsRegistry::Global().ToJson();
+      std::fwrite(snapshot.data(), 1, snapshot.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "bench_util: cannot write %s\n",
+                   metrics_path.c_str());
+    }
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -40,3 +40,5 @@ BENCHMARK(BM_MaterializeAllCustomizedViews)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

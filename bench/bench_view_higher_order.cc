@@ -42,3 +42,5 @@ BENCHMARK(BM_HigherOrderViewDbO)->Arg(4)->Arg(16)->Arg(64)->Arg(128)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

@@ -44,3 +44,5 @@ BENCHMARK(BM_Unify_ThroughNameMappings)->Arg(4)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

@@ -49,3 +49,5 @@ BENCHMARK(BM_ReconcileDiscrepancies)->Arg(0)->Arg(10)->Arg(30)->Arg(50)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

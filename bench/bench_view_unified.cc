@@ -42,3 +42,5 @@ BENCHMARK(BM_MaterializeUnifiedView)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

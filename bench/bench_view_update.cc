@@ -73,3 +73,5 @@ BENCHMARK(BM_BaseUpdateWithoutViewLayer)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+IDL_BENCH_MAIN()

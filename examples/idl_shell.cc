@@ -19,6 +19,12 @@
 //   --max-passes=N                          fixpoint pass budget (stops
 //                                           divergent recursive programs)
 //   --max-derivations=N                     derivation-step budget
+//   --trace[=json]                          record a span trace of the run
+//                                           and append it (with the EXPLAIN
+//                                           ANALYZE table and a metrics
+//                                           snapshot) to the transcript;
+//                                           =json emits one machine-readable
+//                                           "trace-json: {...}" line instead
 //
 // The three budget flags arm the resource governor (docs/GOVERNOR.md): a
 // statement that exceeds one aborts with `deadline exceeded` or `resource
@@ -62,10 +68,15 @@ constexpr char kDemoScript[] = R"(
 ?.dbI.p(.stk=S, .clsPrice>200);
 )";
 
+// How (and whether) the run's trace is surfaced after the transcript.
+enum class TraceMode { kOff, kText, kJson };
+
 // Applies a script's directives to options the flags left unset, so demo
 // scripts behave the same when run bare: `% max-passes: N` (divergent
-// scripts terminate) and `% maintenance: {incremental,rematerialize}` (a
-// script can pin how its view cache is kept current).
+// scripts terminate), `% maintenance: {incremental,rematerialize}` (a
+// script can pin how its view cache is kept current) and
+// `% trace: {text,json}` (the script asks for its own trace; timings are
+// masked so the transcript stays reproducible — tests/golden pins it).
 void ApplyScriptDirectives(const std::string& script,
                            idl::EvalOptions* request_options,
                            idl::EvalOptions* materialize_options,
@@ -85,6 +96,30 @@ void ApplyScriptDirectives(const std::string& script,
       materialize_options->maintenance = idl::MaintenanceMode::kIncremental;
     }
   }
+}
+
+// The three observability sections appended after a traced run: the span
+// tree, the EXPLAIN ANALYZE table of the last materialization (when one
+// exists), and the metrics snapshot. In kJson mode everything collapses to
+// one "trace-json: {...}" line so CI can extract and schema-check it.
+// tests/golden_corpus_test.cc mirrors this rendering for `% trace:` scripts.
+void PrintTraceSections(const idl::Session& session, TraceMode mode,
+                        bool mask_timings) {
+  if (mode == TraceMode::kJson) {
+    std::string doc = idl::Trace::RenderJson(mask_timings);
+    doc.pop_back();  // splice the metrics object into the span document
+    doc += ",\"metrics\":";
+    doc += idl::MetricsRegistry::Global().ToJson();
+    doc += "}";
+    std::printf("trace-json: %s\n", doc.c_str());
+    return;
+  }
+  std::printf("-- trace --\n%s", idl::Trace::Render(mask_timings).c_str());
+  if (const idl::Materialized* m = session.last_materialization()) {
+    std::printf("-- analyze --\n%s", m->ExplainAnalyze(mask_timings).c_str());
+  }
+  std::printf("-- metrics --\n%s",
+              idl::MetricsRegistry::Global().Render(mask_timings).c_str());
 }
 
 int Run(idl::Session* session, const std::string& script,
@@ -170,6 +205,13 @@ argument a built-in demo runs; '-' reads from stdin.
                         a script's '% max-passes: N' directive applies
                         when this flag is not given)
   --max-derivations=N   derivation-step budget
+  --trace[=json]        append the run's span trace, EXPLAIN ANALYZE table
+                        and metrics snapshot to the transcript (=json: one
+                        machine-readable "trace-json: {...}" line). A
+                        script's '% trace: {text,json}' directive applies
+                        when this flag is not given, with timings masked so
+                        the transcript stays reproducible
+                        (docs/OBSERVABILITY.md)
   --help                show this message
 
 The budget flags arm the resource governor (docs/GOVERNOR.md): a statement
@@ -182,6 +224,8 @@ int main(int argc, char** argv) {
   idl::EvalOptions eval_options;
   idl::EvalOptions request_options;
   bool maintenance_flag_given = false;
+  TraceMode trace_mode = TraceMode::kOff;
+  bool trace_flag_given = false;
   int site_latency_ms = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -196,7 +240,8 @@ int main(int argc, char** argv) {
           arg.rfind("--site-latency-ms=", 0) == 0 ||
           arg.rfind("--deadline-ms=", 0) == 0 ||
           arg.rfind("--max-passes=", 0) == 0 ||
-          arg.rfind("--max-derivations=", 0) == 0;
+          arg.rfind("--max-derivations=", 0) == 0 ||
+          arg == "--trace" || arg.rfind("--trace=", 0) == 0;
       if (!known) {
         std::printf("unknown flag %s\n\n%s", arg.c_str(), kUsage);
         return 1;
@@ -263,6 +308,16 @@ int main(int argc, char** argv) {
         return 1;
       }
       request_options.max_derivations = static_cast<uint64_t>(n);
+    } else if (arg == "--trace" || arg == "--trace=text") {
+      trace_mode = TraceMode::kText;
+      trace_flag_given = true;
+    } else if (arg == "--trace=json") {
+      trace_mode = TraceMode::kJson;
+      trace_flag_given = true;
+    } else if (arg.rfind("--trace", 0) == 0) {
+      std::printf("unknown --trace mode '%s' (want --trace or --trace=json)\n",
+                  arg.c_str());
+      return 1;
     } else {
       positional.push_back(std::move(arg));
     }
@@ -317,8 +372,28 @@ int main(int argc, char** argv) {
   }
   ApplyScriptDirectives(script, &request_options, &eval_options,
                         maintenance_flag_given);
+  // A directive-requested trace masks its timings (the transcript must be
+  // reproducible — the golden corpus pins it); the flag shows real ones.
+  bool mask_trace_timings = false;
+  if (!trace_flag_given) {
+    if (script.find("% trace: json") != std::string::npos) {
+      trace_mode = TraceMode::kJson;
+      mask_trace_timings = true;
+    } else if (script.find("% trace: text") != std::string::npos) {
+      trace_mode = TraceMode::kText;
+      mask_trace_timings = true;
+    }
+  }
   session.set_materialize_options(eval_options);
+  if (trace_mode != TraceMode::kOff) {
+    idl::MetricsRegistry::Global().Reset();
+    idl::Trace::Enable();
+  }
   int rc = Run(&session, script, request_options);
+  if (trace_mode != TraceMode::kOff) {
+    idl::Trace::Disable();
+    PrintTraceSections(session, trace_mode, mask_trace_timings);
+  }
   if (site_latency_ms > 0) {
     std::printf("%s", session.ExplainFederation().c_str());
   }

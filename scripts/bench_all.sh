@@ -9,13 +9,17 @@
 #                                                # benchmark, ~1 iteration
 #
 # Each build/bench/bench_* is run with --benchmark_out (the stock
-# google-benchmark JSON reporter; the idl_bench_with_main binaries' --json
-# flag is sugar for the same thing), any extra flags are passed through to
-# every binary, and the per-binary reports are merged into a single
-# BENCH_<git-sha>.json in the repo root: one shared context block plus every
-# benchmark row tagged with the binary it came from. EXPERIMENTS.md numbers
-# come from a defaults run of this script; CI uploads the smoke-scale merge
-# as an artifact so every release build leaves a queryable trace.
+# google-benchmark JSON reporter; the binaries' --json flag is sugar for the
+# same thing), any extra flags are passed through to every binary, and the
+# per-binary reports are merged into a single BENCH_<git-sha>.json in the
+# repo root: one shared context block, every benchmark row tagged with the
+# binary it came from, and a "metrics" block mapping each binary to its
+# process-metrics snapshot (the <report>.metrics.json sidecar every binary
+# writes — fixpoint passes, index builds, site retries; see
+# docs/OBSERVABILITY.md). The merge fails if any binary left no sidecar.
+# EXPERIMENTS.md numbers come from a defaults run of this script; CI uploads
+# the smoke-scale merge as an artifact so every release build leaves a
+# queryable trace.
 
 set -euo pipefail
 
@@ -48,11 +52,15 @@ done
 
 python3 - "$sha" "$out" "$tmpdir"/*.json <<'PY'
 import json
+import os
 import sys
 
 sha, out = sys.argv[1], sys.argv[2]
-merged = {"git_sha": sha, "context": None, "benchmarks": []}
+merged = {"git_sha": sha, "context": None, "benchmarks": [], "metrics": {}}
+missing = []
 for path in sys.argv[3:]:
+    if path.endswith(".metrics.json"):
+        continue  # sidecars are picked up next to their report below
     binary = path.rsplit("/", 1)[-1][: -len(".json")]
     try:
         with open(path) as f:
@@ -67,8 +75,20 @@ for path in sys.argv[3:]:
     for row in report.get("benchmarks", []):
         row["binary"] = binary
         merged["benchmarks"].append(row)
+    # The binary's metrics snapshot rides along as a sidecar (bench_util.h).
+    sidecar = path + ".metrics.json"
+    if os.path.exists(sidecar):
+        with open(sidecar) as f:
+            merged["metrics"][binary] = json.load(f)
+    else:
+        missing.append(binary)
+if missing:
+    sys.exit(f"bench_all.sh: no metrics sidecar from: {', '.join(missing)}")
+if not merged["metrics"]:
+    sys.exit("bench_all.sh: merged report has an empty metrics block")
 with open(out, "w") as f:
     json.dump(merged, f, indent=1, sort_keys=True)
     f.write("\n")
-print(f"wrote {out} ({len(merged['benchmarks'])} benchmarks)")
+print(f"wrote {out} ({len(merged['benchmarks'])} benchmarks, "
+      f"{len(merged['metrics'])} metrics snapshots)")
 PY

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/str_util.h"
 
 namespace idl {
@@ -56,6 +57,32 @@ Status StatusFor(int reason, const GovernorLimits& limits) {
 // explicit budget charge), keeping the fast path to two relaxed atomics.
 constexpr uint64_t kTimeCheckStride = 16;
 
+const char* AbortMetricName(int reason) {
+  switch (reason) {
+    case kAbortCancelled:
+    case kAbortInjected:
+      return "governor.aborts.cancelled";
+    case kAbortDeadline:
+      return "governor.aborts.deadline";
+    case kAbortPasses:
+      return "governor.aborts.passes";
+    case kAbortDerivations:
+      return "governor.aborts.derivations";
+    case kAbortCells:
+      return "governor.aborts.cells";
+  }
+  return "governor.aborts.other";
+}
+
+// Stores the abort reason and, iff this is the governor's *first* abort
+// (exchange saw kNone), bumps the per-reason process metric — sticky
+// repeats at later checkpoints must not inflate the count.
+void RecordAbort(std::atomic<int>& abort_code, int reason) {
+  if (abort_code.exchange(reason, std::memory_order_relaxed) == kNone) {
+    MetricsRegistry::Global().counter(AbortMetricName(reason))->Increment();
+  }
+}
+
 }  // namespace
 
 ResourceGovernor::ResourceGovernor(const GovernorLimits& limits,
@@ -84,14 +111,15 @@ Status ResourceGovernor::CheckNow(bool check_time) const {
     reason = kAbortDeadline;
   }
   if (reason != kNone) {
-    abort_code_.store(reason, std::memory_order_relaxed);
+    RecordAbort(abort_code_, reason);
     return StatusFor(reason, limits_);
   }
   if (parent_ != nullptr) {
     Status from_parent = parent_->Checkpoint();
     if (!from_parent.ok()) {
       // Sticky here too: the child keeps failing even if it later runs
-      // checkpoints faster than the parent.
+      // checkpoints faster than the parent. The parent already counted the
+      // abort in the metrics, so the child only records the code.
       abort_code_.store(kAbortCancelled, std::memory_order_relaxed);
       return from_parent;
     }
@@ -104,12 +132,17 @@ Status ResourceGovernor::Checkpoint() const {
   return CheckNow(/*check_time=*/n % kTimeCheckStride == 0 || n == 1);
 }
 
+Status ResourceGovernor::CheckDeadlineNow() const {
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  return CheckNow(/*check_time=*/true);
+}
+
 Status ResourceGovernor::ChargePass() const {
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   IDL_RETURN_IF_ERROR(CheckNow(/*check_time=*/true));
   int used = passes_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (limits_.max_passes > 0 && used > limits_.max_passes) {
-    abort_code_.store(kAbortPasses, std::memory_order_relaxed);
+    RecordAbort(abort_code_, kAbortPasses);
     return StatusFor(kAbortPasses, limits_);
   }
   return Status::Ok();
@@ -120,7 +153,7 @@ Status ResourceGovernor::ChargeDerivations(uint64_t n) const {
   IDL_RETURN_IF_ERROR(CheckNow(/*check_time=*/false));
   uint64_t used = derivations_.fetch_add(n, std::memory_order_relaxed) + n;
   if (limits_.max_derivations > 0 && used > limits_.max_derivations) {
-    abort_code_.store(kAbortDerivations, std::memory_order_relaxed);
+    RecordAbort(abort_code_, kAbortDerivations);
     return StatusFor(kAbortDerivations, limits_);
   }
   return Status::Ok();
@@ -131,7 +164,7 @@ Status ResourceGovernor::ChargeCells(uint64_t n) const {
   IDL_RETURN_IF_ERROR(CheckNow(/*check_time=*/false));
   uint64_t used = cells_.fetch_add(n, std::memory_order_relaxed) + n;
   if (limits_.max_universe_cells > 0 && used > limits_.max_universe_cells) {
-    abort_code_.store(kAbortCells, std::memory_order_relaxed);
+    RecordAbort(abort_code_, kAbortCells);
     return StatusFor(kAbortCells, limits_);
   }
   return Status::Ok();

@@ -126,6 +126,13 @@ class ResourceGovernor {
   Status ChargeDerivations(uint64_t n) const;
   Status ChargeCells(uint64_t n) const;
 
+  // A checkpoint that always consults the wall clock (Checkpoint() only
+  // does so every kTimeCheckStride-th poll, so a governor can be past its
+  // deadline without having noticed yet). The federation gateway calls this
+  // before dispatching a site RPC so an exhausted request fails fast with
+  // kDeadlineExceeded instead of surfacing as a per-site timeout.
+  Status CheckDeadlineNow() const;
+
   // Remaining wall-clock headroom in ms (>= 0), or -1 when unbounded. The
   // federation gateway derives per-site RequestContext deadlines from this.
   int64_t RemainingMs() const;

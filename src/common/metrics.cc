@@ -1,0 +1,149 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace idl {
+
+namespace {
+
+// Two-decimal fixed rendering, matching FormatMs in eval/explain.
+std::string Fixed2(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::Observe(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double old_sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(old_sum, old_sum + v,
+                                     std::memory_order_relaxed)) {
+  }
+  double old_min = min_.load(std::memory_order_relaxed);
+  while (v < old_min &&
+         !min_.compare_exchange_weak(old_min, v, std::memory_order_relaxed)) {
+  }
+  double old_max = max_.load(std::memory_order_relaxed);
+  while (v > old_max &&
+         !max_.compare_exchange_weak(old_max, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::Render(bool mask_values) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // One merged, name-sorted listing across the three kinds. The per-kind
+  // maps are already sorted; a three-way merge keeps the global order.
+  std::map<std::string, std::string> lines;
+  for (const auto& [name, c] : counters_) {
+    lines[name] = StrCat("counter ", name, " = ", c->value(), "\n");
+  }
+  for (const auto& [name, g] : gauges_) {
+    lines[name] = StrCat("gauge ", name, " = ", g->value(), "\n");
+  }
+  for (const auto& [name, h] : histograms_) {
+    // Counts are deterministic; the observed values are timings, so masked
+    // renders (golden transcripts) keep count and hide sum/min/max.
+    lines[name] =
+        mask_values
+            ? StrCat("histogram ", name, " = count=", h->count(),
+                     " sum=- min=- max=-\n")
+            : StrCat("histogram ", name, " = count=", h->count(),
+                     " sum=", Fixed2(h->sum()), " min=", Fixed2(h->min()),
+                     " max=", Fixed2(h->max()), "\n");
+  }
+  std::string out;
+  for (const auto& [name, line] : lines) out += line;
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", name, "\":", c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", name, "\":", g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", name, "\":{\"count\":", h->count(),
+                  ",\"sum\":", DoubleToString(h->sum()),
+                  ",\"min\":", DoubleToString(h->min()),
+                  ",\"max\":", DoubleToString(h->max()), "}");
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace idl

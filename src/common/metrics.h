@@ -1,0 +1,134 @@
+// Process-wide metrics registry: named counters, gauges and histograms.
+//
+// The observability counterpart to common/trace.h: where a trace answers
+// "what did *this request* spend its time on", the registry accumulates
+// totals across every request the process has served — fixpoint passes,
+// derivations, index builds, site RPC retries, governor aborts — so benches
+// and the shell can dump one snapshot that explains a whole run.
+//
+// Usage pattern (hot paths cache the pointer once; the registry never
+// deallocates an instrument, so the pointer stays valid for the process
+// lifetime, across Reset() calls included):
+//
+//   static Counter* passes = MetricsRegistry::Global().counter(
+//       "engine.fixpoint_passes");
+//   passes->Increment();
+//
+// All instruments are thread-safe (relaxed atomics on the hot path; the
+// histogram min/max use CAS loops). Reset() zeroes values but keeps every
+// registered instrument, so cached pointers survive and snapshots after a
+// Reset() still list the full instrument set touched so far.
+//
+// Render() is the human form (one sorted line per instrument; format locked
+// by tests/explain_format_test.cc); ToJson() is the machine form consumed by
+// bench_util's metrics sidecars and the --trace=json shell output.
+
+#ifndef IDL_COMMON_METRICS_H_
+#define IDL_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace idl {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (e.g. current universe cell count).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<int64_t> value_{0};
+};
+
+// Distribution summary: count, sum, min, max over observed doubles.
+// Deliberately bucket-free — the consumers (bench reports, EXPERIMENTS.md)
+// want totals and extremes, and four atomics keep Observe() cheap enough
+// for per-RPC and per-pass call sites.
+class Histogram {
+ public:
+  void Observe(double v);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // 0 until the first Observe() (the infinity sentinels never escape).
+  double min() const;
+  double max() const;
+
+ private:
+  friend class MetricsRegistry;
+  void Reset();
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // +/-infinity sentinels so Observe() is a plain compare-and-swap race.
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::atomic<double> min_{kInf};
+  std::atomic<double> max_{-kInf};
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry. Instruments registered here live until
+  // process exit.
+  static MetricsRegistry& Global();
+
+  // Get-or-create by name. Names are dotted paths ("engine.fixpoint_passes");
+  // docs/OBSERVABILITY.md catalogues every name the library emits. A name
+  // identifies one instrument of one kind for the registry's lifetime;
+  // requesting it as a different kind returns a distinct instrument tracked
+  // under the same name (don't do that). Returned pointers are never
+  // invalidated.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  // Zeroes every instrument's value; keeps the instruments themselves (and
+  // therefore every pointer handed out) valid.
+  void Reset();
+
+  // One line per instrument, sorted by name:
+  //   counter engine.fixpoint_passes = 12
+  //   gauge session.universe_cells = 345
+  //   histogram federation.site_fetch_ms = count=3 sum=4.50 min=1.00 max=2.00
+  // Zero-count instruments are included — the instrument set is part of the
+  // snapshot. With mask_values, histogram sum/min/max render as "-" (they
+  // are timings; counts and counters stay — the byte-stable form golden
+  // transcripts pin). Format locked by tests/explain_format_test.cc.
+  std::string Render(bool mask_values = false) const;
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{"count":...,
+  // "sum":...,"min":...,"max":...}}} with keys sorted (std::map order).
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  // node-based maps: pointers to mapped values are stable across inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace idl
+
+#endif  // IDL_COMMON_METRICS_H_

@@ -22,12 +22,33 @@ class Rng {
     return z ^ (z >> 31);
   }
 
-  // Uniform integer in [0, bound). bound must be > 0.
-  uint64_t Below(uint64_t bound) { return Next() % bound; }
+  // Uniform integer in [0, bound). bound must be > 0. Unbiased: Lemire's
+  // multiply-shift with rejection of the short low fringe, so every value in
+  // [0, bound) is exactly equally likely (plain `Next() % bound` over-weights
+  // the first 2^64 mod bound values, badly so for bounds near 2^64).
+  uint64_t Below(uint64_t bound) {
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = -bound % bound;  // 2^64 mod bound
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
 
-  // Uniform integer in [lo, hi] inclusive.
+  // Uniform integer in [lo, hi] inclusive. The span is computed in unsigned
+  // arithmetic so hi - lo + 1 cannot overflow; a full-range request (span
+  // wraps to 0) degenerates to a raw 64-bit draw.
   int64_t Range(int64_t lo, int64_t hi) {
-    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+    uint64_t span =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<int64_t>(Next());
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) + Below(span));
   }
 
   // Uniform double in [0, 1).

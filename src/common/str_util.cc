@@ -33,6 +33,7 @@ std::vector<std::string> Split(std::string_view s, char sep) {
 }
 
 std::string QuoteString(std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
   std::string out = "\"";
   for (char c : s) {
     switch (c) {
@@ -48,8 +49,21 @@ std::string QuoteString(std::string_view s) {
       case '\t':
         out += "\\t";
         break;
-      default:
-        out += c;
+      case '\r':
+        out += "\\r";
+        break;
+      default: {
+        // Control bytes get \xNN so the literal re-lexes to the same bytes;
+        // everything >= 0x80 passes through raw (UTF-8 stays readable).
+        unsigned char u = static_cast<unsigned char>(c);
+        if (u < 0x20 || u == 0x7f) {
+          out += "\\x";
+          out += kHex[u >> 4];
+          out += kHex[u & 0xf];
+        } else {
+          out += c;
+        }
+      }
     }
   }
   out += '"';

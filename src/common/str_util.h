@@ -28,8 +28,10 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 // Splits `s` on `sep`; keeps empty pieces.
 std::vector<std::string> Split(std::string_view s, char sep);
 
-// Quotes `s` as an IDL string literal: wraps in double quotes and escapes
-// backslash, quote, newline and tab.
+// Quotes `s` as an IDL string literal: wraps in double quotes, escapes
+// backslash, quote, newline, tab and carriage return, and renders other
+// control bytes as \xNN. The result re-lexes to exactly `s` for every byte
+// string (printer -> lexer round trip is total).
 std::string QuoteString(std::string_view s);
 
 // Renders a double the way IDL prints numeric atoms: shortest representation

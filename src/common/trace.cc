@@ -1,0 +1,169 @@
+#include "common/trace.h"
+
+#include <time.h>
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "common/str_util.h"
+
+namespace idl {
+
+namespace {
+
+std::mutex& Mutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<TraceSpanRecord>& Records() {
+  static std::vector<TraceSpanRecord>* records =
+      new std::vector<TraceSpanRecord>();
+  return *records;
+}
+
+// Per-thread stack of open span ids; innermost last.
+thread_local std::vector<uint64_t> tls_open_spans;
+
+int64_t WallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string FormatTraceMs(double ms, bool mask) {
+  if (mask) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fms", ms);
+  return buf;
+}
+
+}  // namespace
+
+int64_t ThreadCpuNs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+  }
+#endif
+  return 0;
+}
+
+std::atomic<bool> Trace::enabled_{false};
+
+void Trace::Enable() {
+  Clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Trace::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Trace::Clear() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Records().clear();
+}
+
+uint64_t Trace::CurrentSpan() {
+  return tls_open_spans.empty() ? 0 : tls_open_spans.back();
+}
+
+uint64_t Trace::Open(const char* name, std::string detail,
+                     uint64_t explicit_parent, bool has_explicit_parent) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  std::vector<TraceSpanRecord>& records = Records();
+  TraceSpanRecord record;
+  record.id = records.size() + 1;  // id == index + 1
+  record.parent =
+      has_explicit_parent ? explicit_parent : CurrentSpan();
+  if (record.parent > 0 && record.parent <= records.size()) {
+    record.depth = records[record.parent - 1].depth + 1;
+  }
+  record.name = name;
+  record.detail = std::move(detail);
+  records.push_back(std::move(record));
+  tls_open_spans.push_back(records.size());
+  return records.size();
+}
+
+void Trace::Close(uint64_t id, double wall_ms, double cpu_ms) {
+  if (!tls_open_spans.empty() && tls_open_spans.back() == id) {
+    tls_open_spans.pop_back();
+  }
+  std::lock_guard<std::mutex> lock(Mutex());
+  std::vector<TraceSpanRecord>& records = Records();
+  if (id == 0 || id > records.size()) return;  // cleared while open
+  TraceSpanRecord& record = records[id - 1];
+  record.wall_ms = wall_ms;
+  record.cpu_ms = cpu_ms;
+  record.closed = true;
+}
+
+std::vector<TraceSpanRecord> Trace::Snapshot() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  return Records();
+}
+
+std::string Trace::Render(bool mask_timings) {
+  std::string out;
+  for (const TraceSpanRecord& record : Snapshot()) {
+    out.append(static_cast<size_t>(record.depth) * 2, ' ');
+    out += record.name;
+    if (!record.detail.empty()) {
+      out += ' ';
+      out += record.detail;
+    }
+    out += StrCat(" wall=", FormatTraceMs(record.wall_ms, mask_timings),
+                  " cpu=", FormatTraceMs(record.cpu_ms, mask_timings), "\n");
+  }
+  return out;
+}
+
+std::string Trace::RenderJson(bool mask_timings) {
+  std::string out = "{\"spans\":[";
+  bool first = true;
+  for (const TraceSpanRecord& record : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("{\"id\":", record.id, ",\"parent\":", record.parent,
+                  ",\"name\":", QuoteString(record.name),
+                  ",\"detail\":", QuoteString(record.detail));
+    if (mask_timings) {
+      out += ",\"wall_ms\":null,\"cpu_ms\":null}";
+    } else {
+      out += StrCat(",\"wall_ms\":", DoubleToString(record.wall_ms),
+                    ",\"cpu_ms\":", DoubleToString(record.cpu_ms), "}");
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+TraceSpan::TraceSpan(const char* name, std::string detail) {
+  if (!Trace::enabled()) return;
+  Start(name, std::move(detail), 0, /*has_explicit_parent=*/false);
+}
+
+TraceSpan::TraceSpan(const char* name, std::string detail, uint64_t parent) {
+  if (!Trace::enabled()) return;
+  Start(name, std::move(detail), parent, /*has_explicit_parent=*/true);
+}
+
+void TraceSpan::Start(const char* name, std::string detail,
+                      uint64_t explicit_parent, bool has_explicit_parent) {
+  id_ = Trace::Open(name, std::move(detail), explicit_parent,
+                    has_explicit_parent);
+  wall_start_ns_ = WallNowNs();
+  cpu_start_ns_ = ThreadCpuNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (id_ == 0) return;
+  double wall_ms =
+      static_cast<double>(WallNowNs() - wall_start_ns_) / 1e6;
+  double cpu_ms = static_cast<double>(ThreadCpuNs() - cpu_start_ns_) / 1e6;
+  Trace::Close(id_, wall_ms, cpu_ms);
+}
+
+}  // namespace idl

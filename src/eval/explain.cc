@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/str_util.h"
 
 namespace idl {
@@ -12,6 +13,26 @@ std::string EvalStats::ToString() const {
                 " out=", substitutions_emitted, " negprobes=", negation_probes,
                 " idxprobes=", index_probes, " idxbuilt=", indexes_built,
                 " idxreused=", indexes_reused);
+}
+
+void EvalStats::BumpMetrics() const {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter* scanned = registry.counter("eval.set_elements_scanned");
+  static Counter* attrs = registry.counter("eval.attrs_enumerated");
+  static Counter* cmp = registry.counter("eval.comparisons");
+  static Counter* out = registry.counter("eval.substitutions_emitted");
+  static Counter* negprobes = registry.counter("eval.negation_probes");
+  static Counter* idxprobes = registry.counter("eval.index_probes");
+  static Counter* idxbuilt = registry.counter("eval.indexes_built");
+  static Counter* idxreused = registry.counter("eval.indexes_reused");
+  scanned->Increment(set_elements_scanned);
+  attrs->Increment(attrs_enumerated);
+  cmp->Increment(comparisons);
+  out->Increment(substitutions_emitted);
+  negprobes->Increment(negation_probes);
+  idxprobes->Increment(index_probes);
+  idxbuilt->Increment(indexes_built);
+  idxreused->Increment(indexes_reused);
 }
 
 namespace {
@@ -116,6 +137,38 @@ std::string FormatStratumStats(const std::vector<StratumStats>& strata) {
                   StrCat(total.delta_facts), StrCat(total.parallel_tasks),
                   FormatMs(total.wall_ms)});
   return AlignRows(rows);
+}
+
+std::string FormatAnalyze(const std::vector<StratumStats>& strata,
+                          double wall_ms, double cpu_ms, bool mask_timings) {
+  auto ms = [mask_timings](double v) {
+    return mask_timings ? std::string("-") : FormatMs(v);
+  };
+  auto trailer_ms = [mask_timings](double v) {
+    return mask_timings ? std::string("-") : StrCat(FormatMs(v), "ms");
+  };
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"stratum", "rule", "head", "passes", "subs", "enum_ms",
+                  "write_ms", "wall_ms", "cpu_ms"});
+  double strata_wall = 0.0;
+  double strata_cpu = 0.0;
+  for (const auto& s : strata) {
+    rows.push_back({StrCat(s.stratum), "-", "-", StrCat(s.passes),
+                    StrCat(s.substitutions), "-", "-", ms(s.wall_ms),
+                    ms(s.cpu_ms)});
+    strata_wall += s.wall_ms;
+    strata_cpu += s.cpu_ms;
+    for (const auto& r : s.rule_timings) {
+      rows.push_back({StrCat(s.stratum), StrCat(r.rule), r.head,
+                      StrCat(r.passes), StrCat(r.substitutions),
+                      ms(r.enumerate_ms), ms(r.write_ms), "-", "-"});
+    }
+  }
+  rows.push_back({"total", "-", "-", "", "", "", "", ms(strata_wall),
+                  ms(strata_cpu)});
+  return StrCat(AlignRows(rows), "analyze: wall=", trailer_ms(wall_ms),
+                " cpu=", trailer_ms(cpu_ms),
+                " strata_wall=", trailer_ms(strata_wall), "\n");
 }
 
 }  // namespace idl

@@ -23,6 +23,11 @@ struct EvalStats {
   uint64_t indexes_built = 0;          // probes that had to build their index
   uint64_t indexes_reused = 0;         // probes served by an existing index
 
+  // Adds this snapshot's aggregates to the process metrics registry
+  // (counters eval.*) — called once per query/materialization, so the
+  // per-probe hot paths stay metric-free.
+  void BumpMetrics() const;
+
   EvalStats& operator+=(const EvalStats& o) {
     set_elements_scanned += o.set_elements_scanned;
     attrs_enumerated += o.attrs_enumerated;
@@ -36,6 +41,19 @@ struct EvalStats {
   }
 
   std::string ToString() const;
+};
+
+// Per-rule timing inside one evaluation wave, split into the two phases the
+// engine alternates: body enumeration (parallelizable, read-only) and head
+// writing (sequential, in rule order). Sums cover every pass the rule was
+// active in.
+struct RuleTimingStats {
+  int rule = 0;       // index in the engine's rule list
+  std::string head;   // HeadTarget, "db.rel" with "*" for data-dependent
+  int passes = 0;     // passes this rule was enumerated in
+  uint64_t substitutions = 0;  // body substitutions processed
+  double enumerate_ms = 0.0;   // body enumeration wall time
+  double write_ms = 0.0;       // head write wall time
 };
 
 // Per-evaluation-level accounting of one materialization (see
@@ -53,10 +71,28 @@ struct StratumStats {
   uint64_t delta_facts = 0;            // facts recorded into pass deltas
   uint64_t parallel_tasks = 0;         // rule evaluations run on pool threads
   double wall_ms = 0.0;
+  // CPU time attributable to this wave: enumeration-task thread CPU (summed
+  // across workers) plus the sequential write phase's. Can exceed wall_ms
+  // under parallelism.
+  double cpu_ms = 0.0;
+  std::vector<RuleTimingStats> rule_timings;  // one row per rule in the wave
 };
 
 // Renders one row per stratum plus a totals row, aligned for terminals.
 std::string FormatStratumStats(const std::vector<StratumStats>& strata);
+
+// The EXPLAIN ANALYZE table: per-stratum rows (wall/CPU) interleaved with
+// their per-rule phase timings, a totals row summing the strata, and a
+// trailer line carrying the materialization's own measured totals —
+//   analyze: wall=12.34ms cpu=11.90ms strata_wall=12.10ms
+// so per-stratum attribution can be checked against end-to-end time (the
+// two agree within 10% on the paper pipeline; tests/trace_metrics_test.cc
+// asserts the containment direction). With mask_timings every timing cell
+// (and the trailer's values) renders as "-" — the byte-stable form golden
+// transcripts pin. Format locked by tests/explain_format_test.cc.
+std::string FormatAnalyze(const std::vector<StratumStats>& strata,
+                          double wall_ms, double cpu_ms,
+                          bool mask_timings = false);
 
 // Accounting of incremental view maintenance (views/engine.h ApplyDelta) on
 // one retained materialization. `fallbacks` counts deltas the session could

@@ -1,5 +1,8 @@
 #include "eval/index.h"
 
+#include "common/str_util.h"
+#include "common/trace.h"
+
 namespace idl {
 
 bool SetIndexCache::Probe(const Value& set, std::string_view attr,
@@ -14,6 +17,10 @@ bool SetIndexCache::Probe(const Value& set, std::string_view attr,
   if (it != per_set.end()) {
     ++indexes_reused_;
   } else {
+    // A build walks the whole set, so it is worth a span; reuse probes are
+    // far too hot to trace individually (they show up as counters only).
+    TraceSpan span("index.build",
+                   StrCat("attr=", attr, " elements=", set.SetSize()));
     AttrIndex index;
     const auto& elements = set.elements();
     for (uint32_t i = 0; i < elements.size(); ++i) {

@@ -6,13 +6,34 @@
 #include <thread>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "relational/adapter.h"
 
 namespace idl {
 
 namespace {
+
+// Pre-dispatch governor gate. A request that reaches the gateway with an
+// already-exhausted governor must fail with the governor's own status
+// (kDeadlineExceeded / kCancelled / kResourceExhausted) *before* any site
+// RPC is issued — previously the expired remaining time was clamped to a
+// 1 ms site deadline, so exhaustion surfaced as a per-site timeout and was
+// mis-attributed (and retried!) as a site fault. Counted process-wide under
+// federation.governor_expired; deliberately not charged to any site's
+// timeout/failure counters.
+Status CheckGovernorBeforeDispatch(const ResourceGovernor* governor) {
+  if (governor == nullptr) return Status::Ok();
+  Status st = governor->CheckDeadlineNow();
+  if (!st.ok()) {
+    MetricsRegistry::Global()
+        .counter("federation.governor_expired")
+        ->Increment();
+  }
+  return st;
+}
 
 // Issues one logical request with bounded retries and jittered exponential
 // backoff (BackoffSchedule). kUnavailable and kDeadlineExceeded are
@@ -27,6 +48,15 @@ template <typename T>
 Result<T> WithRetry(const Gateway::Options& options, SiteStats* stats,
                     const ResourceGovernor* governor,
                     const std::function<Result<T>()>& attempt) {
+  static Counter* requests =
+      MetricsRegistry::Global().counter("federation.requests");
+  static Counter* retries =
+      MetricsRegistry::Global().counter("federation.retries");
+  static Counter* timeouts =
+      MetricsRegistry::Global().counter("federation.timeouts");
+  static Counter* failures =
+      MetricsRegistry::Global().counter("federation.failures");
+  requests->Increment();
   ++stats->requests;
   const std::vector<int> schedule = BackoffSchedule(options);
   for (int tries = 0;; ++tries) {
@@ -34,20 +64,26 @@ Result<T> WithRetry(const Gateway::Options& options, SiteStats* stats,
       Status st = governor->Checkpoint();
       if (!st.ok()) {
         ++stats->failures;
+        failures->Increment();
         return st;
       }
     }
     Result<T> r = attempt();
     if (r.ok()) return r;
     const StatusCode code = r.status().code();
-    if (code == StatusCode::kDeadlineExceeded) ++stats->timeouts;
+    if (code == StatusCode::kDeadlineExceeded) {
+      ++stats->timeouts;
+      timeouts->Increment();
+    }
     const bool retriable = code == StatusCode::kUnavailable ||
                            code == StatusCode::kDeadlineExceeded;
     if (!retriable || tries >= options.max_retries) {
       ++stats->failures;
+      failures->Increment();
       return r;
     }
     ++stats->retries;
+    retries->Increment();
     const int sleep_ms =
         tries < static_cast<int>(schedule.size()) ? schedule[tries] : 0;
     if (sleep_ms > 0) {
@@ -55,6 +91,7 @@ Result<T> WithRetry(const Gateway::Options& options, SiteStats* stats,
         Status st = governor->Checkpoint();
         if (!st.ok()) {
           ++stats->failures;
+          failures->Increment();
           return st;
         }
       }
@@ -145,9 +182,10 @@ RequestContext Gateway::MakeContext(const ResourceGovernor* governor) const {
   if (governor != nullptr) {
     int64_t remaining = governor->RemainingMs();
     if (remaining >= 0) {
-      // Governor time left bounds the site request; at least 1ms so an
-      // expired deadline fails at the governor checkpoint (with the right
-      // status), not as a site artifact.
+      // Governor time left bounds the site request. An exhausted governor
+      // never reaches this derivation: every dispatch path runs
+      // CheckGovernorBeforeDispatch first, so the floor of 1 ms only
+      // rounds up a sub-millisecond (but live) remainder.
       int bounded = static_cast<int>(std::max<int64_t>(remaining, 1));
       ctx.deadline_ms =
           ctx.deadline_ms == 0 ? bounded : std::min(ctx.deadline_ms, bounded);
@@ -188,7 +226,10 @@ Result<Value> Gateway::PullExportLocked(SiteState& st,
 }
 
 Result<Value> Gateway::FetchSite(SiteState& st, const ShipPlan& plan,
-                                 const ResourceGovernor* governor) {
+                                 const ResourceGovernor* governor,
+                                 uint64_t parent_span) {
+  TraceSpan span("site.fetch", StrCat("site=", st.site->name()), parent_span);
+  IDL_RETURN_IF_ERROR(CheckGovernorBeforeDispatch(governor));
   std::lock_guard<std::mutex> lock(st.mu);
   RequestContext ctx = MakeContext(governor);
   IDL_RETURN_IF_ERROR(ValidateGenerationLocked(st, ctx, governor));
@@ -281,10 +322,21 @@ Result<Gateway::FederatedFetch> Gateway::Fetch(
     }
   }
 
+  TraceSpan span("federation.fetch",
+                 StrCat("sites=", involved.size(),
+                        plan.pull_all ? " pull_all" : ""));
+  static Histogram* fetch_ms =
+      MetricsRegistry::Global().histogram("federation.site_fetch_ms");
+  const uint64_t parent_span = Trace::CurrentSpan();
   std::vector<Result<Value>> fetched(involved.size(),
                                      Result<Value>(Internal("not fetched")));
   pool_.ParallelFor(involved.size(), [&](size_t task, size_t) {
-    fetched[task] = FetchSite(*involved[task], plan, governor);
+    auto start = std::chrono::steady_clock::now();
+    fetched[task] = FetchSite(*involved[task], plan, governor, parent_span);
+    fetch_ms->Observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
   });
 
   FederatedFetch out;
@@ -329,6 +381,8 @@ Status Gateway::WriteSite(const std::string& name, const Value& facts,
     }
     st = it->second;
   }
+  TraceSpan span("site.write", StrCat("site=", name));
+  IDL_RETURN_IF_ERROR(CheckGovernorBeforeDispatch(governor));
   std::lock_guard<std::mutex> lock(st->mu);
   RequestContext ctx = MakeContext(governor);
   Result<bool> r =
@@ -363,10 +417,18 @@ Result<MultiQueryResult> Gateway::Broadcast(const FoQuery& query,
     for (const auto& [name, st] : sites_) involved.push_back(st);
   }
 
+  TraceSpan span("federation.broadcast", StrCat("sites=", involved.size()));
+  const uint64_t parent_span = Trace::CurrentSpan();
   std::vector<Result<ResultSet>> answers(
       involved.size(), Result<ResultSet>(Internal("not fetched")));
   pool_.ParallelFor(involved.size(), [&](size_t task, size_t) {
     SiteState& st = *involved[task];
+    TraceSpan site_span("site.execute", StrCat("site=", st.site->name()),
+                        parent_span);
+    if (Status gate = CheckGovernorBeforeDispatch(governor); !gate.ok()) {
+      answers[task] = gate;
+      return;
+    }
     std::lock_guard<std::mutex> lock(st.mu);
     RequestContext ctx = MakeContext(governor);
     ++st.stats.shipped_subgoals;

@@ -168,8 +168,11 @@ class Gateway {
   };
 
   // Fetches one site's contribution under `plan`. Locks the site's mutex.
+  // `parent_span` attributes the per-site trace span to the fetch fan-out
+  // that spawned this call (runs on a pool worker thread).
   Result<Value> FetchSite(SiteState& st, const ShipPlan& plan,
-                          const ResourceGovernor* governor);
+                          const ResourceGovernor* governor,
+                          uint64_t parent_span);
   // The RequestContext for one site request: the configured deadline,
   // tightened to the governor's remaining time when one is present.
   RequestContext MakeContext(const ResourceGovernor* governor) const;

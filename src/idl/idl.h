@@ -10,8 +10,10 @@
 #define IDL_IDL_IDL_H_
 
 #include "catalog/catalog.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "constraints/checker.h"
 #include "eval/query.h"
 #include "federation/gateway.h"

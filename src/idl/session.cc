@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "eval/matcher.h"
 #include "federation/ship.h"
 #include "relational/adapter.h"
@@ -11,6 +13,17 @@
 #include "syntax/printer.h"
 
 namespace idl {
+
+namespace {
+
+// Parses one request text under a "parse" span so a trace attributes
+// front-end time separately from evaluation.
+Result<Query> ParseRequest(std::string_view text) {
+  TraceSpan span("parse", StrCat("bytes=", text.size()));
+  return ParseQuery(text);
+}
+
+}  // namespace
 
 Status Session::RegisterDatabase(std::string name, Value db_object) {
   if (!db_object.is_tuple()) {
@@ -160,6 +173,7 @@ Status Session::WriteBack(const std::set<std::string>& roots) {
       if (federation_->HasSite(root)) sites.insert(root);
     }
   }
+  TraceSpan span("writeback", StrCat("sites=", sites.size()));
   for (const auto& name : sites) {
     const Value* db = base_.FindField(name);
     if (db == nullptr) continue;  // degraded site: no replica to push
@@ -217,6 +231,10 @@ Status Session::DeclareConstraint(std::string_view declaration) {
 Result<CallResult> Session::CallProgram(
     const std::string& path, const std::map<std::string, Value>& args,
     UpdateOp view_op, const EvalOptions& options) {
+  TraceSpan span("session.call", StrCat("path=", path));
+  static Counter* calls =
+      MetricsRegistry::Global().counter("session.program_calls");
+  calls->Increment();
   std::unique_ptr<ResourceGovernor> governor = MakeRequestGovernor(options);
   IDL_RETURN_IF_ERROR(SyncFederation(governor.get()));
 
@@ -258,12 +276,13 @@ Result<CallResult> Session::CallProgram(
     Invalidate();
     return pushed.WithContext(StrCat("program ", path, " rolled back"));
   }
+  result->counts.BumpMetrics();
   return result;
 }
 
 Result<Answer> Session::Query(std::string_view query_text,
                               const EvalOptions& options) {
-  IDL_ASSIGN_OR_RETURN(struct Query query, ParseQuery(query_text));
+  IDL_ASSIGN_OR_RETURN(struct Query query, ParseRequest(query_text));
   IDL_ASSIGN_OR_RETURN(QueryInfo info, AnalyzeQuery(query));
   if (info.is_update_request) {
     return InvalidArgument(
@@ -274,6 +293,10 @@ Result<Answer> Session::Query(std::string_view query_text,
 
 Result<Answer> Session::QueryParsed(const struct Query& query,
                                     const EvalOptions& options) {
+  TraceSpan span("session.query");
+  static Counter* queries =
+      MetricsRegistry::Global().counter("session.queries");
+  queries->Increment();
   std::unique_ptr<ResourceGovernor> governor = MakeRequestGovernor(options);
   Result<Answer> answer = QueryGoverned(query, options, governor.get());
   RecordGovernor(governor.get(), answer.status());
@@ -415,7 +438,11 @@ bool Session::TargetsDerived(const std::string& path) const {
 
 Result<UpdateRequestResult> Session::Update(std::string_view request_text,
                                             const EvalOptions& options) {
-  IDL_ASSIGN_OR_RETURN(struct Query request, ParseQuery(request_text));
+  TraceSpan span("session.update");
+  static Counter* updates =
+      MetricsRegistry::Global().counter("session.updates");
+  updates->Increment();
+  IDL_ASSIGN_OR_RETURN(struct Query request, ParseRequest(request_text));
 
   std::unique_ptr<ResourceGovernor> governor = MakeRequestGovernor(options);
 
@@ -454,6 +481,7 @@ Result<UpdateRequestResult> Session::Update(std::string_view request_text,
     Invalidate();
     return pushed.WithContext("update request rolled back");
   }
+  result->counts.BumpMetrics();
   return result;
 }
 
@@ -556,8 +584,11 @@ bool Session::IsUpdateRequest(const struct Query& query) const {
 
 Result<std::vector<Answer>> Session::ExecuteScript(std::string_view script,
                                                    const EvalOptions& options) {
-  IDL_ASSIGN_OR_RETURN(std::vector<Statement> statements,
-                       ParseStatements(script));
+  Result<std::vector<Statement>> parsed = [&] {
+    TraceSpan span("parse", StrCat("bytes=", script.size()));
+    return ParseStatements(script);
+  }();
+  IDL_ASSIGN_OR_RETURN(std::vector<Statement> statements, std::move(parsed));
   std::vector<Answer> answers;
   for (auto& statement : statements) {
     switch (statement.kind) {

@@ -46,7 +46,9 @@ Result<Date> Date::Parse(std::string_view text) {
   const char* end = text.data() + text.size();
   for (int i = 0; i < 3; ++i) {
     auto [next, ec] = std::from_chars(p, end, parts[i]);
-    if (ec != std::errc() || next == p) {
+    // from_chars accepts a sign for int; a negative component would slip
+    // past the century pivot (-85 + 1900 = 1815), so reject it here.
+    if (ec != std::errc() || next == p || parts[i] < 0) {
       return InvalidArgument(StrCat("bad date literal: '", text, "'"));
     }
     p = next;

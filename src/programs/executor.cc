@@ -1,6 +1,7 @@
 #include "programs/executor.h"
 
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "eval/matcher.h"
 #include "syntax/printer.h"
 
@@ -26,6 +27,8 @@ Result<CallResult> ProgramExecutor::Call(
 
 Result<CallResult> ProgramExecutor::CallDef(
     const ProgramDef& def, const std::map<std::string, Value>& args) {
+  // Nested calls nest their spans naturally via the per-thread span stack.
+  TraceSpan span("program.call", StrCat("key=", def.key.ToString()));
   if (++depth_ > kMaxCallDepth) {
     --depth_;
     return Internal("program call depth exceeded");

@@ -118,6 +118,13 @@ class LexerImpl {
     return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
   }
 
+  static int HexDigit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  }
+
   void Advance() {
     if (text_[pos_] == '\n') {
       ++line_;
@@ -283,7 +290,10 @@ class LexerImpl {
     while (pos_ < text_.size() && text_[pos_] != '"') {
       char c = text_[pos_];
       Advance();
-      if (c == '\\' && pos_ < text_.size()) {
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return ErrorHere("backslash at end of string literal");
+        }
         char e = text_[pos_];
         Advance();
         switch (e) {
@@ -293,8 +303,33 @@ class LexerImpl {
           case 't':
             out += '\t';
             break;
+          case 'r':
+            out += '\r';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '"':
+            out += '"';
+            break;
+          case 'x': {
+            int value = 0;
+            for (int i = 0; i < 2; ++i) {
+              int digit = HexDigit(Peek());
+              if (digit < 0) {
+                return ErrorHere(
+                    "\\x escape requires two hex digits in string literal");
+              }
+              value = value * 16 + digit;
+              Advance();
+            }
+            out += static_cast<char>(value);
+            break;
+          }
           default:
-            out += e;
+            return ErrorHere(StrCat("unknown escape '\\",
+                                    std::string(1, e),
+                                    "' in string literal"));
         }
       } else {
         out += c;

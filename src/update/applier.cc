@@ -1,10 +1,32 @@
 #include "update/applier.h"
 
+#include "common/metrics.h"
 #include "common/str_util.h"
 #include "eval/matcher.h"
 #include "syntax/printer.h"
 
 namespace idl {
+
+void UpdateCounts::BumpMetrics() const {
+  static Counter* set_ins =
+      MetricsRegistry::Global().counter("update.set_inserts");
+  static Counter* set_del =
+      MetricsRegistry::Global().counter("update.set_deletes");
+  static Counter* attr_crt =
+      MetricsRegistry::Global().counter("update.attr_creates");
+  static Counter* attr_del =
+      MetricsRegistry::Global().counter("update.attr_deletes");
+  static Counter* atom_wr =
+      MetricsRegistry::Global().counter("update.atom_writes");
+  static Counter* atom_nul =
+      MetricsRegistry::Global().counter("update.atom_nulls");
+  set_ins->Increment(set_inserts);
+  set_del->Increment(set_deletes);
+  attr_crt->Increment(attr_creates);
+  attr_del->Increment(attr_deletes);
+  atom_wr->Increment(atom_writes);
+  atom_nul->Increment(atom_nulls);
+}
 
 namespace {
 

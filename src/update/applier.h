@@ -60,6 +60,11 @@ struct UpdateCounts {
     atom_nulls += o.atom_nulls;
     return *this;
   }
+
+  // Folds these counts into the process-wide update.* counters
+  // (common/metrics.h). Called once per completed request, not per
+  // mutation, to keep the applier's hot path free of registry traffic.
+  void BumpMetrics() const;
 };
 
 class UpdateApplier {

@@ -7,8 +7,10 @@
 #include <memory>
 #include <string_view>
 
+#include "common/metrics.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "eval/index.h"
 #include "eval/matcher.h"
 #include "eval/query.h"
@@ -29,6 +31,30 @@ double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+double CpuMsSince(int64_t start_ns) {
+  return static_cast<double>(ThreadCpuNs() - start_ns) / 1e6;
+}
+
+// Rolls one finished materialization's aggregates into the process metrics.
+// Called once per run (full or maintenance wave set) so the per-derivation
+// hot paths stay metric-free.
+void BumpEngineMetrics(const Materialized& m, const EvalStats& run_stats) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter* runs = registry.counter("engine.materializations");
+  static Counter* passes = registry.counter("engine.fixpoint_passes");
+  static Counter* facts = registry.counter("engine.facts_derived");
+  static Counter* changes = registry.counter("engine.changes");
+  static Counter* par = registry.counter("engine.parallel_tasks");
+  static Histogram* wall = registry.histogram("engine.materialize_ms");
+  runs->Increment();
+  passes->Increment(static_cast<uint64_t>(m.fixpoint_passes));
+  facts->Increment(m.facts_derived);
+  changes->Increment(m.changes);
+  par->Increment(m.parallel_tasks);
+  wall->Observe(m.wall_ms);
+  run_stats.BumpMetrics();
 }
 
 // Resolves an attribute name in a head item: constant, or a variable the
@@ -314,6 +340,9 @@ Result<Materialized> MaterializeNaive(const std::vector<Rule>& rules,
                                       const EvalOptions& options,
                                       EvalStats* stats,
                                       const ResourceGovernor* governor) {
+  TraceSpan mat_span("materialize",
+                     StrCat("strategy=naive rules=", rules.size()));
+  auto mat_start = std::chrono::steady_clock::now();
   Materialized m;
   m.universe = base;
   IDL_RETURN_IF_ERROR(ChargeBaseCells(base, governor));
@@ -327,25 +356,40 @@ Result<Materialized> MaterializeNaive(const std::vector<Rule>& rules,
 
   std::vector<std::string> derived;
   HeadWriter writer(&m);
+  EvalStats run_stats;  // this run only; merged into *stats at the end
 
   for (int s = 0; s < strat.num_strata; ++s) {
     bool recursive = strat.stratum_recursive[s];
+    TraceSpan stratum_span(
+        "stratum", StrCat("level=", s, " rules=", by_stratum[s].size(),
+                          recursive ? " recursive" : ""));
     auto start = std::chrono::steady_clock::now();
+    int64_t cpu_start = ThreadCpuNs();
     StratumStats row;
     row.stratum = s;
     row.rules = static_cast<int>(by_stratum[s].size());
     row.recursive = recursive;
+    row.rule_timings.resize(by_stratum[s].size());
+    for (size_t k = 0; k < by_stratum[s].size(); ++k) {
+      RuleTimingStats& timing = row.rule_timings[k];
+      timing.rule = static_cast<int>(by_stratum[s][k]);
+      Result<RelRef> head = HeadTarget(rules[by_stratum[s][k]]);
+      timing.head = head.ok() ? head->ToString() : "?";
+    }
     while (true) {
       if (governor != nullptr) IDL_RETURN_IF_ERROR(governor->ChargePass());
       uint64_t changes_before = m.changes;
-      for (size_t rule_index : by_stratum[s]) {
+      for (size_t k = 0; k < by_stratum[s].size(); ++k) {
+        const size_t rule_index = by_stratum[s][k];
         const Rule& rule = rules[rule_index];
+        RuleTimingStats& timing = row.rule_timings[k];
         if (governor != nullptr) IDL_RETURN_IF_ERROR(governor->Checkpoint());
         // Materialize the body bindings *before* writing any head instance
         // (the body reads the same universe the head writes).
+        auto enum_start = std::chrono::steady_clock::now();
         std::vector<Substitution> sigmas;
         Result<bool> r = EnumerateBindings(
-            m.universe, rule.body, options, stats,
+            m.universe, rule.body, options, &run_stats,
             [&](const Substitution& sigma) {
               sigmas.push_back(sigma);
               return true;
@@ -355,22 +399,32 @@ Result<Materialized> MaterializeNaive(const std::vector<Rule>& rules,
           return r.status().WithContext(
               StrCat("evaluating body of '", rule.source, "'"));
         }
+        timing.enumerate_ms += MsSince(enum_start);
+        ++timing.passes;
+        timing.substitutions += sigmas.size();
         row.substitutions += sigmas.size();
+        auto write_start = std::chrono::steady_clock::now();
         for (const auto& sigma : sigmas) {
           IDL_RETURN_IF_ERROR(ProcessSubstitution(rule, sigma, &writer, &m,
                                                   &derived, nullptr,
                                                   governor));
         }
+        timing.write_ms += MsSince(write_start);
       }
       ++m.fixpoint_passes;
       ++row.passes;
       if (!recursive || m.changes == changes_before) break;
     }
     row.wall_ms = MsSince(start);
+    row.cpu_ms = CpuMsSince(cpu_start);
+    m.cpu_ms += row.cpu_ms;
     m.stratum_stats.push_back(row);
   }
 
   FinishDerivedPaths(std::move(derived), &m);
+  m.wall_ms = MsSince(mat_start);
+  if (stats != nullptr) *stats += run_stats;
+  BumpEngineMetrics(m, run_stats);
   return m;
 }
 
@@ -482,11 +536,20 @@ Result<StratumStats> RunLevelWave(SemiNaiveContext* ctx, int level,
   const ResourceGovernor* governor = ctx->governor;
   Materialized& m = *ctx->m;
   HeadWriter writer(&m);
+  TraceSpan wave_span(
+      "stratum", StrCat("level=", level, " rules=", level_rules.size(),
+                        recursive ? " recursive" : "",
+                        seed != nullptr ? " seeded" : ""));
   auto start = std::chrono::steady_clock::now();
   StratumStats row;
   row.stratum = level;
   row.rules = static_cast<int>(level_rules.size());
   row.recursive = recursive;
+  row.rule_timings.resize(level_rules.size());
+  for (size_t k = 0; k < level_rules.size(); ++k) {
+    row.rule_timings[k].rule = static_cast<int>(level_rules[k]);
+    row.rule_timings[k].head = ctx->heads[level_rules[k]].ToString();
+  }
   uint64_t delta_before_level = m.delta_size;
 
   // Body positions eligible for delta restriction: positive universe
@@ -539,13 +602,20 @@ Result<StratumStats> RunLevelWave(SemiNaiveContext* ctx, int level,
       }
     }
 
+    TraceSpan pass_span("pass",
+                        StrCat("pass=", row.passes, " active=", active.size()));
+
     // ---- enumeration phase: the universe is immutable, so rule bodies
     // evaluate concurrently; each task gets its own result slot, stats,
-    // and per-worker index cache.
+    // and per-worker index cache. Phase timings land in the task's own
+    // slot (thread-safe) and are folded into the rule timings by the
+    // sequential collection loop below.
     struct TaskResult {
       std::vector<Substitution> sigmas;
       Status status = Status::Ok();
       EvalStats stats;
+      double enum_wall_ms = 0.0;
+      double enum_cpu_ms = 0.0;
     };
     std::vector<TaskResult> results(active.size());
     const bool run_parallel = ctx->pool != nullptr && active.size() > 1;
@@ -559,6 +629,8 @@ Result<StratumStats> RunLevelWave(SemiNaiveContext* ctx, int level,
       TaskResult& out = results[t];
       const size_t k = active[t];
       const Rule& rule = rules[level_rules[k]];
+      auto enum_start = std::chrono::steady_clock::now();
+      int64_t enum_cpu_start = ThreadCpuNs();
       SetIndexCache* cache = ctx->caches[slot].get();
       cache->EnsureGeneration(ctx->generation);
       auto collect = [&](const Substitution& sigma) {
@@ -596,27 +668,43 @@ Result<StratumStats> RunLevelWave(SemiNaiveContext* ctx, int level,
         out.status = out.status.WithContext(
             StrCat("evaluating body of '", rule.source, "'"));
       }
+      out.enum_wall_ms = MsSince(enum_start);
+      out.enum_cpu_ms = CpuMsSince(enum_cpu_start);
     };
-    if (run_parallel) {
-      ctx->pool->ParallelFor(active.size(), run_task);
-      row.parallel_tasks += active.size();
-    } else {
-      for (size_t t = 0; t < active.size(); ++t) run_task(t, 0);
+    {
+      TraceSpan enum_span(
+          "enumerate", StrCat("tasks=", active.size(),
+                              run_parallel ? " parallel" : ""));
+      if (run_parallel) {
+        ctx->pool->ParallelFor(active.size(), run_task);
+        row.parallel_tasks += active.size();
+      } else {
+        for (size_t t = 0; t < active.size(); ++t) run_task(t, 0);
+      }
     }
     for (size_t t = 0; t < active.size(); ++t) {
       IDL_RETURN_IF_ERROR(results[t].status);
       ctx->mat_stats += results[t].stats;
+      RuleTimingStats& timing = row.rule_timings[active[t]];
+      ++timing.passes;
+      timing.enumerate_ms += results[t].enum_wall_ms;
+      row.cpu_ms += results[t].enum_cpu_ms;
     }
 
     // ---- write phase: sequential, in rule order, so results do not
     // depend on thread count. Changes are recorded into the next delta.
+    TraceSpan write_span("write");
+    int64_t write_cpu_start = ThreadCpuNs();
     Value next_delta;
     uint64_t changes_before = m.changes;
     for (size_t t = 0; t < active.size(); ++t) {
       if (governor != nullptr) IDL_RETURN_IF_ERROR(governor->Checkpoint());
       const size_t k = active[t];
       const Rule& rule = rules[level_rules[k]];
+      RuleTimingStats& timing = row.rule_timings[k];
+      auto write_start = std::chrono::steady_clock::now();
       row.substitutions += results[t].sigmas.size();
+      timing.substitutions += results[t].sigmas.size();
       if (use_delta && cumulative[k] > results[t].sigmas.size()) {
         // A naive pass would have re-enumerated (at least) everything this
         // rule derived so far; the delta variants only replayed these.
@@ -629,7 +717,9 @@ Result<StratumStats> RunLevelWave(SemiNaiveContext* ctx, int level,
                                                 &ctx->derived, &next_delta,
                                                 governor));
       }
+      timing.write_ms += MsSince(write_start);
     }
+    row.cpu_ms += CpuMsSince(write_cpu_start);
     ++m.fixpoint_passes;
     ++row.passes;
     const bool changed = m.changes != changes_before;
@@ -652,6 +742,9 @@ Result<Materialized> MaterializeSemiNaive(const std::vector<Rule>& rules,
                                           const EvalOptions& options,
                                           EvalStats* stats,
                                           const ResourceGovernor* governor) {
+  TraceSpan mat_span("materialize",
+                     StrCat("strategy=semi-naive rules=", rules.size()));
+  auto mat_start = std::chrono::steady_clock::now();
   Materialized m;
   m.universe = base;
   IDL_RETURN_IF_ERROR(ChargeBaseCells(base, governor));
@@ -669,12 +762,15 @@ Result<Materialized> MaterializeSemiNaive(const std::vector<Rule>& rules,
     m.level_written[level] = SortedUniqueSlice(ctx.derived, derived_before);
     m.substitutions_skipped += row.substitutions_skipped;
     m.parallel_tasks += row.parallel_tasks;
+    m.cpu_ms += row.cpu_ms;
     m.stratum_stats.push_back(row);
   }
 
   m.indexes_reused = ctx.mat_stats.indexes_reused;
   if (stats != nullptr) *stats += ctx.mat_stats;
   FinishDerivedPaths(std::move(ctx.derived), &m);
+  m.wall_ms = MsSince(mat_start);
+  BumpEngineMetrics(m, ctx.mat_stats);
   return m;
 }
 
@@ -980,6 +1076,10 @@ std::string Materialized::Explain() const {
   return out;
 }
 
+std::string Materialized::ExplainAnalyze(bool mask_timings) const {
+  return FormatAnalyze(stratum_stats, wall_ms, cpu_ms, mask_timings);
+}
+
 Status ViewEngine::AddRule(Rule rule) {
   IDL_RETURN_IF_ERROR(ValidateRule(rule));
   rules_.push_back(std::move(rule));
@@ -1046,17 +1146,34 @@ Status ViewEngine::ApplyDelta(Materialized* m, const Value& base_after,
     insert_only = false;  // reroute the insertions through delete-and-rederive
   }
 
+  const uint64_t rederived_before = m->maintenance.rederived;
   Status st;
-  if (insert_only) {
-    st = ApplyInsertions(&ctx, delta.inserted, std::move(inserted_refs));
-  } else {
-    for (const RelRef& ref : inserted_refs) dirty.push_back(ref);
-    st = DeleteAndRederive(&ctx, base_after, std::move(dirty));
+  {
+    TraceSpan span("apply_delta",
+                   insert_only ? "path=insert_propagation"
+                               : "path=delete_and_rederive");
+    if (insert_only) {
+      st = ApplyInsertions(&ctx, delta.inserted, std::move(inserted_refs));
+    } else {
+      for (const RelRef& ref : inserted_refs) dirty.push_back(ref);
+      st = DeleteAndRederive(&ctx, base_after, std::move(dirty));
+    }
   }
   if (!st.ok()) return st;
   ++m->maintenance.deltas_applied;
   m->indexes_reused = ctx.mat_stats.indexes_reused;
   if (stats != nullptr) *stats += ctx.mat_stats;
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter* inserts =
+      registry.counter("engine.deltas.insert_propagated");
+  static Counter* rederives =
+      registry.counter("engine.deltas.delete_and_rederive");
+  static Counter* rederived =
+      registry.counter("engine.maintenance_rederived");
+  (insert_only ? inserts : rederives)->Increment();
+  rederived->Increment(m->maintenance.rederived - rederived_before);
+  ctx.mat_stats.BumpMetrics();
   return Status::Ok();
 }
 

@@ -74,6 +74,14 @@ struct Materialized {
   uint64_t parallel_tasks = 0;         // rule evaluations run on pool threads
   std::vector<StratumStats> stratum_stats;  // one row per evaluation wave
 
+  // End-to-end timings of the materialization (stratification + every
+  // wave). cpu_ms is the sum of the waves' attributed CPU (see
+  // StratumStats::cpu_ms); wall_ms is one clock around the whole run, so
+  // the per-stratum walls sum to slightly under it (the remainder is
+  // stratification, classification and pool setup).
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;
+
   // ---- Incremental-maintenance state (views/delta.h, ApplyDelta) -----------
   // Per evaluation level (kSemiNaive only): the concrete "db"/"db.rel" paths
   // the level's rules actually wrote, recorded from derivations. For
@@ -101,6 +109,11 @@ struct Materialized {
   // line — the `explain` view of a materialization. Ends with the governor
   // section and the federation table when present.
   std::string Explain() const;
+
+  // The EXPLAIN ANALYZE view: FormatAnalyze over stratum_stats — per-rule
+  // and per-stratum phase timings checked against wall_ms/cpu_ms. Masked
+  // timings (every cell "-") for byte-stable golden transcripts.
+  std::string ExplainAnalyze(bool mask_timings = false) const;
 };
 
 class ViewEngine {

@@ -21,6 +21,33 @@ TEST(DateTest, ParseFourDigitYear) {
   EXPECT_EQ(d->day(), 31);
 }
 
+TEST(DateTest, ParseCenturyPivot) {
+  // Two-digit years live in the paper's century: NN -> 19NN, including 00.
+  auto pivot = Date::Parse("3/4/00");
+  ASSERT_TRUE(pivot.ok());
+  EXPECT_EQ(pivot->year(), 1900);
+  auto late = Date::Parse("1/1/99");
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late->year(), 1999);
+  // An explicit four-digit year is taken verbatim — no pivot.
+  auto y2k = Date::Parse("1/1/2000");
+  ASSERT_TRUE(y2k.ok());
+  EXPECT_EQ(y2k->year(), 2000);
+  // Three-digit years are also verbatim (100 is not < 100).
+  auto y100 = Date::Parse("1/1/100");
+  ASSERT_TRUE(y100.ok());
+  EXPECT_EQ(y100->year(), 100);
+}
+
+TEST(DateTest, ParseRejectsNegativeComponents) {
+  // Regression: from_chars accepts a leading '-', and -85 + 1900 = 1815 used
+  // to parse as a valid year.
+  EXPECT_FALSE(Date::Parse("3/3/-85").ok());
+  EXPECT_FALSE(Date::Parse("-3/3/85").ok());
+  EXPECT_FALSE(Date::Parse("3/-3/85").ok());
+  EXPECT_FALSE(Date::Parse("-1/-1/-1").ok());
+}
+
 TEST(DateTest, ParseRejectsGarbage) {
   EXPECT_FALSE(Date::Parse("").ok());
   EXPECT_FALSE(Date::Parse("3/3").ok());

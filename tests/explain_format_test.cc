@@ -1,9 +1,11 @@
 // Golden-text locks on the rendered Explain() surfaces: the governor usage
 // line (common/governor.h), the incremental-maintenance line
-// (eval/explain.h) and the federation per-site table (eval/explain.h).
-// These strings are part of the observable interface — idl_shell prints
-// them and docs/GOVERNOR.md / docs/INCREMENTAL.md quote them — so a format
-// change must be a deliberate edit here, not an accident.
+// (eval/explain.h), the federation per-site table (eval/explain.h), the
+// EXPLAIN ANALYZE table (FormatAnalyze), the trace renderings
+// (common/trace.h) and the metrics listing (common/metrics.h). These
+// strings are part of the observable interface — idl_shell prints them and
+// docs/GOVERNOR.md / docs/INCREMENTAL.md / docs/OBSERVABILITY.md quote them
+// — so a format change must be a deliberate edit here, not an accident.
 
 #include <gtest/gtest.h>
 
@@ -11,6 +13,8 @@
 #include <vector>
 
 #include "common/governor.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "eval/explain.h"
 
 namespace idl {
@@ -106,6 +110,144 @@ TEST(ExplainFormatTest, SiteStatsTable) {
       "     1  degraded\n"
       "total    15     2       1        4         1         5        6  "
       "     8          \n");
+}
+
+TEST(ExplainFormatTest, AnalyzeTable) {
+  StratumStats s0;
+  s0.stratum = 0;
+  s0.passes = 1;
+  s0.substitutions = 36;
+  s0.wall_ms = 0.5;
+  s0.cpu_ms = 0.45;
+  RuleTimingStats r0;
+  r0.rule = 0;
+  r0.head = "dbI.p";
+  r0.passes = 1;
+  r0.substitutions = 36;
+  r0.enumerate_ms = 0.25;
+  r0.write_ms = 0.2;
+  s0.rule_timings.push_back(r0);
+
+  StratumStats s1;
+  s1.stratum = 1;
+  s1.passes = 3;
+  s1.substitutions = 9;
+  s1.wall_ms = 1.0;
+  s1.cpu_ms = 1.0;
+  RuleTimingStats r1;
+  r1.rule = 1;
+  r1.head = "*";
+  r1.passes = 3;
+  r1.substitutions = 9;
+  r1.enumerate_ms = 0.75;
+  r1.write_ms = 0.25;
+  s1.rule_timings.push_back(r1);
+
+  // Per-stratum rows carry wall/cpu; their per-rule rows carry the phase
+  // split; the totals row sums the strata; the trailer reports the
+  // materialization's own end-to-end clock next to the strata sum.
+  EXPECT_EQ(FormatAnalyze({s0, s1}, 1.6, 1.45),
+            "stratum  rule   head  passes  subs  enum_ms  write_ms  wall_ms"
+            "  cpu_ms\n"
+            "-------  ----  -----  ------  ----  -------  --------  -------"
+            "  ------\n"
+            "      0     -      -       1    36        -         -     0.50"
+            "    0.45\n"
+            "      0     0  dbI.p       1    36     0.25      0.20        -"
+            "       -\n"
+            "      1     -      -       3     9        -         -     1.00"
+            "    1.00\n"
+            "      1     1      *       3     9     0.75      0.25        -"
+            "       -\n"
+            "  total     -      -                                      1.50"
+            "    1.45\n"
+            "analyze: wall=1.60ms cpu=1.45ms strata_wall=1.50ms\n");
+
+  // The masked form every golden transcript pins: timing cells and trailer
+  // values become "-", counts stay.
+  EXPECT_EQ(FormatAnalyze({s0, s1}, 1.6, 1.45, /*mask_timings=*/true),
+            "stratum  rule   head  passes  subs  enum_ms  write_ms  wall_ms"
+            "  cpu_ms\n"
+            "-------  ----  -----  ------  ----  -------  --------  -------"
+            "  ------\n"
+            "      0     -      -       1    36        -         -        -"
+            "       -\n"
+            "      0     0  dbI.p       1    36        -         -        -"
+            "       -\n"
+            "      1     -      -       3     9        -         -        -"
+            "       -\n"
+            "      1     1      *       3     9        -         -        -"
+            "       -\n"
+            "  total     -      -                                         -"
+            "       -\n"
+            "analyze: wall=- cpu=- strata_wall=-\n");
+}
+
+TEST(ExplainFormatTest, TraceRenderings) {
+  Trace::Enable();
+  {
+    TraceSpan outer("materialize", "strategy=semi-naive");
+    { TraceSpan inner("stratum", "level=0 rules=3"); }
+    { TraceSpan plain("write"); }
+  }
+  Trace::Disable();
+
+  // Masked tree: open order, two-space indent per depth, "-" timings.
+  EXPECT_EQ(Trace::Render(/*mask_timings=*/true),
+            "materialize strategy=semi-naive wall=- cpu=-\n"
+            "  stratum level=0 rules=3 wall=- cpu=-\n"
+            "  write wall=- cpu=-\n");
+
+  // Unmasked timings render as fixed-point milliseconds.
+  std::string live = Trace::Render();
+  EXPECT_TRUE(live.find("materialize strategy=semi-naive wall=0.") !=
+              std::string::npos)
+      << live;
+
+  // Masked JSON: flat span list, ids parent-before-child, null timings.
+  EXPECT_EQ(Trace::RenderJson(/*mask_timings=*/true),
+            "{\"spans\":["
+            "{\"id\":1,\"parent\":0,\"name\":\"materialize\","
+            "\"detail\":\"strategy=semi-naive\","
+            "\"wall_ms\":null,\"cpu_ms\":null},"
+            "{\"id\":2,\"parent\":1,\"name\":\"stratum\","
+            "\"detail\":\"level=0 rules=3\","
+            "\"wall_ms\":null,\"cpu_ms\":null},"
+            "{\"id\":3,\"parent\":1,\"name\":\"write\",\"detail\":\"\","
+            "\"wall_ms\":null,\"cpu_ms\":null}"
+            "]}");
+  Trace::Clear();
+}
+
+TEST(ExplainFormatTest, MetricsListing) {
+  // A private registry keeps this lock independent of what the process has
+  // already counted globally.
+  MetricsRegistry registry;
+  registry.counter("engine.fixpoint_passes")->Increment(12);
+  registry.gauge("session.universe_cells")->Set(345);
+  Histogram* h = registry.histogram("federation.site_fetch_ms");
+  h->Observe(2.0);
+  h->Observe(1.0);
+  h->Observe(1.5);
+  registry.counter("aaa.zero");  // zero-count instruments are listed too
+
+  EXPECT_EQ(registry.Render(),
+            "counter aaa.zero = 0\n"
+            "counter engine.fixpoint_passes = 12\n"
+            "histogram federation.site_fetch_ms = count=3 sum=4.50 min=1.00 "
+            "max=2.00\n"
+            "gauge session.universe_cells = 345\n");
+  EXPECT_EQ(registry.Render(/*mask_values=*/true),
+            "counter aaa.zero = 0\n"
+            "counter engine.fixpoint_passes = 12\n"
+            "histogram federation.site_fetch_ms = count=3 sum=- min=- "
+            "max=-\n"
+            "gauge session.universe_cells = 345\n");
+  EXPECT_EQ(registry.ToJson(),
+            "{\"counters\":{\"aaa.zero\":0,\"engine.fixpoint_passes\":12},"
+            "\"gauges\":{\"session.universe_cells\":345},"
+            "\"histograms\":{\"federation.site_fetch_ms\":"
+            "{\"count\":3,\"sum\":4.5,\"min\":1.0,\"max\":2.0}}}");
 }
 
 }  // namespace

@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "federation/gateway.h"
 #include "federation/ship.h"
 #include "federation/site.h"
@@ -385,6 +388,43 @@ TEST(Gateway, BackoffScheduleIsSeededDeterministicAndCapped) {
   options.max_retries = 3;
   options.backoff_ms = 0;
   EXPECT_EQ(BackoffSchedule(options), (std::vector<int>{0, 0, 0}));
+}
+
+TEST(Gateway, ExpiredGovernorFailsFastWithDeadlineAttribution) {
+  // Regression: an already-expired governor used to be clamped to a 1 ms
+  // per-site RPC deadline, so global exhaustion surfaced (and was retried!)
+  // as a site timeout. The pre-dispatch gate must return the governor's own
+  // kDeadlineExceeded before any site RPC, leave every site's counters
+  // untouched, and count the event under federation.governor_expired.
+  Gateway::Options options;
+  options.max_retries = 5;
+  options.backoff_ms = 0;
+  Federation fed = MakePaperFederation(options);
+
+  GovernorLimits limits;
+  limits.deadline_ms = 1;
+  ResourceGovernor governor(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_EQ(governor.RemainingMs(), 0);
+
+  Counter* expired =
+      MetricsRegistry::Global().counter("federation.governor_expired");
+  uint64_t expired_before = expired->value();
+  auto fetch = fed.gateway->FetchAll(&governor);
+  ASSERT_FALSE(fetch.ok());
+  EXPECT_EQ(fetch.status().code(), StatusCode::kDeadlineExceeded);
+  // The governor's own attribution, naming its configured deadline — not a
+  // site timeout message.
+  EXPECT_NE(fetch.status().message().find("deadline_ms=1"), std::string::npos)
+      << fetch.status().ToString();
+  EXPECT_GE(expired->value(), expired_before + 1);
+  for (const auto& name : fed.gateway->SiteNames()) {
+    SiteStats stats = StatsFor(*fed.gateway, name);
+    EXPECT_EQ(stats.requests, 0u) << name;
+    EXPECT_EQ(stats.timeouts, 0u) << name;
+    EXPECT_EQ(stats.retries, 0u) << name;
+    EXPECT_EQ(stats.failures, 0u) << name;
+  }
 }
 
 TEST(Gateway, CancelledGovernorStopsFetchWithoutRetries) {

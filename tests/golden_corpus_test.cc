@@ -24,6 +24,12 @@
 //                                 incremental; every script additionally
 //                                 runs under the opposite mode and the two
 //                                 transcripts must match)
+//   % trace: text               — additionally run the script with tracing
+//                                 on (serially, for a machine-independent
+//                                 span tree): the answers must stay
+//                                 byte-identical and the golden gains the
+//                                 masked trace/analyze/metrics sections
+//                                 (docs/OBSERVABILITY.md)
 
 #include <gtest/gtest.h>
 
@@ -54,16 +60,7 @@ std::string ReadFile(const fs::path& path) {
 // Mirrors examples/idl_shell.cc's Run(), writing the transcript to a string.
 // Errors are recorded in the transcript (so a golden can pin down an
 // intended error message) and stop the script, exactly like the shell.
-std::string RunScript(const std::string& script, bool name_mappings,
-                      const EvalOptions& materialize_options) {
-  Session session;
-  session.set_materialize_options(materialize_options);
-  PaperUniverse paper = MakePaperUniverse(name_mappings);
-  for (const auto& field : paper.universe.fields()) {
-    auto st = session.RegisterDatabase(field.name, field.value);
-    EXPECT_TRUE(st.ok()) << st.ToString();
-  }
-
+std::string RunStatements(Session& session, const std::string& script) {
   std::string out;
   auto statements = ParseStatements(script);
   if (!statements.ok()) {
@@ -109,6 +106,38 @@ std::string RunScript(const std::string& script, bool name_mappings,
         break;
       }
     }
+  }
+  return out;
+}
+
+// Runs `script` against a fresh paper-universe session. With `trace`, the
+// run records a span trace and the transcript ends with the three masked
+// observability sections, exactly as examples/idl_shell.cc renders a
+// `% trace: text` script — the demo golden pins that format.
+std::string RunScript(const std::string& script, bool name_mappings,
+                      const EvalOptions& materialize_options,
+                      bool trace = false) {
+  Session session;
+  session.set_materialize_options(materialize_options);
+  PaperUniverse paper = MakePaperUniverse(name_mappings);
+  for (const auto& field : paper.universe.fields()) {
+    auto st = session.RegisterDatabase(field.name, field.value);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  if (trace) {
+    MetricsRegistry::Global().Reset();
+    Trace::Enable();
+  }
+  std::string out = RunStatements(session, script);
+  if (trace) {
+    Trace::Disable();
+    out += StrCat("-- trace --\n", Trace::Render(/*mask_timings=*/true));
+    if (const Materialized* m = session.last_materialization()) {
+      out += StrCat("-- analyze --\n",
+                    m->ExplainAnalyze(/*mask_timings=*/true));
+    }
+    out += StrCat("-- metrics --\n",
+                  MetricsRegistry::Global().Render(/*mask_values=*/true));
   }
   return out;
 }
@@ -160,6 +189,40 @@ TEST(GoldenCorpus, ScriptsMatchGoldens) {
     std::string other = RunScript(script, name_mappings, flipped);
     EXPECT_EQ(transcript, other)
         << "incremental and rematerialize transcripts diverge";
+
+    // `% trace:` scripts additionally run with tracing on — serially, so
+    // the span tree is machine-independent — and must produce byte-identical
+    // answers; the masked observability sections are appended and become
+    // part of the golden.
+    if (script.find("% trace: text") != std::string::npos) {
+      EvalOptions serial = semi;
+      serial.materialize_parallelism = 1;
+      std::string traced =
+          RunScript(script, name_mappings, serial, /*trace=*/true);
+      ASSERT_GE(traced.size(), transcript.size());
+      EXPECT_EQ(traced.substr(0, transcript.size()), transcript)
+          << "tracing changed the script's answers";
+      transcript = std::move(traced);
+
+      // The machine surface over the same spans (idl_shell --trace=json):
+      // validate the schema — ids are append-order, parents appear before
+      // children, every span closed — and that the masked rendering leaks
+      // no timings.
+      std::vector<TraceSpanRecord> spans = Trace::Snapshot();
+      ASSERT_FALSE(spans.empty());
+      for (size_t i = 0; i < spans.size(); ++i) {
+        EXPECT_EQ(spans[i].id, i + 1);
+        EXPECT_LT(spans[i].parent, spans[i].id);
+        EXPECT_TRUE(spans[i].closed) << spans[i].name;
+        EXPECT_FALSE(spans[i].name.empty());
+      }
+      std::string json = Trace::RenderJson(/*mask_timings=*/true);
+      EXPECT_EQ(json.substr(0, 10), "{\"spans\":[");
+      EXPECT_EQ(json.back(), '}');
+      EXPECT_NE(json.find("\"wall_ms\":null"), std::string::npos);
+      EXPECT_EQ(json.find("\"wall_ms\":0"), std::string::npos)
+          << "masked trace JSON leaked timings";
+    }
 
     fs::path golden_path =
         golden_dir / script_path.stem().replace_extension(".golden");

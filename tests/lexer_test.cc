@@ -84,6 +84,33 @@ TEST(LexerTest, Strings) {
   EXPECT_EQ(tokens[0].text, "hello \"world\"");
 }
 
+TEST(LexerTest, StringEscapes) {
+  auto tokens = *Lex("\"a\\tb\\rc\\nd\\\\e\\x41\\x00\"");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, std::string("a\tb\rc\nd\\eA\0", 11));
+}
+
+TEST(LexerTest, StringEscapeErrors) {
+  // Regression: unknown escapes used to be silently swallowed ("\q" lexed
+  // as "q") and a lone trailing backslash was dropped; both are now errors.
+  auto unknown = Lex("\"\\q\"");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("unknown escape '\\q'"),
+            std::string::npos)
+      << unknown.status().ToString();
+
+  auto trailing = Lex("\"oops\\");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.status().message().find("backslash at end"),
+            std::string::npos)
+      << trailing.status().ToString();
+
+  // \x demands exactly two hex digits.
+  EXPECT_FALSE(Lex("\"\\x\"").ok());
+  EXPECT_FALSE(Lex("\"\\x4\"").ok());
+  EXPECT_FALSE(Lex("\"\\xg1\"").ok());
+}
+
 TEST(LexerTest, CommentsSkipped) {
   auto tokens = *Lex("a % comment to end of line\nb");
   ASSERT_EQ(tokens.size(), 3u);

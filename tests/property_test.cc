@@ -10,11 +10,13 @@
 
 #include <algorithm>
 
+#include "common/rng.h"
 #include "common/str_util.h"
 #include "eval/query.h"
 #include "idl/session.h"
 #include "object/value_io.h"
 #include "relational/pivot.h"
+#include "syntax/lexer.h"
 #include "syntax/parser.h"
 #include "workload/paper_universe.h"
 #include "workload/stock_gen.h"
@@ -302,6 +304,49 @@ TEST_P(UniverseRoundTrip, ValueIoRoundTrips) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, UniverseRoundTrip,
                          ::testing::Values(1, 2, 3, 42, 99, 12345));
+
+// QuoteString -> Lex is total and exact over arbitrary byte strings: every
+// control byte, quote, and backslash must survive the printer -> lexer round
+// trip. (Regression: the lexer used to swallow unknown escapes and the
+// printer emitted raw control bytes, so the pair was lossy on anything
+// outside the printable ASCII set.)
+class QuoteRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuoteRoundTrip, QuotedStringLexesBackExactly) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string original;
+    size_t len = rng.Below(24);
+    for (size_t i = 0; i < len; ++i) {
+      // Full byte range: controls, '"', '\\', DEL, and high (UTF-8) bytes.
+      original.push_back(static_cast<char>(rng.Below(256)));
+    }
+    std::string quoted = QuoteString(original);
+    auto tokens = Lex(quoted);
+    ASSERT_TRUE(tokens.ok())
+        << tokens.status().ToString() << " quoting " << quoted;
+    ASSERT_EQ(tokens->size(), 2u) << quoted;  // string + kEnd
+    EXPECT_EQ((*tokens)[0].kind, TokenKind::kString) << quoted;
+    EXPECT_EQ((*tokens)[0].text, original) << quoted;
+  }
+}
+
+// The adversarial corner cases, pinned explicitly.
+TEST(QuoteRoundTripTest, CornerCases) {
+  for (const std::string& s :
+       {std::string(""), std::string("\\"), std::string("\""),
+        std::string("\\\""), std::string(1, '\0'), std::string("\n\t\r"),
+        std::string("\x01\x7f"), std::string("ends with backslash\\"),
+        std::string("\\x41 is not A")}) {
+    auto tokens = Lex(QuoteString(s));
+    ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+    ASSERT_EQ(tokens->size(), 2u);
+    EXPECT_EQ((*tokens)[0].text, s) << QuoteString(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuoteRoundTrip,
+                         ::testing::Values(11, 22, 33, 44));
 
 }  // namespace
 }  // namespace idl
