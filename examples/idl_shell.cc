@@ -25,6 +25,12 @@
 //                                           snapshot) to the transcript;
 //                                           =json emits one machine-readable
 //                                           "trace-json: {...}" line instead
+//   --workload=<spec>                       replace the paper databases with
+//                                           a generated multi-tenant
+//                                           discrepancy universe
+//                                           (docs/WORKLOADS.md); <spec> is
+//                                           "seed,tenants" shorthand or the
+//                                           full "seed=1 tenants=3 ..." form
 //
 // The three budget flags arm the resource governor (docs/GOVERNOR.md): a
 // statement that exceeds one aborts with `deadline exceeded` or `resource
@@ -212,6 +218,13 @@ argument a built-in demo runs; '-' reads from stdin.
                         when this flag is not given, with timings masked so
                         the transcript stays reproducible
                         (docs/OBSERVABILITY.md)
+  --workload=<spec>     replace the paper databases with a generated
+                        multi-tenant discrepancy universe and auto-define
+                        its unification rules (docs/WORKLOADS.md); <spec>
+                        is "seed,tenants" shorthand or the full
+                        "seed=1 tenants=3 entities=4 ..." form. A script's
+                        '% workload: <spec>' directive applies when this
+                        flag is not given
   --help                show this message
 
 The budget flags arm the resource governor (docs/GOVERNOR.md): a statement
@@ -227,6 +240,7 @@ int main(int argc, char** argv) {
   TraceMode trace_mode = TraceMode::kOff;
   bool trace_flag_given = false;
   int site_latency_ms = 0;
+  std::string workload_spec;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -241,6 +255,7 @@ int main(int argc, char** argv) {
           arg.rfind("--deadline-ms=", 0) == 0 ||
           arg.rfind("--max-passes=", 0) == 0 ||
           arg.rfind("--max-derivations=", 0) == 0 ||
+          arg.rfind("--workload=", 0) == 0 ||
           arg == "--trace" || arg.rfind("--trace=", 0) == 0;
       if (!known) {
         std::printf("unknown flag %s\n\n%s", arg.c_str(), kUsage);
@@ -308,6 +323,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       request_options.max_derivations = static_cast<uint64_t>(n);
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      workload_spec = arg.substr(std::string("--workload=").size());
+      if (workload_spec.empty()) {
+        std::printf("--workload needs a spec (try --workload=1,3)\n");
+        return 1;
+      }
     } else if (arg == "--trace" || arg == "--trace=text") {
       trace_mode = TraceMode::kText;
       trace_flag_given = true;
@@ -323,36 +344,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  idl::Session session;
-  session.set_materialize_options(eval_options);
-  idl::PaperUniverse paper = idl::MakePaperUniverse();
-  if (site_latency_ms > 0) {
-    // Federated mode: each paper database becomes an autonomous site behind
-    // a shared gateway, with simulated request latency.
-    auto gateway = std::make_shared<idl::Gateway>();
-    for (const auto& field : paper.universe.fields()) {
-      auto remote = std::make_unique<idl::SimulatedRemoteSite>(
-          std::make_unique<idl::LocalSite>(field.name, field.value));
-      remote->set_latency_ms(site_latency_ms);
-      if (auto st = gateway->AddSite(std::move(remote)); !st.ok()) {
-        std::printf("setup failed: %s\n", st.ToString().c_str());
-        return 1;
-      }
-    }
-    if (auto st = session.ConnectGateway(gateway); !st.ok()) {
-      std::printf("setup failed: %s\n", st.ToString().c_str());
-      return 1;
-    }
-  } else {
-    for (const auto& field : paper.universe.fields()) {
-      if (auto st = session.RegisterDatabase(field.name, field.value);
-          !st.ok()) {
-        std::printf("setup failed: %s\n", st.ToString().c_str());
-        return 1;
-      }
-    }
-  }
-
+  // The script loads before session setup: its `% workload:` directive (when
+  // the flag is not given) decides which databases get registered.
   std::string script;
   if (positional.empty()) {
     script = kDemoScript;
@@ -369,6 +362,82 @@ int main(int argc, char** argv) {
     std::ostringstream buffer;
     buffer << file.rdbuf();
     script = buffer.str();
+  }
+  if (workload_spec.empty()) {
+    const std::string directive = "% workload: ";
+    size_t at = script.find(directive);
+    if (at != std::string::npos) {
+      size_t start = at + directive.size();
+      size_t end = script.find('\n', start);
+      workload_spec = script.substr(start, end == std::string::npos
+                                               ? std::string::npos
+                                               : end - start);
+    }
+  }
+
+  idl::Session session;
+  session.set_materialize_options(eval_options);
+  // A shared gateway hosts whichever databases federated mode serves.
+  std::shared_ptr<idl::Gateway> gateway;
+  if (site_latency_ms > 0) gateway = std::make_shared<idl::Gateway>();
+  auto host = [&](const std::string& name, const idl::Value& db) {
+    if (gateway != nullptr) {
+      auto remote = std::make_unique<idl::SimulatedRemoteSite>(
+          std::make_unique<idl::LocalSite>(name, db));
+      remote->set_latency_ms(site_latency_ms);
+      return gateway->AddSite(std::move(remote));
+    }
+    return session.RegisterDatabase(name, db);
+  };
+
+  if (!workload_spec.empty()) {
+    // Generated multi-tenant discrepancy universe instead of the paper
+    // databases, with its unification rules pre-defined (docs/WORKLOADS.md).
+    auto config = idl::ParseWorkloadSpec(workload_spec);
+    if (!config.ok()) {
+      std::printf("bad --workload spec: %s\n",
+                  config.status().ToString().c_str());
+      return 1;
+    }
+    idl::DiscrepancyUniverse workload =
+        idl::GenerateDiscrepancyUniverse(*config);
+    std::printf("workload %s\n", idl::FormatWorkloadSpec(*config).c_str());
+    for (const auto& tenant : workload.tenants) {
+      std::printf("  tenant %s: style=%s%s\n", tenant.name.c_str(),
+                  idl::DiscrepancyStyleName(tenant.style),
+                  tenant.mangled ? " (mangled names)" : "");
+      if (auto st = host(tenant.name, workload.BuildTenantDatabase(tenant));
+          !st.ok()) {
+        std::printf("setup failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    if (gateway != nullptr) {
+      if (auto st = session.ConnectGateway(gateway); !st.ok()) {
+        std::printf("setup failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    if (auto st = session.DefineRules(workload.UnificationRules());
+        !st.ok()) {
+      std::printf("setup failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\n");
+  } else {
+    idl::PaperUniverse paper = idl::MakePaperUniverse();
+    for (const auto& field : paper.universe.fields()) {
+      if (auto st = host(field.name, field.value); !st.ok()) {
+        std::printf("setup failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    if (gateway != nullptr) {
+      if (auto st = session.ConnectGateway(gateway); !st.ok()) {
+        std::printf("setup failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
   }
   ApplyScriptDirectives(script, &request_options, &eval_options,
                         maintenance_flag_given);

@@ -32,6 +32,7 @@
 #include "syntax/analysis.h"
 #include "syntax/parser.h"
 #include "syntax/printer.h"
+#include "workload/discrepancy_gen.h"
 #include "workload/paper_universe.h"
 #include "workload/stock_gen.h"
 

@@ -1,0 +1,678 @@
+#include "workload/discrepancy_gen.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "object/builder.h"
+
+namespace idl {
+namespace {
+
+// Relation names with fixed meanings inside every tenant schema; entity
+// tokens never collide with them (entities are e0.., mangled m_e0..).
+constexpr const char* kValueRel = "r";
+constexpr const char* kAttrRel = "w";
+constexpr const char* kMapRel = "map";
+
+// The three single-level placements a kMixed tenant draws per entity.
+constexpr DiscrepancyStyle kSingleLevel[] = {
+    DiscrepancyStyle::kValue,
+    DiscrepancyStyle::kAttribute,
+    DiscrepancyStyle::kRelation,
+};
+
+std::string TenantName(size_t t) { return StrCat("t", t); }
+
+}  // namespace
+
+const char* DiscrepancyStyleName(DiscrepancyStyle style) {
+  switch (style) {
+    case DiscrepancyStyle::kValue:
+      return "value";
+    case DiscrepancyStyle::kAttribute:
+      return "attr";
+    case DiscrepancyStyle::kRelation:
+      return "rel";
+    case DiscrepancyStyle::kNested:
+      return "nested";
+    case DiscrepancyStyle::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+std::string DiscrepancyUniverse::EntityToken(const DiscrepancyTenant& tenant,
+                                             size_t e) const {
+  return tenant.mangled ? StrCat("m_", entities[e]) : entities[e];
+}
+
+DiscrepancyStyle DiscrepancyUniverse::EffectiveStyle(
+    const DiscrepancyTenant& tenant, size_t e) const {
+  return tenant.style == DiscrepancyStyle::kMixed ? tenant.entity_style[e]
+                                                  : tenant.style;
+}
+
+Value DiscrepancyUniverse::BuildTenantDatabase(
+    const DiscrepancyTenant& tenant) const {
+  Value db = Value::EmptyTuple();
+  for (const std::string& rel : tenant.relations) {
+    if (rel == kValueRel) {
+      Value set = Value::EmptySet();
+      for (const auto& [cell, val] : tenant.facts) {
+        if (EffectiveStyle(tenant, cell.first) != DiscrepancyStyle::kValue) {
+          continue;
+        }
+        set.Insert(MakeTuple({{"ent", Value::String(
+                                          EntityToken(tenant, cell.first))},
+                              {"key", Value::String(keys[cell.second])},
+                              {"val", Value::Int(val)}}));
+      }
+      db.SetField(kValueRel, std::move(set));
+    } else if (rel == kAttrRel) {
+      Value set = Value::EmptySet();
+      for (size_t k : tenant.attr_rows) {
+        Value row = Value::EmptyTuple();
+        row.SetField("key", Value::String(keys[k]));
+        for (const auto& [cell, val] : tenant.facts) {
+          if (cell.second != k) continue;
+          if (EffectiveStyle(tenant, cell.first) !=
+              DiscrepancyStyle::kAttribute) {
+            continue;
+          }
+          row.SetField(EntityToken(tenant, cell.first), Value::Int(val));
+        }
+        set.Insert(std::move(row));
+      }
+      db.SetField(kAttrRel, std::move(set));
+    } else if (rel == kMapRel) {
+      Value set = Value::EmptySet();
+      for (size_t e = 0; e < entities.size(); ++e) {
+        set.Insert(MakeTuple({{"from", Value::String(StrCat("m_",
+                                                            entities[e]))},
+                              {"to", Value::String(entities[e])}}));
+      }
+      db.SetField(kMapRel, std::move(set));
+    } else {
+      // An entity relation (kRelation or kNested placement).
+      size_t entity = entities.size();
+      for (size_t e = 0; e < entities.size(); ++e) {
+        if (EntityToken(tenant, e) == rel) {
+          entity = e;
+          break;
+        }
+      }
+      Value set = Value::EmptySet();
+      if (entity < entities.size()) {
+        const bool nested =
+            EffectiveStyle(tenant, entity) == DiscrepancyStyle::kNested;
+        for (const auto& [cell, val] : tenant.facts) {
+          if (cell.first != entity) continue;
+          if (nested) {
+            Value row = Value::EmptyTuple();
+            row.SetField(keys[cell.second], Value::Int(val));
+            set.Insert(std::move(row));
+          } else {
+            set.Insert(
+                MakeTuple({{"key", Value::String(keys[cell.second])},
+                           {"val", Value::Int(val)}}));
+          }
+        }
+      }
+      db.SetField(rel, std::move(set));
+    }
+  }
+  return db;
+}
+
+Value DiscrepancyUniverse::BuildUniverse() const {
+  Value universe = Value::EmptyTuple();
+  for (const auto& tenant : tenants) {
+    universe.SetField(tenant.name, BuildTenantDatabase(tenant));
+  }
+  return universe;
+}
+
+std::vector<std::string> DiscrepancyUniverse::UnificationRules() const {
+  std::vector<std::string> rules;
+  for (const auto& tenant : tenants) {
+    const std::string head =
+        StrCat(".u.p(.tn=", tenant.name, ", .ent=E, .key=K, .val=V) <- ");
+    const std::string& t = tenant.name;
+    if (!tenant.mangled) {
+      // One rule per single-level style. The identifier guards keep the
+      // four bodies disjoint over any mixture of placements, so a tenant
+      // can flip style mid-trace without touching the rule set.
+      rules.push_back(
+          StrCat(head, ".", t, ".r(.ent=E, .key=K, .val=V)"));
+      rules.push_back(StrCat(head, ".", t, ".w(.key=K, .E=V), E != key"));
+      rules.push_back(StrCat(head, ".", t,
+                             ".E(.key=K, .val=V), E != r, E != w, "
+                             "E != map"));
+      rules.push_back(StrCat(head, ".", t,
+                             ".E(.K=V), E != r, E != w, E != map, "
+                             "K != key, K != val"));
+    } else {
+      // Name-discrepant tenant: the stored token M resolves to the
+      // canonical entity through map(from, to) (§6's relaxation). The
+      // M != map guard matters: without it the map relation's own tuples
+      // (.from=m_x, .to=x) would satisfy the two-level body.
+      const std::string join =
+          StrCat(", .", t, ".map(.from=M, .to=E)");
+      rules.push_back(StrCat(head, ".", t,
+                             ".r(.ent=M, .key=K, .val=V)", join));
+      rules.push_back(StrCat(head, ".", t, ".w(.key=K, .M=V), M != key",
+                             join));
+      rules.push_back(StrCat(head, ".", t,
+                             ".M(.key=K, .val=V), M != r, M != w, "
+                             "M != map", join));
+      rules.push_back(StrCat(head, ".", t,
+                             ".M(.K=V), M != r, M != w, M != map, "
+                             "K != key, K != val", join));
+    }
+  }
+  if (config.customized_views) {
+    // Figure-1-style re-exposures of the unified relation with
+    // higher-order heads: entities back into relation position (.roll.E)
+    // and tenants into relation position with entities as attributes
+    // (.wide.<tenant>).
+    rules.push_back(
+        ".roll.E(.tn=T, .key=K, .val=V) <- "
+        ".u.p(.tn=T, .ent=E, .key=K, .val=V)");
+    rules.push_back(
+        ".wide.T(.key=K, .E=V) <- .u.p(.tn=T, .ent=E, .key=K, .val=V)");
+  }
+  return rules;
+}
+
+Value DiscrepancyUniverse::ExpectedUnified() const {
+  Value set = Value::EmptySet();
+  for (const auto& tenant : tenants) {
+    for (const auto& [cell, val] : tenant.facts) {
+      set.Insert(MakeTuple({{"tn", Value::String(tenant.name)},
+                            {"ent", Value::String(entities[cell.first])},
+                            {"key", Value::String(keys[cell.second])},
+                            {"val", Value::Int(val)}}));
+    }
+  }
+  return set;
+}
+
+Value DiscrepancyUniverse::ExpectedRoll() const {
+  Value db = Value::EmptyTuple();
+  for (const auto& tenant : tenants) {
+    for (const auto& [cell, val] : tenant.facts) {
+      Value* rel = db.MutableField(entities[cell.first]);
+      if (rel == nullptr) {
+        db.SetField(entities[cell.first], Value::EmptySet());
+        rel = db.MutableField(entities[cell.first]);
+      }
+      rel->Insert(MakeTuple({{"tn", Value::String(tenant.name)},
+                             {"key", Value::String(keys[cell.second])},
+                             {"val", Value::Int(val)}}));
+    }
+  }
+  return db;
+}
+
+Value DiscrepancyUniverse::ExpectedWide() const {
+  Value db = Value::EmptyTuple();
+  for (const auto& tenant : tenants) {
+    if (tenant.facts.empty()) continue;
+    // One row per key that carries at least one fact, entity attributes
+    // merged in (exactly what consistency-extension gives the .wide rule).
+    std::map<size_t, Value> rows;
+    for (const auto& [cell, val] : tenant.facts) {
+      auto it = rows.find(cell.second);
+      if (it == rows.end()) {
+        Value row = Value::EmptyTuple();
+        row.SetField("key", Value::String(keys[cell.second]));
+        it = rows.emplace(cell.second, std::move(row)).first;
+      }
+      it->second.SetField(entities[cell.first], Value::Int(val));
+    }
+    Value set = Value::EmptySet();
+    for (auto& [k, row] : rows) set.Insert(std::move(row));
+    db.SetField(tenant.name, std::move(set));
+  }
+  return db;
+}
+
+namespace {
+
+// (Re)derives the relation/attr-row bookkeeping implied by the tenant's
+// current style and facts — what BuildTenantDatabase will emit, and the
+// state a style flip rebuilds to.
+void InitTenantSlots(const DiscrepancyUniverse& u, DiscrepancyTenant* t) {
+  t->relations.clear();
+  t->attr_rows.clear();
+  if (t->style == DiscrepancyStyle::kValue ||
+      t->style == DiscrepancyStyle::kMixed) {
+    t->relations.insert(kValueRel);
+  }
+  if (t->style == DiscrepancyStyle::kAttribute ||
+      t->style == DiscrepancyStyle::kMixed) {
+    t->relations.insert(kAttrRel);
+  }
+  if (t->mangled) t->relations.insert(kMapRel);
+  for (const auto& [cell, val] : t->facts) {
+    switch (u.EffectiveStyle(*t, cell.first)) {
+      case DiscrepancyStyle::kAttribute:
+        t->attr_rows.insert(cell.second);
+        break;
+      case DiscrepancyStyle::kRelation:
+      case DiscrepancyStyle::kNested:
+        t->relations.insert(u.EntityToken(*t, cell.first));
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+DiscrepancyUniverse GenerateDiscrepancyUniverse(
+    const DiscrepancyConfig& config) {
+  DiscrepancyUniverse u;
+  u.config = config;
+  for (size_t e = 0; e < config.num_entities; ++e) {
+    u.entities.push_back(StrCat("e", e));
+  }
+  for (size_t k = 0; k < config.num_keys; ++k) {
+    u.keys.push_back(StrCat("k", k));
+  }
+  Rng rng(config.seed);
+  for (size_t t = 0; t < config.num_tenants; ++t) {
+    DiscrepancyTenant tenant;
+    tenant.name = TenantName(t);
+    // Fixed draw order (style, mangle, per-entity styles, facts) — the
+    // seed-stability test pins byte-identical output, so any reordering
+    // here is a breaking change.
+    if (!config.pinned_styles.empty()) {
+      tenant.style = config.pinned_styles[t % config.pinned_styles.size()];
+      rng.Next();  // keep the stream aligned with the unpinned draw
+    } else {
+      tenant.style = static_cast<DiscrepancyStyle>(rng.Below(5));
+    }
+    tenant.mangled = rng.NextDouble() < config.mangle_rate;
+    tenant.entity_style.resize(config.num_entities, tenant.style);
+    for (size_t e = 0; e < config.num_entities; ++e) {
+      uint64_t draw = rng.Below(3);
+      if (tenant.style == DiscrepancyStyle::kMixed) {
+        tenant.entity_style[e] = kSingleLevel[draw];
+      }
+    }
+    for (size_t e = 0; e < config.num_entities; ++e) {
+      for (size_t k = 0; k < config.num_keys; ++k) {
+        double draw = rng.NextDouble();
+        int64_t val = rng.Range(1, 999);
+        if (draw < config.fact_density) tenant.facts[{e, k}] = val;
+      }
+    }
+    InitTenantSlots(u, &tenant);
+    u.tenants.push_back(std::move(tenant));
+  }
+  return u;
+}
+
+// ---- Evolution traces -------------------------------------------------------
+
+size_t EvolutionTrace::TotalRequests() const {
+  size_t n = 0;
+  for (const auto& step : steps) n += step.requests.size();
+  return n;
+}
+
+namespace {
+
+// Emits the requests that store fact (e, k) = val under the tenant's
+// current placement, creating missing slots first. Assumes the cell is
+// currently empty (upserts delete first).
+void EmitInsert(const DiscrepancyUniverse& u, DiscrepancyTenant* t, size_t e,
+                size_t k, int64_t val, std::vector<std::string>* out) {
+  const std::string token = u.EntityToken(*t, e);
+  const std::string& key = u.keys[k];
+  switch (u.EffectiveStyle(*t, e)) {
+    case DiscrepancyStyle::kValue:
+      out->push_back(StrCat("?.", t->name, ".r+(.ent=", token, ", .key=",
+                            key, ", .val=", val, ")"));
+      break;
+    case DiscrepancyStyle::kAttribute:
+      if (t->attr_rows.insert(k).second) {
+        out->push_back(StrCat("?.", t->name, ".w+(.key=", key, ", .", token,
+                              "=", val, ")"));
+      } else {
+        out->push_back(StrCat("?.", t->name, ".w(.key=", key, ", +.", token,
+                              "=", val, ")"));
+      }
+      break;
+    case DiscrepancyStyle::kRelation:
+      if (t->relations.insert(token).second) {
+        out->push_back(StrCat("?.", t->name, "+.", token));
+      }
+      out->push_back(StrCat("?.", t->name, ".", token, "+(.key=", key,
+                            ", .val=", val, ")"));
+      break;
+    case DiscrepancyStyle::kNested:
+      if (t->relations.insert(token).second) {
+        out->push_back(StrCat("?.", t->name, "+.", token));
+      }
+      out->push_back(StrCat("?.", t->name, ".", token, "+(.", key, "=", val,
+                            ")"));
+      break;
+    case DiscrepancyStyle::kMixed:
+      break;  // unreachable: EffectiveStyle never returns kMixed
+  }
+  t->facts[{e, k}] = val;
+}
+
+// Emits the request that removes the existing fact (e, k). Slots (w rows,
+// entity relations) deliberately survive empty — schemas outlive their
+// data, and empty slots exercise the no-match paths.
+void EmitDelete(const DiscrepancyUniverse& u, DiscrepancyTenant* t, size_t e,
+                size_t k, std::vector<std::string>* out) {
+  const std::string token = u.EntityToken(*t, e);
+  const std::string& key = u.keys[k];
+  const int64_t val = t->facts.at({e, k});
+  switch (u.EffectiveStyle(*t, e)) {
+    case DiscrepancyStyle::kValue:
+      out->push_back(StrCat("?.", t->name, ".r-(.ent=", token, ", .key=",
+                            key, ")"));
+      break;
+    case DiscrepancyStyle::kAttribute:
+      out->push_back(
+          StrCat("?.", t->name, ".w(.key=", key, ", -.", token, ")"));
+      break;
+    case DiscrepancyStyle::kRelation:
+      out->push_back(
+          StrCat("?.", t->name, ".", token, "-(.key=", key, ")"));
+      break;
+    case DiscrepancyStyle::kNested:
+      out->push_back(
+          StrCat("?.", t->name, ".", token, "-(.", key, "=", val, ")"));
+      break;
+    case DiscrepancyStyle::kMixed:
+      break;  // unreachable
+  }
+  t->facts.erase({e, k});
+}
+
+// Removes every fact of entity `e` with one request where the placement
+// allows it, dropping the entity's relation slot entirely for the
+// relation-name styles (relations disappear mid-trace).
+void EmitRemoveEntity(const DiscrepancyUniverse& u, DiscrepancyTenant* t,
+                      size_t e, std::vector<std::string>* out) {
+  const std::string token = u.EntityToken(*t, e);
+  switch (u.EffectiveStyle(*t, e)) {
+    case DiscrepancyStyle::kValue:
+      out->push_back(StrCat("?.", t->name, ".r-(.ent=", token, ")"));
+      break;
+    case DiscrepancyStyle::kAttribute:
+      out->push_back(StrCat("?.", t->name, ".w(-.", token, ")"));
+      break;
+    case DiscrepancyStyle::kRelation:
+    case DiscrepancyStyle::kNested:
+      if (t->relations.erase(token) > 0) {
+        out->push_back(StrCat("?.", t->name, "-.", token));
+      }
+      break;
+    case DiscrepancyStyle::kMixed:
+      break;  // unreachable
+  }
+  for (size_t k = 0; k < u.keys.size(); ++k) t->facts.erase({e, k});
+}
+
+// Re-encodes the whole tenant under `next`: drop every data slot, then
+// rebuild the same facts under the new placement. The unified view must
+// not move — representation independence is the paper's core claim, and
+// the differential sweep checks it at every intermediate request too.
+void EmitFlip(const DiscrepancyUniverse& u, DiscrepancyTenant* t,
+              DiscrepancyStyle next, Rng* rng,
+              std::vector<std::string>* out) {
+  for (const std::string& rel : t->relations) {
+    if (rel == kMapRel) continue;  // the name mapping outlives the schema
+    out->push_back(StrCat("?.", t->name, "-.", rel));
+  }
+  auto facts = t->facts;
+  t->style = next;
+  t->entity_style.assign(u.entities.size(), next);
+  for (size_t e = 0; e < u.entities.size(); ++e) {
+    uint64_t draw = rng->Below(3);  // drawn unconditionally: stream stays
+    if (next == DiscrepancyStyle::kMixed) {  // aligned across flip targets
+      t->entity_style[e] = kSingleLevel[draw];
+    }
+  }
+  t->facts.clear();
+  t->relations.clear();
+  t->attr_rows.clear();
+  if (t->mangled) t->relations.insert(kMapRel);
+  if (next == DiscrepancyStyle::kValue || next == DiscrepancyStyle::kMixed) {
+    t->relations.insert(kValueRel);
+    out->push_back(StrCat("?.", t->name, "+.r"));
+  }
+  if (next == DiscrepancyStyle::kAttribute ||
+      next == DiscrepancyStyle::kMixed) {
+    t->relations.insert(kAttrRel);
+    out->push_back(StrCat("?.", t->name, "+.w"));
+  }
+  for (const auto& [cell, val] : facts) {
+    EmitInsert(u, t, cell.first, cell.second, val, out);
+  }
+}
+
+}  // namespace
+
+EvolutionTrace GenerateEvolutionTrace(DiscrepancyUniverse& universe,
+                                      size_t num_steps, uint64_t salt) {
+  EvolutionTrace trace;
+  Rng rng(universe.config.seed ^ salt ^ 0x7ace5eedULL);
+  for (size_t s = 0; s < num_steps; ++s) {
+    EvolutionStep step;
+    DiscrepancyTenant& t =
+        universe.tenants[rng.Below(universe.tenants.size())];
+    uint64_t op = rng.Below(100);
+    size_t e = rng.Below(universe.entities.size());
+    size_t k = rng.Below(universe.keys.size());
+    int64_t val = rng.Range(1, 999);
+    if (op >= 95) {
+      // Style flip: draw a different style than the current one.
+      DiscrepancyStyle next =
+          static_cast<DiscrepancyStyle>(rng.Below(5));
+      if (next == t.style) {
+        next = static_cast<DiscrepancyStyle>(
+            (static_cast<uint8_t>(next) + 1) % 5);
+      }
+      step.description = StrCat(t.name, ": flip ",
+                                DiscrepancyStyleName(t.style), " -> ",
+                                DiscrepancyStyleName(next));
+      EmitFlip(universe, &t, next, &rng, &step.requests);
+    } else if (op >= 80) {
+      // Remove a whole entity (fall back to upsert when it has no facts).
+      size_t chosen = universe.entities.size();
+      for (size_t probe = 0; probe < universe.entities.size(); ++probe) {
+        size_t cand = (e + probe) % universe.entities.size();
+        for (size_t kk = 0; kk < universe.keys.size(); ++kk) {
+          if (t.facts.count({cand, kk}) > 0) {
+            chosen = cand;
+            break;
+          }
+        }
+        if (chosen < universe.entities.size()) break;
+      }
+      if (chosen < universe.entities.size()) {
+        step.description =
+            StrCat(t.name, ": remove entity ", universe.entities[chosen]);
+        EmitRemoveEntity(universe, &t, chosen, &step.requests);
+      } else {
+        step.description = StrCat(t.name, ": insert ",
+                                  universe.entities[e], "/",
+                                  universe.keys[k]);
+        EmitInsert(universe, &t, e, k, val, &step.requests);
+      }
+    } else if (op >= 55) {
+      // Delete one fact (fall back to insert when the cell is empty).
+      if (t.facts.count({e, k}) > 0) {
+        step.description = StrCat(t.name, ": delete ",
+                                  universe.entities[e], "/",
+                                  universe.keys[k]);
+        EmitDelete(universe, &t, e, k, &step.requests);
+      } else {
+        step.description = StrCat(t.name, ": insert ",
+                                  universe.entities[e], "/",
+                                  universe.keys[k]);
+        EmitInsert(universe, &t, e, k, val, &step.requests);
+      }
+    } else {
+      // Upsert: rewrite in place when present (a dirty delta), plain
+      // insert otherwise. Attribute placement rewrites with a single
+      // tuple-plus request; the others delete then insert.
+      if (t.facts.count({e, k}) > 0 &&
+          universe.EffectiveStyle(t, e) != DiscrepancyStyle::kAttribute) {
+        EmitDelete(universe, &t, e, k, &step.requests);
+      }
+      step.description = StrCat(t.name, ": upsert ", universe.entities[e],
+                                "/", universe.keys[k]);
+      EmitInsert(universe, &t, e, k, val, &step.requests);
+    }
+    step.expected_unified = universe.ExpectedUnified();
+    step.expected_roll = universe.ExpectedRoll();
+    step.expected_wide = universe.ExpectedWide();
+    trace.steps.push_back(std::move(step));
+  }
+  return trace;
+}
+
+// ---- Workload specs ---------------------------------------------------------
+
+namespace {
+
+Result<DiscrepancyStyle> ParseStyle(std::string_view name) {
+  for (uint8_t s = 0; s <= static_cast<uint8_t>(DiscrepancyStyle::kMixed);
+       ++s) {
+    auto style = static_cast<DiscrepancyStyle>(s);
+    if (name == DiscrepancyStyleName(style)) return style;
+  }
+  return InvalidArgument(StrCat("unknown discrepancy style '", name, "'"));
+}
+
+}  // namespace
+
+Result<DiscrepancyConfig> ParseWorkloadSpec(std::string_view spec) {
+  DiscrepancyConfig config;
+  std::vector<std::string> parts;
+  std::string token;
+  for (char c : spec) {
+    if (c == ' ' || c == ',' || c == '\t') {
+      if (!token.empty()) parts.push_back(std::move(token));
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  if (!token.empty()) parts.push_back(std::move(token));
+  if (parts.empty()) return InvalidArgument("empty workload spec");
+
+  // "<seed>,<tenants>" shorthand: bare integers in order.
+  size_t bare = 0;
+  for (const std::string& part : parts) {
+    if (part.find('=') != std::string::npos) break;
+    ++bare;
+  }
+  if (bare > 2) {
+    return InvalidArgument(
+        StrCat("workload spec '", spec,
+               "': at most two bare values (seed, tenants)"));
+  }
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const std::string& part = parts[i];
+    size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      char* end = nullptr;
+      uint64_t v = std::strtoull(part.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return InvalidArgument(
+            StrCat("workload spec: '", part, "' is not an integer"));
+      }
+      if (i == 0) {
+        config.seed = v;
+      } else {
+        config.num_tenants = v;
+      }
+      continue;
+    }
+    std::string key = part.substr(0, eq);
+    std::string value = part.substr(eq + 1);
+    if (value.empty()) {
+      return InvalidArgument(StrCat("workload spec: empty value for '", key,
+                                    "'"));
+    }
+    if (key == "styles") {
+      config.pinned_styles.clear();
+      std::string name;
+      for (char c : StrCat(value, "+")) {
+        if (c == '+' || c == '|') {
+          if (name.empty()) continue;
+          IDL_ASSIGN_OR_RETURN(DiscrepancyStyle style, ParseStyle(name));
+          config.pinned_styles.push_back(style);
+          name.clear();
+        } else {
+          name.push_back(c);
+        }
+      }
+      if (config.pinned_styles.empty()) {
+        return InvalidArgument("workload spec: styles= lists no styles");
+      }
+      continue;
+    }
+    char* end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return InvalidArgument(
+          StrCat("workload spec: '", value, "' is not a number"));
+    }
+    if (key == "seed") {
+      config.seed = static_cast<uint64_t>(v);
+    } else if (key == "tenants") {
+      config.num_tenants = static_cast<size_t>(v);
+    } else if (key == "entities") {
+      config.num_entities = static_cast<size_t>(v);
+    } else if (key == "keys") {
+      config.num_keys = static_cast<size_t>(v);
+    } else if (key == "density") {
+      config.fact_density = v;
+    } else if (key == "mangle") {
+      config.mangle_rate = v;
+    } else if (key == "views") {
+      config.customized_views = v != 0;
+    } else {
+      return InvalidArgument(StrCat("workload spec: unknown field '", key,
+                                    "'"));
+    }
+  }
+  if (config.num_tenants == 0 || config.num_entities == 0 ||
+      config.num_keys == 0) {
+    return InvalidArgument(
+        "workload spec: tenants, entities and keys must be positive");
+  }
+  return config;
+}
+
+std::string FormatWorkloadSpec(const DiscrepancyConfig& config) {
+  std::string spec =
+      StrCat("seed=", config.seed, " tenants=", config.num_tenants,
+             " entities=", config.num_entities, " keys=", config.num_keys,
+             " density=", config.fact_density, " mangle=",
+             config.mangle_rate, " views=", config.customized_views ? 1 : 0);
+  if (!config.pinned_styles.empty()) {
+    spec += " styles=";
+    for (size_t i = 0; i < config.pinned_styles.size(); ++i) {
+      if (i > 0) spec += "+";
+      spec += DiscrepancyStyleName(config.pinned_styles[i]);
+    }
+  }
+  return spec;
+}
+
+}  // namespace idl

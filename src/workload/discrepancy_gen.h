@@ -1,0 +1,172 @@
+// Multi-tenant schematic-discrepancy workload generator.
+//
+// N tenants each store the *same* logical relation — facts of the form
+// (tenant, entity, key, value) — under an independently drawn schematic
+// discrepancy style (§2's taxonomy, generalized beyond the paper's fixed
+// stock example):
+//
+//   kValue      r(ent, key, val)            entities as data values
+//   kAttribute  w(key, e0, e1, ...)         entities as attribute names
+//   kRelation   e0(key, val), e1(...)       entities as relation names
+//   kNested     e0(k0=v, ...), ...          two-level: entities as relation
+//                                           names AND keys as attribute
+//                                           names (Figure 1 at both levels)
+//   kMixed      a per-entity mixture of the three single-level styles
+//                                           inside one tenant
+//
+// A tenant may additionally be *name-discrepant* (§6's relaxation): entity
+// tokens are mangled to "m_<entity>" and a map(from, to) relation records
+// the correspondence, so its unification rules join through the mapping.
+//
+// The generator emits, mechanically from the drawn styles:
+//   * the tenant databases (BuildUniverse),
+//   * the higher-order unification rules deriving the canonical unified
+//     relation .u.p(.tn, .ent, .key, .val) — one rule per style per tenant,
+//     guarded so the four style rules coexist (style flips mid-trace need
+//     no rule changes) — plus, optionally, two Figure-1-style customized
+//     re-exposures with higher-order heads: .roll.<ent>(.tn, .key, .val)
+//     (relation-position head variable) and .wide.<tenant>(.key, .<ent>=V)
+//     (relation- AND attribute-position head variables),
+//   * the expected unified/customized relations computed directly from the
+//     logical facts (the oracle — it never goes near the evaluator).
+//
+// GenerateEvolutionTrace mutates the logical state step by step — upserts,
+// deletions, whole entities appearing and disappearing, tenants *flipping
+// discrepancy style mid-stream* — and expresses every step as plain IDL
+// update requests (UniverseDelta-compatible: each request maps to the
+// session's insert/dirty delta shapes), with the oracle re-snapshotted
+// after each step. Everything is a pure function of the seed (common/rng.h)
+// so any universe or trace reproduces exactly from its spec string.
+
+#ifndef IDL_WORKLOAD_DISCREPANCY_GEN_H_
+#define IDL_WORKLOAD_DISCREPANCY_GEN_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "object/value.h"
+
+namespace idl {
+
+enum class DiscrepancyStyle : uint8_t {
+  kValue,      // entities as data values in r(ent, key, val)
+  kAttribute,  // entities as attribute names in w(key, ...)
+  kRelation,   // entities as relation names: e(key, val)
+  kNested,     // entities as relations AND keys as attributes: e(k=v)
+  kMixed,      // per-entity mixture of the three single-level styles
+};
+
+// "value", "attr", "rel", "nested", "mixed".
+const char* DiscrepancyStyleName(DiscrepancyStyle style);
+
+struct DiscrepancyConfig {
+  size_t num_tenants = 3;
+  size_t num_entities = 4;
+  size_t num_keys = 3;
+  uint64_t seed = 1;
+  // Probability that a (tenant, entity, key) cell holds a fact initially.
+  double fact_density = 0.75;
+  // Probability that a tenant is name-discrepant (entity tokens mangled,
+  // rules join through its map relation).
+  double mangle_rate = 0.35;
+  // Also derive the .roll.<ent> / .wide.<tenant> customized views.
+  bool customized_views = true;
+  // When non-empty, tenant i gets pinned_styles[i % size] instead of a
+  // random draw (demo scripts pin styles so transcripts are readable).
+  std::vector<DiscrepancyStyle> pinned_styles;
+};
+
+// One tenant's generated state. `facts` maps (entity index, key index) to
+// the stored value; the relation/attribute bookkeeping mirrors exactly what
+// exists in the tenant's database object so the trace generator can emit
+// creation requests before first use and never reference a dropped slot.
+struct DiscrepancyTenant {
+  std::string name;         // database name: t0, t1, ...
+  DiscrepancyStyle style = DiscrepancyStyle::kValue;
+  bool mangled = false;
+  // Per-entity placement; equals `style` everywhere except kMixed, where
+  // each entity draws one of the three single-level styles.
+  std::vector<DiscrepancyStyle> entity_style;
+  std::map<std::pair<size_t, size_t>, int64_t> facts;
+  // Relation slots currently present in the database tuple (r, w, map,
+  // entity tokens).
+  std::set<std::string> relations;
+  // Key indexes that have a row in `w` (rows survive attribute deletion).
+  std::set<size_t> attr_rows;
+};
+
+struct DiscrepancyUniverse {
+  DiscrepancyConfig config;
+  std::vector<std::string> entities;  // e0, e1, ...
+  std::vector<std::string> keys;      // k0, k1, ...
+  std::vector<DiscrepancyTenant> tenants;
+
+  // The entity's token inside this tenant's schema ("m_<entity>" when the
+  // tenant is name-discrepant).
+  std::string EntityToken(const DiscrepancyTenant& tenant, size_t e) const;
+  // The single-level style governing where (tenant, entity) facts live.
+  DiscrepancyStyle EffectiveStyle(const DiscrepancyTenant& tenant,
+                                  size_t e) const;
+
+  // One tenant's database object, rebuilt from the logical state.
+  Value BuildTenantDatabase(const DiscrepancyTenant& tenant) const;
+  // All tenant databases as a universe tuple (field per tenant).
+  Value BuildUniverse() const;
+
+  // The mechanically derived higher-order rules: per tenant, one rule per
+  // single-level style (all four coexist under identifier guards), joined
+  // through map(from, to) for name-discrepant tenants; plus the customized
+  // .roll / .wide views when configured.
+  std::vector<std::string> UnificationRules() const;
+
+  // Oracles, computed from `facts` alone.
+  Value ExpectedUnified() const;  // the .u.p relation (a set)
+  Value ExpectedRoll() const;     // the .roll database object (a tuple)
+  Value ExpectedWide() const;     // the .wide database object (a tuple)
+};
+
+DiscrepancyUniverse GenerateDiscrepancyUniverse(
+    const DiscrepancyConfig& config);
+
+// ---- Schema-evolution traces ------------------------------------------------
+
+struct EvolutionStep {
+  std::string description;            // e.g. "t2: flip attr -> nested"
+  std::vector<std::string> requests;  // IDL update requests, in order
+  // Oracle snapshots after this step's requests are applied.
+  Value expected_unified;
+  Value expected_roll;
+  Value expected_wide;
+};
+
+struct EvolutionTrace {
+  std::vector<EvolutionStep> steps;
+  // Total update requests across all steps.
+  size_t TotalRequests() const;
+};
+
+// Draws `num_steps` mutation steps (upserts, deletes, entity removal,
+// mid-stream style flips), advancing `universe`'s logical state in place.
+// Applying each step's requests to a session holding the previous state
+// yields the next; the oracle snapshots pin the unified view after each.
+EvolutionTrace GenerateEvolutionTrace(DiscrepancyUniverse& universe,
+                                      size_t num_steps, uint64_t salt);
+
+// ---- Workload specs (idl_shell --workload=..., "% workload:" directive) -----
+
+// Canonical textual form:
+//   "seed=7 tenants=3 entities=4 keys=3 density=0.75 mangle=0.35 views=1"
+// with an optional "styles=value+attr+..." pin. Parse also accepts the
+// "<seed>,<tenants>" shorthand and any subset of the key=value fields
+// (missing fields keep their defaults).
+Result<DiscrepancyConfig> ParseWorkloadSpec(std::string_view spec);
+std::string FormatWorkloadSpec(const DiscrepancyConfig& config);
+
+}  // namespace idl
+
+#endif  // IDL_WORKLOAD_DISCREPANCY_GEN_H_

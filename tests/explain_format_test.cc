@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "eval/explain.h"
+#include "workload/sweep.h"
 
 namespace idl {
 namespace {
@@ -198,11 +201,16 @@ TEST(ExplainFormatTest, TraceRenderings) {
             "  stratum level=0 rules=3 wall=- cpu=-\n"
             "  write wall=- cpu=-\n");
 
-  // Unmasked timings render as fixed-point milliseconds.
+  // Unmasked timings render as fixed-point milliseconds. (Match the shape,
+  // not the magnitude: under a loaded machine even three trivial spans can
+  // cross 1ms of wall.)
   std::string live = Trace::Render();
-  EXPECT_TRUE(live.find("materialize strategy=semi-naive wall=0.") !=
-              std::string::npos)
-      << live;
+  size_t wall_at = live.find("materialize strategy=semi-naive wall=");
+  ASSERT_NE(wall_at, std::string::npos) << live;
+  size_t digits = wall_at + sizeof("materialize strategy=semi-naive wall=") - 1;
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(live[digits]))) << live;
+  EXPECT_NE(live.find(".", digits), std::string::npos) << live;
+  EXPECT_NE(live.find("ms cpu=", digits), std::string::npos) << live;
 
   // Masked JSON: flat span list, ids parent-before-child, null timings.
   EXPECT_EQ(Trace::RenderJson(/*mask_timings=*/true),
@@ -217,6 +225,45 @@ TEST(ExplainFormatTest, TraceRenderings) {
             "\"wall_ms\":null,\"cpu_ms\":null}"
             "]}");
   Trace::Clear();
+}
+
+TEST(ExplainFormatTest, SweepReportLine) {
+  // The differential-sweep summary (src/workload/sweep.h): one line, every
+  // counter named. bench_workload and the sweep tests print it, and
+  // docs/WORKLOADS.md quotes it.
+  SweepReport report;
+  EXPECT_EQ(FormatSweepReport(report),
+            "sweep: universes=0 traces=0 steps=0 requests=0 modes=0 "
+            "comparisons=0 fallbacks=0 mismatches=0\n");
+  report.universes = 50;
+  report.traces = 10;
+  report.steps = 80;
+  report.requests = 212;
+  report.modes = 24;
+  report.comparisons = 12345;
+  report.fallbacks = 1;
+  report.mismatches.push_back("semi/inc/direct/plain diverges");
+  EXPECT_EQ(FormatSweepReport(report),
+            "sweep: universes=50 traces=10 steps=80 requests=212 modes=24 "
+            "comparisons=12345 fallbacks=1 mismatches=1\n");
+}
+
+TEST(ExplainFormatTest, ModePointLabels) {
+  // Mode labels appear in mismatch reports and shrunk repro scripts; the
+  // lattice order (reference first) is part of the sweep's contract.
+  std::vector<ModePoint> lattice = FullModeLattice();
+  ASSERT_EQ(lattice.size(), 24u);
+  EXPECT_EQ(lattice[0].Label(), "naive/remat/direct/plain");
+  EXPECT_EQ(lattice[1].Label(), "naive/remat/direct/gov");
+  EXPECT_EQ(lattice[2].Label(), "naive/remat/fed+faults/plain");
+  EXPECT_EQ(lattice[23].Label(), "semi-par/inc/fed+faults/gov");
+  std::set<std::string> labels;
+  for (const ModePoint& mode : lattice) labels.insert(mode.Label());
+  EXPECT_EQ(labels.size(), 24u) << "mode labels collide";
+
+  ModePoint fed_no_faults;
+  fed_no_faults.federated = true;
+  EXPECT_EQ(fed_no_faults.Label(), "semi/inc/fed/plain");
 }
 
 TEST(ExplainFormatTest, MetricsListing) {

@@ -36,28 +36,53 @@ std::string ReadFile(const fs::path& path) {
   return buffer.str();
 }
 
-// Mirrors golden_corpus_test's RunScript, but the paper universe is either
-// registered directly (federate=false) or hosted on one LocalSite per
-// database behind a gateway (federate=true).
+// Mirrors golden_corpus_test's RunScript, but the preloaded databases —
+// the paper universe, or a `% workload:` script's generated discrepancy
+// tenants — are either registered directly (federate=false) or hosted on
+// one LocalSite per database behind a gateway (federate=true).
 std::string RunScript(const std::string& script, bool name_mappings,
                       const EvalOptions& materialize_options, bool federate) {
   Session session;
   session.set_materialize_options(materialize_options);
-  PaperUniverse paper = MakePaperUniverse(name_mappings);
+  // Collect (name, value) databases first; federation hosts the same set.
+  std::vector<std::pair<std::string, Value>> databases;
+  std::vector<std::string> rules;
+  const std::string directive = "% workload: ";
+  if (size_t at = script.find(directive); at != std::string::npos) {
+    size_t start = at + directive.size();
+    size_t end = script.find('\n', start);
+    auto config = ParseWorkloadSpec(script.substr(
+        start, end == std::string::npos ? std::string::npos : end - start));
+    EXPECT_TRUE(config.ok()) << config.status().ToString();
+    DiscrepancyUniverse workload = GenerateDiscrepancyUniverse(*config);
+    for (const auto& tenant : workload.tenants) {
+      databases.emplace_back(tenant.name,
+                             workload.BuildTenantDatabase(tenant));
+    }
+    rules = workload.UnificationRules();
+  } else {
+    PaperUniverse paper = MakePaperUniverse(name_mappings);
+    for (const auto& field : paper.universe.fields()) {
+      databases.emplace_back(field.name, field.value);
+    }
+  }
   if (federate) {
     auto gateway = std::make_shared<Gateway>();
-    for (const auto& field : paper.universe.fields()) {
-      auto st = gateway->AddSite(
-          std::make_unique<LocalSite>(field.name, field.value));
+    for (const auto& [name, value] : databases) {
+      auto st = gateway->AddSite(std::make_unique<LocalSite>(name, value));
       EXPECT_TRUE(st.ok()) << st.ToString();
     }
     auto st = session.ConnectGateway(gateway);
     EXPECT_TRUE(st.ok()) << st.ToString();
   } else {
-    for (const auto& field : paper.universe.fields()) {
-      auto st = session.RegisterDatabase(field.name, field.value);
+    for (const auto& [name, value] : databases) {
+      auto st = session.RegisterDatabase(name, value);
       EXPECT_TRUE(st.ok()) << st.ToString();
     }
+  }
+  if (!rules.empty()) {
+    auto st = session.DefineRules(rules);
+    EXPECT_TRUE(st.ok()) << st.ToString();
   }
 
   std::string out;

@@ -30,6 +30,13 @@
 //                                 byte-identical and the golden gains the
 //                                 masked trace/analyze/metrics sections
 //                                 (docs/OBSERVABILITY.md)
+//   % workload: <spec>          — preload a generated multi-tenant
+//                                 discrepancy universe (with its unification
+//                                 rules pre-defined) instead of the paper
+//                                 databases, exactly like idl_shell's
+//                                 --workload flag; the transcript starts
+//                                 with the same workload/tenant preamble the
+//                                 shell prints (docs/WORKLOADS.md)
 
 #include <gtest/gtest.h>
 
@@ -110,25 +117,59 @@ std::string RunStatements(Session& session, const std::string& script) {
   return out;
 }
 
-// Runs `script` against a fresh paper-universe session. With `trace`, the
-// run records a span trace and the transcript ends with the three masked
-// observability sections, exactly as examples/idl_shell.cc renders a
-// `% trace: text` script — the demo golden pins that format.
+// Extracts the `% workload: <spec>` directive line, or "" when absent.
+std::string WorkloadSpecOf(const std::string& script) {
+  const std::string directive = "% workload: ";
+  size_t at = script.find(directive);
+  if (at == std::string::npos) return "";
+  size_t start = at + directive.size();
+  size_t end = script.find('\n', start);
+  return script.substr(
+      start, end == std::string::npos ? std::string::npos : end - start);
+}
+
+// Runs `script` against a fresh paper-universe session — or, for a
+// `% workload:` script, against its generated discrepancy universe with the
+// unification rules pre-defined, prefixing the transcript with the same
+// preamble idl_shell prints. With `trace`, the run records a span trace and
+// the transcript ends with the three masked observability sections, exactly
+// as examples/idl_shell.cc renders a `% trace: text` script — the demo
+// golden pins that format.
 std::string RunScript(const std::string& script, bool name_mappings,
                       const EvalOptions& materialize_options,
                       bool trace = false) {
   Session session;
   session.set_materialize_options(materialize_options);
-  PaperUniverse paper = MakePaperUniverse(name_mappings);
-  for (const auto& field : paper.universe.fields()) {
-    auto st = session.RegisterDatabase(field.name, field.value);
+  std::string preamble;
+  const std::string spec = WorkloadSpecOf(script);
+  if (!spec.empty()) {
+    auto config = ParseWorkloadSpec(spec);
+    EXPECT_TRUE(config.ok()) << config.status().ToString();
+    DiscrepancyUniverse workload = GenerateDiscrepancyUniverse(*config);
+    preamble = StrCat("workload ", FormatWorkloadSpec(*config), "\n");
+    for (const auto& tenant : workload.tenants) {
+      preamble += StrCat("  tenant ", tenant.name, ": style=",
+                         DiscrepancyStyleName(tenant.style),
+                         tenant.mangled ? " (mangled names)" : "", "\n");
+      auto st = session.RegisterDatabase(tenant.name,
+                                         workload.BuildTenantDatabase(tenant));
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    preamble += "\n";
+    auto st = session.DefineRules(workload.UnificationRules());
     EXPECT_TRUE(st.ok()) << st.ToString();
+  } else {
+    PaperUniverse paper = MakePaperUniverse(name_mappings);
+    for (const auto& field : paper.universe.fields()) {
+      auto st = session.RegisterDatabase(field.name, field.value);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
   }
   if (trace) {
     MetricsRegistry::Global().Reset();
     Trace::Enable();
   }
-  std::string out = RunStatements(session, script);
+  std::string out = preamble + RunStatements(session, script);
   if (trace) {
     Trace::Disable();
     out += StrCat("-- trace --\n", Trace::Render(/*mask_timings=*/true));
