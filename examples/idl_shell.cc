@@ -225,6 +225,14 @@ argument a built-in demo runs; '-' reads from stdin.
                         "seed=1 tenants=3 entities=4 ..." form. A script's
                         '% workload: <spec>' directive applies when this
                         flag is not given
+  --server-sessions=N   run the script against an in-process server with N
+                        concurrent reader sessions under snapshot isolation
+                        (docs/SERVER.md): every query evaluates on all N
+                        sessions at once and the answers must agree
+                        byte-for-byte; updates commit through the server's
+                        write queue. A script's '% server-sessions: N'
+                        directive applies when this flag is not given.
+                        Incompatible with --site-latency-ms and --trace
   --help                show this message
 
 The budget flags arm the resource governor (docs/GOVERNOR.md): a statement
@@ -240,6 +248,8 @@ int main(int argc, char** argv) {
   TraceMode trace_mode = TraceMode::kOff;
   bool trace_flag_given = false;
   int site_latency_ms = 0;
+  int server_sessions = 0;
+  bool server_flag_given = false;
   std::string workload_spec;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -256,6 +266,7 @@ int main(int argc, char** argv) {
           arg.rfind("--max-passes=", 0) == 0 ||
           arg.rfind("--max-derivations=", 0) == 0 ||
           arg.rfind("--workload=", 0) == 0 ||
+          arg.rfind("--server-sessions=", 0) == 0 ||
           arg == "--trace" || arg.rfind("--trace=", 0) == 0;
       if (!known) {
         std::printf("unknown flag %s\n\n%s", arg.c_str(), kUsage);
@@ -329,6 +340,14 @@ int main(int argc, char** argv) {
         std::printf("--workload needs a spec (try --workload=1,3)\n");
         return 1;
       }
+    } else if (arg.rfind("--server-sessions=", 0) == 0) {
+      server_sessions = std::atoi(
+          arg.substr(std::string("--server-sessions=").size()).c_str());
+      if (server_sessions <= 0) {
+        std::printf("--server-sessions must be >= 1\n");
+        return 1;
+      }
+      server_flag_given = true;
     } else if (arg == "--trace" || arg == "--trace=text") {
       trace_mode = TraceMode::kText;
       trace_flag_given = true;
@@ -373,6 +392,74 @@ int main(int argc, char** argv) {
                                                ? std::string::npos
                                                : end - start);
     }
+  }
+
+  if (!server_flag_given) {
+    server_sessions = static_cast<int>(idl::ServerSessionsDirective(script));
+  }
+  if (server_sessions > 0) {
+    // Concurrent scripted sessions against one in-process server
+    // (docs/SERVER.md). The driver runs every query on all N sessions at
+    // once and asserts byte-identical answers.
+    if (site_latency_ms > 0) {
+      std::printf("--server-sessions is incompatible with --site-latency-ms\n");
+      return 1;
+    }
+    if (trace_flag_given) {
+      std::printf("--server-sessions is incompatible with --trace\n");
+      return 1;
+    }
+    ApplyScriptDirectives(script, &request_options, &eval_options,
+                          maintenance_flag_given);
+    idl::ServerOptions server_options;
+    server_options.materialize = eval_options;
+    idl::Server server(server_options);
+    if (!workload_spec.empty()) {
+      auto config = idl::ParseWorkloadSpec(workload_spec);
+      if (!config.ok()) {
+        std::printf("bad --workload spec: %s\n",
+                    config.status().ToString().c_str());
+        return 1;
+      }
+      idl::DiscrepancyUniverse workload =
+          idl::GenerateDiscrepancyUniverse(*config);
+      std::printf("workload %s\n", idl::FormatWorkloadSpec(*config).c_str());
+      for (const auto& tenant : workload.tenants) {
+        std::printf("  tenant %s: style=%s%s\n", tenant.name.c_str(),
+                    idl::DiscrepancyStyleName(tenant.style),
+                    tenant.mangled ? " (mangled names)" : "");
+        if (auto st = server.RegisterDatabase(
+                tenant.name, workload.BuildTenantDatabase(tenant));
+            !st.ok()) {
+          std::printf("setup failed: %s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+      if (auto st = server.DefineRules(workload.UnificationRules());
+          !st.ok()) {
+        std::printf("setup failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("\n");
+    } else {
+      idl::PaperUniverse paper = idl::MakePaperUniverse();
+      for (const auto& field : paper.universe.fields()) {
+        if (auto st = server.RegisterDatabase(field.name, field.value);
+            !st.ok()) {
+          std::printf("setup failed: %s\n", st.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    auto result = idl::RunServerScript(
+        &server, script, static_cast<size_t>(server_sessions),
+        request_options);
+    if (!result.ok()) {
+      std::printf("server error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", result->transcript.c_str());
+    return result->failed ? 1 : 0;
   }
 
   idl::Session session;

@@ -1,5 +1,6 @@
 #include "common/metrics.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/str_util.h"
@@ -17,8 +18,76 @@ std::string Fixed2(double v) {
 
 }  // namespace
 
+namespace {
+
+// 2^(j/8) for j = 0..7: the sub-bucket boundaries within one octave.
+// Written out so bucket math needs no transcendental calls — frexp/ldexp
+// and these constants are exact IEEE operations, keeping the rendered
+// percentiles identical on every platform.
+constexpr double kEighth[8] = {
+    1.0,
+    1.0905077326652577,
+    1.189207115002721,
+    1.2968395546510096,
+    1.4142135623730951,
+    1.5422108254079407,
+    1.681792830507429,
+    1.8340080864093424,
+};
+
+}  // namespace
+
+size_t Histogram::BucketOf(double v) {
+  if (!(v > kMinBound)) return 0;  // also catches NaN
+  int exp = 0;
+  double frac2 = 2.0 * std::frexp(v / kMinBound, &exp);  // in [1, 2)
+  size_t j = 7;
+  while (j > 0 && kEighth[j] > frac2) --j;
+  // v / kMinBound = frac2 * 2^(exp-1) with frac2 in [kEighth[j], next).
+  long idx = 1 + 8 * (static_cast<long>(exp) - 1) + static_cast<long>(j);
+  if (idx < 1) return 1;
+  if (idx >= static_cast<long>(kNumBuckets)) return kNumBuckets - 1;
+  return static_cast<size_t>(idx);
+}
+
+double Histogram::BucketUpperBound(size_t bucket) {
+  if (bucket == 0) return kMinBound;
+  if (bucket >= kNumBuckets - 1) return kInf;  // overflow: clamp to max()
+  return std::ldexp(kEighth[bucket % 8], static_cast<int>(bucket / 8)) *
+         kMinBound;
+}
+
+double Histogram::Percentile(double q) const {
+  uint64_t snapshot[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snapshot[i];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  size_t bucket = kNumBuckets - 1;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += snapshot[i];
+    if (seen >= rank) {
+      bucket = i;
+      break;
+    }
+  }
+  double estimate = BucketUpperBound(bucket);
+  double lo = min(), hi = max();
+  if (estimate < lo) estimate = lo;
+  if (estimate > hi) estimate = hi;
+  return estimate;
+}
+
 void Histogram::Observe(double v) {
   count_.fetch_add(1, std::memory_order_relaxed);
+  buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
   double old_sum = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(old_sum, old_sum + v,
                                      std::memory_order_relaxed)) {
@@ -46,6 +115,7 @@ void Histogram::Reset() {
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(kInf, std::memory_order_relaxed);
   max_.store(-kInf, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -106,10 +176,13 @@ std::string MetricsRegistry::Render(bool mask_values) const {
     lines[name] =
         mask_values
             ? StrCat("histogram ", name, " = count=", h->count(),
-                     " sum=- min=- max=-\n")
+                     " sum=- min=- max=- p50=- p95=- p99=-\n")
             : StrCat("histogram ", name, " = count=", h->count(),
                      " sum=", Fixed2(h->sum()), " min=", Fixed2(h->min()),
-                     " max=", Fixed2(h->max()), "\n");
+                     " max=", Fixed2(h->max()),
+                     " p50=", Fixed2(h->Percentile(0.50)),
+                     " p95=", Fixed2(h->Percentile(0.95)),
+                     " p99=", Fixed2(h->Percentile(0.99)), "\n");
   }
   std::string out;
   for (const auto& [name, line] : lines) out += line;
@@ -140,7 +213,10 @@ std::string MetricsRegistry::ToJson() const {
     out += StrCat("\"", name, "\":{\"count\":", h->count(),
                   ",\"sum\":", DoubleToString(h->sum()),
                   ",\"min\":", DoubleToString(h->min()),
-                  ",\"max\":", DoubleToString(h->max()), "}");
+                  ",\"max\":", DoubleToString(h->max()),
+                  ",\"p50\":", DoubleToString(h->Percentile(0.50)),
+                  ",\"p95\":", DoubleToString(h->Percentile(0.95)),
+                  ",\"p99\":", DoubleToString(h->Percentile(0.99)), "}");
   }
   out += "}}";
   return out;

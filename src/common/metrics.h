@@ -63,10 +63,20 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
-// Distribution summary: count, sum, min, max over observed doubles.
-// Deliberately bucket-free — the consumers (bench reports, EXPERIMENTS.md)
-// want totals and extremes, and four atomics keep Observe() cheap enough
-// for per-RPC and per-pass call sites.
+// Distribution summary: count, sum, min, max and log-bucketed percentile
+// estimates over observed doubles. Observe() is a handful of relaxed
+// atomics (no locks), cheap enough for per-RPC, per-pass, and per-request
+// call sites; the bucket array makes p50/p95/p99 available without keeping
+// observations (bench_server's latency summaries come straight from here).
+//
+// Buckets are geometric with 8 sub-buckets per octave (adjacent bounds
+// ratio 2^(1/8) ≈ 1.09, so a percentile estimate is within ~9% of the true
+// value), spanning kMinBound=0.001 up to ~2.1e6 in the unit observed
+// (milliseconds everywhere in this codebase: 1ns resolution to ~35min).
+// Observations at or below kMinBound land in bucket 0; beyond the top in
+// the overflow bucket. Bucket classification and bounds use only exact
+// IEEE operations (frexp/ldexp and a fixed table of 2^(j/8)), so rendered
+// percentiles are bit-identical across platforms.
 class Histogram {
  public:
   void Observe(double v);
@@ -76,8 +86,19 @@ class Histogram {
   double min() const;
   double max() const;
 
+  // Nearest-rank percentile estimate for q in [0, 1]: the upper bound of
+  // the bucket holding the ceil(q * count)-th smallest observation, clamped
+  // to [min(), max()] so estimates never leave the observed range. 0 until
+  // the first Observe(). p50/p95/p99 are rendered by Render()/ToJson().
+  double Percentile(double q) const;
+
  private:
   friend class MetricsRegistry;
+  static constexpr size_t kNumBuckets = 256;  // 0, 254 geometric, overflow
+  static constexpr double kMinBound = 1e-3;
+  static size_t BucketOf(double v);
+  static double BucketUpperBound(size_t bucket);
+
   void Reset();
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
@@ -85,6 +106,7 @@ class Histogram {
   static constexpr double kInf = std::numeric_limits<double>::infinity();
   std::atomic<double> min_{kInf};
   std::atomic<double> max_{-kInf};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
 };
 
 class MetricsRegistry {
@@ -110,15 +132,17 @@ class MetricsRegistry {
   // One line per instrument, sorted by name:
   //   counter engine.fixpoint_passes = 12
   //   gauge session.universe_cells = 345
-  //   histogram federation.site_fetch_ms = count=3 sum=4.50 min=1.00 max=2.00
+  //   histogram federation.site_fetch_ms = count=3 sum=4.50 min=1.00
+  //       max=2.00 p50=1.58 p95=2.00 p99=2.00        (one line)
   // Zero-count instruments are included — the instrument set is part of the
-  // snapshot. With mask_values, histogram sum/min/max render as "-" (they
-  // are timings; counts and counters stay — the byte-stable form golden
-  // transcripts pin). Format locked by tests/explain_format_test.cc.
+  // snapshot. With mask_values, histogram sum/min/max/percentiles render as
+  // "-" (they are timings; counts and counters stay — the byte-stable form
+  // golden transcripts pin). Format locked by tests/explain_format_test.cc.
   std::string Render(bool mask_values = false) const;
 
   // {"counters":{...},"gauges":{...},"histograms":{name:{"count":...,
-  // "sum":...,"min":...,"max":...}}} with keys sorted (std::map order).
+  // "sum":...,"min":...,"max":...,"p50":...,"p95":...,"p99":...}}} with
+  // keys sorted (std::map order).
   std::string ToJson() const;
 
  private:

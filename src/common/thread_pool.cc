@@ -97,4 +97,67 @@ void ThreadPool::RethrowPendingException() {
   if (e) std::rethrow_exception(e);
 }
 
+// ---- BoundedExecutor -------------------------------------------------------
+
+BoundedExecutor::BoundedExecutor(size_t num_threads, size_t max_queue)
+    : max_queue_(max_queue) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BoundedExecutor::~BoundedExecutor() { Shutdown(/*drain=*/true); }
+
+Status BoundedExecutor::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return FailedPrecondition("executor is shut down");
+    }
+    if (queue_.size() >= max_queue_) {
+      return ResourceExhausted("executor queue full");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return Status::Ok();
+}
+
+void BoundedExecutor::Shutdown(bool drain) {
+  std::vector<std::thread> threads;
+  std::deque<std::function<void()>> discarded;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      drain_ = drain;
+    }
+    if (!drain_) discarded.swap(queue_);
+    threads.swap(threads_);
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads) t.join();
+  // `discarded` tasks are destroyed here, outside the lock, without running.
+}
+
+size_t BoundedExecutor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void BoundedExecutor::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // shutdown_ && (drained or discarded)
+    if (shutdown_ && !drain_) return;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
 }  // namespace idl

@@ -15,11 +15,14 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace idl {
 
@@ -73,6 +76,53 @@ class ThreadPool {
   size_t busy_ = 0;        // workers currently executing batch tasks
   uint64_t batch_seq_ = 0;  // bumped per batch so sleepy workers can't rejoin
   bool stop_ = false;
+};
+
+// A fixed-size worker pool behind a *bounded* task queue: Submit() rejects
+// with kResourceExhausted once `max_queue` tasks are pending instead of
+// growing without bound. This is the admission-control primitive — the
+// server's commit queue is a BoundedExecutor(1, N), so "queue full" surfaces
+// to clients as a retryable overload error at the door rather than as
+// unbounded latency inside.
+//
+// Tasks must not throw (report failures through their own channels — e.g.
+// the server parks a Status in the commit ticket); a throwing task
+// terminates the process rather than being silently swallowed.
+class BoundedExecutor {
+ public:
+  BoundedExecutor(size_t num_threads, size_t max_queue);
+  // Drains: queued and running tasks complete before destruction returns.
+  ~BoundedExecutor();
+
+  BoundedExecutor(const BoundedExecutor&) = delete;
+  BoundedExecutor& operator=(const BoundedExecutor&) = delete;
+
+  // Enqueues `task` for asynchronous execution. Errors:
+  //   kResourceExhausted  — queue full (admission rejection; retry later)
+  //   kFailedPrecondition — Shutdown() already called
+  Status Submit(std::function<void()> task);
+
+  // Stops accepting work and joins the workers. With drain=true every
+  // already-queued task still runs; with drain=false queued-but-unstarted
+  // tasks are destroyed without running (their owners see them vanish —
+  // see the server's shutdown path, which fails pending tickets first).
+  // Idempotent; the first call's drain mode wins.
+  void Shutdown(bool drain = true);
+
+  // Tasks queued but not yet claimed by a worker (instantaneous; racy by
+  // nature — use for admission heuristics and metrics, not invariants).
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  const size_t max_queue_;
+  bool shutdown_ = false;
+  bool drain_ = true;
 };
 
 }  // namespace idl

@@ -61,6 +61,16 @@ Status Session::RemoveDatabase(std::string_view name) {
 
 Result<const Value*> Session::universe() { return universe(nullptr); }
 
+Result<Value> Session::SnapshotUniverse() {
+  IDL_ASSIGN_OR_RETURN(const Value* u, universe());
+  if (views_.rules().empty() || !materialized_valid_) {
+    Value snapshot = *u;
+    snapshot.WarmHashCaches();
+    return snapshot;
+  }
+  return materialized_.SnapshotUniverse();
+}
+
 Result<const Value*> Session::universe(const ResourceGovernor* request) {
   IDL_RETURN_IF_ERROR(SyncFederation(request));
   if (views_.rules().empty()) return &base_;  // nothing derived: no copy

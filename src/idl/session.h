@@ -57,6 +57,13 @@ class Session {
   // The merged universe: base plus materialized views. Recomputed lazily.
   Result<const Value*> universe();
 
+  // Materializes if stale and returns a hash-warmed deep copy of the merged
+  // universe: the epoch snapshot the server publishes to concurrent reader
+  // sessions (src/server). The copy shares no mutable state with the
+  // session, so it is safe to evaluate against from many threads while this
+  // session keeps committing (object/value.h, "Thread safety").
+  Result<Value> SnapshotUniverse();
+
   // Lowers a database of the *merged* universe back to relational form
   // (write-back path for substrate databases, export path for views).
   Result<RelationalDatabase> ExportDatabase(const std::string& name);

@@ -163,7 +163,7 @@ Value* Value::MutableField(std::string_view name) {
   auto& fs = tuple_rep().fields;
   auto it = LowerBound(fs, name);
   if (it != fs.end() && it->name == name) {
-    hash_ = 0;
+    SetCachedHash(0);
     return &it->value;
   }
   return nullptr;
@@ -177,7 +177,7 @@ void Value::SetField(std::string_view name, Value value) {
   } else {
     fs.insert(it, Field{std::string(name), std::move(value)});
   }
-  hash_ = 0;
+  SetCachedHash(0);
 }
 
 bool Value::RemoveField(std::string_view name) {
@@ -185,7 +185,7 @@ bool Value::RemoveField(std::string_view name) {
   auto it = LowerBound(fs, name);
   if (it == fs.end() || it->name != name) return false;
   fs.erase(it);
-  hash_ = 0;
+  SetCachedHash(0);
   return true;
 }
 
@@ -221,14 +221,14 @@ bool Value::Insert(Value v) {
   uint64_t h = v.Hash();
   s.index.emplace(h, static_cast<uint32_t>(s.elems.size()));
   s.elems.push_back(std::move(v));
-  hash_ = 0;
+  SetCachedHash(0);
   return true;
 }
 
 Value* Value::MutableElement(size_t index) {
   auto& s = set_rep();
   IDL_CHECK(index < s.elems.size());
-  hash_ = 0;
+  SetCachedHash(0);
   return &s.elems[index];
 }
 
@@ -254,7 +254,7 @@ void Value::RehashSet() {
     }
   }
   s.elems = std::move(kept);
-  hash_ = 0;
+  SetCachedHash(0);
 }
 
 void Value::RebuildSetIndex() {
@@ -268,7 +268,7 @@ void Value::RebuildSetIndex() {
 // ---- Whole-value operations --------------------------------------------------
 
 uint64_t Value::Hash() const {
-  if (hash_ != 0) return hash_;
+  if (uint64_t cached = CachedHash(); cached != 0) return cached;
   uint64_t h = Mix(static_cast<uint64_t>(kind()) + 0x51ed);
   switch (kind()) {
     case ValueKind::kNull:
@@ -308,8 +308,25 @@ uint64_t Value::Hash() const {
       break;
     }
   }
-  hash_ = (h == 0) ? 1 : h;
-  return hash_;
+  if (h == 0) h = 1;
+  SetCachedHash(h);
+  return h;
+}
+
+void Value::WarmHashCaches() const {
+  switch (kind()) {
+    case ValueKind::kTuple:
+      for (const auto& f : std::get<TupleRep>(rep_).fields) {
+        f.value.WarmHashCaches();
+      }
+      break;
+    case ValueKind::kSet:
+      for (const auto& e : std::get<SetRep>(rep_).elems) e.WarmHashCaches();
+      break;
+    default:
+      break;
+  }
+  Hash();
 }
 
 int Value::Compare(const Value& a, const Value& b) {

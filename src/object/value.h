@@ -14,10 +14,19 @@
 // SetField, Insert, …) invalidates the cached hash of the node it goes
 // through. Code that mutates a set element in place must call RehashSet()
 // on the containing set afterwards to restore the dedup index.
+//
+// Thread safety: a Value that no thread mutates is safe to read from many
+// threads at once. The only mutable state behind a const read is the hash
+// cache, which is a relaxed atomic — concurrent Hash() calls race only on
+// storing the identical computed value. The server layer (src/server)
+// relies on this to share one published epoch universe across reader
+// sessions; WarmHashCaches() additionally pre-computes every node's hash
+// before publication so steady-state readers never write at all.
 
 #ifndef IDL_OBJECT_VALUE_H_
 #define IDL_OBJECT_VALUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -63,10 +72,21 @@ class Value {
   static Value EmptyTuple();
   static Value EmptySet();
 
-  Value(const Value&) = default;
-  Value& operator=(const Value&) = default;
-  Value(Value&&) = default;
-  Value& operator=(Value&&) = default;
+  // Hand-written only because the hash cache is an atomic (atomics are not
+  // copyable); semantically these are the defaulted member-wise operations.
+  Value(const Value& o) : rep_(o.rep_), hash_(o.CachedHash()) {}
+  Value& operator=(const Value& o) {
+    rep_ = o.rep_;
+    SetCachedHash(o.CachedHash());
+    return *this;
+  }
+  Value(Value&& o) noexcept
+      : rep_(std::move(o.rep_)), hash_(o.CachedHash()) {}
+  Value& operator=(Value&& o) noexcept {
+    rep_ = std::move(o.rep_);
+    SetCachedHash(o.CachedHash());
+    return *this;
+  }
 
   // ---- Classification -----------------------------------------------------
 
@@ -131,7 +151,7 @@ class Value {
     if (removed > 0) {
       s.elems = std::move(kept);
       RebuildSetIndex();
-      hash_ = 0;
+      SetCachedHash(0);
     }
     return removed;
   }
@@ -147,6 +167,13 @@ class Value {
   // Structural hash; sets hash order-insensitively. Cached.
   uint64_t Hash() const;
 
+  // Recursively computes and caches the hash of every node, so subsequent
+  // const reads (Hash, Contains, ==) never write the cache. The server
+  // calls this on an epoch universe before sharing it across reader
+  // threads (the cache writes are relaxed atomics, so skipping this is
+  // still race-free — warming just keeps shared pages clean).
+  void WarmHashCaches() const;
+
   // Canonical total order over all values: kinds ranked
   // null < bool < int < double < string < date < tuple < set; tuples compare
   // field-by-field in name order; sets compare as sorted element sequences.
@@ -156,7 +183,8 @@ class Value {
 
   // Deep structural equality (sets order-insensitive). Int(1) != Real(1.0).
   friend bool operator==(const Value& a, const Value& b) {
-    if (a.hash_ != 0 && b.hash_ != 0 && a.hash_ != b.hash_) return false;
+    uint64_t ha = a.CachedHash(), hb = b.CachedHash();
+    if (ha != 0 && hb != 0 && ha != hb) return false;
     return Compare(a, b) == 0;
   }
 
@@ -180,9 +208,18 @@ class Value {
   const SetRep& set_rep() const;
   void RebuildSetIndex();
 
+  uint64_t CachedHash() const {
+    return hash_.load(std::memory_order_relaxed);
+  }
+  void SetCachedHash(uint64_t h) const {
+    hash_.store(h, std::memory_order_relaxed);
+  }
+
   Rep rep_;
-  // 0 == not computed. Reset by every mutation path.
-  mutable uint64_t hash_ = 0;
+  // 0 == not computed. Reset by every mutation path; cached by Hash(). A
+  // relaxed atomic so concurrent readers of an immutable Value may race on
+  // caching the (identical, deterministic) hash without UB.
+  mutable std::atomic<uint64_t> hash_{0};
 };
 
 struct Value::Field {

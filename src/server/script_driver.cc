@@ -1,0 +1,136 @@
+#include "server/script_driver.h"
+
+#include <vector>
+
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "syntax/parser.h"
+#include "syntax/printer.h"
+
+namespace idl {
+
+size_t ServerSessionsDirective(std::string_view script) {
+  const std::string_view directive = "% server-sessions:";
+  size_t at = script.find(directive);
+  if (at == std::string_view::npos) return 0;
+  size_t pos = at + directive.size();
+  while (pos < script.size() && script[pos] == ' ') ++pos;
+  size_t n = 0;
+  while (pos < script.size() && script[pos] >= '0' && script[pos] <= '9') {
+    n = n * 10 + static_cast<size_t>(script[pos] - '0');
+    ++pos;
+  }
+  return n;
+}
+
+Result<ServerScriptResult> RunServerScript(Server* server,
+                                           std::string_view script,
+                                           size_t num_sessions,
+                                           const EvalOptions& request_options) {
+  if (num_sessions == 0) {
+    return InvalidArgument("server script needs at least one session");
+  }
+  IDL_ASSIGN_OR_RETURN(std::vector<Statement> statements,
+                       ParseStatements(script));
+  std::vector<ServerSession> sessions;
+  sessions.reserve(num_sessions);
+  for (size_t i = 0; i < num_sessions; ++i) {
+    IDL_ASSIGN_OR_RETURN(ServerSession session, server->Connect());
+    sessions.push_back(std::move(session));
+  }
+  ThreadPool pool(num_sessions > 1 ? num_sessions - 1 : 0);
+
+  ServerScriptResult out;
+  std::string& t = out.transcript;
+  t += StrCat("server sessions=", num_sessions, "\n");
+
+  auto refresh_all = [&]() -> Status {
+    for (auto& session : sessions) IDL_RETURN_IF_ERROR(session.Refresh());
+    return Status::Ok();
+  };
+
+  for (const auto& statement : statements) {
+    switch (statement.kind) {
+      case Statement::Kind::kRule: {
+        std::string text = ToString(statement.rule);
+        Status st = server->DefineRule(text);
+        t += StrCat("rule    ", text, "  [",
+                    st.ok() ? "ok" : st.ToString(), "]\n");
+        if (!st.ok()) {
+          out.failed = true;
+          return out;
+        }
+        IDL_RETURN_IF_ERROR(refresh_all());
+        break;
+      }
+      case Statement::Kind::kProgramClause: {
+        std::string text = ToString(statement.clause);
+        Status st = server->DefineProgram(text);
+        t += StrCat("program ", text, "  [",
+                    st.ok() ? "ok" : st.ToString(), "]\n");
+        if (!st.ok()) {
+          out.failed = true;
+          return out;
+        }
+        break;
+      }
+      case Statement::Kind::kQuery: {
+        std::string text = ToString(statement.query);
+        t += StrCat(text, "\n");
+        if (server->IsUpdateRequest(statement.query)) {
+          // Writes serialize through the commit queue; every session then
+          // re-pins to the epoch this commit published.
+          Result<CommitResult> r =
+              sessions[0].Update(text, request_options);
+          if (!r.ok()) {
+            t += StrCat("  error: ", r.status().ToString(), "\n");
+            out.failed = true;
+            return out;
+          }
+          IDL_RETURN_IF_ERROR(refresh_all());
+          t += StrCat("  ok: ", r->counts.Total(), " change(s), ",
+                      r->bindings, " binding(s) [epoch ", r->epoch->id,
+                      "]\n\n");
+          ++out.commits;
+        } else {
+          // All sessions evaluate the same query concurrently against
+          // their shared pinned epoch; the answers must be byte-identical.
+          std::vector<Result<Answer>> answers(num_sessions,
+                                              Result<Answer>(Answer{}));
+          pool.ParallelFor(num_sessions, [&](size_t task, size_t) {
+            answers[task] = sessions[task].Query(text, request_options);
+          });
+          if (!answers[0].ok()) {
+            t += StrCat("  error: ", answers[0].status().ToString(), "\n");
+            out.failed = true;
+            return out;
+          }
+          std::string table = answers[0]->ToTable();
+          for (size_t i = 1; i < num_sessions; ++i) {
+            if (!answers[i].ok()) {
+              return Internal(StrCat(
+                  "snapshot isolation violated: session ", i, " failed ('",
+                  answers[i].status().ToString(), "') where session 0 ",
+                  "succeeded on '", text, "'"));
+            }
+            if (answers[i]->ToTable() != table) {
+              return Internal(StrCat(
+                  "snapshot isolation violated: session ", i,
+                  " disagrees with session 0 on '", text, "' at epoch ",
+                  sessions[i].epoch_id()));
+            }
+          }
+          t += StrCat(table, "\n");
+          ++out.queries;
+        }
+        break;
+      }
+    }
+  }
+  out.final_epoch = sessions[0].epoch_id();
+  t += StrCat("server sessions=", num_sessions, " epoch=", out.final_epoch,
+              " commits=", out.commits, " queries=", out.queries, "\n");
+  return out;
+}
+
+}  // namespace idl

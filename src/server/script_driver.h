@@ -1,0 +1,52 @@
+// Concurrent scripted sessions against one in-process Server.
+//
+// The driver behind `idl_shell --server-sessions=N` and the golden corpus
+// test's `% server-sessions: N` directive: it runs an ordinary IDL script,
+// but every pure query is evaluated *concurrently on N reader sessions*
+// (one thread each), and the transcript asserts that all N answers are
+// byte-identical — the per-statement form of the snapshot-isolation
+// guarantee, since the sessions share one pinned epoch. Update requests
+// commit through the server's write queue on session 0 and every session
+// re-pins to the published epoch afterwards, so the transcript stays a
+// deterministic function of the script (it is pinned by
+// tests/golden/server_demo.golden).
+
+#ifndef IDL_SERVER_SCRIPT_DRIVER_H_
+#define IDL_SERVER_SCRIPT_DRIVER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "eval/query.h"
+#include "server/server.h"
+
+namespace idl {
+
+struct ServerScriptResult {
+  std::string transcript;
+  // True when a statement failed (error appended to the transcript; the
+  // statements after it did not run) — the shell exits non-zero on it.
+  bool failed = false;
+  size_t queries = 0;  // query statements run (each on every session)
+  size_t commits = 0;  // update requests committed
+  uint64_t final_epoch = 0;
+};
+
+// Runs `script` against `server` (already populated with databases) with
+// `num_sessions` concurrent reader sessions. Rules and programs defined by
+// the script go through the server online. Returns an error only for
+// malformed scripts or a snapshot-isolation violation (sessions disagree);
+// statement-level failures land in the transcript with failed=true, like
+// the plain shell.
+Result<ServerScriptResult> RunServerScript(
+    Server* server, std::string_view script, size_t num_sessions,
+    const EvalOptions& request_options = EvalOptions());
+
+// The `% server-sessions: N` directive (0 when absent).
+size_t ServerSessionsDirective(std::string_view script);
+
+}  // namespace idl
+
+#endif  // IDL_SERVER_SCRIPT_DRIVER_H_

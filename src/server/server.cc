@@ -1,0 +1,255 @@
+#include "server/server.h"
+
+#include <condition_variable>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/str_util.h"
+#include "syntax/parser.h"
+
+namespace idl {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct ServerMetrics {
+  Counter* commits;
+  Counter* commit_failures;
+  Counter* admission_rejects;
+  Counter* epochs_published;
+  Gauge* queue_depth;
+  Gauge* epoch_id;
+  Histogram* query_ms;
+  Histogram* commit_ms;
+  Histogram* commit_queue_ms;
+  Histogram* epoch_age_ms;
+};
+
+// One static lookup; the registry never invalidates instrument pointers.
+const ServerMetrics& Metrics() {
+  static const ServerMetrics m = {
+      MetricsRegistry::Global().counter("server.commits"),
+      MetricsRegistry::Global().counter("server.commit_failures"),
+      MetricsRegistry::Global().counter("server.admission_rejects"),
+      MetricsRegistry::Global().counter("server.epochs_published"),
+      MetricsRegistry::Global().gauge("server.queue_depth"),
+      MetricsRegistry::Global().gauge("server.epoch_id"),
+      MetricsRegistry::Global().histogram("server.query_ms"),
+      MetricsRegistry::Global().histogram("server.commit_ms"),
+      MetricsRegistry::Global().histogram("server.commit_queue_ms"),
+      MetricsRegistry::Global().histogram("server.epoch_age_ms"),
+  };
+  return m;
+}
+
+}  // namespace
+
+// The rendezvous between a Commit() caller and the queue thread. Shared
+// (not stack-owned by the caller) so a Shutdown(drain=false) that destroys
+// a queued task cannot leave the worker touching a dead ticket.
+struct Server::CommitTicket {
+  std::string request_text;
+  EvalOptions options;
+  std::chrono::steady_clock::time_point submitted_at;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Result<CommitResult> result = Result<CommitResult>(CommitResult{});
+
+  void Finish(Result<CommitResult> r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      result = std::move(r);
+      done = true;
+    }
+    cv.notify_all();
+  }
+  Result<CommitResult> Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    return std::move(result);
+  }
+};
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      commit_queue_(/*num_threads=*/1, options.max_pending_commits) {
+  session_.set_materialize_options(options_.materialize);
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Shutdown() { commit_queue_.Shutdown(/*drain=*/true); }
+
+Status Server::RegisterDatabase(std::string name, Value db_object) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  IDL_RETURN_IF_ERROR(
+      session_.RegisterDatabase(std::move(name), std::move(db_object)));
+  return published_ == nullptr ? Status::Ok() : PublishLocked();
+}
+
+Status Server::DefineRule(std::string_view rule_text) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  IDL_RETURN_IF_ERROR(session_.DefineRule(rule_text));
+  return published_ == nullptr ? Status::Ok() : PublishLocked();
+}
+
+Status Server::DefineRules(const std::vector<std::string>& rule_texts) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  for (const auto& text : rule_texts) {
+    IDL_RETURN_IF_ERROR(session_.DefineRule(text));
+  }
+  return published_ == nullptr ? Status::Ok() : PublishLocked();
+}
+
+Status Server::DefineProgram(std::string_view clause_text) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  IDL_RETURN_IF_ERROR(session_.DefineProgram(clause_text));
+  // Programs don't change the universe: no republish needed (readers only
+  // consult the registry through the server, never through an epoch).
+  return Status::Ok();
+}
+
+bool Server::IsUpdateRequest(const Query& query) const {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  return session_.IsUpdateRequest(query);
+}
+
+Status Server::PublishLocked() {
+  IDL_ASSIGN_OR_RETURN(Value universe, session_.SnapshotUniverse());
+  auto epoch = std::make_shared<Epoch>();
+  epoch->id = next_epoch_id_++;
+  epoch->universe = std::move(universe);
+  epoch->derived_paths = session_.derived_paths();
+  epoch->published_at = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    if (published_ != nullptr) {
+      Metrics().epoch_age_ms->Observe(MsSince(published_->published_at));
+    }
+    published_ = std::move(epoch);
+    Metrics().epoch_id->Set(static_cast<int64_t>(published_->id));
+  }
+  Metrics().epochs_published->Increment();
+  return Status::Ok();
+}
+
+Status Server::EnsurePublished() {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  if (published_ != nullptr) return Status::Ok();
+  return PublishLocked();
+}
+
+EpochPtr Server::CurrentEpoch() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return published_;
+}
+
+Result<EpochPtr> Server::PublishedEpoch() {
+  IDL_RETURN_IF_ERROR(EnsurePublished());
+  return CurrentEpoch();
+}
+
+Result<ServerSession> Server::Connect() {
+  IDL_ASSIGN_OR_RETURN(EpochPtr epoch, PublishedEpoch());
+  return ServerSession(this, std::move(epoch));
+}
+
+void Server::RunCommit(const std::shared_ptr<CommitTicket>& ticket) {
+  Metrics().queue_depth->Set(static_cast<int64_t>(commit_queue_.queue_depth()));
+  double queued_ms = MsSince(ticket->submitted_at);
+  Metrics().commit_queue_ms->Observe(queued_ms);
+  EvalOptions options = ticket->options;
+  if (options.deadline_ms > 0) {
+    // The deadline covers the caller's wait, queue time included: reject
+    // without applying when it expired in the queue, otherwise hand the
+    // remaining budget to the governed Update.
+    double remaining = options.deadline_ms - queued_ms;
+    if (remaining < 1.0) {
+      Metrics().commit_failures->Increment();
+      ticket->Finish(
+          DeadlineExceeded("commit deadline expired while queued"));
+      return;
+    }
+    options.deadline_ms = static_cast<int>(remaining);
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  Result<CommitResult> outcome = [&]() -> Result<CommitResult> {
+    std::lock_guard<std::mutex> lock(session_mu_);
+    if (published_ == nullptr) IDL_RETURN_IF_ERROR(PublishLocked());
+    IDL_ASSIGN_OR_RETURN(UpdateRequestResult applied,
+                         session_.Update(ticket->request_text, options));
+    IDL_RETURN_IF_ERROR(PublishLocked());
+    CommitResult result;
+    result.epoch = published_;
+    result.bindings = applied.bindings;
+    result.counts = applied.counts;
+    return result;
+  }();
+  Metrics().commit_ms->Observe(MsSince(t0));
+  if (outcome.ok()) {
+    Metrics().commits->Increment();
+  } else {
+    Metrics().commit_failures->Increment();
+  }
+  ticket->Finish(std::move(outcome));
+}
+
+Result<CommitResult> Server::Commit(std::string_view request_text,
+                                    const EvalOptions& options) {
+  auto ticket = std::make_shared<CommitTicket>();
+  ticket->request_text = std::string(request_text);
+  ticket->options = options;
+  ticket->submitted_at = std::chrono::steady_clock::now();
+  Status admitted = commit_queue_.Submit([this, ticket] { RunCommit(ticket); });
+  if (!admitted.ok()) {
+    if (admitted.code() == StatusCode::kResourceExhausted) {
+      Metrics().admission_rejects->Increment();
+      return ResourceExhausted(
+          StrCat("server overloaded: ", options_.max_pending_commits,
+                 " commits already pending"));
+    }
+    return admitted;  // kFailedPrecondition: shut down
+  }
+  Metrics().queue_depth->Set(static_cast<int64_t>(commit_queue_.queue_depth()));
+  return ticket->Wait();
+}
+
+// ---- ServerSession ---------------------------------------------------------
+
+Result<Answer> ServerSession::Query(std::string_view query_text,
+                                    const EvalOptions& options) {
+  IDL_ASSIGN_OR_RETURN(struct Query query, ParseQuery(query_text));
+  if (server_->IsUpdateRequest(query)) {
+    return InvalidArgument(
+        "update request on a reader session; use ServerSession::Update");
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  // Always governed: the cancel handle must be able to abort a reader
+  // mid-evaluation even when no budget is set.
+  ResourceGovernor governor(GovernorLimitsFrom(options), cancel_);
+  Result<Answer> answer =
+      EvaluateQuery(epoch_->universe, query, options, &stats_, &governor);
+  Metrics().query_ms->Observe(MsSince(t0));
+  return answer;
+}
+
+Result<CommitResult> ServerSession::Update(std::string_view request_text,
+                                           const EvalOptions& options) {
+  Result<CommitResult> committed = server_->Commit(request_text, options);
+  if (committed.ok()) epoch_ = committed->epoch;
+  return committed;
+}
+
+Status ServerSession::Refresh() {
+  IDL_ASSIGN_OR_RETURN(epoch_, server_->PublishedEpoch());
+  return Status::Ok();
+}
+
+}  // namespace idl

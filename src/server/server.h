@@ -1,0 +1,219 @@
+// Server: one universe, N concurrent sessions, snapshot isolation.
+//
+// The paper's interoperability language assumes a federation that many
+// clients query while component databases keep changing. `idl::Session` is
+// strictly single-caller, so this layer adds the concurrency discipline
+// around it:
+//
+//  * Readers never touch the session. They evaluate against an immutable
+//    published *epoch* — a hash-warmed deep copy of the merged universe
+//    (base plus materialized views) taken after each commit
+//    (Materialized::SnapshotUniverse). An epoch is a shared_ptr<const>;
+//    pinning one is a pointer copy, and a pinned epoch stays valid for as
+//    long as any session holds it, however many commits happen meanwhile.
+//
+//  * Writers funnel through a single-writer commit queue (a
+//    BoundedExecutor with one thread). Each commit applies its update
+//    request to the inner session — which maintains the retained
+//    materialization incrementally (ViewEngine::ApplyDelta, with the
+//    fallback-to-rematerialize path preserved) — snapshots the result, and
+//    atomically publishes the next epoch. Commits are strictly serialized,
+//    so every epoch is the result of a serial prefix of committed requests:
+//    a reader bound to epoch E sees exactly the serial execution of commits
+//    1..E, which is the snapshot-isolation guarantee the differential tests
+//    prove byte-for-byte.
+//
+//  * Admission control under overload: a commit arriving while
+//    max_pending_commits are already queued is rejected at the door with
+//    kResourceExhausted (retryable), and a commit whose deadline_ms expired
+//    while it waited in the queue is rejected with kDeadlineExceeded
+//    *before* any work happens. The time a commit did spend queued is
+//    subtracted from its deadline, so `deadline_ms` bounds wall time from
+//    the caller's perspective, queue included.
+//
+// Epoch lifecycle, isolation guarantee and admission policy are documented
+// in docs/SERVER.md; metrics in docs/OBSERVABILITY.md (server.*).
+
+#ifndef IDL_SERVER_SERVER_H_
+#define IDL_SERVER_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/governor.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "eval/query.h"
+#include "idl/session.h"
+#include "object/value.h"
+#include "update/applier.h"
+
+namespace idl {
+
+// An immutable published snapshot of the merged universe. Never mutated
+// after publication: the universe is hash-warmed (object/value.h, "Thread
+// safety"), so any number of threads may evaluate against it concurrently.
+struct Epoch {
+  // 1 for the initial epoch, +1 per successful commit or schema change.
+  uint64_t id = 0;
+  Value universe;
+  // "db.rel" paths created by rules, as of this epoch.
+  std::vector<std::string> derived_paths;
+  std::chrono::steady_clock::time_point published_at;
+};
+using EpochPtr = std::shared_ptr<const Epoch>;
+
+struct ServerOptions {
+  // Commit-queue bound: an Update arriving while this many commits are
+  // already pending is rejected with kResourceExhausted.
+  size_t max_pending_commits = 64;
+  // Materialization options of the inner session (strategy, parallelism,
+  // maintenance mode). Incremental maintenance needs kSemiNaive.
+  EvalOptions materialize;
+};
+
+// What a successful commit published.
+struct CommitResult {
+  EpochPtr epoch;       // the epoch containing this commit's effects
+  size_t bindings = 0;  // UpdateRequestResult passthrough
+  UpdateCounts counts;
+};
+
+class ServerSession;
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options = ServerOptions());
+  ~Server();  // Shutdown()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // ---- Universe and schema setup -------------------------------------------
+  // Serialized against the commit queue. When an epoch has already been
+  // published, each successful call republishes so the change becomes
+  // visible to sessions that Refresh() — failures (bad rule, failed
+  // materialization) leave the published epoch untouched.
+  Status RegisterDatabase(std::string name, Value db_object);
+  Status DefineRule(std::string_view rule_text);
+  Status DefineRules(const std::vector<std::string>& rule_texts);
+  Status DefineProgram(std::string_view clause_text);
+
+  // ---- Epochs and sessions -------------------------------------------------
+
+  // The newest published epoch; publishes the first one on demand (which
+  // can fail if materialization fails).
+  Result<EpochPtr> PublishedEpoch();
+
+  // Opens a reader session pinned to the newest epoch.
+  Result<ServerSession> Connect();
+
+  // ---- The write path ------------------------------------------------------
+
+  // Applies one update request through the commit queue and publishes the
+  // next epoch. Blocks until the commit is applied or rejected; thread-safe
+  // (this is the whole point). Error surface:
+  //   kResourceExhausted  — queue full; admission rejection, retry later
+  //   kDeadlineExceeded   — options.deadline_ms expired while queued (the
+  //                         request was never applied) or during evaluation
+  //   kFailedPrecondition — server shut down
+  //   anything else       — the Update itself failed; the universe and the
+  //                         published epoch are unchanged (Session::Update
+  //                         is atomic under a governor or constraints)
+  Result<CommitResult> Commit(std::string_view request_text,
+                              const EvalOptions& options = EvalOptions());
+
+  // Drains queued commits, then rejects all further work. Idempotent;
+  // called by the destructor. Pending Commit() callers get their results;
+  // later callers get kFailedPrecondition.
+  void Shutdown();
+
+  // Commits queued but not yet applied (racy; for tests and metrics).
+  size_t queue_depth() const { return commit_queue_.queue_depth(); }
+
+  // True if `query` must go through Commit() rather than a reader session:
+  // it carries an update marker or calls a registered update program.
+  bool IsUpdateRequest(const Query& query) const;
+
+ private:
+  friend class ServerSession;
+
+  // Snapshots the session and publishes the next epoch. Caller must hold
+  // session_mu_.
+  Status PublishLocked();
+  // Publishes the first epoch if none exists yet.
+  Status EnsurePublished();
+  EpochPtr CurrentEpoch() const;
+  // Runs one commit on the queue thread (the ticket carries the result).
+  struct CommitTicket;
+  void RunCommit(const std::shared_ptr<CommitTicket>& ticket);
+
+  ServerOptions options_;
+
+  // Guards session_ and epoch publication order. Held by the commit thread
+  // while applying, and by setup methods; readers never take it.
+  mutable std::mutex session_mu_;
+  Session session_;
+  uint64_t next_epoch_id_ = 1;
+
+  // Guards only the published_ pointer (swap on publish, copy on pin).
+  mutable std::mutex epoch_mu_;
+  EpochPtr published_;
+
+  // The single-writer commit queue. Declared after the state it touches so
+  // its destructor (which drains) runs first.
+  BoundedExecutor commit_queue_;
+};
+
+// A reader session handle: pins one epoch and evaluates pure queries
+// against it. NOT thread-safe itself (one session per thread — sessions
+// are cheap); any number of sessions may share one epoch. Copyable: a copy
+// is an independent session pinned to the same epoch.
+class ServerSession {
+ public:
+  // Evaluates a pure query at the pinned epoch. The epoch never changes
+  // under the caller: repeated queries see one consistent snapshot until
+  // Refresh()/Update(). Update requests are rejected with
+  // kInvalidArgument — route them through Update(). Governor budgets in
+  // `options` apply; CancelHandle() cancels mid-evaluation.
+  Result<Answer> Query(std::string_view query_text,
+                       const EvalOptions& options = EvalOptions());
+
+  // Submits an update request through the server's commit queue; on
+  // success re-pins this session to the epoch the commit published
+  // (read-your-writes). On failure the pinned epoch is unchanged.
+  Result<CommitResult> Update(std::string_view request_text,
+                              const EvalOptions& options = EvalOptions());
+
+  // Re-pins to the newest published epoch.
+  Status Refresh();
+
+  const EpochPtr& epoch() const { return epoch_; }
+  uint64_t epoch_id() const { return epoch_->id; }
+
+  // A token another thread may use to abort this session's in-flight
+  // queries (they unwind with kCancelled at a governor checkpoint).
+  CancelHandle cancel_handle() const { return cancel_; }
+
+  // Cumulative evaluation statistics of this session's queries.
+  const EvalStats& stats() const { return stats_; }
+
+ private:
+  friend class Server;
+  ServerSession(Server* server, EpochPtr epoch)
+      : server_(server), epoch_(std::move(epoch)) {}
+
+  Server* server_;
+  EpochPtr epoch_;
+  CancelHandle cancel_;
+  EvalStats stats_;
+};
+
+}  // namespace idl
+
+#endif  // IDL_SERVER_SERVER_H_

@@ -1080,6 +1080,12 @@ std::string Materialized::ExplainAnalyze(bool mask_timings) const {
   return FormatAnalyze(stratum_stats, wall_ms, cpu_ms, mask_timings);
 }
 
+Value Materialized::SnapshotUniverse() const {
+  Value snapshot = universe;
+  snapshot.WarmHashCaches();
+  return snapshot;
+}
+
 Status ViewEngine::AddRule(Rule rule) {
   IDL_RETURN_IF_ERROR(ValidateRule(rule));
   rules_.push_back(std::move(rule));

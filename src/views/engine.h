@@ -114,6 +114,13 @@ struct Materialized {
   // and per-stratum phase timings checked against wall_ms/cpu_ms. Masked
   // timings (every cell "-") for byte-stable golden transcripts.
   std::string ExplainAnalyze(bool mask_timings = false) const;
+
+  // A deep copy of `universe` with every node's hash cache pre-computed:
+  // the snapshot handoff for epoch publication (src/server). The returned
+  // value is safe to share read-only across threads, and because the caches
+  // are warm, steady-state readers never even write the relaxed-atomic hash
+  // slots (object/value.h, "Thread safety").
+  Value SnapshotUniverse() const;
 };
 
 class ViewEngine {

@@ -18,6 +18,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "eval/explain.h"
+#include "server/trace_sweep.h"
 #include "workload/sweep.h"
 
 namespace idl {
@@ -248,6 +249,27 @@ TEST(ExplainFormatTest, SweepReportLine) {
             "comparisons=12345 fallbacks=1 mismatches=1\n");
 }
 
+TEST(ExplainFormatTest, ServerSweepReportLine) {
+  // The server trace-sweep summary (src/server/trace_sweep.h): one line,
+  // every counter named. The server differential tests print it and
+  // docs/SERVER.md quotes it.
+  ServerSweepReport report;
+  EXPECT_EQ(FormatServerSweepReport(report),
+            "server-sweep: universes=0 steps=0 commits=0 epochs=0 "
+            "serial_checks=0 reader_checks=0 mismatches=0\n");
+  report.universes = 5;
+  report.steps = 20;
+  report.commits = 63;
+  report.epochs = 73;
+  report.serial_checks = 63;
+  report.reader_checks = 75;
+  report.mismatches.push_back("epoch 9 diverges from serial execution");
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(FormatServerSweepReport(report),
+            "server-sweep: universes=5 steps=20 commits=63 epochs=73 "
+            "serial_checks=63 reader_checks=75 mismatches=1\n");
+}
+
 TEST(ExplainFormatTest, ModePointLabels) {
   // Mode labels appear in mismatch reports and shrunk repro scripts; the
   // lattice order (reference first) is part of the sweep's contract.
@@ -278,23 +300,58 @@ TEST(ExplainFormatTest, MetricsListing) {
   h->Observe(1.5);
   registry.counter("aaa.zero");  // zero-count instruments are listed too
 
+  // Percentiles are nearest-rank bucket upper bounds: the median 1.5 lands
+  // in the bucket with upper bound 1.579…, and p95/p99 (the max, 2.0, in the
+  // 2.048-bucket) clamp to the observed max.
   EXPECT_EQ(registry.Render(),
             "counter aaa.zero = 0\n"
             "counter engine.fixpoint_passes = 12\n"
             "histogram federation.site_fetch_ms = count=3 sum=4.50 min=1.00 "
-            "max=2.00\n"
+            "max=2.00 p50=1.58 p95=2.00 p99=2.00\n"
             "gauge session.universe_cells = 345\n");
   EXPECT_EQ(registry.Render(/*mask_values=*/true),
             "counter aaa.zero = 0\n"
             "counter engine.fixpoint_passes = 12\n"
             "histogram federation.site_fetch_ms = count=3 sum=- min=- "
-            "max=-\n"
+            "max=- p50=- p95=- p99=-\n"
             "gauge session.universe_cells = 345\n");
   EXPECT_EQ(registry.ToJson(),
             "{\"counters\":{\"aaa.zero\":0,\"engine.fixpoint_passes\":12},"
             "\"gauges\":{\"session.universe_cells\":345},"
             "\"histograms\":{\"federation.site_fetch_ms\":"
-            "{\"count\":3,\"sum\":4.5,\"min\":1.0,\"max\":2.0}}}");
+            "{\"count\":3,\"sum\":4.5,\"min\":1.0,\"max\":2.0,"
+            "\"p50\":1.5792238852177314,\"p95\":2.0,\"p99\":2.0}}}");
+}
+
+TEST(ExplainFormatTest, HistogramPercentileEdgeCases) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0.0);  // empty: no observations to rank
+  h.Observe(5.0);
+  // Single observation: every percentile is that observation (bucket upper
+  // bound clamped to max=5.0).
+  EXPECT_EQ(h.Percentile(0.0), 5.0);
+  EXPECT_EQ(h.Percentile(0.5), 5.0);
+  EXPECT_EQ(h.Percentile(1.0), 5.0);
+
+  Histogram tiny;
+  // At or below kMinBound (and negatives/NaN) land in bucket 0, whose upper
+  // bound clamps into the observed range.
+  tiny.Observe(-3.0);
+  tiny.Observe(0.0005);
+  // Both land in bucket 0 (upper bound kMinBound=0.001), clamped to max.
+  EXPECT_EQ(tiny.Percentile(0.5), 0.0005);
+  EXPECT_EQ(tiny.Percentile(1.0), 0.0005);
+
+  Histogram wide;
+  for (int i = 1; i <= 100; ++i) wide.Observe(static_cast<double>(i));
+  // p50 ≈ 50 within one bucket width (ratio 2^(1/8) ≈ 1.09).
+  EXPECT_GE(wide.Percentile(0.50), 50.0);
+  EXPECT_LE(wide.Percentile(0.50), 50.0 * 1.0905077326652577);
+  EXPECT_GE(wide.Percentile(0.99), 99.0);
+  EXPECT_LE(wide.Percentile(0.99), 100.0);
+  // Monotone in q.
+  EXPECT_LE(wide.Percentile(0.50), wide.Percentile(0.95));
+  EXPECT_LE(wide.Percentile(0.95), wide.Percentile(0.99));
 }
 
 }  // namespace

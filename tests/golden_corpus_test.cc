@@ -37,6 +37,15 @@
 //                                 --workload flag; the transcript starts
 //                                 with the same workload/tenant preamble the
 //                                 shell prints (docs/WORKLOADS.md)
+//   % server-sessions: N        — run the script through an in-process
+//                                 Server with N concurrent sessions, exactly
+//                                 like `idl_shell --server-sessions=N`: each
+//                                 pure query evaluates on all N sessions at
+//                                 once and the answers must be
+//                                 byte-identical; updates commit through the
+//                                 single-writer queue and the transcript
+//                                 records the epoch each commit published
+//                                 (docs/SERVER.md)
 
 #include <gtest/gtest.h>
 
@@ -183,6 +192,48 @@ std::string RunScript(const std::string& script, bool name_mappings,
   return out;
 }
 
+// Mirrors `idl_shell --server-sessions=N`: the same universe setup as
+// RunScript, but the statements run through an in-process Server with
+// `num_sessions` concurrent sessions (src/server/script_driver.h). The
+// driver itself asserts every query's N answers are byte-identical, and the
+// transcript records the epoch each commit published.
+std::string RunScriptViaServer(const std::string& script, bool name_mappings,
+                               const EvalOptions& materialize_options,
+                               size_t num_sessions) {
+  ServerOptions server_options;
+  server_options.materialize = materialize_options;
+  Server server(server_options);
+  std::string preamble;
+  const std::string spec = WorkloadSpecOf(script);
+  if (!spec.empty()) {
+    auto config = ParseWorkloadSpec(spec);
+    EXPECT_TRUE(config.ok()) << config.status().ToString();
+    DiscrepancyUniverse workload = GenerateDiscrepancyUniverse(*config);
+    preamble = StrCat("workload ", FormatWorkloadSpec(*config), "\n");
+    for (const auto& tenant : workload.tenants) {
+      preamble += StrCat("  tenant ", tenant.name, ": style=",
+                         DiscrepancyStyleName(tenant.style),
+                         tenant.mangled ? " (mangled names)" : "", "\n");
+      auto st = server.RegisterDatabase(tenant.name,
+                                        workload.BuildTenantDatabase(tenant));
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    preamble += "\n";
+    auto st = server.DefineRules(workload.UnificationRules());
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  } else {
+    PaperUniverse paper = MakePaperUniverse(name_mappings);
+    for (const auto& field : paper.universe.fields()) {
+      auto st = server.RegisterDatabase(field.name, field.value);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+  }
+  auto result = RunServerScript(&server, script, num_sessions);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return preamble;
+  return preamble + result->transcript;
+}
+
 TEST(GoldenCorpus, ScriptsMatchGoldens) {
   const fs::path scripts_dir = fs::path(IDL_REPO_DIR) / "examples/scripts";
   const fs::path golden_dir = fs::path(IDL_REPO_DIR) / "tests/golden";
@@ -206,17 +257,25 @@ TEST(GoldenCorpus, ScriptsMatchGoldens) {
           std::atoi(script.c_str() + at + sizeof("% max-passes:") - 1);
     }
 
+    const size_t server_sessions = ServerSessionsDirective(script);
+
     EvalOptions semi;  // defaults: kSemiNaive, auto parallelism, incremental
     semi.max_passes = max_passes;
     if (script.find("% maintenance: rematerialize") != std::string::npos) {
       semi.maintenance = MaintenanceMode::kRematerialize;
     }
-    std::string transcript = RunScript(script, name_mappings, semi);
+    std::string transcript =
+        server_sessions > 0
+            ? RunScriptViaServer(script, name_mappings, semi, server_sessions)
+            : RunScript(script, name_mappings, semi);
 
     EvalOptions naive;
     naive.strategy = EvalStrategy::kNaive;
     naive.max_passes = max_passes;
-    std::string oracle = RunScript(script, name_mappings, naive);
+    std::string oracle =
+        server_sessions > 0
+            ? RunScriptViaServer(script, name_mappings, naive, server_sessions)
+            : RunScript(script, name_mappings, naive);
     EXPECT_EQ(transcript, oracle)
         << "semi-naive and naive transcripts diverge";
 
@@ -227,9 +286,28 @@ TEST(GoldenCorpus, ScriptsMatchGoldens) {
     flipped.maintenance = semi.maintenance == MaintenanceMode::kIncremental
                               ? MaintenanceMode::kRematerialize
                               : MaintenanceMode::kIncremental;
-    std::string other = RunScript(script, name_mappings, flipped);
+    std::string other =
+        server_sessions > 0
+            ? RunScriptViaServer(script, name_mappings, flipped,
+                                 server_sessions)
+            : RunScript(script, name_mappings, flipped);
     EXPECT_EQ(transcript, other)
         << "incremental and rematerialize transcripts diverge";
+
+    // A server script additionally runs single-session: concurrency must not
+    // change any answer, so only the session count in the header/trailer
+    // lines may differ.
+    if (server_sessions > 1) {
+      std::string serial = RunScriptViaServer(script, name_mappings, semi, 1);
+      const std::string one = "server sessions=1";
+      const std::string many = StrCat("server sessions=", server_sessions);
+      for (size_t at = serial.find(one); at != std::string::npos;
+           at = serial.find(one, at + many.size())) {
+        serial.replace(at, one.size(), many);
+      }
+      EXPECT_EQ(transcript, serial)
+          << "N-session and 1-session server transcripts diverge";
+    }
 
     // `% trace:` scripts additionally run with tracing on — serially, so
     // the span tree is machine-independent — and must produce byte-identical

@@ -1,0 +1,211 @@
+// Concurrency stressors for the server (src/server/server.h), re-run under
+// TSan by the CI `stress` leg: many writers racing the bounded commit
+// queue, readers evaluating while other threads cancel them mid-flight,
+// and shutdown racing a full backlog. The assertions here are coarse
+// (serialized epoch ids, consistent final state, no lost or duplicated
+// commits); the byte-level isolation proof lives in
+// tests/server_differential_test.cc — this file exists to let the race
+// detector chew on the same paths.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/str_util.h"
+#include "idl/idl.h"
+
+namespace idl {
+namespace {
+
+void PopulatePaper(Server* server) {
+  PaperUniverse paper = MakePaperUniverse(/*name_mappings=*/false);
+  for (const auto& field : paper.universe.fields()) {
+    Status st = server->RegisterDatabase(field.name, field.value);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+TEST(ServerStress, ConcurrentCommitsSerializeWithoutLoss) {
+  ServerOptions options;
+  options.max_pending_commits = 4;  // small enough that rejections happen
+  Server server(options);
+  PopulatePaper(&server);
+  ASSERT_TRUE(server.PublishedEpoch().ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 12;
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Distinct (stkCode, clsPrice) pairs so every accepted commit adds
+        // exactly one new fact.
+        std::string request =
+            StrCat("?.euter.r+(.date=3/1/2001, .stkCode=s", w,
+                   ", .clsPrice=", 100 + i, ")");
+        auto committed = server.Commit(request);
+        if (committed.ok()) {
+          ++accepted;
+        } else if (committed.status().code() ==
+                   StatusCode::kResourceExhausted) {
+          ++rejected;
+        } else {
+          ++other;
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(accepted.load() + rejected.load(), kThreads * kPerThread);
+  EXPECT_GT(accepted.load(), 0);
+
+  // Every accepted commit published exactly one epoch past the initial one,
+  // and added exactly one distinct row.
+  auto epoch = server.PublishedEpoch();
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ((*epoch)->id, 1u + static_cast<uint64_t>(accepted.load()));
+  auto session = server.Connect();
+  ASSERT_TRUE(session.ok());
+  auto rows = session->Query("?.euter.r(.date=D, .stkCode=S, .clsPrice=P)");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows.size(), 12u + static_cast<size_t>(accepted.load()));
+}
+
+TEST(ServerStress, ReadersRaceCommitsOnPinnedEpochs) {
+  Server server;
+  PopulatePaper(&server);
+  auto writer = server.Connect();
+  ASSERT_TRUE(writer.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      auto session = server.Connect();
+      ASSERT_TRUE(session.ok());
+      while (!stop.load()) {
+        auto answer =
+            session->Query("?.euter.r(.date=D, .stkCode=S, .clsPrice=P)");
+        ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+        // A pinned epoch always answers with a complete relation: the row
+        // count is 12 + (number of commits included in this epoch), never
+        // a torn intermediate.
+        ASSERT_GE(answer->rows.size(), 12u);
+        ASSERT_TRUE(session->Refresh().ok());
+        ++reads;
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    auto committed = writer->Update(
+        StrCat("?.euter.r+(.date=6/", 1 + i, "/2002, .stkCode=zz, "
+               ".clsPrice=", i, ")"));
+    ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+  }
+  stop = true;
+  for (auto& t : readers) t.join();
+  EXPECT_GT(reads.load(), 0);
+}
+
+TEST(ServerStress, CancelRacesRunningQueries) {
+  Server server;
+  PopulatePaper(&server);
+  // A derived view makes reader queries expensive enough to span cancel
+  // windows.
+  ASSERT_TRUE(server
+                  .DefineRule(".dbI.p(.date=D, .stk=S, .clsPrice=P) <- "
+                              ".euter.r(.date=D, .stkCode=S, .clsPrice=P)")
+                  .ok());
+
+  for (int round = 0; round < 8; ++round) {
+    auto session = server.Connect();
+    ASSERT_TRUE(session.ok());
+    CancelHandle handle = session->cancel_handle();
+    std::atomic<bool> done{false};
+    std::thread canceller([&] {
+      while (!done.load()) handle.Cancel();
+    });
+    for (int i = 0; i < 16; ++i) {
+      auto answer = session->Query(
+          "?.dbI.p(.date=D, .stk=S, .clsPrice=P), .dbI.p!(.date=D, "
+          ".clsPrice>P)");
+      // Cancelled or complete — never torn, never crashed.
+      if (!answer.ok()) {
+        EXPECT_EQ(answer.status().code(), StatusCode::kCancelled)
+            << answer.status().ToString();
+      }
+      handle.Reset();
+    }
+    done = true;
+    canceller.join();
+  }
+}
+
+TEST(ServerStress, CancelledReaderNeverBlocksCommits) {
+  Server server;
+  PopulatePaper(&server);
+  auto reader = server.Connect();
+  auto writer = server.Connect();
+  ASSERT_TRUE(reader.ok() && writer.ok());
+  reader->cancel_handle().Cancel();  // every read from now on aborts
+  for (int i = 0; i < 10; ++i) {
+    auto committed = writer->Update(
+        StrCat("?.euter.r+(.date=7/", 1 + i, "/2003, .stkCode=qq, "
+               ".clsPrice=", i, ")"));
+    ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+    auto answer = reader->Query("?.euter.r(.date=D)");
+    ASSERT_FALSE(answer.ok());
+    EXPECT_EQ(answer.status().code(), StatusCode::kCancelled);
+  }
+  EXPECT_EQ(writer->epoch_id(), 11u);
+}
+
+TEST(ServerStress, ShutdownRacesPendingCommits) {
+  for (int round = 0; round < 4; ++round) {
+    ServerOptions options;
+    options.max_pending_commits = 16;
+    Server server(options);
+    PopulatePaper(&server);
+    ASSERT_TRUE(server.PublishedEpoch().ok());
+
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 4; ++w) {
+      writers.emplace_back([&, w] {
+        for (int i = 0; i < 8; ++i) {
+          auto committed = server.Commit(
+              StrCat("?.euter.r+(.date=", 1 + i, "/", 1 + w,
+                     "/2004, .stkCode=s", w, ", .clsPrice=", i, ")"));
+          if (committed.ok()) {
+            ++accepted;
+          } else {
+            // Raced shutdown (kFailedPrecondition) or a full queue
+            // (kResourceExhausted) — both are clean rejections.
+            StatusCode code = committed.status().code();
+            ASSERT_TRUE(code == StatusCode::kFailedPrecondition ||
+                        code == StatusCode::kResourceExhausted)
+                << committed.status().ToString();
+          }
+        }
+      });
+    }
+    server.Shutdown();  // drains everything admitted before the flip
+    for (auto& t : writers) t.join();
+
+    // Shutdown drained: every accepted commit is in the published epoch.
+    auto epoch = server.PublishedEpoch();
+    ASSERT_TRUE(epoch.ok());
+    EXPECT_EQ((*epoch)->id, 1u + static_cast<uint64_t>(accepted.load()));
+  }
+}
+
+}  // namespace
+}  // namespace idl

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
@@ -167,6 +168,124 @@ TEST(ThreadPool, DestructionAfterThrowingBatch) {
                    16, [&](size_t, size_t) { throw std::runtime_error("x"); }),
                std::runtime_error);
   pool.reset();  // must not hang or crash
+}
+
+// ---------------------------------------------------------------------------
+// BoundedExecutor: the submit-side executor behind the server's commit
+// queue. Submit never blocks — a full queue is an explicit
+// kResourceExhausted, which is the server's admission-control signal.
+
+TEST(BoundedExecutor, RunsSubmittedTasks) {
+  BoundedExecutor executor(2, 16);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(executor.Submit([&] { ++ran; }).ok());
+  }
+  executor.Shutdown();  // drains
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(BoundedExecutor, SingleWorkerPreservesSubmissionOrder) {
+  // The server relies on this: a one-worker executor is a serializing
+  // commit queue, so epochs publish in submission order.
+  BoundedExecutor executor(1, 64);
+  std::vector<int> order;
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(executor.Submit([&order, i] { order.push_back(i); }).ok());
+  }
+  executor.Shutdown();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(BoundedExecutor, FullQueueRejectsWithResourceExhausted) {
+  // One worker parked on a gate; the queue behind it has room for exactly
+  // two tasks, so the fourth submit must be rejected, not blocked.
+  BoundedExecutor executor(1, 2);
+  std::promise<void> gate;
+  std::shared_future<void> opened(gate.get_future());
+  ASSERT_TRUE(executor.Submit([opened] { opened.wait(); }).ok());
+  // The worker may not have dequeued the gate task yet; poll until the
+  // queue has drained it and then fill the two slots.
+  while (executor.queue_depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(executor.Submit([] {}).ok());
+  ASSERT_TRUE(executor.Submit([] {}).ok());
+  Status rejected = executor.Submit([] { FAIL() << "must never run"; });
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  gate.set_value();
+  executor.Shutdown();
+}
+
+TEST(BoundedExecutor, SubmitAfterShutdownFailsPrecondition) {
+  BoundedExecutor executor(1, 4);
+  executor.Shutdown();
+  Status st = executor.Submit([] {});
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BoundedExecutor, ShutdownUnderBacklogDrainsEveryTask) {
+  // Regression: shutdown while the queue is full must run every admitted
+  // task exactly once before returning — a commit accepted into the queue
+  // is never silently dropped by a draining shutdown.
+  BoundedExecutor executor(1, 64);
+  std::promise<void> gate;
+  std::shared_future<void> opened(gate.get_future());
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(executor.Submit([opened, &ran] {
+    opened.wait();
+    ++ran;
+  }).ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(executor.Submit([&ran] { ++ran; }).ok());
+  }
+  std::thread release([&gate] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    gate.set_value();
+  });
+  executor.Shutdown(/*drain=*/true);
+  release.join();
+  EXPECT_EQ(ran.load(), 41);
+  // Idempotent: a second shutdown (even with a different drain policy) is a
+  // no-op.
+  executor.Shutdown(/*drain=*/false);
+}
+
+TEST(BoundedExecutor, AbandoningShutdownDiscardsQueuedTasks) {
+  BoundedExecutor executor(1, 64);
+  std::promise<void> gate;
+  std::shared_future<void> opened(gate.get_future());
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(executor.Submit([opened, &ran] {
+    opened.wait();
+    ++ran;
+  }).ok());
+  while (executor.queue_depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(executor.Submit([&ran] { ++ran; }).ok());
+  }
+  gate.set_value();
+  executor.Shutdown(/*drain=*/false);
+  // The in-flight task finishes (shutdown joins), but the eight queued
+  // tasks may be discarded; none can run after Shutdown returns.
+  int after = ran.load();
+  EXPECT_GE(after, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(ran.load(), after);
+}
+
+TEST(BoundedExecutor, DestructorDrains) {
+  std::atomic<int> ran{0};
+  {
+    BoundedExecutor executor(2, 32);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(executor.Submit([&ran] { ++ran; }).ok());
+    }
+  }  // ~BoundedExecutor == Shutdown(drain=true)
+  EXPECT_EQ(ran.load(), 20);
 }
 
 }  // namespace

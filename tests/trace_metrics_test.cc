@@ -115,6 +115,10 @@ TEST(MetricsTest, GetOrCreateAndReset) {
   EXPECT_DOUBLE_EQ(h->sum(), 1.5);
   EXPECT_DOUBLE_EQ(h->min(), -1.0);
   EXPECT_DOUBLE_EQ(h->max(), 2.5);
+  // -1.0 lands in the underflow bucket; the p50 estimate is that bucket's
+  // upper bound clamped into the observed range [-1.0, 2.5].
+  EXPECT_DOUBLE_EQ(h->Percentile(0.50), 0.001);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.99), 2.5);
 
   // Reset zeroes values but keeps instruments: the pointers stay valid and
   // the names stay listed.
@@ -123,6 +127,7 @@ TEST(MetricsTest, GetOrCreateAndReset) {
   EXPECT_EQ(g->value(), 0);
   EXPECT_EQ(h->count(), 0u);
   EXPECT_EQ(h->min(), 0.0);
+  EXPECT_EQ(h->Percentile(0.99), 0.0);  // buckets cleared too
   EXPECT_EQ(registry.counter("test.counter"), c);
   EXPECT_NE(registry.Render().find("counter test.counter = 0"),
             std::string::npos);
