@@ -1,0 +1,202 @@
+// Durability-layer benchmarks (docs/DURABILITY.md, EXPERIMENTS.md D1):
+//
+//   * WalAppend        — raw record append throughput, fsync on vs off.
+//                        The gap between the two is the price of the
+//                        power-failure guarantee; the fsync-off number is
+//                        the process-crash guarantee alone.
+//   * WalReplay        — ReadWal validation + decode rate over a cold log,
+//                        i.e. the records/s ceiling of recovery's replay
+//                        phase before any session work happens.
+//   * ServerCommit     — end-to-end commit throughput of one session
+//                        streaming insert/delete pairs, across the three
+//                        durability modes: in-memory (the bench_server
+//                        baseline shape), WAL with fsync off, WAL with
+//                        fsync on. The acceptance gate compares mode 1 to
+//                        mode 0: apply -> append -> publish may not cost
+//                        more than 2x the in-memory path (CI asserts this
+//                        on the smoke run's report).
+//   * ServerRecover    — full Server::Recover wall time for a directory
+//                        holding one register record plus range(0) commit
+//                        records, no snapshot coverage (worst case: every
+//                        record replays). Feeds the recovery.wall_ms
+//                        histogram the sidecar exports.
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <memory>
+#include <filesystem>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/str_util.h"
+#include "idl/idl.h"
+
+namespace {
+
+using namespace idl;  // NOLINT
+
+namespace fs = std::filesystem;
+
+// Fresh temp directory, removed on scope exit.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/idl_bench_wal_XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+constexpr std::string_view kCommitBody =
+    "?.euter.r+(.date=6/1/2001, .stkCode=ww, .clsPrice=1)";
+
+// Raw append path: one writer streaming commit-sized records into a fresh
+// log. records/s is the WAL's contribution to the commit-throughput
+// ceiling; bytes/s is what the disk actually absorbs.
+void BM_WalAppend(benchmark::State& state) {
+  TempDir dir;
+  WalOptions options;
+  options.fsync = state.range(0) != 0;
+  auto wal = Wal::Create(dir.path() + "/wal.log", 1, options);
+  IDL_BENCH_CHECK(wal.ok());
+  size_t records = 0, bytes = 0;
+  for (auto _ : state) {
+    IDL_BENCH_CHECK(
+        (*wal)->Append(WalRecordType::kCommit, "", kCommitBody, records + 1)
+            .ok());
+    ++records;
+    bytes += kCommitBody.size();
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(records), benchmark::Counter::kIsRate);
+  state.counters["payload_bytes/s"] = benchmark::Counter(
+      static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WalAppend)
+    ->Arg(0)->Arg(1)  // fsync off / on
+    ->Unit(benchmark::kMicrosecond);
+
+// Cold-read validation rate: every iteration re-reads (and CRC-checks) a
+// log of range(0) records. This is the replay phase's input rate; the
+// session-side reapplication measured by ServerRecover sits on top.
+void BM_WalReplay(benchmark::State& state) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  const size_t num_records = static_cast<size_t>(state.range(0));
+  {
+    WalOptions options;
+    options.fsync = false;
+    auto wal = Wal::Create(path, 1, options);
+    IDL_BENCH_CHECK(wal.ok());
+    for (size_t i = 0; i < num_records; ++i) {
+      IDL_BENCH_CHECK(
+          (*wal)->Append(WalRecordType::kCommit, "", kCommitBody, i + 1).ok());
+    }
+  }
+  size_t records = 0;
+  for (auto _ : state) {
+    auto read = ReadWal(path, /*repair_torn_tail=*/false);
+    IDL_BENCH_CHECK(read.ok());
+    IDL_BENCH_CHECK(read->records.size() == num_records);
+    records += read->records.size();
+    benchmark::DoNotOptimize(read->next_lsn);
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(records), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WalReplay)
+    ->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+// End-to-end commit throughput by durability mode. Mode 0 reproduces
+// bench_server's BM_ServerCommitThroughput shape (bare relation, no rule)
+// so the three numbers differ only in what happens between apply and
+// publish: nothing / append / append+fsync.
+void BM_ServerCommit(benchmark::State& state) {
+  TempDir dir;
+  const int mode = static_cast<int>(state.range(0));
+  ServerOptions options;
+  if (mode > 0) {
+    options.durability.dir = dir.path();
+    options.durability.fsync = mode == 2;
+    // Keep checkpoints out of the measured loop: the periodic snapshot is
+    // amortized cost with its own knob, not part of the per-commit path.
+    options.durability.checkpoint_every = 1u << 30;
+  }
+  std::unique_ptr<Server> server;
+  if (mode > 0) {
+    auto opened = Server::Open(options, nullptr);
+    IDL_BENCH_CHECK(opened.ok());
+    server = std::move(opened).value();
+  } else {
+    server = std::make_unique<Server>(options);
+  }
+  IDL_BENCH_CHECK(
+      server->RegisterDatabase("euter", *ParseValue("(r: {})")).ok());
+  auto session = server->Connect();
+  IDL_BENCH_CHECK(session.ok());
+  size_t commits = 0;
+  for (auto _ : state) {
+    IDL_BENCH_CHECK(session->Update(kCommitBody).ok());
+    IDL_BENCH_CHECK(
+        session->Update("?.euter.r-(.date=6/1/2001, .stkCode=ww)").ok());
+    commits += 2;
+  }
+  state.counters["commits/s"] = benchmark::Counter(
+      static_cast<double>(commits), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServerCommit)
+    ->Arg(0)   // in-memory baseline
+    ->Arg(1)   // WAL, fsync off
+    ->Arg(2)   // WAL, fsync on
+    ->Unit(benchmark::kMicrosecond);
+
+// Full recovery: Server::Recover over a directory whose log holds one
+// database registration plus range(0) distinct-row commits and no snapshot
+// (checkpointing disabled while writing), so every record replays through
+// the session commit path. records/s here is the end-to-end replay rate —
+// the number EXPERIMENTS.md D1 reports against the WalReplay ceiling.
+void BM_ServerRecover(benchmark::State& state) {
+  TempDir dir;
+  const size_t num_commits = static_cast<size_t>(state.range(0));
+  ServerOptions options;
+  options.durability.dir = dir.path();
+  options.durability.fsync = false;
+  options.durability.checkpoint_every = 1u << 30;
+  {
+    auto server = Server::Open(options, nullptr);
+    IDL_BENCH_CHECK(server.ok());
+    IDL_BENCH_CHECK(
+        (*server)->RegisterDatabase("db", *ParseValue("(r: {})")).ok());
+    auto session = (*server)->Connect();
+    IDL_BENCH_CHECK(session.ok());
+    for (size_t i = 0; i < num_commits; ++i) {
+      IDL_BENCH_CHECK(
+          session->Update(StrCat("?.db.r+(.k=k", i, ", .v=", i, ")")).ok());
+    }
+  }
+  size_t replayed = 0;
+  for (auto _ : state) {
+    RecoveryReport report;
+    auto recovered = Server::Recover(options, &report);
+    IDL_BENCH_CHECK(recovered.ok());
+    IDL_BENCH_CHECK(report.replayed_records == num_commits + 1);
+    replayed += report.replayed_records;
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(replayed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServerRecover)
+    ->Arg(100)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+IDL_BENCH_MAIN()

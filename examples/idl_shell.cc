@@ -233,6 +233,17 @@ argument a built-in demo runs; '-' reads from stdin.
                         write queue. A script's '% server-sessions: N'
                         directive applies when this flag is not given.
                         Incompatible with --site-latency-ms and --trace
+  --wal-dir=DIR         run the script against a durable server
+                        (docs/DURABILITY.md): every commit is written to a
+                        checksummed write-ahead log in DIR before its epoch
+                        publishes, with periodic snapshot checkpoints; state
+                        already in DIR is recovered first (rerun the same
+                        script to see it). Scripts can stage a mid-script
+                        kill with '% crash-at: <point>' and
+                        '% crash-after: N' — the shell then recovers from
+                        DIR and continues, and the transcript records what
+                        replay found. Incompatible with --site-latency-ms,
+                        --trace and --server-sessions
   --help                show this message
 
 The budget flags arm the resource governor (docs/GOVERNOR.md): a statement
@@ -250,6 +261,7 @@ int main(int argc, char** argv) {
   int site_latency_ms = 0;
   int server_sessions = 0;
   bool server_flag_given = false;
+  std::string wal_dir;
   std::string workload_spec;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -267,6 +279,7 @@ int main(int argc, char** argv) {
           arg.rfind("--max-derivations=", 0) == 0 ||
           arg.rfind("--workload=", 0) == 0 ||
           arg.rfind("--server-sessions=", 0) == 0 ||
+          arg.rfind("--wal-dir=", 0) == 0 ||
           arg == "--trace" || arg.rfind("--trace=", 0) == 0;
       if (!known) {
         std::printf("unknown flag %s\n\n%s", arg.c_str(), kUsage);
@@ -348,6 +361,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       server_flag_given = true;
+    } else if (arg.rfind("--wal-dir=", 0) == 0) {
+      wal_dir = arg.substr(std::string("--wal-dir=").size());
+      if (wal_dir.empty()) {
+        std::printf("--wal-dir needs a directory\n");
+        return 1;
+      }
     } else if (arg == "--trace" || arg == "--trace=text") {
       trace_mode = TraceMode::kText;
       trace_flag_given = true;
@@ -392,6 +411,54 @@ int main(int argc, char** argv) {
                                                ? std::string::npos
                                                : end - start);
     }
+  }
+
+  if (!wal_dir.empty()) {
+    // Durable scripted server (docs/DURABILITY.md): commits go through a
+    // write-ahead log in wal_dir, state already there is recovered first,
+    // and the `% crash-at:`/`% crash-after:` directives simulate a kill
+    // mid-script followed by recovery.
+    if (site_latency_ms > 0 || trace_flag_given || server_flag_given) {
+      std::printf(
+          "--wal-dir is incompatible with --site-latency-ms, --trace and "
+          "--server-sessions\n");
+      return 1;
+    }
+    ApplyScriptDirectives(script, &request_options, &eval_options,
+                          maintenance_flag_given);
+    auto spec = idl::ParseDurableScriptSpec(script);
+    if (!spec.ok()) {
+      std::printf("bad wal directive: %s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    spec->materialize = eval_options;
+    std::vector<std::pair<std::string, idl::Value>> seeds;
+    if (!workload_spec.empty()) {
+      auto config = idl::ParseWorkloadSpec(workload_spec);
+      if (!config.ok()) {
+        std::printf("bad --workload spec: %s\n",
+                    config.status().ToString().c_str());
+        return 1;
+      }
+      idl::DiscrepancyUniverse workload =
+          idl::GenerateDiscrepancyUniverse(*config);
+      for (const auto& tenant : workload.tenants) {
+        seeds.emplace_back(tenant.name, workload.BuildTenantDatabase(tenant));
+      }
+    } else {
+      idl::PaperUniverse paper = idl::MakePaperUniverse();
+      for (const auto& field : paper.universe.fields()) {
+        seeds.emplace_back(field.name, field.value);
+      }
+    }
+    auto result =
+        idl::RunDurableScript(wal_dir, script, *spec, seeds, request_options);
+    if (!result.ok()) {
+      std::printf("wal error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", result->transcript.c_str());
+    return result->failed ? 1 : 0;
   }
 
   if (!server_flag_given) {

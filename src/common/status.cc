@@ -36,6 +36,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "cancelled";
     case StatusCode::kResourceExhausted:
       return "resource exhausted";
+    case StatusCode::kDataLoss:
+      return "data loss";
   }
   return "unknown";
 }
@@ -117,6 +119,16 @@ Status Cancelled(std::string message) {
 }
 Status ResourceExhausted(std::string message) {
   return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status DataLoss(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
+}
+
+std::string FileOffsetContext(std::string_view filename, uint64_t offset) {
+  std::string out(filename);
+  out += ':';
+  out += std::to_string(offset);
+  return out;
 }
 
 }  // namespace idl

@@ -31,6 +31,9 @@ enum class StatusCode {
   kDeadlineExceeded,  // request exceeded its deadline (retriable)
   kCancelled,         // request cancelled cooperatively (not retriable)
   kResourceExhausted, // a resource-governor budget was hit (not retriable)
+  kDataLoss,          // durable state failed validation (checksum mismatch,
+                      // unreadable snapshot) — never retriable, and never
+                      // masked: recovery halts rather than serve bad data
 };
 
 // Returns the canonical lower-case name for `code` (e.g. "parse error").
@@ -92,6 +95,14 @@ Status DeadlineExceeded(std::string message);
 // kUnavailable and kDeadlineExceeded).
 Status Cancelled(std::string message);
 Status ResourceExhausted(std::string message);
+Status DataLoss(std::string message);
+
+// The context prefix for a failure at a byte position of a durable file:
+// "<filename>:<offset>". Chained onto an I/O or validation status it yields
+// messages like "wal.log:1042: checksum mismatch" — the positioned form
+// every durability-layer error carries (format locked by
+// tests/durability_test.cc).
+std::string FileOffsetContext(std::string_view filename, uint64_t offset);
 
 // Propagates a non-OK status to the caller.
 #define IDL_RETURN_IF_ERROR(expr)                  \

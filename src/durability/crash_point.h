@@ -1,0 +1,64 @@
+// Crash-point injection for the durability layer.
+//
+// Every I/O step of the WAL and the snapshot writer consults an optional
+// hook before proceeding. When the hook returns true the layer simulates a
+// process death at exactly that step: it leaves the files in the state a
+// real kill would (nothing written, a torn record prefix, an un-renamed
+// snapshot temp file, an un-truncated log, ...), marks itself dead so every
+// later operation fails, and unwinds with kUnavailable carrying the point
+// name. The crash-injection differential suite
+// (tests/durability_crash_test.cc) drives schema-evolution traces, kills at
+// every point in turn, recovers from the on-disk state, and asserts the
+// recovered server is Value-identical to an uncrashed shadow session — the
+// durability counterpart of PR 3's governor interrupt harness.
+//
+// Production code never installs a hook; the null check is the entire cost.
+
+#ifndef IDL_DURABILITY_CRASH_POINT_H_
+#define IDL_DURABILITY_CRASH_POINT_H_
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+namespace idl {
+
+enum class CrashPoint {
+  // WAL append steps, in order.
+  kBeforeAppend,          // nothing of the record written
+  kMidAppend,             // a strict byte prefix written: the torn tail
+  kAfterAppend,           // record bytes complete, fsync not yet issued
+  kMidFsync,              // inside the fsync (bytes are in the file)
+  kAfterFsync,            // append fully durable
+  // Snapshot checkpoint steps, in order.
+  kBeforeCheckpoint,      // nothing of the snapshot written
+  kMidCheckpointWrite,    // a byte prefix of the temp file written
+  kAfterCheckpointWrite,  // temp file complete + fsynced, not renamed
+  kAfterCheckpointRename, // snapshot live, WAL not yet reset
+  kAfterWalReset,         // fresh WAL installed, old snapshots not pruned
+};
+
+// "before-append", "mid-append", ... (the token carried in the injected
+// kUnavailable message: "crash injected at mid-append").
+const char* CrashPointName(CrashPoint point);
+
+// Every point, in the order declared above (the crash harness sweeps it).
+const std::vector<CrashPoint>& AllCrashPoints();
+
+// Inverse of CrashPointName ("mid-append" -> kMidAppend); false on unknown
+// names (the `% crash-at:` script directive rejects typos through this).
+bool ParseCrashPointName(std::string_view name, CrashPoint* point);
+
+// True when a crash at `point` leaves the record (or checkpoint trigger)
+// that was in flight fully readable on disk: recovery will replay it even
+// though the caller saw an error. The differential harness uses this to
+// pick which shadow prefix the recovered state must equal.
+bool CrashPointRecordDurable(CrashPoint point);
+
+// Returns true to inject a crash at this point. Called on the single writer
+// thread only.
+using CrashHook = std::function<bool(CrashPoint)>;
+
+}  // namespace idl
+
+#endif  // IDL_DURABILITY_CRASH_POINT_H_

@@ -1,0 +1,342 @@
+#include "durability/snapshot.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "durability/crc32.h"
+
+namespace idl {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'D', 'L', 'S', 'N', 'A', 'P', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kFileHeaderSize = 8 + 4 + 4;  // magic, version, payload_len
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutStr(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+std::string_view BaseName(std::string_view path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+// Sequential reader over the validated payload; every getter bounds-checks
+// and reports the absolute file offset of the failure.
+class PayloadReader {
+ public:
+  PayloadReader(std::string_view payload, std::string file)
+      : payload_(payload), file_(std::move(file)) {}
+
+  Status GetU32(uint32_t* v) {
+    IDL_RETURN_IF_ERROR(Need(4));
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<unsigned char>(payload_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return Status::Ok();
+  }
+
+  Status GetU64(uint64_t* v) {
+    IDL_RETURN_IF_ERROR(Need(8));
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<unsigned char>(payload_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return Status::Ok();
+  }
+
+  Status GetStr(std::string* s) {
+    uint32_t len = 0;
+    IDL_RETURN_IF_ERROR(GetU32(&len));
+    IDL_RETURN_IF_ERROR(Need(len));
+    *s = std::string(payload_.substr(pos_, len));
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  Status AtEnd() const {
+    if (pos_ != payload_.size()) {
+      return DataLoss(StrCat(FileOffsetContext(file_, kFileHeaderSize + pos_),
+                             ": trailing bytes after snapshot payload"));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Need(size_t n) const {
+    if (payload_.size() - pos_ < n) {
+      return DataLoss(StrCat(FileOffsetContext(file_, kFileHeaderSize + pos_),
+                             ": snapshot payload truncated"));
+    }
+    return Status::Ok();
+  }
+
+  std::string_view payload_;
+  std::string file_;
+  size_t pos_ = 0;
+};
+
+std::string EncodeSnapshot(const SnapshotData& data) {
+  std::string payload;
+  PutU64(&payload, data.last_lsn);
+  PutU64(&payload, data.next_epoch_id);
+  PutU32(&payload, static_cast<uint32_t>(data.databases.size()));
+  for (const auto& [name, literal] : data.databases) {
+    PutStr(&payload, name);
+    PutStr(&payload, literal);
+  }
+  PutU32(&payload, static_cast<uint32_t>(data.rules.size()));
+  for (const std::string& rule : data.rules) PutStr(&payload, rule);
+  PutU32(&payload, static_cast<uint32_t>(data.programs.size()));
+  for (const std::string& program : data.programs) PutStr(&payload, program);
+
+  std::string out(kMagic, sizeof(kMagic));
+  PutU32(&out, kVersion);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out += payload;
+  PutU32(&out, Crc32(payload));
+  return out;
+}
+
+// Deletes every snapshot file in `dir` older than `keep_lsn`, plus stale
+// temp files from interrupted checkpoints. Best-effort: pruning failures
+// cost disk space, not correctness.
+void PruneSnapshots(const std::string& dir, uint64_t keep_lsn) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> doomed;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string_view name = entry->d_name;
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
+      doomed.emplace_back(name);
+      continue;
+    }
+    uint64_t lsn = 0;
+    if (ParseSnapshotFileName(name, &lsn) && lsn < keep_lsn) {
+      doomed.emplace_back(name);
+    }
+  }
+  ::closedir(d);
+  for (const std::string& name : doomed) {
+    ::unlink(StrCat(dir, "/", name).c_str());
+  }
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t last_lsn) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "snap.%012llu.idls",
+                static_cast<unsigned long long>(last_lsn));
+  return buf;
+}
+
+bool ParseSnapshotFileName(std::string_view name, uint64_t* lsn) {
+  if (name.size() != 22 || name.substr(0, 5) != "snap." ||
+      name.substr(17) != ".idls") {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char c : name.substr(5, 12)) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *lsn = v;
+  return true;
+}
+
+Status WriteSnapshot(const std::string& dir, const SnapshotData& data,
+                     const WalOptions& options) {
+  auto crash = [&](CrashPoint point) -> Status {
+    if (options.crash_hook && options.crash_hook(point)) {
+      return Unavailable(StrCat("crash injected at ", CrashPointName(point)));
+    }
+    return Status::Ok();
+  };
+
+  IDL_RETURN_IF_ERROR(crash(CrashPoint::kBeforeCheckpoint));
+
+  const std::string bytes = EncodeSnapshot(data);
+  const std::string final_name = SnapshotFileName(data.last_lsn);
+  const std::string tmp_path = StrCat(dir, "/", final_name, ".tmp");
+  const std::string final_path = StrCat(dir, "/", final_name);
+
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Internal(StrCat("open for write failed: ", std::strerror(errno)))
+        .WithContext(std::string(BaseName(tmp_path)));
+  }
+  auto write_all = [&](std::string_view chunk) -> Status {
+    size_t done = 0;
+    while (done < chunk.size()) {
+      ssize_t n = ::write(fd, chunk.data() + done, chunk.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Internal(StrCat("write failed: ", std::strerror(errno)))
+            .WithContext(std::string(BaseName(tmp_path)));
+      }
+      done += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  };
+
+  if (options.crash_hook &&
+      options.crash_hook(CrashPoint::kMidCheckpointWrite)) {
+    // A real kill mid-checkpoint leaves a partial temp file and nothing
+    // else; recovery ignores (and deletes) it.
+    Status written = write_all(std::string_view(bytes).substr(0, bytes.size() / 2));
+    ::close(fd);
+    if (!written.ok()) return written;
+    return Unavailable(StrCat("crash injected at ",
+                              CrashPointName(CrashPoint::kMidCheckpointWrite)));
+  }
+  Status written = write_all(bytes);
+  if (!written.ok()) {
+    ::close(fd);
+    return written;
+  }
+  if (options.fsync && ::fsync(fd) != 0) {
+    Status st = Internal(StrCat("fsync failed: ", std::strerror(errno)))
+                    .WithContext(std::string(BaseName(tmp_path)));
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  IDL_RETURN_IF_ERROR(crash(CrashPoint::kAfterCheckpointWrite));
+
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Internal(StrCat("rename failed: ", std::strerror(errno)))
+        .WithContext(std::string(BaseName(final_path)));
+  }
+  IDL_RETURN_IF_ERROR(crash(CrashPoint::kAfterCheckpointRename));
+
+  PruneSnapshots(dir, data.last_lsn);
+  return Status::Ok();
+}
+
+Result<SnapshotData> ReadSnapshot(const std::string& path) {
+  const std::string file(BaseName(path));
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return NotFound(StrCat(file, ": cannot open"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string data = buffer.str();
+
+  if (data.size() < kFileHeaderSize) {
+    return DataLoss(
+        StrCat(FileOffsetContext(file, 0), ": truncated snapshot header (",
+               data.size(), " bytes, need ", kFileHeaderSize, ")"));
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return DataLoss(StrCat(FileOffsetContext(file, 0), ": bad magic"));
+  }
+  uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<uint32_t>(static_cast<unsigned char>(data[8 + i]))
+               << (8 * i);
+  }
+  if (version != kVersion) {
+    return DataLoss(
+        StrCat(FileOffsetContext(file, 8), ": unsupported version ", version));
+  }
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |=
+        static_cast<uint32_t>(static_cast<unsigned char>(data[12 + i]))
+        << (8 * i);
+  }
+  // A renamed snapshot was complete when it went live (tmp + fsync +
+  // rename), so a short or checksum-failing file is corruption, not a torn
+  // write — no torn-tail tolerance here.
+  if (data.size() != kFileHeaderSize + static_cast<size_t>(payload_len) + 4) {
+    return DataLoss(StrCat(FileOffsetContext(file, 12),
+                           ": payload length ", payload_len, " vs ",
+                           data.size() - kFileHeaderSize - 4, " on disk"));
+  }
+  std::string_view payload =
+      std::string_view(data).substr(kFileHeaderSize, payload_len);
+  uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<uint32_t>(static_cast<unsigned char>(
+               data[kFileHeaderSize + payload_len + i]))
+           << (8 * i);
+  }
+  if (crc != Crc32(payload)) {
+    return DataLoss(StrCat(FileOffsetContext(file, kFileHeaderSize + payload_len),
+                           ": checksum mismatch"));
+  }
+
+  SnapshotData out;
+  PayloadReader reader(payload, file);
+  IDL_RETURN_IF_ERROR(reader.GetU64(&out.last_lsn));
+  IDL_RETURN_IF_ERROR(reader.GetU64(&out.next_epoch_id));
+  uint32_t count = 0;
+  IDL_RETURN_IF_ERROR(reader.GetU32(&count));
+  out.databases.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name, literal;
+    IDL_RETURN_IF_ERROR(reader.GetStr(&name));
+    IDL_RETURN_IF_ERROR(reader.GetStr(&literal));
+    out.databases.emplace_back(std::move(name), std::move(literal));
+  }
+  IDL_RETURN_IF_ERROR(reader.GetU32(&count));
+  out.rules.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    IDL_RETURN_IF_ERROR(reader.GetStr(&out.rules.emplace_back()));
+  }
+  IDL_RETURN_IF_ERROR(reader.GetU32(&count));
+  out.programs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    IDL_RETURN_IF_ERROR(reader.GetStr(&out.programs.emplace_back()));
+  }
+  IDL_RETURN_IF_ERROR(reader.AtEnd());
+  return out;
+}
+
+Result<LatestSnapshot> FindLatestSnapshot(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return NotFound(
+        StrCat("cannot open durability directory: ", std::strerror(errno)))
+        .WithContext(dir);
+  }
+  LatestSnapshot best;
+  while (struct dirent* entry = ::readdir(d)) {
+    uint64_t lsn = 0;
+    if (!ParseSnapshotFileName(entry->d_name, &lsn)) continue;
+    if (best.path.empty() || lsn > best.lsn) {
+      best.lsn = lsn;
+      best.path = StrCat(dir, "/", entry->d_name);
+    }
+  }
+  ::closedir(d);
+  return best;
+}
+
+}  // namespace idl

@@ -1,0 +1,77 @@
+// Snapshot checkpoints: the WAL's truncation points.
+//
+// A snapshot is one self-contained file holding everything the server needs
+// to rebuild its session without the log: the registered base databases
+// (each serialized through value_io — the same round-trip ExportDatabase
+// rests on), the rule and program texts in definition order, the LSN of the
+// last WAL record the snapshot covers, and the next epoch id. Recovery
+// loads the newest snapshot, replays only WAL records with a later LSN, and
+// rematerializes the views from the rules (derived state is never
+// persisted — it is a pure function of base + rules, docs/DURABILITY.md).
+//
+// On-disk format: "IDLSNAP1" magic | u32 version | u32 payload_len
+// | payload | u32 crc(payload), with the payload a length-prefixed
+// section list (all integers little-endian):
+//
+//   u64 last_lsn | u64 next_epoch_id
+//   u32 n_databases | n * (str name, str value_literal)
+//   u32 n_rules     | n * str
+//   u32 n_programs  | n * str            (str = u32 length + bytes)
+//
+// Written crash-safe: the payload goes to `<name>.tmp`, is fsynced, and is
+// renamed to `snap.<lsn, 12 digits>.idls` — a reader never sees a partial
+// snapshot under the final name, so a complete snapshot with a bad CRC is
+// corruption (kDataLoss, positioned), never a torn write. Temp files are
+// skipped (and cleaned) at recovery; older snapshots are pruned after a new
+// one lands.
+
+#ifndef IDL_DURABILITY_SNAPSHOT_H_
+#define IDL_DURABILITY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "durability/crash_point.h"
+#include "durability/wal.h"
+
+namespace idl {
+
+struct SnapshotData {
+  uint64_t last_lsn = 0;       // WAL records with lsn <= this are covered
+  uint64_t next_epoch_id = 1;  // epoch numbering resumes here
+  // (name, value_io literal) per registered database, registration order.
+  std::vector<std::pair<std::string, std::string>> databases;
+  std::vector<std::string> rules;     // definition order
+  std::vector<std::string> programs;  // definition order
+};
+
+// "snap.000000000042.idls" for lsn 42.
+std::string SnapshotFileName(uint64_t last_lsn);
+
+// Inverse of SnapshotFileName; false for temp files and foreign names.
+bool ParseSnapshotFileName(std::string_view name, uint64_t* lsn);
+
+// Writes `data` into `dir` crash-safely (tmp + fsync + rename), consulting
+// the crash hook at each step, and prunes older snapshot files on success.
+Status WriteSnapshot(const std::string& dir, const SnapshotData& data,
+                     const WalOptions& options);
+
+// Parses and validates one snapshot file. kDataLoss (positioned) on any
+// checksum or structural mismatch.
+Result<SnapshotData> ReadSnapshot(const std::string& path);
+
+// The newest snapshot in `dir` by filename LSN: (path, lsn), or lsn 0 with
+// an empty path when none exists. Ignores temp files and foreign names.
+struct LatestSnapshot {
+  std::string path;  // empty when none
+  uint64_t lsn = 0;
+};
+Result<LatestSnapshot> FindLatestSnapshot(const std::string& dir);
+
+}  // namespace idl
+
+#endif  // IDL_DURABILITY_SNAPSHOT_H_

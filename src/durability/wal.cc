@@ -1,0 +1,440 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/str_util.h"
+#include "durability/crc32.h"
+
+namespace idl {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'D', 'L', 'W', 'A', 'L', '1', '\n'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kFileHeaderSize = 8 + 4 + 4;   // magic, version, crc
+constexpr size_t kRecordHeaderSize = 8 + 8 + 1 + 4 + 4;  // ..., header_crc
+constexpr size_t kCrcSize = 4;
+
+struct WalMetrics {
+  Counter* appends;
+  Counter* bytes;
+};
+
+// Registered lazily on first WAL use so in-memory-only runs (and their
+// golden metric snapshots) never list the wal.* instruments.
+const WalMetrics& Metrics() {
+  static const WalMetrics m = {
+      MetricsRegistry::Global().counter("wal.appends"),
+      MetricsRegistry::Global().counter("wal.bytes"),
+  };
+  return m;
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(std::string_view in, size_t at) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(in[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(std::string_view in, size_t at) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::string FileHeaderBytes() {
+  std::string out(kMagic, sizeof(kMagic));
+  PutU32(&out, kVersion);
+  PutU32(&out, Crc32(out));
+  return out;
+}
+
+// "wal.log" from "/some/dir/wal.log" — positioned errors carry the file
+// name, not the caller's directory layout.
+std::string_view BaseName(std::string_view path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+// One record's on-disk bytes.
+std::string EncodeRecord(const WalRecord& record) {
+  std::string payload;
+  PutU32(&payload, static_cast<uint32_t>(record.name.size()));
+  payload += record.name;
+  payload += record.body;
+
+  std::string out;
+  PutU64(&out, record.lsn);
+  PutU64(&out, record.epoch);
+  out.push_back(static_cast<char>(record.type));
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, Crc32(out));  // header crc over the 21 bytes so far
+  out += payload;
+  PutU32(&out, Crc32(payload));
+  return out;
+}
+
+}  // namespace
+
+const char* WalRecordTypeName(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kCommit:
+      return "commit";
+    case WalRecordType::kDefineRule:
+      return "define-rule";
+    case WalRecordType::kRegisterDatabase:
+      return "register-database";
+    case WalRecordType::kDefineProgram:
+      return "define-program";
+  }
+  return "unknown";
+}
+
+const char* CrashPointName(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kBeforeAppend:
+      return "before-append";
+    case CrashPoint::kMidAppend:
+      return "mid-append";
+    case CrashPoint::kAfterAppend:
+      return "after-append";
+    case CrashPoint::kMidFsync:
+      return "mid-fsync";
+    case CrashPoint::kAfterFsync:
+      return "after-fsync";
+    case CrashPoint::kBeforeCheckpoint:
+      return "before-checkpoint";
+    case CrashPoint::kMidCheckpointWrite:
+      return "mid-checkpoint-write";
+    case CrashPoint::kAfterCheckpointWrite:
+      return "after-checkpoint-write";
+    case CrashPoint::kAfterCheckpointRename:
+      return "after-checkpoint-rename";
+    case CrashPoint::kAfterWalReset:
+      return "after-wal-reset";
+  }
+  return "unknown";
+}
+
+const std::vector<CrashPoint>& AllCrashPoints() {
+  static const std::vector<CrashPoint> kAll = {
+      CrashPoint::kBeforeAppend,          CrashPoint::kMidAppend,
+      CrashPoint::kAfterAppend,           CrashPoint::kMidFsync,
+      CrashPoint::kAfterFsync,            CrashPoint::kBeforeCheckpoint,
+      CrashPoint::kMidCheckpointWrite,    CrashPoint::kAfterCheckpointWrite,
+      CrashPoint::kAfterCheckpointRename, CrashPoint::kAfterWalReset,
+  };
+  return kAll;
+}
+
+bool ParseCrashPointName(std::string_view name, CrashPoint* point) {
+  for (CrashPoint p : AllCrashPoints()) {
+    if (name == CrashPointName(p)) {
+      *point = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CrashPointRecordDurable(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kBeforeAppend:
+    case CrashPoint::kMidAppend:
+      return false;
+    // From kAfterAppend on, the record's bytes are complete in the file (a
+    // simulated kill loses only process memory, not written bytes), and the
+    // checkpoint points all fire after the triggering record's append.
+    case CrashPoint::kAfterAppend:
+    case CrashPoint::kMidFsync:
+    case CrashPoint::kAfterFsync:
+    case CrashPoint::kBeforeCheckpoint:
+    case CrashPoint::kMidCheckpointWrite:
+    case CrashPoint::kAfterCheckpointWrite:
+    case CrashPoint::kAfterCheckpointRename:
+    case CrashPoint::kAfterWalReset:
+      return true;
+  }
+  return true;
+}
+
+Wal::Wal(std::string path, int fd, uint64_t next_lsn,
+         const WalOptions& options)
+    : path_(std::move(path)),
+      fd_(fd),
+      next_lsn_(next_lsn),
+      options_(options) {}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<Wal>> Wal::Create(const std::string& path,
+                                         uint64_t next_lsn,
+                                         const WalOptions& options) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Internal(StrCat("open for write failed: ", std::strerror(errno)))
+        .WithContext(std::string(BaseName(path)));
+  }
+  auto wal =
+      std::unique_ptr<Wal>(new Wal(path, fd, next_lsn, options));
+  IDL_RETURN_IF_ERROR(wal->WriteAll(FileHeaderBytes()));
+  IDL_RETURN_IF_ERROR(wal->Sync());
+  return wal;
+}
+
+Result<std::unique_ptr<Wal>> Wal::OpenForAppend(const std::string& path,
+                                                uint64_t next_lsn,
+                                                const WalOptions& options) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    return Internal(StrCat("open for append failed: ", std::strerror(errno)))
+        .WithContext(std::string(BaseName(path)));
+  }
+  return std::unique_ptr<Wal>(new Wal(path, fd, next_lsn, options));
+}
+
+Status Wal::Poison(Status status) {
+  poison_ = status;
+  return status;
+}
+
+Status Wal::Crash(CrashPoint point) {
+  if (options_.crash_hook && options_.crash_hook(point)) {
+    return Poison(
+        Unavailable(StrCat("crash injected at ", CrashPointName(point))));
+  }
+  return Status::Ok();
+}
+
+Status Wal::WriteAll(std::string_view bytes) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Poison(
+          Internal(StrCat("write failed: ", std::strerror(errno)))
+              .WithContext(std::string(BaseName(path_))));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status Wal::Sync() {
+  if (!options_.fsync) return Status::Ok();
+  if (::fsync(fd_) != 0) {
+    return Poison(Internal(StrCat("fsync failed: ", std::strerror(errno)))
+                      .WithContext(std::string(BaseName(path_))));
+  }
+  return Status::Ok();
+}
+
+Status Wal::Append(WalRecordType type, std::string_view name,
+                   std::string_view body, uint64_t epoch) {
+  if (!poison_.ok()) {
+    return poison_.WithContext("wal is dead");
+  }
+  WalRecord record;
+  record.lsn = next_lsn_;
+  record.epoch = epoch;
+  record.type = type;
+  record.name = std::string(name);
+  record.body = std::string(body);
+  std::string bytes = EncodeRecord(record);
+
+  IDL_RETURN_IF_ERROR(Crash(CrashPoint::kBeforeAppend));
+  if (options_.crash_hook && options_.crash_hook(CrashPoint::kMidAppend)) {
+    // The torn write a real kill produces: a strict prefix of the record
+    // (header plus half the payload) reaches the file, then the process
+    // dies. Recovery must truncate exactly this back off.
+    size_t torn = kRecordHeaderSize + (bytes.size() - kRecordHeaderSize) / 2;
+    Status written = WriteAll(std::string_view(bytes).substr(0, torn));
+    Status crash = Poison(Unavailable(
+        StrCat("crash injected at ", CrashPointName(CrashPoint::kMidAppend))));
+    return written.ok() ? crash : written;
+  }
+  IDL_RETURN_IF_ERROR(WriteAll(bytes));
+  IDL_RETURN_IF_ERROR(Crash(CrashPoint::kAfterAppend));
+  IDL_RETURN_IF_ERROR(Crash(CrashPoint::kMidFsync));
+  IDL_RETURN_IF_ERROR(Sync());
+  IDL_RETURN_IF_ERROR(Crash(CrashPoint::kAfterFsync));
+  ++next_lsn_;
+  Metrics().appends->Increment();
+  Metrics().bytes->Increment(bytes.size());
+  return Status::Ok();
+}
+
+Status Wal::Reset() {
+  if (!poison_.ok()) {
+    return poison_.WithContext("wal is dead");
+  }
+  const std::string tmp = path_ + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Poison(
+        Internal(StrCat("open for write failed: ", std::strerror(errno)))
+            .WithContext(std::string(BaseName(tmp))));
+  }
+  std::string header = FileHeaderBytes();
+  size_t done = 0;
+  while (done < header.size()) {
+    ssize_t n = ::write(fd, header.data() + done, header.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Poison(
+          Internal(StrCat("write failed: ", std::strerror(errno)))
+              .WithContext(std::string(BaseName(tmp))));
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (options_.fsync && ::fsync(fd) != 0) {
+    ::close(fd);
+    return Poison(Internal(StrCat("fsync failed: ", std::strerror(errno)))
+                      .WithContext(std::string(BaseName(tmp))));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Poison(Internal(StrCat("rename failed: ", std::strerror(errno)))
+                      .WithContext(std::string(BaseName(path_))));
+  }
+  // Reopen the (fresh) log for appending; the old fd points at the
+  // unlinked previous file.
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) {
+    return Poison(
+        Internal(StrCat("open for append failed: ", std::strerror(errno)))
+            .WithContext(std::string(BaseName(path_))));
+  }
+  return Status::Ok();
+}
+
+Result<WalReadResult> ReadWal(const std::string& path,
+                              bool repair_torn_tail) {
+  const std::string file(BaseName(path));
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return NotFound(StrCat(file, ": cannot open"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string data = buffer.str();
+
+  if (data.size() < kFileHeaderSize) {
+    return DataLoss(
+        StrCat(FileOffsetContext(file, 0), ": truncated file header (",
+               data.size(), " bytes, need ", kFileHeaderSize, ")"));
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return DataLoss(StrCat(FileOffsetContext(file, 0), ": bad magic"));
+  }
+  if (GetU32(data, 8) != kVersion) {
+    return DataLoss(StrCat(FileOffsetContext(file, 8),
+                           ": unsupported version ", GetU32(data, 8)));
+  }
+  if (GetU32(data, 12) !=
+      Crc32(std::string_view(data).substr(0, kFileHeaderSize - 4))) {
+    return DataLoss(
+        StrCat(FileOffsetContext(file, 12), ": file header checksum mismatch"));
+  }
+
+  WalReadResult out;
+  uint64_t prev_lsn = 0;
+  size_t pos = kFileHeaderSize;
+  while (pos < data.size()) {
+    const size_t record_at = pos;
+    if (data.size() - pos < kRecordHeaderSize) {
+      // Torn header: the file ends inside a record header. Only the final
+      // write can tear, so this is the tail.
+      ++out.torn_tail_truncations;
+      break;
+    }
+    std::string_view header =
+        std::string_view(data).substr(pos, kRecordHeaderSize);
+    uint32_t header_crc = GetU32(data, pos + 21);
+    if (header_crc != Crc32(header.substr(0, 21))) {
+      return DataLoss(StrCat(FileOffsetContext(file, record_at),
+                             ": record header checksum mismatch"));
+    }
+    WalRecord record;
+    record.lsn = GetU64(data, pos);
+    record.epoch = GetU64(data, pos + 8);
+    uint8_t raw_type = static_cast<unsigned char>(data[pos + 16]);
+    uint32_t payload_len = GetU32(data, pos + 17);
+    pos += kRecordHeaderSize;
+    if (data.size() - pos < payload_len + kCrcSize) {
+      // Torn payload (header intact, so payload_len is trustworthy).
+      ++out.torn_tail_truncations;
+      pos = record_at;
+      break;
+    }
+    std::string_view payload = std::string_view(data).substr(pos, payload_len);
+    uint32_t payload_crc = GetU32(data, pos + payload_len);
+    if (payload_crc != Crc32(payload)) {
+      return DataLoss(StrCat(FileOffsetContext(file, record_at),
+                             ": checksum mismatch"));
+    }
+    pos += payload_len + kCrcSize;
+    if (raw_type < 1 || raw_type > 4) {
+      return DataLoss(StrCat(FileOffsetContext(file, record_at),
+                             ": unknown record type ", raw_type));
+    }
+    record.type = static_cast<WalRecordType>(raw_type);
+    if (record.lsn <= prev_lsn) {
+      return DataLoss(StrCat(FileOffsetContext(file, record_at),
+                             ": non-monotonic lsn ", record.lsn, " after ",
+                             prev_lsn));
+    }
+    prev_lsn = record.lsn;
+    if (payload_len < 4) {
+      return DataLoss(StrCat(FileOffsetContext(file, record_at),
+                             ": payload too short (", payload_len, ")"));
+    }
+    uint32_t name_len = GetU32(payload, 0);
+    if (name_len > payload_len - 4) {
+      return DataLoss(StrCat(FileOffsetContext(file, record_at),
+                             ": name length ", name_len,
+                             " exceeds payload"));
+    }
+    record.name = std::string(payload.substr(4, name_len));
+    record.body = std::string(payload.substr(4 + name_len));
+    out.records.push_back(std::move(record));
+  }
+  out.next_lsn = prev_lsn + 1;
+
+  if (out.torn_tail_truncations > 0 && repair_torn_tail) {
+    if (::truncate(path.c_str(), static_cast<off_t>(pos)) != 0) {
+      return Internal(StrCat("truncate failed: ", std::strerror(errno)))
+          .WithContext(FileOffsetContext(file, pos));
+    }
+  }
+  return out;
+}
+
+}  // namespace idl

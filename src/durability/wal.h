@@ -1,0 +1,159 @@
+// Write-ahead log of the server's committed state changes.
+//
+// One append-only file (`wal.log`) per durability directory. The server's
+// single-writer commit queue appends one record per applied state change —
+// update-request commits, online rule definitions, database registrations,
+// program definitions — *before* the resulting epoch is published, so a
+// record in the log is exactly a change the server acknowledged (or was
+// about to acknowledge when it died). Recovery replays the tail through the
+// ordinary session commit path (docs/DURABILITY.md has the protocol).
+//
+// On-disk format (all integers little-endian, fixed width):
+//
+//   file header   "IDLWAL1\n" magic (8) | u32 version | u32 crc(magic+ver)
+//   record        u64 lsn | u64 epoch | u8 type | u32 payload_len
+//                 | u32 header_crc   — CRC-32 of the 21 header bytes
+//                 | payload bytes
+//                 | u32 payload_crc  — CRC-32 of the payload
+//
+// The header CRC is what makes corruption detection total: the reader
+// validates it *before* trusting payload_len, so a bit flip anywhere in a
+// complete record — lsn, type, length field, payload, either CRC — fails
+// validation rather than sending the reader off the rails. The resulting
+// taxonomy at read time:
+//
+//   * file ends mid-header or mid-payload  -> torn tail (the one write a
+//     real crash can tear); with repair_torn_tail the file is truncated at
+//     the last complete record and reading continues — the in-flight change
+//     was never acknowledged, losing it is correct.
+//   * complete record, either CRC wrong    -> kDataLoss with the byte
+//     offset ("wal.log:1042: checksum mismatch"), torn or not: a complete
+//     record never has a bad CRC except by corruption, and recovery must
+//     halt rather than silently drop acknowledged commits.
+//
+// Records carry their LSN explicitly (they are skipped at replay when a
+// snapshot already covers them) and the epoch id their commit published
+// (so a recovered server resumes epoch numbering where the dead one
+// stopped). Thread-compatibility: one writer (the commit thread, under the
+// server's session mutex); readers only ever see closed files.
+
+#ifndef IDL_DURABILITY_WAL_H_
+#define IDL_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "durability/crash_point.h"
+
+namespace idl {
+
+enum class WalRecordType : uint8_t {
+  kCommit = 1,            // body = the update request text
+  kDefineRule = 2,        // body = the rule text
+  kRegisterDatabase = 3,  // name = database name, body = value_io literal
+  kDefineProgram = 4,     // body = the program clause text
+};
+
+const char* WalRecordTypeName(WalRecordType type);
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  // The epoch id this change published (0 when it published none — e.g. a
+  // rule defined before the first epoch, or a program definition).
+  uint64_t epoch = 0;
+  WalRecordType type = WalRecordType::kCommit;
+  std::string name;  // only kRegisterDatabase uses it
+  std::string body;
+};
+
+struct WalOptions {
+  // fsync after every append and checkpoint step. Turning this off trades
+  // the power-failure guarantee for throughput (bench_wal measures both);
+  // the *process*-crash guarantee is unaffected — written bytes survive a
+  // kill either way.
+  bool fsync = true;
+  // Test-only crash injection (durability/crash_point.h).
+  CrashHook crash_hook;
+};
+
+// The append half. Obtained via Create (fresh log) or OpenForAppend (after
+// recovery read the tail). After any failed append — injected crash or real
+// I/O error — the log is *dead*: every later call returns the original
+// failure, mirroring the fail-stop behaviour of a process that lost its
+// log (the server surfaces this as commit failures; docs/DURABILITY.md).
+class Wal {
+ public:
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Creates `path` with a fresh header, truncating any previous content.
+  // First record will be `next_lsn`.
+  static Result<std::unique_ptr<Wal>> Create(const std::string& path,
+                                             uint64_t next_lsn,
+                                             const WalOptions& options);
+
+  // Opens an existing log for appending. `next_lsn` is one past the last
+  // valid record (ReadWal reports it); the file must already be repaired.
+  static Result<std::unique_ptr<Wal>> OpenForAppend(const std::string& path,
+                                                    uint64_t next_lsn,
+                                                    const WalOptions& options);
+
+  // Appends one record (the lsn is assigned here: next_lsn()). Durable —
+  // bytes written and, per options.fsync, synced — when OK is returned.
+  Status Append(WalRecordType type, std::string_view name,
+                std::string_view body, uint64_t epoch);
+
+  // Atomically replaces the log with a fresh one whose records start at
+  // next_lsn() (called after a snapshot covered everything before it):
+  // write `wal.log.tmp` with a new header, fsync, rename over the log.
+  // Crash-safe: a kill between the snapshot rename and this reset leaves
+  // stale records in the log, which replay skips by LSN.
+  Status Reset();
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  // LSN of the most recently appended record; 0 if none yet.
+  uint64_t last_lsn() const { return next_lsn_ == 0 ? 0 : next_lsn_ - 1; }
+
+  // Non-OK once a failed append/reset killed the log (sticky).
+  const Status& poisoned() const { return poison_; }
+
+ private:
+  Wal(std::string path, int fd, uint64_t next_lsn, const WalOptions& options);
+
+  // Consults the crash hook; on injection marks the log dead and returns
+  // the injected-crash status.
+  Status Crash(CrashPoint point);
+  Status WriteAll(std::string_view bytes);
+  Status Sync();
+  Status Poison(Status status);  // records + returns the failure
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t next_lsn_ = 1;
+  WalOptions options_;
+  Status poison_;
+};
+
+// What ReadWal found.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  uint64_t next_lsn = 1;  // one past the last valid record
+  // 1 when a torn final record was dropped (and, with repair_torn_tail,
+  // truncated away); 0 otherwise.
+  size_t torn_tail_truncations = 0;
+};
+
+// Reads and validates every record of the log at `path`. A torn tail is
+// tolerated (dropped; truncated in place when `repair_torn_tail`, so the
+// log can be reopened for append); a complete record failing either CRC, a
+// bad file header, or a non-monotonic LSN is kDataLoss positioned at the
+// failing byte offset.
+Result<WalReadResult> ReadWal(const std::string& path, bool repair_torn_tail);
+
+}  // namespace idl
+
+#endif  // IDL_DURABILITY_WAL_H_

@@ -15,6 +15,10 @@
 #include "common/status.h"
 #include "common/trace.h"
 #include "constraints/checker.h"
+#include "durability/crash_point.h"
+#include "durability/crc32.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
 #include "eval/query.h"
 #include "federation/gateway.h"
 #include "federation/ship.h"

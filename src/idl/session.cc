@@ -1,5 +1,6 @@
 #include "idl/session.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/metrics.h"
@@ -35,6 +36,7 @@ Status Session::RegisterDatabase(std::string name, Value db_object) {
     return AlreadyExists(StrCat("database '", name, "'"));
   }
   base_.SetField(name, std::move(db_object));
+  database_names_.push_back(std::move(name));
   Invalidate();
   return Status::Ok();
 }
@@ -55,6 +57,9 @@ Status Session::RemoveDatabase(std::string_view name) {
   if (!base_.RemoveField(name)) {
     return NotFound(StrCat("database '", name, "'"));
   }
+  database_names_.erase(
+      std::remove(database_names_.begin(), database_names_.end(), site_name),
+      database_names_.end());
   Invalidate();
   return Status::Ok();
 }
@@ -211,6 +216,7 @@ Result<RelationalDatabase> Session::ExportDatabase(const std::string& name) {
 Status Session::DefineRule(std::string_view rule_text) {
   IDL_ASSIGN_OR_RETURN(Rule rule, ParseRule(rule_text));
   IDL_RETURN_IF_ERROR(views_.AddRule(std::move(rule)));
+  rule_texts_.emplace_back(rule_text);
   Invalidate();
   return Status::Ok();
 }
@@ -224,7 +230,9 @@ Status Session::DefineRules(const std::vector<std::string>& rule_texts) {
 
 Status Session::DefineProgram(std::string_view clause_text) {
   IDL_ASSIGN_OR_RETURN(ProgramClause clause, ParseProgramClause(clause_text));
-  return registry_.Register(std::move(clause));
+  IDL_RETURN_IF_ERROR(registry_.Register(std::move(clause)));
+  program_texts_.emplace_back(clause_text);
+  return Status::Ok();
 }
 
 Status Session::DefinePrograms(const std::vector<std::string>& clause_texts) {

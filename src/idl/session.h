@@ -68,6 +68,20 @@ class Session {
   // (write-back path for substrate databases, export path for views).
   Result<RelationalDatabase> ExportDatabase(const std::string& name);
 
+  // ---- Durable state enumeration (src/durability) ---------------------------
+  // The definition texts and registration names this session retains
+  // verbatim, in order, so a snapshot checkpoint can serialize everything
+  // needed to rebuild it (derived state is recomputed, never persisted —
+  // docs/DURABILITY.md). Names registered through RegisterDatabase only;
+  // federation site replicas are remote truth, not durable local state.
+  const std::vector<std::string>& database_names() const {
+    return database_names_;
+  }
+  const std::vector<std::string>& rule_texts() const { return rule_texts_; }
+  const std::vector<std::string>& program_texts() const {
+    return program_texts_;
+  }
+
   // ---- Federation (src/federation) -------------------------------------------
 
   // Connects this session to a federation gateway. The gateway's sites
@@ -270,6 +284,11 @@ class Session {
   // (merged across MarkStale calls, consumed by EnsureMaterialized).
   UniverseDelta pending_delta_;
   std::vector<std::string> derived_paths_;
+  // Durable-state enumeration (kept in sync by RegisterDatabase/
+  // RemoveDatabase/DefineRule/DefineProgram).
+  std::vector<std::string> database_names_;
+  std::vector<std::string> rule_texts_;
+  std::vector<std::string> program_texts_;
   EvalStats stats_;
   EvalOptions materialize_options_;
 };

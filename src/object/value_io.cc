@@ -224,6 +224,32 @@ class LiteralParser {
           case 't':
             out += '\t';
             break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'x': {
+            // QuoteString's escape for other control bytes: exactly two
+            // lowercase hex digits ("\x00", "\x1b", "\x7f").
+            auto hex = [](char h) -> int {
+              if (h >= '0' && h <= '9') return h - '0';
+              if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+              if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+              return -1;
+            };
+            if (pos_ + 1 >= text_.size()) {
+              return ParseError(
+                  StrCat("truncated \\x escape at offset ", pos_ - 2));
+            }
+            int hi = hex(text_[pos_]);
+            int lo = hex(text_[pos_ + 1]);
+            if (hi < 0 || lo < 0) {
+              return ParseError(
+                  StrCat("bad \\x escape at offset ", pos_ - 2));
+            }
+            pos_ += 2;
+            out += static_cast<char>(hi * 16 + lo);
+            break;
+          }
           default:
             out += e;
         }

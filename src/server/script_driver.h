@@ -17,6 +17,8 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "eval/query.h"
@@ -46,6 +48,63 @@ Result<ServerScriptResult> RunServerScript(
 
 // The `% server-sessions: N` directive (0 when absent).
 size_t ServerSessionsDirective(std::string_view script);
+
+// ---- Durable scripts (src/durability, docs/DURABILITY.md) ------------------
+//
+// The driver behind `idl_shell --wal-dir=DIR` and the golden corpus's
+// `% wal:` scripts: an ordinary IDL script committed through a *durable*
+// server (Server::Open — recover-or-create on `wal_dir`), with optional
+// scripted crash injection:
+//
+//   % wal:                   mark the script durable (corpus gives it a dir)
+//   % checkpoint-every: N    snapshot-checkpoint every N logged records
+//   % crash-at: mid-append   crash point to arm (durability/crash_point.h)
+//   % crash-after: N         ...fired the Nth time that point is reached
+//
+// When the armed crash fires, the failing statement's error lands in the
+// transcript, the server is discarded (the simulated kill), a fresh one
+// recovers from the directory — the transcript records what recovery found
+// (replayed records, torn-tail truncation, resumed epoch) — and the script
+// *continues* with the next statement. The crashed statement is not
+// retried: whether its effect survived is exactly what the record-durable
+// line of the crash taxonomy says, and the demo script's queries show it
+// (tests/golden/durability_demo.golden pins the whole transcript).
+
+struct DurableScriptSpec {
+  bool durable = false;           // `% wal:` present
+  size_t checkpoint_every = 64;   // `% checkpoint-every:` override
+  // Armed when crash_after > 0.
+  CrashPoint crash_at = CrashPoint::kAfterAppend;
+  size_t crash_after = 0;
+  // Materialization options for the durable server (not a directive — the
+  // caller sets it; the corpus runs each wal script under both strategies).
+  EvalOptions materialize;
+};
+
+// Parses the `% wal:` family of directives. InvalidArgument on an unknown
+// `% crash-at:` point name.
+Result<DurableScriptSpec> ParseDurableScriptSpec(std::string_view script);
+
+struct DurableScriptResult {
+  std::string transcript;
+  bool failed = false;  // a statement failed for a non-injected reason
+  size_t queries = 0;
+  size_t commits = 0;
+  size_t crashes = 0;  // injected kills survived (0 or 1)
+  uint64_t final_epoch = 0;
+};
+
+// Runs `script` durably against `wal_dir` per `spec`. One reader session;
+// update requests commit through the log. The directory must exist; state
+// already in it is recovered first (and the transcript says so).
+// `seed_databases` are registered — and therefore logged — only when the
+// directory held no durable state; after a recovery (initial or
+// mid-script) they come back from the log itself.
+Result<DurableScriptResult> RunDurableScript(
+    const std::string& wal_dir, std::string_view script,
+    const DurableScriptSpec& spec,
+    const std::vector<std::pair<std::string, Value>>& seed_databases = {},
+    const EvalOptions& request_options = EvalOptions());
 
 }  // namespace idl
 

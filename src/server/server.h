@@ -48,6 +48,7 @@
 #include "common/governor.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "durability/wal.h"
 #include "eval/query.h"
 #include "idl/session.h"
 #include "object/value.h"
@@ -68,6 +69,26 @@ struct Epoch {
 };
 using EpochPtr = std::shared_ptr<const Epoch>;
 
+// Where and how the server persists its committed state (src/durability;
+// protocol in docs/DURABILITY.md). With `dir` empty the server is purely
+// in-memory, exactly as before this layer existed.
+struct DurabilityOptions {
+  // Directory holding `wal.log` and `snap.*.idls`. Must already exist.
+  std::string dir;
+  // fsync every append/checkpoint step (WalOptions::fsync).
+  bool fsync = true;
+  // Snapshot-checkpoint (and truncate the log) after this many appended
+  // records; 0 disables checkpointing (the log grows without bound).
+  size_t checkpoint_every = 64;
+  // Bound on Recover()'s total wall time (snapshot load + WAL replay);
+  // 0 = unbounded. Composes with the governor: each replayed commit runs
+  // under the remaining budget, so replay aborts with kDeadlineExceeded at
+  // a governor checkpoint rather than overshooting.
+  int recover_deadline_ms = 0;
+  // Test-only crash injection (durability/crash_point.h).
+  CrashHook crash_hook;
+};
+
 struct ServerOptions {
   // Commit-queue bound: an Update arriving while this many commits are
   // already pending is rejected with kResourceExhausted.
@@ -75,6 +96,17 @@ struct ServerOptions {
   // Materialization options of the inner session (strategy, parallelism,
   // maintenance mode). Incremental maintenance needs kSemiNaive.
   EvalOptions materialize;
+  DurabilityOptions durability;
+};
+
+// What Server::Recover/Open rebuilt (for logs, tests, the shell banner).
+struct RecoveryReport {
+  bool recovered = false;     // false: fresh directory, nothing to replay
+  uint64_t snapshot_lsn = 0;  // 0 when no snapshot existed
+  size_t replayed_records = 0;
+  size_t torn_tail_truncations = 0;  // 0 or 1 (only the tail can tear)
+  uint64_t epoch = 0;                // published epoch id after recovery
+  double wall_ms = 0.0;
 };
 
 // What a successful commit published.
@@ -88,11 +120,41 @@ class ServerSession;
 
 class Server {
  public:
+  // In-memory server (options.durability.dir must be empty — use the
+  // factories below for a durable one).
   explicit Server(const ServerOptions& options = ServerOptions());
   ~Server();  // Shutdown()
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
+
+  // ---- Durable servers (src/durability, docs/DURABILITY.md) ----------------
+  //
+  // A durable server writes every acknowledged state change — commits, rule
+  // and program definitions, database registrations — to a checksummed
+  // write-ahead log *before* publishing the resulting epoch, and
+  // periodically folds the log into a snapshot checkpoint. After any
+  // durability failure (I/O error, injected crash) the server is fail-stop:
+  // every later state change returns the original failure; reads keep
+  // working against the last published epoch.
+
+  // Fresh durable server in a directory with no prior durable state
+  // (kAlreadyExists if `wal.log` or a snapshot is present).
+  static Result<std::unique_ptr<Server>> Create(const ServerOptions& options);
+
+  // Rebuilds a server from the durable state in options.durability.dir:
+  // loads the newest valid snapshot, replays the WAL tail with a later LSN
+  // through the ordinary commit path, truncates a torn final record, and
+  // republishes. kDataLoss (positioned) on mid-log or snapshot corruption;
+  // kDeadlineExceeded when recover_deadline_ms expires mid-replay;
+  // kNotFound when the directory holds no durable state at all.
+  static Result<std::unique_ptr<Server>> Recover(
+      const ServerOptions& options, RecoveryReport* report = nullptr);
+
+  // Open-or-recover: Recover() when durable state exists, Create()
+  // otherwise. What `idl_shell --wal-dir=` and `% wal:` scripts use.
+  static Result<std::unique_ptr<Server>> Open(
+      const ServerOptions& options, RecoveryReport* report = nullptr);
 
   // ---- Universe and schema setup -------------------------------------------
   // Serialized against the commit queue. When an epoch has already been
@@ -140,8 +202,23 @@ class Server {
   // it carries an update marker or calls a registered update program.
   bool IsUpdateRequest(const Query& query) const;
 
+  // The sticky durability failure (Status::Ok() while healthy); see the
+  // fail-stop note above. Exposed for tests.
+  Status durability_error() const;
+
  private:
   friend class ServerSession;
+
+  // Appends one record for an applied change, assigning it the epoch id the
+  // following PublishLocked() will use. No-op without durability. Caller
+  // must hold session_mu_; on failure poisons the durability layer.
+  Status AppendDurable(WalRecordType type, std::string_view name,
+                       std::string_view body);
+  // Snapshot-checkpoints and resets the log every checkpoint_every records.
+  // Caller must hold session_mu_.
+  Status MaybeCheckpointLocked();
+  Status CheckpointLocked();
+  Status PoisonDurability(Status status);  // records + returns the failure
 
   // Snapshots the session and publishes the next epoch. Caller must hold
   // session_mu_.
@@ -160,6 +237,11 @@ class Server {
   mutable std::mutex session_mu_;
   Session session_;
   uint64_t next_epoch_id_ = 1;
+
+  // Durability (all guarded by session_mu_; null/zero without a dir).
+  std::unique_ptr<Wal> wal_;
+  size_t records_since_checkpoint_ = 0;
+  Status durability_poison_;
 
   // Guards only the published_ pointer (swap on publish, copy on pin).
   mutable std::mutex epoch_mu_;

@@ -60,6 +60,29 @@ TEST(StatusTest, GovernorAbortCodes) {
   EXPECT_EQ(exhausted.ToString(), "resource exhausted: max_passes=3");
 }
 
+TEST(StatusTest, DataLossAndFileOffsetContext) {
+  // kDataLoss is the durability layer's hard-failure code: durable state
+  // failed validation, recovery must halt rather than guess. It is not in
+  // the gateway's retriable set — retrying cannot repair corruption.
+  Status loss = DataLoss("checksum mismatch");
+  EXPECT_EQ(loss.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(StatusCodeName(StatusCode::kDataLoss), "data loss");
+  EXPECT_EQ(loss.ToString(), "data loss: checksum mismatch");
+
+  // Format lock: "<file>:<byte offset>" — the grep-able anchor every
+  // positioned corruption error is built from (docs/DURABILITY.md). The
+  // exact shape below appears in ops runbooks; do not reformat.
+  EXPECT_EQ(FileOffsetContext("wal.log", 1042), "wal.log:1042");
+  EXPECT_EQ(FileOffsetContext("wal.log", 0), "wal.log:0");
+  EXPECT_EQ(FileOffsetContext("snap.000000000008.idls", 16),
+            "snap.000000000008.idls:16");
+  Status positioned =
+      DataLoss(StrCat(FileOffsetContext("wal.log", 1042),
+                      ": checksum mismatch"));
+  EXPECT_EQ(positioned.ToString(),
+            "data loss: wal.log:1042: checksum mismatch");
+}
+
 TEST(StatusTest, EveryCodeHasADistinctName) {
   // A new code pasted into the enum without a StatusCodeName case would
   // render as the switch fallback; catch that here.

@@ -46,6 +46,16 @@
 //                                 single-writer queue and the transcript
 //                                 records the epoch each commit published
 //                                 (docs/SERVER.md)
+//   % wal:                      — run the script through a *durable* server
+//                                 in a fresh temp directory, exactly like
+//                                 `idl_shell --wal-dir=DIR`: commits write a
+//                                 checksummed write-ahead log before their
+//                                 epoch publishes, `% checkpoint-every: N`
+//                                 controls snapshot checkpoints, and
+//                                 `% crash-at:`/`% crash-after:` stage a
+//                                 mid-script kill + recovery whose replay
+//                                 report the transcript pins
+//                                 (docs/DURABILITY.md)
 
 #include <gtest/gtest.h>
 
@@ -234,6 +244,49 @@ std::string RunScriptViaServer(const std::string& script, bool name_mappings,
   return preamble + result->transcript;
 }
 
+// Mirrors `idl_shell --wal-dir=DIR`: the script runs through a durable
+// server in a fresh temp directory (removed afterwards). The same universe
+// seeds as RunScript, registered — and logged — by the driver itself.
+std::string RunScriptViaWal(const std::string& script, bool name_mappings,
+                            const EvalOptions& materialize_options) {
+  char tmpl[] = "/tmp/idl_wal_golden_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  if (dir == nullptr) return "";
+
+  auto spec = ParseDurableScriptSpec(script);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  if (!spec.ok()) return "";
+  spec->materialize = materialize_options;
+
+  std::vector<std::pair<std::string, Value>> seeds;
+  std::string preamble;
+  const std::string workload_spec = WorkloadSpecOf(script);
+  if (!workload_spec.empty()) {
+    auto config = ParseWorkloadSpec(workload_spec);
+    EXPECT_TRUE(config.ok()) << config.status().ToString();
+    DiscrepancyUniverse workload = GenerateDiscrepancyUniverse(*config);
+    preamble = StrCat("workload ", FormatWorkloadSpec(*config), "\n");
+    for (const auto& tenant : workload.tenants) {
+      preamble += StrCat("  tenant ", tenant.name, ": style=",
+                         DiscrepancyStyleName(tenant.style),
+                         tenant.mangled ? " (mangled names)" : "", "\n");
+      seeds.emplace_back(tenant.name, workload.BuildTenantDatabase(tenant));
+    }
+    preamble += "\n";
+  } else {
+    PaperUniverse paper = MakePaperUniverse(name_mappings);
+    for (const auto& field : paper.universe.fields()) {
+      seeds.emplace_back(field.name, field.value);
+    }
+  }
+  auto result = RunDurableScript(dir, script, *spec, seeds);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  fs::remove_all(dir);
+  if (!result.ok()) return preamble;
+  return preamble + result->transcript;
+}
+
 TEST(GoldenCorpus, ScriptsMatchGoldens) {
   const fs::path scripts_dir = fs::path(IDL_REPO_DIR) / "examples/scripts";
   const fs::path golden_dir = fs::path(IDL_REPO_DIR) / "tests/golden";
@@ -244,6 +297,13 @@ TEST(GoldenCorpus, ScriptsMatchGoldens) {
     if (entry.path().extension() == ".idl") scripts.push_back(entry.path());
   }
   std::sort(scripts.begin(), scripts.end());
+  // Durable scripts run after the in-memory ones: constructing a durable
+  // server registers its wal.*/recovery.* instruments for the rest of the
+  // process, and the metrics listings pinned by earlier goldens
+  // (observability_demo) must stay those of a purely in-memory run.
+  std::stable_partition(scripts.begin(), scripts.end(), [](const fs::path& p) {
+    return ReadFile(p).find("% wal:") == std::string::npos;
+  });
   ASSERT_GE(scripts.size(), 9u) << "corpus lost scripts?";
 
   for (const auto& script_path : scripts) {
@@ -258,39 +318,41 @@ TEST(GoldenCorpus, ScriptsMatchGoldens) {
     }
 
     const size_t server_sessions = ServerSessionsDirective(script);
+    const bool wal = script.find("% wal:") != std::string::npos;
 
     EvalOptions semi;  // defaults: kSemiNaive, auto parallelism, incremental
     semi.max_passes = max_passes;
     if (script.find("% maintenance: rematerialize") != std::string::npos) {
       semi.maintenance = MaintenanceMode::kRematerialize;
     }
-    std::string transcript =
-        server_sessions > 0
-            ? RunScriptViaServer(script, name_mappings, semi, server_sessions)
-            : RunScript(script, name_mappings, semi);
+    auto run = [&](const EvalOptions& options) {
+      if (wal) return RunScriptViaWal(script, name_mappings, options);
+      if (server_sessions > 0) {
+        return RunScriptViaServer(script, name_mappings, options,
+                                  server_sessions);
+      }
+      return RunScript(script, name_mappings, options);
+    };
+    std::string transcript = run(semi);
 
     EvalOptions naive;
     naive.strategy = EvalStrategy::kNaive;
     naive.max_passes = max_passes;
-    std::string oracle =
-        server_sessions > 0
-            ? RunScriptViaServer(script, name_mappings, naive, server_sessions)
-            : RunScript(script, name_mappings, naive);
+    std::string oracle = run(naive);
     EXPECT_EQ(transcript, oracle)
         << "semi-naive and naive transcripts diverge";
 
     // Every script also runs under the opposite maintenance mode: the
     // corpus's update-then-query scripts thereby differentially test
     // incremental maintenance through the full parse/session/update stack.
+    // For a `% wal:` crash script this additionally re-proves that recovery
+    // (which rematerializes from rule texts) lands on the same answers
+    // under every maintenance regime.
     EvalOptions flipped = semi;
     flipped.maintenance = semi.maintenance == MaintenanceMode::kIncremental
                               ? MaintenanceMode::kRematerialize
                               : MaintenanceMode::kIncremental;
-    std::string other =
-        server_sessions > 0
-            ? RunScriptViaServer(script, name_mappings, flipped,
-                                 server_sessions)
-            : RunScript(script, name_mappings, flipped);
+    std::string other = run(flipped);
     EXPECT_EQ(transcript, other)
         << "incremental and rematerialize transcripts diverge";
 

@@ -7,11 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/str_util.h"
 #include "common/trace.h"
 #include "idl/idl.h"
 
@@ -131,6 +134,74 @@ TEST(MetricsTest, GetOrCreateAndReset) {
   EXPECT_EQ(registry.counter("test.counter"), c);
   EXPECT_NE(registry.Render().find("counter test.counter = 0"),
             std::string::npos);
+}
+
+TEST(MetricsTest, DurabilityInstrumentsCountAppendsAndRecovery) {
+  // The wal.* / recovery.* instruments (docs/OBSERVABILITY.md) are
+  // registered lazily on first durable-server use and count exactly what
+  // the durability layer does: one wal.appends per logged change, the
+  // encoded bytes in wal.bytes, and per-recovery replay/torn-tail/wall
+  // numbers.
+  char tmpl[] = "/tmp/idl_metrics_wal_XXXXXX";
+  const std::string dir = ::mkdtemp(tmpl);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+
+  ServerOptions options;
+  options.durability.dir = dir;
+  options.durability.checkpoint_every = 1000;  // keep every record in the log
+  {
+    auto server = Server::Open(options, nullptr);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    ASSERT_TRUE(
+        (*server)->RegisterDatabase("db", *ParseValue("(r: {})")).ok());
+    auto session = (*server)->Connect();
+    ASSERT_TRUE(session.ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(session->Update(StrCat("?.db.r+(.k=", i, ")")).ok());
+    }
+  }
+  // 1 registration + 4 commits.
+  EXPECT_EQ(registry.counter("wal.appends")->value(), 5u);
+  EXPECT_GT(registry.counter("wal.bytes")->value(), 5 * 30u);
+  EXPECT_EQ(registry.counter("wal.replayed_records")->value(), 0u);
+
+  RecoveryReport report;
+  auto recovered = Server::Recover(options, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(registry.counter("wal.replayed_records")->value(), 5u);
+  EXPECT_EQ(registry.counter("recovery.torn_tail_truncations")->value(), 0u);
+  std::string render = registry.Render();
+  EXPECT_NE(render.find("histogram recovery.wall_ms = count=1"),
+            std::string::npos)
+      << render;
+  recovered->reset();
+
+  // A torn tail (kill mid-append) bumps the truncation counter on the next
+  // recovery — and the lost record does not count as replayed.
+  {
+    ServerOptions crashing = options;
+    size_t fired = 0;
+    crashing.durability.crash_hook = [&fired](CrashPoint p) {
+      return p == CrashPoint::kMidAppend && ++fired == 1;
+    };
+    auto server = Server::Recover(crashing, nullptr);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    auto session = (*server)->Connect();
+    ASSERT_TRUE(session.ok());
+    auto crashed = session->Update("?.db.r+(.k=99)");
+    ASSERT_FALSE(crashed.ok());
+  }
+  recovered = Server::Recover(options, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(report.torn_tail_truncations, 1u);
+  EXPECT_EQ(registry.counter("recovery.torn_tail_truncations")->value(), 1u);
+  // 5 from each of the three recoveries (the torn record never replays).
+  EXPECT_EQ(registry.counter("wal.replayed_records")->value(), 15u);
+
+  recovered->reset();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 // A real materialization through the session populates the ANALYZE

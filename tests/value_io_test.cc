@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "object/builder.h"
+#include "workload/discrepancy_gen.h"
 
 namespace idl {
 namespace {
@@ -68,6 +71,58 @@ TEST(ValueIoTest, ParseErrors) {
   EXPECT_FALSE(ParseValue("{1, 2").ok());
   EXPECT_FALSE(ParseValue("\"unterminated").ok());
   EXPECT_FALSE(ParseValue("1 2").ok());
+}
+
+TEST(ValueIoTest, RoundTripsPathologicalStrings) {
+  // The durability layer persists whole databases as these literals
+  // (snapshot checkpoints, WAL register records — docs/DURABILITY.md), so
+  // print -> parse must be the identity on *every* byte sequence, not just
+  // the pretty ones. \r and \xNN are the cases the printer emits that the
+  // parser historically rejected.
+  ExpectRoundTrip(Value::String("\r"));
+  ExpectRoundTrip(Value::String("a\rb\nc\td"));
+  ExpectRoundTrip(Value::String("\x01\x02\x1f\x7f"));
+  ExpectRoundTrip(Value::String(std::string("nul\0middle", 10)));
+  std::string all_bytes;
+  for (int b = 0; b < 256; ++b) all_bytes.push_back(static_cast<char>(b));
+  ExpectRoundTrip(Value::String(all_bytes));
+
+  // Malformed \x escapes are errors, not silent truncation.
+  EXPECT_FALSE(ParseValue("\"\\x\"").ok());
+  EXPECT_FALSE(ParseValue("\"\\x4\"").ok());
+  EXPECT_FALSE(ParseValue("\"\\xgg\"").ok());
+}
+
+TEST(ValueIoTest, RoundTripsDeepNestingAndEmptyRelations) {
+  Value deep = Value::Int(7);
+  for (int i = 0; i < 60; ++i) deep = MakeTuple({{"n", deep}});
+  ExpectRoundTrip(deep);
+  // Empty relations survive (views that lost every row persist as empty
+  // slots in snapshots).
+  ExpectRoundTrip(MakeTuple({{"r", Value::EmptySet()}}));
+  ExpectRoundTrip(Value::EmptySet());
+  ExpectRoundTrip(MakeTuple({{"r", MakeSet({Value::EmptySet()})}}));
+}
+
+TEST(ValueIoTest, GeneratedTenantDatabasesRoundTrip) {
+  // Property test over the discrepancy generator: every tenant database
+  // (and the whole universe tuple) the workload generator can produce must
+  // round-trip through the literal form — this is exactly the path a
+  // snapshot checkpoint takes.
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    DiscrepancyConfig config;
+    config.seed = seed;
+    config.num_tenants = 2 + seed % 3;
+    config.num_entities = 2 + seed % 3;
+    config.num_keys = 2 + seed % 2;
+    config.fact_density = 0.3 + 0.15 * static_cast<double>(seed % 5);
+    config.mangle_rate = (seed % 3) * 0.5;
+    DiscrepancyUniverse universe = GenerateDiscrepancyUniverse(config);
+    for (const auto& tenant : universe.tenants) {
+      ExpectRoundTrip(universe.BuildTenantDatabase(tenant));
+    }
+    ExpectRoundTrip(universe.BuildUniverse());
+  }
 }
 
 TEST(ValueIoTest, PrettyPrintWraps) {
