@@ -13,19 +13,26 @@ using idl_bench::MakeWorkload;
 using idl_bench::MustQuery;
 
 void RunWith(benchmark::State& state, const char* query_text,
-             bool use_indexes) {
+             bool use_indexes,
+             idl::EvalSubstrate substrate = idl::EvalSubstrate::kColumnar) {
   idl::StockWorkload w = MakeWorkload(10, state.range(0));
   idl::Value universe = BuildStockUniverse(w);
   idl::Query q = MustQuery(query_text);
   idl::EvalOptions options;
   options.use_indexes = use_indexes;
+  options.substrate = substrate;
   idl::EvalStats stats;
+  size_t result_rows = 0;
   for (auto _ : state) {
     auto a = EvaluateQuery(universe, q, options, &stats);
     IDL_BENCH_CHECK(a.ok());
-    benchmark::DoNotOptimize(a->rows.size());
+    result_rows = a->rows.size();
+    benchmark::DoNotOptimize(result_rows);
   }
   state.counters["rows"] = static_cast<double>(10 * state.range(0));
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(10 * state.range(0)),
+      benchmark::Counter::kIsIterationInvariantRate);
   state.counters["scanned_per_iter"] =
       static_cast<double>(stats.set_elements_scanned) / state.iterations();
 }
@@ -36,6 +43,15 @@ constexpr const char* kJoin =
 
 void BM_Join_Indexed(benchmark::State& state) { RunWith(state, kJoin, true); }
 BENCHMARK(BM_Join_Indexed)->Arg(20)->Arg(60)->Arg(180)
+    ->Unit(benchmark::kMicrosecond);
+
+// The substrate ablation: the identical indexed join forced through the
+// tuple-at-a-time matcher. CI's release bench smoke asserts
+// BM_Join_Indexed/180 is >= 3x faster than this leg (docs/COLUMNAR.md).
+void BM_Join_Indexed_Nested(benchmark::State& state) {
+  RunWith(state, kJoin, true, idl::EvalSubstrate::kNested);
+}
+BENCHMARK(BM_Join_Indexed_Nested)->Arg(20)->Arg(60)->Arg(180)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_Join_Scan(benchmark::State& state) { RunWith(state, kJoin, false); }
@@ -49,6 +65,12 @@ void BM_Select_Indexed(benchmark::State& state) {
   RunWith(state, kSelect, true);
 }
 BENCHMARK(BM_Select_Indexed)->Arg(20)->Arg(60)->Arg(180)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Select_Indexed_Nested(benchmark::State& state) {
+  RunWith(state, kSelect, true, idl::EvalSubstrate::kNested);
+}
+BENCHMARK(BM_Select_Indexed_Nested)->Arg(20)->Arg(60)->Arg(180)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_Select_Scan(benchmark::State& state) {

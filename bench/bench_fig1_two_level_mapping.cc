@@ -12,7 +12,7 @@ namespace {
 
 using idl_bench::MakeWorkload;
 
-void BM_Fig1_Pipeline(benchmark::State& state) {
+void RunPipeline(benchmark::State& state, idl::EvalSubstrate substrate) {
   size_t stocks = state.range(0);
   size_t days = state.range(1);
   idl::StockWorkload w = MakeWorkload(stocks, days);
@@ -22,6 +22,9 @@ void BM_Fig1_Pipeline(benchmark::State& state) {
 
   for (auto _ : state) {
     idl::Session session;
+    idl::EvalOptions materialize;
+    materialize.substrate = substrate;
+    session.set_materialize_options(materialize);
     IDL_BENCH_CHECK(session.RegisterDatabase(euter).ok());
     IDL_BENCH_CHECK(session.RegisterDatabase(chwab).ok());
     IDL_BENCH_CHECK(session.RegisterDatabase(ource).ok());
@@ -37,9 +40,28 @@ void BM_Fig1_Pipeline(benchmark::State& state) {
                     *universe.FindField("ource"));
   }
   state.counters["base_facts"] = static_cast<double>(stocks * days);
+  state.counters["facts_per_sec"] = benchmark::Counter(
+      static_cast<double>(stocks * days),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_Fig1_Pipeline(benchmark::State& state) {
+  RunPipeline(state, idl::EvalSubstrate::kColumnar);
 }
 BENCHMARK(BM_Fig1_Pipeline)
     ->Args({3, 4})    // the paper's toy scale
+    ->Args({8, 20})
+    ->Args({16, 40})
+    ->Unit(benchmark::kMillisecond);
+
+// The same pipeline forced through the tuple-at-a-time substrate. CI's
+// release bench smoke asserts the columnar 16/40 point is >= 2x faster
+// (docs/COLUMNAR.md).
+void BM_Fig1_Pipeline_Nested(benchmark::State& state) {
+  RunPipeline(state, idl::EvalSubstrate::kNested);
+}
+BENCHMARK(BM_Fig1_Pipeline_Nested)
+    ->Args({3, 4})
     ->Args({8, 20})
     ->Args({16, 40})
     ->Unit(benchmark::kMillisecond);

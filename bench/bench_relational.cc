@@ -24,6 +24,9 @@ void BM_Scan(benchmark::State& state) {
     benchmark::DoNotOptimize(rs.rows.data());
   }
   state.counters["rows"] = static_cast<double>(t.NumRows());
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(t.NumRows()),
+      benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_Scan)->Arg(10)->Arg(100)->Arg(1000)
     ->Unit(benchmark::kMicrosecond);
@@ -36,6 +39,9 @@ void BM_Select(benchmark::State& state) {
     IDL_BENCH_CHECK(rs.ok());
   }
   state.counters["rows"] = static_cast<double>(all.rows.size());
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(all.rows.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_Select)->Arg(10)->Arg(100)->Arg(1000)
     ->Unit(benchmark::kMicrosecond);
@@ -49,6 +55,9 @@ void BM_HashJoin(benchmark::State& state) {
     benchmark::DoNotOptimize(rs->rows.size());
   }
   state.counters["rows"] = static_cast<double>(all.rows.size());
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(all.rows.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_HashJoin)->Arg(10)->Arg(50)->Arg(200)
     ->Unit(benchmark::kMicrosecond);
@@ -63,6 +72,9 @@ void BM_GroupBy(benchmark::State& state) {
     IDL_BENCH_CHECK(rs.ok() && rs->rows.size() == 10);
   }
   state.counters["rows"] = static_cast<double>(all.rows.size());
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(all.rows.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_GroupBy)->Arg(10)->Arg(100)->Arg(1000)
     ->Unit(benchmark::kMicrosecond);
@@ -75,6 +87,9 @@ void BM_PivotOp(benchmark::State& state) {
     IDL_BENCH_CHECK(p.ok());
   }
   state.counters["rows"] = static_cast<double>(t.NumRows());
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(t.NumRows()),
+      benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_PivotOp)->Arg(10)->Arg(100)->Arg(500)
     ->Unit(benchmark::kMicrosecond);
@@ -86,6 +101,9 @@ void BM_AdapterLift(benchmark::State& state) {
     benchmark::DoNotOptimize(lifted.TupleSize());
   }
   state.counters["rows"] = static_cast<double>(10 * state.range(0));
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(10 * state.range(0)),
+      benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_AdapterLift)->Arg(10)->Arg(100)->Arg(500)
     ->Unit(benchmark::kMicrosecond);
@@ -98,6 +116,9 @@ void BM_AdapterLower(benchmark::State& state) {
     IDL_BENCH_CHECK(lowered.ok());
   }
   state.counters["rows"] = static_cast<double>(10 * state.range(0));
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(10 * state.range(0)),
+      benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_AdapterLower)->Arg(10)->Arg(100)->Arg(500)
     ->Unit(benchmark::kMicrosecond);
@@ -113,6 +134,9 @@ void BM_IndexedProbeVsScan(benchmark::State& state) {
     benchmark::DoNotOptimize(hits->size());
   }
   state.counters["rows"] = static_cast<double>(t->NumRows());
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(t->NumRows()),
+      benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_IndexedProbeVsScan)->Arg(100)->Arg(1000)
     ->Unit(benchmark::kMicrosecond);

@@ -11,6 +11,8 @@
 //                                           by delta propagation (default)
 //                                           or rebuild them from scratch
 //                                           after every update
+//   --substrate={columnar,nested}           evaluation substrate (columnar
+//                                           kernels vs tuple-at-a-time oracle)
 //   --site-latency-ms=N                     host the paper databases on
 //                                           simulated remote sites with N ms
 //                                           of request latency (federated
@@ -86,7 +88,8 @@ enum class TraceMode { kOff, kText, kJson };
 void ApplyScriptDirectives(const std::string& script,
                            idl::EvalOptions* request_options,
                            idl::EvalOptions* materialize_options,
-                           bool maintenance_flag_given) {
+                           bool maintenance_flag_given,
+                           bool substrate_flag_given) {
   const std::string directive = "% max-passes:";
   size_t at = script.find(directive);
   if (at != std::string::npos && request_options->max_passes == 0) {
@@ -100,6 +103,18 @@ void ApplyScriptDirectives(const std::string& script,
     } else if (script.find("% maintenance: incremental") !=
                std::string::npos) {
       materialize_options->maintenance = idl::MaintenanceMode::kIncremental;
+    }
+  }
+  // `% substrate: nested` pins a script to the tuple-at-a-time oracle
+  // (docs/COLUMNAR.md); transcripts must not depend on it, so this is a
+  // debugging/differential knob, not a semantic one.
+  if (!substrate_flag_given) {
+    if (script.find("% substrate: nested") != std::string::npos) {
+      request_options->substrate = idl::EvalSubstrate::kNested;
+      materialize_options->substrate = idl::EvalSubstrate::kNested;
+    } else if (script.find("% substrate: columnar") != std::string::npos) {
+      request_options->substrate = idl::EvalSubstrate::kColumnar;
+      materialize_options->substrate = idl::EvalSubstrate::kColumnar;
     }
   }
 }
@@ -199,6 +214,12 @@ argument a built-in demo runs; '-' reads from stdin.
 
   --strategy={naive,seminaive,parallel}  view materialization strategy
   --maintenance={incremental,rematerialize}
+  --substrate={columnar,nested}
+                        evaluation substrate (docs/COLUMNAR.md): columnar
+                        pages with vectorized kernels (default) or the
+                        tuple-at-a-time oracle. Answers are identical by
+                        construction; a script's '% substrate: S' directive
+                        applies when this flag is not given
                         keep materialized views current by delta
                         propagation (the default) or rebuild from scratch
                         after every update; a script's
@@ -256,6 +277,7 @@ int main(int argc, char** argv) {
   idl::EvalOptions eval_options;
   idl::EvalOptions request_options;
   bool maintenance_flag_given = false;
+  bool substrate_flag_given = false;
   TraceMode trace_mode = TraceMode::kOff;
   bool trace_flag_given = false;
   int site_latency_ms = 0;
@@ -273,6 +295,7 @@ int main(int argc, char** argv) {
       bool known =
           arg.rfind("--strategy=", 0) == 0 ||
           arg.rfind("--maintenance=", 0) == 0 ||
+          arg.rfind("--substrate=", 0) == 0 ||
           arg.rfind("--site-latency-ms=", 0) == 0 ||
           arg.rfind("--deadline-ms=", 0) == 0 ||
           arg.rfind("--max-passes=", 0) == 0 ||
@@ -317,6 +340,21 @@ int main(int argc, char** argv) {
         return 1;
       }
       maintenance_flag_given = true;
+    } else if (arg.rfind("--substrate=", 0) == 0) {
+      std::string substrate = arg.substr(std::string("--substrate=").size());
+      if (substrate == "columnar") {
+        eval_options.substrate = idl::EvalSubstrate::kColumnar;
+        request_options.substrate = idl::EvalSubstrate::kColumnar;
+      } else if (substrate == "nested") {
+        eval_options.substrate = idl::EvalSubstrate::kNested;
+        request_options.substrate = idl::EvalSubstrate::kNested;
+      } else {
+        std::printf(
+            "unknown --substrate '%s' (want columnar or nested)\n",
+            substrate.c_str());
+        return 1;
+      }
+      substrate_flag_given = true;
     } else if (arg.rfind("--site-latency-ms=", 0) == 0) {
       site_latency_ms =
           std::atoi(arg.substr(std::string("--site-latency-ms=").size())
@@ -425,7 +463,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     ApplyScriptDirectives(script, &request_options, &eval_options,
-                          maintenance_flag_given);
+                          maintenance_flag_given, substrate_flag_given);
     auto spec = idl::ParseDurableScriptSpec(script);
     if (!spec.ok()) {
       std::printf("bad wal directive: %s\n", spec.status().ToString().c_str());
@@ -477,7 +515,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     ApplyScriptDirectives(script, &request_options, &eval_options,
-                          maintenance_flag_given);
+                          maintenance_flag_given, substrate_flag_given);
     idl::ServerOptions server_options;
     server_options.materialize = eval_options;
     idl::Server server(server_options);
@@ -594,7 +632,7 @@ int main(int argc, char** argv) {
     }
   }
   ApplyScriptDirectives(script, &request_options, &eval_options,
-                        maintenance_flag_given);
+                        maintenance_flag_given, substrate_flag_given);
   // A directive-requested trace masks its timings (the transcript must be
   // reproducible — the golden corpus pins it); the flag shows real ones.
   bool mask_trace_timings = false;

@@ -20,6 +20,11 @@
 # EXPERIMENTS.md numbers come from a defaults run of this script; CI uploads
 # the smoke-scale merge as an artifact so every release build leaves a
 # queryable trace.
+#
+# After the merge, scripts/bench_compare.py diffs the fresh report against
+# the most recently *committed* BENCH_*.json (advisory here: the diff is
+# printed, never fatal — pass --fail-above to bench_compare.py yourself for
+# a gating run).
 
 set -euo pipefail
 
@@ -92,3 +97,7 @@ with open(out, "w") as f:
 print(f"wrote {out} ({len(merged['benchmarks'])} benchmarks, "
       f"{len(merged['metrics'])} metrics snapshots)")
 PY
+
+# Advisory diff against the last committed baseline (no-op when none exists;
+# comparison failures never fail the run).
+python3 "$repo_root/scripts/bench_compare.py" "$out" || true

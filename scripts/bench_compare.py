@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Diff two merged bench reports (BENCH_<sha>.json from bench_all.sh).
+
+Usage:
+  scripts/bench_compare.py NEW.json [BASELINE.json] [--threshold PCT]
+                           [--fail-above PCT]
+
+When BASELINE.json is omitted, the most recently *committed* BENCH_*.json in
+the repo root is used (git log order; the NEW report itself is skipped, so
+running right after bench_all.sh compares against the previous commit's
+baseline). Every benchmark present in both reports is matched by
+(binary, name) and compared on real_time; rows outside +/-threshold percent
+(default 10) are printed, worst regression first, along with counter deltas
+for rows_per_sec/facts_per_sec when both sides report them.
+
+Exit status is 0 unless --fail-above PCT is given and some benchmark
+regressed by more than PCT percent (intended for CI gates; wall-clock noise
+on shared runners makes a generous threshold advisable).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def repo_root():
+    return subprocess.check_output(
+        ["git", "rev-parse", "--show-toplevel"], text=True).strip()
+
+
+def latest_committed_baseline(exclude):
+    """The most recently committed BENCH_*.json, skipping `exclude`."""
+    root = repo_root()
+    names = subprocess.check_output(
+        ["git", "-C", root, "ls-files", "BENCH_*.json"], text=True).split()
+    exclude_base = os.path.basename(exclude)
+    candidates = [n for n in names if os.path.basename(n) != exclude_base]
+    if not candidates:
+        return None
+    # Newest by commit date of the last commit touching each file.
+    def commit_time(name):
+        out = subprocess.check_output(
+            ["git", "-C", root, "log", "-1", "--format=%ct", "--", name],
+            text=True).strip()
+        return int(out) if out else 0
+    best = max(candidates, key=commit_time)
+    return os.path.join(root, best)
+
+
+def load_rows(path):
+    with open(path) as f:
+        report = json.load(f)
+    rows = {}
+    for row in report.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue
+        key = (row.get("binary", ""), row["name"])
+        rows[key] = row
+    return report, rows
+
+
+def fmt_time(ns):
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns:.0f}ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new", help="freshly produced merged report")
+    parser.add_argument("baseline", nargs="?", default=None,
+                        help="baseline report (default: latest committed)")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="report rows changed by more than this percent")
+    parser.add_argument("--fail-above", type=float, default=None,
+                        help="exit 1 when a regression exceeds this percent")
+    args = parser.parse_args()
+
+    baseline_path = args.baseline or latest_committed_baseline(args.new)
+    if baseline_path is None:
+        print("bench_compare: no committed BENCH_*.json baseline yet; "
+              "nothing to compare against")
+        return 0
+    new_report, new_rows = load_rows(args.new)
+    base_report, base_rows = load_rows(baseline_path)
+    print(f"bench_compare: {os.path.basename(args.new)} "
+          f"(sha {new_report.get('git_sha', '?')}) vs "
+          f"{os.path.basename(baseline_path)} "
+          f"(sha {base_report.get('git_sha', '?')})")
+
+    common = sorted(set(new_rows) & set(base_rows))
+    if not common:
+        print("bench_compare: no overlapping benchmarks")
+        return 0
+
+    deltas = []
+    for key in common:
+        base_t = base_rows[key].get("real_time")
+        new_t = new_rows[key].get("real_time")
+        if not base_t or not new_t:
+            continue
+        deltas.append((100.0 * (new_t - base_t) / base_t, key, base_t, new_t))
+    deltas.sort(reverse=True)  # worst regression first
+
+    flagged = [d for d in deltas if abs(d[0]) > args.threshold]
+    print(f"{len(common)} benchmarks in both reports, "
+          f"{len(flagged)} beyond +/-{args.threshold:g}%")
+    for pct, (binary, name), base_t, new_t in flagged:
+        line = (f"  {pct:+7.1f}%  {binary}:{name}  "
+                f"{fmt_time(base_t)} -> {fmt_time(new_t)}")
+        for counter in ("rows_per_sec", "facts_per_sec"):
+            b = base_rows[(binary, name)].get(counter)
+            n = new_rows[(binary, name)].get(counter)
+            if b and n:
+                line += f"  [{counter} {b:.3g} -> {n:.3g}]"
+        print(line)
+
+    worst = deltas[0][0] if deltas else 0.0
+    if args.fail_above is not None and worst > args.fail_above:
+        print(f"bench_compare: worst regression {worst:+.1f}% exceeds "
+              f"--fail-above {args.fail_above:g}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

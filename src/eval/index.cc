@@ -1,7 +1,10 @@
 #include "eval/index.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 #include "common/trace.h"
+#include "relational/columnar.h"
 
 namespace idl {
 
@@ -11,7 +14,10 @@ bool SetIndexCache::Probe(const Value& set, std::string_view attr,
   candidates->clear();
   if (!set.is_set() || set.SetSize() < min_set_size_) return false;
 
-  const StringInterner::Id attr_id = attr_ids_.Intern(attr);
+  // Find before Intern: steady-state probes hit attribute names interned by
+  // an earlier generation and skip the insert path entirely.
+  StringInterner::Id attr_id = attr_ids_.Find(attr);
+  if (attr_id == StringInterner::kNotInterned) attr_id = attr_ids_.Intern(attr);
   auto& per_set = cache_[static_cast<SetKey>(&set)];
   auto it = per_set.find(attr_id);
   if (it != per_set.end()) {
@@ -23,26 +29,41 @@ bool SetIndexCache::Probe(const Value& set, std::string_view attr,
                    StrCat("attr=", attr, " elements=", set.SetSize()));
     AttrIndex index;
     const auto& elements = set.elements();
+    // Size the bucket array once: growing it inside the loop rehashes the
+    // whole multimap log(n) times on a large build.
+    index.by_hash.reserve(elements.size());
     for (uint32_t i = 0; i < elements.size(); ++i) {
       if (!elements[i].is_tuple()) continue;
       const Value* field = elements[i].FindField(attr);
       if (field == nullptr || field->is_null()) continue;
-      // Numbers hash by double value so that =50 probes find 50.0 cells
-      // (matching EvalRelOp's cross-kind numeric equality).
-      uint64_t h = field->is_number()
-                       ? Value::Real(field->as_double()).Hash()
-                       : field->Hash();
-      index.by_hash.emplace(h, i);
+      index.by_hash.emplace(NormalizedCellHash(*field), i);
     }
     it = per_set.emplace(attr_id, std::move(index)).first;
     ++indexes_built_;
   }
 
-  uint64_t h = value.is_number() ? Value::Real(value.as_double()).Hash()
-                                 : value.Hash();
-  auto [lo, hi] = it->second.by_hash.equal_range(h);
+  auto [lo, hi] = it->second.by_hash.equal_range(NormalizedCellHash(value));
   for (auto i = lo; i != hi; ++i) candidates->push_back(i->second);
+  // Multimap equal ranges come back in unspecified order; ascending element
+  // order makes the indexed path visit candidates exactly as a scan would
+  // (the columnar substrate relies on this for transcript identity).
+  std::sort(candidates->begin(), candidates->end());
   return true;
+}
+
+std::shared_ptr<const ColumnarRelation> SetIndexCache::Columnar(
+    const Value& set, const ColumnarStore* store) {
+  if (store != nullptr) {
+    std::shared_ptr<const ColumnarRelation> page =
+        store->Find(static_cast<const void*>(&set));
+    if (page != nullptr) return page;
+  }
+  SetKey key = static_cast<SetKey>(&set);
+  auto it = columnar_.find(key);
+  if (it != columnar_.end()) return it->second;
+  std::shared_ptr<const ColumnarRelation> page = ColumnarRelation::FromSet(set);
+  columnar_.emplace(key, page);  // nullptr memoizes "not flat"
+  return page;
 }
 
 }  // namespace idl

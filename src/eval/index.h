@@ -23,6 +23,7 @@
 #define IDL_EVAL_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +32,9 @@
 #include "object/value.h"
 
 namespace idl {
+
+class ColumnarRelation;
+class ColumnarStore;
 
 class SetIndexCache {
  public:
@@ -46,16 +50,26 @@ class SetIndexCache {
   void EnsureGeneration(uint64_t generation) {
     if (generation != generation_) {
       cache_.clear();
+      columnar_.clear();
       generation_ = generation;
     }
   }
   uint64_t generation() const { return generation_; }
 
   // Candidate element positions of `set` whose `attr` equals `value`
-  // (verified by hash only — the caller re-checks each candidate). Returns
-  // false if the set is below the indexing threshold (caller should scan).
+  // (verified by hash only — the caller re-checks each candidate), in
+  // ascending element order so the indexed path visits candidates in the
+  // same order a scan would. Returns false if the set is below the indexing
+  // threshold (caller should scan).
   bool Probe(const Value& set, std::string_view attr, const Value& value,
              std::vector<uint32_t>* candidates);
+
+  // The columnar page for `set`: `store`'s pre-built page if it has one
+  // (server epochs), else built on first request and memoized for the
+  // generation. Returns nullptr when the set is not flat (memoized too, so
+  // flatness is detected once per set per generation).
+  std::shared_ptr<const ColumnarRelation> Columnar(const Value& set,
+                                                   const ColumnarStore* store);
 
   uint64_t indexes_built() const { return indexes_built_; }
   // Probes answered by an index built on an earlier probe (possibly by an
@@ -78,6 +92,10 @@ class SetIndexCache {
   // (set address, attribute id) -> index.
   std::unordered_map<SetKey, std::unordered_map<StringInterner::Id, AttrIndex>>
       cache_;
+  // set address -> columnar page (nullptr = known non-flat). Same lifetime
+  // discipline as cache_: whole-map invalidation on generation change.
+  std::unordered_map<SetKey, std::shared_ptr<const ColumnarRelation>>
+      columnar_;
   uint64_t generation_ = 0;
   uint64_t indexes_built_ = 0;
   uint64_t indexes_reused_ = 0;

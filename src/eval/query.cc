@@ -7,6 +7,7 @@
 #include "eval/index.h"
 #include "eval/matcher.h"
 #include "eval/substitution.h"
+#include "eval/vector_exec.h"
 #include "object/value_io.h"
 #include "syntax/analysis.h"
 
@@ -71,6 +72,15 @@ struct ConjunctChain {
   const std::function<bool(const Substitution&)>* cb;
   const ResourceGovernor* governor;
   Status error;
+  // Columnar substrate (null under EvalSubstrate::kNested): per-conjunct
+  // vector plans parallel to `conjuncts`, plus the page cache/store the
+  // executor reads. Vectorized and matched conjuncts interleave freely —
+  // emission happens through the same Step recursion either way, so
+  // checkpoint counts and substitution order are substrate-independent.
+  const std::vector<std::optional<VectorConjunctPlan>>* plans = nullptr;
+  SetIndexCache* page_cache = nullptr;
+  const EvalOptions* options = nullptr;
+  EvalStats* stats = nullptr;
 
   bool Step(size_t index, Substitution* sigma) {
     // Checkpoint per enumeration step, not just per emitted substitution: a
@@ -85,6 +95,22 @@ struct ConjunctChain {
     }
     if (index == conjuncts->size()) return (*cb)(*sigma);
     const ConjunctSource& source = (*conjuncts)[index];
+    if (plans != nullptr && (*plans)[index].has_value()) {
+      bool fell_back = false;
+      Result<bool> r = ExecuteVectorConjunct(
+          *(*plans)[index], *source.universe, page_cache,
+          options->columnar_store, options->use_indexes,
+          options->index_min_set_size, stats, sigma,
+          [&] { return Step(index + 1, sigma); }, &fell_back);
+      if (!fell_back) {
+        if (!r.ok()) {
+          error = r.status();
+          return false;
+        }
+        return *r;
+      }
+      // Not flat: this activation runs tuple-at-a-time below.
+    }
     Result<bool> r = matcher->Match(
         *source.universe, *source.expr, sigma,
         [&](const Substitution&) { return Step(index + 1, sigma); });
@@ -138,6 +164,29 @@ Result<bool> EnumerateBindingsOver(
   Matcher matcher(stats, options.use_indexes ? cache : nullptr);
   Substitution sigma;
   ConjunctChain chain{&ordered, &matcher, &cb, governor, Status::Ok()};
+
+  // Columnar substrate: compile a vector plan per conjunct (static shape
+  // analysis, once per enumeration). Conjuncts the compiler rejects — and
+  // activations whose target set turns out not to be flat — keep the
+  // matcher, with identical semantics.
+  std::vector<std::optional<VectorConjunctPlan>> plans;
+  if (options.substrate == EvalSubstrate::kColumnar) {
+    plans.reserve(ordered.size());
+    bool any = false;
+    for (const ConjunctSource& c : ordered) {
+      plans.push_back(CompileVectorConjunct(*c.expr));
+      any |= plans.back().has_value();
+    }
+    if (any) {
+      chain.plans = &plans;
+      // Page memoization needs a cache even when equality indexes are
+      // ablated (pages are storage, not an index).
+      chain.page_cache = index_cache != nullptr ? index_cache : &local_cache;
+      chain.options = &options;
+      chain.stats = stats;
+    }
+  }
+
   bool keep_going = chain.Step(0, &sigma);
   if (!chain.error.ok()) return chain.error;
   return keep_going;

@@ -60,6 +60,22 @@ enum class MaintenanceMode {
   kRematerialize,
 };
 
+// Which physical representation evaluates flat relations (see
+// docs/COLUMNAR.md and relational/columnar.h).
+enum class EvalSubstrate {
+  // Vectorized kernels over per-attribute column vectors for flat
+  // relations, falling back to tuple-at-a-time matching for everything the
+  // planner cannot vectorize (higher-order attribute variables, negation,
+  // non-flat sets). Transcript-identical to kNested by construction.
+  kColumnar,
+  // Tuple-at-a-time matching over nested Values everywhere; kept as the
+  // differential oracle (the same naive-vs-optimized proof pattern as
+  // EvalStrategy::kNaive and MaintenanceMode::kRematerialize).
+  kNested,
+};
+
+class ColumnarStore;
+
 struct EvalOptions {
   // Move negated conjuncts after all positive ones (keeps left-to-right
   // binding order safe without requiring the user to order them).
@@ -82,6 +98,12 @@ struct EvalOptions {
   // per-level state only kSemiNaive records, so kNaive always
   // rematerializes regardless of this setting.
   MaintenanceMode maintenance = MaintenanceMode::kIncremental;
+  // Physical evaluation substrate for flat relations.
+  EvalSubstrate substrate = EvalSubstrate::kColumnar;
+  // Pre-built columnar pages for this universe (server epochs share them
+  // across sessions). Null = build pages on demand per index-cache
+  // generation. Ignored under kNested.
+  const ColumnarStore* columnar_store = nullptr;
 
   // ---- Resource-governor budgets (common/governor.h; 0 = unbounded) -------
   // The session builds one ResourceGovernor per request from these; a

@@ -257,6 +257,38 @@ void Value::RehashSet() {
   SetCachedHash(0);
 }
 
+bool Value::RehashElement(size_t index, uint64_t old_hash) {
+  auto& s = set_rep();
+  IDL_CHECK(index < s.elems.size());
+  // Drop the stale index entry keyed by the pre-mutation hash.
+  {
+    auto [lo, hi] = s.index.equal_range(old_hash);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == index) {
+        s.index.erase(it);
+        break;
+      }
+    }
+  }
+  uint64_t h = s.elems[index].Hash();
+  auto [lo, hi] = s.index.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (s.elems[it->second] == s.elems[index]) {
+      // One mutated element can create at most one duplicate pair (the set
+      // was duplicate-free before). RehashSet keeps first occurrences, so
+      // the higher index loses regardless of which one was mutated.
+      size_t drop = std::max<size_t>(index, it->second);
+      s.elems.erase(s.elems.begin() + static_cast<ptrdiff_t>(drop));
+      RebuildSetIndex();
+      SetCachedHash(0);
+      return true;
+    }
+  }
+  s.index.emplace(h, static_cast<uint32_t>(index));
+  SetCachedHash(0);
+  return false;
+}
+
 void Value::RebuildSetIndex() {
   auto& s = set_rep();
   s.index.clear();

@@ -161,6 +161,12 @@ class Value {
   // Rebuilds the dedup index and removes duplicates introduced by in-place
   // element mutation (keeps the first occurrence).
   void RehashSet();
+  // Targeted alternative to RehashSet() when exactly one element was mutated
+  // in place: re-indexes elems[index] given its pre-mutation hash. If the new
+  // value duplicates another element, the later of the two is removed (the
+  // same survivor RehashSet would keep) and true is returned — element
+  // indices past the removal point have shifted.
+  bool RehashElement(size_t index, uint64_t old_hash);
 
   // ---- Whole-value operations ---------------------------------------------
 

@@ -10,6 +10,7 @@
 #include "common/str_util.h"
 #include "durability/snapshot.h"
 #include "object/value_io.h"
+#include "relational/columnar.h"
 #include "syntax/parser.h"
 
 namespace idl {
@@ -396,6 +397,18 @@ Status Server::PublishLocked() {
   epoch->id = next_epoch_id_++;
   epoch->universe = std::move(universe);
   epoch->derived_paths = session_.derived_paths();
+  if (options_.materialize.substrate == EvalSubstrate::kColumnar) {
+    // The outgoing epoch stays alive across Build (readers hold it too), so
+    // unchanged relations share its immutable pages instead of re-encoding.
+    EpochPtr previous;
+    {
+      std::lock_guard<std::mutex> lock(epoch_mu_);
+      previous = published_;
+    }
+    epoch->columnar = ColumnarStore::Build(
+        epoch->universe, previous != nullptr ? previous->columnar.get()
+                                             : nullptr);
+  }
   epoch->published_at = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(epoch_mu_);
@@ -514,8 +527,12 @@ Result<Answer> ServerSession::Query(std::string_view query_text,
   // Always governed: the cancel handle must be able to abort a reader
   // mid-evaluation even when no budget is set.
   ResourceGovernor governor(GovernorLimitsFrom(options), cancel_);
-  Result<Answer> answer =
-      EvaluateQuery(epoch_->universe, query, options, &stats_, &governor);
+  // Readers evaluate against the epoch's published pages: no per-query
+  // encode, and concurrent sessions on the same epoch share columns.
+  EvalOptions epoch_options = options;
+  epoch_options.columnar_store = epoch_->columnar.get();
+  Result<Answer> answer = EvaluateQuery(epoch_->universe, query, epoch_options,
+                                        &stats_, &governor);
   Metrics().query_ms->Observe(MsSince(t0));
   return answer;
 }

@@ -56,6 +56,8 @@
 
 namespace idl {
 
+class ColumnarStore;
+
 // An immutable published snapshot of the merged universe. Never mutated
 // after publication: the universe is hash-warmed (object/value.h, "Thread
 // safety"), so any number of threads may evaluate against it concurrently.
@@ -65,6 +67,12 @@ struct Epoch {
   Value universe;
   // "db.rel" paths created by rules, as of this epoch.
   std::vector<std::string> derived_paths;
+  // Columnar pages for every flat relation of `universe`, built once at
+  // publication (docs/COLUMNAR.md). Pages are immutable and refcounted:
+  // relations unchanged since the previous epoch share that epoch's pages
+  // rather than re-encoding, and reader sessions on either epoch keep the
+  // shared page alive. Null only under EvalSubstrate::kNested servers.
+  std::shared_ptr<const ColumnarStore> columnar;
   std::chrono::steady_clock::time_point published_at;
 };
 using EpochPtr = std::shared_ptr<const Epoch>;

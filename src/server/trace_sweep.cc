@@ -33,7 +33,9 @@ std::string CheckUniverse(const DiscrepancyConfig& config,
   // published epoch must equal its merged universe exactly.
   Server server(options.server);
   Session shadow;
-  shadow.set_materialize_options(options.server.materialize);
+  EvalOptions shadow_materialize = options.server.materialize;
+  shadow_materialize.substrate = options.shadow_substrate;
+  shadow.set_materialize_options(shadow_materialize);
   for (const auto& tenant : universe.tenants) {
     Value db = universe.BuildTenantDatabase(tenant);
     if (Status st = server.RegisterDatabase(tenant.name, db); !st.ok()) {

@@ -38,6 +38,12 @@ struct ServerSweepOptions {
   size_t reader_sessions = 3;
   // Server configuration (materialize options, commit-queue bound).
   ServerOptions server;
+  // Substrate of the shadow serial oracle session. The server keeps
+  // `server.materialize.substrate` (columnar by default), so with the
+  // default here every epoch-vs-shadow comparison is a cross-substrate
+  // differential: columnar server epochs must be Value-identical to
+  // tuple-at-a-time serial execution of the same commit prefix.
+  EvalSubstrate shadow_substrate = EvalSubstrate::kNested;
 };
 
 struct ServerSweepReport {

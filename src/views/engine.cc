@@ -6,6 +6,7 @@
 #include <iterator>
 #include <memory>
 #include <string_view>
+#include <unordered_map>
 
 #include "common/metrics.h"
 #include "common/str_util.h"
@@ -15,6 +16,7 @@
 #include "eval/matcher.h"
 #include "eval/query.h"
 #include "eval/substitution.h"
+#include "relational/columnar.h"
 #include "syntax/analysis.h"
 #include "syntax/printer.h"
 
@@ -111,9 +113,28 @@ Result<bool> CanAbsorb(const Value& v, const Expr& expr,
   return false;
 }
 
+Counter* AbsorbBatchedCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("columnar.absorb_batched");
+  return c;
+}
+Counter* AbsorbIndexBuildsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("columnar.absorb_index_builds");
+  return c;
+}
+
 class HeadWriter {
  public:
   explicit HeadWriter(Materialized* out) : out_(out) {}
+
+  // Columnar substrate: maintain a per-set absorb index so the set case
+  // probes a handful of candidate elements instead of scanning the whole
+  // relation per derived fact (docs/COLUMNAR.md). The batch path visits
+  // candidates in ascending element order and verifies each with the exact
+  // scan predicate, so the element it picks — and therefore the universe it
+  // produces — is byte-identical to the scan's.
+  void EnableBatchAbsorb() { batch_enabled_ = true; }
 
   // §6's recursive MakeTrue, with absorb-before-insert at sets. When `delta`
   // is non-null it mirrors `slot`: every change is recorded into it — a set
@@ -123,6 +144,67 @@ class HeadWriter {
   // set element are covered by recording the whole element at the outer set.
   Status MakeTrue(Value* slot, const Expr& expr, const Substitution& sigma,
                   Value* delta) {
+    return MakeTrueImpl(slot, expr, sigma, delta, batch_enabled_);
+  }
+
+ private:
+  // Absorb candidates for one tracked relation set, keyed by one probe
+  // attribute of its flat inner tuple. An element can satisfy the probe
+  // item only if its probe field hash-matches the operand (`by_probe`), is
+  // absent/null (`fillable`), or the element is null outright (`always`) —
+  // everything else fails the scan's flat check at that item, so skipping
+  // it cannot change which element absorbs first.
+  struct AbsorbIndex {
+    std::string probe_attr;
+    // NormalizedCellHash(probe field) -> element index, non-null atom fields.
+    std::unordered_multimap<uint64_t, uint32_t> by_probe;
+    std::vector<uint32_t> fillable;  // probe field absent or null; ascending
+    std::vector<uint32_t> always;    // null elements; ascending
+    size_t synced_size = 0;          // set size the lists describe
+  };
+
+  static void ClassifyElement(const Value& e, std::string_view attr,
+                              uint32_t i, AbsorbIndex* st) {
+    if (e.is_null()) {
+      st->always.push_back(i);
+      return;
+    }
+    if (!e.is_tuple()) return;  // an atom/set element never absorbs a tuple
+    const Value* f = e.FindField(attr);
+    if (f == nullptr || f->is_null()) {
+      st->fillable.push_back(i);
+      return;
+    }
+    if (f->is_tuple() || f->is_set()) return;  // never equals an atom operand
+    st->by_probe.emplace(NormalizedCellHash(*f), i);
+  }
+
+  static void RebuildAbsorbIndex(const Value& set, std::string_view attr,
+                                 AbsorbIndex* st) {
+    AbsorbIndexBuildsCounter()->Increment();
+    st->probe_attr.assign(attr);
+    st->by_probe.clear();
+    st->fillable.clear();
+    st->always.clear();
+    const auto& elems = set.elements();
+    st->by_probe.reserve(elems.size());
+    for (uint32_t i = 0; i < elems.size(); ++i) {
+      ClassifyElement(elems[i], attr, i, st);
+    }
+    st->synced_size = elems.size();
+  }
+
+  static void EraseAscending(std::vector<uint32_t>* v, uint32_t i) {
+    auto it = std::lower_bound(v->begin(), v->end(), i);
+    if (it != v->end() && *it == i) v->erase(it);
+  }
+
+  // `batch` means this slot sits on the head path at or above the first set
+  // (the level absorb indexes track). Below that — inside set elements —
+  // structural edits cannot move a tracked set, so recursion drops the flag
+  // and skips both index maintenance and invalidation.
+  Status MakeTrueImpl(Value* slot, const Expr& expr, const Substitution& sigma,
+                      Value* delta, bool batch) {
     switch (expr.kind) {
       case Expr::Kind::kEpsilon:
         return Status::Ok();
@@ -133,6 +215,8 @@ class HeadWriter {
             *delta = v;
             ++out_->delta_size;
           }
+          // Overwriting a non-null path slot can destroy a tracked set.
+          if (batch && !slot->is_null()) absorb_states_.clear();
           *slot = std::move(v);
           ++out_->changes;
         }
@@ -154,6 +238,9 @@ class HeadWriter {
         for (const auto& item : expr.items) {
           IDL_ASSIGN_OR_RETURN(std::string_view attr, GroundName(item, sigma));
           if (slot->FindField(attr) == nullptr) {
+            // Inserting a field shifts this tuple's later fields in memory;
+            // any tracked set stored there has moved.
+            if (batch) absorb_states_.clear();
             slot->SetField(attr, Value::Null());
             ++out_->changes;
           }
@@ -165,9 +252,9 @@ class HeadWriter {
             }
             delta_field = delta->MutableField(attr);
           }
-          IDL_RETURN_IF_ERROR(MakeTrue(
+          IDL_RETURN_IF_ERROR(MakeTrueImpl(
               field, item.expr ? *item.expr : EpsilonExpr(), sigma,
-              delta_field));
+              delta_field, batch));
         }
         return Status::Ok();
       }
@@ -228,36 +315,140 @@ class HeadWriter {
             }
           }
         }
+        // Mirrors CanAbsorb(e, inner, sigma) for a flat tuple probe. Both
+        // the scan below and the batch path verify candidates with exactly
+        // this predicate.
+        auto flat_ok = [&](const Value& e) {
+          if (e.is_null()) return true;
+          if (!e.is_tuple()) return false;
+          for (const auto& p : probe) {
+            const Value* f = e.FindField(p.attr);
+            if (f == nullptr) continue;    // addable
+            if (!p.constrained) continue;  // ε accepts any field
+            if (f->is_null()) continue;    // fillable
+            if (f->is_tuple() || f->is_set() ||
+                !Matcher::EvalRelOp(RelOp::kEq, *f, p.operand)) {
+              return false;
+            }
+          }
+          return true;
+        };
+        // Absorbs into element i and maintains the delta; shared by both
+        // paths. Sets *rehashed when the caller must not touch indexes
+        // (RehashSet/RehashElement already ran).
+        auto absorb_into = [&](size_t i, bool* changed,
+                               bool* removed_dup) -> Status {
+          uint64_t before = out_->changes;
+          uint64_t old_hash = slot->elements()[i].Hash();
+          Value* element = slot->MutableElement(i);
+          IDL_RETURN_IF_ERROR(
+              MakeTrueImpl(element, inner, sigma, nullptr, false));
+          *changed = out_->changes != before;
+          *removed_dup = false;
+          if (*changed) {
+            if (delta != nullptr && delta->Insert(*element)) {
+              ++out_->delta_size;
+            }
+            *removed_dup = slot->RehashElement(i, old_hash);
+          }
+          return Status::Ok();
+        };
+
+        // Batch absorb (columnar substrate): probe the absorb index on the
+        // first ground-named constrained item instead of scanning. Candidate
+        // order is ascending, verification is `flat_ok` — scan-identical.
+        int probe_at = -1;
+        if (batch && flat) {
+          for (size_t k = 0; k < probe.size(); ++k) {
+            if (probe[k].constrained && !inner.items[k].attr_is_var) {
+              probe_at = static_cast<int>(k);
+              break;
+            }
+          }
+        }
+        if (probe_at >= 0) {
+          AbsorbBatchedCounter()->Increment();
+          std::string_view pattr = probe[probe_at].attr;
+          const Value& operand = probe[probe_at].operand;
+          AbsorbIndex& st = absorb_states_[slot];
+          if (st.probe_attr != pattr || st.synced_size != slot->SetSize()) {
+            RebuildAbsorbIndex(*slot, pattr, &st);
+          }
+          std::vector<uint32_t> bucket;
+          if (!operand.is_null() && !operand.is_tuple() && !operand.is_set()) {
+            auto [lo, hi] = st.by_probe.equal_range(NormalizedCellHash(operand));
+            for (auto it = lo; it != hi; ++it) bucket.push_back(it->second);
+            std::sort(bucket.begin(), bucket.end());
+          }
+          enum class Src { kAlways, kFillable, kBucket };
+          size_t ia = 0, ib = 0, ic = 0;
+          while (true) {
+            uint32_t i = UINT32_MAX;
+            Src src = Src::kAlways;
+            if (ia < st.always.size()) {
+              i = st.always[ia];
+            }
+            if (ib < st.fillable.size() && st.fillable[ib] < i) {
+              i = st.fillable[ib];
+              src = Src::kFillable;
+            }
+            if (ic < bucket.size() && bucket[ic] < i) {
+              i = bucket[ic];
+              src = Src::kBucket;
+            }
+            if (i == UINT32_MAX) break;
+            switch (src) {
+              case Src::kAlways: ++ia; break;
+              case Src::kFillable: ++ib; break;
+              case Src::kBucket: ++ic; break;
+            }
+            if (!flat_ok(slot->elements()[i])) continue;
+            bool changed = false, removed_dup = false;
+            IDL_RETURN_IF_ERROR(absorb_into(i, &changed, &removed_dup));
+            if (!changed) return Status::Ok();
+            if (removed_dup) {
+              // Indices past the removed duplicate shifted; the size check
+              // forces a rebuild on the next write to this set.
+              st.synced_size = 0;
+              return Status::Ok();
+            }
+            // Reclassify i: a bucket hit's probe field already equaled the
+            // operand, so the absorb left it (and its hash entry) alone.
+            if (src != Src::kBucket) {
+              if (src == Src::kAlways) {
+                EraseAscending(&st.always, i);
+              } else {
+                EraseAscending(&st.fillable, i);
+              }
+              ClassifyElement(slot->elements()[i], pattr, i, &st);
+            }
+            return Status::Ok();
+          }
+          if (delta != nullptr && delta->Insert(candidate)) {
+            ++out_->delta_size;
+          }
+          slot->Insert(std::move(candidate));
+          ++out_->changes;
+          ClassifyElement(slot->elements()[slot->SetSize() - 1], pattr,
+                          static_cast<uint32_t>(slot->SetSize() - 1), &st);
+          st.synced_size = slot->SetSize();
+          return Status::Ok();
+        }
+        // Scan path mutates the set without maintaining its absorb index.
+        if (batch) absorb_states_.erase(slot);
         for (size_t i = 0; i < slot->SetSize(); ++i) {
           const Value& e = slot->elements()[i];
           bool ok;
           if (flat) {
-            // Mirrors CanAbsorb(e, inner, sigma) for a flat tuple probe.
-            if (e.is_null()) {
-              ok = true;
-            } else if (!e.is_tuple()) {
-              ok = false;
-            } else {
-              ok = true;
-              for (const auto& p : probe) {
-                const Value* f = e.FindField(p.attr);
-                if (f == nullptr) continue;   // addable
-                if (!p.constrained) continue;  // ε accepts any field
-                if (f->is_null()) continue;    // fillable
-                if (f->is_tuple() || f->is_set() ||
-                    !Matcher::EvalRelOp(RelOp::kEq, *f, p.operand)) {
-                  ok = false;
-                  break;
-                }
-              }
-            }
+            ok = flat_ok(e);
           } else {
             IDL_ASSIGN_OR_RETURN(ok, CanAbsorb(e, inner, sigma));
           }
           if (ok) {
             uint64_t before = out_->changes;
             Value* element = slot->MutableElement(i);
-            IDL_RETURN_IF_ERROR(MakeTrue(element, inner, sigma, nullptr));
+            IDL_RETURN_IF_ERROR(
+                MakeTrueImpl(element, inner, sigma, nullptr, false));
             if (out_->changes != before) {
               if (delta != nullptr && delta->Insert(*element)) {
                 ++out_->delta_size;
@@ -279,8 +470,11 @@ class HeadWriter {
     return Internal("unreachable expression kind");
   }
 
- private:
   Materialized* out_;
+  bool batch_enabled_ = false;
+  // Keyed by set address; entries are valid only while head-path structure
+  // is stable — any armed structural edit clears the map (see MakeTrueImpl).
+  std::unordered_map<const Value*, AbsorbIndex> absorb_states_;
 };
 
 // Records a processed body substitution: derived-path bookkeeping plus the
@@ -536,6 +730,9 @@ Result<StratumStats> RunLevelWave(SemiNaiveContext* ctx, int level,
   const ResourceGovernor* governor = ctx->governor;
   Materialized& m = *ctx->m;
   HeadWriter writer(&m);
+  if (options.substrate == EvalSubstrate::kColumnar) {
+    writer.EnableBatchAbsorb();
+  }
   TraceSpan wave_span(
       "stratum", StrCat("level=", level, " rules=", level_rules.size(),
                         recursive ? " recursive" : "",

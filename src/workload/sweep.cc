@@ -50,6 +50,9 @@ std::vector<ModePoint> FullModeLattice() {
           mode.federated = federated;
           mode.faulty = federated;
           mode.governed = governed;
+          mode.substrate = sp.strategy == EvalStrategy::kNaive
+                               ? EvalSubstrate::kNested
+                               : EvalSubstrate::kColumnar;
           modes.push_back(mode);
         }
       }
@@ -144,6 +147,8 @@ std::string CheckScenario(const DiscrepancyConfig& config, size_t trace_steps,
     materialize.strategy = mode.strategy;
     materialize.materialize_parallelism = mode.parallelism;
     materialize.maintenance = mode.maintenance;
+    materialize.substrate = mode.substrate;
+    runner->request_options.substrate = mode.substrate;
     if (mode.governed) {
       ApplyGenerousBudgets(&materialize);
       ApplyGenerousBudgets(&runner->request_options);

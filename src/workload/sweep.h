@@ -54,6 +54,11 @@ struct ModePoint {
   // Generous (never-binding) governor budgets on requests and
   // materializations.
   bool governed = false;
+  // Evaluation substrate (eval/query.h). FullModeLattice runs the naive
+  // strategy points — including the reference — on the tuple-at-a-time
+  // kNested oracle, so every sweep cross-checks the columnar kernels
+  // against it on all five discrepancy styles.
+  EvalSubstrate substrate = EvalSubstrate::kColumnar;
 
   // "semi-par/inc/fed+faults/gov" — stable, locked by explain_format_test.
   std::string Label() const;

@@ -1,0 +1,390 @@
+// ColumnarRelation / ColumnarStore contracts (relational/columnar.h):
+//  - flatness detection and the FromSet <-> ToNested round trip, including
+//    over every PR 6 discrepancy style x mangling and over adversarial
+//    strings (embedded NULs, all 256 byte values);
+//  - CellSatisfies parity with Matcher::EvalRelOp over an exhaustive
+//    atom-pair grid (the columnar kernels re-implement the matcher's atomic
+//    semantics and must never drift);
+//  - ProbeEq agreeing with the Filter scan kernel on every operand;
+//  - Value::RehashElement matching RehashSet's dedup semantics;
+//  - epoch page sharing in ColumnarStore::Build;
+//  - zero non-flat fallbacks when the queried relations are flat.
+
+#include "relational/columnar.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "eval/matcher.h"
+#include "eval/query.h"
+#include "object/builder.h"
+#include "object/date.h"
+#include "object/value.h"
+#include "syntax/parser.h"
+#include "workload/discrepancy_gen.h"
+
+namespace idl {
+namespace {
+
+Value Row(std::initializer_list<std::pair<std::string, Value>> fields) {
+  Value t = Value::EmptyTuple();
+  for (const auto& [name, value] : fields) t.SetField(name, value);
+  return t;
+}
+
+TEST(ColumnarFlatness, FlatSetsAreDetected) {
+  Value set = Value::EmptySet();
+  set.Insert(Row({{"date", Value::Int(1)}, {"px", Value::Real(50.5)}}));
+  set.Insert(Row({{"date", Value::Int(2)}, {"px", Value::Null()}}));
+  EXPECT_TRUE(ColumnarRelation::IsFlat(set));
+  EXPECT_NE(ColumnarRelation::FromSet(set), nullptr);
+
+  // The empty set is flat (zero rows, zero columns).
+  EXPECT_TRUE(ColumnarRelation::IsFlat(Value::EmptySet()));
+
+  // Heterogeneous attribute sets are not flat.
+  Value hetero = Value::EmptySet();
+  hetero.Insert(Row({{"a", Value::Int(1)}}));
+  hetero.Insert(Row({{"b", Value::Int(2)}}));
+  EXPECT_FALSE(ColumnarRelation::IsFlat(hetero));
+
+  // Aggregate cells are not flat.
+  Value nested = Value::EmptySet();
+  nested.Insert(Row({{"a", Row({{"x", Value::Int(1)}})}}));
+  EXPECT_FALSE(ColumnarRelation::IsFlat(nested));
+
+  // Non-tuple elements are not flat.
+  Value atoms = MakeSet({Value::Int(1), Value::Int(2)});
+  EXPECT_FALSE(ColumnarRelation::IsFlat(atoms));
+  EXPECT_EQ(ColumnarRelation::FromSet(atoms), nullptr);
+
+  // Non-sets are not flat.
+  EXPECT_FALSE(ColumnarRelation::IsFlat(Value::Int(3)));
+}
+
+// Round trip: ToNested() must rebuild an equal set in the same element
+// order. Exercised per typed column kind plus the mixed spill column.
+TEST(ColumnarRoundTrip, TypedColumnsAndNulls) {
+  Value set = Value::EmptySet();
+  set.Insert(Row({{"i", Value::Int(7)},
+                  {"d", Value::Real(2.5)},
+                  {"b", Value::Bool(true)},
+                  {"s", Value::String("hp")},
+                  {"t", Value::Of(Date::FromDayNumber(1000))},
+                  {"m", Value::Int(1)}}));
+  set.Insert(Row({{"i", Value::Int(-9)},
+                  {"d", Value::Null()},
+                  {"b", Value::Bool(false)},
+                  {"s", Value::String("")},
+                  {"t", Value::Of(Date::FromDayNumber(400))},
+                  {"m", Value::String("mixed")}}));
+  set.Insert(Row({{"i", Value::Null()},
+                  {"d", Value::Real(-0.0)},
+                  {"b", Value::Null()},
+                  {"s", Value::Null()},
+                  {"t", Value::Null()},
+                  {"m", Value::Null()}}));
+  auto rel = ColumnarRelation::FromSet(set);
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->num_rows(), 3u);
+  EXPECT_EQ(rel->num_cols(), 6u);
+
+  Value back = rel->ToNested();
+  EXPECT_EQ(back, set);
+  ASSERT_EQ(back.SetSize(), set.SetSize());
+  for (size_t i = 0; i < set.SetSize(); ++i) {
+    EXPECT_EQ(back.elements()[i], set.elements()[i]) << "row " << i;
+  }
+}
+
+TEST(ColumnarRoundTrip, AdversarialStrings) {
+  // Embedded NULs and every byte value: the per-relation interner must be
+  // 8-bit clean and length-aware.
+  std::string nul("a\0b", 3);
+  std::string all256;
+  for (int c = 0; c < 256; ++c) all256.push_back(static_cast<char>(c));
+  Value set = Value::EmptySet();
+  set.Insert(Row({{"s", Value::String(nul)}}));
+  set.Insert(Row({{"s", Value::String(std::string("a"))}}));
+  set.Insert(Row({{"s", Value::String(all256)}}));
+  set.Insert(Row({{"s", Value::String(std::string(1, '\0'))}}));
+  auto rel = ColumnarRelation::FromSet(set);
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->ToNested(), set);
+
+  // Probing with the NUL-embedded operand finds exactly its row.
+  std::vector<uint32_t> rows;
+  rel->ProbeEq(0, Value::String(nul), &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 0u);
+}
+
+TEST(ColumnarRoundTrip, DiscrepancyTenantDatabases) {
+  // Every generated style x mangling: each tenant database is a tuple of
+  // relation sets; every flat one must round-trip with element order
+  // preserved. (`map` relations and per-entity relations are flat; the
+  // generator's shapes cover value/attr/rel/nested/mixed placement.)
+  size_t flat_relations = 0;
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    DiscrepancyConfig config;
+    config.seed = seed;
+    config.num_tenants = 5;
+    config.mangle_rate = seed % 2 == 0 ? 1.0 : 0.4;
+    config.pinned_styles = {
+        DiscrepancyStyle::kValue, DiscrepancyStyle::kAttribute,
+        DiscrepancyStyle::kRelation, DiscrepancyStyle::kNested,
+        DiscrepancyStyle::kMixed};
+    DiscrepancyUniverse universe = GenerateDiscrepancyUniverse(config);
+    for (const auto& tenant : universe.tenants) {
+      Value db = universe.BuildTenantDatabase(tenant);
+      ASSERT_TRUE(db.is_tuple());
+      for (const auto& field : db.fields()) {
+        if (!field.value.is_set()) continue;
+        auto rel = ColumnarRelation::FromSet(field.value);
+        if (rel == nullptr) {
+          EXPECT_FALSE(ColumnarRelation::IsFlat(field.value));
+          continue;
+        }
+        ++flat_relations;
+        Value back = rel->ToNested();
+        EXPECT_EQ(back, field.value) << tenant.name << "." << field.name;
+        ASSERT_EQ(back.SetSize(), field.value.SetSize());
+        for (size_t i = 0; i < back.SetSize(); ++i) {
+          EXPECT_EQ(back.elements()[i], field.value.elements()[i]);
+        }
+      }
+    }
+  }
+  EXPECT_GT(flat_relations, 20u) << "generator shapes changed?";
+}
+
+// The atom zoo for the parity grid: every kind, numeric cross-kind pairs,
+// signed zero, empty and NUL strings, date/int lookalikes.
+std::vector<Value> AtomZoo() {
+  return {Value::Null(),
+          Value::Bool(false),
+          Value::Bool(true),
+          Value::Int(0),
+          Value::Int(1),
+          Value::Int(-3),
+          Value::Int(50),
+          Value::Real(0.0),
+          Value::Real(-0.0),
+          Value::Real(1.0),
+          Value::Real(50.5),
+          Value::Real(-3.0),
+          Value::String(""),
+          Value::String("a"),
+          Value::String(std::string("a\0b", 3)),
+          Value::String("hp"),
+          Value::Of(Date::FromDayNumber(0)),
+          Value::Of(Date::FromDayNumber(1000))};
+}
+
+TEST(ColumnarParity, CellSatisfiesMatchesEvalRelOpExhaustively) {
+  const std::vector<Value> zoo = AtomZoo();
+  const RelOp ops[] = {RelOp::kEq, RelOp::kNe, RelOp::kLt,
+                       RelOp::kLe, RelOp::kGt, RelOp::kGe};
+
+  // One relation per cell kind arrangement: a homogeneous typed column per
+  // kind (via one-row sets) plus one mixed column holding the whole zoo.
+  // Mixed column: all zoo atoms as rows.
+  Value mixed_set = Value::EmptySet();
+  for (size_t i = 0; i < zoo.size(); ++i) {
+    // A disambiguator field keeps elements distinct even when cells repeat.
+    mixed_set.Insert(Row({{"c", zoo[i]}, {"row", Value::Int(int64_t(i))}}));
+  }
+  auto mixed = ColumnarRelation::FromSet(mixed_set);
+  ASSERT_NE(mixed, nullptr);
+  int c = mixed->FindColumn("c");
+  ASSERT_GE(c, 0);
+  for (uint32_t row = 0; row < mixed->num_rows(); ++row) {
+    for (const Value& operand : zoo) {
+      for (RelOp op : ops) {
+        bool expected = Matcher::EvalRelOp(op, zoo[row], operand);
+        EXPECT_EQ(mixed->CellSatisfies(size_t(c), row, op, operand), expected)
+            << "mixed cell=" << row << " op=" << int(op);
+      }
+    }
+  }
+
+  // Typed columns: group cells by kind so FromSet builds kInt/kDouble/
+  // kBool/kString/kDate columns, then run the same grid.
+  for (const Value& cell_proto : zoo) {
+    if (cell_proto.is_null()) continue;
+    Value typed_set = Value::EmptySet();
+    std::vector<Value> cells;
+    for (const Value& v : zoo) {
+      if (v.kind() != cell_proto.kind() && !v.is_null()) continue;
+      cells.push_back(v);
+      typed_set.Insert(
+          Row({{"c", v}, {"row", Value::Int(int64_t(cells.size()))}}));
+    }
+    auto rel = ColumnarRelation::FromSet(typed_set);
+    ASSERT_NE(rel, nullptr);
+    int col = rel->FindColumn("c");
+    ASSERT_GE(col, 0);
+    for (uint32_t row = 0; row < rel->num_rows(); ++row) {
+      for (const Value& operand : zoo) {
+        for (RelOp op : ops) {
+          bool expected = Matcher::EvalRelOp(op, cells[row], operand);
+          EXPECT_EQ(rel->CellSatisfies(size_t(col), row, op, operand),
+                    expected)
+              << ValueKindName(cell_proto.kind()) << " row=" << row;
+        }
+      }
+    }
+  }
+}
+
+TEST(ColumnarParity, ProbeEqMatchesFilterScan) {
+  Value set = Value::EmptySet();
+  for (int64_t i = 0; i < 40; ++i) {
+    set.Insert(Row({{"k", i % 3 == 0 ? Value::Real(double(i % 10))
+                                     : Value::Int(i % 10)},
+                    {"row", Value::Int(i)}}));
+  }
+  set.Insert(Row({{"k", Value::Null()}, {"row", Value::Int(99)}}));
+  auto rel = ColumnarRelation::FromSet(set);
+  ASSERT_NE(rel, nullptr);
+  int k = rel->FindColumn("k");
+  ASSERT_GE(k, 0);
+
+  for (const Value& operand : AtomZoo()) {
+    std::vector<uint32_t> probed;
+    rel->ProbeEq(size_t(k), operand, &probed);
+    std::vector<uint32_t> scanned;
+    rel->AllRows(&scanned);
+    rel->Filter(size_t(k), RelOp::kEq, operand, &scanned);
+    EXPECT_EQ(probed, scanned) << "operand kind " << int(operand.kind());
+  }
+}
+
+TEST(ColumnarParity, RehashElementMatchesRehashSetDedup) {
+  // Mutate one element into a duplicate both ways; the survivor set must
+  // match RehashSet's keep-first semantics regardless of which index moved.
+  for (bool mutate_later : {false, true}) {
+    Value a = Value::EmptySet();
+    a.Insert(Row({{"x", Value::Int(1)}}));
+    a.Insert(Row({{"x", Value::Int(2)}}));
+    a.Insert(Row({{"x", Value::Int(3)}}));
+    Value b = a;
+    size_t i = mutate_later ? 2 : 0;
+    uint64_t old_hash = a.elements()[i].Hash();
+    a.MutableElement(i)->SetField("x", Value::Int(2));
+    b.MutableElement(i)->SetField("x", Value::Int(2));
+    EXPECT_TRUE(a.RehashElement(i, old_hash));
+    b.RehashSet();
+    ASSERT_EQ(a, b);
+    ASSERT_EQ(a.SetSize(), 2u);
+    for (size_t r = 0; r < a.SetSize(); ++r) {
+      EXPECT_EQ(a.elements()[r], b.elements()[r]) << "order diverged at " << r;
+    }
+    // And the index is still consistent: lookups and inserts behave.
+    EXPECT_TRUE(a.Contains(Row({{"x", Value::Int(2)}})));
+    EXPECT_FALSE(a.Insert(Row({{"x", Value::Int(2)}})));
+  }
+
+  // The common case: no duplicate, element stays, index entry moves.
+  Value s = Value::EmptySet();
+  s.Insert(Row({{"x", Value::Int(1)}}));
+  s.Insert(Row({{"x", Value::Int(2)}}));
+  uint64_t old_hash = s.elements()[0].Hash();
+  s.MutableElement(0)->SetField("x", Value::Int(7));
+  EXPECT_FALSE(s.RehashElement(0, old_hash));
+  EXPECT_EQ(s.SetSize(), 2u);
+  EXPECT_TRUE(s.Contains(Row({{"x", Value::Int(7)}})));
+  EXPECT_FALSE(s.Contains(Row({{"x", Value::Int(1)}})));
+}
+
+TEST(ColumnarStoreTest, EpochPageSharing) {
+  Value universe = Value::EmptyTuple();
+  Value db = Value::EmptyTuple();
+  Value r = Value::EmptySet();
+  r.Insert(Row({{"date", Value::Int(1)}, {"px", Value::Int(50)}}));
+  r.Insert(Row({{"date", Value::Int(2)}, {"px", Value::Int(60)}}));
+  Value w = Value::EmptySet();
+  w.Insert(Row({{"k", Value::String("ibm")}}));
+  db.SetField("r", std::move(r));
+  db.SetField("w", std::move(w));
+  universe.SetField("t0", std::move(db));
+
+  auto store1 = ColumnarStore::Build(universe, nullptr);
+  ASSERT_NE(store1, nullptr);
+  EXPECT_EQ(store1->pages(), 2u);
+  EXPECT_EQ(store1->shared_with_previous(), 0u);
+  const Value* r_set = universe.FindField("t0")->FindField("r");
+  auto page1 = store1->Find(static_cast<const void*>(r_set));
+  ASSERT_NE(page1, nullptr);
+  EXPECT_EQ(page1->num_rows(), 2u);
+
+  // Next epoch: deep-copied universe, only `w` changes. `r`'s page must be
+  // the same object, not an equal rebuild.
+  Value next = universe;
+  next.MutableField("t0")->MutableField("w")->Insert(
+      Row({{"k", Value::String("hp")}}));
+  auto store2 = ColumnarStore::Build(next, store1.get());
+  EXPECT_EQ(store2->pages(), 2u);
+  EXPECT_EQ(store2->shared_with_previous(), 1u);
+  const Value* r_next = next.FindField("t0")->FindField("r");
+  EXPECT_EQ(store2->Find(static_cast<const void*>(r_next)).get(),
+            page1.get());
+  // The changed relation got a fresh page.
+  const Value* w_next = next.FindField("t0")->FindField("w");
+  auto w_page = store2->Find(static_cast<const void*>(w_next));
+  ASSERT_NE(w_page, nullptr);
+  EXPECT_EQ(w_page->num_rows(), 2u);
+}
+
+TEST(ColumnarFallbacks, FlatRelationsNeverFallBack) {
+  // A flat universe queried under the columnar substrate must vectorize
+  // every eligible conjunct activation and never fall back to the nested
+  // matcher for non-flatness.
+  Value universe = Value::EmptyTuple();
+  Value db = Value::EmptyTuple();
+  Value r = Value::EmptySet();
+  for (int64_t i = 0; i < 64; ++i) {
+    r.Insert(Row({{"date", Value::Int(i / 8)},
+                  {"stk", Value::String(i % 2 == 0 ? "ibm" : "hp")},
+                  {"px", Value::Int(100 + i)}}));
+  }
+  db.SetField("p", std::move(r));
+  universe.SetField("dbI", std::move(db));
+
+  Counter* fallbacks =
+      MetricsRegistry::Global().counter("columnar.nonflat_fallbacks");
+  Counter* activations =
+      MetricsRegistry::Global().counter("columnar.vector_activations");
+  uint64_t fallbacks_before = fallbacks->value();
+  uint64_t activations_before = activations->value();
+
+  auto query = ParseQuery("?.dbI.p(.date=D, .stk=ibm, .px>120)");
+  ASSERT_TRUE(query.ok());
+  EvalOptions options;  // substrate defaults to kColumnar
+  auto columnar = EvaluateQuery(universe, *query, options, nullptr, nullptr);
+  ASSERT_TRUE(columnar.ok());
+  EXPECT_GT(columnar->rows.size(), 0u);
+
+  EXPECT_EQ(fallbacks->value(), fallbacks_before);
+  EXPECT_GT(activations->value(), activations_before);
+
+  // Differential: identical answer under the tuple-at-a-time substrate.
+  EvalOptions nested;
+  nested.substrate = EvalSubstrate::kNested;
+  auto oracle = EvaluateQuery(universe, *query, nested, nullptr, nullptr);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(columnar->columns, oracle->columns);
+  EXPECT_EQ(columnar->rows, oracle->rows);
+
+  // And the nested substrate compiles no vector plans at all.
+  uint64_t activations_mid = activations->value();
+  auto again = EvaluateQuery(universe, *query, nested, nullptr, nullptr);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(activations->value(), activations_mid);
+}
+
+}  // namespace
+}  // namespace idl

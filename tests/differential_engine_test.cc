@@ -39,10 +39,13 @@ ViewEngine BuildEngine(const std::vector<std::string>& rule_texts) {
 }
 
 Materialized MaterializeWith(const ViewEngine& engine, const Value& universe,
-                             EvalStrategy strategy, size_t parallelism) {
+                             EvalStrategy strategy, size_t parallelism,
+                             EvalSubstrate substrate =
+                                 EvalSubstrate::kColumnar) {
   EvalOptions options;
   options.strategy = strategy;
   options.materialize_parallelism = parallelism;
+  options.substrate = substrate;
   auto m = engine.Materialize(universe, options);
   EXPECT_TRUE(m.ok()) << m.status().ToString();
   return std::move(m).value();
@@ -74,6 +77,20 @@ void ExpectStrategiesAgree(const ViewEngine& engine, const Value& universe,
   EXPECT_EQ(serial.changes, parallel.changes) << context;
   EXPECT_EQ(serial.facts_derived, parallel.facts_derived) << context;
   EXPECT_EQ(serial.delta_size, parallel.delta_size) << context;
+
+  // The tuple-at-a-time substrate is the oracle for the columnar kernels
+  // (vectorized enumeration and the batch absorber): not just the universe
+  // but every write-phase counter must be identical, because the batch path
+  // claims to absorb into exactly the element the scan would pick.
+  Materialized nested = MaterializeWith(
+      engine, universe, EvalStrategy::kSemiNaive, 1, EvalSubstrate::kNested);
+  EXPECT_EQ(serial.universe, nested.universe)
+      << context << ": columnar vs nested substrate universes differ";
+  EXPECT_EQ(serial.derived_paths, nested.derived_paths)
+      << context << ": columnar vs nested derived paths differ";
+  EXPECT_EQ(serial.changes, nested.changes) << context;
+  EXPECT_EQ(serial.facts_derived, nested.facts_derived) << context;
+  EXPECT_EQ(serial.delta_size, nested.delta_size) << context;
 }
 
 TEST(DifferentialEngine, PaperViewProgram) {

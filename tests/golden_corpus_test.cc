@@ -356,6 +356,15 @@ TEST(GoldenCorpus, ScriptsMatchGoldens) {
     EXPECT_EQ(transcript, other)
         << "incremental and rematerialize transcripts diverge";
 
+    // And under the tuple-at-a-time substrate: the columnar kernels
+    // (relational/columnar.h, eval/vector_exec.h, the engine's batch
+    // absorber) must be transcript-invisible on the whole corpus.
+    EvalOptions nested = semi;
+    nested.substrate = EvalSubstrate::kNested;
+    std::string tuple_at_a_time = run(nested);
+    EXPECT_EQ(transcript, tuple_at_a_time)
+        << "columnar and nested substrate transcripts diverge";
+
     // A server script additionally runs single-session: concurrency must not
     // change any answer, so only the session count in the header/trailer
     // lines may differ.
