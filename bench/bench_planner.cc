@@ -1,0 +1,116 @@
+// PL1 — what the cost-based planner buys on the paper's unification view.
+//
+// Three contenders materialize the same unified dbI.p over the three
+// schematically discrepant schemas at 16 stocks x 50 days:
+//
+//   BM_Planner_HandPivoted    the relational ceiling: hand-written
+//                             UNPIVOT + per-relation UNION (the plan a
+//                             human query writer compiles to by hand —
+//                             BM_Pivot_Unification's workload, kept here so
+//                             one binary carries the whole comparison)
+//   BM_Planner_HO_Written     the higher-order rules evaluated in written
+//                             order (the oracle executor): every pass
+//                             re-enumerates metadata per tuple
+//   BM_Planner_HO_Planned     the same rules under PlannerMode::kCostBased:
+//                             higher-order conjuncts specialized into
+//                             first-order instances at plan time, joins
+//                             reordered bound-first
+//
+// CI gates planned <= 2x hand-pivoted at 16/50 (scripts in
+// .github/workflows/ci.yml); written order historically sat near 4x.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "relational/algebra.h"
+#include "relational/pivot.h"
+#include "views/engine.h"
+
+namespace {
+
+using idl_bench::MakeWorkload;
+
+void BM_Planner_HandPivoted(benchmark::State& state) {
+  size_t stocks = state.range(0);
+  size_t days = state.range(1);
+  idl::StockWorkload w = MakeWorkload(stocks, days);
+  idl::RelationalDatabase euter = BuildEuterDatabase(w);
+  idl::RelationalDatabase chwab = BuildChwabDatabase(w);
+  idl::RelationalDatabase ource = BuildOurceDatabase(w);
+
+  for (auto _ : state) {
+    auto chwab_flat =
+        Unpivot(*chwab.FindTable("r"), "date", "stkCode", "clsPrice");
+    IDL_BENCH_CHECK(chwab_flat.ok());
+    idl::ResultSet unified = ScanAll(*euter.FindTable("r"));
+    auto u1 = Union(unified, ScanAll(*chwab_flat));
+    IDL_BENCH_CHECK(u1.ok());
+    unified = std::move(u1).value();
+    for (const auto& name : ource.TableNames()) {
+      const idl::Table& t = *ource.FindTable(name);
+      idl::ResultSet branch = ScanAll(t);
+      idl::ResultSet widened;
+      widened.schema = idl::Schema({t.schema().column(0),
+                                    idl::Column{"stkCode",
+                                                idl::ColumnType::kString},
+                                    t.schema().column(1)});
+      for (const auto& row : branch.rows) {
+        widened.rows.push_back(idl::Row(
+            {row.cells[0], idl::Value::String(name), row.cells[1]}));
+      }
+      auto u2 = Union(unified, widened);
+      IDL_BENCH_CHECK(u2.ok());
+      unified = std::move(u2).value();
+    }
+    IDL_BENCH_CHECK(unified.rows.size() == stocks * days);
+  }
+}
+BENCHMARK(BM_Planner_HandPivoted)
+    ->Args({4, 10})
+    ->Args({8, 25})
+    ->Args({16, 50})
+    ->Unit(benchmark::kMillisecond);
+
+void RunUnification(benchmark::State& state, idl::PlannerMode planner) {
+  size_t stocks = state.range(0);
+  size_t days = state.range(1);
+  idl::StockWorkload w = MakeWorkload(stocks, days);
+  idl::Value universe = BuildStockUniverse(w);
+  idl::ViewEngine engine;
+  for (size_t i = 0; i < 3; ++i) {
+    auto rule = idl::ParseRule(idl::PaperViewRules()[i]);
+    IDL_BENCH_CHECK(rule.ok());
+    IDL_BENCH_CHECK(engine.AddRule(std::move(rule).value()).ok());
+  }
+  idl::EvalOptions options;
+  options.planner = planner;
+  for (auto _ : state) {
+    auto m = engine.Materialize(universe, options);
+    IDL_BENCH_CHECK(m.ok());
+    IDL_BENCH_CHECK(
+        m->universe.FindField("dbI")->FindField("p")->SetSize() ==
+        stocks * days);
+  }
+}
+
+void BM_Planner_HO_Written(benchmark::State& state) {
+  RunUnification(state, idl::PlannerMode::kWrittenOrder);
+}
+BENCHMARK(BM_Planner_HO_Written)
+    ->Args({4, 10})
+    ->Args({8, 25})
+    ->Args({16, 50})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Planner_HO_Planned(benchmark::State& state) {
+  RunUnification(state, idl::PlannerMode::kCostBased);
+}
+BENCHMARK(BM_Planner_HO_Planned)
+    ->Args({4, 10})
+    ->Args({8, 25})
+    ->Args({16, 50})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+IDL_BENCH_MAIN()

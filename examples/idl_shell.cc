@@ -13,6 +13,11 @@
 //                                           after every update
 //   --substrate={columnar,nested}           evaluation substrate (columnar
 //                                           kernels vs tuple-at-a-time oracle)
+//   --planner={written,cost}                conjunct-ordering planner
+//                                           (written-order oracle vs
+//                                           cost-based reordering +
+//                                           higher-order specialization;
+//                                           answers identical — docs/PLANNER.md)
 //   --site-latency-ms=N                     host the paper databases on
 //                                           simulated remote sites with N ms
 //                                           of request latency (federated
@@ -89,7 +94,8 @@ void ApplyScriptDirectives(const std::string& script,
                            idl::EvalOptions* request_options,
                            idl::EvalOptions* materialize_options,
                            bool maintenance_flag_given,
-                           bool substrate_flag_given) {
+                           bool substrate_flag_given,
+                           bool planner_flag_given) {
   const std::string directive = "% max-passes:";
   size_t at = script.find(directive);
   if (at != std::string::npos && request_options->max_passes == 0) {
@@ -115,6 +121,18 @@ void ApplyScriptDirectives(const std::string& script,
     } else if (script.find("% substrate: columnar") != std::string::npos) {
       request_options->substrate = idl::EvalSubstrate::kColumnar;
       materialize_options->substrate = idl::EvalSubstrate::kColumnar;
+    }
+  }
+  // `% planner: cost` opts a script into cost-based conjunct ordering
+  // (docs/PLANNER.md); answers are byte-identical to written order by
+  // construction, so like `% substrate:` this is a perf/differential knob.
+  if (!planner_flag_given) {
+    if (script.find("% planner: cost") != std::string::npos) {
+      request_options->planner = idl::PlannerMode::kCostBased;
+      materialize_options->planner = idl::PlannerMode::kCostBased;
+    } else if (script.find("% planner: written") != std::string::npos) {
+      request_options->planner = idl::PlannerMode::kWrittenOrder;
+      materialize_options->planner = idl::PlannerMode::kWrittenOrder;
     }
   }
 }
@@ -214,17 +232,24 @@ argument a built-in demo runs; '-' reads from stdin.
 
   --strategy={naive,seminaive,parallel}  view materialization strategy
   --maintenance={incremental,rematerialize}
+                        keep materialized views current by delta
+                        propagation (the default) or rebuild from scratch
+                        after every update; a script's
+                        '% maintenance: MODE' directive applies when this
+                        flag is not given (docs/INCREMENTAL.md)
   --substrate={columnar,nested}
                         evaluation substrate (docs/COLUMNAR.md): columnar
                         pages with vectorized kernels (default) or the
                         tuple-at-a-time oracle. Answers are identical by
                         construction; a script's '% substrate: S' directive
                         applies when this flag is not given
-                        keep materialized views current by delta
-                        propagation (the default) or rebuild from scratch
-                        after every update; a script's
-                        '% maintenance: MODE' directive applies when this
-                        flag is not given (docs/INCREMENTAL.md)
+  --planner={written,cost}
+                        conjunct-ordering planner (docs/PLANNER.md): written
+                        order (default, the oracle) or cost-based join
+                        reordering with higher-order specialization. Answers
+                        are byte-identical by construction; a script's
+                        '% planner: P' directive applies when this flag is
+                        not given
   --site-latency-ms=N   host the databases on simulated remote sites with
                         N ms request latency (0 = direct, the default)
   --deadline-ms=N       wall-clock budget per statement
@@ -278,6 +303,7 @@ int main(int argc, char** argv) {
   idl::EvalOptions request_options;
   bool maintenance_flag_given = false;
   bool substrate_flag_given = false;
+  bool planner_flag_given = false;
   TraceMode trace_mode = TraceMode::kOff;
   bool trace_flag_given = false;
   int site_latency_ms = 0;
@@ -296,6 +322,7 @@ int main(int argc, char** argv) {
           arg.rfind("--strategy=", 0) == 0 ||
           arg.rfind("--maintenance=", 0) == 0 ||
           arg.rfind("--substrate=", 0) == 0 ||
+          arg.rfind("--planner=", 0) == 0 ||
           arg.rfind("--site-latency-ms=", 0) == 0 ||
           arg.rfind("--deadline-ms=", 0) == 0 ||
           arg.rfind("--max-passes=", 0) == 0 ||
@@ -355,6 +382,20 @@ int main(int argc, char** argv) {
         return 1;
       }
       substrate_flag_given = true;
+    } else if (arg.rfind("--planner=", 0) == 0) {
+      std::string planner = arg.substr(std::string("--planner=").size());
+      if (planner == "written") {
+        eval_options.planner = idl::PlannerMode::kWrittenOrder;
+        request_options.planner = idl::PlannerMode::kWrittenOrder;
+      } else if (planner == "cost") {
+        eval_options.planner = idl::PlannerMode::kCostBased;
+        request_options.planner = idl::PlannerMode::kCostBased;
+      } else {
+        std::printf("unknown --planner '%s' (want written or cost)\n",
+                    planner.c_str());
+        return 1;
+      }
+      planner_flag_given = true;
     } else if (arg.rfind("--site-latency-ms=", 0) == 0) {
       site_latency_ms =
           std::atoi(arg.substr(std::string("--site-latency-ms=").size())
@@ -463,7 +504,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     ApplyScriptDirectives(script, &request_options, &eval_options,
-                          maintenance_flag_given, substrate_flag_given);
+                          maintenance_flag_given, substrate_flag_given,
+                          planner_flag_given);
     auto spec = idl::ParseDurableScriptSpec(script);
     if (!spec.ok()) {
       std::printf("bad wal directive: %s\n", spec.status().ToString().c_str());
@@ -515,7 +557,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     ApplyScriptDirectives(script, &request_options, &eval_options,
-                          maintenance_flag_given, substrate_flag_given);
+                          maintenance_flag_given, substrate_flag_given,
+                          planner_flag_given);
     idl::ServerOptions server_options;
     server_options.materialize = eval_options;
     idl::Server server(server_options);
@@ -632,7 +675,8 @@ int main(int argc, char** argv) {
     }
   }
   ApplyScriptDirectives(script, &request_options, &eval_options,
-                        maintenance_flag_given, substrate_flag_given);
+                        maintenance_flag_given, substrate_flag_given,
+                          planner_flag_given);
   // A directive-requested trace masks its timings (the transcript must be
   // reproducible — the golden corpus pins it); the flag shows real ones.
   bool mask_trace_timings = false;

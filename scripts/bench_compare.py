@@ -3,7 +3,7 @@
 
 Usage:
   scripts/bench_compare.py NEW.json [BASELINE.json] [--threshold PCT]
-                           [--fail-above PCT]
+                           [--fail-above PCT] [--only REGEX]
 
 When BASELINE.json is omitted, the most recently *committed* BENCH_*.json in
 the repo root is used (git log order; the NEW report itself is skipped, so
@@ -16,11 +16,17 @@ for rows_per_sec/facts_per_sec when both sides report them.
 Exit status is 0 unless --fail-above PCT is given and some benchmark
 regressed by more than PCT percent (intended for CI gates; wall-clock noise
 on shared runners makes a generous threshold advisable).
+
+--only REGEX restricts the comparison (and the --fail-above gate) to the
+benchmarks whose name matches REGEX, so CI can pin a single sentinel row
+(e.g. --only 'BM_Join_Indexed/180') without the whole report's noise
+deciding the exit status. Matching is re.search against the bare name.
 """
 
 import argparse
 import json
 import os
+import re
 import subprocess
 import sys
 
@@ -78,6 +84,8 @@ def main():
                         help="report rows changed by more than this percent")
     parser.add_argument("--fail-above", type=float, default=None,
                         help="exit 1 when a regression exceeds this percent")
+    parser.add_argument("--only", default=None, metavar="REGEX",
+                        help="compare only benchmarks whose name matches")
     args = parser.parse_args()
 
     baseline_path = args.baseline or latest_committed_baseline(args.new)
@@ -93,6 +101,13 @@ def main():
           f"(sha {base_report.get('git_sha', '?')})")
 
     common = sorted(set(new_rows) & set(base_rows))
+    if args.only is not None:
+        pattern = re.compile(args.only)
+        common = [key for key in common if pattern.search(key[1])]
+        if not common:
+            print(f"bench_compare: --only {args.only!r} matched no "
+                  "overlapping benchmarks", file=sys.stderr)
+            return 1
     if not common:
         print("bench_compare: no overlapping benchmarks")
         return 0

@@ -18,7 +18,15 @@ bool SetIndexCache::Probe(const Value& set, std::string_view attr,
   // an earlier generation and skip the insert path entirely.
   StringInterner::Id attr_id = attr_ids_.Find(attr);
   if (attr_id == StringInterner::kNotInterned) attr_id = attr_ids_.Intern(attr);
-  auto& per_set = cache_[static_cast<SetKey>(&set)];
+  PerSetEntry& entry = cache_[static_cast<SetKey>(&set)];
+  if (entry.built_size != set.SetSize() && !entry.by_attr.empty()) {
+    // The set changed size under its address without a generation bump
+    // (e.g. delete-and-rederive reusing storage): every position list and
+    // bucket estimate for it is stale. Drop and rebuild on demand.
+    entry.by_attr.clear();
+  }
+  entry.built_size = set.SetSize();
+  auto& per_set = entry.by_attr;
   auto it = per_set.find(attr_id);
   if (it != per_set.end()) {
     ++indexes_reused_;
@@ -60,9 +68,13 @@ std::shared_ptr<const ColumnarRelation> SetIndexCache::Columnar(
   }
   SetKey key = static_cast<SetKey>(&set);
   auto it = columnar_.find(key);
-  if (it != columnar_.end()) return it->second;
+  if (it != columnar_.end() && it->second.built_size == set.SetSize()) {
+    return it->second.page;
+  }
+  // Miss, or size-stamp mismatch (set mutated in place without a generation
+  // bump): (re)build. nullptr memoizes "not flat at this size".
   std::shared_ptr<const ColumnarRelation> page = ColumnarRelation::FromSet(set);
-  columnar_.emplace(key, page);  // nullptr memoizes "not flat"
+  columnar_[key] = PageEntry{set.SetSize(), page};
   return page;
 }
 

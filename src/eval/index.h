@@ -83,19 +83,32 @@ class SetIndexCache {
   };
   using SetKey = const void*;
 
+  // All entries for one set, stamped with the cardinality they were built
+  // from. Address-keyed caching assumes generation bumps cover every
+  // mutation; the stamp is the defensive backstop — if a set shrank or grew
+  // in place (delete-and-rederive reusing an address) without a bump, the
+  // mismatch forces a rebuild instead of serving stale candidate positions.
+  struct PerSetEntry {
+    size_t built_size = 0;
+    std::unordered_map<StringInterner::Id, AttrIndex> by_attr;
+  };
+  struct PageEntry {
+    size_t built_size = 0;
+    // nullptr = known non-flat at built_size elements.
+    std::shared_ptr<const ColumnarRelation> page;
+  };
+
   size_t min_set_size_;
   // Attribute names interned once per cache lifetime: probes on the hot
   // path then key by a 32-bit id instead of hashing the attribute string
   // per probe. Survives EnsureGeneration clears — the same few relation
   // attribute names recur across every generation.
   StringInterner attr_ids_;
-  // (set address, attribute id) -> index.
-  std::unordered_map<SetKey, std::unordered_map<StringInterner::Id, AttrIndex>>
-      cache_;
-  // set address -> columnar page (nullptr = known non-flat). Same lifetime
-  // discipline as cache_: whole-map invalidation on generation change.
-  std::unordered_map<SetKey, std::shared_ptr<const ColumnarRelation>>
-      columnar_;
+  // set address -> that set's equality indexes.
+  std::unordered_map<SetKey, PerSetEntry> cache_;
+  // set address -> columnar page. Same lifetime discipline as cache_:
+  // whole-map invalidation on generation change, size-stamp backstop.
+  std::unordered_map<SetKey, PageEntry> columnar_;
   uint64_t generation_ = 0;
   uint64_t indexes_built_ = 0;
   uint64_t indexes_reused_ = 0;

@@ -9,6 +9,7 @@
 #include "eval/substitution.h"
 #include "eval/vector_exec.h"
 #include "object/value_io.h"
+#include "planner/planner.h"
 #include "syntax/analysis.h"
 
 namespace idl {
@@ -138,7 +139,7 @@ Result<bool> EnumerateBindingsOver(
     const std::vector<ConjunctSource>& conjuncts, const EvalOptions& options,
     EvalStats* stats, SetIndexCache* index_cache,
     const std::function<bool(const Substitution&)>& cb,
-    const ResourceGovernor* governor) {
+    const ResourceGovernor* governor, PlanInfo* plan_info) {
   EvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
 
@@ -161,6 +162,20 @@ Result<bool> EnumerateBindingsOver(
   SetIndexCache local_cache(options.index_min_set_size);
   SetIndexCache* cache = index_cache;
   if (cache == nullptr && options.use_indexes) cache = &local_cache;
+
+  // Cost-based planning. max_rows defines early stop on the *written*
+  // emission order, so planning (which buffers and replays) would change
+  // which rows make the cut — written order handles that case. An error
+  // fallback falls through to the written-order chain below, which re-runs
+  // the enumeration and raises the error with written timing.
+  if (options.planner == PlannerMode::kCostBased && options.max_rows == 0) {
+    SetIndexCache* page_cache = index_cache != nullptr ? index_cache
+                                                       : &local_cache;
+    PlannedEnumerate planned = TryPlannedEnumerate(
+        ordered, options, stats, page_cache, cb, governor, plan_info);
+    if (planned.kind == PlannedEnumerate::Kind::kDone) return planned.result;
+  }
+
   Matcher matcher(stats, options.use_indexes ? cache : nullptr);
   Substitution sigma;
   ConjunctChain chain{&ordered, &matcher, &cb, governor, Status::Ok()};
@@ -196,18 +211,20 @@ Result<bool> EnumerateBindings(
     const Value& universe, const std::vector<ExprPtr>& conjuncts,
     const EvalOptions& options, EvalStats* stats,
     const std::function<bool(const Substitution&)>& cb,
-    const ResourceGovernor* governor) {
+    const ResourceGovernor* governor, SetIndexCache* index_cache) {
   std::vector<ConjunctSource> sources;
   sources.reserve(conjuncts.size());
   for (const auto& c : conjuncts) {
     sources.push_back(ConjunctSource{c.get(), &universe});
   }
-  return EnumerateBindingsOver(sources, options, stats, nullptr, cb, governor);
+  return EnumerateBindingsOver(sources, options, stats, index_cache, cb,
+                               governor);
 }
 
 Result<Answer> EvaluateQuery(const Value& universe, const Query& query,
                              const EvalOptions& options, EvalStats* stats,
-                             const ResourceGovernor* governor) {
+                             const ResourceGovernor* governor,
+                             SetIndexCache* index_cache) {
   IDL_ASSIGN_OR_RETURN(QueryInfo info, AnalyzeQuery(query));
   if (info.is_update_request) {
     return InvalidArgument(
@@ -249,7 +266,7 @@ Result<Answer> EvaluateQuery(const Value& universe, const Query& query,
         }
         return true;
       },
-      governor);
+      governor, index_cache);
   if (!r.ok()) return r.status();
   return answer;
 }

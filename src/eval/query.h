@@ -75,6 +75,22 @@ enum class EvalSubstrate {
 };
 
 class ColumnarStore;
+class SetIndexCache;
+
+// How rule-body conjuncts are ordered for enumeration (see
+// src/planner/planner.h and docs/PLANNER.md).
+enum class PlannerMode {
+  // Evaluate conjuncts exactly in written order (after defer_negation).
+  // Kept as the differential oracle: the planned mode must be
+  // answer-identical to this one, including error timing.
+  kWrittenOrder,
+  // Cost-based: greedy bound-variable-first join reordering driven by
+  // cardinality estimates, plus compile-time specialization of
+  // higher-order conjuncts into their first-order instances. Emission
+  // order and error behaviour are reconstructed to match kWrittenOrder
+  // exactly (byte-identical answers).
+  kCostBased,
+};
 
 struct EvalOptions {
   // Move negated conjuncts after all positive ones (keeps left-to-right
@@ -100,6 +116,12 @@ struct EvalOptions {
   MaintenanceMode maintenance = MaintenanceMode::kIncremental;
   // Physical evaluation substrate for flat relations.
   EvalSubstrate substrate = EvalSubstrate::kColumnar;
+  // Conjunct-ordering planner. kCostBased reorders and specializes rule
+  // bodies behind an emission-order reconstruction that keeps answers
+  // byte-identical to kWrittenOrder (the oracle). Ignored (written order)
+  // when max_rows is set: early-stop semantics are defined on the written
+  // emission order.
+  PlannerMode planner = PlannerMode::kWrittenOrder;
   // Pre-built columnar pages for this universe (server epochs share them
   // across sessions). Null = build pages on demand per index-cache
   // generation. Ignored under kNested.
@@ -129,10 +151,15 @@ GovernorLimits GovernorLimitsFrom(const EvalOptions& options);
 // `stats`, if non-null, accumulates work counters. `governor`, if non-null,
 // is polled at every enumeration step: a cancelled or out-of-budget
 // evaluation unwinds with the governor's abort status.
+// `index_cache`, if non-null, persists set indexes and columnar pages
+// across calls (the caller owns generation invalidation — see
+// eval/index.h); sessions pass their hoisted query cache here so repeated
+// queries over an unchanged universe reuse pages.
 Result<Answer> EvaluateQuery(const Value& universe, const Query& query,
                              const EvalOptions& options = EvalOptions(),
                              EvalStats* stats = nullptr,
-                             const ResourceGovernor* governor = nullptr);
+                             const ResourceGovernor* governor = nullptr,
+                             SetIndexCache* index_cache = nullptr);
 
 // Evaluates the conjunction and calls back with every satisfying
 // substitution (used by the view engine and the update applier, which need
@@ -141,7 +168,8 @@ Result<bool> EnumerateBindings(
     const Value& universe, const std::vector<ExprPtr>& conjuncts,
     const EvalOptions& options, EvalStats* stats,
     const std::function<bool(const Substitution&)>& cb,
-    const ResourceGovernor* governor = nullptr);
+    const ResourceGovernor* governor = nullptr,
+    SetIndexCache* index_cache = nullptr);
 
 // A body conjunct paired with the universe it reads. Semi-naive evaluation
 // points one conjunct at the (much smaller) delta universe of the previous
@@ -151,18 +179,19 @@ struct ConjunctSource {
   const Value* universe = nullptr;
 };
 
-class SetIndexCache;
+struct PlanInfo;
 
 // Lower-level enumeration: per-conjunct universes and an optional external
 // index cache (persistent across calls; the caller is responsible for
 // generation-invalidating it — see eval/index.h). When `index_cache` is
 // null and options.use_indexes is set, a throwaway per-call cache is used,
-// which is exactly EnumerateBindings' behaviour.
+// which is exactly EnumerateBindings' behaviour. `plan_info`, if non-null,
+// accumulates what the cost-based planner did (src/planner/planner.h).
 Result<bool> EnumerateBindingsOver(
     const std::vector<ConjunctSource>& conjuncts, const EvalOptions& options,
     EvalStats* stats, SetIndexCache* index_cache,
     const std::function<bool(const Substitution&)>& cb,
-    const ResourceGovernor* governor = nullptr);
+    const ResourceGovernor* governor = nullptr, PlanInfo* plan_info = nullptr);
 
 }  // namespace idl
 

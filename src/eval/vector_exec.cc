@@ -116,7 +116,8 @@ Result<bool> ExecuteVectorConjunct(const VectorConjunctPlan& plan,
                                    size_t index_min_rows, EvalStats* stats,
                                    Substitution* sigma,
                                    const std::function<bool()>& next,
-                                   bool* fell_back) {
+                                   bool* fell_back,
+                                   ChoiceRecorder* recorder) {
   *fell_back = false;
 
   // Navigate to the relation set; kind mismatches and absent attributes are
@@ -264,10 +265,16 @@ Result<bool> ExecuteVectorConjunct(const VectorConjunctPlan& plan,
   count_scan(sel.size());
   for (uint32_t r : sel) {
     size_t mark = sigma->Mark();
+    size_t cmark = 0;
+    if (recorder != nullptr) {
+      cmark = recorder->Mark();
+      recorder->Push(static_cast<int32_t>(r));
+    }
     for (const PendingBind& b : binds) {
       sigma->Bind(*b.var, rel.CellValue(static_cast<size_t>(b.col), r));
     }
     bool keep_going = next();
+    if (recorder != nullptr) recorder->TruncateTo(cmark);
     sigma->RollbackTo(mark);
     if (!keep_going) return false;
   }

@@ -71,19 +71,24 @@ struct VectorConjunctPlan {
 // Static shape analysis; nullopt when the conjunct must keep the matcher.
 std::optional<VectorConjunctPlan> CompileVectorConjunct(const Expr& expr);
 
+class ChoiceRecorder;
+
 // Runs `plan` against `universe` under `*sigma`, calling `next` once per
 // satisfying row with `*sigma` extended (and rolled back afterwards).
 // Returns false when `next` stopped enumeration, true otherwise; errors are
 // the exact statuses the matcher would raise. If the target set has no
 // columnar page (not flat), sets `*fell_back` and returns without emitting:
-// the caller must run the matcher instead.
+// the caller must run the matcher instead. `recorder`, if non-null,
+// receives the emitted row's element ordinal around each `next` call — the
+// same ordinal the matcher's set scan records (eval/matcher.h).
 Result<bool> ExecuteVectorConjunct(const VectorConjunctPlan& plan,
                                    const Value& universe, SetIndexCache* cache,
                                    const ColumnarStore* store, bool use_indexes,
                                    size_t index_min_rows, EvalStats* stats,
                                    Substitution* sigma,
                                    const std::function<bool()>& next,
-                                   bool* fell_back);
+                                   bool* fell_back,
+                                   ChoiceRecorder* recorder = nullptr);
 
 }  // namespace idl
 

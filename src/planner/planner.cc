@@ -1,0 +1,825 @@
+#include "planner/planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/metrics.h"
+#include "common/str_util.h"
+#include "common/trace.h"
+#include "eval/index.h"
+#include "eval/matcher.h"
+#include "eval/vector_exec.h"
+#include "relational/columnar.h"
+#include "syntax/analysis.h"
+
+namespace idl {
+
+void PlanInfo::Merge(const PlanInfo& other) {
+  planned |= other.planned;
+  fell_back |= other.fell_back;
+  plan_ms += other.plan_ms;
+  est_rows += other.est_rows;
+  actual_rows += other.actual_rows;
+  if (summary.empty()) summary = other.summary;
+}
+
+namespace {
+
+Counter* PlansCounter() {
+  static Counter* c = MetricsRegistry::Global().counter("planner.plans");
+  return c;
+}
+Counter* ReordersCounter() {
+  static Counter* c = MetricsRegistry::Global().counter("planner.reorders");
+  return c;
+}
+Counter* SpecializationsCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().counter("planner.specializations");
+  return c;
+}
+Counter* FallbacksCounter() {
+  static Counter* c = MetricsRegistry::Global().counter("planner.fallbacks");
+  return c;
+}
+
+// ---- Static shape analysis ------------------------------------------------
+
+// Branch points every successful match path through `expr` crosses: set
+// crossings and higher-order attribute items, excluding anything under
+// negation (the recorder is suspended there). This is the per-conjunct
+// segment length of the emission key.
+size_t SegmentLength(const Expr& e) {
+  if (e.negated) return 0;
+  switch (e.kind) {
+    case Expr::Kind::kEpsilon:
+    case Expr::Kind::kAtomic:
+      return 0;
+    case Expr::Kind::kSet:
+      return 1 + (e.set_inner != nullptr ? SegmentLength(*e.set_inner) : 0);
+    case Expr::Kind::kTuple: {
+      size_t n = 0;
+      for (const TupleItem& item : e.items) {
+        if (item.attr_is_var) ++n;
+        if (item.expr != nullptr) n += SegmentLength(*item.expr);
+      }
+      return n;
+    }
+  }
+  return 0;
+}
+
+bool TermMayError(const Term& t) {
+  // Any arithmetic can raise (unbound operand, non-numeric, div by zero).
+  return t.kind == Term::Kind::kArith;
+}
+
+// Whether matching `e` can raise an evaluation error under *some*
+// substitution. Conjuncts for which this is false are safe to move: they
+// fail silently (kind mismatches, absent attributes) or bind, never error,
+// regardless of which variables happen to be bound when they run.
+bool MayError(const Expr& e) {
+  // Errors inside a negation probe propagate out, so negation is no shield.
+  switch (e.kind) {
+    case Expr::Kind::kEpsilon:
+      return false;
+    case Expr::Kind::kAtomic:
+      if (e.update != UpdateOp::kNone) return true;
+      if (!e.guard_var.empty()) {
+        // A guard evaluates its term unconditionally (possibly-unbound
+        // operand) and requires a bound guard variable for non-`=` relops.
+        return TermMayError(e.term) || e.term.kind == Term::Kind::kVar ||
+               e.relop != RelOp::kEq;
+      }
+      if (TermMayError(e.term)) return true;
+      // `X relop c` with X unbound and relop != `=` is unsafe.
+      return e.term.kind == Term::Kind::kVar && e.relop != RelOp::kEq;
+    case Expr::Kind::kTuple:
+      if (e.update != UpdateOp::kNone) return true;
+      for (const TupleItem& item : e.items) {
+        if (item.update != UpdateOp::kNone) return true;
+        if (item.expr != nullptr && MayError(*item.expr)) return true;
+      }
+      return false;
+    case Expr::Kind::kSet:
+      if (e.update != UpdateOp::kNone) return true;
+      return e.set_inner != nullptr && MayError(*e.set_inner);
+  }
+  return true;
+}
+
+size_t CountAttrVars(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kEpsilon:
+    case Expr::Kind::kAtomic:
+      return 0;
+    case Expr::Kind::kSet:
+      return e.set_inner != nullptr ? CountAttrVars(*e.set_inner) : 0;
+    case Expr::Kind::kTuple: {
+      size_t n = 0;
+      for (const TupleItem& item : e.items) {
+        if (item.attr_is_var) ++n;
+        if (item.expr != nullptr) n += CountAttrVars(*item.expr);
+      }
+      return n;
+    }
+  }
+  return 0;
+}
+
+// ---- Navigation -----------------------------------------------------------
+
+// Peels single-item constant-attribute tuple wrappers (`.db` then `.rel`),
+// following the navigated value alongside. Stops at the first node that is
+// not such a wrapper. `value` may end null (absent attribute: the conjunct
+// is dead) or non-null of any kind.
+struct Navigation {
+  const Expr* node;
+  const Value* value;  // null = navigation hit an absent attribute
+  size_t depth = 0;    // tuple wrappers peeled
+};
+
+Navigation Navigate(const Expr& root, const Value& universe) {
+  Navigation nav{&root, &universe, 0};
+  while (nav.node->kind == Expr::Kind::kTuple && !nav.node->negated &&
+         nav.node->update == UpdateOp::kNone && nav.node->items.size() == 1) {
+    const TupleItem& item = nav.node->items[0];
+    if (item.attr_is_var || item.is_guard() ||
+        item.update != UpdateOp::kNone || item.expr == nullptr) {
+      break;
+    }
+    nav.node = item.expr.get();
+    ++nav.depth;
+    if (nav.value != nullptr) {
+      nav.value =
+          nav.value->is_tuple() ? nav.value->FindField(item.attr) : nullptr;
+    }
+  }
+  return nav;
+}
+
+// ---- Cardinality estimation ----------------------------------------------
+
+constexpr double kDefaultBase = 16.0;   // unknown-shape cardinality guess
+constexpr double kDefaultEqSel = 0.1;   // `=`-item with no distinct stats
+constexpr double kDefaultRelSel = 0.4;  // <,<=,>,>= filter
+
+// One `.attr relop term` filter item of a conjunct's inner tuple, with the
+// selectivity it contributes once its operand is ground.
+struct FilterFactor {
+  std::string var;  // empty: always ground (constant operand)
+  double sel = kDefaultEqSel;
+};
+
+struct ConjEstimate {
+  double base = kDefaultBase;
+  std::vector<FilterFactor> factors;
+  std::vector<std::string> vars;  // all variables the conjunct mentions
+
+  double Cost(const std::unordered_set<std::string>& bound) const {
+    double c = base;
+    for (const FilterFactor& f : factors) {
+      if (f.var.empty() || bound.count(f.var) != 0) c *= f.sel;
+    }
+    return c;
+  }
+};
+
+// Per-attribute selectivity from the columnar page's lazy hash index when
+// one is already built (plan time never forces a build), else the default.
+double EqSelectivity(const std::shared_ptr<const ColumnarRelation>& page,
+                     const std::string& attr, size_t cardinality) {
+  if (page != nullptr && cardinality > 0) {
+    int col = page->FindColumn(attr);
+    if (col >= 0) {
+      size_t distinct = page->DistinctIfIndexed(static_cast<size_t>(col));
+      if (distinct > 0) {
+        return 1.0 / static_cast<double>(distinct);
+      }
+    }
+  }
+  return kDefaultEqSel;
+}
+
+ConjEstimate Estimate(const ConjunctSource& source, const EvalOptions& options,
+                      SetIndexCache* cache) {
+  ConjEstimate est;
+  source.expr->CollectVars(&est.vars);
+  Navigation nav = Navigate(*source.expr, *source.universe);
+  if (nav.value == nullptr) {
+    // Absent attribute: the conjunct matches nothing. Cheapest possible —
+    // running it first short-circuits the whole enumeration.
+    est.base = 0.0;
+    return est;
+  }
+
+  const Expr* node = nav.node;
+  const Value* value = nav.value;
+  double fanout = 1.0;
+
+  // A relation-position attribute variable (`.db.R(...)`) ranges over the
+  // navigated tuple's fields; estimate against their total size.
+  if (node->kind == Expr::Kind::kTuple && !node->negated &&
+      node->items.size() == 1 && node->items[0].attr_is_var &&
+      node->items[0].expr != nullptr) {
+    if (!value->is_tuple()) {
+      est.base = 0.0;
+      return est;
+    }
+    double total = 0.0;
+    for (const auto& field : value->fields()) {
+      if (field.value.is_set()) total += field.value.SetSize();
+    }
+    est.base = total;
+    // The instances share the inner shape; fall through with an unknown
+    // concrete set (no per-column stats), keeping the inner filters.
+    node = node->items[0].expr.get();
+    value = nullptr;
+  }
+
+  if (node->kind != Expr::Kind::kSet || node->negated) {
+    return est;  // unknown shape: default base
+  }
+
+  std::shared_ptr<const ColumnarRelation> page;
+  size_t cardinality = 0;
+  if (value != nullptr) {
+    if (!value->is_set()) {
+      est.base = 0.0;
+      return est;
+    }
+    cardinality = value->SetSize();
+    est.base = static_cast<double>(cardinality);
+    if (options.substrate == EvalSubstrate::kColumnar && cache != nullptr) {
+      page = cache->Columnar(*value, options.columnar_store);
+    }
+  }
+
+  const Expr* inner = node->set_inner.get();
+  if (inner == nullptr || inner->kind != Expr::Kind::kTuple) {
+    est.base *= fanout;
+    return est;
+  }
+  for (const TupleItem& item : inner->items) {
+    if (item.attr_is_var) {
+      // Element-level attribute variable: fans out over each element's
+      // attributes (catalog arity).
+      RelationStats rs = value != nullptr ? StatsForRelation(*value)
+                                          : RelationStats{};
+      fanout *= rs.arity > 0 ? static_cast<double>(rs.arity) : 4.0;
+      continue;
+    }
+    if (item.is_guard() || item.expr == nullptr) continue;
+    const Expr& sub = *item.expr;
+    if (sub.negated || sub.kind != Expr::Kind::kAtomic ||
+        !sub.guard_var.empty()) {
+      continue;
+    }
+    if (sub.relop == RelOp::kEq) {
+      double sel = EqSelectivity(page, item.attr, cardinality);
+      if (sub.term.kind == Term::Kind::kConst) {
+        est.factors.push_back(FilterFactor{"", sel});
+      } else if (sub.term.kind == Term::Kind::kVar) {
+        // Bound at run time: filters. Unbound: binds (no reduction).
+        est.factors.push_back(FilterFactor{sub.term.var, sel});
+      }
+    } else if (sub.term.kind == Term::Kind::kConst) {
+      est.factors.push_back(FilterFactor{"", kDefaultRelSel});
+    }
+  }
+  est.base *= fanout;
+  return est;
+}
+
+// ---- Higher-order specialization -----------------------------------------
+
+constexpr size_t kMaxInstances = 256;
+
+// A specializable higher-order conjunct: exactly one attribute variable, in
+// a position whose name range is enumerable from the live universe, with no
+// branch point before it other than its own enclosing set crossing.
+struct SpecSite {
+  size_t splice_slot = 0;  // branch-point index of the attr-var (written)
+  std::string var;
+  std::vector<std::string> names;  // instance names, field order
+  // Path to the attr-var item inside a clone: peel `depth` single-item
+  // tuples, then (if `through_set`) enter set_inner, then items[item_index].
+  size_t depth = 0;
+  bool through_set = false;
+  size_t item_index = 0;
+};
+
+std::optional<SpecSite> FindSpecSite(const ConjunctSource& source,
+                                     const EvalOptions& options,
+                                     SetIndexCache* cache) {
+  const Expr& root = *source.expr;
+  if (CountAttrVars(root) != 1) return std::nullopt;
+  Navigation nav = Navigate(root, *source.universe);
+  if (nav.value == nullptr) return std::nullopt;  // dead conjunct: no need
+
+  SpecSite site;
+  site.depth = nav.depth;
+
+  const Expr* node = nav.node;
+  if (node->negated) return std::nullopt;
+
+  if (node->kind == Expr::Kind::kTuple) {
+    // Relation-position variable: `.db.R(...)` — R ranges over the fields
+    // of the navigated tuple (their names are exact at plan time; the
+    // universe is frozen for the whole enumeration phase).
+    if (node->items.size() != 1 || !node->items[0].attr_is_var) {
+      return std::nullopt;
+    }
+    if (!nav.value->is_tuple()) return std::nullopt;
+    site.splice_slot = 0;
+    site.through_set = false;
+    site.item_index = 0;
+    site.var = node->items[0].attr;
+    for (const auto& field : nav.value->fields()) {
+      site.names.push_back(field.name);
+    }
+  } else if (node->kind == Expr::Kind::kSet) {
+    // Attribute-position variable inside a relation: `.db.rel(.., .V=.., ..)`
+    // — V ranges over element attributes. Requires a *uniform* flat
+    // relation so the ordinal of a name inside any element's field list
+    // equals its ordinal in the shared list (the emission key depends on
+    // it). A columnar page is exactly that proof; under kNested the
+    // catalog's uniformity stat decides.
+    const Expr* inner = node->set_inner.get();
+    if (inner == nullptr || inner->kind != Expr::Kind::kTuple ||
+        inner->negated) {
+      return std::nullopt;
+    }
+    if (!nav.value->is_set()) return std::nullopt;
+    size_t k = inner->items.size();
+    size_t before = 0;
+    for (size_t i = 0; i < inner->items.size(); ++i) {
+      const TupleItem& item = inner->items[i];
+      if (item.attr_is_var) {
+        k = i;
+        break;
+      }
+      if (item.expr != nullptr) before += SegmentLength(*item.expr);
+    }
+    if (k == inner->items.size()) return std::nullopt;  // var nested deeper
+    if (before != 0) return std::nullopt;  // branch point precedes the var
+    std::shared_ptr<const ColumnarRelation> page;
+    if (options.substrate == EvalSubstrate::kColumnar && cache != nullptr) {
+      page = cache->Columnar(*nav.value, options.columnar_store);
+    }
+    if (page != nullptr) {
+      for (const auto& col : page->columns()) site.names.push_back(col.name);
+    } else {
+      RelationStats rs = StatsForRelation(*nav.value);
+      if (!rs.uniform) return std::nullopt;
+      if (nav.value->SetSize() > 0) {
+        for (const auto& field : nav.value->elements()[0].fields()) {
+          site.names.push_back(field.name);
+        }
+      }
+    }
+    site.splice_slot = 1;  // after the set crossing
+    site.through_set = true;
+    site.item_index = k;
+    site.var = inner->items[k].attr;
+  } else {
+    return std::nullopt;
+  }
+
+  if (site.names.size() > kMaxInstances) return std::nullopt;
+  return site;
+}
+
+// Clones the conjunct with the attribute variable replaced by the concrete
+// name `instance` (first-order; the columnar substrate can vectorize it).
+ExprPtr SpecializeInstance(const Expr& root, const SpecSite& site,
+                           const std::string& instance) {
+  ExprPtr clone = root.Clone();
+  Expr* e = clone.get();
+  for (size_t i = 0; i < site.depth; ++i) e = e->items[0].expr.get();
+  if (site.through_set) e = e->set_inner.get();
+  TupleItem& item = e->items[site.item_index];
+  item.attr_is_var = false;
+  item.attr = instance;
+  return clone;
+}
+
+// ---- Planned execution ----------------------------------------------------
+
+struct PlannedStep {
+  const ConjunctSource* src = nullptr;
+  size_t written_pos = 0;   // index in the written order
+  size_t seg_len = 0;       // branch points this conjunct records
+  size_t written_off = 0;   // segment offset in the written-order key
+  std::optional<VectorConjunctPlan> plan;  // non-specialized vector plan
+
+  // Specialization (names/instances parallel).
+  bool specialized = false;
+  std::string var;
+  size_t splice_slot = 0;
+  std::vector<std::string> names;
+  std::vector<ExprPtr> instances;
+  std::vector<std::optional<VectorConjunctPlan>> instance_plans;
+
+  // Maps an exec-order segment position to its written-order slot. For a
+  // specialized step the instance ordinal is pushed first but belongs at
+  // `splice_slot`; everything else keeps its relative order.
+  size_t Remap(size_t k) const {
+    if (!specialized) return k;
+    if (k == 0) return splice_slot;
+    return k <= splice_slot ? k - 1 : k;
+  }
+};
+
+// Buffered emissions live in two parallel stores: one flat int32 buffer
+// holding every emission's written-order key contiguously (emission i's key
+// at [i*total_len, (i+1)*total_len)) and one vector of sigma snapshots.
+// Sorting permutes an index vector over the flat keys — no per-emission
+// allocation, and the comparator walks cache-resident spans.
+struct EmissionBuffer {
+  std::vector<int32_t> keys;
+  std::vector<Substitution> sigmas;
+};
+
+struct PlannedChain {
+  std::vector<PlannedStep>* steps;
+  Matcher* matcher;
+  ChoiceRecorder* recorder;  // null in streaming mode (no keys needed)
+  const ResourceGovernor* governor;
+  const EvalOptions* options;
+  EvalStats* stats;
+  SetIndexCache* page_cache;
+  EmissionBuffer* buffer;
+  size_t total_len = 0;
+  // Streaming mode: the plan kept the written order and every specialized
+  // site splices at slot 0, so the DFS below visits bindings in exactly the
+  // written emission order — stream straight to the caller, no buffer/sort.
+  const std::function<bool(const Substitution&)>* stream_cb = nullptr;
+  size_t emitted = 0;
+  Status error = Status::Ok();
+
+  bool Emit(Substitution* sigma) {
+    if (stream_cb != nullptr) {
+      ++emitted;
+      return (*stream_cb)(*sigma);
+    }
+    const std::vector<int32_t>& path = recorder->path();
+    if (path.size() != total_len) {
+      // Every successful match path records exactly total_len ordinals; a
+      // mismatch means the static shape analysis missed a branch point.
+      // Fail closed: the caller re-runs in written order.
+      error = Internal("planner: branch-point path length mismatch");
+      return false;
+    }
+    size_t base = buffer->keys.size();
+    buffer->keys.resize(base + total_len);
+    size_t off = 0;
+    for (const PlannedStep& s : *steps) {
+      for (size_t k = 0; k < s.seg_len; ++k) {
+        buffer->keys[base + s.written_off + s.Remap(k)] = path[off + k];
+      }
+      off += s.seg_len;
+    }
+    buffer->sigmas.push_back(*sigma);
+    return true;
+  }
+
+  bool RunExpr(const PlannedStep& s, const Expr& expr,
+               const std::optional<VectorConjunctPlan>& plan, size_t index,
+               Substitution* sigma) {
+    if (plan.has_value()) {
+      bool fell_back = false;
+      Result<bool> r = ExecuteVectorConjunct(
+          *plan, *s.src->universe, page_cache, options->columnar_store,
+          options->use_indexes, options->index_min_set_size, stats, sigma,
+          [&] { return Step(index + 1, sigma); }, &fell_back, recorder);
+      if (!fell_back) {
+        if (!r.ok()) {
+          error = r.status();
+          return false;
+        }
+        return *r;
+      }
+    }
+    Result<bool> r =
+        matcher->Match(*s.src->universe, expr, sigma,
+                       [&](const Substitution&) { return Step(index + 1, sigma); });
+    if (!r.ok()) {
+      error = r.status();
+      return false;
+    }
+    return *r;
+  }
+
+  bool Step(size_t index, Substitution* sigma) {
+    if (governor != nullptr) {
+      Status st = governor->Checkpoint();
+      if (!st.ok()) {
+        error = std::move(st);
+        return false;
+      }
+    }
+    if (index == steps->size()) return Emit(sigma);
+    const PlannedStep& s = (*steps)[index];
+    if (!s.specialized) return RunExpr(s, *s.src->expr, s.plan, index, sigma);
+
+    const Value* bound = sigma->Lookup(s.var);
+    // Matcher semantics: a bound non-string higher-order variable fails
+    // silently; a bound string runs only its own instance.
+    if (bound != nullptr && !bound->is_string()) return true;
+    // Snapshot by value: deeper Binds inside RunExpr may reallocate sigma's
+    // storage, so `bound` must not be dereferenced across iterations.
+    const bool was_bound = bound != nullptr;
+    const std::string bound_name = was_bound ? bound->as_string() : "";
+    for (size_t n = 0; n < s.names.size(); ++n) {
+      if (was_bound && bound_name != s.names[n]) continue;
+      size_t mark = sigma->Mark();
+      size_t cmark = recorder != nullptr ? recorder->Mark() : 0;
+      if (recorder != nullptr) recorder->Push(static_cast<int32_t>(n));
+      if (!was_bound) sigma->Bind(s.var, Value::String(s.names[n]));
+      bool keep_going =
+          RunExpr(s, *s.instances[n], s.instance_plans[n], index, sigma);
+      if (recorder != nullptr) recorder->TruncateTo(cmark);
+      sigma->RollbackTo(mark);
+      if (!error.ok() || !keep_going) return false;
+    }
+    return true;
+  }
+};
+
+std::string SummarizeOrder(const std::vector<size_t>& order,
+                           const std::vector<PlannedStep>& steps) {
+  std::string out = "order=[";
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(order[i]);
+  }
+  out += ']';
+  for (const PlannedStep& s : steps) {
+    if (s.specialized) {
+      out += StrCat(" spec=[", s.written_pos, ":", s.var, "*",
+                    s.names.size(), "]");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PlannedEnumerate TryPlannedEnumerate(
+    const std::vector<ConjunctSource>& ordered, const EvalOptions& options,
+    EvalStats* stats, SetIndexCache* page_cache,
+    const std::function<bool(const Substitution&)>& cb,
+    const ResourceGovernor* governor, PlanInfo* info) {
+  PlannedEnumerate out;
+  if (ordered.empty()) return out;
+
+  PlanInfo local;
+  auto plan_start = std::chrono::steady_clock::now();
+  std::vector<PlannedStep> steps;
+  std::vector<size_t> order;
+  bool reordered = false;
+  bool any_spec = false;
+  double est_product = 1.0;
+  {
+    TraceSpan span("plan");
+
+    // Classify: a conjunct is movable when it can never raise — then the
+    // set of substitutions reaching any later (barrier) conjunct is
+    // invariant under permuting the movables, and so is whether that
+    // barrier errors.
+    std::vector<bool> movable(ordered.size());
+    for (size_t i = 0; i < ordered.size(); ++i) {
+      const Expr& e = *ordered[i].expr;
+      movable[i] = !MayError(e) && !ContainsNegation(e);
+    }
+
+    // Structural bail-out before any estimation: a plan can only differ
+    // from the written order via reordering (needs a run of two or more
+    // consecutive movables) or specialization (needs a movable conjunct
+    // with exactly one metadata variable). First-order rule bodies —
+    // the common case — decline here without touching the universe.
+    bool can_transform = false;
+    size_t run_len = 0;
+    for (size_t i = 0; i < ordered.size(); ++i) {
+      run_len = movable[i] ? run_len + 1 : 0;
+      if (run_len >= 2) can_transform = true;
+      if (movable[i] && CountAttrVars(*ordered[i].expr) == 1) {
+        can_transform = true;
+      }
+    }
+    if (!can_transform) {
+      local.plan_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - plan_start)
+                          .count();
+      if (info != nullptr) info->Merge(local);
+      return out;  // kDeclined
+    }
+
+    std::vector<ConjEstimate> estimates(ordered.size());
+    for (size_t i = 0; i < ordered.size(); ++i) {
+      estimates[i] = Estimate(ordered[i], options, page_cache);
+    }
+
+    // Greedy bound-first ordering inside each maximal run of movables;
+    // barriers pin their written positions.
+    std::unordered_set<std::string> bound;
+    order.reserve(ordered.size());
+    size_t i = 0;
+    while (i < ordered.size()) {
+      if (!movable[i]) {
+        order.push_back(i);
+        for (const std::string& v : estimates[i].vars) bound.insert(v);
+        ++i;
+        continue;
+      }
+      size_t j = i;
+      while (j < ordered.size() && movable[j]) ++j;
+      std::vector<size_t> run;
+      for (size_t k = i; k < j; ++k) run.push_back(k);
+      while (!run.empty()) {
+        size_t best = 0;
+        double best_cost = estimates[run[0]].Cost(bound);
+        for (size_t k = 1; k < run.size(); ++k) {
+          double c = estimates[run[k]].Cost(bound);
+          if (c < best_cost) {
+            best = k;
+            best_cost = c;
+          }
+        }
+        size_t pick = run[best];
+        est_product *= std::max(best_cost, 1.0);
+        order.push_back(pick);
+        for (const std::string& v : estimates[pick].vars) bound.insert(v);
+        run.erase(run.begin() + best);
+      }
+      i = j;
+    }
+    for (size_t k = 0; k < order.size(); ++k) reordered |= order[k] != k;
+
+    // Build the execution steps in planned order; segment offsets in the
+    // written-order key come from written positions.
+    std::vector<size_t> seg_len(ordered.size());
+    std::vector<size_t> written_off(ordered.size());
+    size_t off = 0;
+    for (size_t k = 0; k < ordered.size(); ++k) {
+      seg_len[k] = SegmentLength(*ordered[k].expr);
+      written_off[k] = off;
+      off += seg_len[k];
+    }
+
+    steps.reserve(order.size());
+    for (size_t pos : order) {
+      PlannedStep step;
+      step.src = &ordered[pos];
+      step.written_pos = pos;
+      step.seg_len = seg_len[pos];
+      step.written_off = written_off[pos];
+      if (movable[pos]) {
+        std::optional<SpecSite> site =
+            FindSpecSite(ordered[pos], options, page_cache);
+        if (site.has_value()) {
+          step.specialized = true;
+          step.var = std::move(site->var);
+          step.splice_slot = site->splice_slot;
+          step.names = std::move(site->names);
+          step.instances.reserve(step.names.size());
+          step.instance_plans.reserve(step.names.size());
+          for (const std::string& name : step.names) {
+            step.instances.push_back(
+                SpecializeInstance(*ordered[pos].expr, *site, name));
+            if (options.substrate == EvalSubstrate::kColumnar) {
+              step.instance_plans.push_back(
+                  CompileVectorConjunct(*step.instances.back()));
+            } else {
+              step.instance_plans.push_back(std::nullopt);
+            }
+          }
+          any_spec = true;
+        }
+      }
+      if (!step.specialized &&
+          options.substrate == EvalSubstrate::kColumnar) {
+        step.plan = CompileVectorConjunct(*ordered[pos].expr);
+      }
+      steps.push_back(std::move(step));
+    }
+  }
+  local.plan_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - plan_start)
+                      .count();
+
+  if (!reordered && !any_spec) {
+    // The plan is the written order: run it without the buffering detour.
+    if (info != nullptr) info->Merge(local);
+    return out;  // kDeclined
+  }
+
+  PlansCounter()->Increment();
+  if (reordered) ReordersCounter()->Increment();
+  if (any_spec) SpecializationsCounter()->Increment();
+
+  local.planned = true;
+  local.est_rows = static_cast<uint64_t>(std::min(est_product, 1e18));
+  local.summary = SummarizeOrder(order, steps);
+
+  // Streaming fast-path: with the written order kept and every specialized
+  // site splicing at slot 0 (relation-position, shape A — the instance loop
+  // replaces the first branch point of its conjunct and enumerates names in
+  // written field order), the planned DFS is node-for-node the written-order
+  // DFS. Emissions already come out in canonical order, so the buffer+sort
+  // detour is pure overhead — and because barriers stay pinned and movables
+  // cannot raise, any error surfaces at exactly the written point too.
+  bool streaming = !reordered;
+  for (const PlannedStep& s : steps) {
+    if (s.specialized && s.splice_slot != 0) streaming = false;
+  }
+
+  EvalStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Matcher matcher(stats, options.use_indexes ? page_cache : nullptr);
+  ChoiceRecorder recorder;
+  if (!streaming) matcher.set_recorder(&recorder);
+  Substitution sigma;
+  EmissionBuffer buffer;
+  size_t total_len = 0;
+  for (const PlannedStep& s : steps) total_len += s.seg_len;
+  PlannedChain chain{&steps,
+                     &matcher,
+                     streaming ? nullptr : &recorder,
+                     governor,
+                     &options,
+                     stats,
+                     page_cache,
+                     &buffer,
+                     total_len,
+                     streaming ? &cb : nullptr};
+  bool keep_going = chain.Step(0, &sigma);
+
+  if (!chain.error.ok()) {
+    if (streaming || chain.error.code() == StatusCode::kCancelled ||
+        chain.error.code() == StatusCode::kDeadlineExceeded ||
+        chain.error.code() == StatusCode::kResourceExhausted) {
+      // Governor abort: surface directly (the caller discards partial work
+      // on abort, as it would under written order). Streaming errors also
+      // surface directly — the prefix already reached the caller in written
+      // order and the error fired at the written point, so a written-order
+      // re-run would double-emit; this IS the oracle's behavior.
+      if (info != nullptr) info->Merge(local);
+      out.kind = PlannedEnumerate::Kind::kDone;
+      out.result = chain.error;
+      return out;
+    }
+    // Evaluation error: the written order may error elsewhere (or emit
+    // before erroring). Discard everything and let the caller re-run in
+    // written order — enumeration is read-only, so the re-run is safe.
+    FallbacksCounter()->Increment();
+    local.fell_back = true;
+    if (info != nullptr) info->Merge(local);
+    out.kind = PlannedEnumerate::Kind::kErrorFallback;
+    return out;
+  }
+
+  if (streaming) {
+    local.actual_rows = chain.emitted;
+    if (info != nullptr) info->Merge(local);
+    out.kind = PlannedEnumerate::Kind::kDone;
+    out.result = keep_going;
+    return out;
+  }
+
+  // Replay in written order: lexicographic on the reconstructed keys. Keys
+  // are unique by construction, so sorting emission indices (with the index
+  // itself — the emission sequence — as tiebreak) is deterministic.
+  size_t rows = buffer.sigmas.size();
+  std::vector<uint32_t> idx(rows);
+  for (size_t i = 0; i < rows; ++i) idx[i] = static_cast<uint32_t>(i);
+  const int32_t* keys = buffer.keys.data();
+  std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    const int32_t* ka = keys + static_cast<size_t>(a) * total_len;
+    const int32_t* kb = keys + static_cast<size_t>(b) * total_len;
+    for (size_t k = 0; k < total_len; ++k) {
+      if (ka[k] != kb[k]) return ka[k] < kb[k];
+    }
+    return a < b;
+  });
+  local.actual_rows = rows;
+  if (info != nullptr) info->Merge(local);
+  out.kind = PlannedEnumerate::Kind::kDone;
+  for (uint32_t i : idx) {
+    if (!cb(buffer.sigmas[i])) {
+      out.result = false;
+      return out;
+    }
+  }
+  out.result = true;
+  return out;
+}
+
+}  // namespace idl

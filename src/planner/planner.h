@@ -1,0 +1,98 @@
+// Cost-based rule-body planner (docs/PLANNER.md).
+//
+// Runs between stratification and evaluation: given the post-defer written
+// conjunct order of one rule body (or query), it
+//  (1) estimates per-conjunct cardinalities from live relation sizes, the
+//      catalog's relation stats (arity, uniformity) and the columnar pages'
+//      per-column index stats;
+//  (2) greedily reorders conjuncts bound-variable-first — the conjunct with
+//      the smallest estimated intermediate given the variables already
+//      bound runs next, so bindings pass sideways into later probes, and a
+//      query's bound arguments push down into the first probe (the
+//      magic-set effect for this left-to-right evaluator);
+//  (3) specializes a higher-order conjunct — a variable in attribute
+//      position whose range (relation or attribute names) is enumerable
+//      from the live universe at plan time — into its first-order
+//      instances, each of which the columnar substrate can then vectorize.
+//
+// The contract with EvalOptions::planner == kWrittenOrder (the oracle) is
+// byte identity: same emitted substitutions in the same order, same errors
+// with the same timing. Two mechanisms enforce it:
+//  * Emission-order reconstruction. Every successful match path crosses a
+//    statically known number of branch points (set crossings + attribute
+//    variables outside negation), and every branch enumerates ordinals
+//    ascending, so the written-order emission sequence is exactly the
+//    lexicographic order of the per-emission branch-ordinal keys (segments
+//    arranged in written conjunct order). The planned executor records
+//    each emission's key (eval/matcher.h ChoiceRecorder), buffers, sorts,
+//    and replays — the callback sees the written order.
+//  * Error barriers. Conjuncts that can raise (arithmetic, non-`=` relops
+//    on possibly-unbound variables, negation, updates) hold their written
+//    positions; only runs of never-erroring conjuncts between them are
+//    reordered. If a planned run errors anyway, the buffered output is
+//    discarded and the caller re-runs the whole enumeration in written
+//    order, reproducing the written error and its timing exactly.
+
+#ifndef IDL_PLANNER_PLANNER_H_
+#define IDL_PLANNER_PLANNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/governor.h"
+#include "common/result.h"
+#include "eval/explain.h"
+#include "eval/query.h"
+#include "eval/substitution.h"
+
+namespace idl {
+
+class SetIndexCache;
+
+// What the planner did for one enumeration; surfaced per rule in EXPLAIN
+// ANALYZE (`plan_ms` column and plan lines).
+struct PlanInfo {
+  bool planned = false;      // a cost-based plan executed this enumeration
+  bool fell_back = false;    // planned run errored; written order re-ran
+  double plan_ms = 0.0;      // time spent planning (excluded from enum time)
+  uint64_t est_rows = 0;     // estimated emissions for the chosen order
+  uint64_t actual_rows = 0;  // emissions the planned run produced
+  std::string summary;       // e.g. "order=[1 0] spec=[0:S*16]"
+
+  void Merge(const PlanInfo& other);
+};
+
+// Outcome of a planned enumeration attempt.
+struct PlannedEnumerate {
+  enum class Kind {
+    // The plan is the written order with no specialization (or the shape is
+    // not plannable): nothing executed, the caller runs written order.
+    kDeclined,
+    // The planned run completed (successfully, stopped by the callback, or
+    // aborted by the governor): `result` is the enumeration's result.
+    kDone,
+    // The planned run hit an evaluation error. Nothing was emitted to the
+    // callback; the caller must re-run in written order so the error
+    // surfaces with written timing.
+    kErrorFallback,
+  };
+  Kind kind = Kind::kDeclined;
+  Result<bool> result = true;
+};
+
+// Attempts cost-based enumeration of `ordered` (the post-defer written
+// order). Emissions reach `cb` in exactly the written order. `page_cache`
+// must be the same cache the written-order executor would use (columnar
+// pages / equality indexes). `info`, if non-null, receives plan details
+// (merged, so one PlanInfo can accumulate across delta variants).
+PlannedEnumerate TryPlannedEnumerate(
+    const std::vector<ConjunctSource>& ordered, const EvalOptions& options,
+    EvalStats* stats, SetIndexCache* page_cache,
+    const std::function<bool(const Substitution&)>& cb,
+    const ResourceGovernor* governor, PlanInfo* info);
+
+}  // namespace idl
+
+#endif  // IDL_PLANNER_PLANNER_H_

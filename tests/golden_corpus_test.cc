@@ -365,6 +365,16 @@ TEST(GoldenCorpus, ScriptsMatchGoldens) {
     EXPECT_EQ(transcript, tuple_at_a_time)
         << "columnar and nested substrate transcripts diverge";
 
+    // And under the cost-based planner: conjunct reordering, sideways
+    // information passing and higher-order specialization (src/planner/)
+    // must be transcript-invisible on the whole corpus — answers, write
+    // counts and error timing all byte-identical to written order.
+    EvalOptions planned = semi;
+    planned.planner = PlannerMode::kCostBased;
+    std::string cost_planned = run(planned);
+    EXPECT_EQ(transcript, cost_planned)
+        << "cost-based planner and written-order transcripts diverge";
+
     // A server script additionally runs single-session: concurrency must not
     // change any answer, so only the session count in the header/trailer
     // lines may differ.

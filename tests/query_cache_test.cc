@@ -1,0 +1,182 @@
+// Session-level query index/page cache (src/idl/session.h) and the
+// SetIndexCache size-stamp backstop (src/eval/index.h).
+//
+// Two regressions are pinned here:
+//
+//  1. Repeated identical queries on an unchanged session must REUSE the
+//     generation-keyed query cache — `columnar.pages_built` stays flat
+//     across re-queries instead of rebuilding every page per query. Any
+//     base mutation (update request, federation resync) bumps the
+//     generation and rebuilds.
+//
+//  2. A set that shrank in place (delete-and-rederive reusing the set's
+//     address) must not be served stale index buckets or a stale columnar
+//     page: the per-entry cardinality stamp forces a rebuild even when no
+//     generation bump intervened.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "eval/index.h"
+#include "idl/session.h"
+#include "relational/columnar.h"
+#include "workload/stock_gen.h"
+
+namespace idl {
+namespace {
+
+uint64_t PagesBuilt() {
+  return MetricsRegistry::Global().counter("columnar.pages_built")->value();
+}
+
+Value MakeFlatSet(int n) {
+  Value set = Value::EmptySet();
+  for (int i = 0; i < n; ++i) {
+    Value t = Value::EmptyTuple();
+    t.SetField("k", Value::Int(i));
+    t.SetField("v", Value::String(i % 2 == 0 ? "even" : "odd"));
+    set.Insert(std::move(t));
+  }
+  return set;
+}
+
+TEST(QueryCacheTest, RepeatedQueriesReusePages) {
+  Session session;
+  Value universe = BuildStockUniverse(
+      GenerateStockWorkload({.num_stocks = 8, .num_days = 40, .seed = 3}));
+  for (const auto& field : universe.fields()) {
+    ASSERT_TRUE(session.RegisterDatabase(field.name, field.value).ok());
+  }
+
+  const std::string query = "?.euter.r(.stkCode=stk2, .clsPrice=P, .date=D)";
+  auto first = session.Query(query);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const uint64_t after_first = PagesBuilt();
+
+  // The regression: every re-query used to rebuild its pages from scratch
+  // because the per-query cache died with the query. The hoisted
+  // generation-keyed cache must answer from the same pages.
+  for (int i = 0; i < 5; ++i) {
+    auto again = session.Query(query);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_EQ(again->ToTable(), first->ToTable());
+  }
+  EXPECT_EQ(PagesBuilt(), after_first)
+      << "re-querying an unchanged session rebuilt columnar pages";
+
+  // A base mutation invalidates: the next query may rebuild, and must see
+  // the new data.
+  ASSERT_TRUE(
+      session.Update("?.euter.r+(.date=3/5/1985,.stkCode=stk2,.clsPrice=7)")
+          .ok());
+  auto after_update = session.Query(query);
+  ASSERT_TRUE(after_update.ok());
+  EXPECT_NE(after_update->ToTable(), first->ToTable())
+      << "query cache served pre-update pages after an update";
+}
+
+TEST(QueryCacheTest, ShrinkThenRequeryDifferential) {
+  // Delete-and-rederive shrinks relations in place; a session that has
+  // already indexed them must answer exactly like a fresh session built
+  // from the post-delete base.
+  Session session;
+  Value universe = BuildStockUniverse(
+      GenerateStockWorkload({.num_stocks = 6, .num_days = 30, .seed = 9}));
+  for (const auto& field : universe.fields()) {
+    ASSERT_TRUE(session.RegisterDatabase(field.name, field.value).ok());
+  }
+  ASSERT_TRUE(
+      session.DefineRule(".hi.p(.stk=S, .date=D) <- "
+                         ".euter.r(.stkCode=S, .date=D, .clsPrice>150)")
+          .ok());
+
+  const std::string query = "?.hi.p(.stk=stk1, .date=D)";
+  ASSERT_TRUE(session.Query(query).ok());  // materialize + warm the cache
+
+  // Shrink the base: delete every stk1 row (delete-and-rederive path).
+  auto del = session.Update("?.euter.r-(.stkCode=stk1)");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+
+  auto warm = session.Query(query);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  Session fresh;
+  auto base = session.universe();
+  ASSERT_TRUE(base.ok());
+  for (const auto& field : (*base)->fields()) {
+    if (field.name == "hi") continue;  // derived; let fresh re-derive it
+    ASSERT_TRUE(fresh.RegisterDatabase(field.name, field.value).ok());
+  }
+  ASSERT_TRUE(
+      fresh
+          .DefineRule(".hi.p(.stk=S, .date=D) <- "
+                      ".euter.r(.stkCode=S, .date=D, .clsPrice>150)")
+          .ok());
+  auto cold = fresh.Query(query);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(warm->ToTable(), cold->ToTable())
+      << "stale index state survived delete-and-rederive";
+}
+
+TEST(SetIndexCacheTest, SizeStampForcesRebuildOnInPlaceShrink) {
+  // Same address, same generation, fewer elements: the stamp must force a
+  // rebuild instead of serving candidate positions past the new end.
+  SetIndexCache cache(/*min_set_size=*/4);
+  cache.EnsureGeneration(1);
+  Value set = MakeFlatSet(32);
+
+  std::vector<uint32_t> candidates;
+  ASSERT_TRUE(cache.Probe(set, "k", Value::Int(30), &candidates));
+  EXPECT_FALSE(candidates.empty());
+  EXPECT_EQ(cache.indexes_built(), 1u);
+
+  // Shrink in place (no generation bump — simulating a missed invalidation
+  // or address reuse).
+  set.EraseIf([](const Value& e) {
+    const Value* k = e.FindField("k");
+    return k != nullptr && k->as_int() >= 8;
+  });
+  ASSERT_EQ(set.SetSize(), 8u);
+
+  candidates.clear();
+  ASSERT_TRUE(cache.Probe(set, "k", Value::Int(30), &candidates));
+  EXPECT_TRUE(candidates.empty())
+      << "stale bucket served a position past the shrunken set's end";
+  EXPECT_EQ(cache.indexes_built(), 2u) << "shrunken set was not re-indexed";
+  for (uint32_t c : candidates) EXPECT_LT(c, set.SetSize());
+
+  candidates.clear();
+  ASSERT_TRUE(cache.Probe(set, "k", Value::Int(3), &candidates));
+  EXPECT_FALSE(candidates.empty());
+}
+
+TEST(SetIndexCacheTest, SizeStampInvalidatesColumnarPage) {
+  SetIndexCache cache(/*min_set_size=*/4);
+  cache.EnsureGeneration(1);
+  Value set = MakeFlatSet(24);
+
+  std::shared_ptr<const ColumnarRelation> page =
+      cache.Columnar(set, /*store=*/nullptr);
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(page->num_rows(), 24u);
+
+  // Memoized while unchanged.
+  EXPECT_EQ(cache.Columnar(set, nullptr).get(), page.get());
+
+  set.EraseIf([](const Value& e) {
+    const Value* k = e.FindField("k");
+    return k != nullptr && k->as_int() >= 6;
+  });
+  std::shared_ptr<const ColumnarRelation> rebuilt =
+      cache.Columnar(set, nullptr);
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_EQ(rebuilt->num_rows(), 6u)
+      << "stale columnar page survived an in-place shrink";
+}
+
+}  // namespace
+}  // namespace idl
